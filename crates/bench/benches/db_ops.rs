@@ -1,0 +1,128 @@
+//! F4: database-layer throughput — inserts with FK checks, point lookups,
+//! joins and aggregates over the GOOFI schema, at campaign-like sizes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use goofi_db::{Database, Value};
+
+fn schema() -> Database {
+    let mut db = Database::new();
+    db.execute_sql("CREATE TABLE TargetSystemData (testCardName TEXT PRIMARY KEY, descr TEXT)")
+        .unwrap();
+    db.execute_sql(
+        "CREATE TABLE CampaignData (
+             campaignName TEXT PRIMARY KEY,
+             testCardName TEXT NOT NULL REFERENCES TargetSystemData(testCardName),
+             nrOfExperiments INTEGER)",
+    )
+    .unwrap();
+    db.execute_sql(
+        "CREATE TABLE LoggedSystemState (
+             experimentName TEXT PRIMARY KEY,
+             parentExperiment TEXT REFERENCES LoggedSystemState(experimentName),
+             campaignName TEXT NOT NULL REFERENCES CampaignData(campaignName),
+             experimentData TEXT,
+             stateVector BLOB)",
+    )
+    .unwrap();
+    db.execute_sql("INSERT INTO TargetSystemData VALUES ('thor', 'Thor RD')")
+        .unwrap();
+    db.execute_sql("INSERT INTO CampaignData VALUES ('c1', 'thor', 1000)")
+        .unwrap();
+    db
+}
+
+fn populated(rows: usize) -> Database {
+    let mut db = schema();
+    for i in 0..rows {
+        db.insert(goofi_db::Insert::into(
+            "LoggedSystemState",
+            vec![
+                format!("c1/{i:05}").into(),
+                Value::Null,
+                "c1".into(),
+                format!("{{\"outcome\":\"{}\"}}", if i % 3 == 0 { "Detected" } else { "Latent" })
+                    .into(),
+                vec![0u8; 128].into(),
+            ],
+        ))
+        .unwrap();
+    }
+    db
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("db");
+
+    group.bench_function("insert_with_fk_1000rows", |b| {
+        b.iter_batched(
+            schema,
+            |mut db| {
+                for i in 0..1000 {
+                    db.insert(goofi_db::Insert::into(
+                        "LoggedSystemState",
+                        vec![
+                            format!("c1/{i:05}").into(),
+                            Value::Null,
+                            "c1".into(),
+                            "data".into(),
+                            vec![0u8; 128].into(),
+                        ],
+                    ))
+                    .unwrap();
+                }
+                db
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut db = populated(2000);
+    group.bench_function("point_lookup_by_pk", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 997) % 2000;
+            db.query(&format!(
+                "SELECT experimentName FROM LoggedSystemState WHERE experimentName = 'c1/{i:05}'"
+            ))
+            .unwrap()
+        })
+    });
+
+    group.bench_function("aggregate_group_by_2000rows", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT experimentData, COUNT(*) AS n FROM LoggedSystemState \
+                 GROUP BY experimentData",
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("join_campaign_2000rows", |b| {
+        b.iter(|| {
+            db.query(
+                "SELECT l.experimentName, c.nrOfExperiments \
+                 FROM LoggedSystemState l \
+                 JOIN CampaignData c ON l.campaignName = c.campaignName \
+                 WHERE l.experimentData LIKE '%Detected%'",
+            )
+            .unwrap()
+        })
+    });
+
+    group.bench_function("json_save_load_2000rows", |b| {
+        b.iter(|| {
+            let json = db.to_json().unwrap();
+            Database::from_json(&json).unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Experiment E1: SCIFI error-classification distribution per location
+//! class (paper §3.4 "typical results"; shape from the Thor studies
+//! [10]/[12]), plus the cost of one SCIFI experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::{scifi_campaign, thor_target};
+use goofi_core::{
+    generate_fault_list, run_campaign, run_experiment, Campaign, FaultModel,
+    LocationSelector, Technique, TargetSystemInterface, TriggerPolicy,
+};
+
+fn print_table() {
+    println!("\n=== E1: classification by location class (matmul4, 300 faults each) ===");
+    println!(
+        "{:<16} {:>9} {:>9} {:>8} {:>12} {:>10}",
+        "class", "detected", "escaped", "latent", "overwritten", "coverage"
+    );
+    let classes: [(&str, &str, Option<&str>); 5] = [
+        ("registers", "cpu", None),
+        ("PC", "cpu", Some("PC")),
+        ("PSW", "cpu", Some("PSW")),
+        ("icache", "icache", None),
+        ("dcache", "dcache", None),
+    ];
+    for (label, chain, field) in classes {
+        let campaign = Campaign::builder(format!("e1-{label}"), "thor-card", "matmul4")
+            .technique(Technique::Scifi)
+            .select(LocationSelector::Chain {
+                chain: chain.into(),
+                field: field.map(str::to_owned),
+            })
+            .fault_model(FaultModel::BitFlip)
+            .window(0, 3000)
+            .experiments(300)
+            .seed(2024)
+            .build()
+            .expect("valid campaign");
+        let mut target = thor_target("matmul4");
+        let stats = run_campaign(&mut target, &campaign, None, None)
+            .expect("campaign runs")
+            .stats;
+        let cov = stats.detection_coverage();
+        println!(
+            "{:<16} {:>9} {:>9} {:>8} {:>12} {:>7.2}",
+            label,
+            stats.detected_total(),
+            stats.escaped_total(),
+            stats.latent,
+            stats.overwritten,
+            cov.p
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let campaign = scifi_campaign("e1-bench", "matmul4", 1, 3000);
+    let mut target = thor_target("matmul4");
+    let faults = generate_fault_list(
+        &target.describe(),
+        &campaign.selectors,
+        campaign.fault_model,
+        &TriggerPolicy::Window { start: 0, end: 3000 },
+        64,
+        7,
+        None,
+    )
+    .expect("fault list");
+    let mut i = 0;
+    c.bench_function("e1/single_scifi_experiment", |b| {
+        b.iter(|| {
+            let fault = &faults[i % faults.len()];
+            i += 1;
+            run_experiment(&mut target, &campaign, fault).expect("experiment runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

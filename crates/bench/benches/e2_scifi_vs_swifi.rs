@@ -1,0 +1,79 @@
+//! Experiment E2: SCIFI vs. SWIFI — classification differences on the
+//! same workload, and per-experiment cost of each technique.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::{scifi_campaign, swifi_campaign, thor_target};
+use goofi_core::{generate_fault_list, run_campaign, run_experiment, TriggerPolicy, TargetSystemInterface};
+
+fn print_table() {
+    println!("\n=== E2: technique comparison (crc32x16, 300 faults each) ===");
+    println!(
+        "{:<26} {:>9} {:>9} {:>8} {:>12}",
+        "technique / area", "detected", "escaped", "latent", "overwritten"
+    );
+    let cases = [
+        ("SCIFI / cpu", scifi_campaign("e2-scifi", "crc32x16", 300, 4000)),
+        (
+            "SWIFI pre / code",
+            swifi_campaign("e2-swc", "crc32x16", 0, 64, 300),
+        ),
+        (
+            "SWIFI pre / data",
+            swifi_campaign("e2-swd", "crc32x16", 0x4000, 17, 300),
+        ),
+    ];
+    for (label, campaign) in cases {
+        let mut target = thor_target("crc32x16");
+        let stats = run_campaign(&mut target, &campaign, None, None)
+            .expect("campaign runs")
+            .stats;
+        println!(
+            "{:<26} {:>9} {:>9} {:>8} {:>12}",
+            label,
+            stats.detected_total(),
+            stats.escaped_total(),
+            stats.latent,
+            stats.overwritten
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e2");
+    for (name, campaign) in [
+        ("scifi_experiment", scifi_campaign("e2-b1", "crc32x16", 1, 4000)),
+        (
+            "swifi_experiment",
+            swifi_campaign("e2-b2", "crc32x16", 0x4000, 17, 1),
+        ),
+    ] {
+        let mut target = thor_target("crc32x16");
+        let faults = generate_fault_list(
+            &target.describe(),
+            &campaign.selectors,
+            campaign.fault_model,
+            &TriggerPolicy::Window { start: 0, end: 4000 },
+            32,
+            9,
+            None,
+        )
+        .expect("fault list");
+        let mut i = 0;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let fault = &faults[i % faults.len()];
+                i += 1;
+                run_experiment(&mut target, &campaign, fault).expect("experiment runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Experiment E3: pre-injection analysis efficiency — fraction of the
+//! fault list proved dead, and whole-campaign time with vs. without
+//! pruning (paper Section 4's planned optimisation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::{scifi_campaign, thor_target};
+use goofi_core::run_campaign;
+
+/// Classification counts without the `pruned` bookkeeping field, for the
+/// soundness comparison.
+fn classes(stats: &goofi_core::CampaignStats) -> (usize, usize, usize, usize) {
+    (
+        stats.detected_total(),
+        stats.escaped_total(),
+        stats.latent,
+        stats.overwritten,
+    )
+}
+
+fn print_table() {
+    println!("\n=== E3: pre-injection analysis (sort16, 400 faults per row) ===");
+    println!(
+        "{:<18} {:>8} {:>10} {:>12} {:>12} {:>7}",
+        "locations", "pruned", "pruned %", "t(plain)", "t(pruned)", "sound"
+    );
+    // R6/R7 are the sort kernel's scratch registers (rewritten every inner
+    // iteration: long dead windows); R1 is the live loop counter; the whole
+    // chain dilutes pruning with untraceable latches (IR/MAR/MDR).
+    let rows: [(&str, Option<&str>); 4] = [
+        ("cpu (whole chain)", None),
+        ("R1 (loop counter)", Some("R1")),
+        ("R6 (scratch)", Some("R6")),
+        ("R7 (scratch)", Some("R7")),
+    ];
+    for (label, field) in rows {
+        let mut plain = scifi_campaign("e3-plain", "sort16", 400, 3000);
+        if let Some(f) = field {
+            plain.selectors = vec![goofi_core::LocationSelector::Chain {
+                chain: "cpu".into(),
+                field: Some(f.into()),
+            }];
+        }
+        let mut pruning = plain.clone();
+        pruning.name = "e3-pruned".into();
+        pruning.pre_injection_analysis = true;
+
+        let mut target = thor_target("sort16");
+        let t0 = std::time::Instant::now();
+        let plain_result = run_campaign(&mut target, &plain, None, None).expect("campaign runs");
+        let plain_time = t0.elapsed();
+
+        let mut target = thor_target("sort16");
+        let t0 = std::time::Instant::now();
+        let pruned_result =
+            run_campaign(&mut target, &pruning, None, None).expect("campaign runs");
+        let pruned_time = t0.elapsed();
+
+        println!(
+            "{label:<18} {:>8} {:>9.1}% {:>12.3?} {:>12.3?} {:>7}",
+            pruned_result.pruned(),
+            100.0 * pruned_result.pruned() as f64 / 400.0,
+            plain_time,
+            pruned_time,
+            classes(&plain_result.stats) == classes(&pruned_result.stats)
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e3");
+    group.sample_size(10);
+    for (name, preinject) in [("campaign_plain", false), ("campaign_pruned", true)] {
+        let mut campaign = scifi_campaign("e3-b", "sort16", 100, 3000);
+        campaign.pre_injection_analysis = preinject;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut target = thor_target("sort16");
+                run_campaign(&mut target, &campaign, None, None).expect("campaign runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Experiment E4: normal vs. detail logging mode — the time overhead of
+//! logging the system state after every machine instruction (paper §3.3:
+//! detail mode "increases the time-overhead").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::{scifi_campaign, thor_target};
+use goofi_core::{
+    generate_fault_list, run_experiment, LogMode, TargetSystemInterface, TriggerPolicy,
+};
+
+fn print_table() {
+    println!("\n=== E4: detail-mode overhead (fib20, 30 experiments) ===");
+    for (label, mode) in [("normal", LogMode::Normal), ("detail", LogMode::Detail)] {
+        let mut campaign = scifi_campaign("e4", "fib20", 30, 100);
+        campaign.log_mode = mode;
+        let mut target = thor_target("fib20");
+        let faults = generate_fault_list(
+            &target.describe(),
+            &campaign.selectors,
+            campaign.fault_model,
+            &TriggerPolicy::Window { start: 0, end: 100 },
+            30,
+            5,
+            None,
+        )
+        .expect("fault list");
+        let t0 = std::time::Instant::now();
+        let mut snapshots = 0usize;
+        for fault in &faults {
+            let run = run_experiment(&mut target, &campaign, fault).expect("experiment runs");
+            snapshots += run.detail_trace.map(|t| t.len()).unwrap_or(0);
+        }
+        println!(
+            "{label:<8} {:>10.3?} total, {snapshots} state snapshots",
+            t0.elapsed()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e4");
+    for (name, mode) in [("normal_mode", LogMode::Normal), ("detail_mode", LogMode::Detail)] {
+        let mut campaign = scifi_campaign("e4-b", "fib20", 1, 100);
+        campaign.log_mode = mode;
+        let mut target = thor_target("fib20");
+        let faults = generate_fault_list(
+            &target.describe(),
+            &campaign.selectors,
+            campaign.fault_model,
+            &TriggerPolicy::Window { start: 0, end: 100 },
+            16,
+            5,
+            None,
+        )
+        .expect("fault list");
+        let mut i = 0;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let fault = &faults[i % faults.len()];
+                i += 1;
+                run_experiment(&mut target, &campaign, fault).expect("experiment runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Experiment E5: genericity — the same algorithm driving the Thor RD and
+//! the StackVM, with per-experiment cost on each.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::thor_target;
+use goofi_core::{
+    generate_fault_list, run_campaign, run_experiment, Campaign, FaultModel,
+    LocationSelector, Technique, TargetSystemInterface, TriggerPolicy,
+};
+use goofi_targets::{StackProgram, StackVmTarget};
+
+fn campaign_for(target: &mut dyn TargetSystemInterface, n: usize) -> Campaign {
+    let chain = target.describe().chains[0].name.clone();
+    Campaign::builder("e5", target.target_name(), "w")
+        .technique(Technique::Scifi)
+        .select(LocationSelector::Chain { chain, field: None })
+        .fault_model(FaultModel::BitFlip)
+        .window(0, 80)
+        .experiments(n)
+        .seed(77)
+        .build()
+        .expect("valid campaign")
+}
+
+fn print_table() {
+    println!("\n=== E5: same algorithm, two architectures (250 faults each) ===");
+    let mut thor = thor_target("fib15");
+    let c = campaign_for(&mut thor, 250);
+    let thor_stats = run_campaign(&mut thor, &c, None, None).expect("thor campaign").stats;
+    let mut vm = StackVmTarget::new("stackvm", StackProgram::sum(9), 8);
+    let c = campaign_for(&mut vm, 250);
+    let vm_stats = run_campaign(&mut vm, &c, None, None).expect("vm campaign").stats;
+    println!(
+        "{:<10} {:>9} {:>9} {:>8} {:>12}   mechanisms",
+        "target", "detected", "escaped", "latent", "overwritten"
+    );
+    for (label, stats) in [("thor", thor_stats), ("stackvm", vm_stats)] {
+        let mechs: Vec<&str> = stats.detected.keys().map(String::as_str).collect();
+        println!(
+            "{:<10} {:>9} {:>9} {:>8} {:>12}   {}",
+            label,
+            stats.detected_total(),
+            stats.escaped_total(),
+            stats.latent,
+            stats.overwritten,
+            mechs.join(",")
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e5");
+    {
+        let mut thor = thor_target("fib15");
+        let campaign = campaign_for(&mut thor, 1);
+        let faults = generate_fault_list(
+            &thor.describe(),
+            &campaign.selectors,
+            campaign.fault_model,
+            &TriggerPolicy::Window { start: 0, end: 80 },
+            32,
+            3,
+            None,
+        )
+        .expect("fault list");
+        let mut i = 0;
+        group.bench_function("thor_experiment", |b| {
+            b.iter(|| {
+                let fault = &faults[i % faults.len()];
+                i += 1;
+                run_experiment(&mut thor, &campaign, fault).expect("experiment runs")
+            })
+        });
+    }
+    {
+        let mut vm = StackVmTarget::new("stackvm", StackProgram::sum(9), 8);
+        let campaign = campaign_for(&mut vm, 1);
+        let faults = generate_fault_list(
+            &vm.describe(),
+            &campaign.selectors,
+            campaign.fault_model,
+            &TriggerPolicy::Window { start: 0, end: 80 },
+            32,
+            3,
+            None,
+        )
+        .expect("fault list");
+        let mut i = 0;
+        group.bench_function("stackvm_experiment", |b| {
+            b.iter(|| {
+                let fault = &faults[i % faults.len()];
+                i += 1;
+                run_experiment(&mut vm, &campaign, fault).expect("experiment runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Experiment E6: fault-model comparison — transient vs. multi-bit vs.
+//! intermittent vs. permanent stuck-at on the same locations (paper §4
+//! extension), with per-experiment cost (multi-activation faults revisit
+//! the breakpoint loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::{scifi_campaign, thor_target};
+use goofi_core::{
+    generate_fault_list, run_campaign, run_experiment, FaultModel, TargetSystemInterface,
+    TriggerPolicy,
+};
+
+fn models() -> Vec<(&'static str, FaultModel)> {
+    vec![
+        ("transient", FaultModel::BitFlip),
+        ("multi-bit(3)", FaultModel::MultiBitFlip { bits: 3 }),
+        ("intermittent(4)", FaultModel::Intermittent { activations: 4 }),
+        (
+            "stuck-at-1",
+            FaultModel::StuckAt {
+                value: true,
+                reassert_period: 200,
+            },
+        ),
+    ]
+}
+
+fn print_table() {
+    println!("\n=== E6: fault models (sort10, cpu chain, 250 faults each) ===");
+    println!(
+        "{:<16} {:>9} {:>9} {:>8} {:>12} {:>13}",
+        "model", "detected", "escaped", "latent", "overwritten", "effectiveness"
+    );
+    for (label, model) in models() {
+        let mut campaign = scifi_campaign("e6", "sort10", 250, 1500);
+        campaign.fault_model = model;
+        let mut target = thor_target("sort10");
+        let stats = run_campaign(&mut target, &campaign, None, None)
+            .expect("campaign runs")
+            .stats;
+        println!(
+            "{:<16} {:>9} {:>9} {:>8} {:>12} {:>12.2}%",
+            label,
+            stats.detected_total(),
+            stats.escaped_total(),
+            stats.latent,
+            stats.overwritten,
+            100.0 * stats.effectiveness().p
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e6");
+    for (label, model) in models() {
+        let mut campaign = scifi_campaign("e6-b", "sort10", 1, 1500);
+        campaign.fault_model = model;
+        let mut target = thor_target("sort10");
+        let faults = generate_fault_list(
+            &target.describe(),
+            &campaign.selectors,
+            model,
+            &TriggerPolicy::Window { start: 0, end: 1500 },
+            16,
+            3,
+            None,
+        )
+        .expect("fault list");
+        let mut i = 0;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let fault = &faults[i % faults.len()];
+                i += 1;
+                run_experiment(&mut target, &campaign, fault).expect("experiment runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

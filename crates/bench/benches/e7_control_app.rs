@@ -1,0 +1,69 @@
+//! Experiment E7: the closed-loop control application — classification of
+//! faults in a cyclic workload with environment exchange, and the cost of
+//! one control-loop experiment (dominated by 60 iterations of plant I/O).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::thor_pid_target;
+use goofi_core::{
+    generate_fault_list, run_campaign, run_experiment, Campaign, FaultModel,
+    LocationSelector, Technique, TargetSystemInterface, TriggerPolicy,
+};
+
+fn campaign(n: usize) -> Campaign {
+    Campaign::builder("e7", "thor-card", "pid")
+        .technique(Technique::Scifi)
+        .select(LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: None,
+        })
+        .fault_model(FaultModel::BitFlip)
+        .window(0, 2000)
+        .experiments(n)
+        .seed(5)
+        .build()
+        .expect("valid campaign")
+}
+
+fn print_table() {
+    println!("\n=== E7: closed-loop PID campaign (60 iterations, 250 faults) ===");
+    let mut target = thor_pid_target(60);
+    let result = run_campaign(&mut target, &campaign(250), None, None).expect("campaign runs");
+    println!("{}", result.stats.report());
+    let deviations = result
+        .runs
+        .iter()
+        .filter(|r| r.outputs != result.reference.outputs)
+        .count();
+    println!("control-trajectory deviations: {deviations}/250");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut target = thor_pid_target(60);
+    let camp = campaign(1);
+    let faults = generate_fault_list(
+        &target.describe(),
+        &camp.selectors,
+        camp.fault_model,
+        &TriggerPolicy::Window { start: 0, end: 2000 },
+        16,
+        3,
+        None,
+    )
+    .expect("fault list");
+    let mut i = 0;
+    c.bench_function("e7/control_loop_experiment", |b| {
+        b.iter(|| {
+            let fault = &faults[i % faults.len()];
+            i += 1;
+            run_experiment(&mut target, &camp, fault).expect("experiment runs")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

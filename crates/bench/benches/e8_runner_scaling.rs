@@ -1,0 +1,72 @@
+//! Experiment E8: campaign-orchestration ablation — sequential vs.
+//! parallel runner scaling (experiments are independent; each worker owns
+//! a target instance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::{scifi_campaign, workload};
+use goofi_core::run_campaign_parallel;
+use goofi_targets::ThorTarget;
+
+fn print_table() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("\n=== E8: runner scaling (sort16, 200 experiments, {cores} host core(s)) ===");
+    println!("(speedup is bounded by the host's core count)");
+    let campaign = scifi_campaign("e8", "sort16", 200, 2500);
+    let w = workload("sort16");
+    let mut base = None;
+    for workers in [1usize, 2, 4, 8] {
+        let w = w.clone();
+        let t0 = std::time::Instant::now();
+        let result = run_campaign_parallel(
+            move || Box::new(ThorTarget::new("thor-card", w.clone())),
+            &campaign,
+            workers,
+            None,
+        )
+        .expect("campaign runs");
+        let dt = t0.elapsed();
+        let speedup = match base {
+            None => {
+                base = Some(dt);
+                1.0
+            }
+            Some(b) => b.as_secs_f64() / dt.as_secs_f64(),
+        };
+        println!(
+            "{workers} worker(s): {dt:>10.3?}  speedup {speedup:>5.2}x  ({} experiments)",
+            result.runs.len()
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let mut group = c.benchmark_group("e8");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        let campaign = scifi_campaign("e8-b", "sort16", 64, 2500);
+        let w = workload("sort16");
+        group.bench_function(format!("campaign64_workers{workers}"), |b| {
+            b.iter(|| {
+                let w = w.clone();
+                run_campaign_parallel(
+                    move || Box::new(ThorTarget::new("thor-card", w.clone())),
+                    &campaign,
+                    workers,
+                    None,
+                )
+                .expect("campaign runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

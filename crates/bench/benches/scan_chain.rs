@@ -1,0 +1,75 @@
+//! F2 cost breakdown: the primitive operations composing the SCIFI
+//! algorithm — scan-chain shifts, breakpoint runs, workload download and
+//! simulator stepping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_workloads::sort_workload;
+use thor_rd::{DebugEvent, MachineConfig, TestCard};
+
+fn bench(c: &mut Criterion) {
+    let workload = sort_workload(16, 7);
+    let mut group = c.benchmark_group("primitives");
+
+    group.bench_function("download_workload", |b| {
+        let mut card = TestCard::new(MachineConfig::default());
+        b.iter(|| {
+            card.init();
+            card.download(&workload.program).unwrap()
+        })
+    });
+
+    group.bench_function("read_cpu_chain", |b| {
+        let card = TestCard::new(MachineConfig::default());
+        b.iter(|| card.read_chain("cpu").unwrap())
+    });
+
+    group.bench_function("read_dcache_chain", |b| {
+        let card = TestCard::new(MachineConfig::default());
+        b.iter(|| card.read_chain("dcache").unwrap())
+    });
+
+    group.bench_function("write_cpu_chain", |b| {
+        let mut card = TestCard::new(MachineConfig::default());
+        let bits = card.read_chain("cpu").unwrap();
+        b.iter(|| card.write_chain("cpu", &bits).unwrap())
+    });
+
+    group.bench_function("run_workload_to_halt", |b| {
+        let mut card = TestCard::new(MachineConfig::default());
+        b.iter(|| {
+            card.init();
+            card.download(&workload.program).unwrap();
+            assert_eq!(card.run(10_000_000), DebugEvent::Halted);
+        })
+    });
+
+    group.bench_function("run_to_breakpoint_at_1000", |b| {
+        let mut card = TestCard::new(MachineConfig::default());
+        b.iter(|| {
+            card.init();
+            card.download(&workload.program).unwrap();
+            card.set_breakpoint_instret(1000);
+            card.run(10_000_000)
+        })
+    });
+
+    group.bench_function("single_step", |b| {
+        let mut card = TestCard::new(MachineConfig::default());
+        card.download(&workload.program).unwrap();
+        b.iter(|| {
+            if card.step().is_err() {
+                card.init();
+                card.download(&workload.program).unwrap();
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench
+}
+criterion_main!(benches);

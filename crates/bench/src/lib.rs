@@ -1,0 +1,67 @@
+//! Shared helpers for the experiment benches.
+//!
+//! Every bench regenerates one experiment row of EXPERIMENTS.md: it first
+//! prints the experiment's table (classification counts, pruning rates,
+//! ...) and then measures the relevant latencies with Criterion.
+
+use goofi_core::{Campaign, FaultModel, LocationSelector, Technique};
+use goofi_envsim::{DcMotorEnv, SCALE};
+use goofi_targets::ThorTarget;
+use goofi_workloads::{pid_workload, workload_by_name, PidGains, Workload};
+
+/// Builds the standard Thor adapter for a named batch workload.
+pub fn thor_target(workload: &str) -> ThorTarget {
+    ThorTarget::new(
+        "thor-card",
+        workload_by_name(workload).unwrap_or_else(|| panic!("unknown workload {workload}")),
+    )
+}
+
+/// Builds the Thor adapter for the closed-loop PID workload.
+pub fn thor_pid_target(iterations: u32) -> ThorTarget {
+    ThorTarget::with_env(
+        "thor-card",
+        pid_workload(PidGains::default(), iterations),
+        Box::new(DcMotorEnv::new(5 * SCALE)),
+    )
+}
+
+/// The named workload itself (for fresh adapters per thread).
+pub fn workload(name: &str) -> Workload {
+    workload_by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"))
+}
+
+/// A standard SCIFI campaign over the whole CPU chain.
+pub fn scifi_campaign(name: &str, workload: &str, experiments: usize, window_end: u64) -> Campaign {
+    Campaign::builder(name, "thor-card", workload)
+        .technique(Technique::Scifi)
+        .select(LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: None,
+        })
+        .fault_model(FaultModel::BitFlip)
+        .window(0, window_end)
+        .experiments(experiments)
+        .seed(1234)
+        .build()
+        .expect("valid campaign")
+}
+
+/// A standard pre-runtime SWIFI campaign over a memory range.
+pub fn swifi_campaign(
+    name: &str,
+    workload: &str,
+    start: u32,
+    words: u32,
+    experiments: usize,
+) -> Campaign {
+    Campaign::builder(name, "thor-card", workload)
+        .technique(Technique::SwifiPreRuntime)
+        .select(LocationSelector::Memory { start, words })
+        .fault_model(FaultModel::BitFlip)
+        .window(0, 0)
+        .experiments(experiments)
+        .seed(1234)
+        .build()
+        .expect("valid campaign")
+}

@@ -1,0 +1,667 @@
+//! `goofi` — command-line front-end for GOOFI-rs.
+//!
+//! The paper drives GOOFI through a Swing GUI whose dialogs configure
+//! targets (Fig. 5), define campaigns (Fig. 6) and monitor progress
+//! (Fig. 7). This binary is the same tool surface as subcommands:
+//!
+//! ```text
+//! goofi configure --db goofi.json --target thor-card --workload sort16
+//! goofi setup     --db goofi.json --campaign c1 --target thor-card \
+//!                 --workload sort16 --technique scifi --chain cpu \
+//!                 --experiments 200 --window 0:2000 --seed 7 [--preinject] [--detail]
+//! goofi run       --db goofi.json --campaign c1
+//! goofi analyze   --db goofi.json --campaign c1
+//! goofi locations --db goofi.json --target thor-card [--chain cpu]
+//! goofi list      --db goofi.json
+//! goofi sql       --db goofi.json "SELECT outcome, COUNT(*) FROM ..."
+//! ```
+
+mod args;
+
+use args::{parse, ParsedArgs};
+use goofi_core::{
+    analyze_campaign, control_channel, run_campaign, Campaign, FaultModel, GoofiStore,
+    LocationSelector, LogMode, ProgressEvent, Technique, TargetSystemInterface,
+};
+use goofi_envsim::{DcMotorEnv, SCALE};
+use goofi_targets::ThorTarget;
+use goofi_workloads::{workload_by_name, WorkloadKind};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+goofi — generic fault injection tool (GOOFI reproduction)
+
+USAGE:
+  goofi configure --db FILE --target NAME --workload WORKLOAD
+  goofi setup     --db FILE --campaign NAME --target NAME --workload WORKLOAD
+                  [--technique scifi|swifi-preruntime|swifi-runtime]
+                  [--chain CHAIN [--field FIELD]] [--memory START:WORDS]
+                  [--model bit-flip|multi-bit-flip|stuck-at|intermittent]
+                  [--experiments N] [--window START:END] [--seed N]
+                  [--detail] [--preinject]
+  goofi run       --db FILE --campaign NAME [--workers N]
+  goofi resume    --db FILE --campaign NAME
+  goofi analyze   --db FILE --campaign NAME
+  goofi report    --db FILE --campaign NAME [--lambda L] [--mission HOURS]
+  goofi locations --db FILE --target NAME [--chain CHAIN]
+  goofi workloads [--show WORKLOAD]
+  goofi list      --db FILE
+  goofi sql       --db FILE \"STATEMENT\"
+
+Workloads: sortN, matmulN, crc32xN, fibN, pid
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Builds the target adapter a stored campaign/target pair needs.
+fn make_target(target_name: &str, workload_name: &str) -> Result<ThorTarget, String> {
+    let workload = workload_by_name(workload_name)
+        .ok_or_else(|| format!("unknown workload `{workload_name}`"))?;
+    Ok(match workload.kind {
+        WorkloadKind::Batch => ThorTarget::new(target_name, workload),
+        WorkloadKind::Cyclic { .. } => ThorTarget::with_env(
+            target_name,
+            workload,
+            Box::new(DcMotorEnv::new(5 * SCALE)),
+        ),
+    })
+}
+
+fn load_store(path: &str) -> Result<GoofiStore, String> {
+    if Path::new(path).exists() {
+        GoofiStore::load(path).map_err(|e| e.to_string())
+    } else {
+        Ok(GoofiStore::new())
+    }
+}
+
+fn run(argv: &[String]) -> Result<String, String> {
+    let parsed = parse(argv)?;
+    if parsed.command.is_empty() || parsed.has_flag("help") {
+        return Ok(USAGE.to_owned());
+    }
+    match parsed.command.as_str() {
+        "configure" => cmd_configure(&parsed),
+        "setup" => cmd_setup(&parsed),
+        "run" => cmd_run(&parsed),
+        "resume" => cmd_resume(&parsed),
+        "analyze" => cmd_analyze(&parsed),
+        "report" => cmd_report(&parsed),
+        "locations" => cmd_locations(&parsed),
+        "workloads" => cmd_workloads(&parsed),
+        "list" => cmd_list(&parsed),
+        "sql" => cmd_sql(&parsed),
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    }
+}
+
+/// Configuration phase (paper Fig. 5): store the target description.
+fn cmd_configure(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let target_name = p.require("target")?;
+    let workload = p.require("workload")?;
+    let target = make_target(target_name, workload)?;
+    let config = target.describe();
+    let mut store = load_store(db)?;
+    store.put_target(&config).map_err(|e| e.to_string())?;
+    store.save(db).map_err(|e| e.to_string())?;
+    let chains: Vec<String> = config
+        .chains
+        .iter()
+        .map(|c| format!("{} ({} bits, {} locations)", c.name, c.width, c.fields.len()))
+        .collect();
+    Ok(format!(
+        "configured target `{target_name}`\nscan chains: {}\n",
+        chains.join(", ")
+    ))
+}
+
+/// Set-up phase (paper Fig. 6): define and store a campaign.
+fn cmd_setup(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let name = p.require("campaign")?;
+    let target = p.require("target")?;
+    let workload = p.require("workload")?;
+    if workload_by_name(workload).is_none() {
+        return Err(format!("unknown workload `{workload}`"));
+    }
+    let technique_name = p.get("technique").unwrap_or("scifi");
+    let technique = Technique::parse(technique_name)
+        .ok_or_else(|| format!("unknown technique `{technique_name}`"))?;
+    let model = match p.get("model").unwrap_or("bit-flip") {
+        "bit-flip" => FaultModel::BitFlip,
+        "multi-bit-flip" => FaultModel::MultiBitFlip {
+            bits: p.int_or("bits", 2)? as usize,
+        },
+        "stuck-at" => FaultModel::StuckAt {
+            value: p.get("stuck-value").unwrap_or("1") == "1",
+            reassert_period: p.int_or("period", 50)?,
+        },
+        "intermittent" => FaultModel::Intermittent {
+            activations: p.int_or("activations", 3)? as usize,
+        },
+        other => return Err(format!("unknown fault model `{other}`")),
+    };
+    let (start, end) = p.window("window", (0, 1000))?;
+    let mut builder = Campaign::builder(name, target, workload)
+        .technique(technique)
+        .fault_model(model)
+        .window(start, end)
+        .experiments(p.int_or("experiments", 100)? as usize)
+        .seed(p.int_or("seed", 1)?)
+        .pre_injection_analysis(p.has_flag("preinject"));
+    if p.has_flag("detail") {
+        builder = builder.log_mode(LogMode::Detail);
+    }
+    match technique {
+        Technique::Scifi => {
+            builder = builder.select(LocationSelector::Chain {
+                chain: p.get("chain").unwrap_or("cpu").to_owned(),
+                field: p.get("field").map(str::to_owned),
+            });
+        }
+        Technique::SwifiPreRuntime | Technique::SwifiRuntime => {
+            let spec = p.get("memory").unwrap_or("0:1024");
+            let (start, words) = spec
+                .split_once(':')
+                .ok_or_else(|| "--memory must be START:WORDS".to_owned())?;
+            builder = builder.select(LocationSelector::Memory {
+                start: parse_u32(start)?,
+                words: parse_u32(words)?,
+            });
+        }
+    }
+    let campaign = builder.build().map_err(|e| e.to_string())?;
+    let mut store = load_store(db)?;
+    store.put_campaign(&campaign).map_err(|e| e.to_string())?;
+    store.save(db).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "campaign `{}` stored: {} experiments, {} via {}\n",
+        campaign.name, campaign.experiments, campaign.fault_model, campaign.technique
+    ))
+}
+
+fn parse_u32(s: &str) -> Result<u32, String> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).map_err(|_| format!("bad number `{s}`"))
+    } else {
+        s.parse().map_err(|_| format!("bad number `{s}`"))
+    }
+}
+
+/// Fault-injection phase with the Fig. 7 progress line.
+fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let name = p.require("campaign")?;
+    let mut store = load_store(db)?;
+    let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
+    let workers = p.int_or("workers", 1)? as usize;
+    if workers > 1 {
+        // Parallel runner: no live progress, rows logged on completion.
+        let target_name = campaign.target.clone();
+        let workload_name = campaign.workload.clone();
+        let result = goofi_core::run_campaign_parallel(
+            move || {
+                Box::new(
+                    make_target(&target_name, &workload_name)
+                        .expect("campaign validated against known workloads"),
+                )
+            },
+            &campaign,
+            workers,
+            Some(&mut store),
+        )
+        .map_err(|e| e.to_string())?;
+        store.save(db).map_err(|e| e.to_string())?;
+        return Ok(format!(
+            "{}pruned by pre-injection analysis: {} ({} workers)\n",
+            result.stats.report(),
+            result.pruned(),
+            workers
+        ));
+    }
+    let mut target = make_target(&campaign.target, &campaign.workload)?;
+    let (controller, handle) = control_channel();
+    let reporter = std::thread::spawn(move || {
+        while let Some(ev) = handle.next() {
+            match ev {
+                ProgressEvent::Started { campaign, total } => {
+                    eprintln!("campaign `{campaign}`: {total} experiments");
+                }
+                ProgressEvent::ExperimentDone {
+                    completed, total, ..
+                }
+                    if (completed % 50 == 0 || completed == total) => {
+                        eprintln!("  {completed}/{total}");
+                    }
+                ProgressEvent::Finished { completed, stopped } => {
+                    eprintln!(
+                        "finished: {completed} experiments{}",
+                        if stopped { " (stopped)" } else { "" }
+                    );
+                    break;
+                }
+                _ => {}
+            }
+        }
+    });
+    let result = run_campaign(&mut target, &campaign, Some(&mut store), Some(&controller))
+        .map_err(|e| e.to_string())?;
+    drop(controller);
+    let _ = reporter.join();
+    store.save(db).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{}pruned by pre-injection analysis: {}\n",
+        result.stats.report(),
+        result.pruned()
+    ))
+}
+
+/// Resumes an interrupted campaign: stored experiments are reused, the
+/// missing ones run (the progress window's "restart").
+fn cmd_resume(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let name = p.require("campaign")?;
+    let mut store = load_store(db)?;
+    let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
+    let mut target = make_target(&campaign.target, &campaign.workload)?;
+    let result = goofi_core::resume_campaign(&mut target, &campaign, &mut store, None)
+        .map_err(|e| e.to_string())?;
+    store.save(db).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "campaign `{name}` complete: {} experiments\n{}",
+        result.runs.len(),
+        result.stats.report()
+    ))
+}
+
+/// Analysis phase: the automatically generated classifier over the DB.
+fn cmd_analyze(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let name = p.require("campaign")?;
+    let store = load_store(db)?;
+    let stats = analyze_campaign(&store, name).map_err(|e| e.to_string())?;
+    Ok(stats.report())
+}
+
+/// Full campaign report: classification, per-location sensitivity,
+/// detection latency, and the dependability figures the coverage feeds
+/// (paper Section 1's analytical models).
+fn cmd_report(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let name = p.require("campaign")?;
+    let store = load_store(db)?;
+    let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
+    let config = store
+        .get_target(&campaign.target)
+        .map_err(|e| e.to_string())?;
+    let records = store.experiments_of(name).map_err(|e| e.to_string())?;
+    let ref_name = goofi_core::reference_experiment_name(name);
+    let reference = records
+        .iter()
+        .find(|r| r.name == ref_name)
+        .ok_or_else(|| format!("campaign `{name}` has no reference run"))?
+        .to_run();
+    let runs: Vec<goofi_core::ExperimentRun> = records
+        .iter()
+        .filter(|r| r.name != ref_name)
+        .map(goofi_core::ExperimentRecord::to_run)
+        .collect();
+
+    let stats = goofi_core::CampaignStats::from_runs(&reference, &runs);
+    let mut out = format!("campaign `{name}`\n\n{}\n", stats.report());
+
+    let sensitivity = goofi_core::LocationSensitivity::from_runs(&reference, &runs, &config);
+    out.push_str("per-location sensitivity (most critical first):\n");
+    out.push_str(&sensitivity.report(2));
+
+    if let Some(lat) = goofi_core::detection_latency(&runs) {
+        out.push_str(&format!(
+            "\ndetection latency (instructions): mean {:.1}, median {}, p95 {}, max {} ({} samples)\n",
+            lat.mean, lat.median, lat.p95, lat.max, lat.count
+        ));
+    }
+
+    let lambda = p
+        .get("lambda")
+        .unwrap_or("1e-4")
+        .parse::<f64>()
+        .map_err(|_| "--lambda must be a number".to_owned())?;
+    let mission = p
+        .get("mission")
+        .unwrap_or("5000")
+        .parse::<f64>()
+        .map_err(|_| "--mission must be a number".to_owned())?;
+    let coverage = stats.detection_coverage();
+    let (lo, pt, hi) = goofi_core::duplex_reliability_interval(coverage, lambda, mission);
+    out.push_str(&format!(
+        "\ndependability (duplex, lambda={lambda}/h, mission={mission}h):\n  R(t) = {pt:.6} [{lo:.6}, {hi:.6}] from the coverage CI\n"
+    ));
+    Ok(out)
+}
+
+/// Lists a stored target's injectable locations (the Fig. 6 hierarchy).
+fn cmd_locations(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let name = p.require("target")?;
+    let store = load_store(db)?;
+    let config = store.get_target(name).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    for chain in &config.chains {
+        if let Some(filter) = p.get("chain") {
+            if filter != chain.name {
+                continue;
+            }
+        }
+        out.push_str(&format!("{} ({} bits)\n", chain.name, chain.width));
+        for f in &chain.fields {
+            out.push_str(&format!(
+                "  {:<12} bits {:>5}..{:<5}{}\n",
+                f.name,
+                f.offset,
+                f.offset + f.width,
+                if f.writable { "" } else { "  [read-only]" }
+            ));
+        }
+    }
+    Ok(out)
+}
+
+/// Lists the bundled workloads, or shows one workload's assembly source
+/// and disassembled image.
+fn cmd_workloads(p: &ParsedArgs) -> Result<String, String> {
+    match p.get("show") {
+        None => {
+            let mut out = String::from("bundled workloads (N = size parameter):\n");
+            for (name, descr) in [
+                ("sortN", "selection sort over N pseudo-random words"),
+                ("matmulN", "N x N integer matrix multiply"),
+                ("crc32xN", "CRC-32 over N words"),
+                ("fibN", "iterative Fibonacci"),
+                ("pid", "cyclic PID controller (environment-coupled)"),
+            ] {
+                out.push_str(&format!("  {name:<10} {descr}\n"));
+            }
+            Ok(out)
+        }
+        Some(name) => {
+            let w = workload_by_name(name)
+                .ok_or_else(|| format!("unknown workload `{name}`"))?;
+            Ok(format!(
+                "; workload `{}` ({} words)\n\n== source ==\n{}\n== image ==\n{}",
+                w.name,
+                w.program.word_count(),
+                w.source,
+                thor_rd::disassemble(&w.program, 0x4000)
+            ))
+        }
+    }
+}
+
+fn cmd_list(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let store = load_store(db)?;
+    let targets = store.list_targets().map_err(|e| e.to_string())?;
+    let campaigns = store.list_campaigns().map_err(|e| e.to_string())?;
+    Ok(format!(
+        "targets:   {}\ncampaigns: {}\n",
+        if targets.is_empty() {
+            "(none)".to_owned()
+        } else {
+            targets.join(", ")
+        },
+        if campaigns.is_empty() {
+            "(none)".to_owned()
+        } else {
+            campaigns.join(", ")
+        }
+    ))
+}
+
+/// Ad-hoc SQL over the tool database (the paper's "tailor made scripts").
+fn cmd_sql(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let stmt = p
+        .positional
+        .first()
+        .ok_or_else(|| "sql needs a statement argument".to_owned())?;
+    let mut store = load_store(db)?;
+    match store
+        .database_mut()
+        .execute_sql(stmt)
+        .map_err(|e| e.to_string())?
+    {
+        goofi_db::SqlOutput::Rows(rs) => Ok(rs.to_string()),
+        goofi_db::SqlOutput::Affected(n) => {
+            store.save(db).map_err(|e| e.to_string())?;
+            Ok(format!("{n} rows affected\n"))
+        }
+        goofi_db::SqlOutput::None => {
+            store.save(db).map_err(|e| e.to_string())?;
+            Ok("ok\n".to_owned())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdb(name: &str) -> String {
+        let dir = std::env::temp_dir().join("goofi_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let _ = std::fs::remove_file(&path);
+        path.to_string_lossy().into_owned()
+    }
+
+    fn call(args: &[&str]) -> Result<String, String> {
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&argv)
+    }
+
+    #[test]
+    fn full_flow_configure_setup_run_analyze() {
+        let db = tmpdb("flow.json");
+        call(&["configure", "--db", &db, "--target", "thor-card", "--workload", "fib10"])
+            .unwrap();
+        let out = call(&[
+            "setup",
+            "--db",
+            &db,
+            "--campaign",
+            "c1",
+            "--target",
+            "thor-card",
+            "--workload",
+            "fib10",
+            "--experiments",
+            "15",
+            "--window",
+            "0:40",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("campaign `c1` stored"));
+        let out = call(&["run", "--db", &db, "--campaign", "c1"]).unwrap();
+        assert!(out.contains("detection coverage"));
+        let out = call(&["analyze", "--db", &db, "--campaign", "c1"]).unwrap();
+        assert!(out.contains("experiments:"));
+        assert!(out.contains("15"));
+        let out = call(&["list", "--db", &db]).unwrap();
+        assert!(out.contains("thor-card") && out.contains("c1"));
+    }
+
+    #[test]
+    fn locations_lists_read_only_markers() {
+        let db = tmpdb("loc.json");
+        call(&["configure", "--db", &db, "--target", "t", "--workload", "fib10"]).unwrap();
+        let out = call(&["locations", "--db", &db, "--target", "t", "--chain", "boundary"])
+            .unwrap();
+        assert!(out.contains("ADDR"));
+        assert!(out.contains("[read-only]"));
+        assert!(!out.contains("R0"), "filtered to boundary chain");
+    }
+
+    #[test]
+    fn sql_queries_the_store() {
+        let db = tmpdb("sql.json");
+        call(&["configure", "--db", &db, "--target", "t", "--workload", "fib10"]).unwrap();
+        let out = call(&[
+            "sql",
+            "--db",
+            &db,
+            "SELECT COUNT(*) AS n FROM TargetSystemData",
+        ])
+        .unwrap();
+        assert!(out.contains('1'));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(call(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(call(&["run", "--db", "/tmp/definitely-missing.json"])
+            .unwrap_err()
+            .contains("--campaign"));
+        let db = tmpdb("err.json");
+        assert!(call(&[
+            "setup",
+            "--db",
+            &db,
+            "--campaign",
+            "c",
+            "--target",
+            "t",
+            "--workload",
+            "warp-drive"
+        ])
+        .unwrap_err()
+        .contains("unknown workload"));
+    }
+
+    #[test]
+    fn workloads_lists_and_shows() {
+        let out = call(&["workloads"]).unwrap();
+        assert!(out.contains("sortN"));
+        let out = call(&["workloads", "--show", "fib10"]).unwrap();
+        assert!(out.contains("== source =="));
+        assert!(out.contains("fibout:"));
+        assert!(call(&["workloads", "--show", "nope"]).is_err());
+    }
+
+    #[test]
+    fn usage_on_no_command() {
+        assert!(call(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn resume_is_idempotent_when_complete() {
+        let db = tmpdb("resume.json");
+        call(&["configure", "--db", &db, "--target", "t", "--workload", "fib10"]).unwrap();
+        call(&[
+            "setup", "--db", &db, "--campaign", "crz", "--target", "t", "--workload",
+            "fib10", "--experiments", "8", "--window", "0:40",
+        ])
+        .unwrap();
+        // Resume on a never-run campaign runs everything...
+        let out = call(&["resume", "--db", &db, "--campaign", "crz"]).unwrap();
+        assert!(out.contains("8 experiments"), "{out}");
+        // ...and resuming a complete campaign replays stored rows.
+        let out = call(&["resume", "--db", &db, "--campaign", "crz"]).unwrap();
+        assert!(out.contains("8 experiments"), "{out}");
+    }
+
+    #[test]
+    fn report_combines_all_analyses() {
+        let db = tmpdb("report.json");
+        call(&["configure", "--db", &db, "--target", "t", "--workload", "sort8"]).unwrap();
+        call(&[
+            "setup",
+            "--db",
+            &db,
+            "--campaign",
+            "cr",
+            "--target",
+            "t",
+            "--workload",
+            "sort8",
+            "--experiments",
+            "40",
+            "--window",
+            "0:800",
+        ])
+        .unwrap();
+        call(&["run", "--db", &db, "--campaign", "cr"]).unwrap();
+        let out = call(&["report", "--db", &db, "--campaign", "cr"]).unwrap();
+        assert!(out.contains("per-location sensitivity"), "{out}");
+        assert!(out.contains("dependability"), "{out}");
+        assert!(out.contains("R(t)"), "{out}");
+    }
+
+    #[test]
+    fn parallel_run_via_workers_flag() {
+        let db = tmpdb("par.json");
+        call(&["configure", "--db", &db, "--target", "t", "--workload", "fib10"]).unwrap();
+        call(&[
+            "setup",
+            "--db",
+            &db,
+            "--campaign",
+            "cp",
+            "--target",
+            "t",
+            "--workload",
+            "fib10",
+            "--experiments",
+            "12",
+            "--window",
+            "0:40",
+        ])
+        .unwrap();
+        let out = call(&["run", "--db", &db, "--campaign", "cp", "--workers", "3"]).unwrap();
+        assert!(out.contains("(3 workers)"), "{out}");
+        let out = call(&["analyze", "--db", &db, "--campaign", "cp"]).unwrap();
+        assert!(out.contains("12"), "{out}");
+    }
+
+    #[test]
+    fn swifi_setup_and_run() {
+        let db = tmpdb("swifi.json");
+        call(&["configure", "--db", &db, "--target", "t", "--workload", "sort8"]).unwrap();
+        let out = call(&[
+            "setup",
+            "--db",
+            &db,
+            "--campaign",
+            "cs",
+            "--target",
+            "t",
+            "--workload",
+            "sort8",
+            "--technique",
+            "swifi-preruntime",
+            "--memory",
+            "0x4000:8",
+            "--experiments",
+            "5",
+        ])
+        .unwrap();
+        assert!(out.contains("swifi-preruntime"));
+        let out = call(&["run", "--db", &db, "--campaign", "cs"]).unwrap();
+        assert!(out.contains("experiments:"));
+    }
+}

@@ -1,0 +1,89 @@
+//! Black-box tests of the `goofi` binary itself (the GUI-substitute
+//! surface a user actually touches).
+
+use std::process::Command;
+
+fn goofi(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_goofi"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn tmpdb(name: &str) -> String {
+    let dir = std::env::temp_dir().join("goofi_bin_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    path.to_string_lossy().into_owned()
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let (ok, stdout, _) = goofi(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let (ok, _, stderr) = goofi(&["launch-missiles"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn whole_campaign_through_the_binary() {
+    let db = tmpdb("bin-flow.json");
+    let (ok, stdout, _) = goofi(&[
+        "configure",
+        "--db",
+        &db,
+        "--target",
+        "thor-card",
+        "--workload",
+        "fib12",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("configured target"));
+
+    let (ok, stdout, _) = goofi(&[
+        "setup",
+        "--db",
+        &db,
+        "--campaign",
+        "bin-c",
+        "--target",
+        "thor-card",
+        "--workload",
+        "fib12",
+        "--experiments",
+        "10",
+        "--window",
+        "0:50",
+    ]);
+    assert!(ok, "{stdout}");
+
+    let (ok, stdout, stderr) = goofi(&["run", "--db", &db, "--campaign", "bin-c"]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("detection coverage"));
+    assert!(stderr.contains("finished: 10 experiments"));
+
+    let (ok, stdout, _) = goofi(&["analyze", "--db", &db, "--campaign", "bin-c"]);
+    assert!(ok);
+    assert!(stdout.contains("overwritten"));
+
+    let (ok, stdout, _) = goofi(&[
+        "sql",
+        "--db",
+        &db,
+        "SELECT COUNT(*) AS n FROM LoggedSystemState",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("11"), "10 experiments + reference: {stdout}");
+}

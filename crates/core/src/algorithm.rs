@@ -1,0 +1,599 @@
+//! The fault-injection algorithms (paper Fig. 2).
+//!
+//! Each algorithm is a composition of the abstract building blocks of
+//! [`TargetSystemInterface`], exactly as `faultInjectorSCIFI` composes
+//! `initTestCard` / `loadWorkload` / `runWorkload` / `waitForBreakpoint` /
+//! `readScanChain` / `injectFault` / `writeScanChain` /
+//! `waitForTermination` / `readMemory` in the paper. Three techniques are
+//! provided: SCIFI, pre-runtime SWIFI (the paper's second technique) and
+//! runtime SWIFI (a Section 4 extension). Multi-activation fault models
+//! (intermittent, stuck-at) re-enter the breakpoint loop once per
+//! activation.
+
+use crate::bits::StateVector;
+use crate::campaign::{Campaign, LogMode, Technique};
+use crate::error::{GoofiError, Result};
+use crate::fault::PlannedFault;
+use crate::target::{TargetEvent, TargetSystemInterface};
+
+/// Upper bound on detail-mode snapshots per experiment, so a runaway
+/// workload cannot exhaust host memory.
+pub const DETAIL_SNAPSHOT_CAP: usize = 20_000;
+
+/// The observable result of one execution (reference or fault injected).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRun {
+    /// The injected fault; `None` for the reference run.
+    pub fault: Option<PlannedFault>,
+    /// Terminal event.
+    pub termination: TargetEvent,
+    /// Workload outputs after termination.
+    pub outputs: Vec<u32>,
+    /// Observable state snapshot after termination.
+    pub state: StateVector,
+    /// Instructions retired at termination (0 if the target cannot report).
+    pub instructions: u64,
+    /// Completed iterations (cyclic workloads; 0 otherwise).
+    pub iterations: u32,
+    /// How many of the planned activations were actually performed (the
+    /// workload may terminate before late activation times).
+    pub activations_done: usize,
+    /// Detail-mode per-instruction snapshots (only in [`LogMode::Detail`]).
+    pub detail_trace: Option<Vec<StateVector>>,
+    /// `true` if pre-injection analysis skipped the physical run and
+    /// synthesised the result from the reference.
+    pub pruned: bool,
+}
+
+fn instructions_or_zero(target: &mut dyn TargetSystemInterface) -> u64 {
+    target.instructions_retired().unwrap_or(0)
+}
+
+fn iterations_or_zero(target: &mut dyn TargetSystemInterface) -> u32 {
+    target.iterations_completed().unwrap_or(0)
+}
+
+/// Runs the fault-free reference execution ("a reference execution of the
+/// workload is made, logging the fault-free system state").
+///
+/// # Errors
+///
+/// Propagates target errors; [`GoofiError::Unsupported`] if the target
+/// lacks blocks the campaign's log mode needs.
+pub fn reference_run(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+) -> Result<ExperimentRun> {
+    target.init_test_card()?;
+    target.load_workload()?;
+    target.run_workload()?;
+    let (termination, detail_trace) = match campaign.log_mode {
+        LogMode::Normal => (target.wait_for_termination()?, None),
+        LogMode::Detail => {
+            let (ev, snaps) = detail_run(target, None, 0)?;
+            (ev, Some(snaps))
+        }
+    };
+    Ok(ExperimentRun {
+        fault: None,
+        termination,
+        outputs: target.read_outputs()?,
+        state: target.observe_state()?,
+        instructions: instructions_or_zero(target),
+        iterations: iterations_or_zero(target),
+        activations_done: 0,
+        detail_trace,
+        pruned: false,
+    })
+}
+
+/// Runs one fault-injection experiment, dispatching on the campaign's
+/// technique.
+///
+/// # Errors
+///
+/// Propagates target errors. A workload that terminates before all
+/// activation times is *not* an error — the run records how many
+/// activations happened.
+pub fn run_experiment(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+    fault: &PlannedFault,
+) -> Result<ExperimentRun> {
+    match campaign.technique {
+        Technique::Scifi => inject_at_breakpoints(target, campaign, fault, InjectVia::ScanChain),
+        Technique::SwifiRuntime => {
+            inject_at_breakpoints(target, campaign, fault, InjectVia::Memory)
+        }
+        Technique::SwifiPreRuntime => swifi_preruntime(target, campaign, fault),
+    }
+}
+
+/// How a breakpoint-based technique applies the fault.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum InjectVia {
+    ScanChain,
+    Memory,
+}
+
+/// Applies one activation of `fault` to the halted target.
+fn apply_activation(
+    target: &mut dyn TargetSystemInterface,
+    fault: &PlannedFault,
+    via: InjectVia,
+) -> Result<()> {
+    match via {
+        InjectVia::ScanChain => {
+            for chain in fault.chains() {
+                let mut bits = target.read_scan_chain(chain)?;
+                fault.apply_to_chain(chain, &mut bits);
+                target.write_scan_chain(chain, &bits)?;
+            }
+        }
+        InjectVia::Memory => {
+            for addr in fault.memory_words() {
+                let word = target.read_memory(addr, 1)?;
+                let word = *word.first().ok_or_else(|| {
+                    GoofiError::Target(format!("empty read at 0x{addr:x}"))
+                })?;
+                target.write_memory(addr, &[fault.apply_to_word(addr, word)])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The Fig. 2 `faultInjectorSCIFI` loop body (shared with runtime SWIFI):
+/// initialise, download, run, break at each activation time, inject,
+/// continue to termination, read back state.
+fn inject_at_breakpoints(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+    fault: &PlannedFault,
+    via: InjectVia,
+) -> Result<ExperimentRun> {
+    target.init_test_card()?;
+    target.load_workload()?;
+    target.run_workload()?;
+
+    let mut activations_done = 0;
+    let mut termination: Option<TargetEvent> = None;
+    let mut detail_trace: Option<Vec<StateVector>> = None;
+
+    for (i, &time) in fault.times.iter().enumerate() {
+        target.set_breakpoint(time)?;
+        match target.wait_for_breakpoint()? {
+            TargetEvent::BreakpointHit { .. } => {
+                apply_activation(target, fault, via)?;
+                activations_done += 1;
+            }
+            terminal => {
+                // Workload ended before this activation time.
+                termination = Some(terminal);
+                break;
+            }
+        }
+        // After the FIRST activation, detail mode switches to stepping so
+        // error propagation is captured instruction by instruction;
+        // remaining activations are applied at their times during the walk.
+        if campaign.log_mode == LogMode::Detail {
+            let remaining = &fault.times[i + 1..];
+            let (ev, snaps) = detail_run(
+                target,
+                Some((fault, via, remaining)),
+                activations_done,
+            )?;
+            activations_done += count_applied(remaining, ev_time(&ev, target));
+            termination = Some(ev);
+            detail_trace = Some(snaps);
+            break;
+        }
+    }
+
+    let termination = match termination {
+        Some(ev) => ev,
+        None => target.wait_for_termination()?,
+    };
+
+    Ok(ExperimentRun {
+        fault: Some(fault.clone()),
+        termination,
+        outputs: target.read_outputs()?,
+        state: target.observe_state()?,
+        instructions: instructions_or_zero(target),
+        iterations: iterations_or_zero(target),
+        activations_done,
+        detail_trace,
+        pruned: false,
+    })
+}
+
+fn ev_time(ev: &TargetEvent, target: &mut dyn TargetSystemInterface) -> u64 {
+    match ev {
+        TargetEvent::BreakpointHit { time } => *time,
+        _ => instructions_or_zero(target),
+    }
+}
+
+fn count_applied(times: &[u64], reached: u64) -> usize {
+    times.iter().filter(|&&t| t <= reached).count()
+}
+
+/// Pre-runtime SWIFI: corrupt the downloaded image, then run to
+/// termination ("faults are injected into the program and data areas of the
+/// target system before it starts to execute").
+fn swifi_preruntime(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+    fault: &PlannedFault,
+) -> Result<ExperimentRun> {
+    target.init_test_card()?;
+    target.load_workload()?;
+    for addr in fault.memory_words() {
+        let word = target.read_memory(addr, 1)?;
+        let word = *word
+            .first()
+            .ok_or_else(|| GoofiError::Target(format!("empty read at 0x{addr:x}")))?;
+        target.write_memory(addr, &[fault.apply_to_word(addr, word)])?;
+    }
+    target.run_workload()?;
+    let (termination, detail_trace) = match campaign.log_mode {
+        LogMode::Normal => (target.wait_for_termination()?, None),
+        LogMode::Detail => {
+            let (ev, snaps) = detail_run(target, None, 1)?;
+            (ev, Some(snaps))
+        }
+    };
+    Ok(ExperimentRun {
+        fault: Some(fault.clone()),
+        termination,
+        outputs: target.read_outputs()?,
+        state: target.observe_state()?,
+        instructions: instructions_or_zero(target),
+        iterations: iterations_or_zero(target),
+        activations_done: 1,
+        detail_trace,
+        pruned: false,
+    })
+}
+
+/// Detail mode: single-step to termination, snapshotting the observable
+/// state after each instruction (paper Section 3.3: "the system state is
+/// logged as frequently as the target system allows, typically after the
+/// execution of each machine instruction"). Optionally applies remaining
+/// fault activations when their times are reached.
+fn detail_run(
+    target: &mut dyn TargetSystemInterface,
+    pending: Option<(&PlannedFault, InjectVia, &[u64])>,
+    _already_applied: usize,
+) -> Result<(TargetEvent, Vec<StateVector>)> {
+    let mut snaps = Vec::new();
+    loop {
+        if let Some((fault, via, times)) = pending {
+            let now = instructions_or_zero(target);
+            if times.contains(&now) {
+                apply_activation(target, fault, via)?;
+            }
+        }
+        match target.step_instruction()? {
+            Some(ev) => return Ok((ev, snaps)),
+            None => {
+                if snaps.len() < DETAIL_SNAPSHOT_CAP {
+                    snaps.push(target.observe_state()?);
+                } else {
+                    // Cap reached: finish at full speed.
+                    let ev = target.wait_for_termination()?;
+                    return Ok((ev, snaps));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultModel, Location};
+    use crate::target::{TargetSystemConfig, TraceStep};
+
+    /// A scripted in-memory target used to verify the exact call sequence
+    /// of the algorithms (the Fig. 2 contract).
+    struct ScriptedTarget {
+        calls: Vec<String>,
+        /// Armed breakpoint time.
+        armed: Option<u64>,
+        /// Instruction count at which the workload halts naturally.
+        halt_at: u64,
+        now: u64,
+        chain_bits: StateVector,
+        memory: Vec<u32>,
+    }
+
+    impl ScriptedTarget {
+        fn new(halt_at: u64) -> ScriptedTarget {
+            ScriptedTarget {
+                calls: Vec::new(),
+                armed: None,
+                halt_at,
+                now: 0,
+                chain_bits: StateVector::zeros(64),
+                memory: vec![0; 16],
+            }
+        }
+    }
+
+    impl TargetSystemInterface for ScriptedTarget {
+        fn target_name(&self) -> &str {
+            "scripted"
+        }
+
+        fn describe(&self) -> TargetSystemConfig {
+            TargetSystemConfig {
+                name: "scripted".into(),
+                description: String::new(),
+                chains: Vec::new(),
+                memory: Vec::new(),
+            }
+        }
+
+        fn init_test_card(&mut self) -> Result<()> {
+            self.calls.push("init".into());
+            self.now = 0;
+            self.chain_bits = StateVector::zeros(64);
+            self.memory = vec![0; 16];
+            Ok(())
+        }
+
+        fn load_workload(&mut self) -> Result<()> {
+            self.calls.push("load".into());
+            Ok(())
+        }
+
+        fn run_workload(&mut self) -> Result<()> {
+            self.calls.push("run".into());
+            Ok(())
+        }
+
+        fn set_breakpoint(&mut self, time: u64) -> Result<()> {
+            self.calls.push(format!("bp@{time}"));
+            self.armed = Some(time);
+            Ok(())
+        }
+
+        fn wait_for_breakpoint(&mut self) -> Result<TargetEvent> {
+            self.calls.push("waitbp".into());
+            match self.armed.take() {
+                Some(t) if t < self.halt_at => {
+                    self.now = t;
+                    Ok(TargetEvent::BreakpointHit { time: t })
+                }
+                _ => {
+                    self.now = self.halt_at;
+                    Ok(TargetEvent::Halted)
+                }
+            }
+        }
+
+        fn wait_for_termination(&mut self) -> Result<TargetEvent> {
+            self.calls.push("waitterm".into());
+            self.now = self.halt_at;
+            Ok(TargetEvent::Halted)
+        }
+
+        fn read_scan_chain(&mut self, chain: &str) -> Result<StateVector> {
+            self.calls.push(format!("readchain:{chain}"));
+            Ok(self.chain_bits.clone())
+        }
+
+        fn write_scan_chain(&mut self, chain: &str, bits: &StateVector) -> Result<()> {
+            self.calls.push(format!("writechain:{chain}"));
+            self.chain_bits = bits.clone();
+            Ok(())
+        }
+
+        fn read_memory(&mut self, addr: u32, len: usize) -> Result<Vec<u32>> {
+            self.calls.push(format!("readmem@{addr}"));
+            let i = (addr / 4) as usize;
+            Ok(self.memory[i..i + len].to_vec())
+        }
+
+        fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {
+            self.calls.push(format!("writemem@{addr}"));
+            let i = (addr / 4) as usize;
+            self.memory[i..i + data.len()].copy_from_slice(data);
+            Ok(())
+        }
+
+        fn observe_state(&mut self) -> Result<StateVector> {
+            Ok(self.chain_bits.clone())
+        }
+
+        fn read_outputs(&mut self) -> Result<Vec<u32>> {
+            Ok(vec![self.memory[0]])
+        }
+
+        fn step_instruction(&mut self) -> Result<Option<TargetEvent>> {
+            self.now += 1;
+            if self.now >= self.halt_at {
+                Ok(Some(TargetEvent::Halted))
+            } else {
+                Ok(None)
+            }
+        }
+
+        fn instructions_retired(&mut self) -> Result<u64> {
+            Ok(self.now)
+        }
+
+        fn collect_trace(&mut self) -> Result<Vec<TraceStep>> {
+            Ok(Vec::new())
+        }
+    }
+
+    fn scifi_campaign(log_mode: LogMode) -> Campaign {
+        let mut c = Campaign::builder("c", "scripted", "w")
+            .select(crate::fault::LocationSelector::Chain {
+                chain: "cpu".into(),
+                field: None,
+            })
+            .window(0, 50)
+            .experiments(1)
+            .build()
+            .unwrap();
+        c.log_mode = log_mode;
+        c
+    }
+
+    fn chain_fault(bit: usize, times: Vec<u64>, model: FaultModel) -> PlannedFault {
+        PlannedFault {
+            model,
+            targets: vec![Location::ChainBit {
+                chain: "cpu".into(),
+                bit,
+            }],
+            times,
+        }
+    }
+
+    #[test]
+    fn scifi_call_sequence_matches_figure_2() {
+        let mut t = ScriptedTarget::new(100);
+        let campaign = scifi_campaign(LogMode::Normal);
+        let fault = chain_fault(5, vec![10], FaultModel::BitFlip);
+        let run = run_experiment(&mut t, &campaign, &fault).unwrap();
+        assert_eq!(
+            t.calls,
+            vec![
+                "init",
+                "load",
+                "run",
+                "bp@10",
+                "waitbp",
+                "readchain:cpu",
+                "writechain:cpu",
+                "waitterm",
+            ]
+        );
+        assert_eq!(run.activations_done, 1);
+        assert_eq!(run.termination, TargetEvent::Halted);
+        assert!(run.state.get(5), "injected bit visible in final state");
+    }
+
+    #[test]
+    fn reference_run_does_not_inject() {
+        let mut t = ScriptedTarget::new(100);
+        let campaign = scifi_campaign(LogMode::Normal);
+        let run = reference_run(&mut t, &campaign).unwrap();
+        assert!(run.fault.is_none());
+        assert!(!t.calls.iter().any(|c| c.starts_with("writechain")));
+        assert_eq!(run.instructions, 100);
+    }
+
+    #[test]
+    fn intermittent_fault_activates_multiple_times() {
+        let mut t = ScriptedTarget::new(100);
+        let campaign = scifi_campaign(LogMode::Normal);
+        let fault = chain_fault(3, vec![10, 20, 30], FaultModel::Intermittent { activations: 3 });
+        let run = run_experiment(&mut t, &campaign, &fault).unwrap();
+        assert_eq!(run.activations_done, 3);
+        // Odd number of flips leaves the bit set.
+        assert!(run.state.get(3));
+        assert_eq!(t.calls.iter().filter(|c| *c == "waitbp").count(), 3);
+    }
+
+    #[test]
+    fn late_activation_after_halt_is_partial() {
+        let mut t = ScriptedTarget::new(15);
+        let campaign = scifi_campaign(LogMode::Normal);
+        let fault = chain_fault(3, vec![10, 20], FaultModel::Intermittent { activations: 2 });
+        let run = run_experiment(&mut t, &campaign, &fault).unwrap();
+        assert_eq!(run.activations_done, 1, "second activation never happened");
+        assert_eq!(run.termination, TargetEvent::Halted);
+    }
+
+    #[test]
+    fn injection_time_after_halt_does_not_inject() {
+        let mut t = ScriptedTarget::new(5);
+        let campaign = scifi_campaign(LogMode::Normal);
+        let fault = chain_fault(3, vec![10], FaultModel::BitFlip);
+        let run = run_experiment(&mut t, &campaign, &fault).unwrap();
+        assert_eq!(run.activations_done, 0);
+        assert!(!run.state.get(3));
+    }
+
+    #[test]
+    fn swifi_preruntime_corrupts_image_before_running() {
+        let mut t = ScriptedTarget::new(50);
+        let mut campaign = scifi_campaign(LogMode::Normal);
+        campaign.technique = Technique::SwifiPreRuntime;
+        let fault = PlannedFault {
+            model: FaultModel::BitFlip,
+            targets: vec![Location::MemoryBit { addr: 0, bit: 1 }],
+            times: vec![0],
+        };
+        let run = run_experiment(&mut t, &campaign, &fault).unwrap();
+        // Memory corrupted before run: outputs read memory[0].
+        assert_eq!(run.outputs, vec![0b10]);
+        let run_pos = t.calls.iter().position(|c| c == "run").unwrap();
+        let write_pos = t.calls.iter().position(|c| c == "writemem@0").unwrap();
+        assert!(write_pos < run_pos, "injection must precede execution");
+    }
+
+    #[test]
+    fn swifi_runtime_injects_memory_at_breakpoint() {
+        let mut t = ScriptedTarget::new(50);
+        let mut campaign = scifi_campaign(LogMode::Normal);
+        campaign.technique = Technique::SwifiRuntime;
+        let fault = PlannedFault {
+            model: FaultModel::BitFlip,
+            targets: vec![Location::MemoryBit { addr: 4, bit: 0 }],
+            times: vec![20],
+        };
+        let run = run_experiment(&mut t, &campaign, &fault).unwrap();
+        assert_eq!(run.activations_done, 1);
+        assert!(t.calls.contains(&"bp@20".to_string()));
+        assert!(t.calls.contains(&"writemem@4".to_string()));
+        assert!(!t.calls.iter().any(|c| c.starts_with("writechain")));
+    }
+
+    #[test]
+    fn detail_mode_collects_snapshots() {
+        let mut t = ScriptedTarget::new(30);
+        let campaign = scifi_campaign(LogMode::Detail);
+        let fault = chain_fault(2, vec![10], FaultModel::BitFlip);
+        let run = run_experiment(&mut t, &campaign, &fault).unwrap();
+        let trace = run.detail_trace.expect("detail trace present");
+        // Steps from instruction 10 to halt at 30: snapshots until halt.
+        assert!(!trace.is_empty());
+        assert!(trace.len() <= 20);
+        // All snapshots have the injected bit (nothing overwrites it here).
+        assert!(trace.iter().all(|s| s.get(2)));
+    }
+
+    #[test]
+    fn detail_mode_reference_traces_from_start() {
+        let mut t = ScriptedTarget::new(10);
+        let campaign = scifi_campaign(LogMode::Detail);
+        let run = reference_run(&mut t, &campaign).unwrap();
+        let trace = run.detail_trace.expect("detail trace present");
+        assert_eq!(trace.len(), 9, "one snapshot per step before halt");
+    }
+
+    #[test]
+    fn stuck_at_reasserts_at_every_breakpoint() {
+        let mut t = ScriptedTarget::new(100);
+        let campaign = scifi_campaign(LogMode::Normal);
+        let fault = chain_fault(
+            7,
+            vec![10, 20, 30],
+            FaultModel::StuckAt {
+                value: true,
+                reassert_period: 10,
+            },
+        );
+        let run = run_experiment(&mut t, &campaign, &fault).unwrap();
+        assert_eq!(run.activations_done, 3);
+        // Stuck-at-1 stays 1 regardless of activation parity.
+        assert!(run.state.get(7));
+    }
+}

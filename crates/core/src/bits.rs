@@ -1,0 +1,180 @@
+//! The framework's representation of scanned state: a plain bit vector.
+//!
+//! Scan vectors cross the tool/target boundary as [`StateVector`]s and are
+//! stored in the database's `stateVector` BLOB column (paper Fig. 4).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bit vector shifted out of (or into) a target scan chain.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StateVector {
+    len: usize,
+    bytes: Vec<u8>,
+}
+
+impl StateVector {
+    /// Creates an all-zero vector of `len` bits.
+    pub fn zeros(len: usize) -> StateVector {
+        StateVector {
+            len,
+            bytes: vec![0; len.div_ceil(8)],
+        }
+    }
+
+    /// Creates a vector from packed bytes (LSB-first within each byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is too short for `len` bits.
+    pub fn from_bytes(bytes: Vec<u8>, len: usize) -> StateVector {
+        assert!(bytes.len() * 8 >= len, "byte buffer too short for {len} bits");
+        let mut v = StateVector { len, bytes };
+        // Normalise trailing bits so equality is well defined.
+        let last_bits = len % 8;
+        if last_bits != 0 {
+            if let Some(last) = v.bytes.last_mut() {
+                *last &= (1u8 << last_bits) - 1;
+            }
+        }
+        v.bytes.truncate(len.div_ceil(8));
+        v
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The packed bytes (LSB-first within each byte).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Bit at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len`.
+    pub fn get(&self, pos: usize) -> bool {
+        assert!(pos < self.len, "bit {pos} out of range ({})", self.len);
+        self.bytes[pos / 8] & (1 << (pos % 8)) != 0
+    }
+
+    /// Sets bit at `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len`.
+    pub fn set(&mut self, pos: usize, value: bool) {
+        assert!(pos < self.len, "bit {pos} out of range ({})", self.len);
+        if value {
+            self.bytes[pos / 8] |= 1 << (pos % 8);
+        } else {
+            self.bytes[pos / 8] &= !(1 << (pos % 8));
+        }
+    }
+
+    /// Inverts bit at `pos` — the transient bit-flip fault model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= len`.
+    pub fn flip(&mut self, pos: usize) {
+        assert!(pos < self.len, "bit {pos} out of range ({})", self.len);
+        self.bytes[pos / 8] ^= 1 << (pos % 8);
+    }
+
+    /// Number of differing bits vs `other` (state diffing in the analysis
+    /// phase).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hamming_distance(&self, other: &StateVector) -> usize {
+        assert_eq!(self.len, other.len, "state vector length mismatch");
+        self.bytes
+            .iter()
+            .zip(&other.bytes)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Positions of bits that differ from `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn diff_positions(&self, other: &StateVector) -> Vec<usize> {
+        assert_eq!(self.len, other.len, "state vector length mismatch");
+        (0..self.len).filter(|&i| self.get(i) != other.get(i)).collect()
+    }
+}
+
+impl fmt::Display for StateVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} bits:", self.len)?;
+        for b in &self.bytes {
+            write!(f, " {b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_flip() {
+        let mut v = StateVector::zeros(20);
+        v.set(0, true);
+        v.set(19, true);
+        assert!(v.get(0) && v.get(19) && !v.get(10));
+        v.flip(19);
+        assert!(!v.get(19));
+        v.flip(10);
+        assert!(v.get(10));
+    }
+
+    #[test]
+    fn bytes_roundtrip_normalises_padding() {
+        let v = StateVector::from_bytes(vec![0xff, 0xff], 10);
+        assert_eq!(v.as_bytes(), &[0xff, 0x03]);
+        let w = StateVector::from_bytes(v.as_bytes().to_vec(), 10);
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn hamming_and_diff_positions_agree() {
+        let a = StateVector::zeros(17);
+        let mut b = StateVector::zeros(17);
+        b.flip(3);
+        b.flip(16);
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.diff_positions(&b), vec![3, 16]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_get_panics() {
+        StateVector::zeros(8).get(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_diff_panics() {
+        StateVector::zeros(8).hamming_distance(&StateVector::zeros(9));
+    }
+
+    #[test]
+    fn display_shows_length_and_bytes() {
+        let v = StateVector::from_bytes(vec![0xab], 8);
+        assert_eq!(v.to_string(), "8 bits: ab");
+    }
+}

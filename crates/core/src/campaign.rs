@@ -1,0 +1,386 @@
+//! Campaign definitions: what the set-up phase produces (paper Fig. 6).
+
+use crate::error::{GoofiError, Result};
+use crate::fault::{FaultModel, LocationSelector, TriggerPolicy};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A fault-injection technique supported by the tool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// Scan-chain implemented fault injection: faults go into internal
+    /// state elements via the scan chains at a breakpoint.
+    Scifi,
+    /// Pre-runtime software implemented fault injection: faults go into the
+    /// program/data memory image before execution starts.
+    SwifiPreRuntime,
+    /// Runtime SWIFI (Section 4 extension): faults go into memory at a
+    /// breakpoint during execution.
+    SwifiRuntime,
+}
+
+impl Technique {
+    /// Stable name stored in `CampaignData`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Technique::Scifi => "scifi",
+            Technique::SwifiPreRuntime => "swifi-preruntime",
+            Technique::SwifiRuntime => "swifi-runtime",
+        }
+    }
+
+    /// Parses [`Technique::name`] output.
+    pub fn parse(name: &str) -> Option<Technique> {
+        match name {
+            "scifi" => Some(Technique::Scifi),
+            "swifi-preruntime" => Some(Technique::SwifiPreRuntime),
+            "swifi-runtime" => Some(Technique::SwifiRuntime),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Technique {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// How much system state each experiment logs (paper Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum LogMode {
+    /// Log the state vector only when the termination condition is
+    /// fulfilled.
+    #[default]
+    Normal,
+    /// Log the state vector after every machine instruction (an execution
+    /// trace for error-propagation analysis) — much slower.
+    Detail,
+}
+
+impl LogMode {
+    /// Stable name stored in `CampaignData`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LogMode::Normal => "normal",
+            LogMode::Detail => "detail",
+        }
+    }
+
+    /// Parses [`LogMode::name`] output.
+    pub fn parse(name: &str) -> Option<LogMode> {
+        match name {
+            "normal" => Some(LogMode::Normal),
+            "detail" => Some(LogMode::Detail),
+            _ => None,
+        }
+    }
+}
+
+/// A complete campaign definition — the contents of one `CampaignData` row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Campaign {
+    /// Unique campaign name.
+    pub name: String,
+    /// The target system (`testCardName` foreign key).
+    pub target: String,
+    /// Workload name (the adapter owns the actual image).
+    pub workload: String,
+    /// Which injection technique to use.
+    pub technique: Technique,
+    /// Where to inject.
+    pub selectors: Vec<LocationSelector>,
+    /// What to inject.
+    pub fault_model: FaultModel,
+    /// When to inject.
+    pub trigger: TriggerPolicy,
+    /// Number of fault-injection experiments.
+    pub experiments: usize,
+    /// Logging mode.
+    pub log_mode: LogMode,
+    /// RNG seed for fault-list generation (campaigns are reproducible).
+    pub seed: u64,
+    /// Enable pre-injection (liveness) analysis: skip injections that the
+    /// reference trace proves will be overwritten (Section 4 extension).
+    pub pre_injection_analysis: bool,
+}
+
+impl Campaign {
+    /// Starts building a campaign with mandatory identifiers.
+    pub fn builder(
+        name: impl Into<String>,
+        target: impl Into<String>,
+        workload: impl Into<String>,
+    ) -> CampaignBuilder {
+        CampaignBuilder {
+            campaign: Campaign {
+                name: name.into(),
+                target: target.into(),
+                workload: workload.into(),
+                technique: Technique::Scifi,
+                selectors: Vec::new(),
+                fault_model: FaultModel::BitFlip,
+                trigger: TriggerPolicy::Window { start: 0, end: 0 },
+                experiments: 0,
+                log_mode: LogMode::Normal,
+                seed: 0,
+                pre_injection_analysis: false,
+            },
+        }
+    }
+
+    /// Validates internal consistency (set-up phase sanity checks).
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Campaign`] describing the first inconsistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.name.is_empty() {
+            return Err(GoofiError::Campaign("campaign name is empty".into()));
+        }
+        if self.experiments == 0 {
+            return Err(GoofiError::Campaign(
+                "campaign requests zero experiments".into(),
+            ));
+        }
+        if self.selectors.is_empty() {
+            return Err(GoofiError::Campaign(
+                "campaign selects no fault locations".into(),
+            ));
+        }
+        let memory_only = self
+            .selectors
+            .iter()
+            .all(|s| matches!(s, LocationSelector::Memory { .. }));
+        let chain_only = self
+            .selectors
+            .iter()
+            .all(|s| matches!(s, LocationSelector::Chain { .. }));
+        match self.technique {
+            Technique::Scifi if !chain_only => Err(GoofiError::Campaign(
+                "SCIFI campaigns must select scan-chain locations".into(),
+            )),
+            Technique::SwifiPreRuntime | Technique::SwifiRuntime if !memory_only => {
+                Err(GoofiError::Campaign(
+                    "SWIFI campaigns must select memory locations".into(),
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Merges several stored campaigns into a new one (the paper's set-up
+    /// phase lets the user "merge campaign data from several fault
+    /// injection campaigns into a new fault injection campaign"): the union
+    /// of location selectors, the sum of experiment counts, and the first
+    /// campaign's remaining settings.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Campaign`] if the inputs are empty or disagree on
+    /// target, workload or technique.
+    pub fn merge(name: impl Into<String>, parts: &[&Campaign]) -> Result<Campaign> {
+        let first = parts
+            .first()
+            .ok_or_else(|| GoofiError::Campaign("merge of zero campaigns".into()))?;
+        for c in parts {
+            if c.target != first.target {
+                return Err(GoofiError::Campaign(format!(
+                    "cannot merge campaigns for different targets `{}` and `{}`",
+                    first.target, c.target
+                )));
+            }
+            if c.workload != first.workload {
+                return Err(GoofiError::Campaign(
+                    "cannot merge campaigns with different workloads".into(),
+                ));
+            }
+            if c.technique != first.technique {
+                return Err(GoofiError::Campaign(
+                    "cannot merge campaigns with different techniques".into(),
+                ));
+            }
+        }
+        let mut selectors = Vec::new();
+        let mut experiments = 0;
+        for c in parts {
+            for s in &c.selectors {
+                if !selectors.contains(s) {
+                    selectors.push(s.clone());
+                }
+            }
+            experiments += c.experiments;
+        }
+        let mut merged = (*first).clone();
+        merged.name = name.into();
+        merged.selectors = selectors;
+        merged.experiments = experiments;
+        Ok(merged)
+    }
+}
+
+/// Builder for [`Campaign`] (the paper's Fig. 6 set-up dialog as an API).
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    campaign: Campaign,
+}
+
+impl CampaignBuilder {
+    /// Sets the injection technique.
+    pub fn technique(mut self, t: Technique) -> Self {
+        self.campaign.technique = t;
+        self
+    }
+
+    /// Adds a location selector.
+    pub fn select(mut self, s: LocationSelector) -> Self {
+        self.campaign.selectors.push(s);
+        self
+    }
+
+    /// Sets the fault model.
+    pub fn fault_model(mut self, m: FaultModel) -> Self {
+        self.campaign.fault_model = m;
+        self
+    }
+
+    /// Sets the trigger policy.
+    pub fn trigger(mut self, t: TriggerPolicy) -> Self {
+        self.campaign.trigger = t;
+        self
+    }
+
+    /// Sets the injection window `[start, end]` (instruction counts).
+    pub fn window(mut self, start: u64, end: u64) -> Self {
+        self.campaign.trigger = TriggerPolicy::Window { start, end };
+        self
+    }
+
+    /// Sets the number of experiments.
+    pub fn experiments(mut self, n: usize) -> Self {
+        self.campaign.experiments = n;
+        self
+    }
+
+    /// Sets the log mode.
+    pub fn log_mode(mut self, m: LogMode) -> Self {
+        self.campaign.log_mode = m;
+        self
+    }
+
+    /// Sets the fault-list seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.campaign.seed = seed;
+        self
+    }
+
+    /// Enables pre-injection analysis.
+    pub fn pre_injection_analysis(mut self, on: bool) -> Self {
+        self.campaign.pre_injection_analysis = on;
+        self
+    }
+
+    /// Validates and returns the campaign.
+    ///
+    /// # Errors
+    ///
+    /// See [`Campaign::validate`].
+    pub fn build(self) -> Result<Campaign> {
+        self.campaign.validate()?;
+        Ok(self.campaign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scifi_campaign(name: &str, field: &str, n: usize) -> Campaign {
+        Campaign::builder(name, "thor", "sort16")
+            .select(LocationSelector::Chain {
+                chain: "cpu".into(),
+                field: Some(field.into()),
+            })
+            .window(0, 100)
+            .experiments(n)
+            .seed(1)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_campaign() {
+        let c = scifi_campaign("c1", "R1", 50);
+        assert_eq!(c.technique, Technique::Scifi);
+        assert_eq!(c.experiments, 50);
+        assert_eq!(c.log_mode, LogMode::Normal);
+    }
+
+    #[test]
+    fn validation_rejects_empty_and_mismatched() {
+        assert!(Campaign::builder("c", "t", "w").build().is_err());
+        // SCIFI with memory locations.
+        let err = Campaign::builder("c", "t", "w")
+            .select(LocationSelector::Memory {
+                start: 0,
+                words: 1,
+            })
+            .experiments(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GoofiError::Campaign(_)));
+        // SWIFI with chain locations.
+        let err = Campaign::builder("c", "t", "w")
+            .technique(Technique::SwifiPreRuntime)
+            .select(LocationSelector::Chain {
+                chain: "cpu".into(),
+                field: None,
+            })
+            .experiments(1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, GoofiError::Campaign(_)));
+    }
+
+    #[test]
+    fn merge_unions_selectors_and_sums_experiments() {
+        let a = scifi_campaign("a", "R1", 10);
+        let b = scifi_campaign("b", "R2", 20);
+        let m = Campaign::merge("ab", &[&a, &b]).unwrap();
+        assert_eq!(m.name, "ab");
+        assert_eq!(m.selectors.len(), 2);
+        assert_eq!(m.experiments, 30);
+        // Merging with a duplicate selector does not duplicate it.
+        let m2 = Campaign::merge("aab", &[&a, &a, &b]).unwrap();
+        assert_eq!(m2.selectors.len(), 2);
+        assert_eq!(m2.experiments, 40);
+    }
+
+    #[test]
+    fn merge_rejects_mismatches() {
+        let a = scifi_campaign("a", "R1", 10);
+        let mut b = scifi_campaign("b", "R2", 10);
+        b.target = "other".into();
+        assert!(Campaign::merge("m", &[&a, &b]).is_err());
+        let mut c = scifi_campaign("c", "R2", 10);
+        c.technique = Technique::SwifiRuntime;
+        assert!(Campaign::merge("m", &[&a, &c]).is_err());
+        assert!(Campaign::merge("m", &[]).is_err());
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for t in [
+            Technique::Scifi,
+            Technique::SwifiPreRuntime,
+            Technique::SwifiRuntime,
+        ] {
+            assert_eq!(Technique::parse(t.name()), Some(t));
+        }
+        for m in [LogMode::Normal, LogMode::Detail] {
+            assert_eq!(LogMode::parse(m.name()), Some(m));
+        }
+        assert_eq!(Technique::parse("x"), None);
+        assert_eq!(LogMode::parse("x"), None);
+    }
+}

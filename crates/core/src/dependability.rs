@@ -1,0 +1,187 @@
+//! Dependability models fed by measured coverage.
+//!
+//! The paper's opening motivation: "the coverage can then be used in an
+//! analytical model to calculate the system's availability and
+//! reliability" (Section 1). This module provides those analytical
+//! models — a single self-checking node and a duplex system with imperfect
+//! coverage — so a campaign's measured detection coverage closes the loop
+//! from experiment to dependability figure.
+//!
+//! Conventions: failure rate `lambda` and repair rate `mu` are per hour;
+//! reliability is evaluated at mission time `t` hours; coverage `c` is the
+//! probability a fault is detected/handled before it causes failure
+//! (typically [`crate::CampaignStats::detection_coverage`]).
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the analytical models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DependabilityParams {
+    /// Fault (failure) rate per hour, λ > 0.
+    pub lambda: f64,
+    /// Repair rate per hour, μ ≥ 0.
+    pub mu: f64,
+    /// Error-detection/handling coverage, 0 ≤ c ≤ 1.
+    pub coverage: f64,
+}
+
+impl DependabilityParams {
+    /// Creates parameters, clamping coverage into [0, 1].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not strictly positive or `mu` is negative.
+    pub fn new(lambda: f64, mu: f64, coverage: f64) -> DependabilityParams {
+        assert!(lambda > 0.0, "lambda must be positive");
+        assert!(mu >= 0.0, "mu must be non-negative");
+        DependabilityParams {
+            lambda,
+            mu,
+            coverage: coverage.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// Reliability of a single fail-stop node with imperfect coverage at
+/// mission time `t`: detected faults lead to a safe stop (counted as
+/// success for reliability-of-service-integrity), undetected faults are
+/// failures. `R(t) = exp(-(1-c)·λ·t)`.
+pub fn single_node_reliability(p: DependabilityParams, t: f64) -> f64 {
+    (-(1.0 - p.coverage) * p.lambda * t).exp()
+}
+
+/// Reliability of a duplex (fail-over) system at mission time `t`, with
+/// instantaneous detection-driven fail-over and no repair.
+///
+/// With coverage `c`, a covered first fault (prob. `c`) degrades to a
+/// single node; an uncovered first fault fails the system immediately.
+/// Standard result:
+/// `R(t) = e^(-2λt) + 2c·(e^(-λt) − e^(-2λt))`.
+pub fn duplex_reliability(p: DependabilityParams, t: f64) -> f64 {
+    let e1 = (-p.lambda * t).exp();
+    let e2 = (-2.0 * p.lambda * t).exp();
+    e2 + 2.0 * p.coverage * (e1 - e2)
+}
+
+/// Steady-state availability of a single repairable node: uncovered
+/// failures need full repair at rate μ; covered errors are handled with a
+/// fast restart assumed negligible. `A = μ / (μ + (1-c)·λ)`.
+pub fn single_node_availability(p: DependabilityParams) -> f64 {
+    if p.mu == 0.0 {
+        return 0.0;
+    }
+    p.mu / (p.mu + (1.0 - p.coverage) * p.lambda)
+}
+
+/// Mean time to failure of the duplex system (no repair):
+/// `MTTF = (1 + 2c) / (2λ)`.
+pub fn duplex_mttf(p: DependabilityParams) -> f64 {
+    (1.0 + 2.0 * p.coverage) / (2.0 * p.lambda)
+}
+
+/// Evaluates how the duplex mission reliability responds to the coverage
+/// uncertainty of a measured campaign: returns `(at lo, at point, at hi)`
+/// for a coverage [`crate::Proportion`].
+pub fn duplex_reliability_interval(
+    coverage: crate::analysis::Proportion,
+    lambda: f64,
+    t: f64,
+) -> (f64, f64, f64) {
+    let eval = |c: f64| {
+        duplex_reliability(
+            DependabilityParams {
+                lambda,
+                mu: 0.0,
+                coverage: c,
+            },
+            t,
+        )
+    };
+    (eval(coverage.lo), eval(coverage.p), eval(coverage.hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(c: f64) -> DependabilityParams {
+        DependabilityParams::new(1e-3, 0.5, c)
+    }
+
+    #[test]
+    fn perfect_coverage_single_node_never_fails() {
+        let r = single_node_reliability(params(1.0), 10_000.0);
+        assert!((r - 1.0).abs() < 1e-12);
+        let r = single_node_reliability(params(0.0), 1_000.0);
+        assert!((r - (-1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplex_beats_simplex_when_coverage_positive() {
+        for c in [0.6, 0.9, 0.99] {
+            let p = params(c);
+            let t = 2_000.0;
+            let duplex = duplex_reliability(p, t);
+            let simplex = (-p.lambda * t).exp();
+            assert!(
+                duplex > simplex,
+                "duplex {duplex} should beat simplex {simplex} at c={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_coverage_duplex_is_worse_than_simplex() {
+        // Classic result: without coverage the duplex has TWO components
+        // that can fail uncovered, so it is less reliable than one node.
+        let p = params(0.0);
+        let t = 2_000.0;
+        assert!(duplex_reliability(p, t) < (-p.lambda * t).exp());
+    }
+
+    #[test]
+    fn reliability_is_monotone_in_coverage() {
+        let t = 5_000.0;
+        let mut last = 0.0;
+        for c in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let r = duplex_reliability(params(c), t);
+            assert!(r >= last, "not monotone at c={c}");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn availability_behaviour() {
+        assert!((single_node_availability(params(1.0)) - 1.0).abs() < 1e-12);
+        let a = single_node_availability(params(0.9));
+        assert!(a > 0.99 && a < 1.0);
+        let p = DependabilityParams::new(1e-3, 0.0, 0.9);
+        assert_eq!(single_node_availability(p), 0.0);
+    }
+
+    #[test]
+    fn mttf_scales_with_coverage() {
+        let lo = duplex_mttf(params(0.0));
+        let hi = duplex_mttf(params(1.0));
+        assert!((hi / lo - 3.0).abs() < 1e-12, "MTTF triples: {}", hi / lo);
+    }
+
+    #[test]
+    fn interval_evaluation_brackets_point() {
+        let coverage = crate::analysis::wilson(90, 100);
+        let (lo, p, hi) = duplex_reliability_interval(coverage, 1e-3, 2_000.0);
+        assert!(lo <= p && p <= hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must be positive")]
+    fn zero_lambda_rejected() {
+        DependabilityParams::new(0.0, 0.1, 0.5);
+    }
+
+    #[test]
+    fn coverage_is_clamped() {
+        let p = DependabilityParams::new(1e-3, 0.1, 1.7);
+        assert_eq!(p.coverage, 1.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Error type of the GOOFI framework.
+
+use std::fmt;
+
+/// Errors produced by the framework and by target-system interfaces.
+#[derive(Debug)]
+pub enum GoofiError {
+    /// The target does not implement this abstract method. This is the
+    /// framework-template behaviour (paper Fig. 3): a target only overrides
+    /// the building blocks its fault-injection techniques need, and using an
+    /// unimplemented block reports which one is missing.
+    Unsupported {
+        /// The abstract method that is not implemented.
+        method: &'static str,
+        /// The target reporting it.
+        target: String,
+    },
+    /// The target reported a fault of its own (communication, bad address,
+    /// bad chain, download failure...).
+    Target(String),
+    /// The campaign definition is inconsistent (empty location list, zero
+    /// experiments, window inverted, unknown chain/field...).
+    Campaign(String),
+    /// A database operation failed.
+    Database(goofi_db::DbError),
+    /// The experiment flow reached an unexpected event (e.g. the workload
+    /// halted before the injection breakpoint).
+    Protocol(String),
+    /// Pre-injection analysis failed (no trace available, unknown location).
+    Analysis(String),
+    /// The campaign was stopped by the operator (progress-window Stop).
+    Stopped,
+}
+
+impl fmt::Display for GoofiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoofiError::Unsupported { method, target } => {
+                write!(f, "target `{target}` does not implement `{method}`")
+            }
+            GoofiError::Target(msg) => write!(f, "target error: {msg}"),
+            GoofiError::Campaign(msg) => write!(f, "invalid campaign: {msg}"),
+            GoofiError::Database(e) => write!(f, "database error: {e}"),
+            GoofiError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            GoofiError::Analysis(msg) => write!(f, "analysis error: {msg}"),
+            GoofiError::Stopped => write!(f, "campaign stopped by operator"),
+        }
+    }
+}
+
+impl std::error::Error for GoofiError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GoofiError::Database(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<goofi_db::DbError> for GoofiError {
+    fn from(e: goofi_db::DbError) -> Self {
+        GoofiError::Database(e)
+    }
+}
+
+/// Framework result type.
+pub type Result<T> = std::result::Result<T, GoofiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_missing_method() {
+        let e = GoofiError::Unsupported {
+            method: "readScanChain",
+            target: "stackvm".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "target `stackvm` does not implement `readScanChain`"
+        );
+    }
+
+    #[test]
+    fn db_error_converts_and_chains() {
+        let e: GoofiError = goofi_db::DbError::NoSuchTable("x".into()).into();
+        assert!(e.to_string().contains("no such table"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GoofiError>();
+    }
+}

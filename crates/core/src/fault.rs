@@ -1,0 +1,718 @@
+//! Fault models, fault locations and fault-list generation.
+//!
+//! The paper's current version supports "single or multiple transient
+//! bit-flip faults"; Section 4 lists intermittent and permanent faults as
+//! planned extensions. All four models are implemented here. A campaign's
+//! fault list is sampled up front (one [`PlannedFault`] per experiment), so
+//! campaigns are reproducible from their seed.
+
+use crate::error::{GoofiError, Result};
+use crate::target::TargetSystemConfig;
+use crate::trigger::Trigger;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The fault model of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// One transient bit flip (the paper's baseline model).
+    BitFlip,
+    /// `bits` simultaneous transient flips at distinct locations.
+    MultiBitFlip {
+        /// Number of simultaneous flips (≥ 1).
+        bits: usize,
+    },
+    /// Permanent stuck-at fault: the bit is forced to `value` at the onset
+    /// time and re-asserted every `reassert_period` instructions until the
+    /// experiment ends (a breakpoint-sampled approximation of a continuous
+    /// hardware stuck-at; see DESIGN.md).
+    StuckAt {
+        /// The forced value.
+        value: bool,
+        /// Re-assert interval in instructions.
+        reassert_period: u64,
+    },
+    /// Intermittent fault: the same bit flips at `activations` distinct
+    /// points in time.
+    Intermittent {
+        /// Number of activations (≥ 1).
+        activations: usize,
+    },
+}
+
+impl FaultModel {
+    /// Stable name stored in `CampaignData`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultModel::BitFlip => "bit-flip",
+            FaultModel::MultiBitFlip { .. } => "multi-bit-flip",
+            FaultModel::StuckAt { .. } => "stuck-at",
+            FaultModel::Intermittent { .. } => "intermittent",
+        }
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultModel::BitFlip => write!(f, "bit-flip"),
+            FaultModel::MultiBitFlip { bits } => write!(f, "multi-bit-flip({bits})"),
+            FaultModel::StuckAt {
+                value,
+                reassert_period,
+            } => write!(f, "stuck-at-{} (period {reassert_period})", *value as u8),
+            FaultModel::Intermittent { activations } => {
+                write!(f, "intermittent({activations})")
+            }
+        }
+    }
+}
+
+/// A concrete injectable bit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// Bit `bit` of scan chain `chain` (SCIFI).
+    ChainBit {
+        /// Chain name.
+        chain: String,
+        /// Bit offset within the chain.
+        bit: usize,
+    },
+    /// Bit `bit` of the memory word at `addr` (SWIFI).
+    MemoryBit {
+        /// Byte address of the word.
+        addr: u32,
+        /// Bit within the word (0..32).
+        bit: u8,
+    },
+}
+
+impl Location {
+    /// The architectural location name this bit belongs to, matching trace
+    /// vocabulary (`"R3"`, `"MEM[0x4000]"`); used by pre-injection analysis.
+    pub fn architectural_name(&self, config: &TargetSystemConfig) -> Option<String> {
+        match self {
+            Location::ChainBit { chain, bit } => config
+                .chain(chain)
+                .and_then(|c| c.field_at(*bit))
+                .map(|f| f.name.clone()),
+            Location::MemoryBit { addr, .. } => Some(crate::target::mem_loc_name(*addr)),
+        }
+    }
+}
+
+impl fmt::Display for Location {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Location::ChainBit { chain, bit } => write!(f, "{chain}[{bit}]"),
+            Location::MemoryBit { addr, bit } => write!(f, "mem[0x{addr:x}].{bit}"),
+        }
+    }
+}
+
+/// Where a campaign may inject: the paper's Fig. 6 hierarchical location
+/// selection, as data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LocationSelector {
+    /// Any writable bit of a chain, or of one named field of it.
+    Chain {
+        /// Chain name.
+        chain: String,
+        /// Restrict to one field (e.g. `"R3"`); `None` means the whole
+        /// chain.
+        field: Option<String>,
+    },
+    /// Any bit of a word range in memory.
+    Memory {
+        /// First byte address (word aligned).
+        start: u32,
+        /// Number of words.
+        words: u32,
+    },
+}
+
+/// When to inject.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TriggerPolicy {
+    /// Uniformly random instruction count in `[start, end]`.
+    Window {
+        /// Earliest injection time (instructions).
+        start: u64,
+        /// Latest injection time (instructions).
+        end: u64,
+    },
+    /// Cycle deterministically through resolved triggers (Section 4's
+    /// extended fault triggers). Requires a reference trace to resolve.
+    Triggers(Vec<Trigger>),
+}
+
+/// A fully planned injection for one experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlannedFault {
+    /// The fault model.
+    pub model: FaultModel,
+    /// The bit(s) to disturb (one for single-bit models, `bits` for
+    /// multi-bit).
+    pub targets: Vec<Location>,
+    /// Injection instants (instruction counts), ascending: one for
+    /// transients, several for intermittent/stuck-at.
+    pub times: Vec<u64>,
+}
+
+impl PlannedFault {
+    /// Applies one activation of this fault to a scan vector (SCIFI) —
+    /// flips or forces the targeted bits that live in `chain`.
+    pub fn apply_to_chain(&self, chain: &str, bits: &mut crate::bits::StateVector) {
+        for t in &self.targets {
+            if let Location::ChainBit { chain: c, bit } = t {
+                if c == chain && *bit < bits.len() {
+                    match self.model {
+                        FaultModel::StuckAt { value, .. } => bits.set(*bit, value),
+                        _ => bits.flip(*bit),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies one activation to a memory word (SWIFI). Returns the
+    /// faulted word.
+    pub fn apply_to_word(&self, addr: u32, word: u32) -> u32 {
+        let mut out = word;
+        for t in &self.targets {
+            if let Location::MemoryBit { addr: a, bit } = t {
+                if *a == addr {
+                    match self.model {
+                        FaultModel::StuckAt { value: true, .. } => out |= 1 << bit,
+                        FaultModel::StuckAt { value: false, .. } => out &= !(1 << bit),
+                        _ => out ^= 1 << bit,
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Chains named by this fault's targets.
+    pub fn chains(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .targets
+            .iter()
+            .filter_map(|t| match t {
+                Location::ChainBit { chain, .. } => Some(chain.as_str()),
+                Location::MemoryBit { .. } => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Memory word addresses named by this fault's targets.
+    pub fn memory_words(&self) -> Vec<u32> {
+        let mut out: Vec<u32> = self
+            .targets
+            .iter()
+            .filter_map(|t| match t {
+                Location::MemoryBit { addr, .. } => Some(*addr),
+                Location::ChainBit { .. } => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Compact description stored in `LoggedSystemState.experimentData`.
+    pub fn describe(&self) -> String {
+        let locs: Vec<String> = self.targets.iter().map(|t| t.to_string()).collect();
+        format!(
+            "model={} locations=[{}] times={:?}",
+            self.model,
+            locs.join(","),
+            self.times
+        )
+    }
+}
+
+/// Candidate bits resolved from the selectors: `(location, weight=1)` pool.
+fn candidate_bits(
+    config: &TargetSystemConfig,
+    selectors: &[LocationSelector],
+) -> Result<Vec<Location>> {
+    let mut pool = Vec::new();
+    for sel in selectors {
+        match sel {
+            LocationSelector::Chain { chain, field } => {
+                let info = config.chain(chain).ok_or_else(|| {
+                    GoofiError::Campaign(format!("target has no scan chain `{chain}`"))
+                })?;
+                let fields: Vec<_> = match field {
+                    Some(name) => {
+                        let f = info.field(name).ok_or_else(|| {
+                            GoofiError::Campaign(format!(
+                                "chain `{chain}` has no field `{name}`"
+                            ))
+                        })?;
+                        vec![f]
+                    }
+                    None => info.fields.iter().collect(),
+                };
+                for f in fields {
+                    if !f.writable {
+                        if field.is_some() {
+                            return Err(GoofiError::Campaign(format!(
+                                "field `{}` of chain `{chain}` is read-only",
+                                f.name
+                            )));
+                        }
+                        continue; // whole-chain selection skips observe-only fields
+                    }
+                    for b in f.offset..f.offset + f.width {
+                        pool.push(Location::ChainBit {
+                            chain: chain.clone(),
+                            bit: b,
+                        });
+                    }
+                }
+            }
+            LocationSelector::Memory { start, words } => {
+                if start % 4 != 0 {
+                    return Err(GoofiError::Campaign(format!(
+                        "memory selector start 0x{start:x} is not word aligned"
+                    )));
+                }
+                for w in 0..*words {
+                    for bit in 0..32u8 {
+                        pool.push(Location::MemoryBit {
+                            addr: start + w * 4,
+                            bit,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if pool.is_empty() {
+        return Err(GoofiError::Campaign(
+            "location selectors resolve to zero injectable bits".into(),
+        ));
+    }
+    Ok(pool)
+}
+
+/// Generates the campaign's fault list: one planned fault per experiment,
+/// deterministically from `seed`.
+///
+/// `trace` is required when `policy` uses extended triggers (they resolve
+/// against the reference execution).
+///
+/// # Errors
+///
+/// [`GoofiError::Campaign`] for unknown chains/fields, read-only selections,
+/// empty pools, inverted windows, or unresolvable triggers.
+pub fn generate_fault_list(
+    config: &TargetSystemConfig,
+    selectors: &[LocationSelector],
+    model: FaultModel,
+    policy: &TriggerPolicy,
+    experiments: usize,
+    seed: u64,
+    trace: Option<&[crate::target::TraceStep]>,
+) -> Result<Vec<PlannedFault>> {
+    if experiments == 0 {
+        return Err(GoofiError::Campaign("zero experiments requested".into()));
+    }
+    let pool = candidate_bits(config, selectors)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Resolve the time policy.
+    let mut fixed_times: Vec<u64> = Vec::new();
+    let window = match policy {
+        TriggerPolicy::Window { start, end } => {
+            if start > end {
+                return Err(GoofiError::Campaign(format!(
+                    "inverted injection window [{start}, {end}]"
+                )));
+            }
+            Some((*start, *end))
+        }
+        TriggerPolicy::Triggers(triggers) => {
+            if triggers.is_empty() {
+                return Err(GoofiError::Campaign("empty trigger list".into()));
+            }
+            let trace = trace.ok_or_else(|| {
+                GoofiError::Campaign(
+                    "extended triggers require a reference trace to resolve".into(),
+                )
+            })?;
+            for t in triggers {
+                let time = t.resolve(trace).ok_or_else(|| {
+                    GoofiError::Campaign(format!("trigger {t} never fires in the reference run"))
+                })?;
+                fixed_times.push(time);
+            }
+            None
+        }
+    };
+
+    let mut list = Vec::with_capacity(experiments);
+    for i in 0..experiments {
+        let base_time = match window {
+            Some((s, e)) => rng.gen_range(s..=e),
+            None => fixed_times[i % fixed_times.len()],
+        };
+        let n_bits = match model {
+            FaultModel::MultiBitFlip { bits } => {
+                if bits == 0 {
+                    return Err(GoofiError::Campaign("multi-bit-flip with 0 bits".into()));
+                }
+                bits.min(pool.len())
+            }
+            _ => 1,
+        };
+        // Sample distinct locations.
+        let mut targets = Vec::with_capacity(n_bits);
+        while targets.len() < n_bits {
+            let cand = pool[rng.gen_range(0..pool.len())].clone();
+            if !targets.contains(&cand) {
+                targets.push(cand);
+            }
+        }
+        let times = match model {
+            FaultModel::BitFlip | FaultModel::MultiBitFlip { .. } => vec![base_time],
+            FaultModel::Intermittent { activations } => {
+                if activations == 0 {
+                    return Err(GoofiError::Campaign("intermittent with 0 activations".into()));
+                }
+                let (s, e) = window.unwrap_or((base_time, base_time + 1000));
+                let mut times: Vec<u64> =
+                    (0..activations).map(|_| rng.gen_range(s..=e)).collect();
+                times.sort_unstable();
+                times.dedup();
+                times
+            }
+            FaultModel::StuckAt {
+                reassert_period, ..
+            } => {
+                if reassert_period == 0 {
+                    return Err(GoofiError::Campaign("stuck-at with period 0".into()));
+                }
+                let end = window.map(|(_, e)| e).unwrap_or(base_time + 1000);
+                let mut times = Vec::new();
+                let mut t = base_time;
+                while t <= end && times.len() < 64 {
+                    times.push(t);
+                    t += reassert_period;
+                }
+                times
+            }
+        };
+        list.push(PlannedFault {
+            model,
+            targets,
+            times,
+        });
+    }
+    Ok(list)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::{ChainInfo, FieldInfo, TargetSystemConfig};
+
+    fn config() -> TargetSystemConfig {
+        TargetSystemConfig {
+            name: "test".into(),
+            description: String::new(),
+            chains: vec![ChainInfo {
+                name: "cpu".into(),
+                width: 72,
+                fields: vec![
+                    FieldInfo {
+                        name: "R0".into(),
+                        offset: 0,
+                        width: 32,
+                        writable: true,
+                    },
+                    FieldInfo {
+                        name: "PC".into(),
+                        offset: 32,
+                        width: 32,
+                        writable: true,
+                    },
+                    FieldInfo {
+                        name: "CTRL".into(),
+                        offset: 64,
+                        width: 8,
+                        writable: false,
+                    },
+                ],
+            }],
+            memory: Vec::new(),
+        }
+    }
+
+    fn window(start: u64, end: u64) -> TriggerPolicy {
+        TriggerPolicy::Window { start, end }
+    }
+
+    #[test]
+    fn fault_list_is_seed_deterministic() {
+        let sel = vec![LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: None,
+        }];
+        let a = generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 100), 20, 7, None)
+            .unwrap();
+        let b = generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 100), 20, 7, None)
+            .unwrap();
+        assert_eq!(a, b);
+        let c = generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 100), 20, 8, None)
+            .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn whole_chain_selection_skips_read_only_fields() {
+        let sel = vec![LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: None,
+        }];
+        let list =
+            generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 10), 200, 1, None)
+                .unwrap();
+        for f in &list {
+            match &f.targets[0] {
+                Location::ChainBit { bit, .. } => assert!(*bit < 64, "hit read-only bit {bit}"),
+                other => panic!("unexpected location {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_read_only_field_is_an_error() {
+        let sel = vec![LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: Some("CTRL".into()),
+        }];
+        let err = generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 10), 1, 1, None)
+            .unwrap_err();
+        assert!(matches!(err, GoofiError::Campaign(_)));
+    }
+
+    #[test]
+    fn field_restriction_respected() {
+        let sel = vec![LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: Some("PC".into()),
+        }];
+        let list =
+            generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(5, 5), 50, 3, None)
+                .unwrap();
+        for f in &list {
+            match &f.targets[0] {
+                Location::ChainBit { bit, .. } => assert!((32..64).contains(bit)),
+                other => panic!("unexpected location {other}"),
+            }
+            assert_eq!(f.times, vec![5]);
+        }
+    }
+
+    #[test]
+    fn memory_selector_produces_memory_bits() {
+        let sel = vec![LocationSelector::Memory {
+            start: 0x4000,
+            words: 2,
+        }];
+        let list =
+            generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 0), 100, 3, None)
+                .unwrap();
+        for f in &list {
+            match &f.targets[0] {
+                Location::MemoryBit { addr, bit } => {
+                    assert!(*addr == 0x4000 || *addr == 0x4004);
+                    assert!(*bit < 32);
+                }
+                other => panic!("unexpected location {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn multi_bit_targets_are_distinct() {
+        let sel = vec![LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: Some("R0".into()),
+        }];
+        let list = generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::MultiBitFlip { bits: 3 },
+            &window(0, 10),
+            30,
+            5,
+            None,
+        )
+        .unwrap();
+        for f in &list {
+            assert_eq!(f.targets.len(), 3);
+            let mut t = f.targets.clone();
+            t.dedup();
+            assert_eq!(t.len(), 3);
+        }
+    }
+
+    #[test]
+    fn intermittent_gets_multiple_sorted_times() {
+        let sel = vec![LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: Some("R0".into()),
+        }];
+        let list = generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::Intermittent { activations: 5 },
+            &window(0, 1000),
+            10,
+            5,
+            None,
+        )
+        .unwrap();
+        for f in &list {
+            assert!(!f.times.is_empty() && f.times.len() <= 5);
+            assert!(f.times.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn stuck_at_reasserts_periodically() {
+        let sel = vec![LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: Some("R0".into()),
+        }];
+        let list = generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::StuckAt {
+                value: true,
+                reassert_period: 10,
+            },
+            &window(0, 50),
+            5,
+            5,
+            None,
+        )
+        .unwrap();
+        for f in &list {
+            assert!(f.times.windows(2).all(|w| w[1] - w[0] == 10));
+            assert!(*f.times.last().unwrap() <= 50);
+        }
+    }
+
+    #[test]
+    fn apply_to_chain_flips_and_forces() {
+        let mut bits = crate::bits::StateVector::zeros(8);
+        let f = PlannedFault {
+            model: FaultModel::BitFlip,
+            targets: vec![Location::ChainBit {
+                chain: "cpu".into(),
+                bit: 3,
+            }],
+            times: vec![0],
+        };
+        f.apply_to_chain("cpu", &mut bits);
+        assert!(bits.get(3));
+        f.apply_to_chain("other", &mut bits); // wrong chain: no-op
+        assert!(bits.get(3));
+        let s = PlannedFault {
+            model: FaultModel::StuckAt {
+                value: false,
+                reassert_period: 1,
+            },
+            targets: vec![Location::ChainBit {
+                chain: "cpu".into(),
+                bit: 3,
+            }],
+            times: vec![0],
+        };
+        s.apply_to_chain("cpu", &mut bits);
+        assert!(!bits.get(3));
+        s.apply_to_chain("cpu", &mut bits); // stuck: idempotent
+        assert!(!bits.get(3));
+    }
+
+    #[test]
+    fn apply_to_word_variants() {
+        let flip = PlannedFault {
+            model: FaultModel::BitFlip,
+            targets: vec![Location::MemoryBit { addr: 8, bit: 1 }],
+            times: vec![0],
+        };
+        assert_eq!(flip.apply_to_word(8, 0), 0b10);
+        assert_eq!(flip.apply_to_word(8, 0b10), 0);
+        assert_eq!(flip.apply_to_word(4, 0), 0, "other address untouched");
+        let stuck1 = PlannedFault {
+            model: FaultModel::StuckAt {
+                value: true,
+                reassert_period: 1,
+            },
+            targets: vec![Location::MemoryBit { addr: 8, bit: 0 }],
+            times: vec![0],
+        };
+        assert_eq!(stuck1.apply_to_word(8, 0), 1);
+        assert_eq!(stuck1.apply_to_word(8, 1), 1);
+    }
+
+    #[test]
+    fn architectural_names_resolve() {
+        let cfg = config();
+        let l = Location::ChainBit {
+            chain: "cpu".into(),
+            bit: 40,
+        };
+        assert_eq!(l.architectural_name(&cfg), Some("PC".into()));
+        let m = Location::MemoryBit {
+            addr: 0x4000,
+            bit: 2,
+        };
+        assert_eq!(m.architectural_name(&cfg), Some("MEM[0x4000]".into()));
+    }
+
+    #[test]
+    fn invalid_campaigns_rejected() {
+        let sel = vec![LocationSelector::Chain {
+            chain: "nope".into(),
+            field: None,
+        }];
+        assert!(generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 1), 1, 1, None)
+            .is_err());
+        let sel = vec![LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: None,
+        }];
+        assert!(
+            generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(5, 1), 1, 1, None)
+                .is_err(),
+            "inverted window"
+        );
+        assert!(
+            generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 1), 0, 1, None)
+                .is_err(),
+            "zero experiments"
+        );
+        assert!(generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::BitFlip,
+            &TriggerPolicy::Triggers(vec![]),
+            1,
+            1,
+            None
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! # goofi-core — the GOOFI generic fault-injection framework
+//!
+//! A Rust reproduction of the architecture of *GOOFI: Generic
+//! Object-Oriented Fault Injection Tool* (Aidemark, Vinter, Folkesson,
+//! Karlsson — DSN 2001). The paper's three layers map to:
+//!
+//! * **GUI** → the [`progress`] control surface plus the `goofi-cli` crate;
+//! * **FaultInjectionAlgorithms / Framework / TargetSystemInterface** →
+//!   the [`TargetSystemInterface`] trait (abstract building blocks with
+//!   framework-template defaults), the [`algorithm`] module
+//!   (`faultInjectorSCIFI` & friends), [`fault`] models, [`trigger`]s,
+//!   campaign definitions ([`Campaign`]), [`preinject`]ion analysis and the
+//!   [`runner`];
+//! * **Database** → the [`store`] module on `goofi-db`, implementing the
+//!   Fig. 4 schema (`TargetSystemData` → `CampaignData` →
+//!   `LoggedSystemState` with a self-referencing `parentExperiment`).
+//!
+//! The [`analysis`] module implements the Section 3.4 outcome taxonomy
+//! (Detected per mechanism / Escaped / Latent / Overwritten) and the
+//! automatic analyzer the paper lists as future work.
+//!
+//! # Examples
+//!
+//! A campaign against an in-process target adapter (see `goofi-targets`
+//! for real adapters):
+//!
+//! ```no_run
+//! use goofi_core::{Campaign, FaultModel, LocationSelector, Technique};
+//!
+//! let campaign = Campaign::builder("demo", "thor-card", "sort16")
+//!     .technique(Technique::Scifi)
+//!     .select(LocationSelector::Chain { chain: "cpu".into(), field: None })
+//!     .fault_model(FaultModel::BitFlip)
+//!     .window(0, 1_000)
+//!     .experiments(500)
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid campaign");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod analysis;
+mod bits;
+mod campaign;
+pub mod dependability;
+mod error;
+pub mod fault;
+pub mod preinject;
+pub mod progress;
+pub mod propagation;
+pub mod runner;
+pub mod store;
+mod target;
+pub mod trigger;
+
+pub use algorithm::{reference_run, run_experiment, ExperimentRun, DETAIL_SNAPSHOT_CAP};
+pub use analysis::{
+    LocationSensitivity,
+    detection_latency, LatencyStats,
+    analyze_campaign, classify, classify_records, wilson, CampaignStats, EscapeKind, Outcome,
+    Proportion,
+};
+pub use bits::StateVector;
+pub use campaign::{Campaign, CampaignBuilder, LogMode, Technique};
+pub use error::{GoofiError, Result};
+pub use fault::{
+    generate_fault_list, FaultModel, Location, LocationSelector, PlannedFault, TriggerPolicy,
+};
+pub use dependability::{
+    duplex_mttf, duplex_reliability, duplex_reliability_interval, single_node_availability,
+    single_node_reliability, DependabilityParams,
+};
+pub use preinject::{FirstUse, LivenessAnalysis};
+pub use propagation::{analyze_propagation, PropagationReport, PropagationStep};
+pub use progress::{control_channel, Command, ControlHandle, Controller, ProgressEvent};
+pub use runner::{resume_campaign, run_campaign, run_campaign_parallel, CampaignResult};
+pub use store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
+pub use target::{
+    MemoryRole,
+    mem_loc_name, ChainInfo, FieldInfo, MemoryRegion, TargetEvent, TargetSystemConfig,
+    TargetSystemInterface, TraceStep,
+};
+pub use trigger::Trigger;

@@ -1,0 +1,253 @@
+//! Error-propagation analysis over detail-mode traces.
+//!
+//! The paper's detail mode exists so that "the error propagation \[can\] be
+//! analysed in detail" (Section 3.3): the tool logs the full observable
+//! state after every instruction of a faulty run and the analyst compares
+//! it against the fault-free execution. This module is that comparison:
+//! given the reference and faulty snapshot sequences (aligned to absolute
+//! instruction indices), it reports when the corrupted state first
+//! appeared, how it spread across state-vector fields over time, and
+//! whether it died out before the end of the run.
+
+use crate::bits::StateVector;
+use crate::target::ChainInfo;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Per-instruction corruption summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropagationStep {
+    /// Absolute instruction index of the snapshot.
+    pub time: u64,
+    /// Number of corrupted bits at this instant.
+    pub corrupted_bits: usize,
+    /// Names of corrupted fields (resolved through the chain layout given
+    /// to [`analyze_propagation`]); bits outside any known field are
+    /// reported as `"?"`.
+    pub corrupted_fields: Vec<String>,
+}
+
+/// The result of comparing a faulty detail trace against the reference.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PropagationReport {
+    /// Instruction index of the first divergence, if any.
+    pub first_divergence: Option<u64>,
+    /// Largest number of simultaneously corrupted bits.
+    pub peak_corruption: usize,
+    /// Whether the corruption disappeared again before the trace ended
+    /// (the fault was overwritten during the observed window).
+    pub died_out: bool,
+    /// Fields ever touched by corruption, with the instant they were first
+    /// corrupted — the propagation path.
+    pub infection_order: Vec<(String, u64)>,
+    /// Per-step corruption timeline (only steps with corruption).
+    pub timeline: Vec<PropagationStep>,
+}
+
+impl PropagationReport {
+    /// Number of distinct fields ever corrupted.
+    pub fn footprint(&self) -> usize {
+        self.infection_order.len()
+    }
+}
+
+/// Maps a bit position of the observable state vector to a field name.
+///
+/// The observable state of a target is the concatenation of its chains
+/// (byte-aligned per chain, as the adapters build it), so the caller
+/// passes the same chain list the target's `describe()` reports. Bits
+/// beyond the chains (e.g. observed memory words) map to `"MEM+<offset>"`.
+fn field_namer(chains: &[ChainInfo]) -> impl Fn(usize) -> String + '_ {
+    // Precompute byte-aligned chain extents, mirroring the adapters'
+    // observe_state layout.
+    let mut extents = Vec::new();
+    let mut offset = 0usize;
+    for chain in chains {
+        let bits = chain.width;
+        extents.push((offset, chain));
+        offset += bits.div_ceil(8) * 8; // byte aligned
+    }
+    let chains_end = offset;
+    move |pos: usize| {
+        for (start, chain) in &extents {
+            if pos >= *start && pos < start + chain.width {
+                let within = pos - start;
+                return match chain.field_at(within) {
+                    Some(f) => format!("{}.{}", chain.name, f.name),
+                    None => format!("{}[{}]", chain.name, within),
+                };
+            }
+        }
+        if pos >= chains_end {
+            format!("MEM+{}", (pos - chains_end) / 32 * 4)
+        } else {
+            "?".to_owned()
+        }
+    }
+}
+
+/// Compares a faulty detail trace against the reference trace.
+///
+/// `offset` is the absolute instruction index of the *first faulty
+/// snapshot* (faulty detail traces start at the injection breakpoint;
+/// pass 0 when both traces start at the beginning). The reference trace
+/// must start at instruction 0.
+pub fn analyze_propagation(
+    reference: &[StateVector],
+    faulty: &[StateVector],
+    offset: usize,
+    chains: &[ChainInfo],
+) -> PropagationReport {
+    let name_of = field_namer(chains);
+    let mut first_divergence = None;
+    let mut peak = 0usize;
+    let mut infection: BTreeMap<String, u64> = BTreeMap::new();
+    let mut timeline = Vec::new();
+    let mut last_corrupted = 0usize;
+
+    for (i, faulty_snap) in faulty.iter().enumerate() {
+        let Some(ref_snap) = reference.get(offset + i) else {
+            break;
+        };
+        if faulty_snap.len() != ref_snap.len() {
+            break;
+        }
+        let time = (offset + i) as u64;
+        let diff = ref_snap.diff_positions(faulty_snap);
+        last_corrupted = diff.len();
+        if diff.is_empty() {
+            continue;
+        }
+        if first_divergence.is_none() {
+            first_divergence = Some(time);
+        }
+        peak = peak.max(diff.len());
+        let mut fields: Vec<String> = diff.iter().map(|&p| name_of(p)).collect();
+        fields.sort_unstable();
+        fields.dedup();
+        for f in &fields {
+            infection.entry(f.clone()).or_insert(time);
+        }
+        timeline.push(PropagationStep {
+            time,
+            corrupted_bits: diff.len(),
+            corrupted_fields: fields,
+        });
+    }
+
+    let mut infection_order: Vec<(String, u64)> = infection.into_iter().collect();
+    infection_order.sort_by_key(|(_, t)| *t);
+
+    PropagationReport {
+        first_divergence,
+        peak_corruption: peak,
+        died_out: first_divergence.is_some() && last_corrupted == 0,
+        infection_order,
+        timeline,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::FieldInfo;
+
+    fn chains() -> Vec<ChainInfo> {
+        vec![ChainInfo {
+            name: "cpu".into(),
+            width: 16,
+            fields: vec![
+                FieldInfo {
+                    name: "A".into(),
+                    offset: 0,
+                    width: 8,
+                    writable: true,
+                },
+                FieldInfo {
+                    name: "B".into(),
+                    offset: 8,
+                    width: 8,
+                    writable: true,
+                },
+            ],
+        }]
+    }
+
+    fn snap(bits: &[usize]) -> StateVector {
+        let mut v = StateVector::zeros(16);
+        for b in bits {
+            v.flip(*b);
+        }
+        v
+    }
+
+    #[test]
+    fn no_divergence_reports_clean() {
+        let reference = vec![snap(&[]), snap(&[1])];
+        let report = analyze_propagation(&reference, &reference, 0, &chains());
+        assert_eq!(report.first_divergence, None);
+        assert_eq!(report.peak_corruption, 0);
+        assert!(!report.died_out);
+        assert!(report.timeline.is_empty());
+    }
+
+    #[test]
+    fn tracks_spread_across_fields() {
+        // Reference is all zero; fault appears in A at t=1 and spreads to
+        // B at t=2.
+        let reference = vec![snap(&[]), snap(&[]), snap(&[])];
+        let faulty = vec![snap(&[]), snap(&[2]), snap(&[2, 9])];
+        let report = analyze_propagation(&reference, &faulty, 0, &chains());
+        assert_eq!(report.first_divergence, Some(1));
+        assert_eq!(report.peak_corruption, 2);
+        assert_eq!(
+            report.infection_order,
+            vec![("cpu.A".to_string(), 1), ("cpu.B".to_string(), 2)]
+        );
+        assert!(!report.died_out);
+        assert_eq!(report.footprint(), 2);
+    }
+
+    #[test]
+    fn detects_corruption_dying_out() {
+        let reference = vec![snap(&[]), snap(&[]), snap(&[])];
+        let faulty = vec![snap(&[3]), snap(&[3]), snap(&[])];
+        let report = analyze_propagation(&reference, &faulty, 0, &chains());
+        assert_eq!(report.first_divergence, Some(0));
+        assert!(report.died_out, "fault was overwritten inside the window");
+    }
+
+    #[test]
+    fn offset_aligns_injection_time() {
+        // Faulty trace starts at absolute instruction 5.
+        let reference: Vec<StateVector> = (0..8).map(|_| snap(&[])).collect();
+        let faulty = vec![snap(&[9]), snap(&[9])];
+        let report = analyze_propagation(&reference, &faulty, 5, &chains());
+        assert_eq!(report.first_divergence, Some(5));
+        assert_eq!(report.infection_order[0].0, "cpu.B");
+    }
+
+    #[test]
+    fn bits_beyond_chains_map_to_memory() {
+        // 16-bit chain is byte aligned to 16 bits; bit 40 = memory word 0
+        // bit 24 -> MEM+0... (40-16=24, /32=0 word, *4 = byte 0).
+        let mut a = StateVector::zeros(64);
+        let b = {
+            let mut b = StateVector::zeros(64);
+            b.flip(40);
+            b
+        };
+        a.flip(40);
+        let reference = vec![StateVector::zeros(64)];
+        let report = analyze_propagation(&reference, &[b], 0, &chains());
+        assert_eq!(report.infection_order[0].0, "MEM+0");
+    }
+
+    #[test]
+    fn truncated_reference_stops_cleanly() {
+        let reference = vec![snap(&[])];
+        let faulty = vec![snap(&[1]), snap(&[1]), snap(&[1])];
+        let report = analyze_propagation(&reference, &faulty, 0, &chains());
+        assert_eq!(report.timeline.len(), 1);
+    }
+}

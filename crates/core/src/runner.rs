@@ -1,0 +1,785 @@
+//! Campaign orchestration: the fault-injection phase end to end.
+//!
+//! [`run_campaign`] is the paper's Section 3.3 flow: read campaign data,
+//! make a reference run, then execute every experiment, logging each to
+//! `LoggedSystemState` and reporting progress to the Fig. 7 window
+//! equivalent. [`run_campaign_parallel`] is our orchestration ablation
+//! (experiment E8): experiments are independent, so workers each drive
+//! their own target instance.
+
+use crate::algorithm::{reference_run, run_experiment, ExperimentRun};
+use crate::analysis::CampaignStats;
+use crate::campaign::Campaign;
+use crate::error::{GoofiError, Result};
+use crate::fault::{generate_fault_list, PlannedFault, TriggerPolicy};
+use crate::preinject::LivenessAnalysis;
+use crate::progress::{Controller, ProgressEvent};
+use crate::store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
+use crate::target::TargetSystemInterface;
+
+/// Everything a finished campaign produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignResult {
+    /// The campaign that ran.
+    pub campaign: Campaign,
+    /// The fault-free reference run.
+    pub reference: ExperimentRun,
+    /// One run per experiment, in fault-list order (pruned experiments are
+    /// synthesised from the reference and flagged).
+    pub runs: Vec<ExperimentRun>,
+    /// Classification statistics.
+    pub stats: CampaignStats,
+}
+
+impl CampaignResult {
+    /// Number of experiments pre-injection analysis skipped.
+    pub fn pruned(&self) -> usize {
+        self.runs.iter().filter(|r| r.pruned).count()
+    }
+}
+
+fn experiment_name(campaign: &str, index: usize) -> String {
+    format!("{campaign}/{index:05}")
+}
+
+fn record_of(campaign: &Campaign, name: String, run: &ExperimentRun) -> ExperimentRecord {
+    ExperimentRecord {
+        name,
+        parent: None,
+        campaign: campaign.name.clone(),
+        data: ExperimentData {
+            fault: run.fault.clone(),
+            termination: run.termination.clone(),
+            outputs: run.outputs.clone(),
+            iterations: run.iterations,
+            instructions: run.instructions,
+            detail_trace: run
+                .detail_trace
+                .as_ref()
+                .map(|t| t.iter().map(|s| s.as_bytes().to_vec()).collect()),
+        },
+        state_vector: run.state.as_bytes().to_vec(),
+    }
+}
+
+/// Builds the synthetic result of a pruned experiment: by the soundness of
+/// the liveness analysis its outcome is exactly the reference outcome.
+fn pruned_run(reference: &ExperimentRun, fault: &PlannedFault) -> ExperimentRun {
+    let mut run = reference.clone();
+    run.fault = Some(fault.clone());
+    run.pruned = true;
+    run.activations_done = 0;
+    run.detail_trace = None;
+    run
+}
+
+/// Prepares the shared campaign inputs: reference trace (when needed),
+/// fault list, and liveness analysis.
+fn prepare(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+) -> Result<(Vec<PlannedFault>, Option<LivenessAnalysis>)> {
+    campaign.validate()?;
+    let config = target.describe();
+    let needs_trace = campaign.pre_injection_analysis
+        || matches!(campaign.trigger, TriggerPolicy::Triggers(_));
+    let trace = if needs_trace {
+        target.init_test_card()?;
+        target.load_workload()?;
+        Some(target.collect_trace()?)
+    } else {
+        None
+    };
+    let faults = generate_fault_list(
+        &config,
+        &campaign.selectors,
+        campaign.fault_model,
+        &campaign.trigger,
+        campaign.experiments,
+        campaign.seed,
+        trace.as_deref(),
+    )?;
+    let liveness = if campaign.pre_injection_analysis {
+        Some(LivenessAnalysis::from_trace(
+            trace.as_deref().expect("trace collected above"),
+        ))
+    } else {
+        None
+    };
+    Ok((faults, liveness))
+}
+
+/// Runs a campaign sequentially on one target.
+///
+/// * `store`: when provided, the reference run and every experiment are
+///   logged to `LoggedSystemState` (the campaign row must exist).
+/// * `controller`: when provided, progress events are emitted and
+///   pause/stop commands honoured at experiment boundaries. A stopped
+///   campaign returns the completed prefix, not an error.
+///
+/// # Errors
+///
+/// Campaign validation errors, target errors, and database errors.
+pub fn run_campaign(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+    mut store: Option<&mut GoofiStore>,
+    controller: Option<&Controller>,
+) -> Result<CampaignResult> {
+    let (faults, liveness) = prepare(target, campaign)?;
+    let config = target.describe();
+
+    if let Some(ctl) = controller {
+        ctl.emit(ProgressEvent::Started {
+            campaign: campaign.name.clone(),
+            total: faults.len(),
+        });
+    }
+
+    let reference = reference_run(target, campaign)?;
+    if let Some(store) = store.as_deref_mut() {
+        store.log_experiment(&record_of(
+            campaign,
+            reference_experiment_name(&campaign.name),
+            &reference,
+        ))?;
+    }
+
+    let mut runs = Vec::with_capacity(faults.len());
+    let mut stopped = false;
+    for (i, fault) in faults.iter().enumerate() {
+        if let Some(ctl) = controller {
+            match ctl.checkpoint() {
+                Ok(()) => {}
+                Err(GoofiError::Stopped) => {
+                    stopped = true;
+                    break;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        let pruned = liveness
+            .as_ref()
+            .map(|l| l.can_prune(&config, fault))
+            .unwrap_or(false);
+        let run = if pruned {
+            pruned_run(&reference, fault)
+        } else {
+            run_experiment(target, campaign, fault)?
+        };
+        if let Some(store) = store.as_deref_mut() {
+            store.log_experiment(&record_of(
+                campaign,
+                experiment_name(&campaign.name, i),
+                &run,
+            ))?;
+        }
+        if let Some(ctl) = controller {
+            ctl.emit(ProgressEvent::ExperimentDone {
+                completed: i + 1,
+                total: faults.len(),
+                pruned,
+            });
+        }
+        runs.push(run);
+    }
+
+    if let Some(ctl) = controller {
+        ctl.emit(ProgressEvent::Finished {
+            completed: runs.len(),
+            stopped,
+        });
+    }
+
+    let stats = CampaignStats::from_runs(&reference, &runs);
+    Ok(CampaignResult {
+        campaign: campaign.clone(),
+        reference,
+        runs,
+        stats,
+    })
+}
+
+/// Resumes a partially-run campaign from its logged rows (the Fig. 7
+/// progress window's "restart" after a stop or crash): experiments whose
+/// `LoggedSystemState` row already exists are skipped; the reference run
+/// is reused from the store when present. Returns the *complete* result
+/// (stored rows + freshly run experiments, in fault-list order).
+///
+/// # Errors
+///
+/// As [`run_campaign`]; additionally [`GoofiError::Protocol`] if stored
+/// rows cannot be decoded.
+pub fn resume_campaign(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+    store: &mut GoofiStore,
+    controller: Option<&Controller>,
+) -> Result<CampaignResult> {
+    let (faults, liveness) = prepare(target, campaign)?;
+    let config = target.describe();
+
+    // Reference: reuse the stored row, or make and log it now.
+    let ref_name = reference_experiment_name(&campaign.name);
+    let reference = match store.get_experiment(&ref_name) {
+        Ok(record) => record.to_run(),
+        Err(_) => {
+            let reference = reference_run(target, campaign)?;
+            store.log_experiment(&record_of(campaign, ref_name, &reference))?;
+            reference
+        }
+    };
+
+    if let Some(ctl) = controller {
+        ctl.emit(ProgressEvent::Started {
+            campaign: campaign.name.clone(),
+            total: faults.len(),
+        });
+    }
+
+    let mut runs = Vec::with_capacity(faults.len());
+    let mut stopped = false;
+    for (i, fault) in faults.iter().enumerate() {
+        let name = experiment_name(&campaign.name, i);
+        if let Ok(record) = store.get_experiment(&name) {
+            runs.push(record.to_run());
+            continue;
+        }
+        if let Some(ctl) = controller {
+            match ctl.checkpoint() {
+                Ok(()) => {}
+                Err(GoofiError::Stopped) => {
+                    stopped = true;
+                    break;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        let pruned = liveness
+            .as_ref()
+            .map(|l| l.can_prune(&config, fault))
+            .unwrap_or(false);
+        let run = if pruned {
+            pruned_run(&reference, fault)
+        } else {
+            run_experiment(target, campaign, fault)?
+        };
+        store.log_experiment(&record_of(campaign, name, &run))?;
+        if let Some(ctl) = controller {
+            ctl.emit(ProgressEvent::ExperimentDone {
+                completed: i + 1,
+                total: faults.len(),
+                pruned,
+            });
+        }
+        runs.push(run);
+    }
+
+    if let Some(ctl) = controller {
+        ctl.emit(ProgressEvent::Finished {
+            completed: runs.len(),
+            stopped,
+        });
+    }
+
+    let stats = CampaignStats::from_runs(&reference, &runs);
+    Ok(CampaignResult {
+        campaign: campaign.clone(),
+        reference,
+        runs,
+        stats,
+    })
+}
+
+/// Runs a campaign with `workers` parallel targets created by `factory`.
+/// Experiments are distributed round-robin; results come back in
+/// fault-list order, so the outcome is identical to the sequential runner
+/// (targets are deterministic simulators). When `store` is provided, the
+/// reference and all experiments are logged after completion, in
+/// fault-list order (identical rows to the sequential runner's).
+///
+/// # Errors
+///
+/// As [`run_campaign`]. The first worker error aborts the campaign.
+pub fn run_campaign_parallel<F>(
+    factory: F,
+    campaign: &Campaign,
+    workers: usize,
+    store: Option<&mut GoofiStore>,
+) -> Result<CampaignResult>
+where
+    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
+{
+    if workers <= 1 {
+        let mut target = factory();
+        return run_campaign(target.as_mut(), campaign, store, None);
+    }
+    // Prepare on a scratch target.
+    let mut scratch = factory();
+    let (faults, liveness) = prepare(scratch.as_mut(), campaign)?;
+    let config = scratch.describe();
+    let reference = reference_run(scratch.as_mut(), campaign)?;
+    drop(scratch);
+
+    let mut slots: Vec<Option<ExperimentRun>> = vec![None; faults.len()];
+    let errors: std::sync::Mutex<Vec<GoofiError>> = std::sync::Mutex::new(Vec::new());
+    let results: std::sync::Mutex<Vec<(usize, ExperimentRun)>> =
+        std::sync::Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let faults = &faults;
+            let liveness = &liveness;
+            let config = &config;
+            let reference = &reference;
+            let errors = &errors;
+            let results = &results;
+            let factory = &factory;
+            scope.spawn(move || {
+                let mut target = factory();
+                for (i, fault) in faults.iter().enumerate() {
+                    if i % workers != w {
+                        continue;
+                    }
+                    if !errors.lock().expect("no poisoned lock").is_empty() {
+                        return;
+                    }
+                    let pruned = liveness
+                        .as_ref()
+                        .map(|l| l.can_prune(config, fault))
+                        .unwrap_or(false);
+                    let run = if pruned {
+                        Ok(pruned_run(reference, fault))
+                    } else {
+                        run_experiment(target.as_mut(), campaign, fault)
+                    };
+                    match run {
+                        Ok(run) => results.lock().expect("no poisoned lock").push((i, run)),
+                        Err(e) => {
+                            errors.lock().expect("no poisoned lock").push(e);
+                            return;
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let mut errors = errors.into_inner().expect("no poisoned lock");
+    if let Some(e) = errors.pop() {
+        return Err(e);
+    }
+    for (i, run) in results.into_inner().expect("no poisoned lock") {
+        slots[i] = Some(run);
+    }
+    let runs: Vec<ExperimentRun> = slots
+        .into_iter()
+        .map(|s| s.ok_or_else(|| GoofiError::Protocol("missing experiment result".into())))
+        .collect::<Result<_>>()?;
+
+    if let Some(store) = store {
+        store.log_experiment(&record_of(
+            campaign,
+            reference_experiment_name(&campaign.name),
+            &reference,
+        ))?;
+        for (i, run) in runs.iter().enumerate() {
+            store.log_experiment(&record_of(
+                campaign,
+                experiment_name(&campaign.name, i),
+                run,
+            ))?;
+        }
+    }
+
+    let stats = CampaignStats::from_runs(&reference, &runs);
+    Ok(CampaignResult {
+        campaign: campaign.clone(),
+        reference,
+        runs,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::StateVector;
+    use crate::campaign::Technique;
+    use crate::fault::{FaultModel, LocationSelector};
+    use crate::progress::{control_channel, Command};
+    use crate::target::{
+        ChainInfo, FieldInfo, TargetEvent, TargetSystemConfig, TraceStep,
+    };
+
+    /// A miniature deterministic target: one 8-bit "R0" register chain; the
+    /// workload reads R0 at t=5 into its output, overwrites R0 at t=10 and
+    /// halts at t=20.
+    struct MiniTarget {
+        r0: u8,
+        out: u8,
+        now: u64,
+        armed: Option<u64>,
+    }
+
+    impl MiniTarget {
+        fn new() -> Self {
+            MiniTarget {
+                r0: 0,
+                out: 0,
+                now: 0,
+                armed: None,
+            }
+        }
+
+        fn advance_to(&mut self, t: u64) {
+            while self.now < t && self.now < 20 {
+                self.tick();
+            }
+        }
+
+        fn tick(&mut self) {
+            match self.now {
+                5 => self.out = self.r0.wrapping_add(1),
+                10 => self.r0 = 7,
+                _ => {}
+            }
+            self.now += 1;
+        }
+    }
+
+    impl TargetSystemInterface for MiniTarget {
+        fn target_name(&self) -> &str {
+            "mini"
+        }
+
+        fn describe(&self) -> TargetSystemConfig {
+            TargetSystemConfig {
+                name: "mini".into(),
+                description: String::new(),
+                chains: vec![ChainInfo {
+                    name: "cpu".into(),
+                    width: 8,
+                    fields: vec![FieldInfo {
+                        name: "R0".into(),
+                        offset: 0,
+                        width: 8,
+                        writable: true,
+                    }],
+                }],
+                memory: Vec::new(),
+            }
+        }
+
+        fn init_test_card(&mut self) -> Result<()> {
+            *self = MiniTarget::new();
+            Ok(())
+        }
+
+        fn load_workload(&mut self) -> Result<()> {
+            self.r0 = 3;
+            Ok(())
+        }
+
+        fn run_workload(&mut self) -> Result<()> {
+            Ok(())
+        }
+
+        fn set_breakpoint(&mut self, time: u64) -> Result<()> {
+            self.armed = Some(time);
+            Ok(())
+        }
+
+        fn wait_for_breakpoint(&mut self) -> Result<TargetEvent> {
+            match self.armed.take() {
+                Some(t) if t < 20 => {
+                    self.advance_to(t);
+                    Ok(TargetEvent::BreakpointHit { time: t })
+                }
+                _ => {
+                    self.advance_to(20);
+                    Ok(TargetEvent::Halted)
+                }
+            }
+        }
+
+        fn wait_for_termination(&mut self) -> Result<TargetEvent> {
+            self.advance_to(20);
+            Ok(TargetEvent::Halted)
+        }
+
+        fn read_scan_chain(&mut self, _chain: &str) -> Result<StateVector> {
+            let mut bits = StateVector::zeros(8);
+            for i in 0..8 {
+                bits.set(i, self.r0 & (1 << i) != 0);
+            }
+            Ok(bits)
+        }
+
+        fn write_scan_chain(&mut self, _chain: &str, bits: &StateVector) -> Result<()> {
+            let mut v = 0u8;
+            for i in 0..8 {
+                if bits.get(i) {
+                    v |= 1 << i;
+                }
+            }
+            self.r0 = v;
+            Ok(())
+        }
+
+        fn observe_state(&mut self) -> Result<StateVector> {
+            let mut bits = StateVector::zeros(16);
+            for i in 0..8 {
+                bits.set(i, self.r0 & (1 << i) != 0);
+                bits.set(8 + i, self.out & (1 << i) != 0);
+            }
+            Ok(bits)
+        }
+
+        fn read_outputs(&mut self) -> Result<Vec<u32>> {
+            Ok(vec![self.out as u32])
+        }
+
+        fn instructions_retired(&mut self) -> Result<u64> {
+            Ok(self.now)
+        }
+
+        fn iterations_completed(&mut self) -> Result<u32> {
+            Ok(0)
+        }
+
+        fn collect_trace(&mut self) -> Result<Vec<TraceStep>> {
+            // R0 read at 5, written at 10.
+            Ok(vec![
+                TraceStep {
+                    time: 5,
+                    reads: vec!["R0".into()],
+                    writes: vec![],
+                    is_branch: false,
+                    is_call: false,
+                },
+                TraceStep {
+                    time: 10,
+                    reads: vec![],
+                    writes: vec!["R0".into()],
+                    is_branch: false,
+                    is_call: false,
+                },
+            ])
+        }
+
+        fn step_instruction(&mut self) -> Result<Option<TargetEvent>> {
+            self.tick();
+            if self.now >= 20 {
+                Ok(Some(TargetEvent::Halted))
+            } else {
+                Ok(None)
+            }
+        }
+    }
+
+    fn campaign(n: usize, window: (u64, u64)) -> Campaign {
+        Campaign::builder("mini-c", "mini", "w")
+            .technique(Technique::Scifi)
+            .select(LocationSelector::Chain {
+                chain: "cpu".into(),
+                field: Some("R0".into()),
+            })
+            .fault_model(FaultModel::BitFlip)
+            .window(window.0, window.1)
+            .experiments(n)
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn campaign_produces_all_four_outcomes_where_expected() {
+        // Window [0,4]: injected before the read at 5 -> wrong output
+        // (escaped) unless the flip leaves out unchanged (impossible: any
+        // bit flip changes r0 and out = r0+1 observes all 8 bits).
+        let mut t = MiniTarget::new();
+        let result = run_campaign(&mut t, &campaign(10, (0, 4)), None, None).unwrap();
+        assert_eq!(result.stats.escaped_total(), 10);
+        // Window [6,9]: after the read, before the overwrite at 10:
+        // r0 is rewritten at 10, so flips vanish -> all overwritten.
+        let mut t = MiniTarget::new();
+        let result = run_campaign(&mut t, &campaign(10, (6, 9)), None, None).unwrap();
+        assert_eq!(result.stats.overwritten, 10);
+        // Window [11,19]: flips in r0 persist to final state but output
+        // already produced -> latent.
+        let mut t = MiniTarget::new();
+        let result = run_campaign(&mut t, &campaign(10, (11, 19)), None, None).unwrap();
+        assert_eq!(result.stats.latent, 10);
+    }
+
+    #[test]
+    fn preinjection_prunes_exactly_the_dead_window() {
+        let mut c = campaign(20, (6, 9));
+        c.pre_injection_analysis = true;
+        let mut t = MiniTarget::new();
+        let result = run_campaign(&mut t, &c, None, None).unwrap();
+        assert_eq!(result.pruned(), 20, "entire dead window pruned");
+        assert_eq!(result.stats.overwritten, 20);
+        // Live window: nothing pruned.
+        let mut c = campaign(20, (0, 4));
+        c.pre_injection_analysis = true;
+        let mut t = MiniTarget::new();
+        let result = run_campaign(&mut t, &c, None, None).unwrap();
+        assert_eq!(result.pruned(), 0);
+    }
+
+    #[test]
+    fn pruning_is_sound_versus_real_execution() {
+        // Run the same campaign with and without pruning; classification
+        // counts must be identical.
+        let c_plain = campaign(30, (0, 19));
+        let mut c_pruned = c_plain.clone();
+        c_pruned.pre_injection_analysis = true;
+        let mut t = MiniTarget::new();
+        let plain = run_campaign(&mut t, &c_plain, None, None).unwrap();
+        let mut t = MiniTarget::new();
+        let pruned = run_campaign(&mut t, &c_pruned, None, None).unwrap();
+        assert_eq!(plain.stats.escaped_total(), pruned.stats.escaped_total());
+        assert_eq!(plain.stats.latent, pruned.stats.latent);
+        assert_eq!(plain.stats.overwritten, pruned.stats.overwritten);
+        assert!(pruned.pruned() > 0, "some experiments must be pruned");
+    }
+
+    #[test]
+    fn store_logging_writes_reference_and_experiments() {
+        let mut store = GoofiStore::new();
+        let mut t = MiniTarget::new();
+        store.put_target(&t.describe()).unwrap();
+        let c = campaign(5, (0, 19));
+        store.put_campaign(&c).unwrap();
+        let result = run_campaign(&mut t, &c, Some(&mut store), None).unwrap();
+        assert_eq!(result.runs.len(), 5);
+        let rows = store.experiments_of("mini-c").unwrap();
+        assert_eq!(rows.len(), 6, "reference + 5 experiments");
+        assert!(rows.iter().any(|r| r.name == "mini-c/ref"));
+        // Automatic analysis from the database agrees with in-memory stats.
+        let stats = crate::analysis::analyze_campaign(&store, "mini-c").unwrap();
+        assert_eq!(stats.total(), 5);
+        assert_eq!(stats.escaped_total(), result.stats.escaped_total());
+        assert_eq!(stats.latent, result.stats.latent);
+        assert_eq!(stats.overwritten, result.stats.overwritten);
+    }
+
+    #[test]
+    fn stop_command_ends_campaign_early() {
+        let (ctl, handle) = control_channel();
+        handle.send(Command::Stop);
+        let mut t = MiniTarget::new();
+        let result = run_campaign(&mut t, &campaign(50, (0, 19)), None, Some(&ctl)).unwrap();
+        assert!(result.runs.is_empty());
+        let events = handle.drain();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ProgressEvent::Finished { stopped: true, .. })));
+    }
+
+    #[test]
+    fn progress_events_count_experiments() {
+        let (ctl, handle) = control_channel();
+        let mut t = MiniTarget::new();
+        run_campaign(&mut t, &campaign(3, (0, 19)), None, Some(&ctl)).unwrap();
+        let events = handle.drain();
+        let done: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, ProgressEvent::ExperimentDone { .. }))
+            .collect();
+        assert_eq!(done.len(), 3);
+        assert!(matches!(
+            events.last(),
+            Some(ProgressEvent::Finished {
+                completed: 3,
+                stopped: false
+            })
+        ));
+    }
+
+    #[test]
+    fn parallel_runner_matches_sequential() {
+        let c = campaign(24, (0, 19));
+        let mut t = MiniTarget::new();
+        let seq = run_campaign(&mut t, &c, None, None).unwrap();
+        let par = run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 4, None).unwrap();
+        assert_eq!(seq.stats, par.stats);
+        assert_eq!(seq.runs.len(), par.runs.len());
+        for (a, b) in seq.runs.iter().zip(&par.runs) {
+            assert_eq!(a.outputs, b.outputs);
+            assert_eq!(a.termination, b.termination);
+        }
+    }
+
+    #[test]
+    fn parallel_runner_logs_identical_rows() {
+        let c = campaign(8, (0, 19));
+        // Sequential with store.
+        let mut seq_store = GoofiStore::new();
+        let mut t = MiniTarget::new();
+        seq_store.put_target(&t.describe()).unwrap();
+        seq_store.put_campaign(&c).unwrap();
+        run_campaign(&mut t, &c, Some(&mut seq_store), None).unwrap();
+        // Parallel with store.
+        let mut par_store = GoofiStore::new();
+        par_store
+            .put_target(&MiniTarget::new().describe())
+            .unwrap();
+        par_store.put_campaign(&c).unwrap();
+        run_campaign_parallel(
+            || Box::new(MiniTarget::new()),
+            &c,
+            3,
+            Some(&mut par_store),
+        )
+        .unwrap();
+        let a = seq_store.experiments_of(&c.name).unwrap();
+        let b = par_store.experiments_of(&c.name).unwrap();
+        assert_eq!(a, b, "row-identical logging");
+    }
+
+    #[test]
+    fn resume_completes_a_stopped_campaign() {
+        let c = campaign(30, (0, 19));
+        // Simulate an interrupted campaign deterministically: log the
+        // reference and the first 10 experiment rows of a full run.
+        let mut t = MiniTarget::new();
+        let full = run_campaign(&mut t, &c, None, None).unwrap();
+        let mut store = GoofiStore::new();
+        store.put_target(&MiniTarget::new().describe()).unwrap();
+        store.put_campaign(&c).unwrap();
+        store
+            .log_experiment(&record_of(
+                &c,
+                reference_experiment_name(&c.name),
+                &full.reference,
+            ))
+            .unwrap();
+        for (i, run) in full.runs.iter().take(10).enumerate() {
+            store
+                .log_experiment(&record_of(&c, experiment_name(&c.name, i), run))
+                .unwrap();
+        }
+
+        // Resume: only the missing 20 run; totals complete and identical.
+        let mut t = MiniTarget::new();
+        let resumed = resume_campaign(&mut t, &c, &mut store, None).unwrap();
+        assert_eq!(resumed.runs.len(), 30);
+        assert_eq!(store.experiments_of(&c.name).unwrap().len(), 31);
+        assert_eq!(resumed.stats, full.stats);
+
+        // Resuming again is a pure replay of stored rows.
+        let mut t = MiniTarget::new();
+        let again = resume_campaign(&mut t, &c, &mut store, None).unwrap();
+        assert_eq!(again.stats, full.stats);
+    }
+
+    #[test]
+    fn parallel_with_one_worker_falls_back() {
+        let c = campaign(4, (0, 19));
+        let par = run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 1, None).unwrap();
+        assert_eq!(par.runs.len(), 4);
+    }
+}

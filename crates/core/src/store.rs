@@ -1,0 +1,562 @@
+//! The GOOFI database layer: the paper's Fig. 4 schema on `goofi-db`.
+//!
+//! Three tables linked by foreign keys: `TargetSystemData` (configuration
+//! phase) → `CampaignData` (set-up phase) → `LoggedSystemState` (fault
+//! injection phase), with `LoggedSystemState.parentExperiment` referencing
+//! `experimentName` in the same table so detail-mode re-runs can track
+//! their original experiment's campaign data.
+
+use crate::campaign::Campaign;
+use crate::error::{GoofiError, Result};
+use crate::fault::PlannedFault;
+use crate::target::{TargetEvent, TargetSystemConfig};
+use goofi_db::{Column, Database, Expr, Insert, Select, TableSchema, Value, ValueType};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The per-experiment payload stored as JSON in the `experimentData`
+/// column ("information about the experiment such as the fault injection
+/// location").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentData {
+    /// The injected fault; `None` for the reference execution.
+    pub fault: Option<PlannedFault>,
+    /// How the experiment terminated.
+    pub termination: TargetEvent,
+    /// Workload outputs read back after termination.
+    pub outputs: Vec<u32>,
+    /// Completed workload iterations (cyclic workloads; 0 for batch).
+    pub iterations: u32,
+    /// Instructions retired at termination (timeliness analysis).
+    pub instructions: u64,
+    /// Detail-mode state snapshots (one packed state vector per executed
+    /// instruction), present only in [`crate::LogMode::Detail`] runs.
+    pub detail_trace: Option<Vec<Vec<u8>>>,
+}
+
+/// One `LoggedSystemState` row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Unique experiment name.
+    pub name: String,
+    /// Parent experiment for detail re-runs (paper Section 2.3).
+    pub parent: Option<String>,
+    /// Owning campaign.
+    pub campaign: String,
+    /// Structured experiment payload.
+    pub data: ExperimentData,
+    /// The logged state vector (packed bits).
+    pub state_vector: Vec<u8>,
+}
+
+impl ExperimentRecord {
+    /// Reconstructs the in-memory run view from a stored row, so all the
+    /// analysis helpers (sensitivity, latency, propagation) work on
+    /// database contents.
+    pub fn to_run(&self) -> crate::algorithm::ExperimentRun {
+        crate::algorithm::ExperimentRun {
+            fault: self.data.fault.clone(),
+            termination: self.data.termination.clone(),
+            outputs: self.data.outputs.clone(),
+            state: crate::bits::StateVector::from_bytes(
+                self.state_vector.clone(),
+                self.state_vector.len() * 8,
+            ),
+            instructions: self.data.instructions,
+            iterations: self.data.iterations,
+            activations_done: usize::from(self.data.fault.is_some()),
+            detail_trace: self.data.detail_trace.as_ref().map(|t| {
+                t.iter()
+                    .map(|b| crate::bits::StateVector::from_bytes(b.clone(), b.len() * 8))
+                    .collect()
+            }),
+            pruned: false,
+        }
+    }
+}
+
+/// Name of the reference-run pseudo-experiment of a campaign.
+pub fn reference_experiment_name(campaign: &str) -> String {
+    format!("{campaign}/ref")
+}
+
+/// The tool's database handle.
+#[derive(Debug, Default)]
+pub struct GoofiStore {
+    db: Database,
+}
+
+impl GoofiStore {
+    /// Creates an empty store with the GOOFI schema.
+    pub fn new() -> GoofiStore {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "TargetSystemData",
+                vec![
+                    Column::new("testCardName", ValueType::Text).primary_key(),
+                    Column::new("description", ValueType::Text),
+                    Column::new("configJson", ValueType::Text).not_null(),
+                ],
+            )
+            .expect("static schema"),
+        )
+        .expect("fresh database");
+        db.create_table(
+            TableSchema::new(
+                "CampaignData",
+                vec![
+                    Column::new("campaignName", ValueType::Text).primary_key(),
+                    Column::new("testCardName", ValueType::Text)
+                        .not_null()
+                        .references("TargetSystemData", "testCardName"),
+                    Column::new("workload", ValueType::Text).not_null(),
+                    Column::new("technique", ValueType::Text).not_null(),
+                    Column::new("faultModel", ValueType::Text).not_null(),
+                    Column::new("nrOfExperiments", ValueType::Integer).not_null(),
+                    Column::new("logMode", ValueType::Text).not_null(),
+                    Column::new("campaignJson", ValueType::Text).not_null(),
+                ],
+            )
+            .expect("static schema"),
+        )
+        .expect("fresh database");
+        db.create_table(
+            TableSchema::new(
+                "LoggedSystemState",
+                vec![
+                    Column::new("experimentName", ValueType::Text).primary_key(),
+                    Column::new("parentExperiment", ValueType::Text)
+                        .references("LoggedSystemState", "experimentName"),
+                    Column::new("campaignName", ValueType::Text)
+                        .not_null()
+                        .references("CampaignData", "campaignName"),
+                    Column::new("experimentData", ValueType::Text).not_null(),
+                    Column::new("stateVector", ValueType::Blob),
+                ],
+            )
+            .expect("static schema"),
+        )
+        .expect("fresh database");
+        GoofiStore { db }
+    }
+
+    /// Direct access to the database, for the analysis phase's "tailor made
+    /// scripts or programs that query the database".
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable database access (ad-hoc SQL).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Persists the store to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`] on I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        self.db.save(path)?;
+        Ok(())
+    }
+
+    /// Loads a store from a file written by [`GoofiStore::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`] on I/O or schema failure.
+    pub fn load(path: impl AsRef<Path>) -> Result<GoofiStore> {
+        let db = Database::load(path)?;
+        for table in ["TargetSystemData", "CampaignData", "LoggedSystemState"] {
+            db.table(table)?;
+        }
+        Ok(GoofiStore { db })
+    }
+
+    // ------------------------------------------------------------------
+    // TargetSystemData
+    // ------------------------------------------------------------------
+
+    /// Stores (or replaces) a target-system configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`].
+    pub fn put_target(&mut self, config: &TargetSystemConfig) -> Result<()> {
+        let json = serde_json::to_string(config)
+            .map_err(|e| GoofiError::Target(format!("config serialisation failed: {e}")))?;
+        // Replace-if-exists keeps the FK graph intact.
+        let existing = self.db.select(
+            Select::from("TargetSystemData")
+                .filter(Expr::col("testCardName").eq(Expr::lit(config.name.as_str()))),
+        )?;
+        if existing.is_empty() {
+            self.db.insert(Insert::into(
+                "TargetSystemData",
+                vec![
+                    config.name.as_str().into(),
+                    config.description.as_str().into(),
+                    json.into(),
+                ],
+            ))?;
+        } else {
+            self.db.update(goofi_db::Update {
+                table: "TargetSystemData".into(),
+                assignments: vec![
+                    (
+                        "description".into(),
+                        Expr::lit(config.description.as_str()),
+                    ),
+                    ("configJson".into(), Expr::lit(json)),
+                ],
+                filter: Some(Expr::col("testCardName").eq(Expr::lit(config.name.as_str()))),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Fetches a target-system configuration by name.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Target`] if absent or corrupt.
+    pub fn get_target(&self, name: &str) -> Result<TargetSystemConfig> {
+        let rs = self.db.select(
+            Select::from("TargetSystemData")
+                .columns(vec![Expr::col("configJson")])
+                .filter(Expr::col("testCardName").eq(Expr::lit(name))),
+        )?;
+        let json = rs
+            .rows
+            .first()
+            .and_then(|r| r[0].as_text())
+            .ok_or_else(|| GoofiError::Target(format!("no stored target `{name}`")))?;
+        serde_json::from_str(json)
+            .map_err(|e| GoofiError::Target(format!("corrupt target config `{name}`: {e}")))
+    }
+
+    /// Names of all stored targets.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`].
+    pub fn list_targets(&self) -> Result<Vec<String>> {
+        let rs = self.db.select(
+            Select::from("TargetSystemData").columns(vec![Expr::col("testCardName")]),
+        )?;
+        Ok(rs
+            .rows
+            .iter()
+            .filter_map(|r| r[0].as_text().map(str::to_owned))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // CampaignData
+    // ------------------------------------------------------------------
+
+    /// Stores a campaign definition.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`] — notably a foreign-key violation if the
+    /// campaign's target has not been configured first.
+    pub fn put_campaign(&mut self, campaign: &Campaign) -> Result<()> {
+        let json = serde_json::to_string(campaign)
+            .map_err(|e| GoofiError::Campaign(format!("serialisation failed: {e}")))?;
+        self.db.insert(Insert::into(
+            "CampaignData",
+            vec![
+                campaign.name.as_str().into(),
+                campaign.target.as_str().into(),
+                campaign.workload.as_str().into(),
+                campaign.technique.name().into(),
+                campaign.fault_model.name().into(),
+                (campaign.experiments as i64).into(),
+                campaign.log_mode.name().into(),
+                json.into(),
+            ],
+        ))?;
+        Ok(())
+    }
+
+    /// Fetches a campaign by name.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Campaign`] if absent or corrupt.
+    pub fn get_campaign(&self, name: &str) -> Result<Campaign> {
+        let rs = self.db.select(
+            Select::from("CampaignData")
+                .columns(vec![Expr::col("campaignJson")])
+                .filter(Expr::col("campaignName").eq(Expr::lit(name))),
+        )?;
+        let json = rs
+            .rows
+            .first()
+            .and_then(|r| r[0].as_text())
+            .ok_or_else(|| GoofiError::Campaign(format!("no stored campaign `{name}`")))?;
+        serde_json::from_str(json)
+            .map_err(|e| GoofiError::Campaign(format!("corrupt campaign `{name}`: {e}")))
+    }
+
+    /// Names of all stored campaigns.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`].
+    pub fn list_campaigns(&self) -> Result<Vec<String>> {
+        let rs = self
+            .db
+            .select(Select::from("CampaignData").columns(vec![Expr::col("campaignName")]))?;
+        Ok(rs
+            .rows
+            .iter()
+            .filter_map(|r| r[0].as_text().map(str::to_owned))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // LoggedSystemState
+    // ------------------------------------------------------------------
+
+    /// Logs one experiment row.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`] — foreign keys require the campaign row and
+    /// (for detail re-runs) the parent experiment to exist.
+    pub fn log_experiment(&mut self, record: &ExperimentRecord) -> Result<()> {
+        let data = serde_json::to_string(&record.data)
+            .map_err(|e| GoofiError::Protocol(format!("experiment serialisation failed: {e}")))?;
+        self.db.insert(Insert::into(
+            "LoggedSystemState",
+            vec![
+                record.name.as_str().into(),
+                record
+                    .parent
+                    .as_deref()
+                    .map(Value::from)
+                    .unwrap_or(Value::Null),
+                record.campaign.as_str().into(),
+                data.into(),
+                record.state_vector.clone().into(),
+            ],
+        ))?;
+        Ok(())
+    }
+
+    /// Fetches one experiment row.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Protocol`] if absent or corrupt.
+    pub fn get_experiment(&self, name: &str) -> Result<ExperimentRecord> {
+        let rs = self.db.select(
+            Select::from("LoggedSystemState")
+                .filter(Expr::col("experimentName").eq(Expr::lit(name))),
+        )?;
+        let row = rs
+            .rows
+            .first()
+            .ok_or_else(|| GoofiError::Protocol(format!("no experiment `{name}`")))?;
+        Self::row_to_record(row)
+    }
+
+    /// All experiments of a campaign, reference run first, then by name.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`] / [`GoofiError::Protocol`] on corrupt rows.
+    pub fn experiments_of(&self, campaign: &str) -> Result<Vec<ExperimentRecord>> {
+        let rs = self.db.select(
+            Select::from("LoggedSystemState")
+                .filter(Expr::col("campaignName").eq(Expr::lit(campaign)))
+                .order_by(Expr::col("experimentName"), goofi_db::SortOrder::Asc),
+        )?;
+        rs.rows.iter().map(|r| Self::row_to_record(r)).collect()
+    }
+
+    fn row_to_record(row: &[Value]) -> Result<ExperimentRecord> {
+        let name = row[0]
+            .as_text()
+            .ok_or_else(|| GoofiError::Protocol("experimentName not text".into()))?
+            .to_owned();
+        let parent = row[1].as_text().map(str::to_owned);
+        let campaign = row[2]
+            .as_text()
+            .ok_or_else(|| GoofiError::Protocol("campaignName not text".into()))?
+            .to_owned();
+        let data: ExperimentData = serde_json::from_str(
+            row[3]
+                .as_text()
+                .ok_or_else(|| GoofiError::Protocol("experimentData not text".into()))?,
+        )
+        .map_err(|e| GoofiError::Protocol(format!("corrupt experimentData: {e}")))?;
+        let state_vector = row[4].as_blob().map(<[u8]>::to_vec).unwrap_or_default();
+        Ok(ExperimentRecord {
+            name,
+            parent,
+            campaign,
+            data,
+            state_vector,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultModel, Location, LocationSelector};
+
+    fn target_config() -> TargetSystemConfig {
+        TargetSystemConfig {
+            name: "thor-card".into(),
+            description: "Thor RD test card".into(),
+            chains: Vec::new(),
+            memory: Vec::new(),
+        }
+    }
+
+    fn campaign() -> Campaign {
+        Campaign::builder("c1", "thor-card", "sort16")
+            .select(LocationSelector::Chain {
+                chain: "cpu".into(),
+                field: None,
+            })
+            .window(0, 100)
+            .experiments(10)
+            .build()
+            .unwrap()
+    }
+
+    fn record(name: &str, parent: Option<&str>) -> ExperimentRecord {
+        ExperimentRecord {
+            name: name.into(),
+            parent: parent.map(str::to_owned),
+            campaign: "c1".into(),
+            data: ExperimentData {
+                fault: Some(PlannedFault {
+                    model: FaultModel::BitFlip,
+                    targets: vec![Location::ChainBit {
+                        chain: "cpu".into(),
+                        bit: 3,
+                    }],
+                    times: vec![17],
+                }),
+                termination: TargetEvent::Halted,
+                outputs: vec![1, 2, 3],
+                iterations: 0,
+                instructions: 120,
+                detail_trace: None,
+            },
+            state_vector: vec![0xaa, 0x55],
+        }
+    }
+
+    #[test]
+    fn target_and_campaign_roundtrip() {
+        let mut store = GoofiStore::new();
+        store.put_target(&target_config()).unwrap();
+        store.put_campaign(&campaign()).unwrap();
+        assert_eq!(store.get_target("thor-card").unwrap(), target_config());
+        assert_eq!(store.get_campaign("c1").unwrap(), campaign());
+        assert_eq!(store.list_targets().unwrap(), vec!["thor-card"]);
+        assert_eq!(store.list_campaigns().unwrap(), vec!["c1"]);
+    }
+
+    #[test]
+    fn campaign_requires_configured_target() {
+        let mut store = GoofiStore::new();
+        let err = store.put_campaign(&campaign()).unwrap_err();
+        assert!(matches!(
+            err,
+            GoofiError::Database(goofi_db::DbError::ForeignKeyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn experiment_roundtrip_with_parent_tracking() {
+        let mut store = GoofiStore::new();
+        store.put_target(&target_config()).unwrap();
+        store.put_campaign(&campaign()).unwrap();
+        store.log_experiment(&record("c1/001", None)).unwrap();
+        // Detail re-run referencing its parent (paper Section 2.3).
+        store
+            .log_experiment(&record("c1/001-detail", Some("c1/001")))
+            .unwrap();
+        let back = store.get_experiment("c1/001-detail").unwrap();
+        assert_eq!(back.parent.as_deref(), Some("c1/001"));
+        assert_eq!(back.data.outputs, vec![1, 2, 3]);
+        assert_eq!(back.state_vector, vec![0xaa, 0x55]);
+        // Unknown parent is rejected by the FK.
+        let err = store
+            .log_experiment(&record("c1/002", Some("c1/does-not-exist")))
+            .unwrap_err();
+        assert!(matches!(err, GoofiError::Database(_)));
+    }
+
+    #[test]
+    fn experiments_of_filters_by_campaign() {
+        let mut store = GoofiStore::new();
+        store.put_target(&target_config()).unwrap();
+        store.put_campaign(&campaign()).unwrap();
+        let mut c2 = campaign();
+        c2.name = "c2".into();
+        store.put_campaign(&c2).unwrap();
+        store.log_experiment(&record("c1/001", None)).unwrap();
+        let mut r = record("c2/001", None);
+        r.campaign = "c2".into();
+        store.log_experiment(&r).unwrap();
+        let of_c1 = store.experiments_of("c1").unwrap();
+        assert_eq!(of_c1.len(), 1);
+        assert_eq!(of_c1[0].name, "c1/001");
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut store = GoofiStore::new();
+        store.put_target(&target_config()).unwrap();
+        store.put_campaign(&campaign()).unwrap();
+        store.log_experiment(&record("c1/001", None)).unwrap();
+        let dir = std::env::temp_dir().join("goofi_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        store.save(&path).unwrap();
+        let restored = GoofiStore::load(&path).unwrap();
+        assert_eq!(restored.get_experiment("c1/001").unwrap().name, "c1/001");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn put_target_is_upsert() {
+        let mut store = GoofiStore::new();
+        store.put_target(&target_config()).unwrap();
+        let mut changed = target_config();
+        changed.description = "updated".into();
+        store.put_target(&changed).unwrap();
+        assert_eq!(store.get_target("thor-card").unwrap().description, "updated");
+        assert_eq!(store.list_targets().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn ad_hoc_sql_analysis_works() {
+        let mut store = GoofiStore::new();
+        store.put_target(&target_config()).unwrap();
+        store.put_campaign(&campaign()).unwrap();
+        store.log_experiment(&record("c1/001", None)).unwrap();
+        store.log_experiment(&record("c1/002", None)).unwrap();
+        let rs = store
+            .database_mut()
+            .query("SELECT COUNT(*) AS n FROM LoggedSystemState WHERE campaignName = 'c1'")
+            .unwrap();
+        assert_eq!(rs.scalar().unwrap().as_integer(), Some(2));
+    }
+
+    #[test]
+    fn reference_name_is_stable() {
+        assert_eq!(reference_experiment_name("c1"), "c1/ref");
+    }
+}

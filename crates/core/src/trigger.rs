@@ -1,0 +1,204 @@
+//! Extended fault triggers (paper Section 4).
+//!
+//! The base GOOFI trigger is a breakpoint at a point in time; the paper's
+//! planned extensions add triggers on "access of certain data values,
+//! execution of branch instructions or subprogram calls ... or at specific
+//! times determined by a real-time clock". A [`Trigger`] *resolves* to an
+//! injection time by analysing the reference-run trace — exactly the
+//! paper's approach of obtaining breakpoints "by analysing the workload
+//! code".
+
+use crate::target::TraceStep;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A condition selecting the injection instant.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// A fixed instruction count (the paper's baseline breakpoint).
+    AtTime(u64),
+    /// Immediately after the `n`-th executed conditional branch (1-based).
+    AfterBranch {
+        /// Which branch execution (1-based).
+        n: usize,
+    },
+    /// Immediately after the `n`-th subprogram call (1-based).
+    AfterCall {
+        /// Which call (1-based).
+        n: usize,
+    },
+    /// Immediately after the `n`-th access (read or write) of a location
+    /// (1-based). Location names use trace vocabulary (`"R3"`,
+    /// `"MEM[0x4000]"`).
+    OnAccess {
+        /// The accessed location.
+        location: String,
+        /// Which access (1-based).
+        n: usize,
+    },
+    /// Immediately after the `n`-th *write* of a location (1-based).
+    OnWrite {
+        /// The written location.
+        location: String,
+        /// Which write (1-based).
+        n: usize,
+    },
+    /// At a wall-clock instant of a real-time clock ticking every
+    /// `instructions_per_tick` instructions: resolves to
+    /// `tick * instructions_per_tick`.
+    RealTimeClock {
+        /// Tick index.
+        tick: u64,
+        /// Instructions per clock tick.
+        instructions_per_tick: u64,
+    },
+}
+
+impl Trigger {
+    /// Resolves the trigger to an injection time (instruction count at
+    /// which the breakpoint should be armed), using the reference trace.
+    /// Returns `None` if the condition never occurs.
+    pub fn resolve(&self, trace: &[TraceStep]) -> Option<u64> {
+        match self {
+            Trigger::AtTime(t) => Some(*t),
+            Trigger::RealTimeClock {
+                tick,
+                instructions_per_tick,
+            } => Some(tick * instructions_per_tick),
+            Trigger::AfterBranch { n } => nth_time(trace, *n, |s| s.is_branch),
+            Trigger::AfterCall { n } => nth_time(trace, *n, |s| s.is_call),
+            Trigger::OnAccess { location, n } => nth_time(trace, *n, |s| {
+                s.reads.iter().any(|l| l == location) || s.writes.iter().any(|l| l == location)
+            }),
+            Trigger::OnWrite { location, n } => {
+                nth_time(trace, *n, |s| s.writes.iter().any(|l| l == location))
+            }
+        }
+    }
+}
+
+/// Time *after* the `n`-th step matching `pred` (1-based): the breakpoint
+/// is armed at `step.time + 1`, so the injection happens once the matching
+/// instruction has executed.
+fn nth_time(trace: &[TraceStep], n: usize, pred: impl Fn(&TraceStep) -> bool) -> Option<u64> {
+    if n == 0 {
+        return None;
+    }
+    trace
+        .iter()
+        .filter(|s| pred(s))
+        .nth(n - 1)
+        .map(|s| s.time + 1)
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trigger::AtTime(t) => write!(f, "at instruction {t}"),
+            Trigger::AfterBranch { n } => write!(f, "after branch #{n}"),
+            Trigger::AfterCall { n } => write!(f, "after call #{n}"),
+            Trigger::OnAccess { location, n } => write!(f, "on access #{n} of {location}"),
+            Trigger::OnWrite { location, n } => write!(f, "on write #{n} of {location}"),
+            Trigger::RealTimeClock {
+                tick,
+                instructions_per_tick,
+            } => write!(f, "at RTC tick {tick} ({instructions_per_tick} instr/tick)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(time: u64, reads: &[&str], writes: &[&str], branch: bool, call: bool) -> TraceStep {
+        TraceStep {
+            time,
+            reads: reads.iter().map(|s| s.to_string()).collect(),
+            writes: writes.iter().map(|s| s.to_string()).collect(),
+            is_branch: branch,
+            is_call: call,
+        }
+    }
+
+    fn trace() -> Vec<TraceStep> {
+        vec![
+            step(0, &[], &["R1"], false, false),
+            step(1, &["R1"], &["PSW"], false, false),
+            step(2, &["PSW"], &[], true, false),
+            step(3, &[], &["R15"], false, true),
+            step(4, &["R1"], &["R1"], false, false),
+            step(5, &["PSW"], &[], true, false),
+        ]
+    }
+
+    #[test]
+    fn at_time_is_identity() {
+        assert_eq!(Trigger::AtTime(42).resolve(&trace()), Some(42));
+    }
+
+    #[test]
+    fn branch_and_call_triggers() {
+        assert_eq!(Trigger::AfterBranch { n: 1 }.resolve(&trace()), Some(3));
+        assert_eq!(Trigger::AfterBranch { n: 2 }.resolve(&trace()), Some(6));
+        assert_eq!(Trigger::AfterBranch { n: 3 }.resolve(&trace()), None);
+        assert_eq!(Trigger::AfterCall { n: 1 }.resolve(&trace()), Some(4));
+    }
+
+    #[test]
+    fn access_and_write_triggers() {
+        assert_eq!(
+            Trigger::OnAccess {
+                location: "R1".into(),
+                n: 2
+            }
+            .resolve(&trace()),
+            Some(2)
+        );
+        assert_eq!(
+            Trigger::OnWrite {
+                location: "R1".into(),
+                n: 2
+            }
+            .resolve(&trace()),
+            Some(5)
+        );
+        assert_eq!(
+            Trigger::OnWrite {
+                location: "R9".into(),
+                n: 1
+            }
+            .resolve(&trace()),
+            None
+        );
+    }
+
+    #[test]
+    fn rtc_trigger_multiplies() {
+        assert_eq!(
+            Trigger::RealTimeClock {
+                tick: 3,
+                instructions_per_tick: 100
+            }
+            .resolve(&[]),
+            Some(300)
+        );
+    }
+
+    #[test]
+    fn zeroth_occurrence_never_fires() {
+        assert_eq!(Trigger::AfterBranch { n: 0 }.resolve(&trace()), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            Trigger::OnWrite {
+                location: "R3".into(),
+                n: 2
+            }
+            .to_string(),
+            "on write #2 of R3"
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests for framework invariants.
+
+use goofi_core::{
+    classify, generate_fault_list, wilson, Campaign, ChainInfo, ExperimentRun, FaultModel,
+    FieldInfo, LivenessAnalysis, Location, LocationSelector, Outcome, PlannedFault,
+    StateVector, TargetEvent, TargetSystemConfig, TraceStep, TriggerPolicy,
+};
+use proptest::prelude::*;
+
+fn config() -> TargetSystemConfig {
+    TargetSystemConfig {
+        name: "prop".into(),
+        description: String::new(),
+        chains: vec![ChainInfo {
+            name: "cpu".into(),
+            width: 80,
+            fields: vec![
+                FieldInfo {
+                    name: "R0".into(),
+                    offset: 0,
+                    width: 32,
+                    writable: true,
+                },
+                FieldInfo {
+                    name: "R1".into(),
+                    offset: 32,
+                    width: 32,
+                    writable: true,
+                },
+                FieldInfo {
+                    name: "RO".into(),
+                    offset: 64,
+                    width: 16,
+                    writable: false,
+                },
+            ],
+        }],
+        memory: Vec::new(),
+    }
+}
+
+fn arb_event() -> impl Strategy<Value = TargetEvent> {
+    prop_oneof![
+        Just(TargetEvent::Halted),
+        Just(TargetEvent::TimedOut),
+        Just(TargetEvent::IterationsDone),
+        "[a-z-]{3,12}".prop_map(|mechanism| TargetEvent::Detected {
+            mechanism,
+            detail: String::new(),
+        }),
+    ]
+}
+
+fn run_with(
+    termination: TargetEvent,
+    outputs: Vec<u32>,
+    state_flips: Vec<u16>,
+    iterations: u32,
+) -> ExperimentRun {
+    let mut state = StateVector::zeros(64);
+    for b in state_flips {
+        state.flip((b % 64) as usize);
+    }
+    ExperimentRun {
+        fault: None,
+        termination,
+        outputs,
+        state,
+        instructions: 10,
+        iterations,
+        activations_done: 1,
+        detail_trace: None,
+        pruned: false,
+    }
+}
+
+proptest! {
+    /// The classifier is total: every (termination, outputs, state) lands
+    /// in exactly one of the four §3.4 classes, and the partition between
+    /// effective and non-effective is consistent.
+    #[test]
+    fn classifier_is_total_and_consistent(
+        ev in arb_event(),
+        outs in proptest::collection::vec(any::<u32>(), 0..4),
+        flips in proptest::collection::vec(any::<u16>(), 0..8),
+        iters in 0u32..5,
+    ) {
+        let reference = run_with(TargetEvent::Halted, vec![1, 2], vec![], 3);
+        let run = run_with(ev.clone(), outs.clone(), flips.clone(), iters);
+        let outcome = classify(&reference, &run);
+        let is_eff = matches!(outcome, Outcome::Detected { .. } | Outcome::Escaped { .. });
+        match &outcome {
+            Outcome::Detected { .. } => {
+                let was_detected = matches!(ev, TargetEvent::Detected { .. });
+                prop_assert!(was_detected);
+            }
+            Outcome::Escaped { .. } => {
+                let timed_out = matches!(ev, TargetEvent::TimedOut);
+                prop_assert!(timed_out || iters < 3 || outs != vec![1, 2]);
+            }
+            Outcome::Latent => {
+                prop_assert_eq!(&outs, &vec![1, 2]);
+                prop_assert!(!flips.is_empty());
+            }
+            Outcome::Overwritten => {
+                prop_assert_eq!(&outs, &vec![1, 2]);
+            }
+        }
+        // Effectiveness matches the class family.
+        prop_assert_eq!(outcome.is_effective(), is_eff);
+    }
+
+    /// Fault-list generation is deterministic in the seed and never emits
+    /// read-only or out-of-range locations.
+    #[test]
+    fn fault_lists_are_deterministic_and_writable(seed in any::<u64>(), n in 1usize..60) {
+        let cfg = config();
+        let sel = vec![LocationSelector::Chain { chain: "cpu".into(), field: None }];
+        let policy = TriggerPolicy::Window { start: 0, end: 500 };
+        let a = generate_fault_list(&cfg, &sel, FaultModel::BitFlip, &policy, n, seed, None).unwrap();
+        let b = generate_fault_list(&cfg, &sel, FaultModel::BitFlip, &policy, n, seed, None).unwrap();
+        prop_assert_eq!(&a, &b);
+        for fault in &a {
+            prop_assert_eq!(fault.times.len(), 1);
+            prop_assert!(fault.times[0] <= 500);
+            match &fault.targets[0] {
+                Location::ChainBit { bit, .. } => prop_assert!(*bit < 64, "read-only bit {bit}"),
+                other => prop_assert!(false, "unexpected location {other:?}"),
+            }
+        }
+    }
+
+    /// Double application of a transient flip restores a state vector;
+    /// stuck-at application is idempotent.
+    #[test]
+    fn fault_application_algebra(bit in 0usize..64, init in proptest::collection::vec(any::<u8>(), 8)) {
+        let original = StateVector::from_bytes(init, 64);
+        let flip = PlannedFault {
+            model: FaultModel::BitFlip,
+            targets: vec![Location::ChainBit { chain: "cpu".into(), bit }],
+            times: vec![0],
+        };
+        let mut v = original.clone();
+        flip.apply_to_chain("cpu", &mut v);
+        prop_assert_eq!(original.hamming_distance(&v), 1);
+        flip.apply_to_chain("cpu", &mut v);
+        prop_assert_eq!(&v, &original);
+
+        let stuck = PlannedFault {
+            model: FaultModel::StuckAt { value: true, reassert_period: 1 },
+            targets: vec![Location::ChainBit { chain: "cpu".into(), bit }],
+            times: vec![0],
+        };
+        let mut w = original.clone();
+        stuck.apply_to_chain("cpu", &mut w);
+        let once = w.clone();
+        stuck.apply_to_chain("cpu", &mut w);
+        prop_assert_eq!(&w, &once, "stuck-at must be idempotent");
+        prop_assert!(w.get(bit));
+    }
+
+    /// Wilson intervals always bracket the point estimate within [0, 1].
+    #[test]
+    fn wilson_brackets_estimate(k in 0usize..500, extra in 0usize..500) {
+        let n = k + extra;
+        let p = wilson(k, n);
+        if n > 0 {
+            prop_assert!(p.lo <= p.p + 1e-12);
+            prop_assert!(p.p <= p.hi + 1e-12);
+            prop_assert!((0.0..=1.0).contains(&p.lo));
+            prop_assert!((0.0..=1.0).contains(&p.hi));
+        }
+    }
+
+    /// Liveness analysis: a location written at `w` and never read in
+    /// between is dead for every injection time in `(r, w]` where `r` is
+    /// the last read before it.
+    #[test]
+    fn liveness_windows(read_t in 0u64..50, gap in 1u64..50) {
+        let write_t = read_t + gap;
+        let trace = vec![
+            TraceStep { time: read_t, reads: vec!["R0".into()], writes: vec![], is_branch: false, is_call: false },
+            TraceStep { time: write_t, reads: vec![], writes: vec!["R0".into()], is_branch: false, is_call: false },
+        ];
+        let analysis = LivenessAnalysis::from_trace(&trace);
+        // Any time in (read_t, write_t] is dead.
+        for t in [read_t + 1, write_t] {
+            prop_assert!(analysis.is_dead("R0", t), "t={t}");
+        }
+        // At or before the read the fault is live.
+        prop_assert!(!analysis.is_dead("R0", read_t));
+        // After the write, no more uses: latent, not dead.
+        prop_assert!(!analysis.is_dead("R0", write_t + 1));
+    }
+
+    /// Campaign merge is associative in effect: merging [a, b, c] equals
+    /// merging [merge(a, b), c] in selectors and experiment count.
+    #[test]
+    fn merge_is_associative(na in 1usize..50, nb in 1usize..50, nc in 1usize..50) {
+        let mk = |name: &str, field: &str, n: usize| {
+            Campaign::builder(name, "t", "w")
+                .select(LocationSelector::Chain { chain: "cpu".into(), field: Some(field.into()) })
+                .window(0, 10)
+                .experiments(n)
+                .build()
+                .unwrap()
+        };
+        let a = mk("a", "R0", na);
+        let b = mk("b", "R1", nb);
+        let c = mk("c", "R0", nc);
+        let flat = Campaign::merge("m", &[&a, &b, &c]).unwrap();
+        let ab = Campaign::merge("ab", &[&a, &b]).unwrap();
+        let nested = Campaign::merge("m", &[&ab, &c]).unwrap();
+        prop_assert_eq!(flat.selectors, nested.selectors);
+        prop_assert_eq!(flat.experiments, nested.experiments);
+    }
+}

@@ -1,0 +1,112 @@
+//! Error type for the database engine.
+
+use std::fmt;
+
+/// Errors produced by the database engine.
+///
+/// Every fallible public operation in [`crate::Database`] returns
+/// `Result<_, DbError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings follow from the variant docs
+pub enum DbError {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name exists.
+    NoSuchTable(String),
+    /// No column with this name exists in the referenced table.
+    NoSuchColumn { table: String, column: String },
+    /// A value did not match the declared column type.
+    TypeMismatch {
+        table: String,
+        column: String,
+        expected: &'static str,
+        got: &'static str,
+    },
+    /// A row violated a NOT NULL constraint.
+    NullViolation { table: String, column: String },
+    /// A row violated a PRIMARY KEY or UNIQUE constraint.
+    UniqueViolation { table: String, column: String },
+    /// An insert or update referenced a missing parent row, or a delete
+    /// would orphan child rows.
+    ForeignKeyViolation {
+        table: String,
+        column: String,
+        detail: String,
+    },
+    /// A row had the wrong number of values.
+    ArityMismatch { expected: usize, got: usize },
+    /// SQL text could not be tokenised or parsed.
+    Parse(String),
+    /// An expression could not be evaluated (e.g. type error at runtime).
+    Eval(String),
+    /// Persistence (save/load) failure.
+    Io(String),
+    /// The operation is not supported by this engine.
+    Unsupported(String),
+    /// No transaction is active.
+    NoTransaction,
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            DbError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            DbError::NoSuchColumn { table, column } => {
+                write!(f, "no such column `{column}` in table `{table}`")
+            }
+            DbError::TypeMismatch {
+                table,
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "type mismatch for `{table}.{column}`: expected {expected}, got {got}"
+            ),
+            DbError::NullViolation { table, column } => {
+                write!(f, "NOT NULL violation on `{table}.{column}`")
+            }
+            DbError::UniqueViolation { table, column } => {
+                write!(f, "unique violation on `{table}.{column}`")
+            }
+            DbError::ForeignKeyViolation {
+                table,
+                column,
+                detail,
+            } => write!(f, "foreign key violation on `{table}.{column}`: {detail}"),
+            DbError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected} values, got {got}")
+            }
+            DbError::Parse(msg) => write!(f, "SQL parse error: {msg}"),
+            DbError::Eval(msg) => write!(f, "evaluation error: {msg}"),
+            DbError::Io(msg) => write!(f, "i/o error: {msg}"),
+            DbError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            DbError::NoTransaction => write!(f, "no active transaction"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = DbError::NoSuchTable("CampaignData".into());
+        assert_eq!(e.to_string(), "no such table `CampaignData`");
+        let e = DbError::ArityMismatch {
+            expected: 3,
+            got: 2,
+        };
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DbError>();
+    }
+}

@@ -1,0 +1,466 @@
+//! Expression AST used in WHERE clauses, projections and UPDATE SET lists.
+
+use crate::error::DbError;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Resolves a (possibly qualified) column reference to a value during
+/// expression evaluation; rows are bound by the executor.
+pub type Resolver<'a> = dyn Fn(Option<&str>, &str) -> Result<Value, DbError> + 'a;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // node fields follow standard SQL meaning
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column reference, optionally qualified (`table.column`).
+    Column {
+        /// Optional table qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Binary operation.
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
+    /// `NOT e`
+    Not(Box<Expr>),
+    /// `e IS NULL` / `e IS NOT NULL`
+    IsNull { expr: Box<Expr>, negated: bool },
+    /// `e IN (v1, v2, ...)`
+    InList {
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+        negated: bool,
+    },
+    /// `e LIKE 'pat%'` with `%` (any run) and `_` (any char) wildcards.
+    Like {
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Shorthand: column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column {
+            table: None,
+            name: name.into(),
+        }
+    }
+
+    /// Shorthand: qualified column reference.
+    pub fn qcol(table: impl Into<String>, name: impl Into<String>) -> Expr {
+        Expr::Column {
+            table: Some(table.into()),
+            name: name.into(),
+        }
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Shorthand: `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Binary {
+            op: BinOp::Eq,
+            lhs: Box::new(self),
+            rhs: Box::new(other),
+        }
+    }
+
+    /// Shorthand: `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(self),
+            rhs: Box::new(other),
+        }
+    }
+
+    /// Shorthand: `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Binary {
+            op: BinOp::Or,
+            lhs: Box::new(self),
+            rhs: Box::new(other),
+        }
+    }
+
+    /// Evaluates the expression; `resolve` maps a column reference to a
+    /// value (rows are bound by the executor).
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Eval`] on unknown columns or type errors (e.g. adding
+    /// text to an integer). SQL three-valued logic applies: comparisons
+    /// with NULL yield NULL, `NULL AND FALSE` is FALSE, etc.
+    pub fn eval(
+        &self,
+        resolve: &Resolver<'_>,
+    ) -> Result<Value, DbError> {
+        match self {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column { table, name } => resolve(table.as_deref(), name),
+            Expr::Not(e) => match e.eval(resolve)? {
+                Value::Null => Ok(Value::Null),
+                Value::Boolean(b) => Ok(Value::Boolean(!b)),
+                other => Err(DbError::Eval(format!(
+                    "NOT applied to non-boolean {other}"
+                ))),
+            },
+            Expr::IsNull { expr, negated } => {
+                let v = expr.eval(resolve)?;
+                Ok(Value::Boolean(v.is_null() != *negated))
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = expr.eval(resolve)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut saw_null = false;
+                for item in list {
+                    let item = item.eval(resolve)?;
+                    match v.sql_eq(&item) {
+                        Some(true) => return Ok(Value::Boolean(!*negated)),
+                        Some(false) => {}
+                        None => saw_null = true,
+                    }
+                }
+                if saw_null {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Boolean(*negated))
+                }
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                let v = expr.eval(resolve)?;
+                let p = pattern.eval(resolve)?;
+                match (v, p) {
+                    (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                    (Value::Text(s), Value::Text(p)) => {
+                        Ok(Value::Boolean(like_match(&s, &p) != *negated))
+                    }
+                    (v, p) => Err(DbError::Eval(format!(
+                        "LIKE requires text operands, got {v} LIKE {p}"
+                    ))),
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => eval_binary(*op, lhs, rhs, resolve),
+        }
+    }
+
+    /// Evaluates as a WHERE predicate: NULL counts as not-matching.
+    pub fn matches(
+        &self,
+        resolve: &Resolver<'_>,
+    ) -> Result<bool, DbError> {
+        match self.eval(resolve)? {
+            Value::Boolean(b) => Ok(b),
+            Value::Null => Ok(false),
+            other => Err(DbError::Eval(format!(
+                "WHERE clause evaluated to non-boolean {other}"
+            ))),
+        }
+    }
+}
+
+fn eval_binary(
+    op: BinOp,
+    lhs: &Expr,
+    rhs: &Expr,
+    resolve: &Resolver<'_>,
+) -> Result<Value, DbError> {
+    use BinOp::*;
+    // Short-circuit logical operators with three-valued logic.
+    if matches!(op, And | Or) {
+        let l = lhs.eval(resolve)?;
+        let l = match l {
+            Value::Boolean(b) => Some(b),
+            Value::Null => None,
+            other => {
+                return Err(DbError::Eval(format!(
+                    "logical operator applied to non-boolean {other}"
+                )))
+            }
+        };
+        match (op, l) {
+            (And, Some(false)) => return Ok(Value::Boolean(false)),
+            (Or, Some(true)) => return Ok(Value::Boolean(true)),
+            _ => {}
+        }
+        let r = rhs.eval(resolve)?;
+        let r = match r {
+            Value::Boolean(b) => Some(b),
+            Value::Null => None,
+            other => {
+                return Err(DbError::Eval(format!(
+                    "logical operator applied to non-boolean {other}"
+                )))
+            }
+        };
+        return Ok(match (op, l, r) {
+            (And, Some(a), Some(b)) => Value::Boolean(a && b),
+            (And, None, Some(false)) | (And, Some(false), None) => Value::Boolean(false),
+            (And, _, _) => Value::Null,
+            (Or, Some(a), Some(b)) => Value::Boolean(a || b),
+            (Or, None, Some(true)) | (Or, Some(true), None) => Value::Boolean(true),
+            (Or, _, _) => Value::Null,
+            _ => unreachable!(),
+        });
+    }
+
+    let l = lhs.eval(resolve)?;
+    let r = rhs.eval(resolve)?;
+    match op {
+        Eq | Ne => Ok(match l.sql_eq(&r) {
+            None => Value::Null,
+            Some(eq) => Value::Boolean(if op == Eq { eq } else { !eq }),
+        }),
+        Lt | Le | Gt | Ge => Ok(match l.compare(&r) {
+            None => {
+                if l.is_null() || r.is_null() {
+                    Value::Null
+                } else {
+                    return Err(DbError::Eval(format!("cannot compare {l} with {r}")));
+                }
+            }
+            Some(ord) => Value::Boolean(match op {
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            }),
+        }),
+        Add | Sub | Mul | Div | Rem => arith(op, l, r),
+        And | Or => unreachable!("handled above"),
+    }
+}
+
+fn arith(op: BinOp, l: Value, r: Value) -> Result<Value, DbError> {
+    use BinOp::*;
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (&l, &r) {
+        (Value::Integer(a), Value::Integer(b)) => {
+            let (a, b) = (*a, *b);
+            let out = match op {
+                Add => a.checked_add(b),
+                Sub => a.checked_sub(b),
+                Mul => a.checked_mul(b),
+                Div => {
+                    if b == 0 {
+                        return Err(DbError::Eval("integer division by zero".into()));
+                    }
+                    a.checked_div(b)
+                }
+                Rem => {
+                    if b == 0 {
+                        return Err(DbError::Eval("integer modulo by zero".into()));
+                    }
+                    a.checked_rem(b)
+                }
+                _ => unreachable!(),
+            };
+            out.map(Value::Integer)
+                .ok_or_else(|| DbError::Eval("integer overflow".into()))
+        }
+        _ => {
+            let (a, b) = match (l.as_real(), r.as_real()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(DbError::Eval(format!(
+                        "arithmetic on non-numeric operands {l} and {r}"
+                    )))
+                }
+            };
+            Ok(Value::Real(match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                Rem => a % b,
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+/// SQL LIKE matcher with `%` and `_` wildcards (case sensitive).
+pub(crate) fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Try consuming 0..=len chars.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_cols(_: Option<&str>, name: &str) -> Result<Value, DbError> {
+        Err(DbError::Eval(format!("unknown column {name}")))
+    }
+
+    fn eval(e: &Expr) -> Value {
+        e.eval(&no_cols).unwrap()
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let e = Expr::lit(3).eq(Expr::lit(3));
+        assert_eq!(eval(&e), Value::Boolean(true));
+        let e = Expr::Binary {
+            op: BinOp::Lt,
+            lhs: Box::new(Expr::lit(2)),
+            rhs: Box::new(Expr::lit(2.5)),
+        };
+        assert_eq!(eval(&e), Value::Boolean(true));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        // NULL AND FALSE = FALSE; NULL AND TRUE = NULL; NULL OR TRUE = TRUE.
+        let null = Expr::lit(Value::Null).eq(Expr::lit(1)); // NULL
+        assert_eq!(eval(&null.clone().and(Expr::lit(false))), Value::Boolean(false));
+        assert_eq!(eval(&null.clone().and(Expr::lit(true))), Value::Null);
+        assert_eq!(eval(&null.clone().or(Expr::lit(true))), Value::Boolean(true));
+        assert_eq!(eval(&null.or(Expr::lit(false))), Value::Null);
+    }
+
+    #[test]
+    fn null_predicate_does_not_match() {
+        let e = Expr::lit(Value::Null).eq(Expr::lit(1));
+        assert!(!e.matches(&no_cols).unwrap());
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::lit(Value::Null)),
+            negated: false,
+        };
+        assert_eq!(eval(&e), Value::Boolean(true));
+        let e = Expr::IsNull {
+            expr: Box::new(Expr::lit(1)),
+            negated: true,
+        };
+        assert_eq!(eval(&e), Value::Boolean(true));
+    }
+
+    #[test]
+    fn in_list_with_null_is_unknown() {
+        let e = Expr::InList {
+            expr: Box::new(Expr::lit(5)),
+            list: vec![Expr::lit(1), Expr::lit(Value::Null)],
+            negated: false,
+        };
+        assert_eq!(eval(&e), Value::Null);
+        let e = Expr::InList {
+            expr: Box::new(Expr::lit(1)),
+            list: vec![Expr::lit(1), Expr::lit(2)],
+            negated: false,
+        };
+        assert_eq!(eval(&e), Value::Boolean(true));
+    }
+
+    #[test]
+    fn like_wildcards() {
+        assert!(like_match("experiment_42", "experiment%"));
+        assert!(like_match("E1", "E_"));
+        assert!(!like_match("E12", "E_"));
+        assert!(like_match("", "%"));
+        assert!(like_match("abc", "%c"));
+        assert!(!like_match("abc", "%d"));
+    }
+
+    #[test]
+    fn arithmetic_and_errors() {
+        let e = Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::lit(2)),
+            rhs: Box::new(Expr::lit(3)),
+        };
+        assert_eq!(eval(&e), Value::Integer(5));
+        let e = Expr::Binary {
+            op: BinOp::Div,
+            lhs: Box::new(Expr::lit(1)),
+            rhs: Box::new(Expr::lit(0)),
+        };
+        assert!(e.eval(&no_cols).is_err());
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::lit(i64::MAX)),
+            rhs: Box::new(Expr::lit(2)),
+        };
+        assert!(e.eval(&no_cols).is_err());
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_real() {
+        let e = Expr::Binary {
+            op: BinOp::Div,
+            lhs: Box::new(Expr::lit(1)),
+            rhs: Box::new(Expr::lit(2.0)),
+        };
+        assert_eq!(eval(&e), Value::Real(0.5));
+    }
+}

@@ -1,0 +1,132 @@
+//! Persistence: save and load the whole database as JSON.
+//!
+//! The GOOFI paper stores all tool data in a portable SQL database so that
+//! campaigns survive host restarts and can be moved between host platforms;
+//! JSON on disk is our portable equivalent.
+
+use crate::database::Database;
+use crate::error::DbError;
+use std::fs;
+use std::path::Path;
+
+impl Database {
+    /// Serialises the database to a JSON string.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Io`] if serialisation fails (it cannot for well-formed
+    /// databases; non-finite floats serialise as `null` and will load back
+    /// as NULL).
+    pub fn to_json(&self) -> Result<String, DbError> {
+        serde_json::to_string(self).map_err(|e| DbError::Io(e.to_string()))
+    }
+
+    /// Restores a database from [`Database::to_json`] output. Indexes are
+    /// rebuilt from row data.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Io`] on malformed input.
+    pub fn from_json(json: &str) -> Result<Database, DbError> {
+        let mut db: Database =
+            serde_json::from_str(json).map_err(|e| DbError::Io(e.to_string()))?;
+        db.rebuild_all_indexes();
+        Ok(db)
+    }
+
+    /// Saves the database to a file.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Io`] on filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), DbError> {
+        let json = self.to_json()?;
+        fs::write(path.as_ref(), json).map_err(|e| DbError::Io(e.to_string()))
+    }
+
+    /// Loads a database from a file written by [`Database::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Io`] on filesystem or format errors.
+    pub fn load(path: impl AsRef<Path>) -> Result<Database, DbError> {
+        let json = fs::read_to_string(path.as_ref()).map_err(|e| DbError::Io(e.to_string()))?;
+        Database::from_json(&json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{Insert, Select};
+    use crate::schema::{Column, TableSchema};
+    use crate::value::{Value, ValueType};
+
+    fn sample() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            TableSchema::new(
+                "t",
+                vec![
+                    Column::new("id", ValueType::Text).primary_key(),
+                    Column::new("v", ValueType::Integer),
+                    Column::new("b", ValueType::Blob),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.insert(Insert::into(
+            "t",
+            vec!["a".into(), 1.into(), vec![1u8, 2].into()],
+        ))
+        .unwrap();
+        db.insert(Insert::into("t", vec!["b".into(), Value::Null, Value::Null]))
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_rows_and_constraints() {
+        let db = sample();
+        let json = db.to_json().unwrap();
+        let mut restored = Database::from_json(&json).unwrap();
+        let rs = restored.query("SELECT id, v FROM t ORDER BY id").unwrap();
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Text("a".into()));
+        // Unique index must be live after restore.
+        let err = restored
+            .insert(Insert::into("t", vec!["a".into(), 9.into(), Value::Null]))
+            .unwrap_err();
+        assert!(matches!(err, crate::DbError::UniqueViolation { .. }));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = sample();
+        let dir = std::env::temp_dir().join("goofi_db_persist_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.json");
+        db.save(&path).unwrap();
+        let restored = Database::load(&path).unwrap();
+        assert_eq!(
+            restored.select(Select::from("t")).unwrap().len(),
+            db.select(Select::from("t")).unwrap().len()
+        );
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_missing_file_is_io_error() {
+        let err = Database::load("/nonexistent/nowhere.json").unwrap_err();
+        assert!(matches!(err, crate::DbError::Io(_)));
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(matches!(
+            Database::from_json("{not json"),
+            Err(crate::DbError::Io(_))
+        ));
+    }
+}

@@ -1,0 +1,320 @@
+//! Programmatic statement types (the SQL layer lowers onto these).
+
+use crate::expr::Expr;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sort direction for ORDER BY.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SortOrder {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// Aggregate functions usable in a select list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(expr)` (non-NULL count).
+    Count,
+    /// `SUM(expr)`
+    Sum,
+    /// `AVG(expr)`
+    Avg,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        })
+    }
+}
+
+/// One item of a select list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[allow(missing_docs)] // item fields follow from the variant docs
+pub enum SelectItem {
+    /// `*` — all columns of all bound tables.
+    Wildcard,
+    /// A scalar expression with an optional output alias.
+    Expr { expr: Expr, alias: Option<String> },
+    /// An aggregate call; `arg` of `None` means `COUNT(*)`.
+    Aggregate {
+        func: AggFunc,
+        arg: Option<Expr>,
+        alias: Option<String>,
+    },
+}
+
+/// An inner join clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Join {
+    /// Joined table name.
+    pub table: String,
+    /// Optional alias for the joined table.
+    pub alias: Option<String>,
+    /// Join condition.
+    pub on: Expr,
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Select {
+    /// Base table name.
+    pub table: String,
+    /// Optional alias for the base table.
+    pub alias: Option<String>,
+    /// Inner joins, applied left to right.
+    pub joins: Vec<Join>,
+    /// Output columns.
+    pub items: Vec<SelectItem>,
+    /// WHERE clause.
+    pub filter: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// ORDER BY clauses (evaluated over input rows, or over output
+    /// aliases when the query aggregates).
+    pub order_by: Vec<(Expr, SortOrder)>,
+    /// LIMIT.
+    pub limit: Option<usize>,
+    /// OFFSET.
+    pub offset: usize,
+}
+
+impl Select {
+    /// Creates `SELECT * FROM table`.
+    pub fn from(table: impl Into<String>) -> Select {
+        Select {
+            table: table.into(),
+            alias: None,
+            joins: Vec::new(),
+            items: vec![SelectItem::Wildcard],
+            filter: None,
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+            offset: 0,
+        }
+    }
+
+    /// Replaces the select list with the given expressions.
+    pub fn columns(mut self, cols: impl IntoIterator<Item = Expr>) -> Select {
+        self.items = cols
+            .into_iter()
+            .map(|expr| SelectItem::Expr { expr, alias: None })
+            .collect();
+        self
+    }
+
+    /// Adds one select item.
+    pub fn item(mut self, item: SelectItem) -> Select {
+        if self.items == vec![SelectItem::Wildcard] {
+            self.items.clear();
+        }
+        self.items.push(item);
+        self
+    }
+
+    /// Sets the WHERE clause (ANDed with any existing clause).
+    pub fn filter(mut self, expr: Expr) -> Select {
+        self.filter = Some(match self.filter.take() {
+            Some(prev) => prev.and(expr),
+            None => expr,
+        });
+        self
+    }
+
+    /// Adds an inner join.
+    pub fn join(mut self, table: impl Into<String>, on: Expr) -> Select {
+        self.joins.push(Join {
+            table: table.into(),
+            alias: None,
+            on,
+        });
+        self
+    }
+
+    /// Adds an ORDER BY clause.
+    pub fn order_by(mut self, expr: Expr, order: SortOrder) -> Select {
+        self.order_by.push((expr, order));
+        self
+    }
+
+    /// Adds a GROUP BY expression.
+    pub fn group_by(mut self, expr: Expr) -> Select {
+        self.group_by.push(expr);
+        self
+    }
+
+    /// Sets LIMIT.
+    pub fn limit(mut self, n: usize) -> Select {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Sets OFFSET.
+    pub fn offset(mut self, n: usize) -> Select {
+        self.offset = n;
+        self
+    }
+}
+
+/// An INSERT statement. `columns` of `None` means "all, in declaration
+/// order"; omitted columns receive NULL.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Insert {
+    /// Target table.
+    pub table: String,
+    /// Optional explicit column list.
+    pub columns: Option<Vec<String>>,
+    /// Rows to insert.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Insert {
+    /// Creates an insert of a single full-width row.
+    pub fn into(table: impl Into<String>, row: Vec<Value>) -> Insert {
+        Insert {
+            table: table.into(),
+            columns: None,
+            rows: vec![row],
+        }
+    }
+
+    /// Creates an insert with an explicit column list.
+    pub fn with_columns(
+        table: impl Into<String>,
+        columns: Vec<String>,
+        rows: Vec<Vec<Value>>,
+    ) -> Insert {
+        Insert {
+            table: table.into(),
+            columns: Some(columns),
+            rows,
+        }
+    }
+}
+
+/// An UPDATE statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Update {
+    /// Target table.
+    pub table: String,
+    /// `SET column = expr` assignments.
+    pub assignments: Vec<(String, Expr)>,
+    /// WHERE clause; `None` updates every row.
+    pub filter: Option<Expr>,
+}
+
+/// A DELETE statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Delete {
+    /// Target table.
+    pub table: String,
+    /// WHERE clause; `None` deletes every row.
+    pub filter: Option<Expr>,
+}
+
+/// The result of a SELECT: named columns and rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Index of an output column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// The single value of a single-row, single-column result.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// Iterates the values of one named column.
+    pub fn column_values<'a>(&'a self, name: &str) -> impl Iterator<Item = &'a Value> + 'a {
+        let idx = self.column_index(name);
+        self.rows.iter().filter_map(move |r| idx.map(|i| &r[i]))
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_builder_composes() {
+        let s = Select::from("LoggedSystemState")
+            .filter(Expr::col("campaignName").eq(Expr::lit("c1")))
+            .filter(Expr::col("experimentName").eq(Expr::lit("E1")))
+            .order_by(Expr::col("experimentName"), SortOrder::Asc)
+            .limit(10)
+            .offset(2);
+        assert!(matches!(s.filter, Some(Expr::Binary { .. })));
+        assert_eq!(s.limit, Some(10));
+        assert_eq!(s.offset, 2);
+    }
+
+    #[test]
+    fn item_replaces_wildcard() {
+        let s = Select::from("t").item(SelectItem::Aggregate {
+            func: AggFunc::Count,
+            arg: None,
+            alias: Some("n".into()),
+        });
+        assert_eq!(s.items.len(), 1);
+        assert!(!s.items.contains(&SelectItem::Wildcard));
+    }
+
+    #[test]
+    fn result_set_helpers() {
+        let rs = ResultSet {
+            columns: vec!["n".into()],
+            rows: vec![vec![Value::Integer(7)]],
+        };
+        assert_eq!(rs.scalar(), Some(&Value::Integer(7)));
+        assert_eq!(rs.column_index("n"), Some(0));
+        assert_eq!(rs.column_values("n").count(), 1);
+        assert_eq!(rs.len(), 1);
+    }
+}

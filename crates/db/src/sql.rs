@@ -1,0 +1,1203 @@
+//! SQL text interface: a lexer and recursive-descent parser for the subset
+//! the GOOFI workflows need, lowering onto the programmatic statement types.
+//!
+//! Supported statements:
+//!
+//! ```sql
+//! CREATE TABLE t (col TYPE [PRIMARY KEY] [NOT NULL] [UNIQUE]
+//!                 [REFERENCES parent(col)], ...);
+//! DROP TABLE t;
+//! INSERT INTO t [(c1, c2)] VALUES (v1, v2) [, (v3, v4)];
+//! SELECT cols FROM t [JOIN u ON expr] [WHERE expr]
+//!        [GROUP BY expr,...] [ORDER BY expr [ASC|DESC],...]
+//!        [LIMIT n [OFFSET m]];
+//! UPDATE t SET c = expr [, ...] [WHERE expr];
+//! DELETE FROM t [WHERE expr];
+//! ```
+
+use crate::database::Database;
+use crate::error::DbError;
+use crate::expr::{BinOp, Expr};
+use crate::query::{AggFunc, Delete, Insert, Join, ResultSet, Select, SelectItem, SortOrder, Update};
+use crate::schema::{Column, TableSchema};
+use crate::value::{Value, ValueType};
+
+/// Result of executing one SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlOutput {
+    /// Rows from a SELECT.
+    Rows(ResultSet),
+    /// Row count affected by INSERT / UPDATE / DELETE.
+    Affected(usize),
+    /// DDL statements (CREATE / DROP TABLE).
+    None,
+}
+
+impl Database {
+    /// Parses and executes one SQL statement.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::Parse`] for malformed SQL, plus all execution errors of
+    /// the underlying statement.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use goofi_db::{Database, SqlOutput};
+    /// # fn main() -> Result<(), goofi_db::DbError> {
+    /// let mut db = Database::new();
+    /// db.execute_sql("CREATE TABLE t (id TEXT PRIMARY KEY, n INTEGER)")?;
+    /// db.execute_sql("INSERT INTO t VALUES ('a', 1)")?;
+    /// let out = db.execute_sql("SELECT COUNT(*) AS n FROM t")?;
+    /// if let SqlOutput::Rows(rs) = out {
+    ///     assert_eq!(rs.scalar().unwrap().as_integer(), Some(1));
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn execute_sql(&mut self, sql: &str) -> Result<SqlOutput, DbError> {
+        let tokens = lex(sql)?;
+        let mut p = Parser::new(tokens);
+        let stmt = p.statement()?;
+        p.expect_end()?;
+        match stmt {
+            Statement::CreateTable(schema) => {
+                self.create_table(schema)?;
+                Ok(SqlOutput::None)
+            }
+            Statement::DropTable(name) => {
+                self.drop_table(&name)?;
+                Ok(SqlOutput::None)
+            }
+            Statement::Insert(i) => Ok(SqlOutput::Affected(self.insert(i)?)),
+            Statement::Update(u) => Ok(SqlOutput::Affected(self.update(u)?)),
+            Statement::Delete(d) => Ok(SqlOutput::Affected(self.delete(d)?)),
+            Statement::Select(s) => Ok(SqlOutput::Rows(self.select(s)?)),
+        }
+    }
+
+    /// Executes a script of `;`-separated statements inside a transaction:
+    /// either every statement applies or none does. Returns one output per
+    /// statement.
+    ///
+    /// # Errors
+    ///
+    /// The first statement error aborts and rolls back the whole script.
+    pub fn execute_script(&mut self, script: &str) -> Result<Vec<SqlOutput>, DbError> {
+        let statements = split_statements(script);
+        self.begin_transaction();
+        let mut outputs = Vec::with_capacity(statements.len());
+        for stmt in statements {
+            match self.execute_sql(&stmt) {
+                Ok(out) => outputs.push(out),
+                Err(e) => {
+                    self.rollback().expect("transaction opened above");
+                    return Err(e);
+                }
+            }
+        }
+        self.commit().expect("transaction opened above");
+        Ok(outputs)
+    }
+
+    /// Convenience: executes SQL that must produce rows.
+    ///
+    /// # Errors
+    ///
+    /// As [`Database::execute_sql`]; additionally [`DbError::Parse`] if the
+    /// statement was not a SELECT.
+    pub fn query(&mut self, sql: &str) -> Result<ResultSet, DbError> {
+        match self.execute_sql(sql)? {
+            SqlOutput::Rows(rs) => Ok(rs),
+            _ => Err(DbError::Parse("statement did not produce rows".into())),
+        }
+    }
+}
+
+/// Splits a script on `;` while respecting string literals and comments.
+fn split_statements(script: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    let mut chars = script.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                current.push(c);
+                // Copy until the closing quote (handling '' escapes).
+                while let Some(&n) = chars.peek() {
+                    current.push(n);
+                    chars.next();
+                    if n == '\'' {
+                        if chars.peek() == Some(&'\'') {
+                            current.push('\'');
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+            '-' if chars.peek() == Some(&'-') => {
+                // Skip line comment.
+                for n in chars.by_ref() {
+                    if n == '\n' {
+                        break;
+                    }
+                }
+                current.push(' ');
+            }
+            ';' => {
+                if !current.trim().is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+// ----------------------------------------------------------------------
+// Lexer
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Keyword(String), // uppercased identifier that matched a keyword
+    Int(i64),
+    Real(f64),
+    Str(String),
+    Blob(Vec<u8>),
+    Symbol(char),
+    // two-char operators
+    Le,
+    Ge,
+    Ne,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
+    "TABLE", "DROP", "PRIMARY", "KEY", "NOT", "NULL", "UNIQUE", "REFERENCES", "AND", "OR", "IN",
+    "IS", "LIKE", "JOIN", "INNER", "ON", "AS", "GROUP", "BY", "ORDER", "ASC", "DESC", "LIMIT",
+    "OFFSET", "COUNT", "SUM", "AVG", "MIN", "MAX", "TRUE", "FALSE", "DISTINCT",
+];
+
+fn lex(sql: &str) -> Result<Vec<Token>, DbError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // line comment
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // string literal with '' escaping
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => return Err(DbError::Parse("unterminated string".into())),
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            'x' | 'X' if chars.get(i + 1) == Some(&'\'') => {
+                // blob literal x'ab01'
+                i += 2;
+                let mut hexstr = String::new();
+                loop {
+                    match chars.get(i) {
+                        None => return Err(DbError::Parse("unterminated blob".into())),
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            hexstr.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                if !hexstr.len().is_multiple_of(2) {
+                    return Err(DbError::Parse("blob literal has odd length".into()));
+                }
+                let mut bytes = Vec::with_capacity(hexstr.len() / 2);
+                for pair in hexstr.as_bytes().chunks(2) {
+                    let s = std::str::from_utf8(pair).expect("ascii hex");
+                    bytes.push(
+                        u8::from_str_radix(s, 16)
+                            .map_err(|_| DbError::Parse(format!("bad hex `{s}` in blob")))?,
+                    );
+                }
+                tokens.push(Token::Blob(bytes));
+            }
+            c if c.is_ascii_digit()
+                || (c == '.' && chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let start = i;
+                let mut is_real = false;
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E'
+                        || ((chars[i] == '+' || chars[i] == '-')
+                            && matches!(chars.get(i - 1), Some('e') | Some('E'))))
+                {
+                    if chars[i] == '.' || chars[i] == 'e' || chars[i] == 'E' {
+                        is_real = true;
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_real {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| DbError::Parse(format!("bad number `{text}`")))?;
+                    tokens.push(Token::Real(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| DbError::Parse(format!("bad number `{text}`")))?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' || c == '"' => {
+                if c == '"' {
+                    // quoted identifier
+                    let mut s = String::new();
+                    i += 1;
+                    loop {
+                        match chars.get(i) {
+                            None => {
+                                return Err(DbError::Parse("unterminated identifier".into()))
+                            }
+                            Some('"') => {
+                                i += 1;
+                                break;
+                            }
+                            Some(&ch) => {
+                                s.push(ch);
+                                i += 1;
+                            }
+                        }
+                    }
+                    tokens.push(Token::Ident(s));
+                } else {
+                    let start = i;
+                    while i < chars.len()
+                        && (chars[i].is_alphanumeric() || chars[i] == '_')
+                    {
+                        i += 1;
+                    }
+                    let word: String = chars[start..i].iter().collect();
+                    let upper = word.to_ascii_uppercase();
+                    if KEYWORDS.contains(&upper.as_str()) {
+                        tokens.push(Token::Keyword(upper));
+                    } else {
+                        tokens.push(Token::Ident(word));
+                    }
+                }
+            }
+            '<' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::Le);
+                i += 2;
+            }
+            '>' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::Ge);
+                i += 2;
+            }
+            '<' if chars.get(i + 1) == Some(&'>') => {
+                tokens.push(Token::Ne);
+                i += 2;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::Ne);
+                i += 2;
+            }
+            '(' | ')' | ',' | '*' | '=' | '<' | '>' | '+' | '-' | '/' | '%' | '.' | ';' => {
+                tokens.push(Token::Symbol(c));
+                i += 1;
+            }
+            other => return Err(DbError::Parse(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(tokens)
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Statement {
+    CreateTable(TableSchema),
+    DropTable(String),
+    Insert(Insert),
+    Update(Update),
+    Delete(Delete),
+    Select(Select),
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Parser {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Keyword(k)) if k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), DbError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected `{kw}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn eat_symbol(&mut self, sym: char) -> bool {
+        if matches!(self.peek(), Some(Token::Symbol(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: char) -> Result<(), DbError> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "expected `{sym}`, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String, DbError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            // Allow non-reserved use of aggregate names as identifiers is
+            // not needed; keywords are reserved.
+            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), DbError> {
+        // trailing semicolon is optional
+        self.eat_symbol(';');
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(DbError::Parse(format!(
+                "unexpected trailing tokens at {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, DbError> {
+        match self.peek() {
+            Some(Token::Keyword(k)) => match k.as_str() {
+                "CREATE" => self.create_table(),
+                "DROP" => self.drop_table(),
+                "INSERT" => self.insert(),
+                "UPDATE" => self.update(),
+                "DELETE" => self.delete(),
+                "SELECT" => Ok(Statement::Select(self.select()?)),
+                other => Err(DbError::Parse(format!("unexpected keyword `{other}`"))),
+            },
+            other => Err(DbError::Parse(format!("expected statement, found {other:?}"))),
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("CREATE")?;
+        self.expect_keyword("TABLE")?;
+        let name = self.identifier()?;
+        self.expect_symbol('(')?;
+        let mut columns = Vec::new();
+        loop {
+            let cname = self.identifier()?;
+            let tname = match self.next() {
+                Some(Token::Ident(s)) => s,
+                Some(Token::Keyword(s)) => s,
+                other => {
+                    return Err(DbError::Parse(format!("expected type name, found {other:?}")))
+                }
+            };
+            let ty = ValueType::parse(&tname)
+                .ok_or_else(|| DbError::Parse(format!("unknown type `{tname}`")))?;
+            let mut col = Column::new(cname, ty);
+            loop {
+                if self.eat_keyword("PRIMARY") {
+                    self.expect_keyword("KEY")?;
+                    col = col.primary_key();
+                } else if self.eat_keyword("NOT") {
+                    self.expect_keyword("NULL")?;
+                    col = col.not_null();
+                } else if self.eat_keyword("UNIQUE") {
+                    col = col.unique();
+                } else if self.eat_keyword("REFERENCES") {
+                    let parent = self.identifier()?;
+                    self.expect_symbol('(')?;
+                    let pcol = self.identifier()?;
+                    self.expect_symbol(')')?;
+                    col = col.references(parent, pcol);
+                } else {
+                    break;
+                }
+            }
+            columns.push(col);
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        self.expect_symbol(')')?;
+        Ok(Statement::CreateTable(TableSchema::new(name, columns)?))
+    }
+
+    fn drop_table(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("DROP")?;
+        self.expect_keyword("TABLE")?;
+        Ok(Statement::DropTable(self.identifier()?))
+    }
+
+    fn insert(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("INSERT")?;
+        self.expect_keyword("INTO")?;
+        let table = self.identifier()?;
+        let columns = if self.eat_symbol('(') {
+            let mut cols = Vec::new();
+            loop {
+                cols.push(self.identifier()?);
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+            self.expect_symbol(')')?;
+            Some(cols)
+        } else {
+            None
+        };
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_symbol('(')?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal_value()?);
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+            self.expect_symbol(')')?;
+            rows.push(row);
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        Ok(Statement::Insert(Insert {
+            table,
+            columns,
+            rows,
+        }))
+    }
+
+    fn literal_value(&mut self) -> Result<Value, DbError> {
+        // Literals in VALUES; supports unary minus.
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Value::Integer(i)),
+            Some(Token::Real(r)) => Ok(Value::Real(r)),
+            Some(Token::Str(s)) => Ok(Value::Text(s)),
+            Some(Token::Blob(b)) => Ok(Value::Blob(b)),
+            Some(Token::Keyword(k)) => match k.as_str() {
+                "NULL" => Ok(Value::Null),
+                "TRUE" => Ok(Value::Boolean(true)),
+                "FALSE" => Ok(Value::Boolean(false)),
+                other => Err(DbError::Parse(format!("unexpected `{other}` in VALUES"))),
+            },
+            Some(Token::Symbol('-')) => match self.next() {
+                Some(Token::Int(i)) => Ok(Value::Integer(-i)),
+                Some(Token::Real(r)) => Ok(Value::Real(-r)),
+                other => Err(DbError::Parse(format!("expected number, found {other:?}"))),
+            },
+            other => Err(DbError::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn update(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.identifier()?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            self.expect_symbol('=')?;
+            let expr = self.expr()?;
+            assignments.push((col, expr));
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        let filter = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update(Update {
+            table,
+            assignments,
+            filter,
+        }))
+    }
+
+    fn delete(&mut self) -> Result<Statement, DbError> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.identifier()?;
+        let filter = if self.eat_keyword("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete(Delete { table, filter }))
+    }
+
+    fn select(&mut self) -> Result<Select, DbError> {
+        self.expect_keyword("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            items.push(self.select_item()?);
+            if !self.eat_symbol(',') {
+                break;
+            }
+        }
+        self.expect_keyword("FROM")?;
+        let table = self.identifier()?;
+        let alias = self.maybe_alias()?;
+        let mut select = Select {
+            table,
+            alias,
+            joins: Vec::new(),
+            items,
+            filter: None,
+            group_by: Vec::new(),
+            order_by: Vec::new(),
+            limit: None,
+            offset: 0,
+        };
+        loop {
+            if self.eat_keyword("INNER") {
+                self.expect_keyword("JOIN")?;
+            } else if !self.eat_keyword("JOIN") {
+                break;
+            }
+            let jtable = self.identifier()?;
+            let jalias = self.maybe_alias()?;
+            self.expect_keyword("ON")?;
+            let on = self.expr()?;
+            select.joins.push(Join {
+                table: jtable,
+                alias: jalias,
+                on,
+            });
+        }
+        if self.eat_keyword("WHERE") {
+            select.filter = Some(self.expr()?);
+        }
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                select.group_by.push(self.expr()?);
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+        }
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.expr()?;
+                let order = if self.eat_keyword("DESC") {
+                    SortOrder::Desc
+                } else {
+                    self.eat_keyword("ASC");
+                    SortOrder::Asc
+                };
+                select.order_by.push((expr, order));
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+        }
+        if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => select.limit = Some(n as usize),
+                other => return Err(DbError::Parse(format!("expected LIMIT count, found {other:?}"))),
+            }
+            if self.eat_keyword("OFFSET") {
+                match self.next() {
+                    Some(Token::Int(n)) if n >= 0 => select.offset = n as usize,
+                    other => {
+                        return Err(DbError::Parse(format!(
+                            "expected OFFSET count, found {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        Ok(select)
+    }
+
+    fn maybe_alias(&mut self) -> Result<Option<String>, DbError> {
+        if self.eat_keyword("AS") {
+            return Ok(Some(self.identifier()?));
+        }
+        if matches!(self.peek(), Some(Token::Ident(_))) {
+            return Ok(Some(self.identifier()?));
+        }
+        Ok(None)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, DbError> {
+        if self.eat_symbol('*') {
+            return Ok(SelectItem::Wildcard);
+        }
+        // Aggregate?
+        if let Some(Token::Keyword(k)) = self.peek() {
+            let func = match k.as_str() {
+                "COUNT" => Some(AggFunc::Count),
+                "SUM" => Some(AggFunc::Sum),
+                "AVG" => Some(AggFunc::Avg),
+                "MIN" => Some(AggFunc::Min),
+                "MAX" => Some(AggFunc::Max),
+                _ => None,
+            };
+            if let Some(func) = func {
+                self.pos += 1;
+                self.expect_symbol('(')?;
+                let arg = if self.eat_symbol('*') {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_symbol(')')?;
+                let alias = if self.eat_keyword("AS") {
+                    Some(self.identifier()?)
+                } else {
+                    None
+                };
+                return Ok(SelectItem::Aggregate { func, arg, alias });
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_keyword("AS") {
+            Some(self.identifier()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    // Expression grammar (precedence climbing):
+    // or_expr := and_expr (OR and_expr)*
+    // and_expr := not_expr (AND not_expr)*
+    // not_expr := NOT not_expr | predicate
+    // predicate := additive ((=|<>|<|<=|>|>=) additive
+    //              | IS [NOT] NULL | [NOT] IN (...) | [NOT] LIKE additive)?
+    // additive := multiplicative ((+|-) multiplicative)*
+    // multiplicative := unary ((*|/|%) unary)*
+    // unary := - unary | primary
+    // primary := literal | column | ( expr )
+    fn expr(&mut self) -> Result<Expr, DbError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, DbError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_keyword("OR") {
+            let rhs = self.and_expr()?;
+            lhs = lhs.or(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, DbError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_keyword("AND") {
+            let rhs = self.not_expr()?;
+            lhs = lhs.and(rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, DbError> {
+        if self.eat_keyword("NOT") {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    fn predicate(&mut self) -> Result<Expr, DbError> {
+        let lhs = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        // [NOT] IN / [NOT] LIKE
+        let negated = if matches!(self.peek(), Some(Token::Keyword(k)) if k == "NOT") {
+            // lookahead: NOT IN / NOT LIKE
+            let save = self.pos;
+            self.pos += 1;
+            if matches!(self.peek(), Some(Token::Keyword(k)) if k == "IN" || k == "LIKE") {
+                true
+            } else {
+                self.pos = save;
+                false
+            }
+        } else {
+            false
+        };
+        if self.eat_keyword("IN") {
+            self.expect_symbol('(')?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if !self.eat_symbol(',') {
+                    break;
+                }
+            }
+            self.expect_symbol(')')?;
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = self.additive()?;
+            return Ok(Expr::Like {
+                expr: Box::new(lhs),
+                pattern: Box::new(pattern),
+                negated,
+            });
+        }
+        if negated {
+            return Err(DbError::Parse("dangling NOT".into()));
+        }
+        // comparison
+        let op = match self.peek() {
+            Some(Token::Symbol('=')) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Symbol('<')) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Symbol('>')) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.additive()?;
+            return Ok(Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, DbError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol('+')) => BinOp::Add,
+                Some(Token::Symbol('-')) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, DbError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Symbol('*')) => BinOp::Mul,
+                Some(Token::Symbol('/')) => BinOp::Div,
+                Some(Token::Symbol('%')) => BinOp::Rem,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, DbError> {
+        if self.eat_symbol('-') {
+            let inner = self.unary()?;
+            return Ok(match inner {
+                Expr::Literal(Value::Integer(i)) => Expr::Literal(Value::Integer(-i)),
+                Expr::Literal(Value::Real(r)) => Expr::Literal(Value::Real(-r)),
+                other => Expr::Binary {
+                    op: BinOp::Sub,
+                    lhs: Box::new(Expr::lit(0)),
+                    rhs: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, DbError> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(Expr::lit(i)),
+            Some(Token::Real(r)) => Ok(Expr::lit(r)),
+            Some(Token::Str(s)) => Ok(Expr::lit(s)),
+            Some(Token::Blob(b)) => Ok(Expr::Literal(Value::Blob(b))),
+            Some(Token::Keyword(k)) => match k.as_str() {
+                "NULL" => Ok(Expr::Literal(Value::Null)),
+                "TRUE" => Ok(Expr::lit(true)),
+                "FALSE" => Ok(Expr::lit(false)),
+                other => Err(DbError::Parse(format!("unexpected `{other}` in expression"))),
+            },
+            Some(Token::Symbol('(')) => {
+                let e = self.expr()?;
+                self.expect_symbol(')')?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                if self.eat_symbol('.') {
+                    let col = self.identifier()?;
+                    Ok(Expr::qcol(name, col))
+                } else {
+                    Ok(Expr::col(name))
+                }
+            }
+            other => Err(DbError::Parse(format!(
+                "expected expression, found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.execute_sql(
+            "CREATE TABLE TargetSystemData (testCardName TEXT PRIMARY KEY, descr TEXT)",
+        )
+        .unwrap();
+        db.execute_sql(
+            "CREATE TABLE CampaignData (
+                campaignName TEXT PRIMARY KEY,
+                testCardName TEXT NOT NULL REFERENCES TargetSystemData(testCardName),
+                nrOfExperiments INTEGER)",
+        )
+        .unwrap();
+        db.execute_sql(
+            "CREATE TABLE LoggedSystemState (
+                experimentName TEXT PRIMARY KEY,
+                parentExperiment TEXT REFERENCES LoggedSystemState(experimentName),
+                campaignName TEXT NOT NULL REFERENCES CampaignData(campaignName),
+                experimentData TEXT,
+                stateVector BLOB)",
+        )
+        .unwrap();
+        db.execute_sql("INSERT INTO TargetSystemData VALUES ('thor', 'Thor RD card')")
+            .unwrap();
+        db.execute_sql("INSERT INTO CampaignData VALUES ('c1', 'thor', 50)")
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_select_roundtrip() {
+        let mut db = db();
+        let rs = db.query("SELECT campaignName, nrOfExperiments FROM CampaignData").unwrap();
+        assert_eq!(rs.columns, vec!["campaignName", "nrOfExperiments"]);
+        assert_eq!(rs.rows[0][1], Value::Integer(50));
+    }
+
+    #[test]
+    fn where_and_like() {
+        let mut db = db();
+        for i in 0..5 {
+            db.execute_sql(&format!(
+                "INSERT INTO LoggedSystemState (experimentName, campaignName) \
+                 VALUES ('E{i}', 'c1')"
+            ))
+            .unwrap();
+        }
+        let rs = db
+            .query("SELECT experimentName FROM LoggedSystemState WHERE experimentName LIKE 'E%' AND experimentName <> 'E3' ORDER BY experimentName")
+            .unwrap();
+        assert_eq!(rs.len(), 4);
+        assert_eq!(rs.rows[3][0], Value::Text("E4".into()));
+    }
+
+    #[test]
+    fn aggregates_with_group_by() {
+        let mut db = db();
+        db.execute_sql("INSERT INTO CampaignData VALUES ('c2', 'thor', 70)")
+            .unwrap();
+        let rs = db
+            .query(
+                "SELECT testCardName, COUNT(*) AS n, SUM(nrOfExperiments) AS total \
+                 FROM CampaignData GROUP BY testCardName",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][1], Value::Integer(2));
+        assert_eq!(rs.rows[0][2], Value::Integer(120));
+    }
+
+    #[test]
+    fn join_with_qualified_columns() {
+        let mut db = db();
+        db.execute_sql(
+            "INSERT INTO LoggedSystemState (experimentName, campaignName, experimentData) \
+             VALUES ('E1', 'c1', 'loc=IR bit=3')",
+        )
+        .unwrap();
+        let rs = db
+            .query(
+                "SELECT l.experimentName, c.nrOfExperiments \
+                 FROM LoggedSystemState l \
+                 JOIN CampaignData c ON l.campaignName = c.campaignName \
+                 WHERE c.campaignName = 'c1'",
+            )
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][1], Value::Integer(50));
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut db = db();
+        let out = db
+            .execute_sql("UPDATE CampaignData SET nrOfExperiments = nrOfExperiments * 2")
+            .unwrap();
+        assert_eq!(out, SqlOutput::Affected(1));
+        let rs = db.query("SELECT nrOfExperiments FROM CampaignData").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Integer(100));
+        let out = db
+            .execute_sql("DELETE FROM CampaignData WHERE campaignName = 'c1'")
+            .unwrap();
+        assert_eq!(out, SqlOutput::Affected(1));
+    }
+
+    #[test]
+    fn fk_violation_via_sql() {
+        let mut db = db();
+        let err = db
+            .execute_sql("INSERT INTO CampaignData VALUES ('c9', 'ghost-card', 1)")
+            .unwrap_err();
+        assert!(matches!(err, DbError::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn string_escaping_and_blob_literals() {
+        let mut db = db();
+        db.execute_sql(
+            "INSERT INTO LoggedSystemState (experimentName, campaignName, experimentData, stateVector) \
+             VALUES ('it''s E1', 'c1', NULL, x'cafe01')",
+        )
+        .unwrap();
+        let rs = db
+            .query("SELECT experimentName, stateVector FROM LoggedSystemState")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Text("it's E1".into()));
+        assert_eq!(rs.rows[0][1], Value::Blob(vec![0xca, 0xfe, 0x01]));
+    }
+
+    #[test]
+    fn parse_errors_reported() {
+        let mut db = db();
+        assert!(matches!(
+            db.execute_sql("SELEKT * FROM x").unwrap_err(),
+            DbError::Parse(_)
+        ));
+        assert!(matches!(
+            db.execute_sql("SELECT * FROM").unwrap_err(),
+            DbError::Parse(_)
+        ));
+        assert!(matches!(
+            db.execute_sql("INSERT INTO CampaignData VALUES ('a', 'thor', 1) garbage")
+                .unwrap_err(),
+            DbError::Parse(_)
+        ));
+    }
+
+    #[test]
+    fn is_null_and_in_predicates() {
+        let mut db = db();
+        db.execute_sql(
+            "INSERT INTO LoggedSystemState (experimentName, campaignName) VALUES ('E1', 'c1')",
+        )
+        .unwrap();
+        let rs = db
+            .query("SELECT experimentName FROM LoggedSystemState WHERE parentExperiment IS NULL")
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        let rs = db
+            .query("SELECT experimentName FROM LoggedSystemState WHERE experimentName IN ('E1','E2')")
+            .unwrap();
+        assert_eq!(rs.len(), 1);
+        let rs = db
+            .query(
+                "SELECT experimentName FROM LoggedSystemState WHERE experimentName NOT IN ('E1')",
+            )
+            .unwrap();
+        assert!(rs.is_empty());
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let mut db = db();
+        let rs = db
+            .query("SELECT nrOfExperiments + 2 * 10 AS v FROM CampaignData")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Integer(70));
+        let rs = db
+            .query("SELECT (nrOfExperiments + 2) * 10 AS v FROM CampaignData")
+            .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Integer(520));
+    }
+
+    #[test]
+    fn negative_numbers_and_unary_minus() {
+        let mut db = db();
+        db.execute_sql("CREATE TABLE t (x INTEGER)").unwrap();
+        db.execute_sql("INSERT INTO t VALUES (-5)").unwrap();
+        let rs = db.query("SELECT x FROM t WHERE x < -1").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Integer(-5));
+        let rs = db.query("SELECT -x AS y FROM t").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Integer(5));
+    }
+
+    #[test]
+    fn scripts_run_atomically() {
+        let mut db = db();
+        let outs = db
+            .execute_script(
+                "INSERT INTO CampaignData VALUES ('c2', 'thor', 10); -- second campaign\n\
+                 UPDATE CampaignData SET nrOfExperiments = 99 WHERE campaignName = 'c2';\n\
+                 SELECT COUNT(*) FROM CampaignData;",
+            )
+            .unwrap();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[1], SqlOutput::Affected(1));
+        // A failing script rolls everything back.
+        let err = db
+            .execute_script(
+                "INSERT INTO CampaignData VALUES ('c3', 'thor', 1);\n\
+                 INSERT INTO CampaignData VALUES ('c3', 'thor', 2);",
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        let rs = db
+            .query("SELECT COUNT(*) FROM CampaignData WHERE campaignName = 'c3'")
+            .unwrap();
+        assert_eq!(rs.scalar().unwrap().as_integer(), Some(0));
+    }
+
+    #[test]
+    fn script_splitting_respects_strings() {
+        let mut db = db();
+        // A semicolon inside a string literal must not split.
+        let outs = db
+            .execute_script(
+                "INSERT INTO TargetSystemData VALUES ('x;y', 'a;b');\n\
+                 SELECT descr FROM TargetSystemData WHERE testCardName = 'x;y'",
+            )
+            .unwrap();
+        assert_eq!(outs.len(), 2);
+        match &outs[1] {
+            SqlOutput::Rows(rs) => assert_eq!(rs.rows[0][0], Value::Text("a;b".into())),
+            other => panic!("expected rows, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_and_semicolons_tolerated() {
+        let mut db = db();
+        let rs = db
+            .query("SELECT COUNT(*) FROM CampaignData -- how many?\n;")
+            .unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Integer(1)));
+    }
+}

@@ -1,0 +1,376 @@
+//! In-memory row storage for one table, with unique + secondary indexes.
+
+use crate::error::DbError;
+use crate::schema::TableSchema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A stored row: one [`Value`] per schema column, in declaration order.
+pub type Row = Vec<Value>;
+
+/// Ordered index key wrapping [`Value::total_cmp`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct IndexKey(pub Value);
+
+impl PartialEq for IndexKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.total_cmp(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for IndexKey {}
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Storage and indexes for one table.
+///
+/// Rows live in a slab (`Vec<Option<Row>>`); row ids are stable across
+/// deletes, which keeps index maintenance simple. Every UNIQUE / PRIMARY KEY
+/// column gets a unique index; every foreign-key child column gets a
+/// multi-index used for referential-integrity checks on parent deletes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Option<Row>>,
+    live: usize,
+    /// column index -> (key -> row id), for UNIQUE columns.
+    #[serde(skip)]
+    unique_indexes: BTreeMap<usize, BTreeMap<IndexKey, usize>>,
+    /// column index -> (key -> row ids), for FK child columns.
+    #[serde(skip)]
+    multi_indexes: BTreeMap<usize, BTreeMap<IndexKey, Vec<usize>>>,
+}
+
+impl Table {
+    /// Creates an empty table with indexes derived from the schema.
+    pub fn new(schema: TableSchema) -> Table {
+        let mut unique_indexes = BTreeMap::new();
+        let mut multi_indexes = BTreeMap::new();
+        for (i, col) in schema.columns().iter().enumerate() {
+            if col.is_unique() {
+                unique_indexes.insert(i, BTreeMap::new());
+            } else if col.foreign_key().is_some() {
+                multi_indexes.insert(i, BTreeMap::new());
+            }
+        }
+        Table {
+            schema,
+            rows: Vec::new(),
+            live: 0,
+            unique_indexes,
+            multi_indexes,
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Validates a row against the schema (arity, types, NOT NULL) and
+    /// coerces integer→real. Does not check uniqueness.
+    pub(crate) fn validate(&self, row: Row) -> Result<Row, DbError> {
+        if row.len() != self.schema.arity() {
+            return Err(DbError::ArityMismatch {
+                expected: self.schema.arity(),
+                got: row.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(row.len());
+        for (value, col) in row.into_iter().zip(self.schema.columns()) {
+            if value.is_null() {
+                if col.is_not_null() {
+                    return Err(DbError::NullViolation {
+                        table: self.schema.name().to_owned(),
+                        column: col.name().to_owned(),
+                    });
+                }
+                out.push(Value::Null);
+                continue;
+            }
+            if !value.is_compatible_with(col.ty()) {
+                return Err(DbError::TypeMismatch {
+                    table: self.schema.name().to_owned(),
+                    column: col.name().to_owned(),
+                    expected: col.ty().name(),
+                    got: value.type_name(),
+                });
+            }
+            out.push(value.coerce(col.ty()));
+        }
+        Ok(out)
+    }
+
+    /// Inserts a validated row, enforcing uniqueness. Returns the row id.
+    ///
+    /// # Errors
+    ///
+    /// All of [`Table::validate`]'s errors, plus [`DbError::UniqueViolation`].
+    pub(crate) fn insert(&mut self, row: Row) -> Result<usize, DbError> {
+        let row = self.validate(row)?;
+        // Check all unique constraints before mutating anything.
+        for (&ci, index) in &self.unique_indexes {
+            let v = &row[ci];
+            if !v.is_null() && index.contains_key(&IndexKey(v.clone())) {
+                return Err(DbError::UniqueViolation {
+                    table: self.schema.name().to_owned(),
+                    column: self.schema.columns()[ci].name().to_owned(),
+                });
+            }
+        }
+        let id = self.rows.len();
+        for (&ci, index) in &mut self.unique_indexes {
+            let v = &row[ci];
+            if !v.is_null() {
+                index.insert(IndexKey(v.clone()), id);
+            }
+        }
+        for (&ci, index) in &mut self.multi_indexes {
+            let v = &row[ci];
+            if !v.is_null() {
+                index.entry(IndexKey(v.clone())).or_default().push(id);
+            }
+        }
+        self.rows.push(Some(row));
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Removes the row with the given id, updating indexes. Returns the row.
+    pub(crate) fn remove(&mut self, id: usize) -> Option<Row> {
+        let row = self.rows.get_mut(id)?.take()?;
+        self.live -= 1;
+        for (&ci, index) in &mut self.unique_indexes {
+            if !row[ci].is_null() {
+                index.remove(&IndexKey(row[ci].clone()));
+            }
+        }
+        for (&ci, index) in &mut self.multi_indexes {
+            if !row[ci].is_null() {
+                if let Some(ids) = index.get_mut(&IndexKey(row[ci].clone())) {
+                    ids.retain(|&r| r != id);
+                    if ids.is_empty() {
+                        index.remove(&IndexKey(row[ci].clone()));
+                    }
+                }
+            }
+        }
+        Some(row)
+    }
+
+    /// Replaces the row with the given id with a validated new row,
+    /// enforcing uniqueness. The old row is returned.
+    pub(crate) fn replace(&mut self, id: usize, row: Row) -> Result<Row, DbError> {
+        let row = self.validate(row)?;
+        for (&ci, index) in &self.unique_indexes {
+            let v = &row[ci];
+            if v.is_null() {
+                continue;
+            }
+            if let Some(&other) = index.get(&IndexKey(v.clone())) {
+                if other != id {
+                    return Err(DbError::UniqueViolation {
+                        table: self.schema.name().to_owned(),
+                        column: self.schema.columns()[ci].name().to_owned(),
+                    });
+                }
+            }
+        }
+        let old = self
+            .remove(id)
+            .ok_or_else(|| DbError::Eval(format!("row {id} does not exist")))?;
+        // Re-insert at the same id to keep ids stable.
+        for (&ci, index) in &mut self.unique_indexes {
+            if !row[ci].is_null() {
+                index.insert(IndexKey(row[ci].clone()), id);
+            }
+        }
+        for (&ci, index) in &mut self.multi_indexes {
+            if !row[ci].is_null() {
+                index.entry(IndexKey(row[ci].clone())).or_default().push(id);
+            }
+        }
+        self.rows[id] = Some(row);
+        self.live += 1;
+        Ok(old)
+    }
+
+    /// Iterates over `(row id, row)` pairs of live rows.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Row)> {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (i, r)))
+    }
+
+    /// Fetches a row by id.
+    pub fn row(&self, id: usize) -> Option<&Row> {
+        self.rows.get(id).and_then(|r| r.as_ref())
+    }
+
+    /// Point lookup through a unique index. `column` must be UNIQUE.
+    pub fn lookup_unique(&self, column: usize, key: &Value) -> Option<usize> {
+        self.unique_indexes
+            .get(&column)?
+            .get(&IndexKey(key.clone()))
+            .copied()
+    }
+
+    /// Whether any live row has `key` in the (indexed or not) column.
+    pub fn contains_value(&self, column: usize, key: &Value) -> bool {
+        if let Some(index) = self.unique_indexes.get(&column) {
+            return index.contains_key(&IndexKey(key.clone()));
+        }
+        if let Some(index) = self.multi_indexes.get(&column) {
+            return index.contains_key(&IndexKey(key.clone()));
+        }
+        self.iter()
+            .any(|(_, row)| row[column].sql_eq(key) == Some(true))
+    }
+
+    /// Rebuilds all indexes from the schema and row storage (used after
+    /// deserialisation, where the index maps are skipped).
+    pub(crate) fn rebuild_indexes(&mut self) {
+        self.unique_indexes.clear();
+        self.multi_indexes.clear();
+        for (i, col) in self.schema.columns().iter().enumerate() {
+            if col.is_unique() {
+                self.unique_indexes.insert(i, BTreeMap::new());
+            } else if col.foreign_key().is_some() {
+                self.multi_indexes.insert(i, BTreeMap::new());
+            }
+        }
+        let entries: Vec<(usize, Row)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|r| (i, r.clone())))
+            .collect();
+        self.live = entries.len();
+        for (id, row) in entries {
+            for (&ci, index) in &mut self.unique_indexes {
+                if !row[ci].is_null() {
+                    index.insert(IndexKey(row[ci].clone()), id);
+                }
+            }
+            for (&ci, index) in &mut self.multi_indexes {
+                if !row[ci].is_null() {
+                    index.entry(IndexKey(row[ci].clone())).or_default().push(id);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Column;
+    use crate::value::ValueType;
+
+    fn table() -> Table {
+        Table::new(
+            TableSchema::new(
+                "t",
+                vec![
+                    Column::new("id", ValueType::Text).primary_key(),
+                    Column::new("n", ValueType::Integer),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = table();
+        let id = t.insert(vec!["a".into(), 1.into()]).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup_unique(0, &"a".into()), Some(id));
+        assert_eq!(t.row(id).unwrap()[1], Value::Integer(1));
+    }
+
+    #[test]
+    fn duplicate_primary_key_rejected() {
+        let mut t = table();
+        t.insert(vec!["a".into(), 1.into()]).unwrap();
+        let err = t.insert(vec!["a".into(), 2.into()]).unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn arity_and_type_checked() {
+        let mut t = table();
+        assert!(matches!(
+            t.insert(vec!["a".into()]).unwrap_err(),
+            DbError::ArityMismatch { .. }
+        ));
+        assert!(matches!(
+            t.insert(vec![1.into(), 1.into()]).unwrap_err(),
+            DbError::TypeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let mut t = table();
+        let err = t.insert(vec![Value::Null, 1.into()]).unwrap_err();
+        assert!(matches!(err, DbError::NullViolation { .. }));
+    }
+
+    #[test]
+    fn remove_updates_index_and_allows_reinsert() {
+        let mut t = table();
+        let id = t.insert(vec!["a".into(), 1.into()]).unwrap();
+        assert!(t.remove(id).is_some());
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.lookup_unique(0, &"a".into()), None);
+        t.insert(vec!["a".into(), 2.into()]).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn replace_keeps_id_and_checks_unique() {
+        let mut t = table();
+        let a = t.insert(vec!["a".into(), 1.into()]).unwrap();
+        t.insert(vec!["b".into(), 2.into()]).unwrap();
+        // Renaming a -> b collides.
+        let err = t.replace(a, vec!["b".into(), 3.into()]).unwrap_err();
+        assert!(matches!(err, DbError::UniqueViolation { .. }));
+        // Updating the non-key column of `a` through replace is fine.
+        t.replace(a, vec!["a".into(), 9.into()]).unwrap();
+        assert_eq!(t.row(a).unwrap()[1], Value::Integer(9));
+    }
+
+    #[test]
+    fn rebuild_indexes_matches_incremental() {
+        let mut t = table();
+        t.insert(vec!["a".into(), 1.into()]).unwrap();
+        let b = t.insert(vec!["b".into(), 2.into()]).unwrap();
+        t.remove(b);
+        let mut rebuilt = t.clone();
+        rebuilt.rebuild_indexes();
+        assert_eq!(rebuilt.len(), t.len());
+        assert_eq!(rebuilt.lookup_unique(0, &"a".into()), Some(0));
+        assert_eq!(rebuilt.lookup_unique(0, &"b".into()), None);
+    }
+}

@@ -1,0 +1,371 @@
+//! Dynamically typed cell values and their static types.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Static type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Integer,
+    /// 64-bit IEEE float.
+    Real,
+    /// UTF-8 text.
+    Text,
+    /// Raw bytes (used for logged state vectors).
+    Blob,
+    /// Boolean.
+    Boolean,
+}
+
+impl ValueType {
+    /// Human-readable name used in error messages and `CREATE TABLE` syntax.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValueType::Integer => "INTEGER",
+            ValueType::Real => "REAL",
+            ValueType::Text => "TEXT",
+            ValueType::Blob => "BLOB",
+            ValueType::Boolean => "BOOLEAN",
+        }
+    }
+
+    /// Parses a type name as used in SQL (`INTEGER`, `REAL`, `TEXT`, `BLOB`,
+    /// `BOOLEAN`); case-insensitive. Returns `None` for unknown names.
+    pub fn parse(name: &str) -> Option<ValueType> {
+        match name.to_ascii_uppercase().as_str() {
+            "INTEGER" | "INT" => Some(ValueType::Integer),
+            "REAL" | "FLOAT" | "DOUBLE" => Some(ValueType::Real),
+            "TEXT" | "VARCHAR" | "STRING" => Some(ValueType::Text),
+            "BLOB" | "BYTES" => Some(ValueType::Blob),
+            "BOOLEAN" | "BOOL" => Some(ValueType::Boolean),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A dynamically typed cell value.
+///
+/// `Null` is a member of every column type (unless the column is declared
+/// NOT NULL), mirroring SQL semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer.
+    Integer(i64),
+    /// 64-bit float.
+    Real(f64),
+    /// UTF-8 text.
+    Text(String),
+    /// Raw bytes.
+    Blob(Vec<u8>),
+    /// Boolean.
+    Boolean(bool),
+}
+
+impl Value {
+    /// The static type of this value, or `None` for `Null`.
+    pub fn value_type(&self) -> Option<ValueType> {
+        match self {
+            Value::Null => None,
+            Value::Integer(_) => Some(ValueType::Integer),
+            Value::Real(_) => Some(ValueType::Real),
+            Value::Text(_) => Some(ValueType::Text),
+            Value::Blob(_) => Some(ValueType::Blob),
+            Value::Boolean(_) => Some(ValueType::Boolean),
+        }
+    }
+
+    /// Name of this value's runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self.value_type() {
+            None => "NULL",
+            Some(t) => t.name(),
+        }
+    }
+
+    /// Whether this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this value can be stored in a column of type `ty`.
+    ///
+    /// NULL is compatible with every type; an `Integer` may be widened into
+    /// a `Real` column (the widening is performed by [`Value::coerce`]).
+    pub fn is_compatible_with(&self, ty: ValueType) -> bool {
+        matches!(
+            (self, ty),
+            (Value::Null, _)
+                | (Value::Integer(_), ValueType::Integer)
+                | (Value::Integer(_), ValueType::Real)
+                | (Value::Real(_), ValueType::Real)
+                | (Value::Text(_), ValueType::Text)
+                | (Value::Blob(_), ValueType::Blob)
+                | (Value::Boolean(_), ValueType::Boolean)
+        )
+    }
+
+    /// Coerces this value for storage in a column of type `ty`.
+    ///
+    /// The only lossy-free coercion performed is integer→real widening;
+    /// all other compatible values are returned unchanged. The caller must
+    /// have checked [`Value::is_compatible_with`] first.
+    pub fn coerce(self, ty: ValueType) -> Value {
+        match (self, ty) {
+            (Value::Integer(i), ValueType::Real) => Value::Real(i as f64),
+            (v, _) => v,
+        }
+    }
+
+    /// Extracts an `i64`, if this is an integer.
+    pub fn as_integer(&self) -> Option<i64> {
+        match self {
+            Value::Integer(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extracts an `f64` from a real or (widened) integer.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Value::Real(r) => Some(*r),
+            Value::Integer(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Extracts a string slice, if this is text.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extracts a byte slice, if this is a blob.
+    pub fn as_blob(&self) -> Option<&[u8]> {
+        match self {
+            Value::Blob(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extracts a bool, if this is a boolean.
+    pub fn as_boolean(&self) -> Option<bool> {
+        match self {
+            Value::Boolean(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// SQL three-valued comparison. Returns `None` if either side is NULL
+    /// or the types are not comparable.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Integer(a), Value::Integer(b)) => Some(a.cmp(b)),
+            (Value::Real(a), Value::Real(b)) => a.partial_cmp(b),
+            (Value::Integer(a), Value::Real(b)) => (*a as f64).partial_cmp(b),
+            (Value::Real(a), Value::Integer(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            (Value::Blob(a), Value::Blob(b)) => Some(a.cmp(b)),
+            (Value::Boolean(a), Value::Boolean(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality: NULL equals nothing (returns `None`); values of
+    /// incomparable types are unequal.
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            _ => match self.compare(other) {
+                Some(ord) => Some(ord == Ordering::Equal),
+                // Comparable NULL-free values of different types: unequal.
+                None => Some(false),
+            },
+        }
+    }
+
+    /// A total ordering used for ORDER BY and index keys: NULLs sort first,
+    /// then by type tag, then by value (NaN sorts after all other reals).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Boolean(_) => 1,
+                Value::Integer(_) => 2,
+                Value::Real(_) => 2, // numerics compare with each other
+                Value::Text(_) => 3,
+                Value::Blob(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Value::Real(a), Value::Real(b)) => a.total_cmp(b),
+            (Value::Integer(a), Value::Real(b)) => (*a as f64).total_cmp(b),
+            (Value::Real(a), Value::Integer(b)) => a.total_cmp(&(*b as f64)),
+            _ => match rank(self).cmp(&rank(other)) {
+                Ordering::Equal => self.compare(other).unwrap_or(Ordering::Equal),
+                ord => ord,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Integer(i) => write!(f, "{i}"),
+            Value::Real(r) => write!(f, "{r}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Blob(b) => write!(f, "x'{}'", hex(b)),
+            Value::Boolean(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Integer(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Integer(v as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Integer(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Integer(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Blob(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Boolean(v)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        match v {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_names_roundtrip_through_parse() {
+        for ty in [
+            ValueType::Integer,
+            ValueType::Real,
+            ValueType::Text,
+            ValueType::Blob,
+            ValueType::Boolean,
+        ] {
+            assert_eq!(ValueType::parse(ty.name()), Some(ty));
+        }
+        assert_eq!(ValueType::parse("int"), Some(ValueType::Integer));
+        assert_eq!(ValueType::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn null_compares_as_unknown() {
+        assert_eq!(Value::Null.compare(&Value::Integer(1)), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(
+            Value::Integer(2).compare(&Value::Real(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Real(2.0).sql_eq(&Value::Integer(2)), Some(true));
+    }
+
+    #[test]
+    fn cross_type_equality_is_false_not_unknown() {
+        assert_eq!(
+            Value::Text("1".into()).sql_eq(&Value::Integer(1)),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn integer_widens_into_real_column() {
+        let v = Value::Integer(3);
+        assert!(v.is_compatible_with(ValueType::Real));
+        assert_eq!(v.coerce(ValueType::Real), Value::Real(3.0));
+    }
+
+    #[test]
+    fn total_cmp_sorts_nulls_first() {
+        let mut vals = vec![Value::Integer(2), Value::Null, Value::Integer(1)];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(
+            vals,
+            vec![Value::Null, Value::Integer(1), Value::Integer(2)]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Text("x".into()).to_string(), "'x'");
+        assert_eq!(Value::Blob(vec![0xab, 0x01]).to_string(), "x'ab01'");
+        assert_eq!(Value::Boolean(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i32), Value::Integer(3));
+        assert_eq!(Value::from(None::<i64>), Value::Null);
+        assert_eq!(Value::from(Some("a")), Value::Text("a".into()));
+    }
+}

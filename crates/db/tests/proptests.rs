@@ -1,0 +1,151 @@
+//! Property-based tests for the database engine invariants.
+
+use goofi_db::{Column, Database, DbError, Expr, Insert, Select, TableSchema, Value, ValueType};
+use proptest::prelude::*;
+
+fn fresh_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        TableSchema::new(
+            "t",
+            vec![
+                Column::new("id", ValueType::Integer).primary_key(),
+                Column::new("name", ValueType::Text),
+                Column::new("score", ValueType::Real),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    db
+}
+
+proptest! {
+    /// Inserting N rows with distinct keys yields N rows; duplicate keys are
+    /// rejected and leave the count unchanged.
+    #[test]
+    fn insert_count_matches_distinct_keys(keys in proptest::collection::vec(0i64..50, 1..40)) {
+        let mut db = fresh_db();
+        let mut expected = std::collections::HashSet::new();
+        for k in &keys {
+            let res = db.insert(Insert::into(
+                "t",
+                vec![(*k).into(), format!("row{k}").into(), (*k as f64).into()],
+            ));
+            if expected.insert(*k) {
+                prop_assert!(res.is_ok());
+            } else {
+                let is_unique_violation = matches!(res, Err(DbError::UniqueViolation { .. }));
+                prop_assert!(is_unique_violation);
+            }
+        }
+        let rs = db.select(Select::from("t")).unwrap();
+        prop_assert_eq!(rs.len(), expected.len());
+    }
+
+    /// SELECT with an equality filter returns exactly the matching rows.
+    #[test]
+    fn filter_returns_exact_matches(rows in proptest::collection::hash_set(0i64..100, 0..30), probe in 0i64..100) {
+        let mut db = fresh_db();
+        for k in &rows {
+            db.insert(Insert::into("t", vec![(*k).into(), Value::Null, Value::Null])).unwrap();
+        }
+        let rs = db.select(Select::from("t").filter(Expr::col("id").eq(Expr::lit(probe)))).unwrap();
+        prop_assert_eq!(rs.len(), usize::from(rows.contains(&probe)));
+    }
+
+    /// DELETE then SELECT never sees deleted rows; sum of kept + deleted == total.
+    #[test]
+    fn delete_partitions_rows(rows in proptest::collection::hash_set(0i64..100, 0..30), cutoff in 0i64..100) {
+        let mut db = fresh_db();
+        for k in &rows {
+            db.insert(Insert::into("t", vec![(*k).into(), Value::Null, Value::Null])).unwrap();
+        }
+        let deleted = db.delete(goofi_db::Delete {
+            table: "t".into(),
+            filter: Some(Expr::Binary {
+                op: goofi_db::BinOp::Lt,
+                lhs: Box::new(Expr::col("id")),
+                rhs: Box::new(Expr::lit(cutoff)),
+            }),
+        }).unwrap();
+        let remaining = db.select(Select::from("t")).unwrap().len();
+        prop_assert_eq!(deleted + remaining, rows.len());
+        let rs = db.select(Select::from("t")).unwrap();
+        for row in &rs.rows {
+            prop_assert!(row[0].as_integer().unwrap() >= cutoff);
+        }
+    }
+
+    /// JSON persistence is lossless for arbitrary text and blob payloads.
+    #[test]
+    fn persistence_roundtrip(entries in proptest::collection::vec(("[a-zA-Z0-9 ']{0,20}", proptest::collection::vec(any::<u8>(), 0..32)), 0..20)) {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "log",
+            vec![
+                Column::new("id", ValueType::Integer).primary_key(),
+                Column::new("txt", ValueType::Text),
+                Column::new("bin", ValueType::Blob),
+            ],
+        ).unwrap()).unwrap();
+        for (i, (txt, bin)) in entries.iter().enumerate() {
+            db.insert(Insert::into("log", vec![i.into(), txt.clone().into(), bin.clone().into()])).unwrap();
+        }
+        let restored = Database::from_json(&db.to_json().unwrap()).unwrap();
+        let a = db.select(Select::from("log")).unwrap();
+        let b = restored.select(Select::from("log")).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Transactions: rollback always restores the exact pre-transaction
+    /// result set, regardless of the operations inside.
+    #[test]
+    fn rollback_is_exact(seed in proptest::collection::vec(0i64..20, 0..10), ops in proptest::collection::vec(0i64..20, 0..10)) {
+        let mut db = fresh_db();
+        for k in &seed {
+            let _ = db.insert(Insert::into("t", vec![(*k).into(), Value::Null, Value::Null]));
+        }
+        let before = db.select(Select::from("t")).unwrap();
+        db.begin_transaction();
+        for k in &ops {
+            if k % 2 == 0 {
+                let _ = db.insert(Insert::into("t", vec![(k + 100).into(), Value::Null, Value::Null]));
+            } else {
+                let _ = db.delete(goofi_db::Delete {
+                    table: "t".into(),
+                    filter: Some(Expr::col("id").eq(Expr::lit(*k))),
+                });
+            }
+        }
+        db.rollback().unwrap();
+        let after = db.select(Select::from("t")).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    /// SQL roundtrip: inserting via SQL text and via the programmatic API
+    /// agree.
+    #[test]
+    fn sql_and_api_agree(k in 0i64..1000, name in "[a-zA-Z]{1,12}") {
+        let mut db1 = fresh_db();
+        let mut db2 = fresh_db();
+        db1.execute_sql(&format!("INSERT INTO t VALUES ({k}, '{name}', 1.5)")).unwrap();
+        db2.insert(Insert::into("t", vec![k.into(), name.as_str().into(), 1.5.into()])).unwrap();
+        let a = db1.select(Select::from("t")).unwrap();
+        let b = db2.select(Select::from("t")).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// COUNT(*) equals the number of rows matching the same WHERE clause.
+    #[test]
+    fn count_consistent_with_select(rows in proptest::collection::hash_set(0i64..60, 0..25), cutoff in 0i64..60) {
+        let mut db = fresh_db();
+        for k in &rows {
+            db.insert(Insert::into("t", vec![(*k).into(), Value::Null, Value::Null])).unwrap();
+        }
+        let rs = db.query(&format!("SELECT COUNT(*) AS n FROM t WHERE id >= {cutoff}")).unwrap();
+        let count = rs.scalar().unwrap().as_integer().unwrap() as usize;
+        let listed = db.query(&format!("SELECT id FROM t WHERE id >= {cutoff}")).unwrap().len();
+        prop_assert_eq!(count, listed);
+    }
+}

@@ -1,0 +1,250 @@
+//! Closed-loop plant models for control-application workloads.
+
+use crate::{Environment, SCALE};
+
+/// A first-order DC-motor speed plant controlled by the target's PID
+/// workload.
+///
+/// Discrete dynamics in fixed point (per iteration):
+/// `speed' = speed + (u * B_NUM / B_DEN) - (speed * A_NUM / A_DEN)`,
+/// i.e. a stable first-order lag driven by the control signal `u`.
+///
+/// Inputs to the target: `[setpoint, measured_speed]`.
+/// Outputs from the target: `[control_signal]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DcMotorEnv {
+    setpoint: i32,
+    speed: i32,
+    history: Vec<i32>,
+}
+
+impl DcMotorEnv {
+    /// Gain numerator for the control input.
+    const B_NUM: i64 = 1;
+    /// Gain denominator for the control input.
+    const B_DEN: i64 = 4;
+    /// Decay numerator.
+    const A_NUM: i64 = 1;
+    /// Decay denominator.
+    const A_DEN: i64 = 8;
+
+    /// Creates a plant at rest with the given fixed-point setpoint.
+    pub fn new(setpoint: i32) -> DcMotorEnv {
+        DcMotorEnv {
+            setpoint,
+            speed: 0,
+            history: Vec::new(),
+        }
+    }
+
+    /// Current plant speed (fixed point).
+    pub fn speed(&self) -> i32 {
+        self.speed
+    }
+
+    /// The setpoint (fixed point).
+    pub fn setpoint(&self) -> i32 {
+        self.setpoint
+    }
+
+    /// Speed trajectory, one sample per iteration.
+    pub fn history(&self) -> &[i32] {
+        &self.history
+    }
+
+    /// Largest absolute control error over the last `tail` iterations
+    /// (fixed point). Used to judge whether a faulty run violated its
+    /// control requirement (an *escaped* error in the paper's terms).
+    pub fn max_tail_error(&self, tail: usize) -> i32 {
+        self.history
+            .iter()
+            .rev()
+            .take(tail)
+            .map(|s| (s - self.setpoint).abs())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl Environment for DcMotorEnv {
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn exchange(&mut self, outputs: &[i32]) -> Vec<i32> {
+        let u = outputs.first().copied().unwrap_or(0) as i64;
+        // Saturate the actuator to a sane range to keep the fixed-point
+        // arithmetic bounded even under wildly corrupted control values.
+        let u = u.clamp(-(1 << 24), 1 << 24);
+        let speed = self.speed as i64;
+        let next = speed + u * Self::B_NUM / Self::B_DEN - speed * Self::A_NUM / Self::A_DEN;
+        self.speed = next.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+        self.history.push(self.speed);
+        vec![self.setpoint, self.speed]
+    }
+
+    fn reset(&mut self) {
+        self.speed = 0;
+        self.history.clear();
+    }
+}
+
+/// A water-tank level plant with an inflow disturbance: a second,
+/// structurally different control scenario.
+///
+/// Inputs to the target: `[setpoint, level]`.
+/// Outputs from the target: `[valve_command]` (0..=SCALE, clamped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaterTankEnv {
+    setpoint: i32,
+    level: i32,
+    inflow: i32,
+    history: Vec<i32>,
+}
+
+impl WaterTankEnv {
+    /// Creates a tank with a constant disturbance inflow (fixed point per
+    /// iteration).
+    pub fn new(setpoint: i32, inflow: i32) -> WaterTankEnv {
+        WaterTankEnv {
+            setpoint,
+            level: 0,
+            inflow,
+            history: Vec::new(),
+        }
+    }
+
+    /// Current level (fixed point).
+    pub fn level(&self) -> i32 {
+        self.level
+    }
+
+    /// Level trajectory.
+    pub fn history(&self) -> &[i32] {
+        &self.history
+    }
+}
+
+impl Environment for WaterTankEnv {
+    fn num_inputs(&self) -> usize {
+        2
+    }
+
+    fn num_outputs(&self) -> usize {
+        1
+    }
+
+    fn exchange(&mut self, outputs: &[i32]) -> Vec<i32> {
+        // Valve command drains proportionally to the command and the level.
+        let valve = outputs.first().copied().unwrap_or(0).clamp(0, SCALE) as i64;
+        let level = self.level as i64;
+        let drain = level * valve / (SCALE as i64) / 4;
+        let next = (level + self.inflow as i64 - drain).max(0);
+        self.level = next.min(i32::MAX as i64) as i32;
+        self.history.push(self.level);
+        vec![self.setpoint, self.level]
+    }
+
+    fn reset(&mut self) {
+        self.level = 0;
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial host-side proportional controller, used to validate the
+    /// plant dynamics independent of the target CPU.
+    fn p_control(env: &mut dyn Environment, gain: i64, iterations: usize) -> Vec<i32> {
+        let mut inputs = env.exchange(&[0]);
+        for _ in 0..iterations {
+            let err = (inputs[0] - inputs[1]) as i64;
+            let u = (err * gain / SCALE as i64) as i32;
+            inputs = env.exchange(&[u]);
+        }
+        inputs
+    }
+
+    #[test]
+    fn dc_motor_converges_under_p_control() {
+        // With u = g*err the plant settles at the P-control fixed point
+        // s* = 2g*sp / (1 + 2g) (steady state of s/8 = u/4), not at the
+        // setpoint itself — only the integral term removes the offset.
+        let mut env = DcMotorEnv::new(5 * SCALE);
+        p_control(&mut env, 2 * SCALE as i64, 200);
+        let expected = 2 * 2 * 5 * SCALE / (1 + 2 * 2); // g = 2
+        let err = (env.speed() - expected).abs();
+        assert!(
+            err < SCALE / 8,
+            "speed {} did not settle at the P fixed point {}",
+            env.speed(),
+            expected
+        );
+    }
+
+    #[test]
+    fn dc_motor_without_control_stays_at_rest() {
+        let mut env = DcMotorEnv::new(5 * SCALE);
+        for _ in 0..50 {
+            env.exchange(&[0]);
+        }
+        assert_eq!(env.speed(), 0);
+        assert_eq!(env.max_tail_error(10), 5 * SCALE);
+    }
+
+    #[test]
+    fn dc_motor_survives_corrupted_actuation() {
+        let mut env = DcMotorEnv::new(SCALE);
+        env.exchange(&[i32::MAX]);
+        env.exchange(&[i32::MIN]);
+        // No panic / overflow; state stays bounded.
+        assert!(env.speed().abs() < i32::MAX);
+    }
+
+    #[test]
+    fn dc_motor_reset_restores_initial_state() {
+        let mut env = DcMotorEnv::new(SCALE);
+        env.exchange(&[100]);
+        env.reset();
+        assert_eq!(env.speed(), 0);
+        assert!(env.history().is_empty());
+    }
+
+    #[test]
+    fn water_tank_fills_without_valve() {
+        let mut env = WaterTankEnv::new(10 * SCALE, SCALE / 4);
+        for _ in 0..20 {
+            env.exchange(&[0]);
+        }
+        assert_eq!(env.level(), 20 * (SCALE / 4));
+    }
+
+    #[test]
+    fn water_tank_regulates_under_p_control() {
+        let mut env = WaterTankEnv::new(4 * SCALE, SCALE / 4);
+        // Proportional control on the level error, clamped valve.
+        let mut inputs = env.exchange(&[0]);
+        for _ in 0..500 {
+            let err = (inputs[1] - inputs[0]) as i64; // above setpoint -> open
+            let u = (err / 2).clamp(0, SCALE as i64) as i32;
+            inputs = env.exchange(&[u]);
+        }
+        let err = (env.level() - 4 * SCALE).abs();
+        assert!(err < 2 * SCALE, "level {} too far from setpoint", env.level());
+    }
+
+    #[test]
+    fn history_records_every_iteration() {
+        let mut env = DcMotorEnv::new(SCALE);
+        for _ in 0..7 {
+            env.exchange(&[10]);
+        }
+        assert_eq!(env.history().len(), 7);
+    }
+}

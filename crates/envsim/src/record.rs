@@ -1,0 +1,91 @@
+//! Recording wrapper capturing every exchange for later analysis.
+
+use crate::Environment;
+
+/// Wraps another environment and records every `(outputs, inputs)` pair.
+///
+/// The analysis phase compares the recorded I/O of a faulty run against the
+/// reference run to detect wrong results and timeliness violations.
+#[derive(Debug)]
+pub struct RecordingEnv<E> {
+    inner: E,
+    exchanges: Vec<(Vec<i32>, Vec<i32>)>,
+}
+
+impl<E: Environment> RecordingEnv<E> {
+    /// Wraps `inner`.
+    pub fn new(inner: E) -> RecordingEnv<E> {
+        RecordingEnv {
+            inner,
+            exchanges: Vec::new(),
+        }
+    }
+
+    /// The recorded `(target outputs, env inputs)` pairs, in order.
+    pub fn exchanges(&self) -> &[(Vec<i32>, Vec<i32>)] {
+        &self.exchanges
+    }
+
+    /// The wrapped environment.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Unwraps, returning the inner environment.
+    pub fn into_inner(self) -> E {
+        self.inner
+    }
+}
+
+impl<E: Environment> Environment for RecordingEnv<E> {
+    fn num_inputs(&self) -> usize {
+        self.inner.num_inputs()
+    }
+
+    fn num_outputs(&self) -> usize {
+        self.inner.num_outputs()
+    }
+
+    fn exchange(&mut self, outputs: &[i32]) -> Vec<i32> {
+        let inputs = self.inner.exchange(outputs);
+        self.exchanges.push((outputs.to_vec(), inputs.clone()));
+        inputs
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.exchanges.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ConstantEnv;
+
+    #[test]
+    fn records_all_exchanges() {
+        let mut env = RecordingEnv::new(ConstantEnv::new(vec![7]));
+        env.exchange(&[1]);
+        env.exchange(&[2]);
+        assert_eq!(
+            env.exchanges(),
+            &[(vec![1], vec![7]), (vec![2], vec![7])]
+        );
+    }
+
+    #[test]
+    fn reset_clears_recording() {
+        let mut env = RecordingEnv::new(ConstantEnv::new(vec![7]));
+        env.exchange(&[1]);
+        env.reset();
+        assert!(env.exchanges().is_empty());
+    }
+
+    #[test]
+    fn passthrough_of_dimensions() {
+        let env = RecordingEnv::new(ConstantEnv::new(vec![1, 2, 3]));
+        assert_eq!(env.num_inputs(), 3);
+        assert_eq!(env.num_outputs(), 0);
+    }
+}

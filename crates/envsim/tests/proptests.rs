@@ -1,0 +1,70 @@
+//! Property tests: plants must stay bounded and deterministic no matter
+//! what a fault-corrupted controller sends them.
+
+use goofi_envsim::{ConstantEnv, DcMotorEnv, Environment, RecordingEnv, ScriptedEnv, WaterTankEnv, SCALE};
+use proptest::prelude::*;
+
+proptest! {
+    /// The DC-motor plant never panics and never saturates to infinity-like
+    /// behaviour for arbitrary (possibly insane) control sequences.
+    #[test]
+    fn dc_motor_is_total_under_arbitrary_control(us in proptest::collection::vec(any::<i32>(), 1..200)) {
+        let mut env = DcMotorEnv::new(5 * SCALE);
+        for u in &us {
+            let inputs = env.exchange(&[*u]);
+            prop_assert_eq!(inputs.len(), 2);
+            prop_assert_eq!(inputs[0], 5 * SCALE);
+        }
+        prop_assert_eq!(env.history().len(), us.len());
+    }
+
+    /// The water tank level is always non-negative and monotone when the
+    /// valve is closed.
+    #[test]
+    fn water_tank_level_invariants(valves in proptest::collection::vec(any::<i32>(), 1..100), inflow in 0i32..1000) {
+        let mut env = WaterTankEnv::new(4 * SCALE, inflow);
+        let mut last = 0;
+        for v in &valves {
+            env.exchange(&[*v]);
+            prop_assert!(env.level() >= 0);
+            if *v <= 0 {
+                prop_assert!(env.level() >= last, "closed valve must not drain");
+            }
+            last = env.level();
+        }
+    }
+
+    /// Reset restores exact initial behaviour for every environment kind.
+    #[test]
+    fn reset_restores_determinism(us in proptest::collection::vec(-1000i32..1000, 1..50)) {
+        let run = |env: &mut dyn Environment| -> Vec<Vec<i32>> {
+            us.iter().map(|u| env.exchange(&[*u])).collect()
+        };
+        let mut motors: Vec<Box<dyn Environment>> = vec![
+            Box::new(DcMotorEnv::new(SCALE)),
+            Box::new(WaterTankEnv::new(SCALE, 10)),
+            Box::new(ConstantEnv::new(vec![1, 2])),
+            Box::new(ScriptedEnv::new(vec![vec![1], vec![2], vec![3]])),
+            Box::new(RecordingEnv::new(DcMotorEnv::new(SCALE))),
+        ];
+        for env in &mut motors {
+            let first = run(env.as_mut());
+            env.reset();
+            let second = run(env.as_mut());
+            prop_assert_eq!(&first, &second);
+        }
+    }
+
+    /// The recorder is a faithful pass-through.
+    #[test]
+    fn recorder_is_transparent(us in proptest::collection::vec(-500i32..500, 1..50)) {
+        let mut plain = DcMotorEnv::new(2 * SCALE);
+        let mut recorded = RecordingEnv::new(DcMotorEnv::new(2 * SCALE));
+        for u in &us {
+            let a = plain.exchange(&[*u]);
+            let b = recorded.exchange(&[*u]);
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(recorded.exchanges().len(), us.len());
+    }
+}

@@ -1,0 +1,431 @@
+//! `TargetSystemInterface` adapter for the StackVM target.
+//!
+//! The genericity demonstration (experiment E5): a structurally different
+//! machine — Harvard stack architecture, named debug-port fields instead of
+//! shift chains — driven by the *same* fault-injection algorithms. The
+//! debug port is presented to the framework as a single scan chain named
+//! `"debug"`; instruction memory is presented as the SWIFI memory surface
+//! (addressed in bytes, 4 bytes per program word).
+
+use goofi_core::{
+    ChainInfo, FieldInfo, GoofiError, MemoryRegion, MemoryRole, Result, StateVector,
+    TargetEvent, TargetSystemConfig, TargetSystemInterface, TraceStep,
+};
+use goofi_stackvm::{Op, StackVm, VmError, VmEvent};
+
+/// Default per-experiment step budget.
+pub const DEFAULT_STEP_BUDGET: u64 = 1_000_000;
+
+/// Mechanism names for the StackVM's error detectors.
+fn mechanism_name(e: &VmError) -> &'static str {
+    match e {
+        VmError::StackOverflow | VmError::StackUnderflow => "stack-bounds",
+        VmError::CallStackFault => "call-stack",
+        VmError::IllegalOpcode { .. } => "illegal-opcode",
+        VmError::PcOutOfRange { .. } => "pc-range",
+        VmError::DataOutOfRange { .. } => "data-range",
+    }
+}
+
+/// A StackVM workload: the program plus its result location.
+#[derive(Debug, Clone)]
+pub struct StackProgram {
+    /// Program name.
+    pub name: String,
+    /// The instructions.
+    pub ops: Vec<Op>,
+    /// Data addresses holding the result, read back as outputs.
+    pub result_addrs: Vec<u32>,
+}
+
+impl StackProgram {
+    /// The bundled demo workload: sums 1..=n into `data[1]`.
+    pub fn sum(n: i32) -> StackProgram {
+        StackProgram {
+            name: format!("sum{n}"),
+            ops: vec![
+                Op::Push(n),
+                Op::Store(0),
+                Op::Push(0),
+                Op::Store(1),
+                Op::Load(0), // 4: loop head
+                Op::Jz(15),
+                Op::Load(1),
+                Op::Load(0),
+                Op::Add,
+                Op::Store(1),
+                Op::Load(0),
+                Op::Push(1),
+                Op::Sub,
+                Op::Store(0),
+                Op::Jmp(4),
+                Op::Halt, // 15
+            ],
+            result_addrs: vec![1],
+        }
+    }
+}
+
+/// The StackVM target adapter.
+pub struct StackVmTarget {
+    name: String,
+    vm: StackVm,
+    program: StackProgram,
+    step_budget: u64,
+    data_words: usize,
+}
+
+impl StackVmTarget {
+    /// Creates an adapter with `data_words` words of VM data memory.
+    pub fn new(name: impl Into<String>, program: StackProgram, data_words: usize) -> Self {
+        StackVmTarget {
+            name: name.into(),
+            vm: StackVm::new(data_words),
+            program,
+            step_budget: DEFAULT_STEP_BUDGET,
+            data_words,
+        }
+    }
+
+    /// Overrides the step budget.
+    pub fn set_step_budget(&mut self, budget: u64) {
+        self.step_budget = budget;
+    }
+
+    fn event(&self, ev: VmEvent) -> TargetEvent {
+        match ev {
+            VmEvent::Halted => TargetEvent::Halted,
+            VmEvent::Sync => TargetEvent::IterationsDone, // no env for this target
+            VmEvent::Error(e) => TargetEvent::Detected {
+                mechanism: mechanism_name(&e).to_owned(),
+                detail: e.to_string(),
+            },
+            VmEvent::TimedOut => TargetEvent::TimedOut,
+            VmEvent::Breakpoint { steps, .. } => TargetEvent::BreakpointHit { time: steps },
+        }
+    }
+}
+
+impl TargetSystemInterface for StackVmTarget {
+    fn target_name(&self) -> &str {
+        &self.name
+    }
+
+    fn describe(&self) -> TargetSystemConfig {
+        let mut offset = 0;
+        let fields = self
+            .vm
+            .debug_fields()
+            .into_iter()
+            .map(|f| {
+                let info = FieldInfo {
+                    name: f.name,
+                    offset,
+                    width: f.width,
+                    writable: f.writable,
+                };
+                offset += f.width;
+                info
+            })
+            .collect::<Vec<_>>();
+        TargetSystemConfig {
+            name: self.name.clone(),
+            description: format!("StackVM, program `{}`", self.program.name),
+            chains: vec![ChainInfo {
+                name: "debug".into(),
+                width: offset,
+                fields,
+            }],
+            memory: vec![
+                MemoryRegion {
+                    start: 0,
+                    len: (self.program.ops.len() * 4) as u32,
+                    role: MemoryRole::Code,
+                },
+                MemoryRegion {
+                    start: 0x1_0000,
+                    len: (self.data_words * 4) as u32,
+                    role: MemoryRole::Data,
+                },
+            ],
+        }
+    }
+
+    fn init_test_card(&mut self) -> Result<()> {
+        self.vm.reset();
+        Ok(())
+    }
+
+    fn load_workload(&mut self) -> Result<()> {
+        self.vm.load(&self.program.ops);
+        Ok(())
+    }
+
+    fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {
+        for (i, w) in data.iter().enumerate() {
+            let a = addr + (i as u32) * 4;
+            let ok = if a >= 0x1_0000 {
+                self.vm.set_data((a - 0x1_0000) / 4, *w as i32)
+            } else {
+                self.vm.set_program_word((a / 4) as usize, *w)
+            };
+            if !ok {
+                return Err(GoofiError::Target(format!("bad address 0x{a:x}")));
+            }
+        }
+        Ok(())
+    }
+
+    fn read_memory(&mut self, addr: u32, len: usize) -> Result<Vec<u32>> {
+        (0..len)
+            .map(|i| {
+                let a = addr + (i as u32) * 4;
+                let v = if a >= 0x1_0000 {
+                    self.vm.data((a - 0x1_0000) / 4).map(|v| v as u32)
+                } else {
+                    self.vm.program_word((a / 4) as usize)
+                };
+                v.ok_or_else(|| GoofiError::Target(format!("bad address 0x{a:x}")))
+            })
+            .collect()
+    }
+
+    fn set_breakpoint(&mut self, time: u64) -> Result<()> {
+        self.vm.set_breakpoint_steps(time);
+        Ok(())
+    }
+
+    fn run_workload(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn wait_for_breakpoint(&mut self) -> Result<TargetEvent> {
+        let ev = self.vm.run(self.step_budget);
+        Ok(self.event(ev))
+    }
+
+    fn wait_for_termination(&mut self) -> Result<TargetEvent> {
+        loop {
+            let ev = self.vm.run(self.step_budget);
+            match ev {
+                // Stray breakpoints are ignored on the way to termination.
+                VmEvent::Breakpoint { .. } => continue,
+                other => return Ok(self.event(other)),
+            }
+        }
+    }
+
+    fn read_scan_chain(&mut self, chain: &str) -> Result<StateVector> {
+        if chain != "debug" {
+            return Err(GoofiError::Target(format!("no scan chain `{chain}`")));
+        }
+        let fields = self.vm.debug_fields();
+        let width: usize = fields.iter().map(|f| f.width).sum();
+        let mut bits = StateVector::zeros(width);
+        let mut offset = 0;
+        for f in fields {
+            let v = self
+                .vm
+                .read_field(&f.name)
+                .ok_or_else(|| GoofiError::Target(format!("unreadable field {}", f.name)))?;
+            for b in 0..f.width {
+                if v & (1u64 << b) != 0 {
+                    bits.set(offset + b, true);
+                }
+            }
+            offset += f.width;
+        }
+        Ok(bits)
+    }
+
+    fn write_scan_chain(&mut self, chain: &str, bits: &StateVector) -> Result<()> {
+        if chain != "debug" {
+            return Err(GoofiError::Target(format!("no scan chain `{chain}`")));
+        }
+        let mut offset = 0;
+        for f in self.vm.debug_fields() {
+            if f.writable {
+                let mut v = 0u64;
+                for b in 0..f.width {
+                    if bits.get(offset + b) {
+                        v |= 1u64 << b;
+                    }
+                }
+                self.vm.write_field(&f.name, v);
+            }
+            offset += f.width;
+        }
+        Ok(())
+    }
+
+    fn observe_state(&mut self) -> Result<StateVector> {
+        // Debug chain plus all data memory.
+        let chain = self.read_scan_chain("debug")?;
+        let mut bytes = chain.as_bytes().to_vec();
+        let mut len = bytes.len() * 8;
+        for i in 0..self.data_words {
+            let v = self.vm.data(i as u32).unwrap_or(0);
+            bytes.extend((v as u32).to_le_bytes());
+            len += 32;
+        }
+        Ok(StateVector::from_bytes(bytes, len))
+    }
+
+    fn read_outputs(&mut self) -> Result<Vec<u32>> {
+        self.program
+            .result_addrs
+            .iter()
+            .map(|a| {
+                self.vm
+                    .data(*a)
+                    .map(|v| v as u32)
+                    .ok_or_else(|| GoofiError::Target(format!("bad result address {a}")))
+            })
+            .collect()
+    }
+
+    fn step_instruction(&mut self) -> Result<Option<TargetEvent>> {
+        match self.vm.step() {
+            Ok(Some(VmEvent::Halted)) => Ok(Some(TargetEvent::Halted)),
+            Ok(Some(_)) | Ok(None) => Ok(None),
+            Err(e) => Ok(Some(TargetEvent::Detected {
+                mechanism: mechanism_name(&e).to_owned(),
+                detail: e.to_string(),
+            })),
+        }
+    }
+
+    fn collect_trace(&mut self) -> Result<Vec<TraceStep>> {
+        // The StackVM does not expose per-instruction read/write sets, so
+        // its trace carries only timing and control-flow structure; this is
+        // exactly the degraded-but-valid case for a target with a weaker
+        // debug interface (pre-injection analysis then prunes nothing).
+        let mut trace = Vec::new();
+        for _ in 0..self.step_budget {
+            let time = self.vm.steps();
+            match self.vm.step() {
+                Ok(Some(VmEvent::Halted)) => break,
+                Ok(_) => trace.push(TraceStep {
+                    time,
+                    reads: Vec::new(),
+                    writes: Vec::new(),
+                    is_branch: false,
+                    is_call: false,
+                }),
+                Err(e) => {
+                    return Err(GoofiError::Target(format!(
+                        "reference trace run hit an error: {e}"
+                    )))
+                }
+            }
+        }
+        Ok(trace)
+    }
+
+    fn instructions_retired(&mut self) -> Result<u64> {
+        Ok(self.vm.steps())
+    }
+
+    fn iterations_completed(&mut self) -> Result<u32> {
+        Ok(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goofi_core::{
+        reference_run, run_campaign, Campaign, FaultModel, LocationSelector, Technique,
+    };
+
+    fn target() -> StackVmTarget {
+        StackVmTarget::new("stackvm", StackProgram::sum(10), 8)
+    }
+
+    fn campaign(technique: Technique, n: usize) -> Campaign {
+        let selector = match technique {
+            Technique::Scifi => LocationSelector::Chain {
+                chain: "debug".into(),
+                field: None,
+            },
+            _ => LocationSelector::Memory {
+                start: 0,
+                words: 16,
+            },
+        };
+        Campaign::builder("svm-c", "stackvm", "sum10")
+            .technique(technique)
+            .select(selector)
+            .fault_model(FaultModel::BitFlip)
+            .window(0, 60)
+            .experiments(n)
+            .seed(3)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn reference_computes_sum() {
+        let mut t = target();
+        let run = reference_run(&mut t, &campaign(Technique::Scifi, 1)).unwrap();
+        assert_eq!(run.termination, TargetEvent::Halted);
+        assert_eq!(run.outputs, vec![55]);
+    }
+
+    #[test]
+    fn describe_exposes_debug_chain_with_read_only_steps() {
+        let t = target();
+        let cfg = t.describe();
+        let chain = cfg.chain("debug").unwrap();
+        assert!(chain.field("S0").unwrap().writable);
+        assert!(!chain.field("STEPS").unwrap().writable);
+    }
+
+    #[test]
+    fn scifi_campaign_runs_against_stackvm() {
+        let mut t = target();
+        let result = run_campaign(&mut t, &campaign(Technique::Scifi, 40), None, None).unwrap();
+        assert_eq!(result.runs.len(), 40);
+        let s = &result.stats;
+        // Something must be effective and something must be benign in a
+        // 40-shot campaign over the whole debug chain.
+        assert!(s.total() == 40);
+        assert!(s.effective() + s.non_effective() == 40);
+    }
+
+    #[test]
+    fn swifi_campaign_runs_against_stackvm() {
+        let mut t = target();
+        let result =
+            run_campaign(&mut t, &campaign(Technique::SwifiPreRuntime, 30), None, None).unwrap();
+        assert_eq!(result.runs.len(), 30);
+        // Corrupting instruction words must trip the illegal-opcode or
+        // range detectors at least once in 30 experiments.
+        assert!(result.stats.detected_total() > 0, "{}", result.stats.report());
+    }
+
+    #[test]
+    fn sp_injection_detected_by_stack_bounds() {
+        let mut t = target();
+        t.init_test_card().unwrap();
+        t.load_workload().unwrap();
+        t.set_breakpoint(5).unwrap();
+        assert!(matches!(
+            t.wait_for_breakpoint().unwrap(),
+            TargetEvent::BreakpointHit { .. }
+        ));
+        // Force SP to a wild value through the chain.
+        let cfg = t.describe();
+        let chain = cfg.chain("debug").unwrap();
+        let sp = chain.field("SP").unwrap();
+        let mut bits = t.read_scan_chain("debug").unwrap();
+        for b in 0..sp.width {
+            bits.set(sp.offset + b, true);
+        }
+        t.write_scan_chain("debug", &bits).unwrap();
+        match t.wait_for_termination().unwrap() {
+            TargetEvent::Detected { mechanism, .. } => assert_eq!(mechanism, "stack-bounds"),
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,892 @@
+//! Two-pass assembler for the Thor RD ISA.
+//!
+//! Workloads in the paper are programs downloaded to the target before each
+//! experiment; this assembler turns readable source into the memory image
+//! the test card downloads (and that pre-runtime SWIFI corrupts).
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment (also # and //)
+//!         .org 0x0        ; set location counter (byte address)
+//! start:  li r1, 10
+//!         la r2, array    ; pseudo: lui+ori with a label address
+//! loop:   ld r3, 0(r2)
+//!         add r4, r4, r3
+//!         addi r2, r2, 4
+//!         addi r1, r1, -1
+//!         cmpi r1, 0
+//!         bne loop
+//!         st r4, 0(r5)
+//!         halt
+//!         .org 0x4000
+//! array:  .word 1, 2, 3, -4
+//!         .space 64       ; reserve 64 zeroed bytes
+//! ```
+//!
+//! Branches take label operands (PC-relative, ±32 Ki instructions); `jmp`
+//! and `jal` take absolute label targets. `ret` is a pseudo for `jr r15`.
+
+use crate::isa::{Cond, Instr, Reg};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An assembler diagnostic, with the 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// A contiguous block of assembled words at a base address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Base byte address (word aligned).
+    pub base: u32,
+    /// Assembled words.
+    pub words: Vec<u32>,
+}
+
+/// An assembled program: the memory image plus symbols.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// Memory segments in ascending address order.
+    pub segments: Vec<Segment>,
+    /// Entry point (byte address), default 0.
+    pub entry: u32,
+    /// Label addresses.
+    pub symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Address of a label.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Total number of assembled words.
+    pub fn word_count(&self) -> usize {
+        self.segments.iter().map(|s| s.words.len()).sum()
+    }
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered (unknown mnemonic, bad
+/// operand, undefined or duplicate label, out-of-range offset...).
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let lines = parse_lines(source)?;
+    // Pass 1: lay out addresses, collect labels.
+    let mut symbols = BTreeMap::new();
+    let mut lc: u32 = 0;
+    let mut entry = None;
+    for line in &lines {
+        for label in &line.labels {
+            if symbols.insert(label.clone(), lc).is_some() {
+                return Err(AsmError {
+                    line: line.number,
+                    message: format!("duplicate label `{label}`"),
+                });
+            }
+        }
+        match &line.item {
+            Item::None => {}
+            Item::Org(addr) => lc = *addr,
+            Item::Entry(_) => {}
+            Item::Words(ws) => lc += 4 * ws.len() as u32,
+            Item::Space(bytes) => lc += bytes,
+            Item::Op(op) => lc += 4 * op.size() as u32,
+        }
+        if let Item::Entry(label) = &line.item {
+            entry = Some((label.clone(), line.number));
+        }
+    }
+    // Pass 2: encode.
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut lc: u32 = 0;
+    let emit = |segments: &mut Vec<Segment>, lc: &mut u32, word: u32| {
+        match segments.last_mut() {
+            Some(seg) if seg.base + 4 * seg.words.len() as u32 == *lc => seg.words.push(word),
+            _ => segments.push(Segment {
+                base: *lc,
+                words: vec![word],
+            }),
+        }
+        *lc += 4;
+    };
+    for line in &lines {
+        match &line.item {
+            Item::None | Item::Entry(_) => {}
+            Item::Org(addr) => {
+                if addr % 4 != 0 {
+                    return Err(AsmError {
+                        line: line.number,
+                        message: format!(".org address {addr:#x} is not word aligned"),
+                    });
+                }
+                lc = *addr;
+            }
+            Item::Words(ws) => {
+                for w in ws {
+                    let value = resolve_word(w, &symbols, line.number)?;
+                    emit(&mut segments, &mut lc, value);
+                }
+            }
+            Item::Space(bytes) => {
+                if bytes % 4 != 0 {
+                    return Err(AsmError {
+                        line: line.number,
+                        message: ".space size must be a multiple of 4".into(),
+                    });
+                }
+                for _ in 0..bytes / 4 {
+                    emit(&mut segments, &mut lc, 0);
+                }
+            }
+            Item::Op(op) => {
+                let instrs = op.encode(lc, &symbols, line.number)?;
+                for i in instrs {
+                    emit(&mut segments, &mut lc, i.encode());
+                }
+            }
+        }
+    }
+    let entry = match entry {
+        None => 0,
+        Some((label, number)) => *symbols.get(&label).ok_or_else(|| AsmError {
+            line: number,
+            message: format!("undefined entry label `{label}`"),
+        })?,
+    };
+    Ok(Program {
+        segments,
+        entry,
+        symbols,
+    })
+}
+
+// ----------------------------------------------------------------------
+// Line parsing
+// ----------------------------------------------------------------------
+
+#[derive(Debug)]
+enum WordInit {
+    Value(i64),
+    Label(String),
+}
+
+#[derive(Debug)]
+enum Item {
+    None,
+    Org(u32),
+    Entry(String),
+    Words(Vec<WordInit>),
+    Space(u32),
+    Op(Op),
+}
+
+#[derive(Debug)]
+struct Line {
+    number: usize,
+    labels: Vec<String>,
+    item: Item,
+}
+
+#[derive(Debug)]
+enum Operand {
+    Reg(Reg),
+    Imm(i64),
+    Label(String),
+    /// `imm(rN)` addressing.
+    Mem(i64, Reg),
+}
+
+#[derive(Debug)]
+struct Op {
+    mnemonic: String,
+    operands: Vec<Operand>,
+}
+
+fn parse_lines(source: &str) -> Result<Vec<Line>, AsmError> {
+    let mut out = Vec::new();
+    for (idx, raw) in source.lines().enumerate() {
+        let number = idx + 1;
+        let mut text = raw;
+        for marker in [";", "#", "//"] {
+            if let Some(pos) = text.find(marker) {
+                text = &text[..pos];
+            }
+        }
+        let mut text = text.trim();
+        let mut labels = Vec::new();
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty()
+                || !label
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+            {
+                return Err(AsmError {
+                    line: number,
+                    message: format!("bad label `{label}`"),
+                });
+            }
+            labels.push(label.to_owned());
+            text = rest[1..].trim();
+        }
+        let item = if text.is_empty() {
+            Item::None
+        } else if let Some(rest) = text.strip_prefix('.') {
+            parse_directive(rest, number)?
+        } else {
+            parse_op(text, number)?
+        };
+        out.push(Line {
+            number,
+            labels,
+            item,
+        });
+    }
+    Ok(out)
+}
+
+fn parse_directive(text: &str, number: usize) -> Result<Item, AsmError> {
+    let (name, rest) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    match name {
+        "org" => Ok(Item::Org(parse_int(rest, number)? as u32)),
+        "entry" => Ok(Item::Entry(rest.to_owned())),
+        "word" => {
+            let mut ws = Vec::new();
+            for part in rest.split(',') {
+                let part = part.trim();
+                if let Ok(v) = parse_int(part, number) {
+                    ws.push(WordInit::Value(v));
+                } else {
+                    ws.push(WordInit::Label(part.to_owned()));
+                }
+            }
+            Ok(Item::Words(ws))
+        }
+        "space" => Ok(Item::Space(parse_int(rest, number)? as u32)),
+        other => Err(AsmError {
+            line: number,
+            message: format!("unknown directive `.{other}`"),
+        }),
+    }
+}
+
+fn parse_int(text: &str, number: usize) -> Result<i64, AsmError> {
+    let text = text.trim();
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| AsmError {
+        line: number,
+        message: format!("bad integer `{text}`"),
+    })?;
+    Ok(if neg { -value } else { value })
+}
+
+fn parse_reg(text: &str, number: usize) -> Result<Reg, AsmError> {
+    let lower = text.trim().to_ascii_lowercase();
+    let digits = lower.strip_prefix('r').ok_or_else(|| AsmError {
+        line: number,
+        message: format!("expected register, found `{text}`"),
+    })?;
+    let r: u8 = digits.parse().map_err(|_| AsmError {
+        line: number,
+        message: format!("bad register `{text}`"),
+    })?;
+    if r >= 16 {
+        return Err(AsmError {
+            line: number,
+            message: format!("register `{text}` out of range (r0-r15)"),
+        });
+    }
+    Ok(r)
+}
+
+fn parse_operand(text: &str, number: usize) -> Result<Operand, AsmError> {
+    let text = text.trim();
+    // imm(rN)?
+    if let Some(open) = text.find('(') {
+        if text.ends_with(')') {
+            let imm_part = &text[..open];
+            let reg_part = &text[open + 1..text.len() - 1];
+            let imm = if imm_part.trim().is_empty() {
+                0
+            } else {
+                parse_int(imm_part, number)?
+            };
+            return Ok(Operand::Mem(imm, parse_reg(reg_part, number)?));
+        }
+    }
+    if let Ok(r) = parse_reg(text, number) {
+        return Ok(Operand::Reg(r));
+    }
+    if let Ok(v) = parse_int(text, number) {
+        return Ok(Operand::Imm(v));
+    }
+    if text
+        .chars()
+        .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+        && !text.is_empty()
+    {
+        return Ok(Operand::Label(text.to_owned()));
+    }
+    Err(AsmError {
+        line: number,
+        message: format!("bad operand `{text}`"),
+    })
+}
+
+fn parse_op(text: &str, number: usize) -> Result<Item, AsmError> {
+    let (mnemonic, rest) = match text.find(char::is_whitespace) {
+        Some(pos) => (&text[..pos], text[pos..].trim()),
+        None => (text, ""),
+    };
+    let operands = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',')
+            .map(|p| parse_operand(p, number))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    Ok(Item::Op(Op {
+        mnemonic: mnemonic.to_ascii_lowercase(),
+        operands,
+    }))
+}
+
+fn resolve_word(
+    w: &WordInit,
+    symbols: &BTreeMap<String, u32>,
+    number: usize,
+) -> Result<u32, AsmError> {
+    match w {
+        WordInit::Value(v) => {
+            if *v > u32::MAX as i64 || *v < i32::MIN as i64 {
+                return Err(AsmError {
+                    line: number,
+                    message: format!("word value {v} out of 32-bit range"),
+                });
+            }
+            Ok(*v as u32)
+        }
+        WordInit::Label(l) => symbols.get(l).copied().ok_or_else(|| AsmError {
+            line: number,
+            message: format!("undefined label `{l}`"),
+        }),
+    }
+}
+
+impl Op {
+    /// Number of instruction words this op expands to.
+    fn size(&self) -> usize {
+        match self.mnemonic.as_str() {
+            "la" | "li32" => 2,
+            _ => 1,
+        }
+    }
+
+    fn encode(
+        &self,
+        lc: u32,
+        symbols: &BTreeMap<String, u32>,
+        number: usize,
+    ) -> Result<Vec<Instr>, AsmError> {
+        let err = |message: String| AsmError {
+            line: number,
+            message,
+        };
+        let reg = |i: usize| -> Result<Reg, AsmError> {
+            match self.operands.get(i) {
+                Some(Operand::Reg(r)) => Ok(*r),
+                other => Err(err(format!(
+                    "operand {} of `{}` must be a register, found {other:?}",
+                    i + 1,
+                    self.mnemonic
+                ))),
+            }
+        };
+        let imm = |i: usize| -> Result<i64, AsmError> {
+            match self.operands.get(i) {
+                Some(Operand::Imm(v)) => Ok(*v),
+                other => Err(err(format!(
+                    "operand {} of `{}` must be an immediate, found {other:?}",
+                    i + 1,
+                    self.mnemonic
+                ))),
+            }
+        };
+        let imm16 = |i: usize| -> Result<i16, AsmError> {
+            let v = imm(i)?;
+            i16::try_from(v)
+                .map_err(|_| err(format!("immediate {v} out of signed 16-bit range")))
+        };
+        let uimm16 = |i: usize| -> Result<u16, AsmError> {
+            let v = imm(i)?;
+            if (0..=0xffff).contains(&v) {
+                Ok(v as u16)
+            } else {
+                Err(err(format!("immediate {v} out of unsigned 16-bit range")))
+            }
+        };
+        let mem = |i: usize| -> Result<(i16, Reg), AsmError> {
+            match self.operands.get(i) {
+                Some(Operand::Mem(v, r)) => {
+                    let v = i16::try_from(*v)
+                        .map_err(|_| err(format!("offset {v} out of signed 16-bit range")))?;
+                    Ok((v, *r))
+                }
+                other => Err(err(format!(
+                    "operand {} of `{}` must be offset(reg), found {other:?}",
+                    i + 1,
+                    self.mnemonic
+                ))),
+            }
+        };
+        let label_addr = |i: usize| -> Result<u32, AsmError> {
+            match self.operands.get(i) {
+                Some(Operand::Label(l)) => symbols
+                    .get(l)
+                    .copied()
+                    .ok_or_else(|| err(format!("undefined label `{l}`"))),
+                Some(Operand::Imm(v)) => Ok(*v as u32),
+                other => Err(err(format!(
+                    "operand {} of `{}` must be a label, found {other:?}",
+                    i + 1,
+                    self.mnemonic
+                ))),
+            }
+        };
+        let branch_off = |i: usize| -> Result<i16, AsmError> {
+            let target = label_addr(i)?;
+            let delta = (target as i64 - (lc as i64 + 4)) / 4;
+            if (target as i64 - (lc as i64 + 4)) % 4 != 0 {
+                return Err(err("branch target not word aligned".into()));
+            }
+            i16::try_from(delta).map_err(|_| err(format!("branch target too far ({delta})")))
+        };
+        let jump_word = |i: usize| -> Result<u16, AsmError> {
+            let target = label_addr(i)?;
+            if target % 4 != 0 {
+                return Err(err("jump target not word aligned".into()));
+            }
+            u16::try_from(target / 4)
+                .map_err(|_| err(format!("jump target {target:#x} out of range")))
+        };
+        let nops = |n: usize| -> Result<(), AsmError> {
+            if self.operands.len() == n {
+                Ok(())
+            } else {
+                Err(err(format!(
+                    "`{}` takes {n} operand(s), found {}",
+                    self.mnemonic,
+                    self.operands.len()
+                )))
+            }
+        };
+
+        let rrr = |f: fn(Reg, Reg, Reg) -> Instr| -> Result<Vec<Instr>, AsmError> {
+            nops(3)?;
+            Ok(vec![f(reg(0)?, reg(1)?, reg(2)?)])
+        };
+
+        Ok(match self.mnemonic.as_str() {
+            "nop" => {
+                nops(0)?;
+                vec![Instr::Nop]
+            }
+            "halt" => {
+                nops(0)?;
+                vec![Instr::Halt]
+            }
+            "sync" => {
+                nops(0)?;
+                vec![Instr::Sync]
+            }
+            "add" => rrr(|rd, rs1, rs2| Instr::Add { rd, rs1, rs2 })?,
+            "sub" => rrr(|rd, rs1, rs2| Instr::Sub { rd, rs1, rs2 })?,
+            "mul" => rrr(|rd, rs1, rs2| Instr::Mul { rd, rs1, rs2 })?,
+            "div" => rrr(|rd, rs1, rs2| Instr::Div { rd, rs1, rs2 })?,
+            "and" => rrr(|rd, rs1, rs2| Instr::And { rd, rs1, rs2 })?,
+            "or" => rrr(|rd, rs1, rs2| Instr::Or { rd, rs1, rs2 })?,
+            "xor" => rrr(|rd, rs1, rs2| Instr::Xor { rd, rs1, rs2 })?,
+            "sll" => rrr(|rd, rs1, rs2| Instr::Sll { rd, rs1, rs2 })?,
+            "srl" => rrr(|rd, rs1, rs2| Instr::Srl { rd, rs1, rs2 })?,
+            "sra" => rrr(|rd, rs1, rs2| Instr::Sra { rd, rs1, rs2 })?,
+            "addi" => {
+                nops(3)?;
+                vec![Instr::Addi {
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    imm: imm16(2)?,
+                }]
+            }
+            "andi" => {
+                nops(3)?;
+                vec![Instr::Andi {
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    imm: uimm16(2)?,
+                }]
+            }
+            "ori" => {
+                nops(3)?;
+                vec![Instr::Ori {
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    imm: uimm16(2)?,
+                }]
+            }
+            "xori" => {
+                nops(3)?;
+                vec![Instr::Xori {
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    imm: uimm16(2)?,
+                }]
+            }
+            "slli" => {
+                nops(3)?;
+                vec![Instr::Slli {
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    imm: uimm16(2)?,
+                }]
+            }
+            "srli" => {
+                nops(3)?;
+                vec![Instr::Srli {
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    imm: uimm16(2)?,
+                }]
+            }
+            "li" => {
+                nops(2)?;
+                vec![Instr::Li {
+                    rd: reg(0)?,
+                    imm: imm16(1)?,
+                }]
+            }
+            "lui" => {
+                nops(2)?;
+                vec![Instr::Lui {
+                    rd: reg(0)?,
+                    imm: uimm16(1)?,
+                }]
+            }
+            "la" => {
+                nops(2)?;
+                let rd = reg(0)?;
+                let addr = label_addr(1)?;
+                vec![
+                    Instr::Lui {
+                        rd,
+                        imm: (addr >> 16) as u16,
+                    },
+                    Instr::Ori {
+                        rd,
+                        rs1: rd,
+                        imm: (addr & 0xffff) as u16,
+                    },
+                ]
+            }
+            "li32" => {
+                nops(2)?;
+                let rd = reg(0)?;
+                let v = imm(1)?;
+                if v > u32::MAX as i64 || v < i32::MIN as i64 {
+                    return Err(err(format!("immediate {v} out of 32-bit range")));
+                }
+                let v = v as u32;
+                vec![
+                    Instr::Lui {
+                        rd,
+                        imm: (v >> 16) as u16,
+                    },
+                    Instr::Ori {
+                        rd,
+                        rs1: rd,
+                        imm: (v & 0xffff) as u16,
+                    },
+                ]
+            }
+            "ld" => {
+                nops(2)?;
+                let (imm, rs1) = mem(1)?;
+                vec![Instr::Ld {
+                    rd: reg(0)?,
+                    rs1,
+                    imm,
+                }]
+            }
+            "st" => {
+                nops(2)?;
+                let (imm, rs1) = mem(1)?;
+                vec![Instr::St {
+                    rd: reg(0)?,
+                    rs1,
+                    imm,
+                }]
+            }
+            "cmp" => {
+                nops(2)?;
+                vec![Instr::Cmp {
+                    rs1: reg(0)?,
+                    rs2: reg(1)?,
+                }]
+            }
+            "cmpi" => {
+                nops(2)?;
+                vec![Instr::Cmpi {
+                    rs1: reg(0)?,
+                    imm: imm16(1)?,
+                }]
+            }
+            "beq" | "bne" | "blt" | "bge" | "bgt" | "ble" => {
+                nops(1)?;
+                let cond = match self.mnemonic.as_str() {
+                    "beq" => Cond::Eq,
+                    "bne" => Cond::Ne,
+                    "blt" => Cond::Lt,
+                    "bge" => Cond::Ge,
+                    "bgt" => Cond::Gt,
+                    _ => Cond::Le,
+                };
+                vec![Instr::Branch {
+                    cond,
+                    imm: branch_off(0)?,
+                }]
+            }
+            "jmp" => {
+                nops(1)?;
+                vec![Instr::Jmp { imm: jump_word(0)? }]
+            }
+            "jal" => {
+                nops(1)?;
+                vec![Instr::Jal { imm: jump_word(0)? }]
+            }
+            "jr" => {
+                nops(1)?;
+                vec![Instr::Jr { rs1: reg(0)? }]
+            }
+            "ret" => {
+                nops(0)?;
+                vec![Instr::Jr { rs1: 15 }]
+            }
+            other => return Err(err(format!("unknown mnemonic `{other}`"))),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_straight_line_code() {
+        let p = assemble(
+            "start: li r1, 5\n\
+             add r2, r1, r1\n\
+             halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.word_count(), 3);
+        assert_eq!(p.symbol("start"), Some(0));
+        assert_eq!(
+            Instr::decode(p.segments[0].words[0]),
+            Some(Instr::Li { rd: 1, imm: 5 })
+        );
+    }
+
+    #[test]
+    fn resolves_backward_and_forward_branches() {
+        let p = assemble(
+            "  li r1, 3\n\
+             loop: addi r1, r1, -1\n\
+             cmpi r1, 0\n\
+             bne loop\n\
+             beq done\n\
+             nop\n\
+             done: halt\n",
+        )
+        .unwrap();
+        let words = &p.segments[0].words;
+        // bne loop: at byte 12, target 4 => offset (4-16)/4 = -3
+        assert_eq!(
+            Instr::decode(words[3]),
+            Some(Instr::Branch {
+                cond: Cond::Ne,
+                imm: -3
+            })
+        );
+        // beq done: at byte 16, target 24 => offset (24-20)/4 = 1
+        assert_eq!(
+            Instr::decode(words[4]),
+            Some(Instr::Branch {
+                cond: Cond::Eq,
+                imm: 1
+            })
+        );
+    }
+
+    #[test]
+    fn la_pseudo_expands_and_addresses_data() {
+        let p = assemble(
+            "  la r2, array\n\
+             halt\n\
+             .org 0x4000\n\
+             array: .word 10, 0x20, -1\n",
+        )
+        .unwrap();
+        assert_eq!(p.segments.len(), 2);
+        assert_eq!(p.segments[1].base, 0x4000);
+        assert_eq!(p.segments[1].words, vec![10, 0x20, 0xffff_ffff]);
+        assert_eq!(
+            Instr::decode(p.segments[0].words[0]),
+            Some(Instr::Lui { rd: 2, imm: 0 })
+        );
+        assert_eq!(
+            Instr::decode(p.segments[0].words[1]),
+            Some(Instr::Ori {
+                rd: 2,
+                rs1: 2,
+                imm: 0x4000
+            })
+        );
+    }
+
+    #[test]
+    fn word_directive_accepts_labels() {
+        let p = assemble(
+            "main: halt\n\
+             .org 0x4000\n\
+             ptr: .word main\n",
+        )
+        .unwrap();
+        assert_eq!(p.segments[1].words, vec![0]);
+    }
+
+    #[test]
+    fn space_reserves_zeroed_words() {
+        let p = assemble(".org 0x4000\nbuf: .space 16\n").unwrap();
+        assert_eq!(p.segments[0].words, vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn entry_directive_sets_entry() {
+        let p = assemble(
+            ".entry main\n\
+             nop\n\
+             main: halt\n",
+        )
+        .unwrap();
+        assert_eq!(p.entry, 4);
+    }
+
+    #[test]
+    fn errors_are_located() {
+        let err = assemble("nop\nfrobnicate r1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("a: nop\na: nop\n").unwrap_err();
+        assert!(err.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_label_rejected() {
+        let err = assemble("jmp nowhere\n").unwrap_err();
+        assert!(err.message.contains("undefined"));
+    }
+
+    #[test]
+    fn out_of_range_immediate_rejected() {
+        let err = assemble("li r1, 99999\n").unwrap_err();
+        assert!(err.message.contains("16-bit"));
+    }
+
+    #[test]
+    fn comments_in_all_styles() {
+        let p = assemble(
+            "; full line\n\
+             nop ; trailing\n\
+             nop # hash\n\
+             nop // slashes\n",
+        )
+        .unwrap();
+        assert_eq!(p.word_count(), 3);
+    }
+
+    #[test]
+    fn jal_and_ret_roundtrip() {
+        let p = assemble(
+            "  jal fn\n\
+             halt\n\
+             fn: ret\n",
+        )
+        .unwrap();
+        let words = &p.segments[0].words;
+        assert_eq!(Instr::decode(words[0]), Some(Instr::Jal { imm: 2 }));
+        assert_eq!(Instr::decode(words[2]), Some(Instr::Jr { rs1: 15 }));
+    }
+
+    #[test]
+    fn mem_operand_forms() {
+        let p = assemble("ld r1, 8(r2)\nst r3, (r4)\nld r5, -4(r6)\nhalt\n").unwrap();
+        let w = &p.segments[0].words;
+        assert_eq!(
+            Instr::decode(w[0]),
+            Some(Instr::Ld {
+                rd: 1,
+                rs1: 2,
+                imm: 8
+            })
+        );
+        assert_eq!(
+            Instr::decode(w[1]),
+            Some(Instr::St {
+                rd: 3,
+                rs1: 4,
+                imm: 0
+            })
+        );
+        assert_eq!(
+            Instr::decode(w[2]),
+            Some(Instr::Ld {
+                rd: 5,
+                rs1: 6,
+                imm: -4
+            })
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Program listings: disassembly of assembled images.
+
+use crate::asm::Program;
+use crate::isa::Instr;
+use std::collections::BTreeMap;
+
+/// Renders a program listing: addresses, symbols, decoded instructions for
+/// segments below `code_end`, and raw words for data segments.
+///
+/// # Examples
+///
+/// ```
+/// use thor_rd::asm::assemble;
+/// use thor_rd::disassemble;
+///
+/// let p = assemble("start: li r1, 5\nhalt\n").unwrap();
+/// let listing = disassemble(&p, 0x4000);
+/// assert!(listing.contains("start:"));
+/// assert!(listing.contains("li r1, 5"));
+/// ```
+pub fn disassemble(program: &Program, code_end: u32) -> String {
+    // Invert the symbol table for annotation.
+    let mut labels: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+    for (name, addr) in &program.symbols {
+        labels.entry(*addr).or_default().push(name);
+    }
+    let mut out = String::new();
+    for seg in &program.segments {
+        let is_code = seg.base < code_end;
+        out.push_str(&format!(
+            "; segment at 0x{:04x} ({} words, {})\n",
+            seg.base,
+            seg.words.len(),
+            if is_code { "code" } else { "data" }
+        ));
+        for (i, word) in seg.words.iter().enumerate() {
+            let addr = seg.base + (i as u32) * 4;
+            if let Some(names) = labels.get(&addr) {
+                for name in names {
+                    out.push_str(&format!("{name}:\n"));
+                }
+            }
+            if is_code {
+                match Instr::decode(*word) {
+                    Some(instr) => {
+                        out.push_str(&format!("  0x{addr:04x}  {word:08x}  {instr}\n"))
+                    }
+                    None => out.push_str(&format!(
+                        "  0x{addr:04x}  {word:08x}  .word 0x{word:x}  ; not decodable\n"
+                    )),
+                }
+            } else {
+                out.push_str(&format!(
+                    "  0x{addr:04x}  {word:08x}  .word {}\n",
+                    *word as i32
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn lists_code_and_data_with_labels() {
+        let p = assemble(
+            "main: li r1, 3\n\
+             loop: addi r1, r1, -1\n\
+             cmpi r1, 0\n\
+             bne loop\n\
+             halt\n\
+             .org 0x4000\n\
+             data: .word 7, -2\n",
+        )
+        .unwrap();
+        let listing = disassemble(&p, 0x4000);
+        assert!(listing.contains("main:"));
+        assert!(listing.contains("loop:"));
+        assert!(listing.contains("data:"));
+        assert!(listing.contains("addi r1, r1, -1"));
+        assert!(listing.contains(".word 7"));
+        assert!(listing.contains(".word -2"));
+        assert!(listing.contains("(5 words, code)"));
+        assert!(listing.contains("(2 words, data)"));
+    }
+
+    #[test]
+    fn undecodable_words_marked() {
+        let p = assemble("halt\n").unwrap();
+        let mut p = p;
+        p.segments[0].words[0] = 0xff00_0000;
+        let listing = disassemble(&p, 0x4000);
+        assert!(listing.contains("not decodable"));
+    }
+
+    #[test]
+    fn every_bundled_instruction_form_decodes_in_listing() {
+        let p = assemble(
+            "a: add r1, r2, r3\n\
+             ld r1, 4(r2)\n\
+             st r1, -4(r2)\n\
+             jal a\n\
+             jr r15\n\
+             sync\n\
+             nop\n\
+             halt\n",
+        )
+        .unwrap();
+        let listing = disassemble(&p, 0x4000);
+        assert!(!listing.contains("not decodable"));
+        assert!(listing.contains("jal 0"));
+    }
+}

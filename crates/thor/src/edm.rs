@@ -1,0 +1,212 @@
+//! Error-detection mechanisms (EDMs) of the simulated Thor RD.
+//!
+//! The paper's analysis phase sub-classifies detected errors "into errors
+//! detected by each of the various mechanisms"; these enums are the
+//! mechanism identities the tool logs and reports coverage for.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kind of memory access that triggered a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Execute,
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AccessKind::Read => "read",
+            AccessKind::Write => "write",
+            AccessKind::Execute => "execute",
+        })
+    }
+}
+
+/// A hardware-detected error condition. Raising one stops the workload and
+/// is logged as a *Detected* error attributed to the corresponding
+/// [`Mechanism`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exception {
+    /// Parity mismatch in an instruction-cache line.
+    IcacheParity {
+        /// Index of the faulty line.
+        line: usize,
+    },
+    /// Parity mismatch in a data-cache line.
+    DcacheParity {
+        /// Index of the faulty line.
+        line: usize,
+    },
+    /// Undecodable opcode reached the decoder.
+    IllegalInstruction {
+        /// The offending instruction word.
+        word: u32,
+    },
+    /// Memory-region protection violation (includes runaway control flow).
+    MemoryViolation {
+        /// Offending byte address.
+        addr: u32,
+        /// Access kind.
+        kind: AccessKind,
+    },
+    /// Word access on a non-word-aligned address.
+    Misaligned {
+        /// Offending byte address.
+        addr: u32,
+        /// Access kind.
+        kind: AccessKind,
+    },
+    /// Signed arithmetic overflow in ADD/SUB/MUL.
+    ArithmeticOverflow,
+    /// Division by zero.
+    DivideByZero,
+    /// Watchdog timer expired (workload failed to make progress).
+    Watchdog,
+}
+
+impl Exception {
+    /// The detection mechanism this exception belongs to.
+    pub fn mechanism(&self) -> Mechanism {
+        match self {
+            Exception::IcacheParity { .. } => Mechanism::IcacheParity,
+            Exception::DcacheParity { .. } => Mechanism::DcacheParity,
+            Exception::IllegalInstruction { .. } => Mechanism::IllegalInstruction,
+            Exception::MemoryViolation { .. } => Mechanism::MemoryProtection,
+            Exception::Misaligned { .. } => Mechanism::Alignment,
+            Exception::ArithmeticOverflow => Mechanism::Arithmetic,
+            Exception::DivideByZero => Mechanism::Arithmetic,
+            Exception::Watchdog => Mechanism::Watchdog,
+        }
+    }
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exception::IcacheParity { line } => write!(f, "i-cache parity error in line {line}"),
+            Exception::DcacheParity { line } => write!(f, "d-cache parity error in line {line}"),
+            Exception::IllegalInstruction { word } => {
+                write!(f, "illegal instruction {word:#010x}")
+            }
+            Exception::MemoryViolation { addr, kind } => {
+                write!(f, "memory {kind} violation at {addr:#x}")
+            }
+            Exception::Misaligned { addr, kind } => {
+                write!(f, "misaligned {kind} at {addr:#x}")
+            }
+            Exception::ArithmeticOverflow => write!(f, "arithmetic overflow"),
+            Exception::DivideByZero => write!(f, "divide by zero"),
+            Exception::Watchdog => write!(f, "watchdog timeout"),
+        }
+    }
+}
+
+impl std::error::Error for Exception {}
+
+/// Identity of an error-detection mechanism, used for per-mechanism
+/// coverage classification in the analysis phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Instruction-cache parity (the Thor RD's parity-protected I-cache).
+    IcacheParity,
+    /// Data-cache parity.
+    DcacheParity,
+    /// Illegal-instruction detection.
+    IllegalInstruction,
+    /// Memory-region protection.
+    MemoryProtection,
+    /// Alignment checking.
+    Alignment,
+    /// Arithmetic traps (overflow, divide by zero).
+    Arithmetic,
+    /// Watchdog timer.
+    Watchdog,
+}
+
+impl Mechanism {
+    /// All mechanisms, for iteration in reports.
+    pub const ALL: [Mechanism; 7] = [
+        Mechanism::IcacheParity,
+        Mechanism::DcacheParity,
+        Mechanism::IllegalInstruction,
+        Mechanism::MemoryProtection,
+        Mechanism::Alignment,
+        Mechanism::Arithmetic,
+        Mechanism::Watchdog,
+    ];
+
+    /// Short stable name used in database rows and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mechanism::IcacheParity => "icache-parity",
+            Mechanism::DcacheParity => "dcache-parity",
+            Mechanism::IllegalInstruction => "illegal-instruction",
+            Mechanism::MemoryProtection => "memory-protection",
+            Mechanism::Alignment => "alignment",
+            Mechanism::Arithmetic => "arithmetic",
+            Mechanism::Watchdog => "watchdog",
+        }
+    }
+
+    /// Parses [`Mechanism::name`] output.
+    pub fn parse(name: &str) -> Option<Mechanism> {
+        Mechanism::ALL.iter().copied().find(|m| m.name() == name)
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_exception_maps_to_a_mechanism() {
+        let cases = [
+            Exception::IcacheParity { line: 0 },
+            Exception::DcacheParity { line: 1 },
+            Exception::IllegalInstruction { word: 0xff000000 },
+            Exception::MemoryViolation {
+                addr: 4,
+                kind: AccessKind::Write,
+            },
+            Exception::Misaligned {
+                addr: 3,
+                kind: AccessKind::Read,
+            },
+            Exception::ArithmeticOverflow,
+            Exception::DivideByZero,
+            Exception::Watchdog,
+        ];
+        for e in cases {
+            assert!(Mechanism::ALL.contains(&e.mechanism()), "{e}");
+        }
+    }
+
+    #[test]
+    fn mechanism_names_roundtrip() {
+        for m in Mechanism::ALL {
+            assert_eq!(Mechanism::parse(m.name()), Some(m));
+        }
+        assert_eq!(Mechanism::parse("bogus"), None);
+    }
+
+    #[test]
+    fn display_forms_are_informative() {
+        let e = Exception::MemoryViolation {
+            addr: 0x100,
+            kind: AccessKind::Execute,
+        };
+        assert_eq!(e.to_string(), "memory execute violation at 0x100");
+    }
+}

@@ -1,0 +1,402 @@
+//! Instruction-set architecture of the simulated Thor RD processor.
+//!
+//! The real Thor RD is a radiation-hardened stack-oriented processor for
+//! Ada applications; its ISA is not publicly documented. We substitute a
+//! compact 32-bit load/store ISA (documented in DESIGN.md) — what matters
+//! for fault-injection fidelity is the *state surface* (registers, PSW,
+//! caches, buses) and the error-detection mechanisms, not the instruction
+//! encoding.
+//!
+//! Encoding: 32-bit fixed width, `[31:24]` opcode, `[23:20]` rd,
+//! `[19:16]` rs1, `[15:12]` rs2 (register forms) or `[15:0]` signed/unsigned
+//! immediate (immediate forms).
+
+use std::fmt;
+
+/// Number of general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+/// The link register used by `JAL` (r15).
+pub const LINK_REG: u8 = 15;
+
+/// A register index (0..=15).
+pub type Reg = u8;
+
+/// Decoded instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // operand fields follow the standard rd/rs1/rs2/imm roles
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// Stop execution (normal workload termination).
+    Halt,
+    /// Iteration-boundary marker: signals the test card that a workload
+    /// loop iteration finished and environment I/O should be exchanged.
+    Sync,
+    /// `rd = rs1 + rs2` (signed, overflow detected).
+    Add { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 - rs2` (signed, overflow detected).
+    Sub { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 * rs2` (low 32 bits; overflow detected).
+    Mul { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 / rs2` (signed; divide-by-zero detected).
+    Div { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 & rs2`.
+    And { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 | rs2`.
+    Or { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 ^ rs2`.
+    Xor { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 << (rs2 & 31)`.
+    Sll { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 >> (rs2 & 31)` (logical).
+    Srl { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 >> (rs2 & 31)` (arithmetic).
+    Sra { rd: Reg, rs1: Reg, rs2: Reg },
+    /// `rd = rs1 + sext(imm)` (overflow wraps; used for addressing).
+    Addi { rd: Reg, rs1: Reg, imm: i16 },
+    /// `rd = rs1 & zext(imm)`.
+    Andi { rd: Reg, rs1: Reg, imm: u16 },
+    /// `rd = rs1 | zext(imm)`.
+    Ori { rd: Reg, rs1: Reg, imm: u16 },
+    /// `rd = rs1 ^ zext(imm)`.
+    Xori { rd: Reg, rs1: Reg, imm: u16 },
+    /// `rd = rs1 << imm[4:0]`.
+    Slli { rd: Reg, rs1: Reg, imm: u16 },
+    /// `rd = rs1 >> imm[4:0]` (logical).
+    Srli { rd: Reg, rs1: Reg, imm: u16 },
+    /// `rd = sext(imm)` (load immediate).
+    Li { rd: Reg, imm: i16 },
+    /// `rd = imm << 16` (load upper immediate).
+    Lui { rd: Reg, imm: u16 },
+    /// `rd = mem[rs1 + sext(imm)]` (word load through the D-cache).
+    Ld { rd: Reg, rs1: Reg, imm: i16 },
+    /// `mem[rs1 + sext(imm)] = rd` (word store, write-through).
+    St { rd: Reg, rs1: Reg, imm: i16 },
+    /// Compare `rs1` with `rs2`; sets PSW condition flags.
+    Cmp { rs1: Reg, rs2: Reg },
+    /// Compare `rs1` with `sext(imm)`; sets PSW condition flags.
+    Cmpi { rs1: Reg, imm: i16 },
+    /// Branch if PSW condition `cond` holds, to `pc + 4 + 4*sext(imm)`.
+    Branch { cond: Cond, imm: i16 },
+    /// Unconditional jump to byte address `4*zext(imm)`.
+    Jmp { imm: u16 },
+    /// Call: `r15 = pc + 4`, jump to byte address `4*zext(imm)`.
+    Jal { imm: u16 },
+    /// Jump to address in `rs1` (used for returns).
+    Jr { rs1: Reg },
+}
+
+/// Branch conditions, evaluated against the PSW flags set by `CMP`/`CMPI`
+/// and ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cond {
+    /// Equal (Z set).
+    Eq,
+    /// Not equal (Z clear).
+    Ne,
+    /// Signed less-than (N≠V).
+    Lt,
+    /// Signed greater-or-equal (N=V).
+    Ge,
+    /// Signed greater-than (Z clear and N=V).
+    Gt,
+    /// Signed less-or-equal (Z set or N≠V).
+    Le,
+}
+
+impl Cond {
+    fn code(self) -> u8 {
+        match self {
+            Cond::Eq => 0,
+            Cond::Ne => 1,
+            Cond::Lt => 2,
+            Cond::Ge => 3,
+            Cond::Gt => 4,
+            Cond::Le => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Cond> {
+        Some(match code {
+            0 => Cond::Eq,
+            1 => Cond::Ne,
+            2 => Cond::Lt,
+            3 => Cond::Ge,
+            4 => Cond::Gt,
+            5 => Cond::Le,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cond::Eq => "eq",
+            Cond::Ne => "ne",
+            Cond::Lt => "lt",
+            Cond::Ge => "ge",
+            Cond::Gt => "gt",
+            Cond::Le => "le",
+        })
+    }
+}
+
+// Opcode bytes.
+const OP_NOP: u8 = 0x00;
+const OP_HALT: u8 = 0x01;
+const OP_SYNC: u8 = 0x02;
+const OP_ADD: u8 = 0x10;
+const OP_SUB: u8 = 0x11;
+const OP_MUL: u8 = 0x12;
+const OP_DIV: u8 = 0x13;
+const OP_AND: u8 = 0x14;
+const OP_OR: u8 = 0x15;
+const OP_XOR: u8 = 0x16;
+const OP_SLL: u8 = 0x17;
+const OP_SRL: u8 = 0x18;
+const OP_SRA: u8 = 0x19;
+const OP_ADDI: u8 = 0x20;
+const OP_ANDI: u8 = 0x21;
+const OP_ORI: u8 = 0x22;
+const OP_XORI: u8 = 0x23;
+const OP_SLLI: u8 = 0x24;
+const OP_SRLI: u8 = 0x25;
+const OP_LI: u8 = 0x26;
+const OP_LUI: u8 = 0x27;
+const OP_LD: u8 = 0x30;
+const OP_ST: u8 = 0x31;
+const OP_CMP: u8 = 0x40;
+const OP_CMPI: u8 = 0x41;
+const OP_BR_BASE: u8 = 0x50; // 0x50..=0x55 for the six conditions
+const OP_JMP: u8 = 0x60;
+const OP_JAL: u8 = 0x61;
+const OP_JR: u8 = 0x62;
+
+fn enc_rrr(op: u8, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    (op as u32) << 24 | (rd as u32 & 0xf) << 20 | (rs1 as u32 & 0xf) << 16 | (rs2 as u32 & 0xf) << 12
+}
+
+fn enc_rri(op: u8, rd: Reg, rs1: Reg, imm: u16) -> u32 {
+    (op as u32) << 24 | (rd as u32 & 0xf) << 20 | (rs1 as u32 & 0xf) << 16 | imm as u32
+}
+
+impl Instr {
+    /// Encodes the instruction into a 32-bit word.
+    pub fn encode(self) -> u32 {
+        match self {
+            Instr::Nop => enc_rri(OP_NOP, 0, 0, 0),
+            Instr::Halt => enc_rri(OP_HALT, 0, 0, 0),
+            Instr::Sync => enc_rri(OP_SYNC, 0, 0, 0),
+            Instr::Add { rd, rs1, rs2 } => enc_rrr(OP_ADD, rd, rs1, rs2),
+            Instr::Sub { rd, rs1, rs2 } => enc_rrr(OP_SUB, rd, rs1, rs2),
+            Instr::Mul { rd, rs1, rs2 } => enc_rrr(OP_MUL, rd, rs1, rs2),
+            Instr::Div { rd, rs1, rs2 } => enc_rrr(OP_DIV, rd, rs1, rs2),
+            Instr::And { rd, rs1, rs2 } => enc_rrr(OP_AND, rd, rs1, rs2),
+            Instr::Or { rd, rs1, rs2 } => enc_rrr(OP_OR, rd, rs1, rs2),
+            Instr::Xor { rd, rs1, rs2 } => enc_rrr(OP_XOR, rd, rs1, rs2),
+            Instr::Sll { rd, rs1, rs2 } => enc_rrr(OP_SLL, rd, rs1, rs2),
+            Instr::Srl { rd, rs1, rs2 } => enc_rrr(OP_SRL, rd, rs1, rs2),
+            Instr::Sra { rd, rs1, rs2 } => enc_rrr(OP_SRA, rd, rs1, rs2),
+            Instr::Addi { rd, rs1, imm } => enc_rri(OP_ADDI, rd, rs1, imm as u16),
+            Instr::Andi { rd, rs1, imm } => enc_rri(OP_ANDI, rd, rs1, imm),
+            Instr::Ori { rd, rs1, imm } => enc_rri(OP_ORI, rd, rs1, imm),
+            Instr::Xori { rd, rs1, imm } => enc_rri(OP_XORI, rd, rs1, imm),
+            Instr::Slli { rd, rs1, imm } => enc_rri(OP_SLLI, rd, rs1, imm),
+            Instr::Srli { rd, rs1, imm } => enc_rri(OP_SRLI, rd, rs1, imm),
+            Instr::Li { rd, imm } => enc_rri(OP_LI, rd, 0, imm as u16),
+            Instr::Lui { rd, imm } => enc_rri(OP_LUI, rd, 0, imm),
+            Instr::Ld { rd, rs1, imm } => enc_rri(OP_LD, rd, rs1, imm as u16),
+            Instr::St { rd, rs1, imm } => enc_rri(OP_ST, rd, rs1, imm as u16),
+            Instr::Cmp { rs1, rs2 } => enc_rrr(OP_CMP, 0, rs1, rs2),
+            Instr::Cmpi { rs1, imm } => enc_rri(OP_CMPI, 0, rs1, imm as u16),
+            Instr::Branch { cond, imm } => enc_rri(OP_BR_BASE + cond.code(), 0, 0, imm as u16),
+            Instr::Jmp { imm } => enc_rri(OP_JMP, 0, 0, imm),
+            Instr::Jal { imm } => enc_rri(OP_JAL, 0, 0, imm),
+            Instr::Jr { rs1 } => enc_rri(OP_JR, 0, rs1, 0),
+        }
+    }
+
+    /// Decodes a 32-bit word. Returns `None` for illegal opcodes — which
+    /// the CPU reports through its illegal-instruction error-detection
+    /// mechanism.
+    pub fn decode(word: u32) -> Option<Instr> {
+        let op = (word >> 24) as u8;
+        let rd = ((word >> 20) & 0xf) as Reg;
+        let rs1 = ((word >> 16) & 0xf) as Reg;
+        let rs2 = ((word >> 12) & 0xf) as Reg;
+        let imm = (word & 0xffff) as u16;
+        Some(match op {
+            OP_NOP => Instr::Nop,
+            OP_HALT => Instr::Halt,
+            OP_SYNC => Instr::Sync,
+            OP_ADD => Instr::Add { rd, rs1, rs2 },
+            OP_SUB => Instr::Sub { rd, rs1, rs2 },
+            OP_MUL => Instr::Mul { rd, rs1, rs2 },
+            OP_DIV => Instr::Div { rd, rs1, rs2 },
+            OP_AND => Instr::And { rd, rs1, rs2 },
+            OP_OR => Instr::Or { rd, rs1, rs2 },
+            OP_XOR => Instr::Xor { rd, rs1, rs2 },
+            OP_SLL => Instr::Sll { rd, rs1, rs2 },
+            OP_SRL => Instr::Srl { rd, rs1, rs2 },
+            OP_SRA => Instr::Sra { rd, rs1, rs2 },
+            OP_ADDI => Instr::Addi {
+                rd,
+                rs1,
+                imm: imm as i16,
+            },
+            OP_ANDI => Instr::Andi { rd, rs1, imm },
+            OP_ORI => Instr::Ori { rd, rs1, imm },
+            OP_XORI => Instr::Xori { rd, rs1, imm },
+            OP_SLLI => Instr::Slli { rd, rs1, imm },
+            OP_SRLI => Instr::Srli { rd, rs1, imm },
+            OP_LI => Instr::Li {
+                rd,
+                imm: imm as i16,
+            },
+            OP_LUI => Instr::Lui { rd, imm },
+            OP_LD => Instr::Ld {
+                rd,
+                rs1,
+                imm: imm as i16,
+            },
+            OP_ST => Instr::St {
+                rd,
+                rs1,
+                imm: imm as i16,
+            },
+            OP_CMP => Instr::Cmp { rs1, rs2 },
+            OP_CMPI => Instr::Cmpi {
+                rs1,
+                imm: imm as i16,
+            },
+            op if (OP_BR_BASE..OP_BR_BASE + 6).contains(&op) => Instr::Branch {
+                cond: Cond::from_code(op - OP_BR_BASE).expect("range checked"),
+                imm: imm as i16,
+            },
+            OP_JMP => Instr::Jmp { imm },
+            OP_JAL => Instr::Jal { imm },
+            OP_JR => Instr::Jr { rs1 },
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Instr {
+    /// Disassembly form, matching the assembler's input syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Nop => write!(f, "nop"),
+            Instr::Halt => write!(f, "halt"),
+            Instr::Sync => write!(f, "sync"),
+            Instr::Add { rd, rs1, rs2 } => write!(f, "add r{rd}, r{rs1}, r{rs2}"),
+            Instr::Sub { rd, rs1, rs2 } => write!(f, "sub r{rd}, r{rs1}, r{rs2}"),
+            Instr::Mul { rd, rs1, rs2 } => write!(f, "mul r{rd}, r{rs1}, r{rs2}"),
+            Instr::Div { rd, rs1, rs2 } => write!(f, "div r{rd}, r{rs1}, r{rs2}"),
+            Instr::And { rd, rs1, rs2 } => write!(f, "and r{rd}, r{rs1}, r{rs2}"),
+            Instr::Or { rd, rs1, rs2 } => write!(f, "or r{rd}, r{rs1}, r{rs2}"),
+            Instr::Xor { rd, rs1, rs2 } => write!(f, "xor r{rd}, r{rs1}, r{rs2}"),
+            Instr::Sll { rd, rs1, rs2 } => write!(f, "sll r{rd}, r{rs1}, r{rs2}"),
+            Instr::Srl { rd, rs1, rs2 } => write!(f, "srl r{rd}, r{rs1}, r{rs2}"),
+            Instr::Sra { rd, rs1, rs2 } => write!(f, "sra r{rd}, r{rs1}, r{rs2}"),
+            Instr::Addi { rd, rs1, imm } => write!(f, "addi r{rd}, r{rs1}, {imm}"),
+            Instr::Andi { rd, rs1, imm } => write!(f, "andi r{rd}, r{rs1}, {imm}"),
+            Instr::Ori { rd, rs1, imm } => write!(f, "ori r{rd}, r{rs1}, {imm}"),
+            Instr::Xori { rd, rs1, imm } => write!(f, "xori r{rd}, r{rs1}, {imm}"),
+            Instr::Slli { rd, rs1, imm } => write!(f, "slli r{rd}, r{rs1}, {imm}"),
+            Instr::Srli { rd, rs1, imm } => write!(f, "srli r{rd}, r{rs1}, {imm}"),
+            Instr::Li { rd, imm } => write!(f, "li r{rd}, {imm}"),
+            Instr::Lui { rd, imm } => write!(f, "lui r{rd}, {imm}"),
+            Instr::Ld { rd, rs1, imm } => write!(f, "ld r{rd}, {imm}(r{rs1})"),
+            Instr::St { rd, rs1, imm } => write!(f, "st r{rd}, {imm}(r{rs1})"),
+            Instr::Cmp { rs1, rs2 } => write!(f, "cmp r{rs1}, r{rs2}"),
+            Instr::Cmpi { rs1, imm } => write!(f, "cmpi r{rs1}, {imm}"),
+            Instr::Branch { cond, imm } => write!(f, "b{cond} {imm}"),
+            Instr::Jmp { imm } => write!(f, "jmp {imm}"),
+            Instr::Jal { imm } => write!(f, "jal {imm}"),
+            Instr::Jr { rs1 } => write!(f, "jr r{rs1}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_sample_instrs() -> Vec<Instr> {
+        vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Sync,
+            Instr::Add { rd: 1, rs1: 2, rs2: 3 },
+            Instr::Sub { rd: 15, rs1: 0, rs2: 7 },
+            Instr::Mul { rd: 4, rs1: 4, rs2: 4 },
+            Instr::Div { rd: 9, rs1: 8, rs2: 7 },
+            Instr::And { rd: 1, rs1: 1, rs2: 1 },
+            Instr::Or { rd: 2, rs1: 3, rs2: 4 },
+            Instr::Xor { rd: 5, rs1: 6, rs2: 7 },
+            Instr::Sll { rd: 1, rs1: 2, rs2: 3 },
+            Instr::Srl { rd: 1, rs1: 2, rs2: 3 },
+            Instr::Sra { rd: 1, rs1: 2, rs2: 3 },
+            Instr::Addi { rd: 1, rs1: 2, imm: -42 },
+            Instr::Andi { rd: 1, rs1: 2, imm: 0xffff },
+            Instr::Ori { rd: 1, rs1: 2, imm: 0x8000 },
+            Instr::Xori { rd: 1, rs1: 2, imm: 1 },
+            Instr::Slli { rd: 1, rs1: 2, imm: 31 },
+            Instr::Srli { rd: 1, rs1: 2, imm: 1 },
+            Instr::Li { rd: 3, imm: -1 },
+            Instr::Lui { rd: 3, imm: 0xdead },
+            Instr::Ld { rd: 1, rs1: 2, imm: 8 },
+            Instr::St { rd: 1, rs1: 2, imm: -4 },
+            Instr::Cmp { rs1: 1, rs2: 2 },
+            Instr::Cmpi { rs1: 1, imm: 100 },
+            Instr::Branch { cond: Cond::Eq, imm: -3 },
+            Instr::Branch { cond: Cond::Ne, imm: 3 },
+            Instr::Branch { cond: Cond::Lt, imm: 0 },
+            Instr::Branch { cond: Cond::Ge, imm: 1 },
+            Instr::Branch { cond: Cond::Gt, imm: 2 },
+            Instr::Branch { cond: Cond::Le, imm: -1 },
+            Instr::Jmp { imm: 0x1234 },
+            Instr::Jal { imm: 0x10 },
+            Instr::Jr { rs1: 15 },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for i in all_sample_instrs() {
+            let word = i.encode();
+            assert_eq!(Instr::decode(word), Some(i), "roundtrip failed for {i}");
+        }
+    }
+
+    #[test]
+    fn illegal_opcodes_decode_to_none() {
+        for op in [0x03u8, 0x0f, 0x2f, 0x56, 0x70, 0xff] {
+            let word = (op as u32) << 24;
+            assert_eq!(Instr::decode(word), None, "opcode {op:#x} should be illegal");
+        }
+    }
+
+    #[test]
+    fn negative_immediates_sign_extend() {
+        let i = Instr::Addi { rd: 1, rs1: 2, imm: -1 };
+        match Instr::decode(i.encode()).unwrap() {
+            Instr::Addi { imm, .. } => assert_eq!(imm, -1),
+            other => panic!("wrong decode: {other}"),
+        }
+    }
+
+    #[test]
+    fn display_is_assembler_syntax() {
+        assert_eq!(
+            Instr::Ld { rd: 3, rs1: 2, imm: 8 }.to_string(),
+            "ld r3, 8(r2)"
+        );
+        assert_eq!(
+            Instr::Branch { cond: Cond::Ne, imm: -3 }.to_string(),
+            "bne -3"
+        );
+    }
+}

@@ -1,0 +1,863 @@
+//! The Thor RD processor core: fetch/decode/execute with parity-protected
+//! caches, PSW condition flags, arithmetic traps and a watchdog timer.
+
+use crate::cache::{Cache, CacheConfig};
+use crate::edm::Exception;
+use crate::isa::{Cond, Instr, LINK_REG, NUM_REGS};
+use crate::memory::{Memory, MemoryMap};
+use crate::trace::{Loc, StepInfo};
+use serde::{Deserialize, Serialize};
+
+/// PSW flag bit: zero.
+pub const PSW_Z: u32 = 1 << 0;
+/// PSW flag bit: negative.
+pub const PSW_N: u32 = 1 << 1;
+/// PSW flag bit: carry.
+pub const PSW_C: u32 = 1 << 2;
+/// PSW flag bit: overflow.
+pub const PSW_V: u32 = 1 << 3;
+
+/// Static machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct MachineConfig {
+    /// Memory layout.
+    pub memory: MemoryMap,
+    /// I-cache geometry.
+    pub icache: CacheConfig,
+    /// D-cache geometry.
+    pub dcache: CacheConfig,
+    /// Watchdog limit in instructions since the last `sync`/reset;
+    /// 0 disables the watchdog.
+    pub watchdog_limit: u32,
+}
+
+
+/// A non-error event produced by one step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreEvent {
+    /// The workload executed `halt`.
+    Halted,
+    /// The workload executed `sync` (iteration boundary).
+    Sync,
+}
+
+/// Result of executing one instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Trace record of the executed instruction.
+    pub info: StepInfo,
+    /// Event raised, if any.
+    pub event: Option<CoreEvent>,
+}
+
+/// The simulated processor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Machine {
+    config: MachineConfig,
+    regs: [u32; NUM_REGS],
+    pc: u32,
+    psw: u32,
+    ir: u32,
+    mar: u32,
+    mdr: u32,
+    wdt: u32,
+    cycles: u64,
+    instret: u64,
+    halted: bool,
+    memory: Memory,
+    icache: Cache,
+    dcache: Cache,
+}
+
+impl Machine {
+    /// Creates a machine in the reset state.
+    pub fn new(config: MachineConfig) -> Machine {
+        Machine {
+            config,
+            regs: [0; NUM_REGS],
+            pc: 0,
+            psw: 0,
+            ir: 0,
+            mar: 0,
+            mdr: 0,
+            wdt: 0,
+            cycles: 0,
+            instret: 0,
+            halted: false,
+            memory: Memory::new(config.memory),
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> MachineConfig {
+        self.config
+    }
+
+    /// Resets all architectural state and clears memory and caches.
+    pub fn reset(&mut self) {
+        self.regs = [0; NUM_REGS];
+        self.pc = 0;
+        self.psw = 0;
+        self.ir = 0;
+        self.mar = 0;
+        self.mdr = 0;
+        self.wdt = 0;
+        self.cycles = 0;
+        self.instret = 0;
+        self.halted = false;
+        self.memory.clear();
+        self.icache.invalidate_all();
+        self.dcache.invalidate_all();
+    }
+
+    /// Program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Sets the program counter (host/scan access).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// Register value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 16`.
+    pub fn reg(&self, r: u8) -> u32 {
+        self.regs[r as usize]
+    }
+
+    /// Sets a register (host/scan access).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= 16`.
+    pub fn set_reg(&mut self, r: u8, v: u32) {
+        self.regs[r as usize] = v;
+    }
+
+    /// Processor status word (condition flags in the low 4 bits).
+    pub fn psw(&self) -> u32 {
+        self.psw
+    }
+
+    /// Sets the PSW (host/scan access; only the low 8 bits are kept).
+    pub fn set_psw(&mut self, v: u32) {
+        self.psw = v & 0xff;
+    }
+
+    /// Instruction register (last fetched word).
+    pub fn ir(&self) -> u32 {
+        self.ir
+    }
+    /// Sets the instruction register (scan access).
+    pub fn set_ir(&mut self, v: u32) {
+        self.ir = v;
+    }
+    /// Memory address register (last memory transaction address).
+    pub fn mar(&self) -> u32 {
+        self.mar
+    }
+    /// Sets the memory address register (scan access).
+    pub fn set_mar(&mut self, v: u32) {
+        self.mar = v;
+    }
+    /// Memory data register (last memory transaction data).
+    pub fn mdr(&self) -> u32 {
+        self.mdr
+    }
+    /// Sets the memory data register (scan access).
+    pub fn set_mdr(&mut self, v: u32) {
+        self.mdr = v;
+    }
+    /// Watchdog counter (instructions since last `sync`/reset).
+    pub fn wdt(&self) -> u32 {
+        self.wdt
+    }
+    /// Sets the watchdog counter (scan access; 16 bits kept).
+    pub fn set_wdt(&mut self, v: u32) {
+        self.wdt = v & 0xffff;
+    }
+
+    /// Total cycles executed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total instructions retired.
+    pub fn instret(&self) -> u64 {
+        self.instret
+    }
+
+    /// Whether the machine has executed `halt`.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Main memory (host access).
+    pub fn memory(&self) -> &Memory {
+        &self.memory
+    }
+
+    /// Main memory, mutable (host access: download, SWIFI).
+    pub fn memory_mut(&mut self) -> &mut Memory {
+        &mut self.memory
+    }
+
+    /// Instruction cache (scan access).
+    pub fn icache(&self) -> &Cache {
+        &self.icache
+    }
+    /// Instruction cache, mutable (scan access).
+    pub fn icache_mut(&mut self) -> &mut Cache {
+        &mut self.icache
+    }
+    /// Data cache (scan access).
+    pub fn dcache(&self) -> &Cache {
+        &self.dcache
+    }
+    /// Data cache, mutable (scan access).
+    pub fn dcache_mut(&mut self) -> &mut Cache {
+        &mut self.dcache
+    }
+
+    fn set_flags_from(&mut self, value: u32, carry: bool, overflow: bool) {
+        // A flag update drives the full PSW: the reserved upper bits are
+        // hardwired to zero on every write, so a PSW write is a complete
+        // overwrite (this matters for pre-injection liveness analysis —
+        // a partial write would make "overwritten" pruning unsound).
+        let mut psw = 0;
+        if value == 0 {
+            psw |= PSW_Z;
+        }
+        if (value as i32) < 0 {
+            psw |= PSW_N;
+        }
+        if carry {
+            psw |= PSW_C;
+        }
+        if overflow {
+            psw |= PSW_V;
+        }
+        self.psw = psw;
+    }
+
+    fn cond_holds(&self, cond: Cond) -> bool {
+        let z = self.psw & PSW_Z != 0;
+        let n = self.psw & PSW_N != 0;
+        let v = self.psw & PSW_V != 0;
+        match cond {
+            Cond::Eq => z,
+            Cond::Ne => !z,
+            Cond::Lt => n != v,
+            Cond::Ge => n == v,
+            Cond::Gt => !z && n == v,
+            Cond::Le => z || n != v,
+        }
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Any [`Exception`] raised by the error-detection mechanisms; the
+    /// machine state is left as of the failing micro-operation (the PC still
+    /// points at the faulting instruction), mirroring a hardware trap.
+    pub fn step(&mut self) -> Result<Step, Exception> {
+        if self.halted {
+            return Ok(Step {
+                info: StepInfo::new(self.pc, 0),
+                event: Some(CoreEvent::Halted),
+            });
+        }
+        // Watchdog.
+        if self.config.watchdog_limit > 0 {
+            self.wdt = self.wdt.wrapping_add(1) & 0xffff;
+            if self.wdt as u64 > self.config.watchdog_limit as u64 {
+                return Err(Exception::Watchdog);
+            }
+        }
+        // Fetch through the I-cache; remap its parity exception variant.
+        let pc = self.pc;
+        self.mar = pc;
+        let access = self
+            .icache
+            .read(&self.memory, pc, true)
+            .map_err(|e| match e {
+                Exception::DcacheParity { line } => Exception::IcacheParity { line },
+                other => other,
+            })?;
+        self.ir = access.value;
+        let mut info = StepInfo::new(pc, access.value);
+        info.cycles += access.extra_cycles;
+
+        let instr = Instr::decode(self.ir)
+            .ok_or(Exception::IllegalInstruction { word: access.value })?;
+
+        let mut next_pc = pc.wrapping_add(4);
+        let mut event = None;
+
+        macro_rules! alu {
+            ($rd:expr, $rs1:expr, $rs2:expr, $f:expr, $flags:expr) => {{
+                let a = self.regs[$rs1 as usize];
+                let b = self.regs[$rs2 as usize];
+                info.reads.push(Loc::Reg($rs1));
+                info.reads.push(Loc::Reg($rs2));
+                let (value, carry, overflow) = $f(a, b)?;
+                self.regs[$rd as usize] = value;
+                info.writes.push(Loc::Reg($rd));
+                if $flags {
+                    self.set_flags_from(value, carry, overflow);
+                    info.writes.push(Loc::Psw);
+                }
+            }};
+        }
+
+        type AluOut = Result<(u32, bool, bool), Exception>;
+
+        match instr {
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.halted = true;
+                event = Some(CoreEvent::Halted);
+            }
+            Instr::Sync => {
+                self.wdt = 0;
+                event = Some(CoreEvent::Sync);
+            }
+            Instr::Add { rd, rs1, rs2 } => alu!(
+                rd,
+                rs1,
+                rs2,
+                |a: u32, b: u32| -> AluOut {
+                    let (v, c) = a.overflowing_add(b);
+                    (a as i32)
+                        .checked_add(b as i32)
+                        .ok_or(Exception::ArithmeticOverflow)?;
+                    Ok((v, c, false))
+                },
+                true
+            ),
+            Instr::Sub { rd, rs1, rs2 } => alu!(
+                rd,
+                rs1,
+                rs2,
+                |a: u32, b: u32| -> AluOut {
+                    let (v, c) = a.overflowing_sub(b);
+                    (a as i32)
+                        .checked_sub(b as i32)
+                        .ok_or(Exception::ArithmeticOverflow)?;
+                    Ok((v, c, false))
+                },
+                true
+            ),
+            Instr::Mul { rd, rs1, rs2 } => {
+                info.cycles += 3;
+                alu!(
+                    rd,
+                    rs1,
+                    rs2,
+                    |a: u32, b: u32| -> AluOut {
+                        let v = (a as i32)
+                            .checked_mul(b as i32)
+                            .ok_or(Exception::ArithmeticOverflow)?;
+                        Ok((v as u32, false, false))
+                    },
+                    true
+                )
+            }
+            Instr::Div { rd, rs1, rs2 } => {
+                info.cycles += 11;
+                alu!(
+                    rd,
+                    rs1,
+                    rs2,
+                    |a: u32, b: u32| -> AluOut {
+                        if b == 0 {
+                            return Err(Exception::DivideByZero);
+                        }
+                        let v = (a as i32)
+                            .checked_div(b as i32)
+                            .ok_or(Exception::ArithmeticOverflow)?;
+                        Ok((v as u32, false, false))
+                    },
+                    true
+                )
+            }
+            Instr::And { rd, rs1, rs2 } => alu!(
+                rd,
+                rs1,
+                rs2,
+                |a: u32, b: u32| -> AluOut { Ok((a & b, false, false)) },
+                true
+            ),
+            Instr::Or { rd, rs1, rs2 } => alu!(
+                rd,
+                rs1,
+                rs2,
+                |a: u32, b: u32| -> AluOut { Ok((a | b, false, false)) },
+                true
+            ),
+            Instr::Xor { rd, rs1, rs2 } => alu!(
+                rd,
+                rs1,
+                rs2,
+                |a: u32, b: u32| -> AluOut { Ok((a ^ b, false, false)) },
+                true
+            ),
+            Instr::Sll { rd, rs1, rs2 } => alu!(
+                rd,
+                rs1,
+                rs2,
+                |a: u32, b: u32| -> AluOut { Ok((a << (b & 31), false, false)) },
+                true
+            ),
+            Instr::Srl { rd, rs1, rs2 } => alu!(
+                rd,
+                rs1,
+                rs2,
+                |a: u32, b: u32| -> AluOut { Ok((a >> (b & 31), false, false)) },
+                true
+            ),
+            Instr::Sra { rd, rs1, rs2 } => alu!(
+                rd,
+                rs1,
+                rs2,
+                |a: u32, b: u32| -> AluOut {
+                    Ok((((a as i32) >> (b & 31)) as u32, false, false))
+                },
+                true
+            ),
+            Instr::Addi { rd, rs1, imm } => {
+                // Wrapping add: used for address arithmetic, no trap.
+                let a = self.regs[rs1 as usize];
+                info.reads.push(Loc::Reg(rs1));
+                let v = a.wrapping_add(imm as i32 as u32);
+                self.regs[rd as usize] = v;
+                info.writes.push(Loc::Reg(rd));
+            }
+            Instr::Andi { rd, rs1, imm } => {
+                let a = self.regs[rs1 as usize];
+                info.reads.push(Loc::Reg(rs1));
+                self.regs[rd as usize] = a & imm as u32;
+                info.writes.push(Loc::Reg(rd));
+            }
+            Instr::Ori { rd, rs1, imm } => {
+                let a = self.regs[rs1 as usize];
+                info.reads.push(Loc::Reg(rs1));
+                self.regs[rd as usize] = a | imm as u32;
+                info.writes.push(Loc::Reg(rd));
+            }
+            Instr::Xori { rd, rs1, imm } => {
+                let a = self.regs[rs1 as usize];
+                info.reads.push(Loc::Reg(rs1));
+                self.regs[rd as usize] = a ^ imm as u32;
+                info.writes.push(Loc::Reg(rd));
+            }
+            Instr::Slli { rd, rs1, imm } => {
+                let a = self.regs[rs1 as usize];
+                info.reads.push(Loc::Reg(rs1));
+                self.regs[rd as usize] = a << (imm & 31);
+                info.writes.push(Loc::Reg(rd));
+            }
+            Instr::Srli { rd, rs1, imm } => {
+                let a = self.regs[rs1 as usize];
+                info.reads.push(Loc::Reg(rs1));
+                self.regs[rd as usize] = a >> (imm & 31);
+                info.writes.push(Loc::Reg(rd));
+            }
+            Instr::Li { rd, imm } => {
+                self.regs[rd as usize] = imm as i32 as u32;
+                info.writes.push(Loc::Reg(rd));
+            }
+            Instr::Lui { rd, imm } => {
+                self.regs[rd as usize] = (imm as u32) << 16;
+                info.writes.push(Loc::Reg(rd));
+            }
+            Instr::Ld { rd, rs1, imm } => {
+                let base = self.regs[rs1 as usize];
+                info.reads.push(Loc::Reg(rs1));
+                let addr = base.wrapping_add(imm as i32 as u32);
+                self.mar = addr;
+                let access = self.dcache.read(&self.memory, addr, false)?;
+                self.mdr = access.value;
+                info.cycles += access.extra_cycles;
+                info.reads.push(Loc::Mem(addr));
+                self.regs[rd as usize] = self.mdr;
+                info.writes.push(Loc::Reg(rd));
+            }
+            Instr::St { rd, rs1, imm } => {
+                let base = self.regs[rs1 as usize];
+                info.reads.push(Loc::Reg(rs1));
+                info.reads.push(Loc::Reg(rd));
+                let addr = base.wrapping_add(imm as i32 as u32);
+                self.mar = addr;
+                self.mdr = self.regs[rd as usize];
+                self.memory.write(addr, self.mdr)?;
+                self.dcache.write_through(addr, self.mdr);
+                info.writes.push(Loc::Mem(addr));
+            }
+            Instr::Cmp { rs1, rs2 } => {
+                let a = self.regs[rs1 as usize];
+                let b = self.regs[rs2 as usize];
+                info.reads.push(Loc::Reg(rs1));
+                info.reads.push(Loc::Reg(rs2));
+                let (v, c) = a.overflowing_sub(b);
+                let overflow = (a as i32).checked_sub(b as i32).is_none();
+                self.set_flags_from(v, c, overflow);
+                info.writes.push(Loc::Psw);
+            }
+            Instr::Cmpi { rs1, imm } => {
+                let a = self.regs[rs1 as usize];
+                let b = imm as i32 as u32;
+                info.reads.push(Loc::Reg(rs1));
+                let (v, c) = a.overflowing_sub(b);
+                let overflow = (a as i32).checked_sub(b as i32).is_none();
+                self.set_flags_from(v, c, overflow);
+                info.writes.push(Loc::Psw);
+            }
+            Instr::Branch { cond, imm } => {
+                info.is_branch = true;
+                info.reads.push(Loc::Psw);
+                if self.cond_holds(cond) {
+                    info.branch_taken = true;
+                    next_pc = pc
+                        .wrapping_add(4)
+                        .wrapping_add((imm as i32 as u32).wrapping_mul(4));
+                }
+            }
+            Instr::Jmp { imm } => {
+                next_pc = (imm as u32) * 4;
+            }
+            Instr::Jal { imm } => {
+                info.is_call = true;
+                self.regs[LINK_REG as usize] = pc.wrapping_add(4);
+                info.writes.push(Loc::Reg(LINK_REG));
+                next_pc = (imm as u32) * 4;
+            }
+            Instr::Jr { rs1 } => {
+                info.reads.push(Loc::Reg(rs1));
+                next_pc = self.regs[rs1 as usize];
+            }
+        }
+
+        if event != Some(CoreEvent::Halted) {
+            self.pc = next_pc;
+        }
+        self.cycles += info.cycles;
+        self.instret += 1;
+        Ok(Step { info, event })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instr as I;
+
+    fn machine_with(code: &[Instr]) -> Machine {
+        let mut m = Machine::new(MachineConfig::default());
+        let words: Vec<u32> = code.iter().map(|i| i.encode()).collect();
+        m.memory_mut().host_write_block(0, &words);
+        m
+    }
+
+    fn run(m: &mut Machine, max: usize) -> Result<(), Exception> {
+        for _ in 0..max {
+            let s = m.step()?;
+            if s.event == Some(CoreEvent::Halted) {
+                return Ok(());
+            }
+        }
+        panic!("did not halt in {max} steps");
+    }
+
+    #[test]
+    fn arithmetic_program_computes() {
+        let mut m = machine_with(&[
+            I::Li { rd: 1, imm: 6 },
+            I::Li { rd: 2, imm: 7 },
+            I::Mul { rd: 3, rs1: 1, rs2: 2 },
+            I::St { rd: 3, rs1: 0, imm: 0x4000 },
+            I::Halt,
+        ]);
+        m.set_reg(0, 0);
+        run(&mut m, 10).unwrap();
+        assert_eq!(m.memory().host_read(0x4000), Some(42));
+        assert!(m.is_halted());
+    }
+
+    #[test]
+    fn branch_loop_sums() {
+        // sum = 1+2+...+5 into r3
+        let mut m = machine_with(&[
+            I::Li { rd: 1, imm: 5 },  // counter
+            I::Li { rd: 3, imm: 0 },  // acc
+            I::Add { rd: 3, rs1: 3, rs2: 1 },
+            I::Addi { rd: 1, rs1: 1, imm: -1 },
+            I::Cmpi { rs1: 1, imm: 0 },
+            I::Branch { cond: Cond::Ne, imm: -4 },
+            I::Halt,
+        ]);
+        run(&mut m, 100).unwrap();
+        assert_eq!(m.reg(3), 15);
+    }
+
+    #[test]
+    fn jal_and_jr_roundtrip() {
+        // call a function at word 4 that sets r5=9 and returns
+        let mut m = machine_with(&[
+            I::Jal { imm: 3 }, // call word addr 3 (byte 12)
+            I::St { rd: 5, rs1: 0, imm: 0x4000 },
+            I::Halt,
+            I::Li { rd: 5, imm: 9 },
+            I::Jr { rs1: 15 },
+        ]);
+        run(&mut m, 20).unwrap();
+        assert_eq!(m.memory().host_read(0x4000), Some(9));
+    }
+
+    #[test]
+    fn overflow_detected() {
+        let mut m = machine_with(&[
+            I::Li { rd: 1, imm: 0x7fff },
+            I::Slli { rd: 1, rs1: 1, imm: 16 }, // ~i32::MAX magnitude
+            I::Add { rd: 2, rs1: 1, rs2: 1 },
+            I::Halt,
+        ]);
+        let mut err = None;
+        for _ in 0..10 {
+            match m.step() {
+                Ok(s) if s.event == Some(CoreEvent::Halted) => break,
+                Ok(_) => {}
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        assert_eq!(err, Some(Exception::ArithmeticOverflow));
+    }
+
+    #[test]
+    fn divide_by_zero_detected() {
+        let mut m = machine_with(&[
+            I::Li { rd: 1, imm: 10 },
+            I::Li { rd: 2, imm: 0 },
+            I::Div { rd: 3, rs1: 1, rs2: 2 },
+            I::Halt,
+        ]);
+        let err = (0..5).find_map(|_| m.step().err());
+        assert_eq!(err, Some(Exception::DivideByZero));
+    }
+
+    #[test]
+    fn illegal_instruction_detected() {
+        let mut m = Machine::new(MachineConfig::default());
+        m.memory_mut().host_write(0, 0xff00_0000);
+        let err = m.step().unwrap_err();
+        assert!(matches!(err, Exception::IllegalInstruction { .. }));
+    }
+
+    #[test]
+    fn store_to_code_region_detected() {
+        let mut m = machine_with(&[
+            I::Li { rd: 1, imm: 1 },
+            I::St { rd: 1, rs1: 0, imm: 0 }, // write into code
+        ]);
+        m.set_reg(0, 0);
+        let err = (0..3).find_map(|_| m.step().err());
+        assert!(matches!(err, Some(Exception::MemoryViolation { .. })));
+    }
+
+    #[test]
+    fn runaway_pc_detected() {
+        let mut m = machine_with(&[I::Jmp { imm: 0x3fff }]); // jump out of code region
+        m.step().unwrap();
+        let err = m.step().unwrap_err();
+        assert!(matches!(err, Exception::MemoryViolation { .. }));
+    }
+
+    #[test]
+    fn watchdog_fires_without_sync() {
+        let config = MachineConfig {
+            watchdog_limit: 10,
+            ..Default::default()
+        };
+        let mut m = Machine::new(config);
+        // Infinite loop without sync: jmp 0
+        m.memory_mut().host_write(0, I::Jmp { imm: 0 }.encode());
+        let mut err = None;
+        for _ in 0..20 {
+            if let Err(e) = m.step() {
+                err = Some(e);
+                break;
+            }
+        }
+        assert_eq!(err, Some(Exception::Watchdog));
+    }
+
+    #[test]
+    fn sync_kicks_watchdog() {
+        let config = MachineConfig {
+            watchdog_limit: 10,
+            ..Default::default()
+        };
+        let mut m = Machine::new(config);
+        // loop: sync; jmp loop — runs forever without watchdog
+        m.memory_mut().host_write(0, I::Sync.encode());
+        m.memory_mut().host_write(4, I::Jmp { imm: 0 }.encode());
+        for _ in 0..100 {
+            m.step().unwrap();
+        }
+        assert!(m.instret() == 100);
+    }
+
+    #[test]
+    fn scan_injected_register_fault_changes_result() {
+        let mut m = machine_with(&[
+            I::Li { rd: 1, imm: 5 },
+            I::Li { rd: 2, imm: 3 },
+            I::Add { rd: 3, rs1: 1, rs2: 2 },
+            I::St { rd: 3, rs1: 0, imm: 0x4000 },
+            I::Halt,
+        ]);
+        m.step().unwrap();
+        m.step().unwrap();
+        // Inject: flip bit 1 of r1 (5 -> 7) before the add.
+        m.set_reg(1, m.reg(1) ^ 0b10);
+        run(&mut m, 10).unwrap();
+        assert_eq!(m.memory().host_read(0x4000), Some(10)); // 7 + 3
+    }
+
+    #[test]
+    fn psw_fault_redirects_branch() {
+        let mut m = machine_with(&[
+            I::Li { rd: 1, imm: 1 },
+            I::Cmpi { rs1: 1, imm: 1 },          // Z set
+            I::Branch { cond: Cond::Eq, imm: 1 }, // should skip next
+            I::Li { rd: 2, imm: 99 },
+            I::Halt,
+        ]);
+        m.step().unwrap();
+        m.step().unwrap();
+        // Flip Z in the PSW before the branch: branch now falls through.
+        m.set_psw(m.psw() ^ PSW_Z);
+        run(&mut m, 10).unwrap();
+        assert_eq!(m.reg(2), 99);
+    }
+
+    #[test]
+    fn step_records_reads_and_writes() {
+        let mut m = machine_with(&[
+            I::Li { rd: 1, imm: 4 },
+            I::Ld { rd: 2, rs1: 1, imm: 0x4000 },
+            I::Halt,
+        ]);
+        m.memory_mut().host_write(0x4004, 1234);
+        m.step().unwrap();
+        let s = m.step().unwrap();
+        assert!(s.info.reads.contains(&Loc::Reg(1)));
+        assert!(s.info.reads.contains(&Loc::Mem(0x4004)));
+        assert!(s.info.writes.contains(&Loc::Reg(2)));
+        assert_eq!(m.reg(2), 1234);
+        assert_eq!(m.mar(), 0x4004);
+        assert_eq!(m.mdr(), 1234);
+    }
+
+    #[test]
+    fn halted_machine_stays_halted() {
+        let mut m = machine_with(&[I::Halt]);
+        run(&mut m, 2).unwrap();
+        let s = m.step().unwrap();
+        assert_eq!(s.event, Some(CoreEvent::Halted));
+        assert_eq!(m.instret(), 1);
+    }
+
+    #[test]
+    fn cycles_accumulate_with_cache_penalties() {
+        let mut m = machine_with(&[I::Nop, I::Nop, I::Halt]);
+        run(&mut m, 5).unwrap();
+        // First fetch misses (penalty 8), next two hit in the same line.
+        assert_eq!(m.cycles(), 8 + 3);
+    }
+
+    #[test]
+    fn all_branch_conditions_with_signed_operands() {
+        // For (a, b) pairs covering <, ==, > with negative values, every
+        // condition must agree with the signed comparison semantics.
+        let cases: [(i16, i16); 5] = [(-3, 2), (2, -3), (5, 5), (-7, -7), (-8, -2)];
+        for (a, b) in cases {
+            for (cond, expected) in [
+                (Cond::Eq, a == b),
+                (Cond::Ne, a != b),
+                (Cond::Lt, a < b),
+                (Cond::Ge, a >= b),
+                (Cond::Gt, a > b),
+                (Cond::Le, a <= b),
+            ] {
+                let mut m = machine_with(&[
+                    I::Li { rd: 1, imm: a },
+                    I::Li { rd: 2, imm: b },
+                    I::Cmp { rs1: 1, rs2: 2 },
+                    I::Branch { cond, imm: 1 }, // skip the marker when taken
+                    I::Li { rd: 3, imm: 1 },    // marker: fall-through
+                    I::Halt,
+                ]);
+                run(&mut m, 20).unwrap();
+                let taken = m.reg(3) == 0;
+                assert_eq!(
+                    taken, expected,
+                    "cond {cond:?} with a={a}, b={b}: taken={taken}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cmp_overflow_sets_v_flag_for_correct_signed_compare() {
+        // i32::MIN < 1, but MIN - 1 overflows: Lt must still hold via N^V.
+        let mut m = machine_with(&[
+            I::Lui { rd: 1, imm: 0x8000 }, // i32::MIN
+            I::Li { rd: 2, imm: 1 },
+            I::Cmp { rs1: 1, rs2: 2 },
+            I::Branch { cond: Cond::Lt, imm: 1 },
+            I::Li { rd: 3, imm: 1 },
+            I::Halt,
+        ]);
+        run(&mut m, 10).unwrap();
+        assert_eq!(m.reg(3), 0, "MIN < 1 must be taken despite overflow");
+    }
+
+    #[test]
+    fn flag_write_is_full_psw_overwrite() {
+        // Reserved PSW bits are hardwired to zero on every flag update —
+        // required for pre-injection liveness soundness.
+        let mut m = machine_with(&[
+            I::Li { rd: 1, imm: 1 },
+            I::Cmpi { rs1: 1, imm: 1 },
+            I::Halt,
+        ]);
+        m.set_psw(0xf0); // scan-injected garbage in reserved bits
+        run(&mut m, 10).unwrap();
+        assert_eq!(m.psw() & 0xf0, 0, "reserved bits cleared by flag write");
+        assert_ne!(m.psw() & PSW_Z, 0);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut m = machine_with(&[I::Li { rd: 1, imm: 3 }, I::Halt]);
+        run(&mut m, 5).unwrap();
+        m.reset();
+        assert_eq!(m.reg(1), 0);
+        assert_eq!(m.pc(), 0);
+        assert!(!m.is_halted());
+        assert_eq!(m.cycles(), 0);
+        assert_eq!(m.memory().host_read(0), Some(0));
+    }
+}

@@ -1,0 +1,237 @@
+//! Main memory with region protection.
+//!
+//! The Thor RD detects illegal memory accesses in hardware; we model a
+//! memory with a code region (execute/read-only once loaded) and a data
+//! region (read/write). Violations surface as
+//! [`MemoryViolation`](crate::edm::Exception) error-detection events.
+
+use crate::edm::{AccessKind, Exception};
+use serde::{Deserialize, Serialize};
+
+/// Layout of the simulated memory map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryMap {
+    /// Total memory size in bytes (word aligned).
+    pub size: u32,
+    /// End of the code region (byte address, exclusive). Code occupies
+    /// `[0, code_end)`.
+    pub code_end: u32,
+}
+
+impl MemoryMap {
+    /// A 64 KiB map with 16 KiB of code — enough for every bundled
+    /// workload.
+    pub fn default_map() -> MemoryMap {
+        MemoryMap {
+            size: 64 * 1024,
+            code_end: 16 * 1024,
+        }
+    }
+}
+
+impl Default for MemoryMap {
+    fn default() -> Self {
+        MemoryMap::default_map()
+    }
+}
+
+/// Word-addressable main memory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Memory {
+    map: MemoryMap,
+    words: Vec<u32>,
+}
+
+impl Memory {
+    /// Creates zeroed memory with the given map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the map is malformed (size not word aligned or code region
+    /// exceeding memory).
+    pub fn new(map: MemoryMap) -> Memory {
+        assert!(map.size.is_multiple_of(4), "memory size must be word aligned");
+        assert!(map.code_end <= map.size, "code region exceeds memory");
+        Memory {
+            map,
+            words: vec![0; (map.size / 4) as usize],
+        }
+    }
+
+    /// The memory map.
+    pub fn map(&self) -> MemoryMap {
+        self.map
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> u32 {
+        self.map.size
+    }
+
+    fn check(&self, addr: u32, kind: AccessKind) -> Result<usize, Exception> {
+        if !addr.is_multiple_of(4) {
+            return Err(Exception::Misaligned { addr, kind });
+        }
+        if addr >= self.map.size {
+            return Err(Exception::MemoryViolation { addr, kind });
+        }
+        match kind {
+            AccessKind::Execute if addr >= self.map.code_end => {
+                return Err(Exception::MemoryViolation { addr, kind })
+            }
+            AccessKind::Write if addr < self.map.code_end => {
+                return Err(Exception::MemoryViolation { addr, kind })
+            }
+            _ => {}
+        }
+        Ok((addr / 4) as usize)
+    }
+
+    /// CPU word read (data access).
+    ///
+    /// # Errors
+    ///
+    /// [`Exception::Misaligned`] / [`Exception::MemoryViolation`].
+    pub fn read(&self, addr: u32) -> Result<u32, Exception> {
+        let i = self.check(addr, AccessKind::Read)?;
+        Ok(self.words[i])
+    }
+
+    /// CPU instruction fetch.
+    ///
+    /// # Errors
+    ///
+    /// [`Exception::Misaligned`] / [`Exception::MemoryViolation`] (the
+    /// latter also catches runaway control flow leaving the code region).
+    pub fn fetch(&self, addr: u32) -> Result<u32, Exception> {
+        let i = self.check(addr, AccessKind::Execute)?;
+        Ok(self.words[i])
+    }
+
+    /// CPU word write (data access; the code region is write-protected).
+    ///
+    /// # Errors
+    ///
+    /// [`Exception::Misaligned`] / [`Exception::MemoryViolation`].
+    pub fn write(&mut self, addr: u32, value: u32) -> Result<(), Exception> {
+        let i = self.check(addr, AccessKind::Write)?;
+        self.words[i] = value;
+        Ok(())
+    }
+
+    /// Host (test-card) read: bypasses protection; used for workload
+    /// download verification, result read-back and SWIFI.
+    pub fn host_read(&self, addr: u32) -> Option<u32> {
+        if !addr.is_multiple_of(4) || addr >= self.map.size {
+            return None;
+        }
+        Some(self.words[(addr / 4) as usize])
+    }
+
+    /// Host (test-card) write: bypasses protection.
+    pub fn host_write(&mut self, addr: u32, value: u32) -> bool {
+        if !addr.is_multiple_of(4) || addr >= self.map.size {
+            return false;
+        }
+        self.words[(addr / 4) as usize] = value;
+        true
+    }
+
+    /// Host bulk download starting at `addr`.
+    pub fn host_write_block(&mut self, addr: u32, words: &[u32]) -> bool {
+        for (i, w) in words.iter().enumerate() {
+            if !self.host_write(addr + (i as u32) * 4, *w) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Host bulk read of `len` words starting at `addr`.
+    pub fn host_read_block(&self, addr: u32, len: usize) -> Option<Vec<u32>> {
+        (0..len)
+            .map(|i| self.host_read(addr + (i as u32) * 4))
+            .collect()
+    }
+
+    /// Zeroes all of memory (target re-initialisation between experiments).
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem() -> Memory {
+        Memory::new(MemoryMap {
+            size: 1024,
+            code_end: 256,
+        })
+    }
+
+    #[test]
+    fn read_write_data_region() {
+        let mut m = mem();
+        m.write(512, 0xdeadbeef).unwrap();
+        assert_eq!(m.read(512).unwrap(), 0xdeadbeef);
+    }
+
+    #[test]
+    fn code_region_is_write_protected_for_cpu() {
+        let mut m = mem();
+        let err = m.write(0, 1).unwrap_err();
+        assert!(matches!(err, Exception::MemoryViolation { .. }));
+        // Host writes (workload download) bypass protection.
+        assert!(m.host_write(0, 1));
+        assert_eq!(m.fetch(0).unwrap(), 1);
+    }
+
+    #[test]
+    fn execute_outside_code_region_detected() {
+        let m = mem();
+        let err = m.fetch(256).unwrap_err();
+        assert!(matches!(
+            err,
+            Exception::MemoryViolation {
+                kind: AccessKind::Execute,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn misaligned_access_detected() {
+        let mut m = mem();
+        assert!(matches!(m.read(2), Err(Exception::Misaligned { .. })));
+        assert!(matches!(m.write(511, 0), Err(Exception::Misaligned { .. })));
+        assert!(matches!(m.fetch(1), Err(Exception::Misaligned { .. })));
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let m = mem();
+        assert!(matches!(
+            m.read(1024),
+            Err(Exception::MemoryViolation { .. })
+        ));
+        assert_eq!(m.host_read(1024), None);
+    }
+
+    #[test]
+    fn host_block_transfer() {
+        let mut m = mem();
+        assert!(m.host_write_block(256, &[1, 2, 3]));
+        assert_eq!(m.host_read_block(256, 3).unwrap(), vec![1, 2, 3]);
+        assert!(!m.host_write_block(1020, &[1, 2]));
+    }
+
+    #[test]
+    fn clear_zeroes_memory() {
+        let mut m = mem();
+        m.write(512, 7).unwrap();
+        m.clear();
+        assert_eq!(m.read(512).unwrap(), 0);
+    }
+}

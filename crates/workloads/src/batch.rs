@@ -1,0 +1,368 @@
+//! Batch workloads: run to completion and leave a checkable result.
+
+use crate::{lcg, ResultSpec, Workload, WorkloadKind};
+use thor_rd::asm::assemble;
+
+/// Selection sort over `n` pseudo-random words (ascending, signed).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or larger than 256 (data-region budget).
+pub fn sort_workload(n: usize, seed: u32) -> Workload {
+    assert!(n > 0 && n <= 256, "n out of range");
+    let mut rng = lcg(seed);
+    let data: Vec<i32> = (0..n).map(|_| (rng() % 10_000) as i32).collect();
+    let mut expected: Vec<i32> = data.clone();
+    expected.sort_unstable();
+    let expected: Vec<u32> = expected.into_iter().map(|v| v as u32).collect();
+
+    let words = data
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    let source = format!(
+        "; selection sort, {n} elements\n\
+         \x20       la   r8, array\n\
+         \x20       li   r9, {n}\n\
+         \x20       li   r1, 0          ; i\n\
+         outer:  cmpi r1, {last}\n\
+         \x20       bge  done\n\
+         \x20       slli r2, r1, 2\n\
+         \x20       add  r2, r2, r8     ; &a[i]\n\
+         \x20       ld   r3, (r2)       ; min value\n\
+         \x20       or   r4, r2, r2     ; min address\n\
+         \x20       addi r5, r1, 1      ; j\n\
+         inner:  cmp  r5, r9\n\
+         \x20       bge  endin\n\
+         \x20       slli r6, r5, 2\n\
+         \x20       add  r6, r6, r8\n\
+         \x20       ld   r7, (r6)\n\
+         \x20       cmp  r7, r3\n\
+         \x20       bge  skip\n\
+         \x20       or   r3, r7, r7\n\
+         \x20       or   r4, r6, r6\n\
+         skip:   addi r5, r5, 1\n\
+         \x20       jmp  inner\n\
+         endin:  ld   r7, (r2)\n\
+         \x20       st   r3, (r2)\n\
+         \x20       st   r7, (r4)\n\
+         \x20       addi r1, r1, 1\n\
+         \x20       jmp  outer\n\
+         done:   halt\n\
+         \x20       .org 0x4000\n\
+         array:  .word {words}\n",
+        last = n - 1,
+    );
+    let program = assemble(&source).expect("sort workload must assemble");
+    Workload {
+        name: format!("sort{n}"),
+        source,
+        program,
+        kind: WorkloadKind::Batch,
+        result: ResultSpec {
+            addr: 0x4000,
+            len: n,
+            expected,
+        },
+    }
+}
+
+/// Host oracle for [`matmul_workload`]: row-major `n×n` product.
+pub fn matmul_host(n: usize, a: &[i32], b: &[i32]) -> Vec<i32> {
+    let mut c = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// `n×n` integer matrix multiply with small pseudo-random entries.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or larger than 16.
+pub fn matmul_workload(n: usize, seed: u32) -> Workload {
+    assert!(n > 0 && n <= 16, "n out of range");
+    let mut rng = lcg(seed);
+    let a: Vec<i32> = (0..n * n).map(|_| (rng() % 16) as i32).collect();
+    let b: Vec<i32> = (0..n * n).map(|_| (rng() % 16) as i32).collect();
+    let expected: Vec<u32> = matmul_host(n, &a, &b).into_iter().map(|v| v as u32).collect();
+
+    let fmt = |m: &[i32]| {
+        m.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let source = format!(
+        "; {n}x{n} matrix multiply, C = A*B\n\
+         \x20       la   r8, mata\n\
+         \x20       la   r9, matb\n\
+         \x20       la   r10, matc\n\
+         \x20       li   r1, 0          ; i\n\
+         iloop:  cmpi r1, {n}\n\
+         \x20       bge  done\n\
+         \x20       li   r2, 0          ; j\n\
+         jloop:  cmpi r2, {n}\n\
+         \x20       bge  iend\n\
+         \x20       li   r3, 0          ; k\n\
+         \x20       li   r4, 0          ; acc\n\
+         kloop:  cmpi r3, {n}\n\
+         \x20       bge  kend\n\
+         \x20       li   r5, {n}\n\
+         \x20       mul  r6, r1, r5     ; i*n\n\
+         \x20       add  r6, r6, r3     ; i*n+k\n\
+         \x20       slli r6, r6, 2\n\
+         \x20       add  r6, r6, r8\n\
+         \x20       ld   r6, (r6)       ; a[i][k]\n\
+         \x20       mul  r7, r3, r5     ; k*n\n\
+         \x20       add  r7, r7, r2\n\
+         \x20       slli r7, r7, 2\n\
+         \x20       add  r7, r7, r9\n\
+         \x20       ld   r7, (r7)       ; b[k][j]\n\
+         \x20       mul  r6, r6, r7\n\
+         \x20       add  r4, r4, r6\n\
+         \x20       addi r3, r3, 1\n\
+         \x20       jmp  kloop\n\
+         kend:   li   r5, {n}\n\
+         \x20       mul  r6, r1, r5\n\
+         \x20       add  r6, r6, r2\n\
+         \x20       slli r6, r6, 2\n\
+         \x20       add  r6, r6, r10\n\
+         \x20       st   r4, (r6)       ; c[i][j] = acc\n\
+         \x20       addi r2, r2, 1\n\
+         \x20       jmp  jloop\n\
+         iend:   addi r1, r1, 1\n\
+         \x20       jmp  iloop\n\
+         done:   halt\n\
+         \x20       .org 0x4000\n\
+         matc:   .space {c_bytes}\n\
+         mata:   .word {a_words}\n\
+         matb:   .word {b_words}\n",
+        c_bytes = n * n * 4,
+        a_words = fmt(&a),
+        b_words = fmt(&b),
+    );
+    let program = assemble(&source).expect("matmul workload must assemble");
+    Workload {
+        name: format!("matmul{n}"),
+        source,
+        program,
+        kind: WorkloadKind::Batch,
+        result: ResultSpec {
+            addr: 0x4000,
+            len: n * n,
+            expected,
+        },
+    }
+}
+
+/// Host oracle for [`crc32_workload`]: bitwise CRC-32 (poly `0xEDB88320`)
+/// over words, no final inversion.
+pub fn crc32_host(words: &[u32]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for w in words {
+        crc ^= w;
+        for _ in 0..32 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= 0xedb8_8320;
+            }
+        }
+    }
+    crc
+}
+
+/// CRC-32 over `n` pseudo-random words.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or larger than 256.
+pub fn crc32_workload(n: usize, seed: u32) -> Workload {
+    assert!(n > 0 && n <= 256, "n out of range");
+    let mut rng = lcg(seed);
+    let data: Vec<u32> = (0..n).map(|_| rng()).collect();
+    let expected = vec![crc32_host(&data)];
+    let words = data
+        .iter()
+        .map(|v| format!("0x{v:x}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let source = format!(
+        "; CRC-32 over {n} words\n\
+         \x20       la   r8, data\n\
+         \x20       li   r9, {n}\n\
+         \x20       li32 r1, -1          ; crc = 0xffffffff\n\
+         \x20       li32 r10, 0xedb88320 ; poly\n\
+         \x20       li   r2, 0           ; word index\n\
+         wloop:  cmp  r2, r9\n\
+         \x20       bge  done\n\
+         \x20       slli r3, r2, 2\n\
+         \x20       add  r3, r3, r8\n\
+         \x20       ld   r3, (r3)\n\
+         \x20       xor  r1, r1, r3\n\
+         \x20       li   r4, 32          ; bit counter\n\
+         bloop:  andi r5, r1, 1\n\
+         \x20       li   r6, 1\n\
+         \x20       srl  r1, r1, r6\n\
+         \x20       cmpi r5, 0\n\
+         \x20       beq  nobit\n\
+         \x20       xor  r1, r1, r10\n\
+         nobit:  addi r4, r4, -1\n\
+         \x20       cmpi r4, 0\n\
+         \x20       bne  bloop\n\
+         \x20       addi r2, r2, 1\n\
+         \x20       jmp  wloop\n\
+         done:   la   r7, crcout\n\
+         \x20       st   r1, (r7)\n\
+         \x20       halt\n\
+         \x20       .org 0x4000\n\
+         crcout: .word 0\n\
+         data:   .word {words}\n",
+    );
+    let program = assemble(&source).expect("crc32 workload must assemble");
+    Workload {
+        name: format!("crc32x{n}"),
+        source,
+        program,
+        kind: WorkloadKind::Batch,
+        result: ResultSpec {
+            addr: 0x4000,
+            len: 1,
+            expected,
+        },
+    }
+}
+
+/// Host oracle for [`fibonacci_workload`].
+pub fn fibonacci_host(n: u32) -> u32 {
+    let (mut a, mut b) = (0u32, 1u32);
+    for _ in 0..n {
+        let next = a.wrapping_add(b);
+        a = b;
+        b = next;
+    }
+    a
+}
+
+/// Iterative Fibonacci: computes `fib(n)`.
+///
+/// # Panics
+///
+/// Panics if `n > 40` (the target traps on signed overflow beyond that).
+pub fn fibonacci_workload(n: u32) -> Workload {
+    assert!(n <= 40, "n too large for 32-bit signed arithmetic");
+    let expected = vec![fibonacci_host(n)];
+    let source = format!(
+        "; fib({n})\n\
+         \x20       li   r1, 0           ; a\n\
+         \x20       li   r2, 1           ; b\n\
+         \x20       li   r3, {n}         ; counter\n\
+         floop:  cmpi r3, 0\n\
+         \x20       beq  done\n\
+         \x20       add  r4, r1, r2\n\
+         \x20       or   r1, r2, r2\n\
+         \x20       or   r2, r4, r4\n\
+         \x20       addi r3, r3, -1\n\
+         \x20       jmp  floop\n\
+         done:   la   r5, fibout\n\
+         \x20       st   r1, (r5)\n\
+         \x20       halt\n\
+         \x20       .org 0x4000\n\
+         fibout: .word 0\n",
+    );
+    let program = assemble(&source).expect("fibonacci workload must assemble");
+    Workload {
+        name: format!("fib{n}"),
+        source,
+        program,
+        kind: WorkloadKind::Batch,
+        result: ResultSpec {
+            addr: 0x4000,
+            len: 1,
+            expected,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use thor_rd::{DebugEvent, MachineConfig, TestCard};
+
+    fn run_batch(w: &Workload) -> Vec<u32> {
+        let mut card = TestCard::new(MachineConfig::default());
+        card.download(&w.program).unwrap();
+        assert_eq!(card.run(100_000_000), DebugEvent::Halted, "{}", w.name);
+        card.read_memory_block(w.result.addr, w.result.len).unwrap()
+    }
+
+    #[test]
+    fn sort_sorts() {
+        let w = sort_workload(12, 99);
+        let got = run_batch(&w);
+        assert_eq!(got, w.result.expected);
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(got, sorted);
+    }
+
+    #[test]
+    fn sort_of_one_element_is_trivial() {
+        let w = sort_workload(1, 3);
+        assert_eq!(run_batch(&w), w.result.expected);
+    }
+
+    #[test]
+    fn matmul_matches_host_oracle() {
+        for n in [1, 2, 4] {
+            let w = matmul_workload(n, 5);
+            assert_eq!(run_batch(&w), w.result.expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn crc32_matches_host_oracle() {
+        let w = crc32_workload(8, 1);
+        assert_eq!(run_batch(&w), w.result.expected);
+    }
+
+    #[test]
+    fn crc32_host_known_value() {
+        // CRC of a single zero word: 32 shifts of all-ones register.
+        let crc = crc32_host(&[0]);
+        assert_ne!(crc, 0);
+        assert_eq!(crc, crc32_host(&[0]));
+        assert_ne!(crc32_host(&[1]), crc32_host(&[2]));
+    }
+
+    #[test]
+    fn fibonacci_matches_host_oracle() {
+        let w = fibonacci_workload(20);
+        assert_eq!(run_batch(&w), vec![6765]);
+        assert_eq!(fibonacci_host(0), 0);
+        assert_eq!(fibonacci_host(1), 1);
+        assert_eq!(fibonacci_host(10), 55);
+    }
+
+    #[test]
+    fn different_seeds_give_different_data() {
+        let a = sort_workload(8, 1);
+        let b = sort_workload(8, 2);
+        assert_ne!(a.result.expected, b.result.expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_sort_rejected() {
+        sort_workload(10_000, 1);
+    }
+}

@@ -1,0 +1,224 @@
+//! The cyclic control workload: a fixed-point PID controller.
+//!
+//! This is the paper's "program ... executed as an infinite loop" whose
+//! iterations exchange data with the environment simulator; the companion
+//! paper [12] ran a control algorithm in exactly this harness. Per
+//! iteration the target reads `[setpoint, measurement]` from
+//! [`crate::IO_IN_ADDR`], computes a PID control signal in Q8 fixed point,
+//! writes it to [`crate::IO_OUT_ADDR`] and executes `sync`.
+
+use crate::{ResultSpec, Workload, WorkloadKind, IO_IN_ADDR, IO_OUT_ADDR};
+use thor_rd::asm::assemble;
+
+/// PID gains, in 1/256 (Q8) units: the control law is
+/// `u = (kp*err + ki*integ + kd*deriv) >> 8`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PidGains {
+    /// Proportional gain (Q8).
+    pub kp: i16,
+    /// Integral gain (Q8).
+    pub ki: i16,
+    /// Derivative gain (Q8).
+    pub kd: i16,
+}
+
+impl Default for PidGains {
+    /// Gains tuned for [`goofi_envsim::DcMotorEnv`]: stable, converges in
+    /// under ~200 iterations.
+    fn default() -> Self {
+        PidGains {
+            kp: 400,
+            ki: 16,
+            kd: 64,
+        }
+    }
+}
+
+/// Controller state mirrored by the host oracle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PidState {
+    /// Accumulated (clamped) integral term.
+    pub integ: i32,
+    /// Previous error, for the derivative term.
+    pub prev_err: i32,
+}
+
+/// Integral clamp magnitude (matches the workload's `li32` constants).
+const INTEG_CLAMP: i32 = 32768;
+
+/// Host oracle: one PID step with exactly the target's integer semantics.
+/// Returns the control signal and updates `state`.
+pub fn pid_host_step(state: &mut PidState, gains: PidGains, setpoint: i32, meas: i32) -> i32 {
+    let err = setpoint.wrapping_sub(meas);
+    state.integ = state.integ.saturating_add(err).clamp(-INTEG_CLAMP, INTEG_CLAMP);
+    let deriv = err.wrapping_sub(state.prev_err);
+    state.prev_err = err;
+    let u = (gains.kp as i32).wrapping_mul(err)
+        + (gains.ki as i32).wrapping_mul(state.integ)
+        + (gains.kd as i32).wrapping_mul(deriv);
+    u >> 8
+}
+
+/// Builds the cyclic PID workload.
+pub fn pid_workload(gains: PidGains, max_iterations: u32) -> Workload {
+    let source = format!(
+        "; fixed-point PID controller (Q8)\n\
+         \x20       li32 r8, 0x{in_addr:x}    ; IN: [setpoint, meas]\n\
+         \x20       li32 r9, 0x{out_addr:x}   ; OUT: [u]\n\
+         \x20       la   r10, state\n\
+         loop:   ld   r1, 0(r8)       ; setpoint\n\
+         \x20       ld   r2, 4(r8)       ; measurement\n\
+         \x20       sub  r3, r1, r2      ; err\n\
+         \x20       ld   r4, 0(r10)      ; integ\n\
+         \x20       add  r4, r4, r3\n\
+         \x20       li32 r11, {clamp}\n\
+         \x20       cmp  r4, r11\n\
+         \x20       ble  okhi\n\
+         \x20       or   r4, r11, r11\n\
+         okhi:   li32 r12, -{clamp}\n\
+         \x20       cmp  r4, r12\n\
+         \x20       bge  oklo\n\
+         \x20       or   r4, r12, r12\n\
+         oklo:   st   r4, 0(r10)\n\
+         \x20       ld   r5, 4(r10)      ; prev_err\n\
+         \x20       sub  r6, r3, r5      ; deriv\n\
+         \x20       st   r3, 4(r10)\n\
+         \x20       li   r7, {kp}\n\
+         \x20       mul  r7, r7, r3\n\
+         \x20       li   r11, {ki}\n\
+         \x20       mul  r11, r11, r4\n\
+         \x20       add  r7, r7, r11\n\
+         \x20       li   r12, {kd}\n\
+         \x20       mul  r12, r12, r6\n\
+         \x20       add  r7, r7, r12\n\
+         \x20       li   r11, 8\n\
+         \x20       sra  r7, r7, r11     ; u = total >> 8\n\
+         \x20       st   r7, 0(r9)\n\
+         \x20       sync\n\
+         \x20       jmp  loop\n\
+         \x20       .org 0x4000\n\
+         state:  .word 0, 0\n",
+        in_addr = IO_IN_ADDR,
+        out_addr = IO_OUT_ADDR,
+        clamp = INTEG_CLAMP,
+        kp = gains.kp,
+        ki = gains.ki,
+        kd = gains.kd,
+    );
+    let program = assemble(&source).expect("pid workload must assemble");
+    Workload {
+        name: format!("pid-kp{}-ki{}-kd{}", gains.kp, gains.ki, gains.kd),
+        source,
+        program,
+        kind: WorkloadKind::Cyclic {
+            num_inputs: 2,
+            num_outputs: 1,
+            max_iterations,
+        },
+        result: ResultSpec {
+            addr: 0x4000,
+            len: 2,
+            expected: Vec::new(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use goofi_envsim::{DcMotorEnv, Environment, SCALE};
+    use thor_rd::{DebugEvent, MachineConfig, TestCard};
+
+    /// Drives the cyclic workload against the plant the way a target
+    /// adapter does: run to `sync`, read outputs, exchange, write inputs.
+    fn run_closed_loop(iterations: u32, setpoint: i32) -> (DcMotorEnv, TestCard) {
+        let w = pid_workload(PidGains::default(), iterations);
+        let mut card = TestCard::new(MachineConfig::default());
+        card.download(&w.program).unwrap();
+        let mut env = DcMotorEnv::new(setpoint);
+        // Stage initial inputs (iteration 0 reads before the first sync).
+        card.write_memory(IO_IN_ADDR, setpoint as u32).unwrap();
+        card.write_memory(IO_IN_ADDR + 4, 0).unwrap();
+        for _ in 0..iterations {
+            match card.run(1_000_000) {
+                DebugEvent::IterationSync => {}
+                other => panic!("unexpected event {other:?}"),
+            }
+            let u = card.read_memory(IO_OUT_ADDR).unwrap() as i32;
+            let inputs = env.exchange(&[u]);
+            card.write_memory(IO_IN_ADDR, inputs[0] as u32).unwrap();
+            card.write_memory(IO_IN_ADDR + 4, inputs[1] as u32).unwrap();
+        }
+        (env, card)
+    }
+
+    #[test]
+    fn pid_converges_on_target_cpu() {
+        let setpoint = 5 * SCALE;
+        let (env, _) = run_closed_loop(300, setpoint);
+        let err = (env.speed() - setpoint).abs();
+        assert!(
+            err <= SCALE / 8,
+            "speed {} did not converge to {} (err {})",
+            env.speed(),
+            setpoint,
+            err
+        );
+    }
+
+    #[test]
+    fn target_pid_matches_host_oracle() {
+        // Run the same trajectory on the host oracle and compare control
+        // signals step by step.
+        let setpoint = 3 * SCALE;
+        let iterations = 40;
+        let w = pid_workload(PidGains::default(), iterations);
+        let mut card = TestCard::new(MachineConfig::default());
+        card.download(&w.program).unwrap();
+        let mut env = DcMotorEnv::new(setpoint);
+        let mut host_env = DcMotorEnv::new(setpoint);
+        let mut host_state = PidState::default();
+        let (mut sp, mut meas) = (setpoint, 0);
+        card.write_memory(IO_IN_ADDR, sp as u32).unwrap();
+        card.write_memory(IO_IN_ADDR + 4, meas as u32).unwrap();
+        for i in 0..iterations {
+            assert_eq!(card.run(1_000_000), DebugEvent::IterationSync);
+            let u_target = card.read_memory(IO_OUT_ADDR).unwrap() as i32;
+            let u_host = pid_host_step(&mut host_state, PidGains::default(), sp, meas);
+            assert_eq!(u_target, u_host, "control mismatch at iteration {i}");
+            let inputs = env.exchange(&[u_target]);
+            host_env.exchange(&[u_host]);
+            sp = inputs[0];
+            meas = inputs[1];
+            card.write_memory(IO_IN_ADDR, sp as u32).unwrap();
+            card.write_memory(IO_IN_ADDR + 4, meas as u32).unwrap();
+        }
+        assert_eq!(env.history(), host_env.history());
+    }
+
+    #[test]
+    fn host_oracle_clamps_integral() {
+        let mut state = PidState::default();
+        for _ in 0..100 {
+            pid_host_step(&mut state, PidGains::default(), 1_000_000, 0);
+        }
+        assert_eq!(state.integ, INTEG_CLAMP);
+    }
+
+    #[test]
+    fn workload_is_cyclic_with_right_dimensions() {
+        let w = pid_workload(PidGains::default(), 50);
+        match w.kind {
+            WorkloadKind::Cyclic {
+                num_inputs,
+                num_outputs,
+                max_iterations,
+            } => {
+                assert_eq!(num_inputs, 2);
+                assert_eq!(num_outputs, 1);
+                assert_eq!(max_iterations, 50);
+            }
+            other => panic!("expected cyclic, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! SCIFI vs. SWIFI comparison (experiment E2): the same workload and
+//! fault count, injected through scan chains (internal CPU state) versus
+//! into the memory image before execution (pre-runtime SWIFI) and during
+//! execution (runtime SWIFI, a Section 4 extension).
+//!
+//! Run with: `cargo run --release --example swifi_campaign`
+
+use goofi_repro::core::{
+    run_campaign, Campaign, FaultModel, LocationSelector, Technique,
+};
+use goofi_repro::targets::ThorTarget;
+use goofi_repro::workloads::crc32_workload;
+
+fn main() {
+    let experiments = 300;
+    let cases: Vec<(&str, Technique, LocationSelector)> = vec![
+        (
+            "SCIFI / cpu chain",
+            Technique::Scifi,
+            LocationSelector::Chain {
+                chain: "cpu".into(),
+                field: None,
+            },
+        ),
+        (
+            "SWIFI pre-runtime / code",
+            Technique::SwifiPreRuntime,
+            LocationSelector::Memory {
+                start: 0,
+                words: 64, // the CRC kernel's code
+            },
+        ),
+        (
+            "SWIFI pre-runtime / data",
+            Technique::SwifiPreRuntime,
+            LocationSelector::Memory {
+                start: 0x4000,
+                words: 17, // crcout + the 16 input words
+            },
+        ),
+        (
+            "SWIFI runtime / data",
+            Technique::SwifiRuntime,
+            LocationSelector::Memory {
+                start: 0x4000,
+                words: 17,
+            },
+        ),
+    ];
+
+    println!("technique comparison, crc32x16 workload, {experiments} faults each\n");
+    println!(
+        "{:<26} {:>9} {:>9} {:>8} {:>12}",
+        "technique / area", "detected", "escaped", "latent", "overwritten"
+    );
+    for (label, technique, selector) in cases {
+        let campaign = Campaign::builder(label, "thor-card", "crc32x16")
+            .technique(technique)
+            .select(selector)
+            .fault_model(FaultModel::BitFlip)
+            .window(0, 4000)
+            .experiments(experiments)
+            .seed(99)
+            .build()
+            .expect("valid campaign");
+        let mut target = ThorTarget::new("thor-card", crc32_workload(16, 11));
+        let stats = run_campaign(&mut target, &campaign, None, None)
+            .expect("campaign runs")
+            .stats;
+        println!(
+            "{:<26} {:>9} {:>9} {:>8} {:>12}",
+            label,
+            stats.detected_total(),
+            stats.escaped_total(),
+            stats.latent,
+            stats.overwritten
+        );
+    }
+    println!("\nShape check: code-area SWIFI trips the illegal-instruction and");
+    println!("memory-protection detectors far more often than data-area SWIFI;");
+    println!("data faults mostly escape as wrong CRCs or vanish (overwritten).");
+}

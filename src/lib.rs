@@ -1,0 +1,11 @@
+//! Umbrella crate for the GOOFI-rs workspace.
+//!
+//! Re-exports the public crates so examples and integration tests can use a
+//! single dependency. See `README.md` for the architecture overview.
+pub use goofi_core as core;
+pub use goofi_db as db;
+pub use goofi_envsim as envsim;
+pub use goofi_stackvm as stackvm;
+pub use goofi_targets as targets;
+pub use goofi_workloads as workloads;
+pub use thor_rd as thor;

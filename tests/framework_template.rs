@@ -1,0 +1,143 @@
+//! Framework-template behaviour across crates (experiment F3): a target
+//! that only implements the SWIFI building blocks runs SWIFI campaigns,
+//! while SCIFI campaigns against it fail with a diagnostic naming the
+//! missing abstract method — the Fig. 3 contract.
+
+use goofi_repro::core::{
+    run_campaign, Campaign, FaultModel, GoofiError, LocationSelector, Result, StateVector,
+    TargetEvent, TargetSystemConfig, TargetSystemInterface, Technique,
+};
+
+/// A minimal SWIFI-only target: 8 words of "memory", the workload copies
+/// word 0 to word 1 and stops. No scan chains, no breakpoints beyond what
+/// pre-runtime SWIFI needs.
+struct SwifiOnlyTarget {
+    memory: [u32; 8],
+    ran: bool,
+}
+
+impl SwifiOnlyTarget {
+    fn new() -> Self {
+        SwifiOnlyTarget {
+            memory: [0; 8],
+            ran: false,
+        }
+    }
+}
+
+impl TargetSystemInterface for SwifiOnlyTarget {
+    fn target_name(&self) -> &str {
+        "swifi-only"
+    }
+
+    fn describe(&self) -> TargetSystemConfig {
+        TargetSystemConfig {
+            name: "swifi-only".into(),
+            description: "memory-only demo target".into(),
+            chains: Vec::new(),
+            memory: Vec::new(),
+        }
+    }
+
+    fn init_test_card(&mut self) -> Result<()> {
+        self.memory = [0; 8];
+        self.ran = false;
+        Ok(())
+    }
+
+    fn load_workload(&mut self) -> Result<()> {
+        self.memory[0] = 0xfeed;
+        Ok(())
+    }
+
+    fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {
+        for (i, w) in data.iter().enumerate() {
+            self.memory[(addr / 4) as usize + i] = *w;
+        }
+        Ok(())
+    }
+
+    fn read_memory(&mut self, addr: u32, len: usize) -> Result<Vec<u32>> {
+        let start = (addr / 4) as usize;
+        Ok(self.memory[start..start + len].to_vec())
+    }
+
+    fn run_workload(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    fn wait_for_termination(&mut self) -> Result<TargetEvent> {
+        self.memory[1] = self.memory[0];
+        self.ran = true;
+        Ok(TargetEvent::Halted)
+    }
+
+    fn observe_state(&mut self) -> Result<StateVector> {
+        let mut bytes = Vec::new();
+        for w in self.memory {
+            bytes.extend(w.to_le_bytes());
+        }
+        Ok(StateVector::from_bytes(bytes, 8 * 32))
+    }
+
+    fn read_outputs(&mut self) -> Result<Vec<u32>> {
+        Ok(vec![self.memory[1]])
+    }
+}
+
+fn campaign(technique: Technique) -> Campaign {
+    let selector = match technique {
+        Technique::Scifi => LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: None,
+        },
+        _ => LocationSelector::Memory { start: 0, words: 1 },
+    };
+    Campaign::builder("tmpl", "swifi-only", "copy")
+        .technique(technique)
+        .select(selector)
+        .fault_model(FaultModel::BitFlip)
+        .window(0, 0)
+        .experiments(8)
+        .seed(1)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn swifi_works_on_partial_target() {
+    let mut t = SwifiOnlyTarget::new();
+    let result = run_campaign(&mut t, &campaign(Technique::SwifiPreRuntime), None, None).unwrap();
+    assert_eq!(result.runs.len(), 8);
+    // Flipping a bit of word 0 always propagates to word 1: every
+    // experiment is an escaped wrong-output error.
+    assert_eq!(result.stats.escaped_total(), 8, "{}", result.stats.report());
+}
+
+#[test]
+fn scifi_fails_naming_the_missing_block() {
+    let mut t = SwifiOnlyTarget::new();
+    // The campaign validates, but fault-list generation finds no chains.
+    let err = run_campaign(&mut t, &campaign(Technique::Scifi), None, None).unwrap_err();
+    assert!(matches!(err, GoofiError::Campaign(_)), "got {err}");
+
+    // Calling the scan block directly reports the Fig. 3 template error.
+    let err = t.read_scan_chain("cpu").unwrap_err();
+    match err {
+        GoofiError::Unsupported { method, target } => {
+            assert_eq!(method, "readScanChain");
+            assert_eq!(target, "swifi-only");
+        }
+        other => panic!("expected Unsupported, got {other}"),
+    }
+}
+
+#[test]
+fn runtime_swifi_needs_breakpoints() {
+    let mut t = SwifiOnlyTarget::new();
+    let err = run_campaign(&mut t, &campaign(Technique::SwifiRuntime), None, None).unwrap_err();
+    match err {
+        GoofiError::Unsupported { method, .. } => assert_eq!(method, "setBreakpoint"),
+        other => panic!("expected Unsupported(setBreakpoint), got {other}"),
+    }
+}

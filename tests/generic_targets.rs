@@ -1,0 +1,99 @@
+//! Genericity across target systems (experiment E5): the same campaign
+//! driver function runs unchanged against the Thor RD and the StackVM.
+
+use goofi_repro::core::{
+    run_campaign, CampaignResult, Campaign, FaultModel, GoofiError, LocationSelector,
+    Technique, TargetSystemInterface,
+};
+use goofi_repro::targets::{StackProgram, StackVmTarget, ThorTarget};
+use goofi_repro::workloads::fibonacci_workload;
+
+/// Generic driver: only the chain name comes from the target description.
+fn drive(target: &mut dyn TargetSystemInterface, n: usize) -> Result<CampaignResult, GoofiError> {
+    let config = target.describe();
+    let chain = config.chains.first().expect("target has a chain");
+    let campaign = Campaign::builder("generic", target.target_name(), "w")
+        .technique(Technique::Scifi)
+        .select(LocationSelector::Chain {
+            chain: chain.name.clone(),
+            field: None,
+        })
+        .fault_model(FaultModel::BitFlip)
+        .window(0, 80)
+        .experiments(n)
+        .seed(77)
+        .build()?;
+    run_campaign(target, &campaign, None, None)
+}
+
+#[test]
+fn same_driver_runs_both_architectures() {
+    let mut thor = ThorTarget::new("thor", fibonacci_workload(15));
+    let thor_result = drive(&mut thor, 60).unwrap();
+    assert_eq!(thor_result.runs.len(), 60);
+
+    let mut vm = StackVmTarget::new("stackvm", StackProgram::sum(9), 8);
+    let vm_result = drive(&mut vm, 60).unwrap();
+    assert_eq!(vm_result.runs.len(), 60);
+
+    // Both campaigns classify every experiment.
+    assert_eq!(thor_result.stats.total(), 60);
+    assert_eq!(vm_result.stats.total(), 60);
+}
+
+#[test]
+fn detection_mechanisms_reflect_the_architecture() {
+    let mut thor = ThorTarget::new("thor", fibonacci_workload(15));
+    let thor_result = drive(&mut thor, 250).unwrap();
+    let mut vm = StackVmTarget::new("stackvm", StackProgram::sum(9), 8);
+    let vm_result = drive(&mut vm, 250).unwrap();
+
+    let thor_mechs: Vec<&str> = thor_result
+        .stats
+        .detected
+        .keys()
+        .map(String::as_str)
+        .collect();
+    let vm_mechs: Vec<&str> = vm_result.stats.detected.keys().map(String::as_str).collect();
+    // Thor reports its hardware EDMs, StackVM its own — disjoint sets.
+    for m in &thor_mechs {
+        assert!(!vm_mechs.contains(m), "mechanism {m} on both targets");
+    }
+    assert!(
+        !thor_mechs.is_empty(),
+        "thor campaign should trip some EDM: {:?}",
+        thor_result.stats
+    );
+    assert!(
+        !vm_mechs.is_empty(),
+        "stackvm campaign should trip some EDM: {:?}",
+        vm_result.stats
+    );
+}
+
+#[test]
+fn swifi_is_generic_too() {
+    // Pre-runtime SWIFI against both targets' code areas.
+    let run_swifi = |target: &mut dyn TargetSystemInterface, start: u32, words: u32| {
+        let campaign = Campaign::builder("gsw", target.target_name(), "w")
+            .technique(Technique::SwifiPreRuntime)
+            .select(LocationSelector::Memory { start, words })
+            .fault_model(FaultModel::BitFlip)
+            .window(0, 0)
+            .experiments(80)
+            .seed(13)
+            .build()
+            .unwrap();
+        run_campaign(target, &campaign, None, None).unwrap()
+    };
+    let mut thor = ThorTarget::new("thor", fibonacci_workload(15));
+    let thor_result = run_swifi(&mut thor, 0, 12);
+    let mut vm = StackVmTarget::new("stackvm", StackProgram::sum(9), 8);
+    let vm_result = run_swifi(&mut vm, 0, 16);
+    assert_eq!(thor_result.runs.len(), 80);
+    assert_eq!(vm_result.runs.len(), 80);
+    // Corrupted code must be either detected, escaped or benign — and at
+    // least sometimes effective on both machines.
+    assert!(thor_result.stats.effective() > 0);
+    assert!(vm_result.stats.effective() > 0);
+}
