@@ -1,64 +1,145 @@
 //! Experiment E8: campaign-orchestration ablation — sequential vs.
 //! parallel runner scaling (experiments are independent; each worker owns
-//! a target instance).
+//! a target instance), and dynamic (work-stealing) vs. static
+//! (round-robin) scheduling at equal worker counts.
+//!
+//! Besides the human-readable table, the run writes `BENCH_e8.json` at the
+//! workspace root: one row per (scheduler, workers) pair with wall time
+//! and speedup over the sequential baseline, so CI and the docs can
+//! consume the numbers without scraping stdout.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::{scifi_campaign, workload};
-use goofi_core::run_campaign_parallel;
+use goofi_core::{run_campaign_parallel, run_campaign_parallel_static, Campaign};
 use goofi_targets::ThorTarget;
+use std::time::{Duration, Instant};
 
-fn print_table() {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    println!("\n=== E8: runner scaling (sort16, 200 experiments, {cores} host core(s)) ===");
-    println!("(speedup is bounded by the host's core count)");
-    let campaign = scifi_campaign("e8", "sort16", 200, 2500);
+#[derive(Clone, Copy)]
+enum Scheduler {
+    /// Work-stealing: shared atomic cursor, chunked claims, writer thread.
+    Dynamic,
+    /// Round-robin stripes (`i % workers`), one shared result mutex.
+    Static,
+}
+
+impl Scheduler {
+    fn label(self) -> &'static str {
+        match self {
+            Scheduler::Dynamic => "dynamic",
+            Scheduler::Static => "static",
+        }
+    }
+}
+
+struct Row {
+    scheduler: Scheduler,
+    workers: usize,
+    wall: Duration,
+    speedup: f64,
+}
+
+fn run_once(campaign: &Campaign, workers: usize, scheduler: Scheduler) -> (Duration, usize) {
     let w = workload("sort16");
+    let factory = move || {
+        Box::new(ThorTarget::new("thor-card", w.clone())) as Box<dyn goofi_core::TargetSystemInterface>
+    };
+    let t0 = Instant::now();
+    let result = match scheduler {
+        Scheduler::Dynamic => run_campaign_parallel(factory, campaign, workers, None, None),
+        Scheduler::Static => run_campaign_parallel_static(factory, campaign, workers, None),
+    }
+    .expect("campaign runs");
+    (t0.elapsed(), result.runs.len())
+}
+
+fn measure() -> Vec<Row> {
+    let campaign = scifi_campaign("e8", "sort16", 200, 2500);
+    let mut rows = Vec::new();
     let mut base = None;
     for workers in [1usize, 2, 4, 8] {
-        let w = w.clone();
-        let t0 = std::time::Instant::now();
-        let result = run_campaign_parallel(
-            move || Box::new(ThorTarget::new("thor-card", w.clone())),
-            &campaign,
+        let (wall, _) = run_once(&campaign, workers, Scheduler::Dynamic);
+        let base_wall = *base.get_or_insert(wall);
+        rows.push(Row {
+            scheduler: Scheduler::Dynamic,
             workers,
-            None,
-        )
-        .expect("campaign runs");
-        let dt = t0.elapsed();
-        let speedup = match base {
-            None => {
-                base = Some(dt);
-                1.0
-            }
-            Some(b) => b.as_secs_f64() / dt.as_secs_f64(),
-        };
+            wall,
+            speedup: base_wall.as_secs_f64() / wall.as_secs_f64(),
+        });
+    }
+    // The ablation rows: same worker counts, old round-robin scheduler.
+    let base_wall = rows[0].wall;
+    for workers in [2usize, 4] {
+        let (wall, _) = run_once(&campaign, workers, Scheduler::Static);
+        rows.push(Row {
+            scheduler: Scheduler::Static,
+            workers,
+            wall,
+            speedup: base_wall.as_secs_f64() / wall.as_secs_f64(),
+        });
+    }
+    rows
+}
+
+fn print_table(rows: &[Row], cores: usize) {
+    println!("\n=== E8: runner scaling (sort16, 200 experiments, {cores} host core(s)) ===");
+    println!("(speedup is over the sequential baseline and bounded by host cores)");
+    for row in rows {
         println!(
-            "{workers} worker(s): {dt:>10.3?}  speedup {speedup:>5.2}x  ({} experiments)",
-            result.runs.len()
+            "{:>7} scheduler, {} worker(s): {:>10.3?}  speedup {:>5.2}x",
+            row.scheduler.label(),
+            row.workers,
+            row.wall,
+            row.speedup
         );
     }
 }
 
+/// Hand-formatted JSON (the bench crate deliberately has no serde dep).
+fn write_json(rows: &[Row], cores: usize) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e8_runner_scaling\",\n");
+    out.push_str("  \"campaign\": {\"workload\": \"sort16\", \"experiments\": 200, \"window\": 2500},\n");
+    out.push_str(&format!("  \"host_cores\": {cores},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scheduler\": \"{}\", \"workers\": {}, \"wall_s\": {:.6}, \"speedup\": {:.3}}}{}\n",
+            row.scheduler.label(),
+            row.workers,
+            row.wall.as_secs_f64(),
+            row.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e8.json");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn bench(c: &mut Criterion) {
-    print_table();
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rows = measure();
+    print_table(&rows, cores);
+    write_json(&rows, cores);
+
+    // Criterion samples on a smaller campaign: dynamic vs static head-on.
     let mut group = c.benchmark_group("e8");
     group.sample_size(10);
     for workers in [1usize, 4] {
         let campaign = scifi_campaign("e8-b", "sort16", 64, 2500);
-        let w = workload("sort16");
-        group.bench_function(format!("campaign64_workers{workers}"), |b| {
-            b.iter(|| {
-                let w = w.clone();
-                run_campaign_parallel(
-                    move || Box::new(ThorTarget::new("thor-card", w.clone())),
-                    &campaign,
-                    workers,
-                    None,
-                )
-                .expect("campaign runs")
-            })
+        group.bench_function(format!("campaign64_dynamic_workers{workers}"), |b| {
+            b.iter(|| run_once(&campaign, workers, Scheduler::Dynamic))
+        });
+    }
+    {
+        let campaign = scifi_campaign("e8-b", "sort16", 64, 2500);
+        group.bench_function("campaign64_static_workers4", |b| {
+            b.iter(|| run_once(&campaign, 4, Scheduler::Static))
         });
     }
     group.finish();

@@ -20,8 +20,8 @@ mod args;
 
 use args::{parse, ParsedArgs};
 use goofi_core::{
-    analyze_campaign, control_channel, run_campaign, Campaign, FaultModel, GoofiStore,
-    LocationSelector, LogMode, ProgressEvent, Technique, TargetSystemInterface,
+    analyze_campaign, control_channel, run_campaign, Campaign, ControlHandle, FaultModel,
+    GoofiStore, LocationSelector, LogMode, ProgressEvent, Technique, TargetSystemInterface,
 };
 use goofi_envsim::{DcMotorEnv, SCALE};
 use goofi_targets::ThorTarget;
@@ -41,7 +41,7 @@ USAGE:
                   [--experiments N] [--window START:END] [--seed N]
                   [--detail] [--preinject]
   goofi run       --db FILE --campaign NAME [--workers N]
-  goofi resume    --db FILE --campaign NAME
+  goofi resume    --db FILE --campaign NAME [--workers N]
   goofi analyze   --db FILE --campaign NAME
   goofi report    --db FILE --campaign NAME [--lambda L] [--mission HOURS]
   goofi locations --db FILE --target NAME [--chain CHAIN]
@@ -202,40 +202,10 @@ fn parse_u32(s: &str) -> Result<u32, String> {
     }
 }
 
-/// Fault-injection phase with the Fig. 7 progress line.
-fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
-    let db = p.require("db")?;
-    let name = p.require("campaign")?;
-    let mut store = load_store(db)?;
-    let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
-    let workers = p.int_or("workers", 1)? as usize;
-    if workers > 1 {
-        // Parallel runner: no live progress, rows logged on completion.
-        let target_name = campaign.target.clone();
-        let workload_name = campaign.workload.clone();
-        let result = goofi_core::run_campaign_parallel(
-            move || {
-                Box::new(
-                    make_target(&target_name, &workload_name)
-                        .expect("campaign validated against known workloads"),
-                )
-            },
-            &campaign,
-            workers,
-            Some(&mut store),
-        )
-        .map_err(|e| e.to_string())?;
-        store.save(db).map_err(|e| e.to_string())?;
-        return Ok(format!(
-            "{}pruned by pre-injection analysis: {} ({} workers)\n",
-            result.stats.report(),
-            result.pruned(),
-            workers
-        ));
-    }
-    let mut target = make_target(&campaign.target, &campaign.workload)?;
-    let (controller, handle) = control_channel();
-    let reporter = std::thread::spawn(move || {
+/// The Fig. 7 progress window as a log line consumer: runs until the
+/// campaign's controller is dropped.
+fn spawn_reporter(handle: ControlHandle) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
         while let Some(ev) = handle.next() {
             match ev {
                 ProgressEvent::Started { campaign, total } => {
@@ -257,29 +227,93 @@ fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
                 _ => {}
             }
         }
-    });
-    let result = run_campaign(&mut target, &campaign, Some(&mut store), Some(&controller))
-        .map_err(|e| e.to_string())?;
+    })
+}
+
+/// A factory for identical targets, for the work-stealing parallel runner.
+fn target_factory(
+    campaign: &Campaign,
+) -> impl Fn() -> Box<dyn TargetSystemInterface> + Sync {
+    let target_name = campaign.target.clone();
+    let workload_name = campaign.workload.clone();
+    move || {
+        Box::new(
+            make_target(&target_name, &workload_name)
+                .expect("campaign validated against known workloads"),
+        )
+    }
+}
+
+/// Fault-injection phase with the Fig. 7 progress line. Experiment rows
+/// stream into a WAL-style journal beside the database as they finish, so
+/// an interrupted campaign loses nothing and `goofi resume` picks up at
+/// the exact experiment where the run died.
+fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let name = p.require("campaign")?;
+    let mut store = load_store(db)?;
+    let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
+    let workers = p.int_or("workers", 1)? as usize;
+    store.enable_journal(db).map_err(|e| e.to_string())?;
+    let (controller, handle) = control_channel();
+    let reporter = spawn_reporter(handle);
+    let result = if workers > 1 {
+        goofi_core::run_campaign_parallel(
+            target_factory(&campaign),
+            &campaign,
+            workers,
+            Some(&mut store),
+            Some(&controller),
+        )
+    } else {
+        let mut target = make_target(&campaign.target, &campaign.workload)?;
+        run_campaign(&mut target, &campaign, Some(&mut store), Some(&controller))
+    }
+    .map_err(|e| e.to_string())?;
     drop(controller);
     let _ = reporter.join();
+    // Snapshot the full database; this supersedes (and empties) the journal.
     store.save(db).map_err(|e| e.to_string())?;
+    let worker_note = if workers > 1 {
+        format!(" ({workers} workers)")
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "{}pruned by pre-injection analysis: {}\n",
+        "{}pruned by pre-injection analysis: {}{}\n",
         result.stats.report(),
-        result.pruned()
+        result.pruned(),
+        worker_note
     ))
 }
 
 /// Resumes an interrupted campaign: stored experiments are reused, the
-/// missing ones run (the progress window's "restart").
+/// missing ones run (the progress window's "restart") — in parallel when
+/// `--workers` says so, exactly like `goofi run`.
 fn cmd_resume(p: &ParsedArgs) -> Result<String, String> {
     let db = p.require("db")?;
     let name = p.require("campaign")?;
     let mut store = load_store(db)?;
     let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
-    let mut target = make_target(&campaign.target, &campaign.workload)?;
-    let result = goofi_core::resume_campaign(&mut target, &campaign, &mut store, None)
-        .map_err(|e| e.to_string())?;
+    let workers = p.int_or("workers", 1)? as usize;
+    store.enable_journal(db).map_err(|e| e.to_string())?;
+    let (controller, handle) = control_channel();
+    let reporter = spawn_reporter(handle);
+    let result = if workers > 1 {
+        goofi_core::resume_campaign_parallel(
+            target_factory(&campaign),
+            &campaign,
+            workers,
+            &mut store,
+            Some(&controller),
+        )
+    } else {
+        let mut target = make_target(&campaign.target, &campaign.workload)?;
+        goofi_core::resume_campaign(&mut target, &campaign, &mut store, Some(&controller))
+    }
+    .map_err(|e| e.to_string())?;
+    drop(controller);
+    let _ = reporter.join();
     store.save(db).map_err(|e| e.to_string())?;
     Ok(format!(
         "campaign `{name}` complete: {} experiments\n{}",

@@ -75,7 +75,10 @@ pub use dependability::{
 pub use preinject::{FirstUse, LivenessAnalysis};
 pub use propagation::{analyze_propagation, PropagationReport, PropagationStep};
 pub use progress::{control_channel, Command, ControlHandle, Controller, ProgressEvent};
-pub use runner::{resume_campaign, run_campaign, run_campaign_parallel, CampaignResult};
+pub use runner::{
+    resume_campaign, resume_campaign_parallel, run_campaign, run_campaign_parallel,
+    run_campaign_parallel_static, CampaignResult,
+};
 pub use store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
 pub use target::{
     MemoryRole,

@@ -89,6 +89,13 @@ impl Controller {
         let _ = self.progress.send(event);
     }
 
+    /// The raw command receiver, for runners that multiplex commands with
+    /// other channels (the parallel runner's writer thread `select!`s over
+    /// commands and finished experiments).
+    pub(crate) fn command_receiver(&self) -> &Receiver<Command> {
+        &self.commands
+    }
+
     /// Experiment-boundary checkpoint: applies pending commands. Blocks
     /// while paused.
     ///
@@ -122,11 +129,9 @@ impl Controller {
                         self.emit(ProgressEvent::Resumed);
                     }
                 }
-                None => {
-                    if !paused {
-                        return Ok(());
-                    }
-                }
+                // No pending command while running, or the operator handle
+                // vanished while paused: carry on with the campaign.
+                None => return Ok(()),
             }
         }
     }
@@ -211,6 +216,15 @@ mod tests {
         handle.send(Command::Pause);
         handle.send(Command::Stop);
         assert!(matches!(ctl.checkpoint(), Err(GoofiError::Stopped)));
+    }
+
+    #[test]
+    fn handle_dropped_while_paused_resumes() {
+        let (ctl, handle) = control_channel();
+        handle.send(Command::Pause);
+        drop(handle);
+        // Must not spin or deadlock: a vanished operator implies resume.
+        assert!(ctl.checkpoint().is_ok());
     }
 
     #[test]

@@ -5,7 +5,12 @@
 //! `LoggedSystemState` and reporting progress to the Fig. 7 window
 //! equivalent. [`run_campaign_parallel`] is our orchestration ablation
 //! (experiment E8): experiments are independent, so workers each drive
-//! their own target instance.
+//! their own target instance, claiming work dynamically off a shared
+//! atomic cursor while a dedicated writer thread streams finished rows to
+//! the store and services the Fig. 7 controls; [`resume_campaign_parallel`]
+//! restarts an interrupted campaign across the same worker pool.
+//! [`run_campaign_parallel_static`] preserves the old round-robin
+//! scheduler as the E8 comparison baseline.
 
 use crate::algorithm::{reference_run, run_experiment, ExperimentRun};
 use crate::analysis::CampaignStats;
@@ -13,7 +18,7 @@ use crate::campaign::Campaign;
 use crate::error::{GoofiError, Result};
 use crate::fault::{generate_fault_list, PlannedFault, TriggerPolicy};
 use crate::preinject::LivenessAnalysis;
-use crate::progress::{Controller, ProgressEvent};
+use crate::progress::{Command, Controller, ProgressEvent};
 use crate::store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
 use crate::target::TargetSystemInterface;
 
@@ -291,17 +296,585 @@ pub fn resume_campaign(
     })
 }
 
-/// Runs a campaign with `workers` parallel targets created by `factory`.
-/// Experiments are distributed round-robin; results come back in
-/// fault-list order, so the outcome is identical to the sequential runner
-/// (targets are deterministic simulators). When `store` is provided, the
-/// reference and all experiments are logged after completion, in
-/// fault-list order (identical rows to the sequential runner's).
+// ----------------------------------------------------------------------
+// Work-stealing parallel runner
+// ----------------------------------------------------------------------
+
+/// Worker/writer pause-stop gate: workers ask for admission before every
+/// experiment; the writer thread translates operator [`Command`]s into
+/// state changes. Stop is terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateState {
+    Running,
+    Paused,
+    Stopped,
+}
+
+#[derive(Debug)]
+struct Gate {
+    state: parking_lot::Mutex<GateState>,
+    cv: parking_lot::Condvar,
+}
+
+impl Gate {
+    fn new() -> Gate {
+        Gate {
+            state: parking_lot::Mutex::new(GateState::Running),
+            cv: parking_lot::Condvar::new(),
+        }
+    }
+
+    /// Blocks while paused; `false` once the campaign is stopped.
+    fn admit(&self) -> bool {
+        let mut state = self.state.lock();
+        loop {
+            match *state {
+                GateState::Running => return true,
+                GateState::Stopped => return false,
+                GateState::Paused => {
+                    self.cv.wait(&mut state);
+                }
+            }
+        }
+    }
+
+    fn set(&self, new: GateState) {
+        let mut state = self.state.lock();
+        if *state != GateState::Stopped {
+            *state = new;
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// One finished experiment travelling from a worker (or the pruning
+/// pre-pass) to the writer thread.
+struct FinishedExperiment {
+    index: usize,
+    pruned: bool,
+    /// Present only when a store is attached (built by the worker, so
+    /// record serialisation cost is spread across threads too).
+    record: Option<ExperimentRecord>,
+}
+
+struct WriterOutcome {
+    completed: usize,
+    stopped: bool,
+    error: Option<GoofiError>,
+}
+
+/// Commands already pending when the campaign starts, applied on the main
+/// thread *before* any worker spawns so that stop/pause-before-start is
+/// deterministic (matching the sequential runner) instead of racing the
+/// first experiments.
+struct PreCommands {
+    paused: bool,
+    stopped: bool,
+}
+
+fn drain_pre_commands(controller: Option<&Controller>) -> PreCommands {
+    let mut pre = PreCommands {
+        paused: false,
+        stopped: false,
+    };
+    if let Some(ctl) = controller {
+        while let Ok(cmd) = ctl.command_receiver().try_recv() {
+            match cmd {
+                Command::Pause => {
+                    if !pre.paused {
+                        pre.paused = true;
+                        ctl.emit(ProgressEvent::Paused);
+                    }
+                }
+                Command::Resume => {
+                    if pre.paused {
+                        pre.paused = false;
+                        ctl.emit(ProgressEvent::Resumed);
+                    }
+                }
+                Command::Stop => pre.stopped = true,
+            }
+        }
+    }
+    pre
+}
+
+/// The writer thread: single consumer of finished experiments. Streams
+/// records to the store in fault-list order (reorder buffer), emits
+/// progress events, and applies operator commands to the worker gate.
+#[allow(clippy::too_many_arguments)]
+fn writer_loop(
+    rx: crossbeam::channel::Receiver<FinishedExperiment>,
+    mut store: Option<&mut GoofiStore>,
+    controller: Option<&Controller>,
+    gate: &Gate,
+    abort: &std::sync::atomic::AtomicBool,
+    total: usize,
+    expected: &[bool],
+    log_reference: bool,
+    campaign: &Campaign,
+    reference: &ExperimentRun,
+    pre: &PreCommands,
+) -> WriterOutcome {
+    use std::sync::atomic::Ordering;
+
+    let mut out = WriterOutcome {
+        completed: 0,
+        stopped: pre.stopped,
+        error: None,
+    };
+    if log_reference {
+        if let Some(store) = store.as_deref_mut() {
+            if let Err(e) = store.log_experiment(&record_of(
+                campaign,
+                reference_experiment_name(&campaign.name),
+                reference,
+            )) {
+                out.error = Some(e);
+                abort.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // Reorder buffer: stream rows in fault-list order so a parallel
+    // campaign's database is byte-identical to a sequential one's.
+    let mut pending: std::collections::BTreeMap<usize, ExperimentRecord> =
+        std::collections::BTreeMap::new();
+    let mut next = 0usize;
+    let skip_unexpected = |next: &mut usize| {
+        while *next < expected.len() && !expected[*next] {
+            *next += 1;
+        }
+    };
+    skip_unexpected(&mut next);
+
+    let never = crossbeam::channel::never::<Command>();
+    let mut commands = controller
+        .map(|c| c.command_receiver().clone())
+        .unwrap_or_else(|| never.clone());
+    let mut paused = pre.paused;
+
+    loop {
+        crossbeam::channel::select! {
+            recv(rx) -> msg => match msg {
+                Ok(m) => {
+                    out.completed += 1;
+                    if let Some(ctl) = controller {
+                        ctl.emit(ProgressEvent::ExperimentDone {
+                            completed: out.completed,
+                            total,
+                            pruned: m.pruned,
+                        });
+                    }
+                    if out.error.is_none() {
+                        if let (Some(store), Some(record)) = (store.as_deref_mut(), m.record) {
+                            pending.insert(m.index, record);
+                            while let Some(record) = pending.remove(&next) {
+                                if let Err(e) = store.log_experiment(&record) {
+                                    out.error = Some(e);
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                next += 1;
+                                skip_unexpected(&mut next);
+                            }
+                        }
+                    }
+                }
+                // All workers (and the pruning pre-pass) are done.
+                Err(_) => break,
+            },
+            recv(commands) -> cmd => match cmd {
+                Ok(Command::Pause) => {
+                    if !paused {
+                        paused = true;
+                        gate.set(GateState::Paused);
+                        if let Some(ctl) = controller {
+                            ctl.emit(ProgressEvent::Paused);
+                        }
+                    }
+                }
+                Ok(Command::Resume) => {
+                    if paused {
+                        paused = false;
+                        gate.set(GateState::Running);
+                        if let Some(ctl) = controller {
+                            ctl.emit(ProgressEvent::Resumed);
+                        }
+                    }
+                }
+                Ok(Command::Stop) => {
+                    out.stopped = true;
+                    gate.set(GateState::Stopped);
+                }
+                Err(_) => {
+                    // Operator handle vanished: a campaign must not stay
+                    // paused (or poll a dead channel) because its progress
+                    // window closed.
+                    if paused {
+                        paused = false;
+                        gate.set(GateState::Running);
+                    }
+                    commands = never.clone();
+                }
+            },
+        }
+    }
+
+    // A stop leaves gaps in the fault-index sequence; flush whatever
+    // arrived beyond a gap so no finished work is discarded (resume skips
+    // exactly the missing rows).
+    if out.error.is_none() {
+        if let Some(store) = store {
+            for record in pending.into_values() {
+                if let Err(e) = store.log_experiment(&record) {
+                    out.error = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The shared work-stealing engine behind [`run_campaign_parallel`] and
+/// [`resume_campaign_parallel`].
+///
+/// * `slots[i]` is `Some` for experiments already completed (resume); the
+///   engine fills in the rest and returns the merged vector.
+/// * Scheduling: a pruning pre-pass synthesises all prunable runs up
+///   front, so workers only ever claim real experiments off a shared
+///   atomic cursor (chunked claims amortise contention). Each worker
+///   buffers results locally; buffers are merged once after the join.
+/// * A writer thread streams finished records to the store in fault-list
+///   order, emits progress events, and honours pause/stop.
+#[allow(clippy::too_many_arguments)]
+fn parallel_engine<F>(
+    factory: &F,
+    campaign: &Campaign,
+    workers: usize,
+    store: Option<&mut GoofiStore>,
+    controller: Option<&Controller>,
+    faults: &[PlannedFault],
+    liveness: Option<&LivenessAnalysis>,
+    config: &crate::target::TargetSystemConfig,
+    reference: &ExperimentRun,
+    log_reference: bool,
+    mut slots: Vec<Option<ExperimentRun>>,
+) -> Result<(Vec<ExperimentRun>, bool)>
+where
+    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
+{
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+    let total = faults.len();
+    debug_assert_eq!(slots.len(), total);
+    if let Some(ctl) = controller {
+        ctl.emit(ProgressEvent::Started {
+            campaign: campaign.name.clone(),
+            total,
+        });
+    }
+
+    // Pruning pre-pass: decide prunability once, centrally, so the work
+    // queue contains only experiments that need a target.
+    let prunable: Vec<bool> = faults
+        .iter()
+        .map(|f| liveness.map(|l| l.can_prune(config, f)).unwrap_or(false))
+        .collect();
+    // `expected[i]`: a FinishedExperiment message will arrive for index i
+    // (false for rows preloaded from the store on resume).
+    let expected: Vec<bool> = slots.iter().map(Option::is_none).collect();
+    let worklist: Vec<usize> = (0..total)
+        .filter(|&i| expected[i] && !prunable[i])
+        .collect();
+    // Chunked claims: large enough to amortise cursor contention, small
+    // enough that a slow experiment cannot strand a long tail behind one
+    // worker.
+    let chunk = (worklist.len() / (workers * 4)).clamp(1, 32);
+
+    let gate = Gate::new();
+    // Apply commands that were queued before the campaign started, so a
+    // pre-sent Stop/Pause takes effect before the first claim.
+    let pre = drain_pre_commands(controller);
+    if pre.stopped {
+        gate.set(GateState::Stopped);
+    } else if pre.paused {
+        gate.set(GateState::Paused);
+    }
+    let abort = AtomicBool::new(false);
+    let cursor = AtomicUsize::new(0);
+    let store_attached = store.is_some();
+    let (tx, rx) = crossbeam::channel::unbounded::<FinishedExperiment>();
+
+    let (first_error, outcome) = std::thread::scope(|scope| {
+        let gate = &gate;
+        let abort = &abort;
+        let cursor = &cursor;
+        let worklist = &worklist;
+        let expected = &expected;
+        let pre = &pre;
+
+        let writer = scope.spawn(move || {
+            writer_loop(
+                rx, store, controller, gate, abort, total, expected, log_reference, campaign,
+                reference, pre,
+            )
+        });
+
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let tx = tx.clone();
+            handles.push(scope.spawn(move || -> Result<Vec<(usize, ExperimentRun)>> {
+                let mut target = factory();
+                let mut local: Vec<(usize, ExperimentRun)> = Vec::new();
+                'claims: while !abort.load(Ordering::Relaxed) && gate.admit() {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= worklist.len() {
+                        break;
+                    }
+                    let end = (start + chunk).min(worklist.len());
+                    for &i in &worklist[start..end] {
+                        if abort.load(Ordering::Relaxed) || !gate.admit() {
+                            break 'claims;
+                        }
+                        match run_experiment(target.as_mut(), campaign, &faults[i]) {
+                            Ok(run) => {
+                                let record = store_attached.then(|| {
+                                    record_of(
+                                        campaign,
+                                        experiment_name(&campaign.name, i),
+                                        &run,
+                                    )
+                                });
+                                let _ = tx.send(FinishedExperiment {
+                                    index: i,
+                                    pruned: false,
+                                    record,
+                                });
+                                local.push((i, run));
+                            }
+                            Err(e) => {
+                                abort.store(true, Ordering::Relaxed);
+                                return Err(e);
+                            }
+                        }
+                    }
+                }
+                Ok(local)
+            }));
+        }
+
+        // The pruning pre-pass runs on this thread, concurrently with the
+        // workers: prunable outcomes are reference clones, not target
+        // executions. A stop queued before the start skips it entirely,
+        // matching the sequential runner's zero-run stop.
+        for i in 0..total {
+            if pre.stopped {
+                break;
+            }
+            if expected[i] && prunable[i] {
+                let run = pruned_run(reference, &faults[i]);
+                let record = store_attached
+                    .then(|| record_of(campaign, experiment_name(&campaign.name, i), &run));
+                let _ = tx.send(FinishedExperiment {
+                    index: i,
+                    pruned: true,
+                    record,
+                });
+                slots[i] = Some(run);
+            }
+        }
+        drop(tx); // the writer exits once every producer is gone
+
+        let mut first_error: Option<GoofiError> = None;
+        for handle in handles {
+            match handle.join() {
+                Ok(Ok(local)) => {
+                    for (i, run) in local {
+                        slots[i] = Some(run);
+                    }
+                }
+                Ok(Err(e)) => {
+                    if first_error.is_none() {
+                        first_error = Some(e);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        let outcome = match writer.join() {
+            Ok(outcome) => outcome,
+            Err(panic) => std::panic::resume_unwind(panic),
+        };
+        (first_error, outcome)
+    });
+
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+    if let Some(e) = outcome.error {
+        return Err(e);
+    }
+
+    let runs: Vec<ExperimentRun> = if outcome.stopped {
+        // Completed subset, in fault-list order (gaps where the stop hit).
+        slots.into_iter().flatten().collect()
+    } else {
+        slots
+            .into_iter()
+            .map(|s| s.ok_or_else(|| GoofiError::Protocol("missing experiment result".into())))
+            .collect::<Result<_>>()?
+    };
+    if let Some(ctl) = controller {
+        ctl.emit(ProgressEvent::Finished {
+            completed: runs.len(),
+            stopped: outcome.stopped,
+        });
+    }
+    Ok((runs, outcome.stopped))
+}
+
+/// Runs a campaign with `workers` parallel targets created by `factory`,
+/// scheduled dynamically: workers claim chunks of experiment indices off a
+/// shared atomic cursor, so a slow experiment never stalls work that a
+/// round-robin stripe would have pinned behind it, and pre-injection
+/// pruning is resolved in a pre-pass so only real experiments are claimed.
+///
+/// Results are identical to [`run_campaign`] (targets are deterministic
+/// simulators): same runs, same stats, and — when `store` is given — the
+/// same rows in the same order, streamed by a dedicated writer thread as
+/// experiments finish rather than after the whole campaign.
+///
+/// `controller` works exactly as in the sequential runner: progress events
+/// are emitted live and pause/stop are honoured at experiment boundaries;
+/// a stopped campaign returns the completed subset, which
+/// [`resume_campaign_parallel`] can finish later.
 ///
 /// # Errors
 ///
 /// As [`run_campaign`]. The first worker error aborts the campaign.
 pub fn run_campaign_parallel<F>(
+    factory: F,
+    campaign: &Campaign,
+    workers: usize,
+    store: Option<&mut GoofiStore>,
+    controller: Option<&Controller>,
+) -> Result<CampaignResult>
+where
+    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
+{
+    if workers <= 1 {
+        let mut target = factory();
+        return run_campaign(target.as_mut(), campaign, store, controller);
+    }
+    // Prepare on a scratch target.
+    let mut scratch = factory();
+    let (faults, liveness) = prepare(scratch.as_mut(), campaign)?;
+    let config = scratch.describe();
+    let reference = reference_run(scratch.as_mut(), campaign)?;
+    drop(scratch);
+
+    let slots = vec![None; faults.len()];
+    let (runs, _stopped) = parallel_engine(
+        &factory,
+        campaign,
+        workers,
+        store,
+        controller,
+        &faults,
+        liveness.as_ref(),
+        &config,
+        &reference,
+        true,
+        slots,
+    )?;
+
+    let stats = CampaignStats::from_runs(&reference, &runs);
+    Ok(CampaignResult {
+        campaign: campaign.clone(),
+        reference,
+        runs,
+        stats,
+    })
+}
+
+/// Parallel counterpart of [`resume_campaign`]: rows already in the store
+/// are reused (no progress events, no re-logging), and only the missing
+/// experiments are scheduled across `workers` targets. Together with
+/// [`run_campaign_parallel`]'s streamed logging this makes stop/resume a
+/// first-class parallel workflow.
+///
+/// # Errors
+///
+/// As [`resume_campaign`].
+pub fn resume_campaign_parallel<F>(
+    factory: F,
+    campaign: &Campaign,
+    workers: usize,
+    store: &mut GoofiStore,
+    controller: Option<&Controller>,
+) -> Result<CampaignResult>
+where
+    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
+{
+    if workers <= 1 {
+        let mut target = factory();
+        return resume_campaign(target.as_mut(), campaign, store, controller);
+    }
+    let mut scratch = factory();
+    let (faults, liveness) = prepare(scratch.as_mut(), campaign)?;
+    let config = scratch.describe();
+    let ref_name = reference_experiment_name(&campaign.name);
+    let (reference, log_reference) = match store.get_experiment(&ref_name) {
+        Ok(record) => (record.to_run(), false),
+        Err(_) => (reference_run(scratch.as_mut(), campaign)?, true),
+    };
+    drop(scratch);
+
+    let slots: Vec<Option<ExperimentRun>> = (0..faults.len())
+        .map(|i| {
+            store
+                .get_experiment(&experiment_name(&campaign.name, i))
+                .ok()
+                .map(|record| record.to_run())
+        })
+        .collect();
+
+    let (runs, _stopped) = parallel_engine(
+        &factory,
+        campaign,
+        workers,
+        Some(store),
+        controller,
+        &faults,
+        liveness.as_ref(),
+        &config,
+        &reference,
+        log_reference,
+        slots,
+    )?;
+
+    let stats = CampaignStats::from_runs(&reference, &runs);
+    Ok(CampaignResult {
+        campaign: campaign.clone(),
+        reference,
+        runs,
+        stats,
+    })
+}
+
+/// The previous statically-scheduled parallel runner, kept as the E8
+/// baseline: experiments are sharded round-robin (`i % workers`), every
+/// result goes through one shared mutex, and — when `store` is given —
+/// rows are logged only after the whole campaign. Use
+/// [`run_campaign_parallel`] for real work; this exists so the
+/// static-vs-dynamic scheduling gap stays measurable across PRs.
+///
+/// # Errors
+///
+/// As [`run_campaign`]. The first worker error aborts the campaign.
+pub fn run_campaign_parallel_static<F>(
     factory: F,
     campaign: &Campaign,
     workers: usize,
@@ -704,7 +1277,8 @@ mod tests {
         let c = campaign(24, (0, 19));
         let mut t = MiniTarget::new();
         let seq = run_campaign(&mut t, &c, None, None).unwrap();
-        let par = run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 4, None).unwrap();
+        let par =
+            run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 4, None, None).unwrap();
         assert_eq!(seq.stats, par.stats);
         assert_eq!(seq.runs.len(), par.runs.len());
         for (a, b) in seq.runs.iter().zip(&par.runs) {
@@ -714,30 +1288,223 @@ mod tests {
     }
 
     #[test]
+    fn static_parallel_runner_matches_sequential() {
+        let c = campaign(24, (0, 19));
+        let mut t = MiniTarget::new();
+        let seq = run_campaign(&mut t, &c, None, None).unwrap();
+        let par = run_campaign_parallel_static(|| Box::new(MiniTarget::new()), &c, 4, None)
+            .unwrap();
+        assert_eq!(seq.stats, par.stats);
+        assert_eq!(seq.runs.len(), par.runs.len());
+    }
+
+    fn store_for(c: &Campaign) -> GoofiStore {
+        let mut store = GoofiStore::new();
+        store.put_target(&MiniTarget::new().describe()).unwrap();
+        store.put_campaign(c).unwrap();
+        store
+    }
+
+    #[test]
     fn parallel_runner_logs_identical_rows() {
         let c = campaign(8, (0, 19));
         // Sequential with store.
-        let mut seq_store = GoofiStore::new();
+        let mut seq_store = store_for(&c);
         let mut t = MiniTarget::new();
-        seq_store.put_target(&t.describe()).unwrap();
-        seq_store.put_campaign(&c).unwrap();
         run_campaign(&mut t, &c, Some(&mut seq_store), None).unwrap();
-        // Parallel with store.
-        let mut par_store = GoofiStore::new();
-        par_store
-            .put_target(&MiniTarget::new().describe())
-            .unwrap();
-        par_store.put_campaign(&c).unwrap();
+        // Parallel with store (streamed by the writer thread).
+        let mut par_store = store_for(&c);
         run_campaign_parallel(
             || Box::new(MiniTarget::new()),
             &c,
             3,
             Some(&mut par_store),
+            None,
         )
         .unwrap();
         let a = seq_store.experiments_of(&c.name).unwrap();
         let b = par_store.experiments_of(&c.name).unwrap();
         assert_eq!(a, b, "row-identical logging");
+        // The writer's reorder buffer streams rows in fault-list order, so
+        // even the raw database files are byte-identical.
+        assert_eq!(
+            seq_store.database().to_json().unwrap(),
+            par_store.database().to_json().unwrap(),
+            "byte-identical database"
+        );
+    }
+
+    #[test]
+    fn parallel_runner_with_pruning_matches_sequential() {
+        // Window [6,9] is entirely dead: the pre-pass must synthesise all
+        // runs without any worker claiming them.
+        let mut c = campaign(20, (6, 9));
+        c.pre_injection_analysis = true;
+        let mut t = MiniTarget::new();
+        let seq = run_campaign(&mut t, &c, None, None).unwrap();
+        let par =
+            run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 4, None, None).unwrap();
+        assert_eq!(par.pruned(), 20);
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    #[test]
+    fn parallel_runner_emits_live_progress() {
+        let c = campaign(9, (0, 19));
+        let (ctl, handle) = control_channel();
+        run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 3, None, Some(&ctl))
+            .unwrap();
+        let events = handle.drain();
+        assert!(matches!(
+            events.first(),
+            Some(ProgressEvent::Started { total: 9, .. })
+        ));
+        let done: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                ProgressEvent::ExperimentDone { completed, .. } => Some(*completed),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done, (1..=9).collect::<Vec<_>>(), "monotone completion counter");
+        assert!(matches!(
+            events.last(),
+            Some(ProgressEvent::Finished {
+                completed: 9,
+                stopped: false
+            })
+        ));
+    }
+
+    #[test]
+    fn parallel_stop_before_start_then_parallel_resume_completes() {
+        let c = campaign(40, (0, 19));
+        let mut t = MiniTarget::new();
+        let full = run_campaign(&mut t, &c, None, None).unwrap();
+
+        // Stop queued before the start: like the sequential runner, the
+        // campaign runs zero experiments (the reference is still logged).
+        let mut store = store_for(&c);
+        let (ctl, handle) = control_channel();
+        handle.send(Command::Stop);
+        let stopped = run_campaign_parallel(
+            || Box::new(MiniTarget::new()),
+            &c,
+            4,
+            Some(&mut store),
+            Some(&ctl),
+        )
+        .unwrap();
+        assert!(stopped.runs.is_empty());
+        assert_eq!(store.experiments_of(&c.name).unwrap().len(), 1);
+        let events = handle.drain();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ProgressEvent::Finished { stopped: true, .. })));
+
+        // Parallel resume finishes the campaign; totals match a full run.
+        let resumed = resume_campaign_parallel(
+            || Box::new(MiniTarget::new()),
+            &c,
+            4,
+            &mut store,
+            None,
+        )
+        .unwrap();
+        assert_eq!(resumed.runs.len(), 40);
+        assert_eq!(resumed.stats, full.stats);
+        assert_eq!(store.experiments_of(&c.name).unwrap().len(), 41);
+
+        // Resuming again is a pure replay.
+        let again = resume_campaign_parallel(
+            || Box::new(MiniTarget::new()),
+            &c,
+            4,
+            &mut store,
+            None,
+        )
+        .unwrap();
+        assert_eq!(again.stats, full.stats);
+    }
+
+    #[test]
+    fn parallel_mid_campaign_stop_keeps_finished_work() {
+        // Stop from a live operator thread once a few experiments are
+        // done. Timing decides how many complete, but never the outcome:
+        // everything logged before the stop survives, and resume fills in
+        // exactly the gaps.
+        let c = campaign(60, (0, 19));
+        let mut t = MiniTarget::new();
+        let full = run_campaign(&mut t, &c, None, None).unwrap();
+
+        let mut store = store_for(&c);
+        let (ctl, handle) = control_channel();
+        let operator = std::thread::spawn(move || {
+            let mut seen = 0;
+            while let Some(ev) = handle.next() {
+                if matches!(ev, ProgressEvent::ExperimentDone { .. }) {
+                    seen += 1;
+                    if seen == 5 {
+                        handle.send(Command::Stop);
+                    }
+                }
+                if matches!(ev, ProgressEvent::Finished { .. }) {
+                    break;
+                }
+            }
+        });
+        let stopped = run_campaign_parallel(
+            || Box::new(MiniTarget::new()),
+            &c,
+            4,
+            Some(&mut store),
+            Some(&ctl),
+        )
+        .unwrap();
+        drop(ctl);
+        operator.join().unwrap();
+        // Logged rows = completed runs + reference, whatever the timing.
+        assert_eq!(
+            store.experiments_of(&c.name).unwrap().len(),
+            stopped.runs.len() + 1
+        );
+
+        let resumed = resume_campaign_parallel(
+            || Box::new(MiniTarget::new()),
+            &c,
+            4,
+            &mut store,
+            None,
+        )
+        .unwrap();
+        assert_eq!(resumed.runs.len(), 60);
+        assert_eq!(resumed.stats, full.stats);
+        assert_eq!(store.experiments_of(&c.name).unwrap().len(), 61);
+    }
+
+    #[test]
+    fn parallel_pause_blocks_and_resume_releases() {
+        let c = campaign(30, (0, 19));
+        let (ctl, handle) = control_channel();
+        handle.send(Command::Pause);
+        let worker = std::thread::spawn(move || {
+            run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 2, None, Some(&ctl))
+                .unwrap()
+        });
+        // Wait for the pause acknowledgement, let the pool sit, resume.
+        loop {
+            match handle.next() {
+                Some(ProgressEvent::Paused) => break,
+                Some(_) => continue,
+                None => panic!("campaign ended without acknowledging pause"),
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        handle.send(Command::Resume);
+        let result = worker.join().unwrap();
+        assert_eq!(result.runs.len(), 30);
+        let events = handle.drain();
+        assert!(events.contains(&ProgressEvent::Resumed));
     }
 
     #[test]
@@ -779,7 +1546,8 @@ mod tests {
     #[test]
     fn parallel_with_one_worker_falls_back() {
         let c = campaign(4, (0, 19));
-        let par = run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 1, None).unwrap();
+        let par =
+            run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 1, None, None).unwrap();
         assert_eq!(par.runs.len(), 4);
     }
 }

@@ -10,7 +10,7 @@ use crate::campaign::Campaign;
 use crate::error::{GoofiError, Result};
 use crate::fault::PlannedFault;
 use crate::target::{TargetEvent, TargetSystemConfig};
-use goofi_db::{Column, Database, Expr, Insert, Select, TableSchema, Value, ValueType};
+use goofi_db::{Column, Database, Expr, Insert, Journal, Select, TableSchema, Value, ValueType};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -84,6 +84,10 @@ pub fn reference_experiment_name(campaign: &str) -> String {
 #[derive(Debug, Default)]
 pub struct GoofiStore {
     db: Database,
+    /// Streaming-persistence sidecar: when enabled, every logged experiment
+    /// row is also appended to the on-disk journal, so a crash mid-campaign
+    /// loses at most the in-flight experiment (see `goofi_db::Journal`).
+    journal: Option<Journal>,
 }
 
 impl GoofiStore {
@@ -138,7 +142,7 @@ impl GoofiStore {
             .expect("static schema"),
         )
         .expect("fresh database");
-        GoofiStore { db }
+        GoofiStore { db, journal: None }
     }
 
     /// Direct access to the database, for the analysis phase's "tailor made
@@ -152,17 +156,24 @@ impl GoofiStore {
         &mut self.db
     }
 
-    /// Persists the store to a file.
+    /// Persists the store to a file: an atomic full snapshot. Any enabled
+    /// [journal](GoofiStore::enable_journal) is truncated afterwards — the
+    /// snapshot has captured its rows.
     ///
     /// # Errors
     ///
     /// [`GoofiError::Database`] on I/O failure.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+    pub fn save(&mut self, path: impl AsRef<Path>) -> Result<()> {
         self.db.save(path)?;
+        if let Some(journal) = self.journal.as_mut() {
+            journal.truncate()?;
+        }
         Ok(())
     }
 
-    /// Loads a store from a file written by [`GoofiStore::save`].
+    /// Loads a store from a file written by [`GoofiStore::save`], replaying
+    /// the sidecar journal (experiments logged after the last snapshot)
+    /// when one exists.
     ///
     /// # Errors
     ///
@@ -172,7 +183,27 @@ impl GoofiStore {
         for table in ["TargetSystemData", "CampaignData", "LoggedSystemState"] {
             db.table(table)?;
         }
-        Ok(GoofiStore { db })
+        Ok(GoofiStore { db, journal: None })
+    }
+
+    /// Turns on streaming persistence: every subsequent
+    /// [`GoofiStore::log_experiment`] is appended to `<db_path>.journal`
+    /// (one JSON line, flushed) in addition to the in-memory insert. With
+    /// the journal enabled, a checkpointed campaign writes O(rows) bytes
+    /// total instead of one full snapshot per experiment, and a crashed
+    /// campaign is recovered by [`GoofiStore::load`] + resume.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`] if the journal file cannot be opened.
+    pub fn enable_journal(&mut self, db_path: impl AsRef<Path>) -> Result<()> {
+        self.journal = Some(Journal::open(db_path)?);
+        Ok(())
+    }
+
+    /// Whether streaming persistence is enabled.
+    pub fn journaling(&self) -> bool {
+        self.journal.is_some()
     }
 
     // ------------------------------------------------------------------
@@ -331,20 +362,22 @@ impl GoofiStore {
     pub fn log_experiment(&mut self, record: &ExperimentRecord) -> Result<()> {
         let data = serde_json::to_string(&record.data)
             .map_err(|e| GoofiError::Protocol(format!("experiment serialisation failed: {e}")))?;
-        self.db.insert(Insert::into(
-            "LoggedSystemState",
-            vec![
-                record.name.as_str().into(),
-                record
-                    .parent
-                    .as_deref()
-                    .map(Value::from)
-                    .unwrap_or(Value::Null),
-                record.campaign.as_str().into(),
-                data.into(),
-                record.state_vector.clone().into(),
-            ],
-        ))?;
+        let row = vec![
+            record.name.as_str().into(),
+            record
+                .parent
+                .as_deref()
+                .map(Value::from)
+                .unwrap_or(Value::Null),
+            record.campaign.as_str().into(),
+            data.into(),
+            record.state_vector.clone().into(),
+        ];
+        self.db
+            .insert(Insert::into("LoggedSystemState", row.clone()))?;
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append("LoggedSystemState", &row)?;
+        }
         Ok(())
     }
 

@@ -50,6 +50,7 @@ mod value;
 pub use database::Database;
 pub use error::DbError;
 pub use expr::{BinOp, Expr};
+pub use persist::{journal_path, Journal};
 pub use query::{AggFunc, Delete, Insert, Join, ResultSet, Select, SelectItem, SortOrder, Update};
 pub use schema::{Column, ForeignKey, TableSchema};
 pub use sql::SqlOutput;

@@ -1,0 +1,23 @@
+# GOOFI-rs task runner. `just` with no arguments runs the tier-1 gate.
+
+# Build everything and run the full test suite (the CI gate).
+default: build test
+
+# Release build of every workspace target (libs, bins, tests, benches).
+build:
+    cargo build --release --workspace --all-targets
+
+# Full test suite, quiet output.
+test:
+    cargo test -q --workspace
+
+# Lint gate: clippy must be warning-free across all targets.
+lint:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+# Everything CI runs, in CI's order.
+ci: build test lint
+
+# E8 orchestration ablation; refreshes BENCH_e8.json at the repo root.
+bench-e8:
+    cargo bench -p goofi-bench --bench e8_runner_scaling

@@ -1,0 +1,324 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the subset of `crossbeam::channel` this workspace uses:
+//! unbounded mpmc channels ([`channel::unbounded`]), [`channel::never`],
+//! and a [`select!`] macro limited to one or two `recv(..) -> ..` arms
+//! (polling-based). See `vendor/README.md` for why these stubs exist.
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        cv: Condvar,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloneable (messages go to whichever receiver
+    /// takes them first).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    /// Carries the unsent message like crossbeam's.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty; senders still connected.
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cv: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// A channel that never delivers and never disconnects — the identity
+    /// element for [`select!`].
+    pub fn never<T>() -> Receiver<T> {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                // A phantom sender keeps the channel "connected" forever.
+                senders: 1,
+                receivers: 1,
+            }),
+            cv: Condvar::new(),
+        });
+        Receiver { shared }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.state.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                self.shared.cv.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.state.lock().unwrap().receivers -= 1;
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `msg`; fails only when every receiver is gone.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.shared.cv.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().unwrap();
+            match state.queue.pop_front() {
+                Some(msg) => Ok(msg),
+                None if state.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Blocking receive; `Err` once the channel is empty and dead.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().unwrap();
+            loop {
+                if let Some(msg) = state.queue.pop_front() {
+                    return Ok(msg);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.cv.wait(state).unwrap();
+            }
+        }
+    }
+
+    /// Which arm of a two-channel select fired.
+    pub enum Sel2<A, B> {
+        /// First `recv` arm.
+        A(Result<A, RecvError>),
+        /// Second `recv` arm.
+        B(Result<B, RecvError>),
+    }
+
+    /// Polls two receivers until either yields a message or disconnects.
+    /// Backs the two-arm [`select!`] form; biased toward the first arm,
+    /// which crossbeam's randomized selection does not guarantee but
+    /// callers must tolerate anyway.
+    pub fn select2<A, B>(ra: &Receiver<A>, rb: &Receiver<B>) -> Sel2<A, B> {
+        loop {
+            match ra.try_recv() {
+                Ok(v) => return Sel2::A(Ok(v)),
+                Err(TryRecvError::Disconnected) => return Sel2::A(Err(RecvError)),
+                Err(TryRecvError::Empty) => {}
+            }
+            match rb.try_recv() {
+                Ok(v) => return Sel2::B(Ok(v)),
+                Err(TryRecvError::Disconnected) => return Sel2::B(Err(RecvError)),
+                Err(TryRecvError::Empty) => {}
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    /// Waits on one or two `recv(receiver) -> result => body` arms.
+    ///
+    /// Polling stand-in for crossbeam's `select!`: supports exactly the
+    /// forms this workspace uses. Bodies execute outside any hidden loop,
+    /// so `break`/`continue` inside them bind to the caller's loops.
+    #[macro_export]
+    macro_rules! select {
+        (recv($r:expr) -> $res:pat => $body:expr $(,)?) => {{
+            let $res = $crate::channel::Receiver::recv(&$r);
+            $body
+        }};
+        (
+            recv($r1:expr) -> $res1:pat => $body1:expr,
+            recv($r2:expr) -> $res2:pat => $body2:expr $(,)?
+        ) => {
+            match $crate::channel::select2(&$r1, &$r2) {
+                $crate::channel::Sel2::A(__sel_res) => {
+                    let $res1 = __sel_res;
+                    $body1
+                }
+                $crate::channel::Sel2::B(__sel_res) => {
+                    let $res2 = __sel_res;
+                    $body2
+                }
+            }
+        };
+    }
+
+    // `crossbeam::channel::select!` path form.
+    pub use crate::select;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{never, unbounded, TryRecvError};
+    use crate::select;
+    use std::thread;
+
+    #[test]
+    fn fifo_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn disconnect_semantics() {
+        let (tx, rx) = unbounded();
+        tx.send(9).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(9));
+        assert!(rx.recv().is_err());
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn never_stays_empty_and_connected() {
+        let rx = never::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        let rx2 = rx.clone();
+        assert_eq!(rx2.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn cross_thread_handoff() {
+        let (tx, rx) = unbounded();
+        let producer = thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        let mut got = Vec::new();
+        while let Ok(v) = rx.recv() {
+            got.push(v);
+        }
+        producer.join().unwrap();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn select_two_arms() {
+        let (tx, rx) = unbounded::<u8>();
+        let quiet = never::<u8>();
+        tx.send(5).unwrap();
+        let hit;
+        select! {
+            recv(rx) -> msg => { assert_eq!(msg, Ok(5)); hit = 1; },
+            recv(quiet) -> _msg => { hit = 2; },
+        }
+        assert_eq!(hit, 1);
+
+        // Break inside a select body must bind to the caller's loop.
+        drop(tx);
+        #[allow(clippy::never_loop)]
+        loop {
+            select! {
+                recv(rx) -> msg => { assert!(msg.is_err()); break; },
+                recv(quiet) -> _msg => { unreachable!(); },
+            }
+        }
+    }
+}

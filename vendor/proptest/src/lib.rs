@@ -1,0 +1,323 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Random-sampling property testing without shrinking: each `proptest!`
+//! test draws `PROPTEST_CASES` (default 64) deterministic samples from its
+//! strategies and fails with the offending inputs on the first violated
+//! property. Supports the strategy combinators this workspace uses:
+//! integer ranges, `any::<T>()`, `Just`, tuples, `prop_map`, `prop_oneof!`,
+//! `proptest::collection::{vec, hash_set}`, and string strategies from a
+//! small regex subset (`[class]{m,n}`-style). No shrinking: a failure
+//! reports the raw sample. See `vendor/README.md` for why these stubs
+//! exist.
+
+use std::fmt;
+
+pub mod strategy;
+
+/// Deterministic RNG handed to strategies.
+pub mod test_runner {
+    pub use rand::rngs::StdRng as TestRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Error raised by `prop_assert!` family inside a test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        /// Human-readable failure description.
+        pub message: String,
+    }
+
+    impl TestCaseError {
+        /// A failed property with the given explanation.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Per-test deterministic generator; seed varies per test name so
+    /// different properties explore different corners.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut hash = 0xcbf29ce484222325u64;
+        for b in test_name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+
+    /// Number of cases per property (`PROPTEST_CASES`, default 64).
+    pub fn case_count() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// Collection strategies (`proptest::collection::{vec, hash_set}`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification: an exact length or a range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.gen_range(self.lo..=self.hi_inclusive)
+        }
+    }
+
+    /// Strategy for `Vec<T>` with element strategy `S`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet<T>`; may under-fill when the element domain
+    /// is too small to reach the sampled size (no retry storm).
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `HashSet` aiming for `size` elements drawn from `element`.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut out = HashSet::new();
+            let mut attempts = 0;
+            while out.len() < target && attempts < target * 10 + 16 {
+                out.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Everything a test module needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias so `prop::collection::vec(..)` works like upstream.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Runs `PROPTEST_CASES` samples of a property; used by `proptest!`.
+#[doc(hidden)]
+pub fn run_cases<F>(test_name: &str, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng, u32) -> Result<(), CaseFailure>,
+{
+    let mut rng = test_runner::rng_for(test_name);
+    let cases = test_runner::case_count();
+    for index in 0..cases {
+        if let Err(failure) = case(&mut rng, index) {
+            panic!(
+                "property `{test_name}` failed at case {index}/{cases}: {}\n  inputs: {}",
+                failure.error, failure.inputs
+            );
+        }
+    }
+}
+
+/// A failed case: the assertion message plus the sampled inputs.
+#[doc(hidden)]
+pub struct CaseFailure {
+    /// What went wrong.
+    pub error: test_runner::TestCaseError,
+    /// Debug rendering of the sampled arguments.
+    pub inputs: String,
+}
+
+impl fmt::Debug for CaseFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CaseFailure({})", self.error)
+    }
+}
+
+/// Declares property tests: `proptest! { #[test] fn p(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_cases(stringify!($name), |__rng, __case| {
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                // Rendered before the body runs: the body may move the args.
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    __inputs.push_str(concat!(stringify!($arg), " = "));
+                    __inputs.push_str(&format!("{:?}; ", $arg));
+                )+
+                let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                __outcome.map_err(|error| $crate::CaseFailure {
+                    error,
+                    inputs: __inputs,
+                })
+            });
+        }
+    )*};
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", args)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} != {} (both {:?})",
+                    stringify!($left),
+                    stringify!($right),
+                    l
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_oneof![s1, s2, ...]`: uniform choice among strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}

@@ -1,0 +1,449 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Instead of serde's visitor-based data model, this stand-in serializes
+//! through an owned [`Content`] tree: [`Serialize`] lowers a value into a
+//! `Content`, [`Deserialize`] rebuilds one from it. `serde_json` (the
+//! sibling stub) renders `Content` to and from JSON text. The derive
+//! macros in `serde_derive` generate impls of these traits with serde's
+//! externally-tagged enum representation, so persisted files look like
+//! real serde_json output. Only the API surface this workspace uses is
+//! provided. See `vendor/README.md` for why these stubs exist.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate data tree every value serializes through.
+///
+/// Maps preserve insertion order (a `Vec` of pairs) so round-tripped JSON
+/// keeps its field order and byte-identical snapshots stay byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer (all negatives, and positives that fit).
+    I64(i64),
+    /// Unsigned integer above `i64::MAX`.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Ordered map with string keys.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Looks up `key` in derive-generated map entries.
+pub fn content_get<'a>(entries: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An error with a caller-provided message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        DeError {
+            message: message.to_string(),
+        }
+    }
+
+    /// A required field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError {
+            message: format!("missing field `{field}` while deserializing {ty}"),
+        }
+    }
+
+    /// The content tree had the wrong shape.
+    pub fn type_mismatch(expected: &str, got: &Content) -> Self {
+        DeError {
+            message: format!("expected {expected}, found {}", got.kind()),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lower themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Builds the content tree for `self`.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can rebuild themselves from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds a value, or explains why the tree does not fit.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide: i128 = match content {
+                    Content::I64(v) => *v as i128,
+                    Content::U64(v) => *v as i128,
+                    other => return Err(DeError::type_mismatch("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("{} out of range for {}", wide, stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as u64;
+                if v <= i64::MAX as u64 {
+                    Content::I64(v as i64)
+                } else {
+                    Content::U64(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let wide: i128 = match content {
+                    Content::I64(v) => *v as i128,
+                    Content::U64(v) => *v as i128,
+                    other => return Err(DeError::type_mismatch("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::custom(format!("{} out of range for {}", wide, stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                match content {
+                    Content::F64(v) => Ok(*v as $t),
+                    Content::I64(v) => Ok(*v as $t),
+                    Content::U64(v) => Ok(*v as $t),
+                    other => Err(DeError::type_mismatch("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::type_mismatch("single-character string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_seq()
+            .ok_or_else(|| DeError::type_mismatch("sequence", content))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        let vec = Vec::<T>::from_content(content)?;
+        let len = vec.len();
+        vec.try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, found {len}")))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::type_mismatch("map", content))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sorted for deterministic output (HashMap order is unstable).
+        let mut entries: Vec<_> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_map()
+            .ok_or_else(|| DeError::type_mismatch("map", content))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(content: &Content) -> Result<Self, DeError> {
+                let seq = content
+                    .as_seq()
+                    .ok_or_else(|| DeError::type_mismatch("tuple sequence", content))?;
+                let expected = 0usize $(+ { let _ = $idx; 1 })+;
+                if seq.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected}, found sequence of {}",
+                        seq.len()
+                    )));
+                }
+                Ok(($($name::from_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_round_trip_with_widening() {
+        assert_eq!(u8::from_content(&42u64.to_content()), Ok(42u8));
+        assert!(u8::from_content(&300u64.to_content()).is_err());
+        assert_eq!(
+            i64::from_content(&Content::U64(u64::MAX >> 1)).unwrap(),
+            (u64::MAX >> 1) as i64
+        );
+        assert!(u64::from_content(&Content::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn option_and_containers() {
+        let v: Option<u32> = None;
+        assert_eq!(v.to_content(), Content::Null);
+        let round: Option<u32> = Deserialize::from_content(&Content::Null).unwrap();
+        assert_eq!(round, None);
+
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_content(&xs.to_content()).unwrap(), xs);
+
+        let arr = [7u8, 8, 9];
+        assert_eq!(<[u8; 3]>::from_content(&arr.to_content()).unwrap(), arr);
+
+        let t = (1u8, "x".to_string());
+        let c = t.to_content();
+        assert_eq!(<(u8, String)>::from_content(&c).unwrap(), t);
+    }
+
+    #[test]
+    fn map_order_is_preserved() {
+        let mut m = BTreeMap::new();
+        m.insert("b".to_string(), 2u8);
+        m.insert("a".to_string(), 1u8);
+        // BTreeMap iterates sorted; Content::Map keeps that order.
+        assert_eq!(
+            m.to_content(),
+            Content::Map(vec![
+                ("a".into(), Content::I64(1)),
+                ("b".into(), Content::I64(2)),
+            ])
+        );
+    }
+}

@@ -1,0 +1,482 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote`) for the sibling `serde`
+//! stub's [`Serialize`]/[`Deserialize`] traits. Supports what this
+//! workspace declares: non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple and struct variants) with serde's externally-tagged
+//! representation, plus the `#[serde(skip)]` field attribute. Anything
+//! else — generics, other serde attributes — is a compile-time panic, not
+//! a silent misbehaviour. See `vendor/README.md` for why these stubs
+//! exist.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the stub `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stub `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// `#[...]` groups: returns `true` (and records skip) for serde attrs.
+fn eat_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let body = g.stream().to_string();
+                if let Some(rest) = body.strip_prefix("serde") {
+                    // TokenStream stringification spaces tokens unpredictably.
+                    let inner: String = rest.chars().filter(|c| !c.is_whitespace()).collect();
+                    if inner == "(skip)" {
+                        skip = true;
+                    } else {
+                        panic!(
+                            "serde stub derive: unsupported serde attribute `#[serde{inner}]` \
+                             (only #[serde(skip)] is implemented)"
+                        );
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+fn eat_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = eat_attributes(&tokens, 0);
+    i = eat_visibility(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde stub derive: generic type `{name}` is not supported");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            _ => Item::UnitStruct { name },
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde stub derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde stub derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, skip) = eat_attributes(&tokens, i);
+        i = eat_visibility(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde stub derive: expected field name, got {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde stub derive: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Skip the type: everything until a top-level comma. Generic
+        // angle brackets contain no commas at punct level visible here?
+        // They do (`HashMap<K, V>`), so track `<`/`>` depth explicitly.
+        let mut angle = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    for (idx, tok) in tokens.iter().enumerate() {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                // A trailing comma does not start a new field.
+                ',' if angle == 0 && idx + 1 < tokens.len() => count += 1,
+                _ => {}
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = eat_attributes(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde stub derive: expected variant name, got {other:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the separator.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ------------------------------------------------------------ generation
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "map.push((\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})));\n",
+                    f = f.name
+                ));
+            }
+            (
+                name,
+                format!(
+                    "let mut map: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = \
+                     ::std::vec::Vec::new();\n{pushes}::serde::Content::Map(map)"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            // Newtype structs serialize transparently, as in serde.
+            (name, "::serde::Serialize::to_content(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Content::Seq(vec![{}])", items.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, "::serde::Content::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                         ::serde::Serialize::to_content(f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Content::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(\"{vn}\".to_string(), \
+                             ::serde::Content::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{\n{arms}}}"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_named_field_builders(ty: &str, fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{f}: match ::serde::content_get({source}, \"{f}\") {{\n\
+                     Some(v) => ::serde::Deserialize::from_content(v)?,\n\
+                     None => return ::std::result::Result::Err(\
+                         ::serde::DeError::missing_field(\"{ty}\", \"{f}\")),\n\
+                 }},\n",
+                f = f.name
+            ));
+        }
+    }
+    inits
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits = gen_named_field_builders(name, fields, "entries");
+            (
+                name,
+                format!(
+                    "let entries = content.as_map().ok_or_else(|| \
+                         ::serde::DeError::type_mismatch(\"map for struct {name}\", content))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{inits}}})"
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_content(content)?))"
+            ),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let gets: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let seq = content.as_seq().ok_or_else(|| \
+                         ::serde::DeError::type_mismatch(\"sequence for {name}\", content))?;\n\
+                     if seq.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::DeError::custom(\
+                             format!(\"expected {arity} elements for {name}, found {{}}\", seq.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}({}))",
+                    gets.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!("::std::result::Result::Ok({name})"),
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                        // Also tolerated in map form: {"Variant": null}.
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_content(value)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_content(&seq[{i}])?"))
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let seq = value.as_seq().ok_or_else(|| \
+                                     ::serde::DeError::type_mismatch(\"sequence for {name}::{vn}\", value))?;\n\
+                                 if seq.len() != {n} {{\n\
+                                     return ::std::result::Result::Err(::serde::DeError::custom(\
+                                         format!(\"expected {n} elements for {name}::{vn}, found {{}}\", seq.len())));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({}))\n\
+                             }},\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let inits = gen_named_field_builders(
+                            &format!("{name}::{vn}"),
+                            fields,
+                            "entries",
+                        );
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                                 let entries = value.as_map().ok_or_else(|| \
+                                     ::serde::DeError::type_mismatch(\"map for {name}::{vn}\", value))?;\n\
+                                 ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n\
+                             }},\n"
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match content {{\n\
+                         ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                             {unit_arms}\
+                             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }},\n\
+                         ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                             let (tag, value) = &entries[0];\n\
+                             match tag.as_str() {{\n\
+                                 {data_arms}\
+                                 other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                     format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                             }}\n\
+                         }},\n\
+                         other => ::std::result::Result::Err(\
+                             ::serde::DeError::type_mismatch(\"enum tag for {name}\", other)),\n\
+                     }}"
+                ),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_content(content: &::serde::Content) \
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n\
+         }}"
+    )
+}
