@@ -1,0 +1,183 @@
+//! Experiment E9: checkpoint-and-fork vs. cold start.
+//!
+//! Every experiment of a campaign replays the same fault-free prefix up to
+//! its injection time; the checkpoint cache runs that prefix once (on a
+//! pilot execution) and lets each experiment restore from the nearest
+//! preceding snapshot instead. The win therefore depends on *where* the
+//! injection times fall: late windows amortise a long shared prefix, early
+//! windows almost nothing. E9 measures the same campaign under three
+//! injection-time distributions — early, uniform and late — checkpointed
+//! vs. cold, and verifies the two modes produce byte-identical databases.
+//!
+//! Besides the human-readable table, the run writes `BENCH_e9.json` at the
+//! workspace root so CI and the docs can consume the numbers without
+//! scraping stdout.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::{scifi_campaign_windowed, thor_target, workload};
+use goofi_core::{
+    run_campaign_with, Campaign, GoofiStore, RunOptions, TargetSystemInterface,
+};
+use goofi_targets::ThorTarget;
+use std::time::{Duration, Instant};
+
+const WORKLOAD: &str = "sort64";
+const EXPERIMENTS: usize = 150;
+
+/// Retired-instruction length of the fault-free workload — the "T" the
+/// injection windows are placed against.
+fn workload_length() -> u64 {
+    let mut target = thor_target(WORKLOAD);
+    target.init_test_card().expect("init");
+    target.load_workload().expect("load");
+    target.run_workload().expect("run");
+    target.wait_for_termination().expect("terminate");
+    target.instructions_retired().expect("instret")
+}
+
+struct Row {
+    distribution: &'static str,
+    window: (u64, u64),
+    cold: Duration,
+    warm: Duration,
+    speedup: f64,
+    identical: bool,
+}
+
+/// Times `campaign` sequentially with the given options, storeless (like
+/// E8, so the clock sees the injection engine, not row serialisation).
+fn run_once(campaign: &Campaign, options: RunOptions) -> Duration {
+    let mut target = ThorTarget::new("thor-card", workload(WORKLOAD));
+    let t0 = Instant::now();
+    run_campaign_with(&mut target, campaign, None, None, options).expect("campaign runs");
+    t0.elapsed()
+}
+
+/// Minimum of three timed runs — the classic noise-robust wall-clock
+/// estimator for the summary table (Criterion samples separately below).
+fn run_min3(campaign: &Campaign, options: RunOptions) -> Duration {
+    (0..3).map(|_| run_once(campaign, options)).min().expect("three runs")
+}
+
+/// Untimed verification pass: runs `campaign` against a fresh store and
+/// returns the saved database bytes, for the cold-vs-warm identity check.
+fn database_bytes(campaign: &Campaign, options: RunOptions) -> Vec<u8> {
+    let mut target = ThorTarget::new("thor-card", workload(WORKLOAD));
+    let mut store = GoofiStore::new();
+    store.put_target(&target.describe()).expect("put target");
+    store.put_campaign(campaign).expect("put campaign");
+    run_campaign_with(&mut target, campaign, Some(&mut store), None, options)
+        .expect("campaign runs");
+    let path = std::env::temp_dir().join(format!(
+        "goofi_e9_{}_{}.json",
+        campaign.name,
+        if options.checkpoint { "warm" } else { "cold" }
+    ));
+    store.save(&path).expect("save db");
+    let bytes = std::fs::read(&path).expect("read db");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+fn measure() -> Vec<Row> {
+    let t = workload_length();
+    // Early faults leave almost no shared prefix to skip; late faults
+    // (>= 50% of the workload) are where checkpointing must pay off, and
+    // the win keeps growing as the injection times move toward the end.
+    let windows: [(&str, u64, u64); 4] = [
+        ("early", 0, t / 10),
+        ("uniform", 0, t),
+        ("late", t / 2, t * 9 / 10),
+        ("very-late", t * 3 / 4, t * 19 / 20),
+    ];
+    let mut rows = Vec::new();
+    for (distribution, start, end) in windows {
+        let campaign = scifi_campaign_windowed(
+            &format!("e9-{distribution}"),
+            WORKLOAD,
+            EXPERIMENTS,
+            start,
+            end,
+        );
+        let cold = run_min3(&campaign, RunOptions { checkpoint: false });
+        let warm = run_min3(&campaign, RunOptions { checkpoint: true });
+        let cold_db = database_bytes(&campaign, RunOptions { checkpoint: false });
+        let warm_db = database_bytes(&campaign, RunOptions { checkpoint: true });
+        rows.push(Row {
+            distribution,
+            window: (start, end),
+            cold,
+            warm,
+            speedup: cold.as_secs_f64() / warm.as_secs_f64(),
+            identical: cold_db == warm_db,
+        });
+    }
+    rows
+}
+
+fn print_table(rows: &[Row], t: u64) {
+    println!("\n=== E9: checkpoint cache vs cold start ({WORKLOAD}, {EXPERIMENTS} experiments, T={t}) ===");
+    println!("(single worker; speedup is pure work elimination, not parallelism)");
+    for row in rows {
+        println!(
+            "{:>8} window [{:>6}, {:>6}]: cold {:>10.3?}  checkpointed {:>10.3?}  speedup {:>5.2}x  db identical: {}",
+            row.distribution, row.window.0, row.window.1, row.cold, row.warm, row.speedup, row.identical
+        );
+    }
+}
+
+/// Hand-formatted JSON (the bench crate deliberately has no serde dep).
+fn write_json(rows: &[Row], t: u64) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e9_checkpoint\",\n");
+    out.push_str(&format!(
+        "  \"campaign\": {{\"workload\": \"{WORKLOAD}\", \"experiments\": {EXPERIMENTS}, \"workload_length\": {t}}},\n"
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"distribution\": \"{}\", \"window_start\": {}, \"window_end\": {}, \"cold_wall_s\": {:.6}, \"checkpoint_wall_s\": {:.6}, \"speedup\": {:.3}, \"db_identical\": {}}}{}\n",
+            row.distribution,
+            row.window.0,
+            row.window.1,
+            row.cold.as_secs_f64(),
+            row.warm.as_secs_f64(),
+            row.speedup,
+            row.identical,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e9.json");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let t = workload_length();
+    let rows = measure();
+    print_table(&rows, t);
+    write_json(&rows, t);
+
+    // Criterion samples on a smaller late-window campaign: the headline
+    // comparison, cold vs checkpointed, at equal fault lists.
+    let mut group = c.benchmark_group("e9");
+    group.sample_size(10);
+    let campaign = scifi_campaign_windowed("e9-b", WORKLOAD, 32, t / 2, t * 9 / 10);
+    group.bench_function("late32_cold", |b| {
+        b.iter(|| run_once(&campaign, RunOptions { checkpoint: false }))
+    });
+    group.bench_function("late32_checkpointed", |b| {
+        b.iter(|| run_once(&campaign, RunOptions { checkpoint: true }))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

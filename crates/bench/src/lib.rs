@@ -33,6 +33,18 @@ pub fn workload(name: &str) -> Workload {
 
 /// A standard SCIFI campaign over the whole CPU chain.
 pub fn scifi_campaign(name: &str, workload: &str, experiments: usize, window_end: u64) -> Campaign {
+    scifi_campaign_windowed(name, workload, experiments, 0, window_end)
+}
+
+/// A SCIFI campaign with an explicit injection window, for experiments
+/// that vary where in the workload the faults land (E9).
+pub fn scifi_campaign_windowed(
+    name: &str,
+    workload: &str,
+    experiments: usize,
+    window_start: u64,
+    window_end: u64,
+) -> Campaign {
     Campaign::builder(name, "thor-card", workload)
         .technique(Technique::Scifi)
         .select(LocationSelector::Chain {
@@ -40,7 +52,7 @@ pub fn scifi_campaign(name: &str, workload: &str, experiments: usize, window_end
             field: None,
         })
         .fault_model(FaultModel::BitFlip)
-        .window(0, window_end)
+        .window(window_start, window_end)
         .experiments(experiments)
         .seed(1234)
         .build()

@@ -17,7 +17,7 @@ pub struct ParsedArgs {
 }
 
 /// Switches that take no value.
-const FLAG_NAMES: &[&str] = &["detail", "preinject", "parallel", "help"];
+const FLAG_NAMES: &[&str] = &["detail", "preinject", "parallel", "no-checkpoint", "help"];
 
 /// Parses an argument vector (without the program name).
 ///

@@ -20,8 +20,8 @@ mod args;
 
 use args::{parse, ParsedArgs};
 use goofi_core::{
-    analyze_campaign, control_channel, run_campaign, Campaign, ControlHandle, FaultModel,
-    GoofiStore, LocationSelector, LogMode, ProgressEvent, Technique, TargetSystemInterface,
+    analyze_campaign, control_channel, Campaign, ControlHandle, FaultModel, GoofiStore,
+    LocationSelector, LogMode, ProgressEvent, RunOptions, Technique, TargetSystemInterface,
 };
 use goofi_envsim::{DcMotorEnv, SCALE};
 use goofi_targets::ThorTarget;
@@ -40,8 +40,8 @@ USAGE:
                   [--model bit-flip|multi-bit-flip|stuck-at|intermittent]
                   [--experiments N] [--window START:END] [--seed N]
                   [--detail] [--preinject]
-  goofi run       --db FILE --campaign NAME [--workers N]
-  goofi resume    --db FILE --campaign NAME [--workers N]
+  goofi run       --db FILE --campaign NAME [--workers N] [--no-checkpoint]
+  goofi resume    --db FILE --campaign NAME [--workers N] [--no-checkpoint]
   goofi analyze   --db FILE --campaign NAME
   goofi report    --db FILE --campaign NAME [--lambda L] [--mission HOURS]
   goofi locations --db FILE --target NAME [--chain CHAIN]
@@ -254,20 +254,30 @@ fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
     let mut store = load_store(db)?;
     let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
     let workers = p.int_or("workers", 1)? as usize;
+    let options = RunOptions {
+        checkpoint: !p.has_flag("no-checkpoint"),
+    };
     store.enable_journal(db).map_err(|e| e.to_string())?;
     let (controller, handle) = control_channel();
     let reporter = spawn_reporter(handle);
     let result = if workers > 1 {
-        goofi_core::run_campaign_parallel(
+        goofi_core::run_campaign_parallel_with(
             target_factory(&campaign),
             &campaign,
             workers,
             Some(&mut store),
             Some(&controller),
+            options,
         )
     } else {
         let mut target = make_target(&campaign.target, &campaign.workload)?;
-        run_campaign(&mut target, &campaign, Some(&mut store), Some(&controller))
+        goofi_core::run_campaign_with(
+            &mut target,
+            &campaign,
+            Some(&mut store),
+            Some(&controller),
+            options,
+        )
     }
     .map_err(|e| e.to_string())?;
     drop(controller);
@@ -296,20 +306,30 @@ fn cmd_resume(p: &ParsedArgs) -> Result<String, String> {
     let mut store = load_store(db)?;
     let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
     let workers = p.int_or("workers", 1)? as usize;
+    let options = RunOptions {
+        checkpoint: !p.has_flag("no-checkpoint"),
+    };
     store.enable_journal(db).map_err(|e| e.to_string())?;
     let (controller, handle) = control_channel();
     let reporter = spawn_reporter(handle);
     let result = if workers > 1 {
-        goofi_core::resume_campaign_parallel(
+        goofi_core::resume_campaign_parallel_with(
             target_factory(&campaign),
             &campaign,
             workers,
             &mut store,
             Some(&controller),
+            options,
         )
     } else {
         let mut target = make_target(&campaign.target, &campaign.workload)?;
-        goofi_core::resume_campaign(&mut target, &campaign, &mut store, Some(&controller))
+        goofi_core::resume_campaign_with(
+            &mut target,
+            &campaign,
+            &mut store,
+            Some(&controller),
+            options,
+        )
     }
     .map_err(|e| e.to_string())?;
     drop(controller);
@@ -670,6 +690,38 @@ mod tests {
         assert!(out.contains("(3 workers)"), "{out}");
         let out = call(&["analyze", "--db", &db, "--campaign", "cp"]).unwrap();
         assert!(out.contains("12"), "{out}");
+    }
+
+    #[test]
+    fn no_checkpoint_flag_matches_checkpointed_run() {
+        let setup = |db: &str, campaign: &str| {
+            call(&["configure", "--db", db, "--target", "t", "--workload", "fib10"]).unwrap();
+            call(&[
+                "setup",
+                "--db",
+                db,
+                "--campaign",
+                campaign,
+                "--target",
+                "t",
+                "--workload",
+                "fib10",
+                "--experiments",
+                "10",
+                "--window",
+                "0:40",
+            ])
+            .unwrap();
+        };
+        let warm = tmpdb("nc_warm.json");
+        setup(&warm, "nc");
+        call(&["run", "--db", &warm, "--campaign", "nc"]).unwrap();
+        let cold = tmpdb("nc_cold.json");
+        setup(&cold, "nc");
+        call(&["run", "--db", &cold, "--campaign", "nc", "--no-checkpoint"]).unwrap();
+        let warm_json = std::fs::read(&warm).unwrap();
+        let cold_json = std::fs::read(&cold).unwrap();
+        assert_eq!(warm_json, cold_json, "checkpointing changed the database");
     }
 
     #[test]

@@ -109,6 +109,33 @@ pub fn run_experiment(
     }
 }
 
+/// Continues a breakpoint-based experiment on a target whose workload is
+/// already in flight — used by the checkpoint engine after restoring a
+/// snapshot taken mid-execution. The caller must guarantee the restored
+/// state is exactly what a cold start would have reached before `fault`'s
+/// first activation time; everything from the breakpoint loop onward is
+/// the same code path as [`run_experiment`], so the two cannot drift.
+///
+/// Pre-runtime SWIFI corrupts the image before execution starts and
+/// therefore has no shareable prefix; asking to continue one is an error.
+pub(crate) fn continue_experiment(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+    fault: &PlannedFault,
+) -> Result<ExperimentRun> {
+    match campaign.technique {
+        Technique::Scifi => {
+            continue_inject_at_breakpoints(target, campaign, fault, InjectVia::ScanChain)
+        }
+        Technique::SwifiRuntime => {
+            continue_inject_at_breakpoints(target, campaign, fault, InjectVia::Memory)
+        }
+        Technique::SwifiPreRuntime => Err(GoofiError::Target(
+            "pre-runtime SWIFI cannot continue from a checkpoint".into(),
+        )),
+    }
+}
+
 /// How a breakpoint-based technique applies the fault.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum InjectVia {
@@ -155,7 +182,18 @@ fn inject_at_breakpoints(
     target.init_test_card()?;
     target.load_workload()?;
     target.run_workload()?;
+    continue_inject_at_breakpoints(target, campaign, fault, via)
+}
 
+/// The breakpoint loop and read-back shared by cold starts and checkpoint
+/// restores: everything in `inject_at_breakpoints` after the workload is
+/// in flight.
+fn continue_inject_at_breakpoints(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+    fault: &PlannedFault,
+    via: InjectVia,
+) -> Result<ExperimentRun> {
     let mut activations_done = 0;
     let mut termination: Option<TargetEvent> = None;
     let mut detail_trace: Option<Vec<StateVector>> = None;

@@ -1,0 +1,413 @@
+//! The checkpoint cache: share a campaign's fault-free execution prefix.
+//!
+//! Every breakpoint-based experiment re-executes the workload from reset
+//! up to its injection time, so a campaign of N experiments over a
+//! T-instruction workload costs O(N·T) even though all runs share an
+//! identical fault-free prefix (fault-injection tools such as ZOFI and
+//! CHAOS checkpoint or fork to avoid exactly this). This module advances
+//! one *pilot* execution, snapshots the target at each distinct first
+//! activation time, and lets experiment runners restore from the nearest
+//! preceding checkpoint instead of cold-starting — turning the shared
+//! prefix into O(T) total.
+//!
+//! Determinism argument: a snapshot is taken in the state the pilot reached
+//! right after its breakpoint fired at time `tc`. A cold experiment with
+//! first activation time `t0 ≥ tc` passes through that exact state
+//! (breakpoints fire *before* an instruction executes and the targets are
+//! deterministic), so restoring the snapshot and re-arming the breakpoint
+//! at `t0` continues bit-identically: immediately when `t0 == tc`, after
+//! deterministic forward execution otherwise. The resulting
+//! [`ExperimentRun`] — and therefore every persisted database row — is
+//! byte-identical to the cold run's.
+
+use crate::algorithm::{continue_experiment, run_experiment, ExperimentRun};
+use crate::campaign::{Campaign, LogMode, Technique};
+use crate::error::Result;
+use crate::fault::PlannedFault;
+use crate::target::{TargetEvent, TargetSnapshot, TargetSystemInterface};
+
+/// One checkpoint: the target state the pilot reached when its breakpoint
+/// fired at `time`.
+#[derive(Debug)]
+pub struct Checkpoint {
+    /// Instructions retired when the snapshot was taken.
+    pub time: u64,
+    /// The frozen target state.
+    pub snapshot: TargetSnapshot,
+}
+
+/// An injection-time checkpoint cache for one campaign, built by a single
+/// pilot execution and shared (by reference) across scheduler workers.
+#[derive(Debug, Default)]
+pub struct CheckpointPlan {
+    // Sorted ascending by time; at most one checkpoint per distinct time.
+    checkpoints: Vec<Checkpoint>,
+}
+
+impl CheckpointPlan {
+    /// Builds the cache by running one pilot execution of `campaign`'s
+    /// workload on `target`, snapshotting at each distinct first activation
+    /// time of the faults that will actually run (`skip[i]` marks faults
+    /// the caller will synthesise from the reference instead, e.g. via
+    /// pre-injection pruning).
+    ///
+    /// Returns `None` — meaning "run everything cold" — when checkpointing
+    /// cannot help or cannot be trusted: detail-mode logging (experiments
+    /// single-step from the first activation), pre-runtime SWIFI (faults
+    /// land before execution starts), targets that do not implement
+    /// [`snapshot`](TargetSystemInterface::snapshot), no runnable faults,
+    /// or any pilot-side error (the cold path will surface it properly).
+    pub fn build(
+        target: &mut dyn TargetSystemInterface,
+        campaign: &Campaign,
+        faults: &[PlannedFault],
+        skip: &[bool],
+    ) -> Option<CheckpointPlan> {
+        if campaign.log_mode != LogMode::Normal {
+            return None;
+        }
+        if !matches!(
+            campaign.technique,
+            Technique::Scifi | Technique::SwifiRuntime
+        ) {
+            return None;
+        }
+        let mut times: Vec<u64> = faults
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !skip.get(*i).copied().unwrap_or(false))
+            .filter_map(|(_, f)| f.times.first().copied())
+            .collect();
+        times.sort_unstable();
+        times.dedup();
+        if times.is_empty() {
+            return None;
+        }
+
+        target.init_test_card().ok()?;
+        target.load_workload().ok()?;
+        target.run_workload().ok()?;
+        let mut checkpoints = Vec::with_capacity(times.len());
+        for &time in &times {
+            target.set_breakpoint(time).ok()?;
+            match target.wait_for_breakpoint().ok()? {
+                TargetEvent::BreakpointHit { .. } => {
+                    let snapshot = target.snapshot().ok()?;
+                    checkpoints.push(Checkpoint { time, snapshot });
+                }
+                // The workload ended before this activation time; later
+                // faults restore from the last checkpoint and terminate
+                // the same way a cold run would.
+                _terminal => break,
+            }
+        }
+        if checkpoints.is_empty() {
+            None
+        } else {
+            Some(CheckpointPlan { checkpoints })
+        }
+    }
+
+    /// The checkpoint with the greatest time `≤ time`, if any.
+    pub fn nearest(&self, time: u64) -> Option<&Checkpoint> {
+        match self.checkpoints.partition_point(|c| c.time <= time) {
+            0 => None,
+            n => Some(&self.checkpoints[n - 1]),
+        }
+    }
+
+    /// Number of checkpoints in the cache.
+    pub fn len(&self) -> usize {
+        self.checkpoints.len()
+    }
+
+    /// Whether the cache holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.checkpoints.is_empty()
+    }
+}
+
+/// Runs one experiment, restoring from the nearest preceding checkpoint
+/// when one exists and falling back to a cold [`run_experiment`] otherwise
+/// (no usable checkpoint, or the restore itself is refused). Results are
+/// byte-identical either way; the checkpoint only skips re-executing the
+/// shared prefix.
+///
+/// # Errors
+///
+/// Propagates target errors, exactly as [`run_experiment`] does.
+pub fn run_experiment_checkpointed(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+    fault: &PlannedFault,
+    plan: &CheckpointPlan,
+) -> Result<ExperimentRun> {
+    let Some(&first) = fault.times.first() else {
+        return run_experiment(target, campaign, fault);
+    };
+    let Some(cp) = plan.nearest(first) else {
+        return run_experiment(target, campaign, fault);
+    };
+    if target.restore(&cp.snapshot).is_err() {
+        return run_experiment(target, campaign, fault);
+    }
+    continue_experiment(target, campaign, fault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::StateVector;
+    use crate::fault::{FaultModel, Location, LocationSelector};
+    use crate::target::TargetSystemConfig;
+
+    /// A deterministic counter machine with snapshot support: each step
+    /// increments `now` and accumulates `acc = acc * 3 + bit0(chain)`.
+    /// Restoring mid-run must reproduce the exact final `acc`.
+    #[derive(Clone, Default)]
+    struct ToyState {
+        now: u64,
+        acc: u64,
+        bits: u64,
+        armed: Option<u64>,
+    }
+
+    struct ToyTarget {
+        state: ToyState,
+        halt_at: u64,
+        snapshots_supported: bool,
+        cold_starts: usize,
+    }
+
+    impl ToyTarget {
+        fn new(halt_at: u64) -> ToyTarget {
+            ToyTarget {
+                state: ToyState::default(),
+                halt_at,
+                snapshots_supported: true,
+                cold_starts: 0,
+            }
+        }
+
+        fn advance_to(&mut self, stop: u64) {
+            while self.state.now < stop {
+                self.state.acc = self.state.acc.wrapping_mul(3) + (self.state.bits & 1);
+                self.state.now += 1;
+            }
+        }
+    }
+
+    impl TargetSystemInterface for ToyTarget {
+        fn target_name(&self) -> &str {
+            "toy"
+        }
+
+        fn describe(&self) -> TargetSystemConfig {
+            TargetSystemConfig {
+                name: "toy".into(),
+                description: String::new(),
+                chains: Vec::new(),
+                memory: Vec::new(),
+            }
+        }
+
+        fn init_test_card(&mut self) -> Result<()> {
+            self.cold_starts += 1;
+            self.state = ToyState::default();
+            Ok(())
+        }
+
+        fn load_workload(&mut self) -> Result<()> {
+            Ok(())
+        }
+
+        fn run_workload(&mut self) -> Result<()> {
+            Ok(())
+        }
+
+        fn set_breakpoint(&mut self, time: u64) -> Result<()> {
+            self.state.armed = Some(time);
+            Ok(())
+        }
+
+        fn wait_for_breakpoint(&mut self) -> Result<TargetEvent> {
+            match self.state.armed.take() {
+                Some(t) if t >= self.state.now && t < self.halt_at => {
+                    self.advance_to(t);
+                    Ok(TargetEvent::BreakpointHit { time: t })
+                }
+                _ => {
+                    self.advance_to(self.halt_at);
+                    Ok(TargetEvent::Halted)
+                }
+            }
+        }
+
+        fn wait_for_termination(&mut self) -> Result<TargetEvent> {
+            self.advance_to(self.halt_at);
+            Ok(TargetEvent::Halted)
+        }
+
+        fn read_scan_chain(&mut self, _chain: &str) -> Result<StateVector> {
+            let mut bits = StateVector::zeros(64);
+            for b in 0..64 {
+                bits.set(b, self.state.bits & (1 << b) != 0);
+            }
+            Ok(bits)
+        }
+
+        fn write_scan_chain(&mut self, _chain: &str, bits: &StateVector) -> Result<()> {
+            let mut v = 0u64;
+            for b in 0..64 {
+                if bits.get(b) {
+                    v |= 1 << b;
+                }
+            }
+            self.state.bits = v;
+            Ok(())
+        }
+
+        fn observe_state(&mut self) -> Result<StateVector> {
+            let mut bytes = self.state.acc.to_le_bytes().to_vec();
+            bytes.extend(self.state.bits.to_le_bytes());
+            Ok(StateVector::from_bytes(bytes, 128))
+        }
+
+        fn read_outputs(&mut self) -> Result<Vec<u32>> {
+            Ok(vec![self.state.acc as u32])
+        }
+
+        fn instructions_retired(&mut self) -> Result<u64> {
+            Ok(self.state.now)
+        }
+
+        fn snapshot(&mut self) -> Result<TargetSnapshot> {
+            if !self.snapshots_supported {
+                return Err(self.unsupported("snapshot"));
+            }
+            Ok(TargetSnapshot::new(self.state.clone()))
+        }
+
+        fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+            let s = snapshot
+                .downcast_ref::<ToyState>()
+                .ok_or_else(|| self.unsupported("restore"))?;
+            self.state = s.clone();
+            Ok(())
+        }
+    }
+
+    fn campaign() -> Campaign {
+        Campaign::builder("c", "toy", "w")
+            .technique(Technique::Scifi)
+            .select(LocationSelector::Chain {
+                chain: "cpu".into(),
+                field: None,
+            })
+            .window(0, 90)
+            .experiments(4)
+            .seed(9)
+            .build()
+            .unwrap()
+    }
+
+    fn fault(bit: usize, time: u64) -> PlannedFault {
+        PlannedFault {
+            model: FaultModel::BitFlip,
+            targets: vec![Location::ChainBit {
+                chain: "cpu".into(),
+                bit,
+            }],
+            times: vec![time],
+        }
+    }
+
+    #[test]
+    fn checkpointed_runs_match_cold_runs_exactly() {
+        let c = campaign();
+        let faults = vec![fault(0, 10), fault(1, 10), fault(0, 40), fault(2, 80)];
+        let skip = vec![false; faults.len()];
+
+        let mut pilot = ToyTarget::new(100);
+        let plan = CheckpointPlan::build(&mut pilot, &c, &faults, &skip).expect("plan");
+        assert_eq!(plan.len(), 3, "distinct times 10, 40, 80");
+
+        for f in &faults {
+            let mut cold = ToyTarget::new(100);
+            let want = run_experiment(&mut cold, &c, f).unwrap();
+            let mut warm = ToyTarget::new(100);
+            let got = run_experiment_checkpointed(&mut warm, &c, f, &plan).unwrap();
+            assert_eq!(got, want);
+            assert_eq!(warm.cold_starts, 0, "checkpointed run must not cold-start");
+        }
+    }
+
+    #[test]
+    fn nearest_picks_greatest_preceding_time() {
+        let c = campaign();
+        let faults = vec![fault(0, 10), fault(0, 40)];
+        let mut pilot = ToyTarget::new(100);
+        let plan =
+            CheckpointPlan::build(&mut pilot, &c, &faults, &[false, false]).expect("plan");
+        assert!(plan.nearest(5).is_none());
+        assert_eq!(plan.nearest(10).unwrap().time, 10);
+        assert_eq!(plan.nearest(39).unwrap().time, 10);
+        assert_eq!(plan.nearest(40).unwrap().time, 40);
+        assert_eq!(plan.nearest(1000).unwrap().time, 40);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn unsupported_targets_yield_no_plan() {
+        let c = campaign();
+        let faults = vec![fault(0, 10)];
+        let mut pilot = ToyTarget::new(100);
+        pilot.snapshots_supported = false;
+        assert!(CheckpointPlan::build(&mut pilot, &c, &faults, &[false]).is_none());
+    }
+
+    #[test]
+    fn detail_mode_and_preruntime_swifi_yield_no_plan() {
+        let faults = vec![fault(0, 10)];
+        let mut detail = campaign();
+        detail.log_mode = LogMode::Detail;
+        let mut pilot = ToyTarget::new(100);
+        assert!(CheckpointPlan::build(&mut pilot, &detail, &faults, &[false]).is_none());
+
+        let mut pre = campaign();
+        pre.technique = Technique::SwifiPreRuntime;
+        assert!(CheckpointPlan::build(&mut pilot, &pre, &faults, &[false]).is_none());
+    }
+
+    #[test]
+    fn skipped_faults_contribute_no_checkpoints() {
+        let c = campaign();
+        let faults = vec![fault(0, 10), fault(0, 40)];
+        let mut pilot = ToyTarget::new(100);
+        let plan =
+            CheckpointPlan::build(&mut pilot, &c, &faults, &[true, false]).expect("plan");
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.nearest(40).unwrap().time, 40);
+    }
+
+    #[test]
+    fn pilot_stops_at_workload_termination() {
+        let c = campaign();
+        // Halt at 30: the time-80 fault cannot be checkpointed, but the
+        // experiment still restores from the time-10 checkpoint and halts
+        // exactly like a cold run.
+        let faults = vec![fault(0, 10), fault(2, 80)];
+        let mut pilot = ToyTarget::new(30);
+        let plan =
+            CheckpointPlan::build(&mut pilot, &c, &faults, &[false, false]).expect("plan");
+        assert_eq!(plan.len(), 1);
+
+        let late = fault(2, 80);
+        let mut cold = ToyTarget::new(30);
+        let want = run_experiment(&mut cold, &c, &late).unwrap();
+        let mut warm = ToyTarget::new(30);
+        let got = run_experiment_checkpointed(&mut warm, &c, &late, &plan).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(want.activations_done, 0);
+    }
+}

@@ -44,6 +44,7 @@ pub mod algorithm;
 pub mod analysis;
 mod bits;
 mod campaign;
+pub mod checkpoint;
 pub mod dependability;
 mod error;
 pub mod fault;
@@ -64,6 +65,7 @@ pub use analysis::{
 };
 pub use bits::StateVector;
 pub use campaign::{Campaign, CampaignBuilder, LogMode, Technique};
+pub use checkpoint::{run_experiment_checkpointed, Checkpoint, CheckpointPlan};
 pub use error::{GoofiError, Result};
 pub use fault::{
     generate_fault_list, FaultModel, Location, LocationSelector, PlannedFault, TriggerPolicy,
@@ -76,13 +78,14 @@ pub use preinject::{FirstUse, LivenessAnalysis};
 pub use propagation::{analyze_propagation, PropagationReport, PropagationStep};
 pub use progress::{control_channel, Command, ControlHandle, Controller, ProgressEvent};
 pub use runner::{
-    resume_campaign, resume_campaign_parallel, run_campaign, run_campaign_parallel,
-    run_campaign_parallel_static, CampaignResult,
+    resume_campaign, resume_campaign_parallel, resume_campaign_parallel_with,
+    resume_campaign_with, run_campaign, run_campaign_parallel, run_campaign_parallel_static,
+    run_campaign_parallel_with, run_campaign_with, CampaignResult, RunOptions,
 };
 pub use store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
 pub use target::{
     MemoryRole,
-    mem_loc_name, ChainInfo, FieldInfo, MemoryRegion, TargetEvent, TargetSystemConfig,
-    TargetSystemInterface, TraceStep,
+    mem_loc_name, ChainInfo, FieldInfo, MemoryRegion, TargetEvent, TargetSnapshot,
+    TargetSystemConfig, TargetSystemInterface, TraceStep,
 };
 pub use trigger::Trigger;

@@ -15,12 +15,32 @@
 use crate::algorithm::{reference_run, run_experiment, ExperimentRun};
 use crate::analysis::CampaignStats;
 use crate::campaign::Campaign;
+use crate::checkpoint::{run_experiment_checkpointed, CheckpointPlan};
 use crate::error::{GoofiError, Result};
 use crate::fault::{generate_fault_list, PlannedFault, TriggerPolicy};
 use crate::preinject::LivenessAnalysis;
 use crate::progress::{Command, Controller, ProgressEvent};
 use crate::store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
 use crate::target::TargetSystemInterface;
+
+/// Tuning knobs for campaign execution that do not change results, only
+/// how they are obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOptions {
+    /// Build an injection-time checkpoint cache (one pilot execution,
+    /// snapshot at each distinct first activation time) and start
+    /// experiments from the nearest preceding checkpoint instead of from
+    /// reset. Byte-identical results either way; targets or campaigns the
+    /// cache cannot serve (no snapshot support, detail mode, pre-runtime
+    /// SWIFI) silently fall back to cold starts. Defaults to `true`.
+    pub checkpoint: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { checkpoint: true }
+    }
+}
 
 /// Everything a finished campaign produced.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,13 +89,36 @@ fn record_of(campaign: &Campaign, name: String, run: &ExperimentRun) -> Experime
 
 /// Builds the synthetic result of a pruned experiment: by the soundness of
 /// the liveness analysis its outcome is exactly the reference outcome.
+///
+/// Built field by field rather than by cloning the reference so the
+/// reference's `detail_trace` — potentially thousands of state vectors in
+/// detail mode — is never copied into (and then dropped from) every pruned
+/// row. Pruned rows carry no detail trace: the reference row already holds
+/// the identical trace once.
 fn pruned_run(reference: &ExperimentRun, fault: &PlannedFault) -> ExperimentRun {
-    let mut run = reference.clone();
-    run.fault = Some(fault.clone());
-    run.pruned = true;
-    run.activations_done = 0;
-    run.detail_trace = None;
-    run
+    ExperimentRun {
+        fault: Some(fault.clone()),
+        termination: reference.termination.clone(),
+        outputs: reference.outputs.clone(),
+        state: reference.state.clone(),
+        instructions: reference.instructions,
+        iterations: reference.iterations,
+        activations_done: 0,
+        detail_trace: None,
+        pruned: true,
+    }
+}
+
+/// Central prunability decision, shared by every runner variant.
+fn compute_prunable(
+    faults: &[PlannedFault],
+    liveness: Option<&LivenessAnalysis>,
+    config: &crate::target::TargetSystemConfig,
+) -> Vec<bool> {
+    faults
+        .iter()
+        .map(|f| liveness.map(|l| l.can_prune(config, f)).unwrap_or(false))
+        .collect()
 }
 
 /// Prepares the shared campaign inputs: reference trace (when needed),
@@ -128,11 +171,28 @@ fn prepare(
 pub fn run_campaign(
     target: &mut dyn TargetSystemInterface,
     campaign: &Campaign,
+    store: Option<&mut GoofiStore>,
+    controller: Option<&Controller>,
+) -> Result<CampaignResult> {
+    run_campaign_with(target, campaign, store, controller, RunOptions::default())
+}
+
+/// [`run_campaign`] with explicit [`RunOptions`] (e.g. to disable the
+/// checkpoint cache).
+///
+/// # Errors
+///
+/// As [`run_campaign`].
+pub fn run_campaign_with(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
     mut store: Option<&mut GoofiStore>,
     controller: Option<&Controller>,
+    options: RunOptions,
 ) -> Result<CampaignResult> {
     let (faults, liveness) = prepare(target, campaign)?;
     let config = target.describe();
+    let prunable = compute_prunable(&faults, liveness.as_ref(), &config);
 
     if let Some(ctl) = controller {
         ctl.emit(ProgressEvent::Started {
@@ -150,6 +210,12 @@ pub fn run_campaign(
         ))?;
     }
 
+    let plan = if options.checkpoint {
+        CheckpointPlan::build(target, campaign, &faults, &prunable)
+    } else {
+        None
+    };
+
     let mut runs = Vec::with_capacity(faults.len());
     let mut stopped = false;
     for (i, fault) in faults.iter().enumerate() {
@@ -163,12 +229,11 @@ pub fn run_campaign(
                 Err(other) => return Err(other),
             }
         }
-        let pruned = liveness
-            .as_ref()
-            .map(|l| l.can_prune(&config, fault))
-            .unwrap_or(false);
+        let pruned = prunable[i];
         let run = if pruned {
             pruned_run(&reference, fault)
+        } else if let Some(plan) = &plan {
+            run_experiment_checkpointed(target, campaign, fault, plan)?
         } else {
             run_experiment(target, campaign, fault)?
         };
@@ -221,8 +286,25 @@ pub fn resume_campaign(
     store: &mut GoofiStore,
     controller: Option<&Controller>,
 ) -> Result<CampaignResult> {
+    resume_campaign_with(target, campaign, store, controller, RunOptions::default())
+}
+
+/// [`resume_campaign`] with explicit [`RunOptions`] (e.g. to disable the
+/// checkpoint cache).
+///
+/// # Errors
+///
+/// As [`resume_campaign`].
+pub fn resume_campaign_with(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+    store: &mut GoofiStore,
+    controller: Option<&Controller>,
+    options: RunOptions,
+) -> Result<CampaignResult> {
     let (faults, liveness) = prepare(target, campaign)?;
     let config = target.describe();
+    let prunable = compute_prunable(&faults, liveness.as_ref(), &config);
 
     // Reference: reuse the stored row, or make and log it now.
     let ref_name = reference_experiment_name(&campaign.name);
@@ -242,6 +324,22 @@ pub fn resume_campaign(
         });
     }
 
+    // The pilot only needs checkpoints for experiments that will actually
+    // run: stored rows and prunable faults contribute no snapshot times.
+    let plan = if options.checkpoint {
+        let skip: Vec<bool> = (0..faults.len())
+            .map(|i| {
+                prunable[i]
+                    || store
+                        .get_experiment(&experiment_name(&campaign.name, i))
+                        .is_ok()
+            })
+            .collect();
+        CheckpointPlan::build(target, campaign, &faults, &skip)
+    } else {
+        None
+    };
+
     let mut runs = Vec::with_capacity(faults.len());
     let mut stopped = false;
     for (i, fault) in faults.iter().enumerate() {
@@ -260,12 +358,11 @@ pub fn resume_campaign(
                 Err(other) => return Err(other),
             }
         }
-        let pruned = liveness
-            .as_ref()
-            .map(|l| l.can_prune(&config, fault))
-            .unwrap_or(false);
+        let pruned = prunable[i];
         let run = if pruned {
             pruned_run(&reference, fault)
+        } else if let Some(plan) = &plan {
+            run_experiment_checkpointed(target, campaign, fault, plan)?
         } else {
             run_experiment(target, campaign, fault)?
         };
@@ -556,8 +653,8 @@ fn parallel_engine<F>(
     store: Option<&mut GoofiStore>,
     controller: Option<&Controller>,
     faults: &[PlannedFault],
-    liveness: Option<&LivenessAnalysis>,
-    config: &crate::target::TargetSystemConfig,
+    prunable: &[bool],
+    plan: Option<&CheckpointPlan>,
     reference: &ExperimentRun,
     log_reference: bool,
     mut slots: Vec<Option<ExperimentRun>>,
@@ -576,12 +673,6 @@ where
         });
     }
 
-    // Pruning pre-pass: decide prunability once, centrally, so the work
-    // queue contains only experiments that need a target.
-    let prunable: Vec<bool> = faults
-        .iter()
-        .map(|f| liveness.map(|l| l.can_prune(config, f)).unwrap_or(false))
-        .collect();
     // `expected[i]`: a FinishedExperiment message will arrive for index i
     // (false for rows preloaded from the store on resume).
     let expected: Vec<bool> = slots.iter().map(Option::is_none).collect();
@@ -638,7 +729,18 @@ where
                         if abort.load(Ordering::Relaxed) || !gate.admit() {
                             break 'claims;
                         }
-                        match run_experiment(target.as_mut(), campaign, &faults[i]) {
+                        let result = match plan {
+                            // Warm start: rewind to the nearest checkpoint
+                            // preceding the fault's first activation.
+                            Some(plan) => run_experiment_checkpointed(
+                                target.as_mut(),
+                                campaign,
+                                &faults[i],
+                                plan,
+                            ),
+                            None => run_experiment(target.as_mut(), campaign, &faults[i]),
+                        };
+                        match result {
                             Ok(run) => {
                                 let record = store_attached.then(|| {
                                     record_of(
@@ -764,15 +866,49 @@ pub fn run_campaign_parallel<F>(
 where
     F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
 {
+    run_campaign_parallel_with(
+        factory,
+        campaign,
+        workers,
+        store,
+        controller,
+        RunOptions::default(),
+    )
+}
+
+/// [`run_campaign_parallel`] with explicit [`RunOptions`] (e.g. to disable
+/// the checkpoint cache).
+///
+/// # Errors
+///
+/// As [`run_campaign_parallel`].
+pub fn run_campaign_parallel_with<F>(
+    factory: F,
+    campaign: &Campaign,
+    workers: usize,
+    store: Option<&mut GoofiStore>,
+    controller: Option<&Controller>,
+    options: RunOptions,
+) -> Result<CampaignResult>
+where
+    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
+{
     if workers <= 1 {
         let mut target = factory();
-        return run_campaign(target.as_mut(), campaign, store, controller);
+        return run_campaign_with(target.as_mut(), campaign, store, controller, options);
     }
-    // Prepare on a scratch target.
+    // Prepare on a scratch target, which then doubles as the checkpoint
+    // pilot: one execution serves every worker's restores.
     let mut scratch = factory();
     let (faults, liveness) = prepare(scratch.as_mut(), campaign)?;
     let config = scratch.describe();
+    let prunable = compute_prunable(&faults, liveness.as_ref(), &config);
     let reference = reference_run(scratch.as_mut(), campaign)?;
+    let plan = if options.checkpoint {
+        CheckpointPlan::build(scratch.as_mut(), campaign, &faults, &prunable)
+    } else {
+        None
+    };
     drop(scratch);
 
     let slots = vec![None; faults.len()];
@@ -783,8 +919,8 @@ where
         store,
         controller,
         &faults,
-        liveness.as_ref(),
-        &config,
+        &prunable,
+        plan.as_ref(),
         &reference,
         true,
         slots,
@@ -818,19 +954,46 @@ pub fn resume_campaign_parallel<F>(
 where
     F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
 {
+    resume_campaign_parallel_with(
+        factory,
+        campaign,
+        workers,
+        store,
+        controller,
+        RunOptions::default(),
+    )
+}
+
+/// [`resume_campaign_parallel`] with explicit [`RunOptions`] (e.g. to
+/// disable the checkpoint cache).
+///
+/// # Errors
+///
+/// As [`resume_campaign_parallel`].
+pub fn resume_campaign_parallel_with<F>(
+    factory: F,
+    campaign: &Campaign,
+    workers: usize,
+    store: &mut GoofiStore,
+    controller: Option<&Controller>,
+    options: RunOptions,
+) -> Result<CampaignResult>
+where
+    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
+{
     if workers <= 1 {
         let mut target = factory();
-        return resume_campaign(target.as_mut(), campaign, store, controller);
+        return resume_campaign_with(target.as_mut(), campaign, store, controller, options);
     }
     let mut scratch = factory();
     let (faults, liveness) = prepare(scratch.as_mut(), campaign)?;
     let config = scratch.describe();
+    let prunable = compute_prunable(&faults, liveness.as_ref(), &config);
     let ref_name = reference_experiment_name(&campaign.name);
     let (reference, log_reference) = match store.get_experiment(&ref_name) {
         Ok(record) => (record.to_run(), false),
         Err(_) => (reference_run(scratch.as_mut(), campaign)?, true),
     };
-    drop(scratch);
 
     let slots: Vec<Option<ExperimentRun>> = (0..faults.len())
         .map(|i| {
@@ -841,6 +1004,19 @@ where
         })
         .collect();
 
+    // Checkpoint only the experiments this resume will actually run.
+    let plan = if options.checkpoint {
+        let skip: Vec<bool> = prunable
+            .iter()
+            .zip(&slots)
+            .map(|(&pruned, slot)| pruned || slot.is_some())
+            .collect();
+        CheckpointPlan::build(scratch.as_mut(), campaign, &faults, &skip)
+    } else {
+        None
+    };
+    drop(scratch);
+
     let (runs, _stopped) = parallel_engine(
         &factory,
         campaign,
@@ -848,8 +1024,8 @@ where
         Some(store),
         controller,
         &faults,
-        liveness.as_ref(),
-        &config,
+        &prunable,
+        plan.as_ref(),
         &reference,
         log_reference,
         slots,

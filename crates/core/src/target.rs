@@ -151,6 +151,34 @@ pub fn mem_loc_name(addr: u32) -> String {
     format!("MEM[0x{addr:x}]")
 }
 
+/// An opaque, type-erased snapshot of a target's full architectural state.
+///
+/// [`TargetSystemInterface::snapshot`] produces one and
+/// [`TargetSystemInterface::restore`] consumes it; only the target that
+/// created a snapshot can interpret it, so the payload is erased behind
+/// `Any`. The value is `Send + Sync` because the checkpoint cache shares
+/// snapshots by reference across scheduler worker threads.
+pub struct TargetSnapshot(Box<dyn std::any::Any + Send + Sync>);
+
+impl TargetSnapshot {
+    /// Wraps a target-specific state value.
+    pub fn new<T: std::any::Any + Send + Sync>(state: T) -> Self {
+        TargetSnapshot(Box::new(state))
+    }
+
+    /// Recovers the target-specific state, or `None` if this snapshot was
+    /// produced by a different target type.
+    pub fn downcast_ref<T: std::any::Any + Send + Sync>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+}
+
+impl std::fmt::Debug for TargetSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("TargetSnapshot(..)")
+    }
+}
+
 /// The abstract target interface (paper Fig. 2 + Fig. 3).
 ///
 /// All methods default to [`GoofiError::Unsupported`]; a target overrides
@@ -317,6 +345,31 @@ pub trait TargetSystemInterface: Send {
         Err(self.unsupported("iterationsCompleted"))
     }
 
+    /// Captures the target's full architectural state mid-execution so a
+    /// later [`restore`](TargetSystemInterface::restore) can resume from
+    /// exactly this point. The checkpoint cache uses this to share the
+    /// fault-free prefix of a campaign across experiments.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Unsupported`] unless overridden; target faults.
+    fn snapshot(&mut self) -> Result<TargetSnapshot> {
+        Err(self.unsupported("snapshot"))
+    }
+
+    /// Rewinds the target to a state previously captured by
+    /// [`snapshot`](TargetSystemInterface::snapshot). After a restore the
+    /// target must behave bit-identically to the execution the snapshot was
+    /// taken from.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Unsupported`] unless overridden; a snapshot from a
+    /// different target type; target faults.
+    fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+        Err(self.unsupported("restore"))
+    }
+
     /// Helper constructing the template error for an unimplemented block.
     fn unsupported(&self, method: &'static str) -> GoofiError {
         GoofiError::Unsupported {
@@ -370,6 +423,28 @@ mod tests {
         let mut targets: Vec<Box<dyn TargetSystemInterface>> = vec![Box::new(EmptyTarget)];
         assert_eq!(targets[0].target_name(), "empty");
         assert!(targets[0].init_test_card().is_err());
+    }
+
+    #[test]
+    fn snapshot_defaults_to_unsupported() {
+        let mut t = EmptyTarget;
+        match t.snapshot().unwrap_err() {
+            GoofiError::Unsupported { method, target } => {
+                assert_eq!(method, "snapshot");
+                assert_eq!(target, "empty");
+            }
+            other => panic!("wrong error {other}"),
+        }
+        let foreign = TargetSnapshot::new(42u32);
+        assert!(t.restore(&foreign).is_err());
+    }
+
+    #[test]
+    fn snapshot_downcast_roundtrip() {
+        let snap = TargetSnapshot::new(vec![1u32, 2, 3]);
+        assert_eq!(snap.downcast_ref::<Vec<u32>>().unwrap(), &vec![1, 2, 3]);
+        assert!(snap.downcast_ref::<String>().is_none());
+        assert_eq!(format!("{snap:?}"), "TargetSnapshot(..)");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use goofi_core::{
     ChainInfo, FieldInfo, GoofiError, MemoryRegion, MemoryRole, Result, StateVector,
-    TargetEvent, TargetSystemConfig, TargetSystemInterface, TraceStep,
+    TargetEvent, TargetSnapshot, TargetSystemConfig, TargetSystemInterface, TraceStep,
 };
 use goofi_stackvm::{Op, StackVm, VmError, VmEvent};
 
@@ -329,6 +329,20 @@ impl TargetSystemInterface for StackVmTarget {
     fn iterations_completed(&mut self) -> Result<u32> {
         Ok(0)
     }
+
+    fn snapshot(&mut self) -> Result<TargetSnapshot> {
+        // The whole VM (data, stacks, pc, step count, armed breakpoints,
+        // latched errors) lives in one plain struct: a clone is a snapshot.
+        Ok(TargetSnapshot::new(self.vm.clone()))
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+        let vm = snapshot
+            .downcast_ref::<StackVm>()
+            .ok_or_else(|| GoofiError::Target("snapshot is not a StackVM snapshot".into()))?;
+        self.vm = vm.clone();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -402,6 +416,28 @@ mod tests {
         // Corrupting instruction words must trip the illegal-opcode or
         // range detectors at least once in 30 experiments.
         assert!(result.stats.detected_total() > 0, "{}", result.stats.report());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let mut t = target();
+        t.init_test_card().unwrap();
+        t.load_workload().unwrap();
+        t.set_breakpoint(20).unwrap();
+        assert_eq!(
+            t.wait_for_breakpoint().unwrap(),
+            TargetEvent::BreakpointHit { time: 20 }
+        );
+        let snap = t.snapshot().unwrap();
+        assert_eq!(t.wait_for_termination().unwrap(), TargetEvent::Halted);
+        let outputs = t.read_outputs().unwrap();
+        let state = t.observe_state().unwrap();
+
+        t.restore(&snap).unwrap();
+        assert_eq!(t.instructions_retired().unwrap(), 20);
+        assert_eq!(t.wait_for_termination().unwrap(), TargetEvent::Halted);
+        assert_eq!(t.read_outputs().unwrap(), outputs);
+        assert_eq!(t.observe_state().unwrap(), state);
     }
 
     #[test]

@@ -7,11 +7,14 @@
 
 use goofi_core::{
     mem_loc_name, ChainInfo, FieldInfo, GoofiError, MemoryRegion, MemoryRole, Result,
-    StateVector, TargetEvent, TargetSystemConfig, TargetSystemInterface, TraceStep,
+    StateVector, TargetEvent, TargetSnapshot, TargetSystemConfig, TargetSystemInterface,
+    TraceStep,
 };
 use goofi_envsim::Environment;
 use goofi_workloads::{Workload, WorkloadKind, IO_IN_ADDR, IO_OUT_ADDR};
-use thor_rd::{BitVector, CardError, DebugEvent, Loc, MachineConfig, StepInfo, TestCard};
+use thor_rd::{
+    BitVector, CardError, CardSnapshot, DebugEvent, Loc, MachineConfig, StepInfo, TestCard,
+};
 
 /// Default per-experiment cycle budget (external time-out).
 pub const DEFAULT_CYCLE_BUDGET: u64 = 5_000_000;
@@ -184,6 +187,14 @@ impl ThorTarget {
             is_call: info.is_call,
         }
     }
+}
+
+/// The payload behind [`TargetSnapshot`] for [`ThorTarget`]: the full
+/// test-card state plus the adapter's own iteration bookkeeping.
+struct ThorSnapshot {
+    card: CardSnapshot,
+    iterations: u32,
+    output_history: Vec<u32>,
 }
 
 fn to_core_bits(bits: &BitVector) -> StateVector {
@@ -430,6 +441,34 @@ impl TargetSystemInterface for ThorTarget {
     fn iterations_completed(&mut self) -> Result<u32> {
         Ok(self.iterations)
     }
+
+    fn snapshot(&mut self) -> Result<TargetSnapshot> {
+        // Cyclic workloads carry an environment simulator whose state lives
+        // behind a non-cloneable trait object, so only batch workloads are
+        // checkpointable; the engine treats this as "target does not
+        // support checkpointing" and falls back to cold starts.
+        if self.env.is_some() {
+            return Err(self.unsupported("snapshot"));
+        }
+        Ok(TargetSnapshot::new(ThorSnapshot {
+            card: self.card.snapshot(),
+            iterations: self.iterations,
+            output_history: self.output_history.clone(),
+        }))
+    }
+
+    fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+        if self.env.is_some() {
+            return Err(self.unsupported("restore"));
+        }
+        let snap = snapshot
+            .downcast_ref::<ThorSnapshot>()
+            .ok_or_else(|| GoofiError::Target("snapshot is not a Thor snapshot".into()))?;
+        self.card.restore(&snap.card);
+        self.iterations = snap.iterations;
+        self.output_history = snap.output_history.clone();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -542,6 +581,39 @@ mod tests {
         let c = scifi_campaign("thor", 1, (0, 100));
         let run = reference_run(&mut t, &c).unwrap();
         assert_eq!(run.termination, TargetEvent::TimedOut);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let w = sort_workload(8, 5);
+        let mut t = ThorTarget::new("thor", w);
+        t.init_test_card().unwrap();
+        t.load_workload().unwrap();
+        t.run_workload().unwrap();
+        t.set_breakpoint(50).unwrap();
+        assert_eq!(
+            t.wait_for_breakpoint().unwrap(),
+            TargetEvent::BreakpointHit { time: 50 }
+        );
+        let snap = t.snapshot().unwrap();
+        assert_eq!(t.wait_for_termination().unwrap(), TargetEvent::Halted);
+        let outputs = t.read_outputs().unwrap();
+        let state = t.observe_state().unwrap();
+        let instret = t.instructions_retired().unwrap();
+
+        t.restore(&snap).unwrap();
+        assert_eq!(t.instructions_retired().unwrap(), 50);
+        assert_eq!(t.wait_for_termination().unwrap(), TargetEvent::Halted);
+        assert_eq!(t.read_outputs().unwrap(), outputs);
+        assert_eq!(t.observe_state().unwrap(), state);
+        assert_eq!(t.instructions_retired().unwrap(), instret);
+    }
+
+    #[test]
+    fn cyclic_targets_do_not_support_snapshots() {
+        let w = pid_workload(PidGains::default(), 5);
+        let mut t = ThorTarget::with_env("thor", w, Box::new(DcMotorEnv::new(SCALE)));
+        assert!(t.snapshot().is_err());
     }
 
     #[test]

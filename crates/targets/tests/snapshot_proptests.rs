@@ -1,0 +1,69 @@
+//! Property tests for the snapshot/restore building blocks: after
+//! `snapshot → k steps → restore`, re-running the same `k` steps must be
+//! bit-identical on every observable surface (events, scan-chain state,
+//! retired-instruction counters, outputs) — for both target adapters.
+
+use goofi_core::TargetSystemInterface;
+use goofi_targets::{StackProgram, StackVmTarget, ThorTarget};
+use goofi_workloads::sort_workload;
+use proptest::prelude::*;
+
+/// Steps `k` instructions, recording everything an experiment could
+/// observe after each step. Stops early at any debug event (breakpoint,
+/// halt, trap) — the truncated tail must then match too.
+fn observe_steps(target: &mut dyn TargetSystemInterface, k: u64) -> Vec<String> {
+    let mut log = Vec::new();
+    for _ in 0..k {
+        let event = target.step_instruction().unwrap();
+        let state = target.observe_state().unwrap();
+        let retired = target.instructions_retired().unwrap();
+        let outputs = target.read_outputs().unwrap();
+        log.push(format!("{event:?} {state:?} {retired} {outputs:?}"));
+        if event.is_some() {
+            break;
+        }
+    }
+    log
+}
+
+/// The shared property: run to instruction `k1`, snapshot, observe `k2`
+/// steps, restore, observe `k2` steps again — the two logs must be equal.
+fn snapshot_replays_bit_identically(
+    target: &mut dyn TargetSystemInterface,
+    k1: u64,
+    k2: u64,
+) {
+    target.init_test_card().unwrap();
+    target.load_workload().unwrap();
+    target.set_breakpoint(k1).unwrap();
+    target.run_workload().unwrap();
+    target.wait_for_breakpoint().unwrap();
+
+    let snapshot = target.snapshot().unwrap();
+    let first = observe_steps(target, k2);
+    target.restore(&snapshot).unwrap();
+    let second = observe_steps(target, k2);
+    assert_eq!(first, second, "restored replay diverged (k1={k1}, k2={k2})");
+}
+
+proptest! {
+    #[test]
+    fn thor_snapshot_replay_is_bit_identical(
+        k1 in 1u64..80,
+        k2 in 1u64..40,
+        seed in 0u32..16,
+    ) {
+        let mut target = ThorTarget::new("thor-card", sort_workload(8, seed));
+        snapshot_replays_bit_identically(&mut target, k1, k2);
+    }
+
+    #[test]
+    fn stackvm_snapshot_replay_is_bit_identical(
+        k1 in 1u64..40,
+        k2 in 1u64..30,
+        n in 1i32..20,
+    ) {
+        let mut target = StackVmTarget::new("stackvm", StackProgram::sum(n), 16);
+        snapshot_replays_bit_identically(&mut target, k1, k2);
+    }
+}

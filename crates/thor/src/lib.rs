@@ -59,8 +59,8 @@ pub use disasm::disassemble;
 pub use cache::{Access, Cache, CacheConfig, CacheLine};
 pub use edm::{AccessKind, Exception, Mechanism};
 pub use isa::{Cond, Instr, Reg, LINK_REG, NUM_REGS};
-pub use machine::{CoreEvent, Machine, MachineConfig, Step, PSW_C, PSW_N, PSW_V, PSW_Z};
+pub use machine::{CoreEvent, CoreState, Machine, MachineConfig, Step, PSW_C, PSW_N, PSW_V, PSW_Z};
 pub use memory::{Memory, MemoryMap};
 pub use scan::{BitVector, ChainField, Field, ScanChain};
-pub use testcard::{CardError, DebugEvent, TestCard};
+pub use testcard::{CardError, CardSnapshot, DebugEvent, TestCard};
 pub use trace::{Loc, StepInfo, Trace};

@@ -51,6 +51,34 @@ pub struct Step {
     pub event: Option<CoreEvent>,
 }
 
+/// The complete register-level core state: everything in [`Machine`]
+/// except memory and caches. One value of this struct is what
+/// [`Machine::reset`] zeroes and what a checkpoint restore writes back, so
+/// the two paths cannot drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CoreState {
+    /// General-purpose registers.
+    pub regs: [u32; NUM_REGS],
+    /// Program counter.
+    pub pc: u32,
+    /// Processor status word.
+    pub psw: u32,
+    /// Instruction register.
+    pub ir: u32,
+    /// Memory address register.
+    pub mar: u32,
+    /// Memory data register.
+    pub mdr: u32,
+    /// Watchdog counter.
+    pub wdt: u32,
+    /// Total cycles executed.
+    pub cycles: u64,
+    /// Total instructions retired.
+    pub instret: u64,
+    /// Whether the machine has executed `halt`.
+    pub halted: bool,
+}
+
 /// The simulated processor.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Machine {
@@ -98,19 +126,41 @@ impl Machine {
 
     /// Resets all architectural state and clears memory and caches.
     pub fn reset(&mut self) {
-        self.regs = [0; NUM_REGS];
-        self.pc = 0;
-        self.psw = 0;
-        self.ir = 0;
-        self.mar = 0;
-        self.mdr = 0;
-        self.wdt = 0;
-        self.cycles = 0;
-        self.instret = 0;
-        self.halted = false;
+        self.set_core_state(&CoreState::default());
         self.memory.clear();
         self.icache.invalidate_all();
         self.dcache.invalidate_all();
+    }
+
+    /// Captures the register-level core state (checkpointing).
+    pub fn core_state(&self) -> CoreState {
+        CoreState {
+            regs: self.regs,
+            pc: self.pc,
+            psw: self.psw,
+            ir: self.ir,
+            mar: self.mar,
+            mdr: self.mdr,
+            wdt: self.wdt,
+            cycles: self.cycles,
+            instret: self.instret,
+            halted: self.halted,
+        }
+    }
+
+    /// Overwrites the register-level core state (reset, checkpoint restore).
+    /// Memory and caches are untouched.
+    pub fn set_core_state(&mut self, state: &CoreState) {
+        self.regs = state.regs;
+        self.pc = state.pc;
+        self.psw = state.psw;
+        self.ir = state.ir;
+        self.mar = state.mar;
+        self.mdr = state.mdr;
+        self.wdt = state.wdt;
+        self.cycles = state.cycles;
+        self.instret = state.instret;
+        self.halted = state.halted;
     }
 
     /// Program counter.

@@ -40,6 +40,11 @@ impl Default for MemoryMap {
 pub struct Memory {
     map: MemoryMap,
     words: Vec<u32>,
+    // One bit per word, set on every write since the last `drain_dirty`.
+    // A Vec<u64> bitmap (not a set) so the struct stays serialisable with
+    // the vendored serde, which has no set impls.
+    dirty: Vec<u64>,
+    any_dirty: bool,
 }
 
 impl Memory {
@@ -52,9 +57,12 @@ impl Memory {
     pub fn new(map: MemoryMap) -> Memory {
         assert!(map.size.is_multiple_of(4), "memory size must be word aligned");
         assert!(map.code_end <= map.size, "code region exceeds memory");
+        let num_words = (map.size / 4) as usize;
         Memory {
             map,
-            words: vec![0; (map.size / 4) as usize],
+            words: vec![0; num_words],
+            dirty: vec![0; num_words.div_ceil(64)],
+            any_dirty: false,
         }
     }
 
@@ -116,6 +124,7 @@ impl Memory {
     pub fn write(&mut self, addr: u32, value: u32) -> Result<(), Exception> {
         let i = self.check(addr, AccessKind::Write)?;
         self.words[i] = value;
+        self.mark_dirty(i);
         Ok(())
     }
 
@@ -133,7 +142,9 @@ impl Memory {
         if !addr.is_multiple_of(4) || addr >= self.map.size {
             return false;
         }
-        self.words[(addr / 4) as usize] = value;
+        let i = (addr / 4) as usize;
+        self.words[i] = value;
+        self.mark_dirty(i);
         true
     }
 
@@ -157,6 +168,90 @@ impl Memory {
     /// Zeroes all of memory (target re-initialisation between experiments).
     pub fn clear(&mut self) {
         self.words.iter_mut().for_each(|w| *w = 0);
+        self.mark_all_dirty();
+    }
+
+    /// The raw word contents, for full-memory snapshots.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Word indices written since the last drain, sorted ascending; clears
+    /// the tracking. The checkpoint engine uses this to build sparse
+    /// per-checkpoint memory deltas instead of copying the whole map.
+    pub fn drain_dirty(&mut self) -> Vec<u32> {
+        if !self.any_dirty {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for (block, bits) in self.dirty.iter_mut().enumerate() {
+            let mut b = *bits;
+            while b != 0 {
+                let index = block * 64 + b.trailing_zeros() as usize;
+                if index < self.words.len() {
+                    out.push(index as u32);
+                }
+                b &= b - 1;
+            }
+            *bits = 0;
+        }
+        self.any_dirty = false;
+        out
+    }
+
+    /// Overwrites all of memory from a snapshot `base` plus a sparse
+    /// `(word index, value)` overlay, marking everything dirty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` does not match this memory's size or an overlay
+    /// index is out of range.
+    pub fn restore_words(&mut self, base: &[u32], overlay: &[(u32, u32)]) {
+        assert_eq!(base.len(), self.words.len(), "snapshot size mismatch");
+        self.words.copy_from_slice(base);
+        for &(index, value) in overlay {
+            self.words[index as usize] = value;
+        }
+        self.mark_all_dirty();
+    }
+
+    /// Incremental [`Memory::restore_words`]: reverts only the words that
+    /// can differ from `base` + `overlay`, namely the words written since
+    /// the last drain plus both sparse overlays. Sound only when the
+    /// current contents are `base` + `prev_overlay` + those dirty writes —
+    /// i.e. the caller last restored (or snapshotted) against the same
+    /// `base`. Both overlays must be sorted by word index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` does not match this memory's size or an overlay
+    /// index is out of range.
+    pub fn revert_words(&mut self, base: &[u32], prev_overlay: &[(u32, u32)], overlay: &[(u32, u32)]) {
+        assert_eq!(base.len(), self.words.len(), "snapshot size mismatch");
+        let dirty = self.drain_dirty();
+        let value_at = |index: u32| match overlay.binary_search_by_key(&index, |&(i, _)| i) {
+            Ok(k) => overlay[k].1,
+            Err(_) => base[index as usize],
+        };
+        for &(index, _) in prev_overlay {
+            self.words[index as usize] = value_at(index);
+        }
+        for &(index, value) in overlay {
+            self.words[index as usize] = value;
+        }
+        for index in dirty {
+            self.words[index as usize] = value_at(index);
+        }
+    }
+
+    fn mark_dirty(&mut self, index: usize) {
+        self.dirty[index / 64] |= 1 << (index % 64);
+        self.any_dirty = true;
+    }
+
+    fn mark_all_dirty(&mut self) {
+        self.dirty.iter_mut().for_each(|w| *w = !0);
+        self.any_dirty = true;
     }
 }
 
@@ -233,5 +328,67 @@ mod tests {
         m.write(512, 7).unwrap();
         m.clear();
         assert_eq!(m.read(512).unwrap(), 0);
+    }
+
+    #[test]
+    fn dirty_tracking_reports_written_words() {
+        let mut m = mem();
+        assert!(m.drain_dirty().is_empty());
+        m.write(512, 7).unwrap(); // word 128
+        m.host_write(260, 9); // word 65
+        assert_eq!(m.drain_dirty(), vec![65, 128]);
+        // Drained: nothing dirty until the next write.
+        assert!(m.drain_dirty().is_empty());
+        m.host_write_block(256, &[1, 2]); // words 64, 65
+        assert_eq!(m.drain_dirty(), vec![64, 65]);
+    }
+
+    #[test]
+    fn clear_marks_everything_dirty() {
+        let mut m = mem();
+        m.drain_dirty();
+        m.clear();
+        assert_eq!(m.drain_dirty().len(), 256);
+    }
+
+    #[test]
+    fn revert_words_matches_full_restore() {
+        let mut m = mem();
+        m.host_write_block(256, &[1, 2, 3, 4]);
+        let base: Vec<u32> = m.words().to_vec();
+        m.drain_dirty();
+
+        // State A = base + prev overlay, nothing dirty.
+        let prev = [(64u32, 10u32), (66, 30)];
+        for &(i, v) in &prev {
+            m.words[i as usize] = v;
+        }
+        // Dirty writes on top of A.
+        m.write(512, 99).unwrap();
+        m.write(268, 77).unwrap(); // word 67
+
+        // Revert to base + new overlay; only words 64,66 (prev), 128,67
+        // (dirty) and 65 (new) may differ, and all must land exactly.
+        let overlay = [(65u32, 20u32)];
+        m.revert_words(&base, &prev, &overlay);
+
+        let mut want = base.clone();
+        want[65] = 20;
+        assert_eq!(m.words(), &want[..]);
+        assert!(m.drain_dirty().is_empty());
+    }
+
+    #[test]
+    fn restore_words_applies_base_plus_overlay() {
+        let mut m = mem();
+        m.write(512, 7).unwrap();
+        let base: Vec<u32> = m.words().to_vec();
+        m.write(512, 8).unwrap();
+        m.write(516, 9).unwrap();
+        m.restore_words(&base, &[(129, 42)]);
+        assert_eq!(m.read(512).unwrap(), 7); // from base
+        assert_eq!(m.read(516).unwrap(), 42); // from overlay
+        // Restore marks everything dirty again.
+        assert_eq!(m.drain_dirty().len(), 256);
     }
 }

@@ -10,11 +10,13 @@
 //! [`TestCard`].
 
 use crate::asm::Program;
+use crate::cache::Cache;
 use crate::edm::Exception;
-use crate::machine::{CoreEvent, Machine, MachineConfig};
+use crate::machine::{CoreEvent, CoreState, Machine, MachineConfig};
 use crate::scan::{BitVector, ScanChain};
 use crate::trace::{StepInfo, Trace};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A debug event delivered by the test card when workload execution stops.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -75,6 +77,34 @@ impl std::fmt::Display for CardError {
 
 impl std::error::Error for CardError {}
 
+/// A frozen copy of the complete target state mid-execution, produced by
+/// [`TestCard::snapshot`] and consumed by [`TestCard::restore`].
+///
+/// Memory is stored as a shared full-size base image ([`Arc`]d, so many
+/// snapshots of one execution share one copy) plus a sparse
+/// `(word index, value)` overlay built from [`Memory`](crate::Memory)
+/// dirty-word tracking — consecutive snapshots of a pilot run cost only
+/// the words written since the previous snapshot.
+#[derive(Debug, Clone)]
+pub struct CardSnapshot {
+    core: CoreState,
+    icache: Cache,
+    dcache: Cache,
+    mem_base: Arc<Vec<u32>>,
+    mem_delta: Vec<(u32, u32)>,
+    addr_breakpoints: BTreeSet<u32>,
+    instret_breakpoints: BTreeSet<u64>,
+    latched: Option<DebugEvent>,
+}
+
+// The memory base image shared by consecutive snapshots of one execution,
+// plus the cumulative overlay that brings it up to the latest snapshot.
+#[derive(Debug, Clone)]
+struct SnapBase {
+    base: Arc<Vec<u32>>,
+    delta: BTreeMap<u32, u32>,
+}
+
 /// The host's handle on the target system.
 #[derive(Debug, Clone)]
 pub struct TestCard {
@@ -85,6 +115,7 @@ pub struct TestCard {
     latched: Option<DebugEvent>,
     tracing: bool,
     trace: Trace,
+    snap_base: Option<SnapBase>,
 }
 
 impl TestCard {
@@ -104,6 +135,7 @@ impl TestCard {
             latched: None,
             tracing: false,
             trace: Trace::new(),
+            snap_base: None,
         }
     }
 
@@ -117,6 +149,7 @@ impl TestCard {
         self.latched = None;
         self.tracing = false;
         self.trace = Trace::new();
+        self.snap_base = None;
     }
 
     /// The simulated machine (observation).
@@ -136,6 +169,7 @@ impl TestCard {
     ///
     /// [`CardError::BadAddress`] if a segment does not fit in target memory.
     pub fn download(&mut self, program: &Program) -> Result<(), CardError> {
+        self.snap_base = None;
         for seg in &program.segments {
             if !self.machine.memory_mut().host_write_block(seg.base, &seg.words) {
                 return Err(CardError::BadAddress(seg.base));
@@ -289,6 +323,90 @@ impl TestCard {
                 Err(ev)
             }
         }
+    }
+
+    /// Freezes the complete target state: core registers, memory, both
+    /// caches, armed breakpoints and any latched debug event. Traces are
+    /// not captured (detail mode re-runs from reset).
+    ///
+    /// The first snapshot after an [`init`](TestCard::init) or
+    /// [`download`](TestCard::download) copies the whole memory image;
+    /// later snapshots of the same execution reuse it and record only the
+    /// words written in between.
+    pub fn snapshot(&mut self) -> CardSnapshot {
+        let dirty = self.machine.memory_mut().drain_dirty();
+        match &mut self.snap_base {
+            Some(sb) => {
+                let words = self.machine.memory().words();
+                for index in dirty {
+                    sb.delta.insert(index, words[index as usize]);
+                }
+            }
+            None => {
+                self.snap_base = Some(SnapBase {
+                    base: Arc::new(self.machine.memory().words().to_vec()),
+                    delta: BTreeMap::new(),
+                });
+            }
+        }
+        let sb = self.snap_base.as_ref().expect("snapshot base just set");
+        CardSnapshot {
+            core: self.machine.core_state(),
+            icache: self.machine.icache().clone(),
+            dcache: self.machine.dcache().clone(),
+            mem_base: Arc::clone(&sb.base),
+            mem_delta: sb.delta.iter().map(|(&i, &v)| (i, v)).collect(),
+            addr_breakpoints: self.addr_breakpoints.clone(),
+            instret_breakpoints: self.instret_breakpoints.clone(),
+            latched: self.latched.clone(),
+        }
+    }
+
+    /// Rewinds the target to a previously captured snapshot. Tracing is
+    /// switched off and any collected trace dropped; execution resumes
+    /// bit-identically to the run the snapshot was taken from.
+    pub fn restore(&mut self, snapshot: &CardSnapshot) {
+        self.machine.set_core_state(&snapshot.core);
+        // When the current contents already derive from the snapshot's
+        // memory image (the steady state of a checkpointed campaign: every
+        // experiment restores from the same pilot), only the words written
+        // since the last snapshot/restore boundary plus the two sparse
+        // deltas can differ — revert those instead of copying the map.
+        let same_base = self
+            .snap_base
+            .as_ref()
+            .is_some_and(|sb| Arc::ptr_eq(&sb.base, &snapshot.mem_base));
+        if same_base {
+            let sb = self.snap_base.as_ref().expect("same_base checked");
+            let prev: Vec<(u32, u32)> = sb.delta.iter().map(|(&i, &v)| (i, v)).collect();
+            self.machine
+                .memory_mut()
+                .revert_words(&snapshot.mem_base, &prev, &snapshot.mem_delta);
+        } else {
+            self.machine
+                .memory_mut()
+                .restore_words(&snapshot.mem_base, &snapshot.mem_delta);
+        }
+        *self.machine.icache_mut() = snapshot.icache.clone();
+        *self.machine.dcache_mut() = snapshot.dcache.clone();
+        self.addr_breakpoints = snapshot.addr_breakpoints.clone();
+        self.instret_breakpoints = snapshot.instret_breakpoints.clone();
+        self.latched = snapshot.latched.clone();
+        self.tracing = false;
+        self.trace = Trace::new();
+        // Share the snapshot's memory image as the new base so snapshots
+        // taken after a restore stay cheap.
+        let mut delta = BTreeMap::new();
+        delta.extend(snapshot.mem_delta.iter().copied());
+        self.snap_base = Some(SnapBase {
+            base: Arc::clone(&snapshot.mem_base),
+            delta,
+        });
+        // Memory now equals base + delta exactly; from here on track fresh
+        // writes only, relative to the base we just installed. (The full
+        // restore path marked everything dirty; the revert path already
+        // drained.)
+        self.machine.memory_mut().drain_dirty();
     }
 
     /// Runs the workload until a breakpoint, `halt`, `sync`, a detected
@@ -492,6 +610,64 @@ mod tests {
             card.read_memory(0xffff_fff0),
             Err(CardError::BadAddress(_))
         ));
+    }
+
+    #[test]
+    fn snapshot_restore_replays_identically() {
+        let mut card = card_with(SUM_PROGRAM);
+        card.set_breakpoint_instret(6);
+        assert!(matches!(
+            card.run(1_000_000),
+            DebugEvent::Breakpoint { instret: 6, .. }
+        ));
+        let snap = card.snapshot();
+        assert_eq!(card.run(1_000_000), DebugEvent::Halted);
+        let final_state = card.machine().core_state();
+        assert_eq!(card.read_memory(0x4000).unwrap(), 15);
+
+        card.restore(&snap);
+        assert_eq!(card.machine().instret(), 6);
+        assert!(!card.machine().is_halted());
+        assert_eq!(card.run(1_000_000), DebugEvent::Halted);
+        assert_eq!(card.machine().core_state(), final_state);
+        assert_eq!(card.read_memory(0x4000).unwrap(), 15);
+    }
+
+    #[test]
+    fn consecutive_snapshots_share_one_memory_base() {
+        let mut card = card_with(SUM_PROGRAM);
+        card.set_breakpoint_instret(3);
+        card.run(1_000_000);
+        let a = card.snapshot();
+        card.set_breakpoint_instret(20);
+        card.run(1_000_000);
+        let b = card.snapshot();
+        assert!(Arc::ptr_eq(&a.mem_base, &b.mem_base));
+        // The store at instret 23 hasn't happened yet: only breakpoint-free
+        // prefix writes land in the delta (none touch memory here).
+        assert!(b.mem_delta.len() <= 1);
+
+        // Restoring the earlier snapshot and re-running reaches the same
+        // halt state as restoring the later one and re-running.
+        card.restore(&a);
+        card.run(1_000_000);
+        let from_a = (card.machine().core_state(), card.read_memory(0x4000).unwrap());
+        card.restore(&b);
+        card.run(1_000_000);
+        let from_b = (card.machine().core_state(), card.read_memory(0x4000).unwrap());
+        assert_eq!(from_a, from_b);
+    }
+
+    #[test]
+    fn restore_carries_latched_events_and_breakpoints() {
+        let mut card = card_with(SUM_PROGRAM);
+        card.set_breakpoint_instret(40);
+        card.run(1_000_000); // halts before instret 40 fires
+        let halted = card.snapshot();
+        card.init();
+        card.restore(&halted);
+        // Latched halt survives the roundtrip.
+        assert_eq!(card.run(10), DebugEvent::Halted);
     }
 
     #[test]

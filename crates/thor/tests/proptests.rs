@@ -93,6 +93,47 @@ proptest! {
         prop_assert_eq!(before.hamming_distance(&after), 1);
     }
 
+    /// A snapshot taken mid-run replays bit-identically: restore and
+    /// re-execution reach the same core state, memory and final event as
+    /// the first pass — including when the snapshot's sparse memory delta
+    /// is in play because earlier stores dirtied words.
+    #[test]
+    fn snapshot_restore_replays_bit_identically(k in 1u64..200, seed in any::<u32>()) {
+        let src = format!(
+            "li r1, {}\n\
+             li r2, 0\n\
+             li r3, 17\n\
+             la r4, out\n\
+             loop: add r2, r2, r3\n\
+             st r2, (r4)\n\
+             addi r1, r1, -1\n\
+             cmp r1, r0\n\
+             bne loop\n\
+             halt\n\
+             .org 0x4000\n\
+             out: .word 0\n",
+            (seed % 40 + 2) as i32
+        );
+        let program = assemble(&src).unwrap();
+        let mut card = TestCard::new(MachineConfig::default());
+        card.download(&program).unwrap();
+        card.set_breakpoint_instret(k);
+        card.run(1_000_000);
+        let snap = card.snapshot();
+
+        let mut passes = Vec::new();
+        for _ in 0..2 {
+            card.restore(&snap);
+            let ev = card.run(1_000_000);
+            passes.push((
+                format!("{ev:?}"),
+                card.machine().core_state(),
+                card.read_memory(0x4000).unwrap(),
+            ));
+        }
+        prop_assert_eq!(&passes[0], &passes[1]);
+    }
+
     /// The machine is deterministic: the same program and inputs give the
     /// same final state and cycle count.
     #[test]

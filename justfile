@@ -21,3 +21,7 @@ ci: build test lint
 # E8 orchestration ablation; refreshes BENCH_e8.json at the repo root.
 bench-e8:
     cargo bench -p goofi-bench --bench e8_runner_scaling
+
+# E9 checkpoint-vs-cold-start; refreshes BENCH_e9.json at the repo root.
+bench-e9:
+    cargo bench -p goofi-bench --bench e9_checkpoint

@@ -5,8 +5,9 @@
 
 use goofi_repro::core::{
     analyze_campaign, control_channel, resume_campaign_parallel, run_campaign,
-    run_campaign_parallel, run_campaign_parallel_static, Campaign, CampaignResult, Command,
-    FaultModel, GoofiStore, LocationSelector, ProgressEvent, TargetSystemInterface, Technique,
+    run_campaign_parallel, run_campaign_parallel_static, run_campaign_parallel_with,
+    run_campaign_with, Campaign, CampaignResult, Command, FaultModel, GoofiStore,
+    LocationSelector, ProgressEvent, RunOptions, TargetSystemInterface, Technique,
 };
 use goofi_repro::targets::ThorTarget;
 use goofi_repro::workloads::sort_workload;
@@ -90,6 +91,54 @@ fn any_worker_count_is_byte_identical_to_sequential() {
     assert_eq!(std::fs::read(&path).unwrap(), seq_bytes);
     std::fs::remove_file(&path).ok();
     std::fs::remove_file(&seq_path).ok();
+}
+
+/// The checkpoint cache is invisible in the results: with checkpointing on
+/// or off, at workers 1, 2 and 4, every database is byte-identical to a
+/// cold-start sequential run.
+#[test]
+fn checkpointing_on_or_off_is_byte_identical() {
+    let c = campaign("det-ckpt", 40);
+
+    // Cold-start sequential run (no checkpoint cache) is the ground truth.
+    let mut cold_store = seeded_store(&c);
+    let mut target = ThorTarget::new("thor-card", sort_workload(12, 9));
+    let cold = run_campaign_with(
+        &mut target,
+        &c,
+        Some(&mut cold_store),
+        None,
+        RunOptions { checkpoint: false },
+    )
+    .unwrap();
+    let cold_path = tmp("ckpt_cold.json");
+    cold_store.save(&cold_path).unwrap();
+    let cold_bytes = std::fs::read(&cold_path).unwrap();
+    std::fs::remove_file(&cold_path).ok();
+
+    for checkpoint in [false, true] {
+        for workers in [1usize, 2, 4] {
+            let mut store = seeded_store(&c);
+            let result = run_campaign_parallel_with(
+                factory,
+                &c,
+                workers,
+                Some(&mut store),
+                None,
+                RunOptions { checkpoint },
+            )
+            .unwrap();
+            assert_same_runs(&cold, &result);
+            let path = tmp(&format!("ckpt_{checkpoint}_{workers}.json"));
+            store.save(&path).unwrap();
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                cold_bytes,
+                "checkpoint={checkpoint} workers={workers} database differs from cold sequential"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
 }
 
 /// A campaign stopped mid-flight and resumed in parallel ends with exactly
