@@ -1,0 +1,145 @@
+//! Experiment E10: telemetry overhead when disabled (and enabled).
+//!
+//! The telemetry layer promises to be zero-cost when off: a span site with
+//! no installed dispatcher is one thread-local read, no clock, no
+//! allocation. E10 quantifies that promise on the E8 workload:
+//!
+//! 1. nanoseconds per disabled span site (a tight loop over the real
+//!    `tracing::span` entry point with no dispatcher installed);
+//! 2. the span count an instrumented campaign actually emits (from a
+//!    `TelemetryMode::Metrics` run's rollup);
+//! 3. campaign wall time with telemetry off vs. metrics vs. trace.
+//!
+//! The budget check multiplies (1) by (2): the *worst-case* cost the
+//! instrumentation can add to a telemetry-off campaign, as a fraction of
+//! its wall time, must stay under 2%. The run aborts the bench (non-zero
+//! exit) if the budget is blown, and writes `BENCH_e10.json` at the
+//! workspace root for CI and the docs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::{scifi_campaign, workload};
+use goofi_core::{Campaign, CampaignRunner, RunOptions, TelemetryMode};
+use goofi_targets::ThorTarget;
+use std::time::{Duration, Instant};
+
+const WORKLOAD: &str = "sort16";
+const EXPERIMENTS: usize = 120;
+const DISABLED_SPAN_ITERS: u64 = 1_000_000;
+const BUDGET_PCT: f64 = 2.0;
+
+fn run_once(campaign: &Campaign, mode: TelemetryMode) -> (Duration, u64) {
+    let w = workload(WORKLOAD);
+    let factory = move || {
+        Box::new(ThorTarget::new("thor-card", w.clone()))
+            as Box<dyn goofi_core::TargetSystemInterface>
+    };
+    let t0 = Instant::now();
+    let result = CampaignRunner::from_factory(factory, campaign)
+        .options(RunOptions::new().telemetry(mode))
+        .run()
+        .expect("campaign runs");
+    let wall = t0.elapsed();
+    let spans = result.telemetry.map(|t| t.span_count()).unwrap_or(0);
+    (wall, spans)
+}
+
+fn run_min3(campaign: &Campaign, mode: TelemetryMode) -> (Duration, u64) {
+    (0..3)
+        .map(|_| run_once(campaign, mode))
+        .min_by_key(|(wall, _)| *wall)
+        .expect("three runs")
+}
+
+/// Cost of one span site with no dispatcher installed — the price every
+/// telemetry-off campaign pays per instrumentation point.
+fn disabled_span_nanos() -> f64 {
+    // Warm up the thread-local before timing.
+    for _ in 0..10_000 {
+        let _s = tracing::span("e10.disabled");
+    }
+    let t0 = Instant::now();
+    for _ in 0..DISABLED_SPAN_ITERS {
+        let _s = tracing::span("e10.disabled");
+    }
+    t0.elapsed().as_nanos() as f64 / DISABLED_SPAN_ITERS as f64
+}
+
+fn bench(c: &mut Criterion) {
+    let campaign = scifi_campaign("e10", WORKLOAD, EXPERIMENTS, 2500);
+
+    let ns_per_span = disabled_span_nanos();
+    let (off_wall, _) = run_min3(&campaign, TelemetryMode::Off);
+    let (metrics_wall, spans) = run_min3(&campaign, TelemetryMode::Metrics);
+    let (trace_wall, _) = run_min3(&campaign, TelemetryMode::Trace);
+
+    // Worst-case disabled cost: every span site the instrumented run hit,
+    // priced at the measured no-dispatcher rate.
+    let disabled_cost_ns = ns_per_span * spans as f64;
+    let overhead_pct = 100.0 * disabled_cost_ns / off_wall.as_nanos() as f64;
+    let metrics_pct = 100.0 * (metrics_wall.as_secs_f64() / off_wall.as_secs_f64() - 1.0);
+    let trace_pct = 100.0 * (trace_wall.as_secs_f64() / off_wall.as_secs_f64() - 1.0);
+
+    println!("\n=== E10: telemetry overhead ({WORKLOAD}, {EXPERIMENTS} experiments) ===");
+    println!("disabled span site:   {ns_per_span:.2} ns/span (no dispatcher)");
+    println!("spans per campaign:   {spans}");
+    println!("wall  off:            {off_wall:>10.3?}");
+    println!("wall  metrics:        {metrics_wall:>10.3?}  ({metrics_pct:+.2}% vs off)");
+    println!("wall  trace:          {trace_wall:>10.3?}  ({trace_pct:+.2}% vs off)");
+    println!(
+        "disabled overhead:    {overhead_pct:.4}% of the off wall (budget {BUDGET_PCT}%)"
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e10_telemetry_overhead\",\n");
+    out.push_str(&format!(
+        "  \"campaign\": {{\"workload\": \"{WORKLOAD}\", \"experiments\": {EXPERIMENTS}, \"window\": 2500}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"disabled_ns_per_span\": {ns_per_span:.4},\n  \"spans_per_campaign\": {spans},\n"
+    ));
+    out.push_str(&format!(
+        "  \"wall_off_s\": {:.6},\n  \"wall_metrics_s\": {:.6},\n  \"wall_trace_s\": {:.6},\n",
+        off_wall.as_secs_f64(),
+        metrics_wall.as_secs_f64(),
+        trace_wall.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  \"disabled_overhead_pct\": {overhead_pct:.6},\n  \"budget_pct\": {BUDGET_PCT}\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e10.json");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    assert!(
+        overhead_pct < BUDGET_PCT,
+        "disabled telemetry overhead {overhead_pct:.4}% blows the {BUDGET_PCT}% budget"
+    );
+
+    let mut group = c.benchmark_group("e10");
+    group.sample_size(10);
+    group.bench_function("disabled_span_1k", |b| {
+        b.iter(|| {
+            for _ in 0..1_000u32 {
+                let _s = tracing::span("e10.bench");
+            }
+        })
+    });
+    {
+        let campaign = scifi_campaign("e10-b", WORKLOAD, 32, 2500);
+        for mode in [TelemetryMode::Off, TelemetryMode::Metrics] {
+            group.bench_function(format!("campaign32_{}", mode.name()), |b| {
+                b.iter(|| run_once(&campaign, mode))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::{scifi_campaign, thor_target};
 use goofi_core::{
-    generate_fault_list, run_campaign, run_experiment, Campaign, FaultModel,
+    generate_fault_list, run_experiment, CampaignRunner, Campaign, FaultModel,
     LocationSelector, Technique, TargetSystemInterface, TriggerPolicy,
 };
 
@@ -36,7 +36,7 @@ fn print_table() {
             .build()
             .expect("valid campaign");
         let mut target = thor_target("matmul4");
-        let stats = run_campaign(&mut target, &campaign, None, None)
+        let stats = CampaignRunner::new(&mut target, &campaign).run()
             .expect("campaign runs")
             .stats;
         let cov = stats.detection_coverage();

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::{scifi_campaign, swifi_campaign, thor_target};
-use goofi_core::{generate_fault_list, run_campaign, run_experiment, TriggerPolicy, TargetSystemInterface};
+use goofi_core::{generate_fault_list, run_experiment, CampaignRunner, TriggerPolicy, TargetSystemInterface};
 
 fn print_table() {
     println!("\n=== E2: technique comparison (crc32x16, 300 faults each) ===");
@@ -24,7 +24,7 @@ fn print_table() {
     ];
     for (label, campaign) in cases {
         let mut target = thor_target("crc32x16");
-        let stats = run_campaign(&mut target, &campaign, None, None)
+        let stats = CampaignRunner::new(&mut target, &campaign).run()
             .expect("campaign runs")
             .stats;
         println!(

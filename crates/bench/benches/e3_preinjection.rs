@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::{scifi_campaign, thor_target};
-use goofi_core::run_campaign;
+use goofi_core::CampaignRunner;
 
 /// Classification counts without the `pruned` bookkeeping field, for the
 /// soundness comparison.
@@ -46,13 +46,13 @@ fn print_table() {
 
         let mut target = thor_target("sort16");
         let t0 = std::time::Instant::now();
-        let plain_result = run_campaign(&mut target, &plain, None, None).expect("campaign runs");
+        let plain_result = CampaignRunner::new(&mut target, &plain).run().expect("campaign runs");
         let plain_time = t0.elapsed();
 
         let mut target = thor_target("sort16");
         let t0 = std::time::Instant::now();
         let pruned_result =
-            run_campaign(&mut target, &pruning, None, None).expect("campaign runs");
+            CampaignRunner::new(&mut target, &pruning).run().expect("campaign runs");
         let pruned_time = t0.elapsed();
 
         println!(
@@ -76,7 +76,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut target = thor_target("sort16");
-                run_campaign(&mut target, &campaign, None, None).expect("campaign runs")
+                CampaignRunner::new(&mut target, &campaign).run().expect("campaign runs")
             })
         });
     }

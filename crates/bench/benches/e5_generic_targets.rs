@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::thor_target;
 use goofi_core::{
-    generate_fault_list, run_campaign, run_experiment, Campaign, FaultModel,
+    generate_fault_list, run_experiment, CampaignRunner, Campaign, FaultModel,
     LocationSelector, Technique, TargetSystemInterface, TriggerPolicy,
 };
 use goofi_targets::{StackProgram, StackVmTarget};
@@ -26,10 +26,10 @@ fn print_table() {
     println!("\n=== E5: same algorithm, two architectures (250 faults each) ===");
     let mut thor = thor_target("fib15");
     let c = campaign_for(&mut thor, 250);
-    let thor_stats = run_campaign(&mut thor, &c, None, None).expect("thor campaign").stats;
+    let thor_stats = CampaignRunner::new(&mut thor, &c).run().expect("thor campaign").stats;
     let mut vm = StackVmTarget::new("stackvm", StackProgram::sum(9), 8);
     let c = campaign_for(&mut vm, 250);
-    let vm_stats = run_campaign(&mut vm, &c, None, None).expect("vm campaign").stats;
+    let vm_stats = CampaignRunner::new(&mut vm, &c).run().expect("vm campaign").stats;
     println!(
         "{:<10} {:>9} {:>9} {:>8} {:>12}   mechanisms",
         "target", "detected", "escaped", "latent", "overwritten"

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::{scifi_campaign, thor_target};
 use goofi_core::{
-    generate_fault_list, run_campaign, run_experiment, FaultModel, TargetSystemInterface,
+    generate_fault_list, run_experiment, CampaignRunner, FaultModel, TargetSystemInterface,
     TriggerPolicy,
 };
 
@@ -35,7 +35,7 @@ fn print_table() {
         let mut campaign = scifi_campaign("e6", "sort10", 250, 1500);
         campaign.fault_model = model;
         let mut target = thor_target("sort10");
-        let stats = run_campaign(&mut target, &campaign, None, None)
+        let stats = CampaignRunner::new(&mut target, &campaign).run()
             .expect("campaign runs")
             .stats;
         println!(

@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::thor_pid_target;
 use goofi_core::{
-    generate_fault_list, run_campaign, run_experiment, Campaign, FaultModel,
+    generate_fault_list, run_experiment, CampaignRunner, Campaign, FaultModel,
     LocationSelector, Technique, TargetSystemInterface, TriggerPolicy,
 };
 
@@ -27,7 +27,7 @@ fn campaign(n: usize) -> Campaign {
 fn print_table() {
     println!("\n=== E7: closed-loop PID campaign (60 iterations, 250 faults) ===");
     let mut target = thor_pid_target(60);
-    let result = run_campaign(&mut target, &campaign(250), None, None).expect("campaign runs");
+    let result = CampaignRunner::new(&mut target, &campaign(250)).run().expect("campaign runs");
     println!("{}", result.stats.report());
     let deviations = result
         .runs

@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::{scifi_campaign, workload};
-use goofi_core::{run_campaign_parallel, run_campaign_parallel_static, Campaign};
+use goofi_core::{Campaign, CampaignRunner, RunOptions};
 use goofi_targets::ThorTarget;
 use std::time::{Duration, Instant};
 
@@ -29,6 +29,13 @@ impl Scheduler {
             Scheduler::Static => "static",
         }
     }
+
+    fn knob(self) -> goofi_core::Scheduler {
+        match self {
+            Scheduler::Dynamic => goofi_core::Scheduler::WorkStealing,
+            Scheduler::Static => goofi_core::Scheduler::Static,
+        }
+    }
 }
 
 struct Row {
@@ -44,11 +51,11 @@ fn run_once(campaign: &Campaign, workers: usize, scheduler: Scheduler) -> (Durat
         Box::new(ThorTarget::new("thor-card", w.clone())) as Box<dyn goofi_core::TargetSystemInterface>
     };
     let t0 = Instant::now();
-    let result = match scheduler {
-        Scheduler::Dynamic => run_campaign_parallel(factory, campaign, workers, None, None),
-        Scheduler::Static => run_campaign_parallel_static(factory, campaign, workers, None),
-    }
-    .expect("campaign runs");
+    let result = CampaignRunner::from_factory(factory, campaign)
+        .workers(workers)
+        .options(RunOptions::new().scheduler(scheduler.knob()))
+        .run()
+        .expect("campaign runs");
     (t0.elapsed(), result.runs.len())
 }
 

@@ -16,7 +16,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::{scifi_campaign_windowed, thor_target, workload};
 use goofi_core::{
-    run_campaign_with, Campaign, GoofiStore, RunOptions, TargetSystemInterface,
+    Campaign, CampaignRunner, GoofiStore, RunOptions, TargetSystemInterface,
 };
 use goofi_targets::ThorTarget;
 use std::time::{Duration, Instant};
@@ -49,7 +49,10 @@ struct Row {
 fn run_once(campaign: &Campaign, options: RunOptions) -> Duration {
     let mut target = ThorTarget::new("thor-card", workload(WORKLOAD));
     let t0 = Instant::now();
-    run_campaign_with(&mut target, campaign, None, None, options).expect("campaign runs");
+    CampaignRunner::new(&mut target, campaign)
+        .options(options)
+        .run()
+        .expect("campaign runs");
     t0.elapsed()
 }
 
@@ -66,7 +69,10 @@ fn database_bytes(campaign: &Campaign, options: RunOptions) -> Vec<u8> {
     let mut store = GoofiStore::new();
     store.put_target(&target.describe()).expect("put target");
     store.put_campaign(campaign).expect("put campaign");
-    run_campaign_with(&mut target, campaign, Some(&mut store), None, options)
+    CampaignRunner::new(&mut target, campaign)
+        .store(&mut store)
+        .options(options)
+        .run()
         .expect("campaign runs");
     let path = std::env::temp_dir().join(format!(
         "goofi_e9_{}_{}.json",
@@ -99,10 +105,10 @@ fn measure() -> Vec<Row> {
             start,
             end,
         );
-        let cold = run_min3(&campaign, RunOptions { checkpoint: false });
-        let warm = run_min3(&campaign, RunOptions { checkpoint: true });
-        let cold_db = database_bytes(&campaign, RunOptions { checkpoint: false });
-        let warm_db = database_bytes(&campaign, RunOptions { checkpoint: true });
+        let cold = run_min3(&campaign, RunOptions::new().checkpoint(false));
+        let warm = run_min3(&campaign, RunOptions::new().checkpoint(true));
+        let cold_db = database_bytes(&campaign, RunOptions::new().checkpoint(false));
+        let warm_db = database_bytes(&campaign, RunOptions::new().checkpoint(true));
         rows.push(Row {
             distribution,
             window: (start, end),
@@ -167,10 +173,10 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     let campaign = scifi_campaign_windowed("e9-b", WORKLOAD, 32, t / 2, t * 9 / 10);
     group.bench_function("late32_cold", |b| {
-        b.iter(|| run_once(&campaign, RunOptions { checkpoint: false }))
+        b.iter(|| run_once(&campaign, RunOptions::new().checkpoint(false)))
     });
     group.bench_function("late32_checkpointed", |b| {
-        b.iter(|| run_once(&campaign, RunOptions { checkpoint: true }))
+        b.iter(|| run_once(&campaign, RunOptions::new().checkpoint(true)))
     });
     group.finish();
 }

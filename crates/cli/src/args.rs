@@ -81,6 +81,25 @@ impl ParsedArgs {
         }
     }
 
+    /// Parses the `--workers` option: defaults to 1, rejects zero and
+    /// non-numeric values with a message naming the option.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the option and the offending value.
+    pub fn workers(&self) -> Result<usize, String> {
+        match self.get("workers") {
+            None => Ok(1),
+            Some(v) => v
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| {
+                    format!("option --workers must be a positive integer (got `{v}`)")
+                }),
+        }
+    }
+
     /// Parses a `start:end` window.
     ///
     /// # Errors
@@ -162,5 +181,26 @@ mod tests {
     fn int_or_uses_default() {
         let p = parse(&args(&["run"])).unwrap();
         assert_eq!(p.int_or("seed", 7).unwrap(), 7);
+    }
+
+    #[test]
+    fn workers_defaults_to_one() {
+        let p = parse(&args(&["run"])).unwrap();
+        assert_eq!(p.workers().unwrap(), 1);
+        let p = parse(&args(&["run", "--workers", "4"])).unwrap();
+        assert_eq!(p.workers().unwrap(), 4);
+    }
+
+    #[test]
+    fn workers_rejects_zero_and_garbage() {
+        let p = parse(&args(&["run", "--workers", "0"])).unwrap();
+        let err = p.workers().unwrap_err();
+        assert!(err.contains("--workers"), "{err}");
+        assert!(err.contains("`0`"), "{err}");
+        let p = parse(&args(&["run", "--workers", "two"])).unwrap();
+        let err = p.workers().unwrap_err();
+        assert!(err.contains("positive integer"), "{err}");
+        let p = parse(&args(&["run", "--workers", "-3"])).unwrap();
+        assert!(p.workers().is_err());
     }
 }

@@ -20,8 +20,9 @@ mod args;
 
 use args::{parse, ParsedArgs};
 use goofi_core::{
-    analyze_campaign, control_channel, Campaign, ControlHandle, FaultModel, GoofiStore,
-    LocationSelector, LogMode, ProgressEvent, RunOptions, Technique, TargetSystemInterface,
+    analyze_campaign, control_channel, Campaign, CampaignRunner, ControlHandle, FaultModel,
+    GoofiStore, LocationSelector, LogMode, ProgressEvent, RunOptions, Technique,
+    TargetSystemInterface, TelemetryMode,
 };
 use goofi_envsim::{DcMotorEnv, SCALE};
 use goofi_targets::ThorTarget;
@@ -41,9 +42,12 @@ USAGE:
                   [--experiments N] [--window START:END] [--seed N]
                   [--detail] [--preinject]
   goofi run       --db FILE --campaign NAME [--workers N] [--no-checkpoint]
+                  [--telemetry off|metrics|trace]
   goofi resume    --db FILE --campaign NAME [--workers N] [--no-checkpoint]
+                  [--telemetry off|metrics|trace]
   goofi analyze   --db FILE --campaign NAME
   goofi report    --db FILE --campaign NAME [--lambda L] [--mission HOURS]
+                  [--trace-out FILE]
   goofi locations --db FILE --target NAME [--chain CHAIN]
   goofi workloads [--show WORKLOAD]
   goofi list      --db FILE
@@ -251,35 +255,20 @@ fn target_factory(
 fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
     let db = p.require("db")?;
     let name = p.require("campaign")?;
+    let workers = p.workers()?;
+    let options = run_options(p)?;
     let mut store = load_store(db)?;
     let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
-    let workers = p.int_or("workers", 1)? as usize;
-    let options = RunOptions {
-        checkpoint: !p.has_flag("no-checkpoint"),
-    };
     store.enable_journal(db).map_err(|e| e.to_string())?;
     let (controller, handle) = control_channel();
     let reporter = spawn_reporter(handle);
-    let result = if workers > 1 {
-        goofi_core::run_campaign_parallel_with(
-            target_factory(&campaign),
-            &campaign,
-            workers,
-            Some(&mut store),
-            Some(&controller),
-            options,
-        )
-    } else {
-        let mut target = make_target(&campaign.target, &campaign.workload)?;
-        goofi_core::run_campaign_with(
-            &mut target,
-            &campaign,
-            Some(&mut store),
-            Some(&controller),
-            options,
-        )
-    }
-    .map_err(|e| e.to_string())?;
+    let result = CampaignRunner::from_factory(target_factory(&campaign), &campaign)
+        .workers(workers)
+        .options(options)
+        .observer(&controller)
+        .store(&mut store)
+        .run()
+        .map_err(|e| e.to_string())?;
     drop(controller);
     let _ = reporter.join();
     // Snapshot the full database; this supersedes (and empties) the journal.
@@ -289,12 +278,29 @@ fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
     } else {
         String::new()
     };
-    Ok(format!(
+    let mut out = format!(
         "{}pruned by pre-injection analysis: {}{}\n",
         result.stats.report(),
         result.pruned(),
         worker_note
-    ))
+    );
+    if let Some(tel) = &result.telemetry {
+        out.push('\n');
+        out.push_str(&tel.render());
+    }
+    Ok(out)
+}
+
+/// Shared `goofi run`/`goofi resume` option parsing.
+fn run_options(p: &ParsedArgs) -> Result<RunOptions, String> {
+    let telemetry = match p.get("telemetry") {
+        None => TelemetryMode::Off,
+        Some(v) => TelemetryMode::parse(v)
+            .ok_or_else(|| format!("option --telemetry must be off, metrics or trace (got `{v}`)"))?,
+    };
+    Ok(RunOptions::new()
+        .checkpoint(!p.has_flag("no-checkpoint"))
+        .telemetry(telemetry))
 }
 
 /// Resumes an interrupted campaign: stored experiments are reused, the
@@ -303,43 +309,33 @@ fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
 fn cmd_resume(p: &ParsedArgs) -> Result<String, String> {
     let db = p.require("db")?;
     let name = p.require("campaign")?;
+    let workers = p.workers()?;
+    let options = run_options(p)?;
     let mut store = load_store(db)?;
     let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
-    let workers = p.int_or("workers", 1)? as usize;
-    let options = RunOptions {
-        checkpoint: !p.has_flag("no-checkpoint"),
-    };
     store.enable_journal(db).map_err(|e| e.to_string())?;
     let (controller, handle) = control_channel();
     let reporter = spawn_reporter(handle);
-    let result = if workers > 1 {
-        goofi_core::resume_campaign_parallel_with(
-            target_factory(&campaign),
-            &campaign,
-            workers,
-            &mut store,
-            Some(&controller),
-            options,
-        )
-    } else {
-        let mut target = make_target(&campaign.target, &campaign.workload)?;
-        goofi_core::resume_campaign_with(
-            &mut target,
-            &campaign,
-            &mut store,
-            Some(&controller),
-            options,
-        )
-    }
-    .map_err(|e| e.to_string())?;
+    let result = CampaignRunner::from_factory(target_factory(&campaign), &campaign)
+        .workers(workers)
+        .options(options)
+        .observer(&controller)
+        .resume_from(&mut store)
+        .run()
+        .map_err(|e| e.to_string())?;
     drop(controller);
     let _ = reporter.join();
     store.save(db).map_err(|e| e.to_string())?;
-    Ok(format!(
+    let mut out = format!(
         "campaign `{name}` complete: {} experiments\n{}",
         result.runs.len(),
         result.stats.report()
-    ))
+    );
+    if let Some(tel) = &result.telemetry {
+        out.push('\n');
+        out.push_str(&tel.render());
+    }
+    Ok(out)
 }
 
 /// Analysis phase: the automatically generated classifier over the DB.
@@ -404,6 +400,28 @@ fn cmd_report(p: &ParsedArgs) -> Result<String, String> {
     out.push_str(&format!(
         "\ndependability (duplex, lambda={lambda}/h, mission={mission}h):\n  R(t) = {pt:.6} [{lo:.6}, {hi:.6}] from the coverage CI\n"
     ));
+
+    // Campaign telemetry rollup, when the run recorded one.
+    match store.get_telemetry(name).map_err(|e| e.to_string())? {
+        Some(tel) => {
+            out.push('\n');
+            out.push_str(&tel.render());
+            if let Some(path) = p.get("trace-out") {
+                std::fs::write(path, tel.to_trace_jsonl()).map_err(|e| e.to_string())?;
+                out.push_str(&format!(
+                    "trace: {} logged spans written to {path}\n",
+                    tel.spans.len()
+                ));
+            }
+        }
+        None => {
+            if p.get("trace-out").is_some() {
+                return Err(format!(
+                    "campaign `{name}` has no stored telemetry; run with --telemetry metrics|trace"
+                ));
+            }
+        }
+    }
     Ok(out)
 }
 

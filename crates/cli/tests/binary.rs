@@ -38,6 +38,85 @@ fn unknown_command_fails_with_message() {
 }
 
 #[test]
+fn workers_zero_is_rejected_with_clear_error() {
+    let db = tmpdb("bin-w0.json");
+    let (ok, _, stderr) = goofi(&["run", "--db", &db, "--campaign", "c", "--workers", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("--workers"), "{stderr}");
+    assert!(stderr.contains("positive integer"), "{stderr}");
+    assert!(stderr.contains("`0`"), "{stderr}");
+}
+
+#[test]
+fn workers_non_numeric_is_rejected_with_clear_error() {
+    let db = tmpdb("bin-wx.json");
+    let (ok, _, stderr) = goofi(&["resume", "--db", &db, "--campaign", "c", "--workers", "many"]);
+    assert!(!ok);
+    assert!(stderr.contains("--workers"), "{stderr}");
+    assert!(stderr.contains("`many`"), "{stderr}");
+}
+
+#[test]
+fn bad_telemetry_mode_is_rejected() {
+    let db = tmpdb("bin-tm.json");
+    let (ok, _, stderr) = goofi(&["run", "--db", &db, "--campaign", "c", "--telemetry", "loud"]);
+    assert!(!ok);
+    assert!(stderr.contains("--telemetry"), "{stderr}");
+    assert!(stderr.contains("`loud`"), "{stderr}");
+}
+
+#[test]
+fn telemetry_run_and_report_roundtrip() {
+    let db = tmpdb("bin-tel.json");
+    let (ok, _, _) = goofi(&[
+        "configure", "--db", &db, "--target", "t", "--workload", "fib10",
+    ]);
+    assert!(ok);
+    let (ok, _, _) = goofi(&[
+        "setup", "--db", &db, "--campaign", "ct", "--target", "t", "--workload", "fib10",
+        "--experiments", "6", "--window", "0:40",
+    ]);
+    assert!(ok);
+    let (ok, stdout, stderr) = goofi(&[
+        "run", "--db", &db, "--campaign", "ct", "--workers", "2", "--telemetry", "trace",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("Telemetry for campaign 'ct'"), "{stdout}");
+    assert!(stdout.contains("phase.experiment"), "{stdout}");
+
+    let trace = tmpdb("bin-tel-trace.jsonl");
+    let (ok, stdout, stderr) = goofi(&[
+        "report", "--db", &db, "--campaign", "ct", "--trace-out", &trace,
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("phase.experiment"), "{stdout}");
+    assert!(stdout.contains("worker"), "{stdout}");
+    let jsonl = std::fs::read_to_string(&trace).unwrap();
+    assert!(!jsonl.is_empty());
+    assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+}
+
+#[test]
+fn report_without_telemetry_omits_section_and_rejects_trace_out() {
+    let db = tmpdb("bin-notel.json");
+    goofi(&["configure", "--db", &db, "--target", "t", "--workload", "fib10"]);
+    goofi(&[
+        "setup", "--db", &db, "--campaign", "cn", "--target", "t", "--workload", "fib10",
+        "--experiments", "4", "--window", "0:40",
+    ]);
+    let (ok, _, _) = goofi(&["run", "--db", &db, "--campaign", "cn"]);
+    assert!(ok);
+    let (ok, stdout, _) = goofi(&["report", "--db", &db, "--campaign", "cn"]);
+    assert!(ok);
+    assert!(!stdout.contains("phase.experiment"), "{stdout}");
+    let (ok, _, stderr) = goofi(&[
+        "report", "--db", &db, "--campaign", "cn", "--trace-out", "/tmp/nope.jsonl",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("no stored telemetry"), "{stderr}");
+}
+
+#[test]
 fn whole_campaign_through_the_binary() {
     let db = tmpdb("bin-flow.json");
     let (ok, stdout, _) = goofi(&[

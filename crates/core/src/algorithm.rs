@@ -15,6 +15,7 @@ use crate::campaign::{Campaign, LogMode, Technique};
 use crate::error::{GoofiError, Result};
 use crate::fault::PlannedFault;
 use crate::target::{TargetEvent, TargetSystemInterface};
+use goofi_telemetry::names;
 
 /// Upper bound on detail-mode snapshots per experiment, so a runaway
 /// workload cannot exhaust host memory.
@@ -68,7 +69,10 @@ pub fn reference_run(
     target.load_workload()?;
     target.run_workload()?;
     let (termination, detail_trace) = match campaign.log_mode {
-        LogMode::Normal => (target.wait_for_termination()?, None),
+        LogMode::Normal => {
+            let _s = tracing::span(names::BLOCK_WAIT_FOR_TERMINATION);
+            (target.wait_for_termination()?, None)
+        }
         LogMode::Detail => {
             let (ev, snaps) = detail_run(target, None, 0)?;
             (ev, Some(snaps))
@@ -200,9 +204,16 @@ fn continue_inject_at_breakpoints(
 
     for (i, &time) in fault.times.iter().enumerate() {
         target.set_breakpoint(time)?;
-        match target.wait_for_breakpoint()? {
+        let event = {
+            let _s = tracing::span(names::BLOCK_WAIT_FOR_BREAKPOINT);
+            target.wait_for_breakpoint()
+        }?;
+        match event {
             TargetEvent::BreakpointHit { .. } => {
-                apply_activation(target, fault, via)?;
+                {
+                    let _s = tracing::span(names::BLOCK_INJECT_FAULT);
+                    apply_activation(target, fault, via)
+                }?;
                 activations_done += 1;
             }
             terminal => {
@@ -230,7 +241,10 @@ fn continue_inject_at_breakpoints(
 
     let termination = match termination {
         Some(ev) => ev,
-        None => target.wait_for_termination()?,
+        None => {
+            let _s = tracing::span(names::BLOCK_WAIT_FOR_TERMINATION);
+            target.wait_for_termination()?
+        }
     };
 
     Ok(ExperimentRun {
@@ -276,7 +290,10 @@ fn swifi_preruntime(
     }
     target.run_workload()?;
     let (termination, detail_trace) = match campaign.log_mode {
-        LogMode::Normal => (target.wait_for_termination()?, None),
+        LogMode::Normal => {
+            let _s = tracing::span(names::BLOCK_WAIT_FOR_TERMINATION);
+            (target.wait_for_termination()?, None)
+        }
         LogMode::Detail => {
             let (ev, snaps) = detail_run(target, None, 1)?;
             (ev, Some(snaps))
@@ -305,11 +322,13 @@ fn detail_run(
     pending: Option<(&PlannedFault, InjectVia, &[u64])>,
     _already_applied: usize,
 ) -> Result<(TargetEvent, Vec<StateVector>)> {
+    let _s = tracing::span(names::PHASE_STEPPING);
     let mut snaps = Vec::new();
     loop {
         if let Some((fault, via, times)) = pending {
             let now = instructions_or_zero(target);
             if times.contains(&now) {
+                let _s = tracing::span(names::BLOCK_INJECT_FAULT);
                 apply_activation(target, fault, via)?;
             }
         }
@@ -320,7 +339,10 @@ fn detail_run(
                     snaps.push(target.observe_state()?);
                 } else {
                     // Cap reached: finish at full speed.
-                    let ev = target.wait_for_termination()?;
+                    let ev = {
+                        let _s = tracing::span(names::BLOCK_WAIT_FOR_TERMINATION);
+                        target.wait_for_termination()?
+                    };
                     return Ok((ev, snaps));
                 }
             }

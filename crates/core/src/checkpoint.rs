@@ -25,6 +25,7 @@ use crate::campaign::{Campaign, LogMode, Technique};
 use crate::error::Result;
 use crate::fault::PlannedFault;
 use crate::target::{TargetEvent, TargetSnapshot, TargetSystemInterface};
+use goofi_telemetry::names;
 
 /// One checkpoint: the target state the pilot reached when its breakpoint
 /// fired at `time`.
@@ -63,6 +64,7 @@ impl CheckpointPlan {
         faults: &[PlannedFault],
         skip: &[bool],
     ) -> Option<CheckpointPlan> {
+        let _s = tracing::span(names::PHASE_CHECKPOINT_BUILD);
         if campaign.log_mode != LogMode::Normal {
             return None;
         }
@@ -143,14 +145,22 @@ pub fn run_experiment_checkpointed(
     plan: &CheckpointPlan,
 ) -> Result<ExperimentRun> {
     let Some(&first) = fault.times.first() else {
+        tracing::value(names::COUNTER_CHECKPOINT_COLD, 1);
         return run_experiment(target, campaign, fault);
     };
     let Some(cp) = plan.nearest(first) else {
+        tracing::value(names::COUNTER_CHECKPOINT_COLD, 1);
         return run_experiment(target, campaign, fault);
     };
-    if target.restore(&cp.snapshot).is_err() {
+    let restored = {
+        let _s = tracing::span(names::PHASE_CHECKPOINT_RESTORE);
+        target.restore(&cp.snapshot)
+    };
+    if restored.is_err() {
+        tracing::value(names::COUNTER_CHECKPOINT_COLD, 1);
         return run_experiment(target, campaign, fault);
     }
+    tracing::value(names::COUNTER_CHECKPOINT_HIT, 1);
     continue_experiment(target, campaign, fault)
 }
 

@@ -77,10 +77,9 @@ pub use dependability::{
 pub use preinject::{FirstUse, LivenessAnalysis};
 pub use propagation::{analyze_propagation, PropagationReport, PropagationStep};
 pub use progress::{control_channel, Command, ControlHandle, Controller, ProgressEvent};
-pub use runner::{
-    resume_campaign, resume_campaign_parallel, resume_campaign_parallel_with,
-    resume_campaign_with, run_campaign, run_campaign_parallel, run_campaign_parallel_static,
-    run_campaign_parallel_with, run_campaign_with, CampaignResult, RunOptions,
+pub use runner::{CampaignResult, CampaignRunner, RunOptions, Scheduler};
+pub use goofi_telemetry::{
+    CampaignTelemetry, CounterStat, PhaseStats, SpanRecord, TelemetryMode, WorkerTelemetry,
 };
 pub use store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
 pub use target::{

@@ -1,16 +1,28 @@
 //! Campaign orchestration: the fault-injection phase end to end.
 //!
-//! [`run_campaign`] is the paper's Section 3.3 flow: read campaign data,
-//! make a reference run, then execute every experiment, logging each to
+//! [`CampaignRunner`] is the single campaign entry point — a builder over
+//! the paper's Section 3.3 flow: read campaign data, make a reference
+//! run, then execute every experiment, logging each to
 //! `LoggedSystemState` and reporting progress to the Fig. 7 window
-//! equivalent. [`run_campaign_parallel`] is our orchestration ablation
-//! (experiment E8): experiments are independent, so workers each drive
-//! their own target instance, claiming work dynamically off a shared
-//! atomic cursor while a dedicated writer thread streams finished rows to
-//! the store and services the Fig. 7 controls; [`resume_campaign_parallel`]
-//! restarts an interrupted campaign across the same worker pool.
-//! [`run_campaign_parallel_static`] preserves the old round-robin
-//! scheduler as the E8 comparison baseline.
+//! equivalent. One builder covers every execution shape:
+//!
+//! * `workers(1)` (the default) runs sequentially on a single target.
+//! * `workers(n)` with [`CampaignRunner::from_factory`] runs the
+//!   work-stealing pool (experiment E8): workers each drive their own
+//!   target instance, claiming work dynamically off a shared atomic
+//!   cursor while a dedicated writer thread streams finished rows to the
+//!   store and services the Fig. 7 controls.
+//! * `resume_from(store)` restarts an interrupted campaign, sequentially
+//!   or across the same worker pool.
+//! * [`Scheduler::Static`] preserves the old round-robin scheduler as the
+//!   E8 comparison baseline.
+//!
+//! When [`RunOptions::telemetry`] is enabled the runner installs a
+//! [`goofi_telemetry::Recorder`] (thread-locally, on every campaign
+//! thread), collects phase/building-block spans and per-worker scheduler
+//! gauges, and persists the campaign rollup to the `CampaignTelemetry`
+//! table. Telemetry never perturbs results: logged experiment rows are
+//! byte-identical with telemetry on or off at any worker count.
 
 use crate::algorithm::{reference_run, run_experiment, ExperimentRun};
 use crate::analysis::CampaignStats;
@@ -22,9 +34,36 @@ use crate::preinject::LivenessAnalysis;
 use crate::progress::{Command, Controller, ProgressEvent};
 use crate::store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
 use crate::target::TargetSystemInterface;
+use goofi_telemetry::{names, CampaignTelemetry, Recorder, TelemetryMode, WorkerTelemetry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Which parallel scheduler a multi-worker campaign uses.
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// Work-stealing (the default): workers claim chunks of experiment
+    /// indices off a shared atomic cursor; a writer thread streams rows
+    /// in fault-list order. Supports stores, observers and resume.
+    #[default]
+    WorkStealing,
+    /// The old round-robin scheduler (`i % workers`), kept as the E8
+    /// ablation baseline. Rows are logged only after the whole campaign;
+    /// observers and resume are not supported.
+    Static,
+}
 
 /// Tuning knobs for campaign execution that do not change results, only
 /// how they are obtained.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`RunOptions::new`] (or `Default`) and the chainable setters, so new
+/// knobs are never breaking changes:
+///
+/// ```ignore
+/// let opts = RunOptions::new().checkpoint(false).telemetry(TelemetryMode::Metrics);
+/// ```
+#[non_exhaustive]
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunOptions {
     /// Build an injection-time checkpoint cache (one pilot execution,
@@ -33,12 +72,48 @@ pub struct RunOptions {
     /// reset. Byte-identical results either way; targets or campaigns the
     /// cache cannot serve (no snapshot support, detail mode, pre-runtime
     /// SWIFI) silently fall back to cold starts. Defaults to `true`.
+    /// Ignored by [`Scheduler::Static`], which always cold-starts.
     pub checkpoint: bool,
+    /// How much telemetry to record. Defaults to [`TelemetryMode::Off`],
+    /// which costs one thread-local read per instrumentation site.
+    pub telemetry: TelemetryMode,
+    /// Which parallel scheduler to use when `workers > 1`. Defaults to
+    /// [`Scheduler::WorkStealing`].
+    pub scheduler: Scheduler,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
-        RunOptions { checkpoint: true }
+        RunOptions {
+            checkpoint: true,
+            telemetry: TelemetryMode::Off,
+            scheduler: Scheduler::WorkStealing,
+        }
+    }
+}
+
+impl RunOptions {
+    /// The default options: checkpointing on, telemetry off, work-stealing.
+    pub fn new() -> RunOptions {
+        RunOptions::default()
+    }
+
+    /// Sets whether the injection-time checkpoint cache is built.
+    pub fn checkpoint(mut self, on: bool) -> RunOptions {
+        self.checkpoint = on;
+        self
+    }
+
+    /// Sets the telemetry recording mode.
+    pub fn telemetry(mut self, mode: TelemetryMode) -> RunOptions {
+        self.telemetry = mode;
+        self
+    }
+
+    /// Sets the parallel scheduler.
+    pub fn scheduler(mut self, scheduler: Scheduler) -> RunOptions {
+        self.scheduler = scheduler;
+        self
     }
 }
 
@@ -54,6 +129,10 @@ pub struct CampaignResult {
     pub runs: Vec<ExperimentRun>,
     /// Classification statistics.
     pub stats: CampaignStats,
+    /// The telemetry rollup, when [`RunOptions::telemetry`] was enabled
+    /// (also persisted to the `CampaignTelemetry` table when a store was
+    /// attached).
+    pub telemetry: Option<CampaignTelemetry>,
 }
 
 impl CampaignResult {
@@ -61,6 +140,303 @@ impl CampaignResult {
     pub fn pruned(&self) -> usize {
         self.runs.iter().filter(|r| r.pruned).count()
     }
+}
+
+/// The recorder half of an enabled telemetry session: the runner installs
+/// `dispatch` on every campaign thread and merges worker gauges into
+/// `recorder` directly.
+struct Telemetry {
+    recorder: Arc<Recorder>,
+    dispatch: tracing::Dispatch,
+}
+
+impl Telemetry {
+    fn new(mode: TelemetryMode) -> Option<Telemetry> {
+        if !mode.enabled() {
+            return None;
+        }
+        let recorder = Arc::new(Recorder::new(mode));
+        let dispatch = tracing::Dispatch::new(recorder.clone());
+        Some(Telemetry { recorder, dispatch })
+    }
+}
+
+/// Where experiment targets come from.
+enum TargetSource<'a> {
+    /// One caller-owned target: sequential execution only.
+    Single(&'a mut dyn TargetSystemInterface),
+    /// A factory producing one target per worker (plus scratch/pilot
+    /// targets); required for `workers > 1`.
+    Factory(Box<dyn Fn() -> Box<dyn TargetSystemInterface> + Sync + 'a>),
+}
+
+/// The single campaign entry point: a builder selecting target source,
+/// worker count, options, observer, store and resume, then [`run`].
+///
+/// ```ignore
+/// // Sequential, no store:
+/// let result = CampaignRunner::new(&mut target, &campaign).run()?;
+/// // Four workers, streamed persistence, progress events:
+/// let result = CampaignRunner::from_factory(make_target, &campaign)
+///     .workers(4)
+///     .store(&mut store)
+///     .observer(&controller)
+///     .run()?;
+/// // Finish an interrupted campaign:
+/// let result = CampaignRunner::from_factory(make_target, &campaign)
+///     .workers(4)
+///     .resume_from(&mut store)
+///     .run()?;
+/// ```
+///
+/// [`run`]: CampaignRunner::run
+pub struct CampaignRunner<'a> {
+    source: TargetSource<'a>,
+    campaign: &'a Campaign,
+    workers: usize,
+    options: RunOptions,
+    controller: Option<&'a Controller>,
+    store: Option<&'a mut GoofiStore>,
+    resume: bool,
+}
+
+impl<'a> CampaignRunner<'a> {
+    /// A runner over one caller-owned target. Sequential only: asking for
+    /// more than one worker is an error (workers each need their own
+    /// target; use [`CampaignRunner::from_factory`]).
+    pub fn new(
+        target: &'a mut dyn TargetSystemInterface,
+        campaign: &'a Campaign,
+    ) -> CampaignRunner<'a> {
+        CampaignRunner {
+            source: TargetSource::Single(target),
+            campaign,
+            workers: 1,
+            options: RunOptions::default(),
+            controller: None,
+            store: None,
+            resume: false,
+        }
+    }
+
+    /// A runner over a target factory: each worker (and the scratch
+    /// target used for preparation and the checkpoint pilot) is created
+    /// by `factory`. Works at any worker count.
+    pub fn from_factory<F>(factory: F, campaign: &'a Campaign) -> CampaignRunner<'a>
+    where
+        F: Fn() -> Box<dyn TargetSystemInterface> + Sync + 'a,
+    {
+        CampaignRunner {
+            source: TargetSource::Factory(Box::new(factory)),
+            campaign,
+            workers: 1,
+            options: RunOptions::default(),
+            controller: None,
+            store: None,
+            resume: false,
+        }
+    }
+
+    /// Sets the worker count (default 1 = sequential). Zero is rejected
+    /// by [`run`](CampaignRunner::run).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the execution options (checkpointing, telemetry, scheduler).
+    pub fn options(mut self, options: RunOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attaches a Fig. 7 progress controller: progress events are emitted
+    /// and pause/stop commands honoured at experiment boundaries. A
+    /// stopped campaign returns the completed prefix, not an error.
+    pub fn observer(mut self, controller: &'a Controller) -> Self {
+        self.controller = Some(controller);
+        self
+    }
+
+    /// Attaches a store: the reference run and every experiment are
+    /// logged to `LoggedSystemState` (the campaign row must exist), and
+    /// an enabled telemetry rollup is persisted to `CampaignTelemetry`.
+    pub fn store(mut self, store: &'a mut GoofiStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Attaches a store *and* resumes from it: experiments whose
+    /// `LoggedSystemState` row already exists are reused (no progress
+    /// events, no re-logging) and only the missing ones run. The result
+    /// is the complete campaign, in fault-list order.
+    pub fn resume_from(mut self, store: &'a mut GoofiStore) -> Self {
+        self.store = Some(store);
+        self.resume = true;
+        self
+    }
+
+    /// Runs the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Campaign validation errors, target errors, and database errors;
+    /// [`GoofiError::Campaign`] for invalid configurations (zero workers,
+    /// multiple workers without a factory, static scheduling combined
+    /// with resume or an observer). The first worker error aborts a
+    /// parallel campaign.
+    pub fn run(self) -> Result<CampaignResult> {
+        let CampaignRunner {
+            source,
+            campaign,
+            workers,
+            options,
+            controller,
+            mut store,
+            resume,
+        } = self;
+        if workers == 0 {
+            return Err(GoofiError::Campaign(
+                "worker count must be at least 1".into(),
+            ));
+        }
+
+        let telemetry = Telemetry::new(options.telemetry);
+        // Thread-locally scoped: concurrent campaigns (e.g. under
+        // `cargo test`) never observe each other's telemetry. Worker and
+        // writer threads install their own guards in the engine.
+        let _guard = telemetry.as_ref().map(|t| tracing::set_default(&t.dispatch));
+        let wall = Instant::now();
+        let telemetry_ref = telemetry.as_ref();
+
+        let mut result = match options.scheduler {
+            Scheduler::Static => {
+                if resume {
+                    return Err(GoofiError::Campaign(
+                        "the static scheduler does not support resume; use Scheduler::WorkStealing".into(),
+                    ));
+                }
+                if controller.is_some() {
+                    return Err(GoofiError::Campaign(
+                        "the static scheduler does not support progress observers; use Scheduler::WorkStealing".into(),
+                    ));
+                }
+                match source {
+                    TargetSource::Single(target) if workers <= 1 => sequential_run(
+                        target,
+                        campaign,
+                        store.as_deref_mut(),
+                        None,
+                        &options,
+                        telemetry_ref,
+                    ),
+                    TargetSource::Factory(factory) if workers <= 1 => {
+                        let mut target = factory();
+                        sequential_run(
+                            target.as_mut(),
+                            campaign,
+                            store.as_deref_mut(),
+                            None,
+                            &options,
+                            telemetry_ref,
+                        )
+                    }
+                    TargetSource::Single(_) => Err(needs_factory(workers)),
+                    TargetSource::Factory(factory) => static_run(
+                        factory.as_ref(),
+                        campaign,
+                        workers,
+                        store.as_deref_mut(),
+                        telemetry_ref,
+                    ),
+                }
+            }
+            Scheduler::WorkStealing => match (source, resume) {
+                (TargetSource::Single(target), false) if workers <= 1 => sequential_run(
+                    target,
+                    campaign,
+                    store.as_deref_mut(),
+                    controller,
+                    &options,
+                    telemetry_ref,
+                ),
+                (TargetSource::Single(target), true) if workers <= 1 => sequential_resume(
+                    target,
+                    campaign,
+                    require_store(store.as_deref_mut())?,
+                    controller,
+                    &options,
+                    telemetry_ref,
+                ),
+                (TargetSource::Factory(factory), false) if workers <= 1 => {
+                    let mut target = factory();
+                    sequential_run(
+                        target.as_mut(),
+                        campaign,
+                        store.as_deref_mut(),
+                        controller,
+                        &options,
+                        telemetry_ref,
+                    )
+                }
+                (TargetSource::Factory(factory), true) if workers <= 1 => {
+                    let mut target = factory();
+                    sequential_resume(
+                        target.as_mut(),
+                        campaign,
+                        require_store(store.as_deref_mut())?,
+                        controller,
+                        &options,
+                        telemetry_ref,
+                    )
+                }
+                (TargetSource::Single(_), _) => Err(needs_factory(workers)),
+                (TargetSource::Factory(factory), false) => parallel_run(
+                    factory.as_ref(),
+                    campaign,
+                    workers,
+                    store.as_deref_mut(),
+                    controller,
+                    &options,
+                    telemetry_ref,
+                ),
+                (TargetSource::Factory(factory), true) => parallel_resume(
+                    factory.as_ref(),
+                    campaign,
+                    workers,
+                    require_store(store.as_deref_mut())?,
+                    controller,
+                    &options,
+                    telemetry_ref,
+                ),
+            },
+        }?;
+
+        if let Some(t) = &telemetry {
+            let rollup =
+                t.recorder
+                    .finish(&campaign.name, workers, wall.elapsed().as_nanos() as u64);
+            if let Some(store) = store {
+                store.put_telemetry(&rollup)?;
+            }
+            result.telemetry = Some(rollup);
+        }
+        Ok(result)
+    }
+}
+
+fn needs_factory(workers: usize) -> GoofiError {
+    GoofiError::Campaign(format!(
+        "{workers} workers each need their own target; construct the runner with CampaignRunner::from_factory"
+    ))
+}
+
+fn require_store(store: Option<&mut GoofiStore>) -> Result<&mut GoofiStore> {
+    store.ok_or_else(|| {
+        GoofiError::Campaign(
+            "resume requires a database store (CampaignRunner::resume_from)".into(),
+        )
+    })
 }
 
 fn experiment_name(campaign: &str, index: usize) -> String {
@@ -127,6 +503,7 @@ fn prepare(
     target: &mut dyn TargetSystemInterface,
     campaign: &Campaign,
 ) -> Result<(Vec<PlannedFault>, Option<LivenessAnalysis>)> {
+    let _s = tracing::span(names::PHASE_PREPARE);
     campaign.validate()?;
     let config = target.describe();
     let needs_trace = campaign.pre_injection_analysis
@@ -157,38 +534,20 @@ fn prepare(
     Ok((faults, liveness))
 }
 
-/// Runs a campaign sequentially on one target.
-///
-/// * `store`: when provided, the reference run and every experiment are
-///   logged to `LoggedSystemState` (the campaign row must exist).
-/// * `controller`: when provided, progress events are emitted and
-///   pause/stop commands honoured at experiment boundaries. A stopped
-///   campaign returns the completed prefix, not an error.
-///
-/// # Errors
-///
-/// Campaign validation errors, target errors, and database errors.
-pub fn run_campaign(
-    target: &mut dyn TargetSystemInterface,
-    campaign: &Campaign,
-    store: Option<&mut GoofiStore>,
-    controller: Option<&Controller>,
-) -> Result<CampaignResult> {
-    run_campaign_with(target, campaign, store, controller, RunOptions::default())
+/// Classification, as its own phase span.
+fn classify(reference: &ExperimentRun, runs: &[ExperimentRun]) -> CampaignStats {
+    let _s = tracing::span(names::PHASE_CLASSIFICATION);
+    CampaignStats::from_runs(reference, runs)
 }
 
-/// [`run_campaign`] with explicit [`RunOptions`] (e.g. to disable the
-/// checkpoint cache).
-///
-/// # Errors
-///
-/// As [`run_campaign`].
-pub fn run_campaign_with(
+/// The sequential path (one target, one thread).
+fn sequential_run(
     target: &mut dyn TargetSystemInterface,
     campaign: &Campaign,
     mut store: Option<&mut GoofiStore>,
     controller: Option<&Controller>,
-    options: RunOptions,
+    options: &RunOptions,
+    telemetry: Option<&Telemetry>,
 ) -> Result<CampaignResult> {
     let (faults, liveness) = prepare(target, campaign)?;
     let config = target.describe();
@@ -201,7 +560,10 @@ pub fn run_campaign_with(
         });
     }
 
-    let reference = reference_run(target, campaign)?;
+    let reference = {
+        let _s = tracing::span(names::PHASE_REFERENCE);
+        reference_run(target, campaign)
+    }?;
     if let Some(store) = store.as_deref_mut() {
         store.log_experiment(&record_of(
             campaign,
@@ -216,6 +578,7 @@ pub fn run_campaign_with(
         None
     };
 
+    let mut gauges = WorkerTelemetry::default();
     let mut runs = Vec::with_capacity(faults.len());
     let mut stopped = false;
     for (i, fault) in faults.iter().enumerate() {
@@ -231,11 +594,23 @@ pub fn run_campaign_with(
         }
         let pruned = prunable[i];
         let run = if pruned {
+            tracing::value(names::COUNTER_PRUNED, 1);
             pruned_run(&reference, fault)
-        } else if let Some(plan) = &plan {
-            run_experiment_checkpointed(target, campaign, fault, plan)?
         } else {
-            run_experiment(target, campaign, fault)?
+            let busy_t0 = telemetry.map(|_| Instant::now());
+            let run = {
+                let _s = tracing::span(names::PHASE_EXPERIMENT);
+                if let Some(plan) = &plan {
+                    run_experiment_checkpointed(target, campaign, fault, plan)
+                } else {
+                    run_experiment(target, campaign, fault)
+                }
+            }?;
+            if let Some(t0) = busy_t0 {
+                gauges.busy_nanos += t0.elapsed().as_nanos() as u64;
+            }
+            gauges.claimed += 1;
+            run
         };
         if let Some(store) = store.as_deref_mut() {
             store.log_experiment(&record_of(
@@ -261,46 +636,30 @@ pub fn run_campaign_with(
         });
     }
 
-    let stats = CampaignStats::from_runs(&reference, &runs);
+    let stats = classify(&reference, &runs);
+    if let Some(t) = telemetry {
+        t.recorder.record_worker(gauges);
+    }
     Ok(CampaignResult {
         campaign: campaign.clone(),
         reference,
         runs,
         stats,
+        telemetry: None,
     })
 }
 
-/// Resumes a partially-run campaign from its logged rows (the Fig. 7
-/// progress window's "restart" after a stop or crash): experiments whose
-/// `LoggedSystemState` row already exists are skipped; the reference run
-/// is reused from the store when present. Returns the *complete* result
-/// (stored rows + freshly run experiments, in fault-list order).
-///
-/// # Errors
-///
-/// As [`run_campaign`]; additionally [`GoofiError::Protocol`] if stored
-/// rows cannot be decoded.
-pub fn resume_campaign(
+/// The sequential resume path: experiments whose `LoggedSystemState` row
+/// already exists are skipped; the reference run is reused from the store
+/// when present. Returns the *complete* result (stored rows + freshly run
+/// experiments, in fault-list order).
+fn sequential_resume(
     target: &mut dyn TargetSystemInterface,
     campaign: &Campaign,
     store: &mut GoofiStore,
     controller: Option<&Controller>,
-) -> Result<CampaignResult> {
-    resume_campaign_with(target, campaign, store, controller, RunOptions::default())
-}
-
-/// [`resume_campaign`] with explicit [`RunOptions`] (e.g. to disable the
-/// checkpoint cache).
-///
-/// # Errors
-///
-/// As [`resume_campaign`].
-pub fn resume_campaign_with(
-    target: &mut dyn TargetSystemInterface,
-    campaign: &Campaign,
-    store: &mut GoofiStore,
-    controller: Option<&Controller>,
-    options: RunOptions,
+    options: &RunOptions,
+    telemetry: Option<&Telemetry>,
 ) -> Result<CampaignResult> {
     let (faults, liveness) = prepare(target, campaign)?;
     let config = target.describe();
@@ -311,7 +670,10 @@ pub fn resume_campaign_with(
     let reference = match store.get_experiment(&ref_name) {
         Ok(record) => record.to_run(),
         Err(_) => {
-            let reference = reference_run(target, campaign)?;
+            let reference = {
+                let _s = tracing::span(names::PHASE_REFERENCE);
+                reference_run(target, campaign)
+            }?;
             store.log_experiment(&record_of(campaign, ref_name, &reference))?;
             reference
         }
@@ -340,6 +702,7 @@ pub fn resume_campaign_with(
         None
     };
 
+    let mut gauges = WorkerTelemetry::default();
     let mut runs = Vec::with_capacity(faults.len());
     let mut stopped = false;
     for (i, fault) in faults.iter().enumerate() {
@@ -360,11 +723,23 @@ pub fn resume_campaign_with(
         }
         let pruned = prunable[i];
         let run = if pruned {
+            tracing::value(names::COUNTER_PRUNED, 1);
             pruned_run(&reference, fault)
-        } else if let Some(plan) = &plan {
-            run_experiment_checkpointed(target, campaign, fault, plan)?
         } else {
-            run_experiment(target, campaign, fault)?
+            let busy_t0 = telemetry.map(|_| Instant::now());
+            let run = {
+                let _s = tracing::span(names::PHASE_EXPERIMENT);
+                if let Some(plan) = &plan {
+                    run_experiment_checkpointed(target, campaign, fault, plan)
+                } else {
+                    run_experiment(target, campaign, fault)
+                }
+            }?;
+            if let Some(t0) = busy_t0 {
+                gauges.busy_nanos += t0.elapsed().as_nanos() as u64;
+            }
+            gauges.claimed += 1;
+            run
         };
         store.log_experiment(&record_of(campaign, name, &run))?;
         if let Some(ctl) = controller {
@@ -384,12 +759,16 @@ pub fn resume_campaign_with(
         });
     }
 
-    let stats = CampaignStats::from_runs(&reference, &runs);
+    let stats = classify(&reference, &runs);
+    if let Some(t) = telemetry {
+        t.recorder.record_worker(gauges);
+    }
     Ok(CampaignResult {
         campaign: campaign.clone(),
         reference,
         runs,
         stats,
+        telemetry: None,
     })
 }
 
@@ -634,8 +1013,8 @@ fn writer_loop(
     out
 }
 
-/// The shared work-stealing engine behind [`run_campaign_parallel`] and
-/// [`resume_campaign_parallel`].
+/// The shared work-stealing engine behind the parallel run and resume
+/// paths.
 ///
 /// * `slots[i]` is `Some` for experiments already completed (resume); the
 ///   engine fills in the rest and returns the merged vector.
@@ -645,9 +1024,13 @@ fn writer_loop(
 ///   buffers results locally; buffers are merged once after the join.
 /// * A writer thread streams finished records to the store in fault-list
 ///   order, emits progress events, and honours pause/stop.
+/// * With telemetry enabled, every worker (and the writer) installs the
+///   recorder dispatch and reports scheduler gauges: experiments claimed,
+///   chunk claims beyond the first ("steals" relative to a one-shot
+///   static partition), busy and idle time.
 #[allow(clippy::too_many_arguments)]
-fn parallel_engine<F>(
-    factory: &F,
+fn parallel_engine(
+    factory: &(dyn Fn() -> Box<dyn TargetSystemInterface> + Sync),
     campaign: &Campaign,
     workers: usize,
     store: Option<&mut GoofiStore>,
@@ -658,10 +1041,8 @@ fn parallel_engine<F>(
     reference: &ExperimentRun,
     log_reference: bool,
     mut slots: Vec<Option<ExperimentRun>>,
-) -> Result<(Vec<ExperimentRun>, bool)>
-where
-    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
-{
+    telemetry: Option<&Telemetry>,
+) -> Result<(Vec<ExperimentRun>, bool)> {
     use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
     let total = faults.len();
@@ -707,6 +1088,9 @@ where
         let pre = &pre;
 
         let writer = scope.spawn(move || {
+            // Store logging happens here, so journal/store spans are only
+            // visible if this thread carries the dispatch too.
+            let _tguard = telemetry.map(|t| tracing::set_default(&t.dispatch));
             writer_loop(
                 rx, store, controller, gate, abort, total, expected, log_reference, campaign,
                 reference, pre,
@@ -714,34 +1098,60 @@ where
         });
 
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for w in 0..workers {
             let tx = tx.clone();
             handles.push(scope.spawn(move || -> Result<Vec<(usize, ExperimentRun)>> {
+                let _tguard = telemetry.map(|t| tracing::set_default(&t.dispatch));
+                let mut gauges = WorkerTelemetry {
+                    worker: w,
+                    ..WorkerTelemetry::default()
+                };
+                let mut chunks_claimed = 0u64;
                 let mut target = factory();
                 let mut local: Vec<(usize, ExperimentRun)> = Vec::new();
-                'claims: while !abort.load(Ordering::Relaxed) && gate.admit() {
+                'claims: loop {
+                    let idle_t0 = telemetry.map(|_| Instant::now());
+                    if abort.load(Ordering::Relaxed) || !gate.admit() {
+                        break;
+                    }
                     let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if let Some(t0) = idle_t0 {
+                        gauges.idle_nanos += t0.elapsed().as_nanos() as u64;
+                    }
                     if start >= worklist.len() {
                         break;
                     }
+                    chunks_claimed += 1;
                     let end = (start + chunk).min(worklist.len());
                     for &i in &worklist[start..end] {
+                        let idle_t0 = telemetry.map(|_| Instant::now());
                         if abort.load(Ordering::Relaxed) || !gate.admit() {
                             break 'claims;
                         }
-                        let result = match plan {
-                            // Warm start: rewind to the nearest checkpoint
-                            // preceding the fault's first activation.
-                            Some(plan) => run_experiment_checkpointed(
-                                target.as_mut(),
-                                campaign,
-                                &faults[i],
-                                plan,
-                            ),
-                            None => run_experiment(target.as_mut(), campaign, &faults[i]),
+                        if let Some(t0) = idle_t0 {
+                            gauges.idle_nanos += t0.elapsed().as_nanos() as u64;
+                        }
+                        let busy_t0 = telemetry.map(|_| Instant::now());
+                        let result = {
+                            let _s = tracing::span(names::PHASE_EXPERIMENT);
+                            match plan {
+                                // Warm start: rewind to the nearest checkpoint
+                                // preceding the fault's first activation.
+                                Some(plan) => run_experiment_checkpointed(
+                                    target.as_mut(),
+                                    campaign,
+                                    &faults[i],
+                                    plan,
+                                ),
+                                None => run_experiment(target.as_mut(), campaign, &faults[i]),
+                            }
                         };
+                        if let Some(t0) = busy_t0 {
+                            gauges.busy_nanos += t0.elapsed().as_nanos() as u64;
+                        }
                         match result {
                             Ok(run) => {
+                                gauges.claimed += 1;
                                 let record = store_attached.then(|| {
                                     record_of(
                                         campaign,
@@ -763,6 +1173,10 @@ where
                         }
                     }
                 }
+                if let Some(t) = telemetry {
+                    gauges.steals = chunks_claimed.saturating_sub(1);
+                    t.recorder.record_worker(gauges);
+                }
                 Ok(local)
             }));
         }
@@ -776,6 +1190,7 @@ where
                 break;
             }
             if expected[i] && prunable[i] {
+                tracing::value(names::COUNTER_PRUNED, 1);
                 let run = pruned_run(reference, &faults[i]);
                 let record = store_attached
                     .then(|| record_of(campaign, experiment_name(&campaign.name, i), &run));
@@ -837,73 +1252,34 @@ where
     Ok((runs, outcome.stopped))
 }
 
-/// Runs a campaign with `workers` parallel targets created by `factory`,
-/// scheduled dynamically: workers claim chunks of experiment indices off a
-/// shared atomic cursor, so a slow experiment never stalls work that a
-/// round-robin stripe would have pinned behind it, and pre-injection
-/// pruning is resolved in a pre-pass so only real experiments are claimed.
-///
-/// Results are identical to [`run_campaign`] (targets are deterministic
-/// simulators): same runs, same stats, and — when `store` is given — the
-/// same rows in the same order, streamed by a dedicated writer thread as
-/// experiments finish rather than after the whole campaign.
-///
-/// `controller` works exactly as in the sequential runner: progress events
-/// are emitted live and pause/stop are honoured at experiment boundaries;
-/// a stopped campaign returns the completed subset, which
-/// [`resume_campaign_parallel`] can finish later.
-///
-/// # Errors
-///
-/// As [`run_campaign`]. The first worker error aborts the campaign.
-pub fn run_campaign_parallel<F>(
-    factory: F,
+/// The work-stealing parallel path: workers claim chunks of experiment
+/// indices off a shared atomic cursor, so a slow experiment never stalls
+/// work that a round-robin stripe would have pinned behind it, and
+/// pre-injection pruning is resolved in a pre-pass so only real
+/// experiments are claimed. Results are identical to the sequential path
+/// (targets are deterministic simulators): same runs, same stats, and —
+/// when `store` is given — the same rows in the same order, streamed by a
+/// dedicated writer thread as experiments finish.
+#[allow(clippy::too_many_arguments)]
+fn parallel_run(
+    factory: &(dyn Fn() -> Box<dyn TargetSystemInterface> + Sync),
     campaign: &Campaign,
     workers: usize,
     store: Option<&mut GoofiStore>,
     controller: Option<&Controller>,
-) -> Result<CampaignResult>
-where
-    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
-{
-    run_campaign_parallel_with(
-        factory,
-        campaign,
-        workers,
-        store,
-        controller,
-        RunOptions::default(),
-    )
-}
-
-/// [`run_campaign_parallel`] with explicit [`RunOptions`] (e.g. to disable
-/// the checkpoint cache).
-///
-/// # Errors
-///
-/// As [`run_campaign_parallel`].
-pub fn run_campaign_parallel_with<F>(
-    factory: F,
-    campaign: &Campaign,
-    workers: usize,
-    store: Option<&mut GoofiStore>,
-    controller: Option<&Controller>,
-    options: RunOptions,
-) -> Result<CampaignResult>
-where
-    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
-{
-    if workers <= 1 {
-        let mut target = factory();
-        return run_campaign_with(target.as_mut(), campaign, store, controller, options);
-    }
+    options: &RunOptions,
+    telemetry: Option<&Telemetry>,
+) -> Result<CampaignResult> {
     // Prepare on a scratch target, which then doubles as the checkpoint
     // pilot: one execution serves every worker's restores.
     let mut scratch = factory();
     let (faults, liveness) = prepare(scratch.as_mut(), campaign)?;
     let config = scratch.describe();
     let prunable = compute_prunable(&faults, liveness.as_ref(), &config);
-    let reference = reference_run(scratch.as_mut(), campaign)?;
+    let reference = {
+        let _s = tracing::span(names::PHASE_REFERENCE);
+        reference_run(scratch.as_mut(), campaign)
+    }?;
     let plan = if options.checkpoint {
         CheckpointPlan::build(scratch.as_mut(), campaign, &faults, &prunable)
     } else {
@@ -913,7 +1289,7 @@ where
 
     let slots = vec![None; faults.len()];
     let (runs, _stopped) = parallel_engine(
-        &factory,
+        factory,
         campaign,
         workers,
         store,
@@ -924,67 +1300,33 @@ where
         &reference,
         true,
         slots,
+        telemetry,
     )?;
 
-    let stats = CampaignStats::from_runs(&reference, &runs);
+    let stats = classify(&reference, &runs);
     Ok(CampaignResult {
         campaign: campaign.clone(),
         reference,
         runs,
         stats,
+        telemetry: None,
     })
 }
 
-/// Parallel counterpart of [`resume_campaign`]: rows already in the store
-/// are reused (no progress events, no re-logging), and only the missing
-/// experiments are scheduled across `workers` targets. Together with
-/// [`run_campaign_parallel`]'s streamed logging this makes stop/resume a
-/// first-class parallel workflow.
-///
-/// # Errors
-///
-/// As [`resume_campaign`].
-pub fn resume_campaign_parallel<F>(
-    factory: F,
+/// The parallel resume path: rows already in the store are reused (no
+/// progress events, no re-logging), and only the missing experiments are
+/// scheduled across the worker pool. Together with the streamed logging
+/// this makes stop/resume a first-class parallel workflow.
+#[allow(clippy::too_many_arguments)]
+fn parallel_resume(
+    factory: &(dyn Fn() -> Box<dyn TargetSystemInterface> + Sync),
     campaign: &Campaign,
     workers: usize,
     store: &mut GoofiStore,
     controller: Option<&Controller>,
-) -> Result<CampaignResult>
-where
-    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
-{
-    resume_campaign_parallel_with(
-        factory,
-        campaign,
-        workers,
-        store,
-        controller,
-        RunOptions::default(),
-    )
-}
-
-/// [`resume_campaign_parallel`] with explicit [`RunOptions`] (e.g. to
-/// disable the checkpoint cache).
-///
-/// # Errors
-///
-/// As [`resume_campaign_parallel`].
-pub fn resume_campaign_parallel_with<F>(
-    factory: F,
-    campaign: &Campaign,
-    workers: usize,
-    store: &mut GoofiStore,
-    controller: Option<&Controller>,
-    options: RunOptions,
-) -> Result<CampaignResult>
-where
-    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
-{
-    if workers <= 1 {
-        let mut target = factory();
-        return resume_campaign_with(target.as_mut(), campaign, store, controller, options);
-    }
+    options: &RunOptions,
+    telemetry: Option<&Telemetry>,
+) -> Result<CampaignResult> {
     let mut scratch = factory();
     let (faults, liveness) = prepare(scratch.as_mut(), campaign)?;
     let config = scratch.describe();
@@ -992,7 +1334,13 @@ where
     let ref_name = reference_experiment_name(&campaign.name);
     let (reference, log_reference) = match store.get_experiment(&ref_name) {
         Ok(record) => (record.to_run(), false),
-        Err(_) => (reference_run(scratch.as_mut(), campaign)?, true),
+        Err(_) => {
+            let reference = {
+                let _s = tracing::span(names::PHASE_REFERENCE);
+                reference_run(scratch.as_mut(), campaign)
+            }?;
+            (reference, true)
+        }
     };
 
     let slots: Vec<Option<ExperimentRun>> = (0..faults.len())
@@ -1018,7 +1366,7 @@ where
     drop(scratch);
 
     let (runs, _stopped) = parallel_engine(
-        &factory,
+        factory,
         campaign,
         workers,
         Some(store),
@@ -1029,45 +1377,40 @@ where
         &reference,
         log_reference,
         slots,
+        telemetry,
     )?;
 
-    let stats = CampaignStats::from_runs(&reference, &runs);
+    let stats = classify(&reference, &runs);
     Ok(CampaignResult {
         campaign: campaign.clone(),
         reference,
         runs,
         stats,
+        telemetry: None,
     })
 }
 
-/// The previous statically-scheduled parallel runner, kept as the E8
+/// The previous statically-scheduled parallel path, kept as the E8
 /// baseline: experiments are sharded round-robin (`i % workers`), every
 /// result goes through one shared mutex, and — when `store` is given —
-/// rows are logged only after the whole campaign. Use
-/// [`run_campaign_parallel`] for real work; this exists so the
-/// static-vs-dynamic scheduling gap stays measurable across PRs.
-///
-/// # Errors
-///
-/// As [`run_campaign`]. The first worker error aborts the campaign.
-pub fn run_campaign_parallel_static<F>(
-    factory: F,
+/// rows are logged only after the whole campaign. Use the work-stealing
+/// scheduler for real work; this exists so the static-vs-dynamic
+/// scheduling gap stays measurable across PRs.
+fn static_run(
+    factory: &(dyn Fn() -> Box<dyn TargetSystemInterface> + Sync),
     campaign: &Campaign,
     workers: usize,
     store: Option<&mut GoofiStore>,
-) -> Result<CampaignResult>
-where
-    F: Fn() -> Box<dyn TargetSystemInterface> + Sync,
-{
-    if workers <= 1 {
-        let mut target = factory();
-        return run_campaign(target.as_mut(), campaign, store, None);
-    }
+    telemetry: Option<&Telemetry>,
+) -> Result<CampaignResult> {
     // Prepare on a scratch target.
     let mut scratch = factory();
     let (faults, liveness) = prepare(scratch.as_mut(), campaign)?;
     let config = scratch.describe();
-    let reference = reference_run(scratch.as_mut(), campaign)?;
+    let reference = {
+        let _s = tracing::span(names::PHASE_REFERENCE);
+        reference_run(scratch.as_mut(), campaign)
+    }?;
     drop(scratch);
 
     let mut slots: Vec<Option<ExperimentRun>> = vec![None; faults.len()];
@@ -1083,32 +1426,51 @@ where
             let reference = &reference;
             let errors = &errors;
             let results = &results;
-            let factory = &factory;
             scope.spawn(move || {
+                let _tguard = telemetry.map(|t| tracing::set_default(&t.dispatch));
+                let mut gauges = WorkerTelemetry {
+                    worker: w,
+                    ..WorkerTelemetry::default()
+                };
                 let mut target = factory();
                 for (i, fault) in faults.iter().enumerate() {
                     if i % workers != w {
                         continue;
                     }
                     if !errors.lock().expect("no poisoned lock").is_empty() {
-                        return;
+                        break;
                     }
                     let pruned = liveness
                         .as_ref()
                         .map(|l| l.can_prune(config, fault))
                         .unwrap_or(false);
                     let run = if pruned {
+                        tracing::value(names::COUNTER_PRUNED, 1);
                         Ok(pruned_run(reference, fault))
                     } else {
-                        run_experiment(target.as_mut(), campaign, fault)
+                        let busy_t0 = telemetry.map(|_| Instant::now());
+                        let run = {
+                            let _s = tracing::span(names::PHASE_EXPERIMENT);
+                            run_experiment(target.as_mut(), campaign, fault)
+                        };
+                        if let Some(t0) = busy_t0 {
+                            gauges.busy_nanos += t0.elapsed().as_nanos() as u64;
+                        }
+                        if run.is_ok() {
+                            gauges.claimed += 1;
+                        }
+                        run
                     };
                     match run {
                         Ok(run) => results.lock().expect("no poisoned lock").push((i, run)),
                         Err(e) => {
                             errors.lock().expect("no poisoned lock").push(e);
-                            return;
+                            break;
                         }
                     }
+                }
+                if let Some(t) = telemetry {
+                    t.recorder.record_worker(gauges);
                 }
             });
         }
@@ -1141,12 +1503,13 @@ where
         }
     }
 
-    let stats = CampaignStats::from_runs(&reference, &runs);
+    let stats = classify(&reference, &runs);
     Ok(CampaignResult {
         campaign: campaign.clone(),
         reference,
         runs,
         stats,
+        telemetry: None,
     })
 }
 
@@ -1342,23 +1705,33 @@ mod tests {
             .unwrap()
     }
 
+    fn mini_factory() -> Box<dyn TargetSystemInterface> {
+        Box::new(MiniTarget::new())
+    }
+
     #[test]
     fn campaign_produces_all_four_outcomes_where_expected() {
         // Window [0,4]: injected before the read at 5 -> wrong output
         // (escaped) unless the flip leaves out unchanged (impossible: any
         // bit flip changes r0 and out = r0+1 observes all 8 bits).
         let mut t = MiniTarget::new();
-        let result = run_campaign(&mut t, &campaign(10, (0, 4)), None, None).unwrap();
+        let result = CampaignRunner::new(&mut t, &campaign(10, (0, 4)))
+            .run()
+            .unwrap();
         assert_eq!(result.stats.escaped_total(), 10);
         // Window [6,9]: after the read, before the overwrite at 10:
         // r0 is rewritten at 10, so flips vanish -> all overwritten.
         let mut t = MiniTarget::new();
-        let result = run_campaign(&mut t, &campaign(10, (6, 9)), None, None).unwrap();
+        let result = CampaignRunner::new(&mut t, &campaign(10, (6, 9)))
+            .run()
+            .unwrap();
         assert_eq!(result.stats.overwritten, 10);
         // Window [11,19]: flips in r0 persist to final state but output
         // already produced -> latent.
         let mut t = MiniTarget::new();
-        let result = run_campaign(&mut t, &campaign(10, (11, 19)), None, None).unwrap();
+        let result = CampaignRunner::new(&mut t, &campaign(10, (11, 19)))
+            .run()
+            .unwrap();
         assert_eq!(result.stats.latent, 10);
     }
 
@@ -1367,14 +1740,14 @@ mod tests {
         let mut c = campaign(20, (6, 9));
         c.pre_injection_analysis = true;
         let mut t = MiniTarget::new();
-        let result = run_campaign(&mut t, &c, None, None).unwrap();
+        let result = CampaignRunner::new(&mut t, &c).run().unwrap();
         assert_eq!(result.pruned(), 20, "entire dead window pruned");
         assert_eq!(result.stats.overwritten, 20);
         // Live window: nothing pruned.
         let mut c = campaign(20, (0, 4));
         c.pre_injection_analysis = true;
         let mut t = MiniTarget::new();
-        let result = run_campaign(&mut t, &c, None, None).unwrap();
+        let result = CampaignRunner::new(&mut t, &c).run().unwrap();
         assert_eq!(result.pruned(), 0);
     }
 
@@ -1386,9 +1759,9 @@ mod tests {
         let mut c_pruned = c_plain.clone();
         c_pruned.pre_injection_analysis = true;
         let mut t = MiniTarget::new();
-        let plain = run_campaign(&mut t, &c_plain, None, None).unwrap();
+        let plain = CampaignRunner::new(&mut t, &c_plain).run().unwrap();
         let mut t = MiniTarget::new();
-        let pruned = run_campaign(&mut t, &c_pruned, None, None).unwrap();
+        let pruned = CampaignRunner::new(&mut t, &c_pruned).run().unwrap();
         assert_eq!(plain.stats.escaped_total(), pruned.stats.escaped_total());
         assert_eq!(plain.stats.latent, pruned.stats.latent);
         assert_eq!(plain.stats.overwritten, pruned.stats.overwritten);
@@ -1402,7 +1775,10 @@ mod tests {
         store.put_target(&t.describe()).unwrap();
         let c = campaign(5, (0, 19));
         store.put_campaign(&c).unwrap();
-        let result = run_campaign(&mut t, &c, Some(&mut store), None).unwrap();
+        let result = CampaignRunner::new(&mut t, &c)
+            .store(&mut store)
+            .run()
+            .unwrap();
         assert_eq!(result.runs.len(), 5);
         let rows = store.experiments_of("mini-c").unwrap();
         assert_eq!(rows.len(), 6, "reference + 5 experiments");
@@ -1420,7 +1796,10 @@ mod tests {
         let (ctl, handle) = control_channel();
         handle.send(Command::Stop);
         let mut t = MiniTarget::new();
-        let result = run_campaign(&mut t, &campaign(50, (0, 19)), None, Some(&ctl)).unwrap();
+        let result = CampaignRunner::new(&mut t, &campaign(50, (0, 19)))
+            .observer(&ctl)
+            .run()
+            .unwrap();
         assert!(result.runs.is_empty());
         let events = handle.drain();
         assert!(events
@@ -1432,7 +1811,10 @@ mod tests {
     fn progress_events_count_experiments() {
         let (ctl, handle) = control_channel();
         let mut t = MiniTarget::new();
-        run_campaign(&mut t, &campaign(3, (0, 19)), None, Some(&ctl)).unwrap();
+        CampaignRunner::new(&mut t, &campaign(3, (0, 19)))
+            .observer(&ctl)
+            .run()
+            .unwrap();
         let events = handle.drain();
         let done: Vec<_> = events
             .iter()
@@ -1452,9 +1834,11 @@ mod tests {
     fn parallel_runner_matches_sequential() {
         let c = campaign(24, (0, 19));
         let mut t = MiniTarget::new();
-        let seq = run_campaign(&mut t, &c, None, None).unwrap();
-        let par =
-            run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 4, None, None).unwrap();
+        let seq = CampaignRunner::new(&mut t, &c).run().unwrap();
+        let par = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(4)
+            .run()
+            .unwrap();
         assert_eq!(seq.stats, par.stats);
         assert_eq!(seq.runs.len(), par.runs.len());
         for (a, b) in seq.runs.iter().zip(&par.runs) {
@@ -1467,8 +1851,11 @@ mod tests {
     fn static_parallel_runner_matches_sequential() {
         let c = campaign(24, (0, 19));
         let mut t = MiniTarget::new();
-        let seq = run_campaign(&mut t, &c, None, None).unwrap();
-        let par = run_campaign_parallel_static(|| Box::new(MiniTarget::new()), &c, 4, None)
+        let seq = CampaignRunner::new(&mut t, &c).run().unwrap();
+        let par = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(4)
+            .options(RunOptions::new().scheduler(Scheduler::Static))
+            .run()
             .unwrap();
         assert_eq!(seq.stats, par.stats);
         assert_eq!(seq.runs.len(), par.runs.len());
@@ -1487,17 +1874,17 @@ mod tests {
         // Sequential with store.
         let mut seq_store = store_for(&c);
         let mut t = MiniTarget::new();
-        run_campaign(&mut t, &c, Some(&mut seq_store), None).unwrap();
+        CampaignRunner::new(&mut t, &c)
+            .store(&mut seq_store)
+            .run()
+            .unwrap();
         // Parallel with store (streamed by the writer thread).
         let mut par_store = store_for(&c);
-        run_campaign_parallel(
-            || Box::new(MiniTarget::new()),
-            &c,
-            3,
-            Some(&mut par_store),
-            None,
-        )
-        .unwrap();
+        CampaignRunner::from_factory(mini_factory, &c)
+            .workers(3)
+            .store(&mut par_store)
+            .run()
+            .unwrap();
         let a = seq_store.experiments_of(&c.name).unwrap();
         let b = par_store.experiments_of(&c.name).unwrap();
         assert_eq!(a, b, "row-identical logging");
@@ -1517,9 +1904,11 @@ mod tests {
         let mut c = campaign(20, (6, 9));
         c.pre_injection_analysis = true;
         let mut t = MiniTarget::new();
-        let seq = run_campaign(&mut t, &c, None, None).unwrap();
-        let par =
-            run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 4, None, None).unwrap();
+        let seq = CampaignRunner::new(&mut t, &c).run().unwrap();
+        let par = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(4)
+            .run()
+            .unwrap();
         assert_eq!(par.pruned(), 20);
         assert_eq!(seq.stats, par.stats);
     }
@@ -1528,7 +1917,10 @@ mod tests {
     fn parallel_runner_emits_live_progress() {
         let c = campaign(9, (0, 19));
         let (ctl, handle) = control_channel();
-        run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 3, None, Some(&ctl))
+        CampaignRunner::from_factory(mini_factory, &c)
+            .workers(3)
+            .observer(&ctl)
+            .run()
             .unwrap();
         let events = handle.drain();
         assert!(matches!(
@@ -1556,21 +1948,19 @@ mod tests {
     fn parallel_stop_before_start_then_parallel_resume_completes() {
         let c = campaign(40, (0, 19));
         let mut t = MiniTarget::new();
-        let full = run_campaign(&mut t, &c, None, None).unwrap();
+        let full = CampaignRunner::new(&mut t, &c).run().unwrap();
 
         // Stop queued before the start: like the sequential runner, the
         // campaign runs zero experiments (the reference is still logged).
         let mut store = store_for(&c);
         let (ctl, handle) = control_channel();
         handle.send(Command::Stop);
-        let stopped = run_campaign_parallel(
-            || Box::new(MiniTarget::new()),
-            &c,
-            4,
-            Some(&mut store),
-            Some(&ctl),
-        )
-        .unwrap();
+        let stopped = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(4)
+            .store(&mut store)
+            .observer(&ctl)
+            .run()
+            .unwrap();
         assert!(stopped.runs.is_empty());
         assert_eq!(store.experiments_of(&c.name).unwrap().len(), 1);
         let events = handle.drain();
@@ -1579,27 +1969,21 @@ mod tests {
             .any(|e| matches!(e, ProgressEvent::Finished { stopped: true, .. })));
 
         // Parallel resume finishes the campaign; totals match a full run.
-        let resumed = resume_campaign_parallel(
-            || Box::new(MiniTarget::new()),
-            &c,
-            4,
-            &mut store,
-            None,
-        )
-        .unwrap();
+        let resumed = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(4)
+            .resume_from(&mut store)
+            .run()
+            .unwrap();
         assert_eq!(resumed.runs.len(), 40);
         assert_eq!(resumed.stats, full.stats);
         assert_eq!(store.experiments_of(&c.name).unwrap().len(), 41);
 
         // Resuming again is a pure replay.
-        let again = resume_campaign_parallel(
-            || Box::new(MiniTarget::new()),
-            &c,
-            4,
-            &mut store,
-            None,
-        )
-        .unwrap();
+        let again = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(4)
+            .resume_from(&mut store)
+            .run()
+            .unwrap();
         assert_eq!(again.stats, full.stats);
     }
 
@@ -1611,7 +1995,7 @@ mod tests {
         // exactly the gaps.
         let c = campaign(60, (0, 19));
         let mut t = MiniTarget::new();
-        let full = run_campaign(&mut t, &c, None, None).unwrap();
+        let full = CampaignRunner::new(&mut t, &c).run().unwrap();
 
         let mut store = store_for(&c);
         let (ctl, handle) = control_channel();
@@ -1629,14 +2013,12 @@ mod tests {
                 }
             }
         });
-        let stopped = run_campaign_parallel(
-            || Box::new(MiniTarget::new()),
-            &c,
-            4,
-            Some(&mut store),
-            Some(&ctl),
-        )
-        .unwrap();
+        let stopped = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(4)
+            .store(&mut store)
+            .observer(&ctl)
+            .run()
+            .unwrap();
         drop(ctl);
         operator.join().unwrap();
         // Logged rows = completed runs + reference, whatever the timing.
@@ -1645,14 +2027,11 @@ mod tests {
             stopped.runs.len() + 1
         );
 
-        let resumed = resume_campaign_parallel(
-            || Box::new(MiniTarget::new()),
-            &c,
-            4,
-            &mut store,
-            None,
-        )
-        .unwrap();
+        let resumed = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(4)
+            .resume_from(&mut store)
+            .run()
+            .unwrap();
         assert_eq!(resumed.runs.len(), 60);
         assert_eq!(resumed.stats, full.stats);
         assert_eq!(store.experiments_of(&c.name).unwrap().len(), 61);
@@ -1664,7 +2043,10 @@ mod tests {
         let (ctl, handle) = control_channel();
         handle.send(Command::Pause);
         let worker = std::thread::spawn(move || {
-            run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 2, None, Some(&ctl))
+            CampaignRunner::from_factory(mini_factory, &c)
+                .workers(2)
+                .observer(&ctl)
+                .run()
                 .unwrap()
         });
         // Wait for the pause acknowledgement, let the pool sit, resume.
@@ -1689,7 +2071,7 @@ mod tests {
         // Simulate an interrupted campaign deterministically: log the
         // reference and the first 10 experiment rows of a full run.
         let mut t = MiniTarget::new();
-        let full = run_campaign(&mut t, &c, None, None).unwrap();
+        let full = CampaignRunner::new(&mut t, &c).run().unwrap();
         let mut store = GoofiStore::new();
         store.put_target(&MiniTarget::new().describe()).unwrap();
         store.put_campaign(&c).unwrap();
@@ -1708,22 +2090,195 @@ mod tests {
 
         // Resume: only the missing 20 run; totals complete and identical.
         let mut t = MiniTarget::new();
-        let resumed = resume_campaign(&mut t, &c, &mut store, None).unwrap();
+        let resumed = CampaignRunner::new(&mut t, &c)
+            .resume_from(&mut store)
+            .run()
+            .unwrap();
         assert_eq!(resumed.runs.len(), 30);
         assert_eq!(store.experiments_of(&c.name).unwrap().len(), 31);
         assert_eq!(resumed.stats, full.stats);
 
         // Resuming again is a pure replay of stored rows.
         let mut t = MiniTarget::new();
-        let again = resume_campaign(&mut t, &c, &mut store, None).unwrap();
+        let again = CampaignRunner::new(&mut t, &c)
+            .resume_from(&mut store)
+            .run()
+            .unwrap();
         assert_eq!(again.stats, full.stats);
     }
 
     #[test]
     fn parallel_with_one_worker_falls_back() {
         let c = campaign(4, (0, 19));
-        let par =
-            run_campaign_parallel(|| Box::new(MiniTarget::new()), &c, 1, None, None).unwrap();
+        let par = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(1)
+            .run()
+            .unwrap();
         assert_eq!(par.runs.len(), 4);
+    }
+
+    // ------------------------------------------------------------------
+    // Builder validation
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn builder_rejects_zero_workers() {
+        let c = campaign(4, (0, 19));
+        let err = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(0)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, GoofiError::Campaign(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn parallel_run_requires_factory() {
+        let c = campaign(4, (0, 19));
+        let mut t = MiniTarget::new();
+        let err = CampaignRunner::new(&mut t, &c).workers(2).run().unwrap_err();
+        match err {
+            GoofiError::Campaign(msg) => {
+                assert!(msg.contains("from_factory"), "got {msg}");
+            }
+            other => panic!("expected Campaign error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_scheduler_rejects_observer_and_resume() {
+        let c = campaign(4, (0, 19));
+        let opts = RunOptions::new().scheduler(Scheduler::Static);
+        let (ctl, _handle) = control_channel();
+        let err = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(2)
+            .options(opts)
+            .observer(&ctl)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, GoofiError::Campaign(_)), "got {err:?}");
+
+        let mut store = store_for(&c);
+        let err = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(2)
+            .options(opts)
+            .resume_from(&mut store)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, GoofiError::Campaign(_)), "got {err:?}");
+    }
+
+    // ------------------------------------------------------------------
+    // Telemetry
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn telemetry_off_records_nothing() {
+        let c = campaign(6, (0, 19));
+        let mut t = MiniTarget::new();
+        let result = CampaignRunner::new(&mut t, &c).run().unwrap();
+        assert!(result.telemetry.is_none());
+        assert!(
+            !tracing::enabled(),
+            "no dispatcher must leak past the campaign"
+        );
+    }
+
+    #[test]
+    fn telemetry_metrics_rollup_counts_experiments() {
+        let c = campaign(10, (0, 19));
+        let mut t = MiniTarget::new();
+        let plain = CampaignRunner::new(&mut t, &c).run().unwrap();
+        let mut t = MiniTarget::new();
+        let result = CampaignRunner::new(&mut t, &c)
+            .options(RunOptions::new().telemetry(TelemetryMode::Metrics))
+            .run()
+            .unwrap();
+        // Identical campaign outcome, telemetry riding alongside.
+        assert_eq!(plain.stats, result.stats);
+        let tel = result.telemetry.expect("metrics mode produces a rollup");
+        assert_eq!(tel.mode, "metrics");
+        assert_eq!(tel.workers, 1);
+        let experiments = tel.phase(names::PHASE_EXPERIMENT).unwrap();
+        assert_eq!(experiments.count, 10);
+        let reference = tel.phase(names::PHASE_REFERENCE).unwrap();
+        assert_eq!(reference.count, 1);
+        assert!(tel.phase(names::PHASE_PREPARE).is_some());
+        assert_eq!(tel.worker_stats.len(), 1);
+        assert_eq!(tel.worker_stats[0].claimed, 10);
+        assert!(tel.spans.is_empty(), "metrics mode logs no spans");
+        assert!(!tracing::enabled(), "guard dropped after the campaign");
+    }
+
+    #[test]
+    fn telemetry_counts_pruned_experiments() {
+        let mut c = campaign(20, (6, 9));
+        c.pre_injection_analysis = true;
+        let mut t = MiniTarget::new();
+        let result = CampaignRunner::new(&mut t, &c)
+            .options(RunOptions::new().telemetry(TelemetryMode::Metrics))
+            .run()
+            .unwrap();
+        let tel = result.telemetry.unwrap();
+        let pruned = tel
+            .counters
+            .iter()
+            .find(|ctr| ctr.name == names::COUNTER_PRUNED)
+            .expect("pruned counter recorded");
+        assert_eq!(pruned.value, 20);
+        assert!(
+            tel.phase(names::PHASE_EXPERIMENT).is_none(),
+            "nothing actually executed"
+        );
+    }
+
+    #[test]
+    fn telemetry_parallel_records_worker_gauges_and_persists() {
+        let c = campaign(16, (0, 19));
+        let mut store = store_for(&c);
+        let result = CampaignRunner::from_factory(mini_factory, &c)
+            .workers(3)
+            .store(&mut store)
+            .options(RunOptions::new().telemetry(TelemetryMode::Trace))
+            .run()
+            .unwrap();
+        let tel = result.telemetry.expect("trace mode produces a rollup");
+        assert_eq!(tel.mode, "trace");
+        assert_eq!(tel.workers, 3);
+        let claimed: u64 = tel.worker_stats.iter().map(|w| w.claimed).sum();
+        assert_eq!(claimed, 16, "every experiment claimed exactly once");
+        assert_eq!(tel.phase(names::PHASE_EXPERIMENT).unwrap().count, 16);
+        assert!(!tel.spans.is_empty(), "trace mode logs spans");
+        // The rollup round-trips through the store.
+        let stored = store.get_telemetry(&c.name).unwrap().unwrap();
+        assert_eq!(stored, tel);
+    }
+
+    #[test]
+    fn telemetry_does_not_change_logged_rows() {
+        let c = campaign(12, (0, 19));
+        let mut plain_store = store_for(&c);
+        let mut t = MiniTarget::new();
+        CampaignRunner::new(&mut t, &c)
+            .store(&mut plain_store)
+            .run()
+            .unwrap();
+        let mut tel_store = store_for(&c);
+        let mut t = MiniTarget::new();
+        CampaignRunner::new(&mut t, &c)
+            .store(&mut tel_store)
+            .options(RunOptions::new().telemetry(TelemetryMode::Metrics))
+            .run()
+            .unwrap();
+        assert_eq!(
+            plain_store.experiments_of(&c.name).unwrap(),
+            tel_store.experiments_of(&c.name).unwrap(),
+            "telemetry must not perturb experiment rows"
+        );
+        // Dropping the rollup row restores byte identity.
+        tel_store.clear_telemetry(&c.name).unwrap();
+        assert_eq!(
+            plain_store.database().to_json().unwrap(),
+            tel_store.database().to_json().unwrap()
+        );
     }
 }

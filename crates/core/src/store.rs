@@ -4,13 +4,20 @@
 //! phase) → `CampaignData` (set-up phase) → `LoggedSystemState` (fault
 //! injection phase), with `LoggedSystemState.parentExperiment` referencing
 //! `experimentName` in the same table so detail-mode re-runs can track
-//! their original experiment's campaign data.
+//! their original experiment's campaign data. A fourth table,
+//! `CampaignTelemetry` (one row per campaign, FK to `CampaignData`),
+//! holds the runner's telemetry rollup when telemetry is enabled — it is
+//! observability metadata, deliberately outside the experiment-row FK
+//! graph so results stay byte-identical with telemetry off.
 
 use crate::campaign::Campaign;
 use crate::error::{GoofiError, Result};
 use crate::fault::PlannedFault;
 use crate::target::{TargetEvent, TargetSystemConfig};
-use goofi_db::{Column, Database, Expr, Insert, Journal, Select, TableSchema, Value, ValueType};
+use goofi_db::{
+    Column, Database, Delete, Expr, Insert, Journal, Select, TableSchema, Value, ValueType,
+};
+use goofi_telemetry::{names, CampaignTelemetry};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 
@@ -80,6 +87,24 @@ pub fn reference_experiment_name(campaign: &str) -> String {
     format!("{campaign}/ref")
 }
 
+/// Schema of the `CampaignTelemetry` rollup table. Factored out so
+/// [`GoofiStore::load`] can create it when opening a database written
+/// before the table existed.
+fn telemetry_schema() -> TableSchema {
+    TableSchema::new(
+        "CampaignTelemetry",
+        vec![
+            Column::new("campaignName", ValueType::Text)
+                .primary_key()
+                .references("CampaignData", "campaignName"),
+            Column::new("workers", ValueType::Integer).not_null(),
+            Column::new("wallNanos", ValueType::Integer).not_null(),
+            Column::new("telemetryJson", ValueType::Text).not_null(),
+        ],
+    )
+    .expect("static schema")
+}
+
 /// The tool's database handle.
 #[derive(Debug, Default)]
 pub struct GoofiStore {
@@ -142,6 +167,7 @@ impl GoofiStore {
             .expect("static schema"),
         )
         .expect("fresh database");
+        db.create_table(telemetry_schema()).expect("fresh database");
         GoofiStore { db, journal: None }
     }
 
@@ -179,9 +205,14 @@ impl GoofiStore {
     ///
     /// [`GoofiError::Database`] on I/O or schema failure.
     pub fn load(path: impl AsRef<Path>) -> Result<GoofiStore> {
-        let db = Database::load(path)?;
+        let mut db = Database::load(path)?;
         for table in ["TargetSystemData", "CampaignData", "LoggedSystemState"] {
             db.table(table)?;
+        }
+        // Databases written before the telemetry rollup existed migrate
+        // by gaining the (empty) table on load.
+        if db.table("CampaignTelemetry").is_err() {
+            db.create_table(telemetry_schema())?;
         }
         Ok(GoofiStore { db, journal: None })
     }
@@ -360,6 +391,7 @@ impl GoofiStore {
     /// [`GoofiError::Database`] — foreign keys require the campaign row and
     /// (for detail re-runs) the parent experiment to exist.
     pub fn log_experiment(&mut self, record: &ExperimentRecord) -> Result<()> {
+        let _s = tracing::span(names::STORE_LOG_EXPERIMENT);
         let data = serde_json::to_string(&record.data)
             .map_err(|e| GoofiError::Protocol(format!("experiment serialisation failed: {e}")))?;
         let row = vec![
@@ -410,6 +442,82 @@ impl GoofiStore {
                 .order_by(Expr::col("experimentName"), goofi_db::SortOrder::Asc),
         )?;
         rs.rows.iter().map(|r| Self::row_to_record(r)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // CampaignTelemetry
+    // ------------------------------------------------------------------
+
+    /// Stores (or replaces) a campaign's telemetry rollup.
+    ///
+    /// With the journal enabled, the row is also appended to the sidecar.
+    /// Journal replay skips duplicate primary keys, so after a
+    /// snapshot-then-rerun sequence the snapshot's rollup wins over a
+    /// journaled update — acceptable for observability metadata, which
+    /// never feeds result analysis.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`] — the campaign row must exist.
+    pub fn put_telemetry(&mut self, telemetry: &CampaignTelemetry) -> Result<()> {
+        self.db.delete(Delete {
+            table: "CampaignTelemetry".into(),
+            filter: Some(
+                Expr::col("campaignName").eq(Expr::lit(telemetry.campaign.as_str())),
+            ),
+        })?;
+        self.db.vacuum("CampaignTelemetry")?;
+        let row = vec![
+            telemetry.campaign.as_str().into(),
+            (telemetry.workers as i64).into(),
+            (telemetry.wall_nanos as i64).into(),
+            telemetry.to_json().into(),
+        ];
+        self.db
+            .insert(Insert::into("CampaignTelemetry", row.clone()))?;
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append("CampaignTelemetry", &row)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches a campaign's telemetry rollup, `None` when the campaign ran
+    /// with telemetry off.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`] / [`GoofiError::Protocol`] on corrupt rows.
+    pub fn get_telemetry(&self, campaign: &str) -> Result<Option<CampaignTelemetry>> {
+        let rs = self.db.select(
+            Select::from("CampaignTelemetry")
+                .columns(vec![Expr::col("telemetryJson")])
+                .filter(Expr::col("campaignName").eq(Expr::lit(campaign))),
+        )?;
+        let Some(json) = rs.rows.first().and_then(|r| r[0].as_text()) else {
+            return Ok(None);
+        };
+        CampaignTelemetry::from_json(json)
+            .map(Some)
+            .map_err(GoofiError::Protocol)
+    }
+
+    /// Removes a campaign's telemetry rollup (if any). Used by the
+    /// determinism tests to prove the rollup is the *only* difference
+    /// between a telemetry-on and a telemetry-off database.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`].
+    pub fn clear_telemetry(&mut self, campaign: &str) -> Result<()> {
+        self.db.delete(Delete {
+            table: "CampaignTelemetry".into(),
+            filter: Some(Expr::col("campaignName").eq(Expr::lit(campaign))),
+        })?;
+        // Leave no tombstone behind: a cleared table serialises exactly
+        // like one that never held the rollup (byte-identity proofs rely
+        // on this).
+        self.db.vacuum("CampaignTelemetry")?;
+        Ok(())
     }
 
     fn row_to_record(row: &[Value]) -> Result<ExperimentRecord> {
@@ -591,5 +699,90 @@ mod tests {
     #[test]
     fn reference_name_is_stable() {
         assert_eq!(reference_experiment_name("c1"), "c1/ref");
+    }
+
+    fn telemetry_rollup(campaign: &str) -> CampaignTelemetry {
+        use goofi_telemetry::{Recorder, TelemetryMode, WorkerTelemetry};
+        use tracing::Subscriber;
+        let recorder = Recorder::new(TelemetryMode::Metrics);
+        recorder.on_span(names::PHASE_EXPERIMENT, 1_000);
+        recorder.on_span(names::PHASE_EXPERIMENT, 3_000);
+        recorder.on_value(names::COUNTER_PRUNED, 2);
+        recorder.record_worker(WorkerTelemetry {
+            worker: 0,
+            claimed: 2,
+            steals: 1,
+            busy_nanos: 4_000,
+            idle_nanos: 10,
+        });
+        recorder.finish(campaign, 1, 9_999)
+    }
+
+    #[test]
+    fn telemetry_roundtrips_through_the_store() {
+        let mut store = GoofiStore::new();
+        store.put_target(&target_config()).unwrap();
+        store.put_campaign(&campaign()).unwrap();
+        assert_eq!(store.get_telemetry("c1").unwrap(), None);
+        let rollup = telemetry_rollup("c1");
+        store.put_telemetry(&rollup).unwrap();
+        assert_eq!(store.get_telemetry("c1").unwrap(), Some(rollup.clone()));
+        // put is an upsert: a re-run replaces the previous rollup.
+        let mut updated = rollup.clone();
+        updated.wall_nanos = 123;
+        store.put_telemetry(&updated).unwrap();
+        assert_eq!(store.get_telemetry("c1").unwrap(), Some(updated));
+        store.clear_telemetry("c1").unwrap();
+        assert_eq!(store.get_telemetry("c1").unwrap(), None);
+    }
+
+    #[test]
+    fn telemetry_requires_existing_campaign() {
+        let mut store = GoofiStore::new();
+        let err = store.put_telemetry(&telemetry_rollup("nope")).unwrap_err();
+        assert!(matches!(err, GoofiError::Database(_)));
+    }
+
+    #[test]
+    fn telemetry_survives_journal_replay() {
+        let dir = std::env::temp_dir().join("goofi_store_tel_journal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let rollup = telemetry_rollup("c1");
+        {
+            let mut store = GoofiStore::new();
+            store.put_target(&target_config()).unwrap();
+            store.put_campaign(&campaign()).unwrap();
+            store.save(&path).unwrap();
+            store.enable_journal(&path).unwrap();
+            // Logged after the snapshot: only the journal holds these.
+            store.log_experiment(&record("c1/001", None)).unwrap();
+            store.put_telemetry(&rollup).unwrap();
+        }
+        let restored = GoofiStore::load(&path).unwrap();
+        assert_eq!(restored.get_experiment("c1/001").unwrap().name, "c1/001");
+        assert_eq!(restored.get_telemetry("c1").unwrap(), Some(rollup));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(dir.join("store.json.journal")).ok();
+    }
+
+    #[test]
+    fn load_migrates_pre_telemetry_databases() {
+        // A database written without the CampaignTelemetry table (the
+        // pre-telemetry on-disk layout) gains it on load.
+        let mut legacy = Database::new();
+        for schema_of in ["TargetSystemData", "CampaignData", "LoggedSystemState"] {
+            let donor = GoofiStore::new();
+            let schema = donor.database().table(schema_of).unwrap().schema().clone();
+            legacy.create_table(schema).unwrap();
+        }
+        let dir = std::env::temp_dir().join("goofi_store_tel_migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("legacy.json");
+        legacy.save(&path).unwrap();
+        let store = GoofiStore::load(&path).unwrap();
+        assert!(store.database().table("CampaignTelemetry").is_ok());
+        assert_eq!(store.get_telemetry("c1").unwrap(), None);
+        std::fs::remove_file(&path).ok();
     }
 }

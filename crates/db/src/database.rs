@@ -409,6 +409,20 @@ impl Database {
         Ok(doomed.len())
     }
 
+    /// Compacts a table's row storage: trailing deleted slots are dropped
+    /// so the serialised form carries no tombstones past the last live
+    /// row. Live row ids never change. Callers that delete-and-reinsert
+    /// rows (upserts) can vacuum between the two to keep the on-disk form
+    /// identical to a table that never saw the delete.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`].
+    pub fn vacuum(&mut self, table: &str) -> Result<(), DbError> {
+        self.table_mut(table)?.truncate_tombstones();
+        Ok(())
+    }
+
     /// Executes an UPDATE; returns the number of rows updated.
     ///
     /// # Errors

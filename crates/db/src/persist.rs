@@ -83,16 +83,25 @@ impl Journal {
     ///
     /// [`DbError::Io`] on serialisation or filesystem errors.
     pub fn append(&mut self, table: &str, row: &[Value]) -> Result<(), DbError> {
-        let entry = JournalEntry {
-            table: table.to_owned(),
-            row: row.to_vec(),
+        // Span names are string literals (matching goofi-telemetry's
+        // `names::JOURNAL_*`) because the telemetry crate sits above this
+        // one in the dependency graph.
+        let write = {
+            let _s = tracing::span("journal.append");
+            let entry = JournalEntry {
+                table: table.to_owned(),
+                row: row.to_vec(),
+            };
+            let mut line =
+                serde_json::to_string(&entry).map_err(|e| DbError::Io(e.to_string()))?;
+            line.push('\n');
+            self.file.write_all(line.as_bytes())
         };
-        let mut line =
-            serde_json::to_string(&entry).map_err(|e| DbError::Io(e.to_string()))?;
-        line.push('\n');
-        self.file
-            .write_all(line.as_bytes())
-            .and_then(|()| self.file.flush())
+        write
+            .and_then(|()| {
+                let _s = tracing::span("journal.fsync");
+                self.file.flush()
+            })
             .map_err(|e| DbError::Io(format!("append journal {}: {e}", self.path.display())))
     }
 

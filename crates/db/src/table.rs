@@ -213,6 +213,16 @@ impl Table {
         Ok(old)
     }
 
+    /// Drops trailing deleted slots from the row slab so serialisation
+    /// does not retain tombstones past the last live row. Ids of live
+    /// rows are unaffected (only `None` slots after them are removed), so
+    /// this is always safe to call.
+    pub(crate) fn truncate_tombstones(&mut self) {
+        while matches!(self.rows.last(), Some(None)) {
+            self.rows.pop();
+        }
+    }
+
     /// Iterates over `(row id, row)` pairs of live rows.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &Row)> {
         self.rows

@@ -12,7 +12,7 @@
 //! # Examples
 //!
 //! ```
-//! use goofi_core::{run_campaign, Campaign, FaultModel, LocationSelector, Technique};
+//! use goofi_core::{Campaign, CampaignRunner, FaultModel, LocationSelector, Technique};
 //! use goofi_targets::ThorTarget;
 //! use goofi_workloads::fibonacci_workload;
 //!
@@ -26,7 +26,7 @@
 //!     .experiments(20)
 //!     .seed(1)
 //!     .build()?;
-//! let result = run_campaign(&mut target, &campaign, None, None)?;
+//! let result = CampaignRunner::new(&mut target, &campaign).run()?;
 //! println!("{}", result.stats.report());
 //! # Ok(())
 //! # }

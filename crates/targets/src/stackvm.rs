@@ -12,6 +12,7 @@ use goofi_core::{
     TargetEvent, TargetSnapshot, TargetSystemConfig, TargetSystemInterface, TraceStep,
 };
 use goofi_stackvm::{Op, StackVm, VmError, VmEvent};
+use goofi_telemetry::names;
 
 /// Default per-experiment step budget.
 pub const DEFAULT_STEP_BUDGET: u64 = 1_000_000;
@@ -219,6 +220,7 @@ impl TargetSystemInterface for StackVmTarget {
         if chain != "debug" {
             return Err(GoofiError::Target(format!("no scan chain `{chain}`")));
         }
+        let _s = tracing::span(names::BLOCK_READ_SCAN_CHAIN);
         let fields = self.vm.debug_fields();
         let width: usize = fields.iter().map(|f| f.width).sum();
         let mut bits = StateVector::zeros(width);
@@ -242,6 +244,7 @@ impl TargetSystemInterface for StackVmTarget {
         if chain != "debug" {
             return Err(GoofiError::Target(format!("no scan chain `{chain}`")));
         }
+        let _s = tracing::span(names::BLOCK_WRITE_SCAN_CHAIN);
         let mut offset = 0;
         for f in self.vm.debug_fields() {
             if f.writable {
@@ -333,10 +336,12 @@ impl TargetSystemInterface for StackVmTarget {
     fn snapshot(&mut self) -> Result<TargetSnapshot> {
         // The whole VM (data, stacks, pc, step count, armed breakpoints,
         // latched errors) lives in one plain struct: a clone is a snapshot.
+        let _s = tracing::span(names::BLOCK_SNAPSHOT);
         Ok(TargetSnapshot::new(self.vm.clone()))
     }
 
     fn restore(&mut self, snapshot: &TargetSnapshot) -> Result<()> {
+        let _s = tracing::span(names::BLOCK_RESTORE);
         let vm = snapshot
             .downcast_ref::<StackVm>()
             .ok_or_else(|| GoofiError::Target("snapshot is not a StackVM snapshot".into()))?;
@@ -349,7 +354,7 @@ impl TargetSystemInterface for StackVmTarget {
 mod tests {
     use super::*;
     use goofi_core::{
-        reference_run, run_campaign, Campaign, FaultModel, LocationSelector, Technique,
+        reference_run, Campaign, CampaignRunner, FaultModel, LocationSelector, Technique,
     };
 
     fn target() -> StackVmTarget {
@@ -398,7 +403,9 @@ mod tests {
     #[test]
     fn scifi_campaign_runs_against_stackvm() {
         let mut t = target();
-        let result = run_campaign(&mut t, &campaign(Technique::Scifi, 40), None, None).unwrap();
+        let result = CampaignRunner::new(&mut t, &campaign(Technique::Scifi, 40))
+            .run()
+            .unwrap();
         assert_eq!(result.runs.len(), 40);
         let s = &result.stats;
         // Something must be effective and something must be benign in a
@@ -410,8 +417,9 @@ mod tests {
     #[test]
     fn swifi_campaign_runs_against_stackvm() {
         let mut t = target();
-        let result =
-            run_campaign(&mut t, &campaign(Technique::SwifiPreRuntime, 30), None, None).unwrap();
+        let result = CampaignRunner::new(&mut t, &campaign(Technique::SwifiPreRuntime, 30))
+            .run()
+            .unwrap();
         assert_eq!(result.runs.len(), 30);
         // Corrupting instruction words must trip the illegal-opcode or
         // range detectors at least once in 30 experiments.

@@ -11,6 +11,7 @@ use goofi_core::{
     TraceStep,
 };
 use goofi_envsim::Environment;
+use goofi_telemetry::names;
 use goofi_workloads::{Workload, WorkloadKind, IO_IN_ADDR, IO_OUT_ADDR};
 use thor_rd::{
     BitVector, CardError, CardSnapshot, DebugEvent, Loc, MachineConfig, StepInfo, TestCard,
@@ -325,11 +326,13 @@ impl TargetSystemInterface for ThorTarget {
     }
 
     fn read_scan_chain(&mut self, chain: &str) -> Result<StateVector> {
+        let _s = tracing::span(names::BLOCK_READ_SCAN_CHAIN);
         let bits = self.card.read_chain(chain).map_err(Self::card_err)?;
         Ok(to_core_bits(&bits))
     }
 
     fn write_scan_chain(&mut self, chain: &str, bits: &StateVector) -> Result<()> {
+        let _s = tracing::span(names::BLOCK_WRITE_SCAN_CHAIN);
         self.card
             .write_chain(chain, &to_thor_bits(bits))
             .map_err(Self::card_err)
@@ -450,6 +453,7 @@ impl TargetSystemInterface for ThorTarget {
         if self.env.is_some() {
             return Err(self.unsupported("snapshot"));
         }
+        let _s = tracing::span(names::BLOCK_SNAPSHOT);
         Ok(TargetSnapshot::new(ThorSnapshot {
             card: self.card.snapshot(),
             iterations: self.iterations,
@@ -461,6 +465,7 @@ impl TargetSystemInterface for ThorTarget {
         if self.env.is_some() {
             return Err(self.unsupported("restore"));
         }
+        let _s = tracing::span(names::BLOCK_RESTORE);
         let snap = snapshot
             .downcast_ref::<ThorSnapshot>()
             .ok_or_else(|| GoofiError::Target("snapshot is not a Thor snapshot".into()))?;

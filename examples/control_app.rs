@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example control_app`
 
 use goofi_repro::core::{
-    run_campaign, Campaign, FaultModel, LocationSelector, Technique,
+    Campaign, CampaignRunner, FaultModel, LocationSelector, Technique,
 };
 use goofi_repro::envsim::{DcMotorEnv, SCALE};
 use goofi_repro::targets::ThorTarget;
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     let mut target = make_target();
-    let result = run_campaign(&mut target, &campaign, None, None)?;
+    let result = CampaignRunner::new(&mut target, &campaign).run()?;
 
     println!("closed-loop PID campaign, 60 iterations per experiment\n");
     println!("{}", result.stats.report());

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example dependability`
 
 use goofi_repro::core::{
-    detection_latency, duplex_mttf, duplex_reliability_interval, run_campaign,
+    detection_latency, duplex_mttf, duplex_reliability_interval, CampaignRunner,
     single_node_availability, Campaign, DependabilityParams, FaultModel, LocationSelector,
     Technique,
 };
@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(12)
         .build()?;
     let mut target = ThorTarget::new("thor-card", matmul_workload(4, 3));
-    let result = run_campaign(&mut target, &campaign, None, None)?;
+    let result = CampaignRunner::new(&mut target, &campaign).run()?;
     let coverage = result.stats.detection_coverage();
     println!("cache-fault campaign: {}", result.stats.report());
 

@@ -7,7 +7,7 @@
 //! Run with: `cargo run --release --example detail_mode`
 
 use goofi_repro::core::{
-    run_campaign, run_experiment, Campaign, EscapeKind, ExperimentData, ExperimentRecord,
+    run_experiment, Campaign, CampaignRunner, EscapeKind, ExperimentData, ExperimentRecord,
     FaultModel, GoofiStore, LocationSelector, LogMode, Outcome, StateVector, Technique,
     TargetSystemInterface, classify,
 };
@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(17)
         .build()?;
     store.put_campaign(&campaign)?;
-    let result = run_campaign(&mut target, &campaign, Some(&mut store), None)?;
+    let result = CampaignRunner::new(&mut target, &campaign).store(&mut store).run()?;
 
     // Find the first escaped (wrong result) experiment.
     let interesting = result.runs.iter().enumerate().find(|(_, r)| {

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --example quickstart`
 
 use goofi_repro::core::{
-    analyze_campaign, run_campaign, Campaign, FaultModel, GoofiStore, LocationSelector,
+    analyze_campaign, Campaign, CampaignRunner, FaultModel, GoofiStore, LocationSelector,
     Technique, TargetSystemInterface,
 };
 use goofi_repro::targets::ThorTarget;
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fault-injection phase (paper Fig. 2): reference run, then one
     // injection per experiment, everything logged to LoggedSystemState.
-    let result = run_campaign(&mut target, &campaign, Some(&mut store), None)?;
+    let result = CampaignRunner::new(&mut target, &campaign).store(&mut store).run()?;
     println!("== in-memory classification ==");
     println!("{}", result.stats.report());
 

@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example scifi_campaign`
 
 use goofi_repro::core::{
-    run_campaign, Campaign, CampaignStats, FaultModel, LocationSelector, Technique,
+    Campaign, CampaignRunner, CampaignStats, FaultModel, LocationSelector, Technique,
 };
 use goofi_repro::targets::ThorTarget;
 use goofi_repro::workloads::{matmul_workload, Workload};
@@ -25,7 +25,7 @@ fn campaign_for(selector: LocationSelector, name: &str, n: usize) -> Campaign {
 fn run_one(workload: Workload, selector: LocationSelector, name: &str) -> CampaignStats {
     let mut target = ThorTarget::new("thor-card", workload);
     let campaign = campaign_for(selector, name, 300);
-    run_campaign(&mut target, &campaign, None, None)
+    CampaignRunner::new(&mut target, &campaign).run()
         .expect("campaign runs")
         .stats
 }

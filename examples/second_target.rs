@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example second_target`
 
 use goofi_repro::core::{
-    run_campaign, Campaign, CampaignResult, FaultModel, GoofiError, LocationSelector,
+    Campaign, CampaignRunner, CampaignResult, FaultModel, GoofiError, LocationSelector,
     Technique, TargetSystemInterface,
 };
 use goofi_repro::targets::{StackProgram, StackVmTarget, ThorTarget};
@@ -30,7 +30,7 @@ fn inject(
         .experiments(200)
         .seed(31)
         .build()?;
-    run_campaign(target, &campaign, None, None)
+    CampaignRunner::new(target, &campaign).run()
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -25,3 +25,8 @@ bench-e8:
 # E9 checkpoint-vs-cold-start; refreshes BENCH_e9.json at the repo root.
 bench-e9:
     cargo bench -p goofi-bench --bench e9_checkpoint
+
+# E10 telemetry overhead (asserts the <2% disabled budget); refreshes
+# BENCH_e10.json at the repo root.
+bench-e10:
+    cargo bench -p goofi-bench --bench e10_telemetry_overhead

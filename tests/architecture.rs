@@ -4,7 +4,7 @@
 //! below, with the environment simulator beside the target.
 
 use goofi_repro::core::{
-    analyze_propagation, control_channel, reference_run, run_campaign, Campaign, FaultModel,
+    analyze_propagation, control_channel, reference_run, Campaign, CampaignRunner, FaultModel,
     GoofiStore, LocationSelector, LogMode, ProgressEvent, Technique, TargetSystemInterface,
 };
 use goofi_repro::envsim::{DcMotorEnv, Environment, RecordingEnv, SCALE};
@@ -34,7 +34,7 @@ fn all_three_layers_cooperate_in_one_flow() {
     // Top layer: the progress surface (Fig. 7).
     let (controller, handle) = control_channel();
     let result =
-        run_campaign(&mut target, &campaign, Some(&mut store), Some(&controller)).unwrap();
+        CampaignRunner::new(&mut target, &campaign).store(&mut store).observer(&controller).run().unwrap();
     drop(controller);
     // Every layer saw the campaign.
     assert_eq!(result.runs.len(), 20);
@@ -93,7 +93,7 @@ fn propagation_analysis_reads_detail_traces() {
     campaign.log_mode = LogMode::Detail;
     let mut target = ThorTarget::new("thor-card", sort_workload(8, 1));
     let chains = target.describe().chains;
-    let result = run_campaign(&mut target, &campaign, None, None).unwrap();
+    let result = CampaignRunner::new(&mut target, &campaign).run().unwrap();
     let faulty = result.runs[0].detail_trace.as_ref().expect("detail trace");
     let reference = result
         .reference

@@ -3,7 +3,7 @@
 //! detail mode (E4), campaign merging (F6) and progress control (F7).
 
 use goofi_repro::core::{
-    control_channel, run_campaign, Campaign, Command, FaultModel, LocationSelector, LogMode,
+    control_channel, Campaign, CampaignRunner, Command, FaultModel, LocationSelector, LogMode,
     ProgressEvent, Technique, Trigger, TriggerPolicy,
 };
 use goofi_repro::targets::ThorTarget;
@@ -38,7 +38,7 @@ fn fault_model_severity_ordering() {
         let mut c = base_campaign("models");
         c.fault_model = model;
         let mut t = target();
-        run_campaign(&mut t, &c, None, None).unwrap().stats
+        CampaignRunner::new(&mut t, &c).run().unwrap().stats
     };
     let transient = run_model(FaultModel::BitFlip);
     let intermittent = run_model(FaultModel::Intermittent { activations: 4 });
@@ -66,7 +66,7 @@ fn multi_bit_flips_are_more_effective_than_single() {
         let mut c = base_campaign("bits");
         c.fault_model = model;
         let mut t = target();
-        run_campaign(&mut t, &c, None, None).unwrap().stats
+        CampaignRunner::new(&mut t, &c).run().unwrap().stats
     };
     let single = run_bits(FaultModel::BitFlip);
     let multi = run_bits(FaultModel::MultiBitFlip { bits: 4 });
@@ -83,7 +83,7 @@ fn extended_triggers_resolve_against_the_trace() {
     c.trigger = TriggerPolicy::Triggers(vec![Trigger::AfterBranch { n: 5 }]);
     c.experiments = 20;
     let mut t = target();
-    let result = run_campaign(&mut t, &c, None, None).unwrap();
+    let result = CampaignRunner::new(&mut t, &c).run().unwrap();
     let times: Vec<u64> = result
         .runs
         .iter()
@@ -98,7 +98,7 @@ fn extended_triggers_resolve_against_the_trace() {
     }]);
     c.experiments = 5;
     let mut t = target();
-    let result = run_campaign(&mut t, &c, None, None).unwrap();
+    let result = CampaignRunner::new(&mut t, &c).run().unwrap();
     assert_eq!(result.runs.len(), 5);
 }
 
@@ -114,9 +114,9 @@ fn preinjection_analysis_is_sound_on_thor() {
     pruned.pre_injection_analysis = true;
 
     let mut t = target();
-    let plain_result = run_campaign(&mut t, &plain, None, None).unwrap();
+    let plain_result = CampaignRunner::new(&mut t, &plain).run().unwrap();
     let mut t = target();
-    let pruned_result = run_campaign(&mut t, &pruned, None, None).unwrap();
+    let pruned_result = CampaignRunner::new(&mut t, &pruned).run().unwrap();
 
     assert_eq!(plain_result.stats.detected, pruned_result.stats.detected);
     assert_eq!(
@@ -146,9 +146,9 @@ fn preinjection_is_sound_for_psw_faults() {
     pruned.pre_injection_analysis = true;
 
     let mut t = target();
-    let a = run_campaign(&mut t, &plain, None, None).unwrap();
+    let a = CampaignRunner::new(&mut t, &plain).run().unwrap();
     let mut t = target();
-    let b = run_campaign(&mut t, &pruned, None, None).unwrap();
+    let b = CampaignRunner::new(&mut t, &pruned).run().unwrap();
     assert_eq!(a.stats.detected, b.stats.detected);
     assert_eq!(a.stats.escaped_total(), b.stats.escaped_total());
     assert_eq!(a.stats.latent, b.stats.latent);
@@ -167,9 +167,9 @@ fn detail_mode_collects_propagation_trace() {
     detail.log_mode = LogMode::Detail;
 
     let mut t = ThorTarget::new("thor", fibonacci_workload(18));
-    let n = run_campaign(&mut t, &normal, None, None).unwrap();
+    let n = CampaignRunner::new(&mut t, &normal).run().unwrap();
     let mut t = ThorTarget::new("thor", fibonacci_workload(18));
-    let d = run_campaign(&mut t, &detail, None, None).unwrap();
+    let d = CampaignRunner::new(&mut t, &detail).run().unwrap();
 
     assert_eq!(n.stats.detected, d.stats.detected);
     assert_eq!(n.stats.escaped_total(), d.stats.escaped_total());
@@ -206,7 +206,7 @@ fn campaign_merge_runs_as_one() {
     let merged = Campaign::merge("ab", &[&a, &b]).unwrap();
     assert_eq!(merged.experiments, 20);
     let mut t = ThorTarget::new("thor", crc32_workload(8, 2));
-    let result = run_campaign(&mut t, &merged, None, None).unwrap();
+    let result = CampaignRunner::new(&mut t, &merged).run().unwrap();
     assert_eq!(result.runs.len(), 20);
     // All faults land in R1 or PC bit ranges (R1: 32..64, PC: 512..544).
     for r in &result.runs {
@@ -231,7 +231,7 @@ fn pause_resume_stop_controls_a_live_campaign() {
         let mut t = target();
         let mut c = base_campaign("ctl");
         c.experiments = 500;
-        run_campaign(&mut t, &c, None, Some(&controller)).unwrap()
+        CampaignRunner::new(&mut t, &c).observer(&controller).run().unwrap()
     });
     // Wait for a few experiments, then pause.
     let mut seen = 0;

@@ -4,7 +4,7 @@
 //! missing abstract method — the Fig. 3 contract.
 
 use goofi_repro::core::{
-    run_campaign, Campaign, FaultModel, GoofiError, LocationSelector, Result, StateVector,
+    Campaign, CampaignRunner, FaultModel, GoofiError, LocationSelector, Result, StateVector,
     TargetEvent, TargetSystemConfig, TargetSystemInterface, Technique,
 };
 
@@ -107,7 +107,7 @@ fn campaign(technique: Technique) -> Campaign {
 #[test]
 fn swifi_works_on_partial_target() {
     let mut t = SwifiOnlyTarget::new();
-    let result = run_campaign(&mut t, &campaign(Technique::SwifiPreRuntime), None, None).unwrap();
+    let result = CampaignRunner::new(&mut t, &campaign(Technique::SwifiPreRuntime)).run().unwrap();
     assert_eq!(result.runs.len(), 8);
     // Flipping a bit of word 0 always propagates to word 1: every
     // experiment is an escaped wrong-output error.
@@ -118,7 +118,7 @@ fn swifi_works_on_partial_target() {
 fn scifi_fails_naming_the_missing_block() {
     let mut t = SwifiOnlyTarget::new();
     // The campaign validates, but fault-list generation finds no chains.
-    let err = run_campaign(&mut t, &campaign(Technique::Scifi), None, None).unwrap_err();
+    let err = CampaignRunner::new(&mut t, &campaign(Technique::Scifi)).run().unwrap_err();
     assert!(matches!(err, GoofiError::Campaign(_)), "got {err}");
 
     // Calling the scan block directly reports the Fig. 3 template error.
@@ -135,7 +135,7 @@ fn scifi_fails_naming_the_missing_block() {
 #[test]
 fn runtime_swifi_needs_breakpoints() {
     let mut t = SwifiOnlyTarget::new();
-    let err = run_campaign(&mut t, &campaign(Technique::SwifiRuntime), None, None).unwrap_err();
+    let err = CampaignRunner::new(&mut t, &campaign(Technique::SwifiRuntime)).run().unwrap_err();
     match err {
         GoofiError::Unsupported { method, .. } => assert_eq!(method, "setBreakpoint"),
         other => panic!("expected Unsupported(setBreakpoint), got {other}"),

@@ -2,7 +2,7 @@
 //! driver function runs unchanged against the Thor RD and the StackVM.
 
 use goofi_repro::core::{
-    run_campaign, CampaignResult, Campaign, FaultModel, GoofiError, LocationSelector,
+    Campaign, CampaignResult, CampaignRunner, FaultModel, GoofiError, LocationSelector,
     Technique, TargetSystemInterface,
 };
 use goofi_repro::targets::{StackProgram, StackVmTarget, ThorTarget};
@@ -23,7 +23,7 @@ fn drive(target: &mut dyn TargetSystemInterface, n: usize) -> Result<CampaignRes
         .experiments(n)
         .seed(77)
         .build()?;
-    run_campaign(target, &campaign, None, None)
+    CampaignRunner::new(target, &campaign).run()
 }
 
 #[test]
@@ -84,7 +84,7 @@ fn swifi_is_generic_too() {
             .seed(13)
             .build()
             .unwrap();
-        run_campaign(target, &campaign, None, None).unwrap()
+        CampaignRunner::new(target, &campaign).run().unwrap()
     };
     let mut thor = ThorTarget::new("thor", fibonacci_workload(15));
     let thor_result = run_swifi(&mut thor, 0, 12);

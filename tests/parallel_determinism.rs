@@ -4,10 +4,9 @@
 //! including across stop/resume and crash recovery from the journal.
 
 use goofi_repro::core::{
-    analyze_campaign, control_channel, resume_campaign_parallel, run_campaign,
-    run_campaign_parallel, run_campaign_parallel_static, run_campaign_parallel_with,
-    run_campaign_with, Campaign, CampaignResult, Command, FaultModel, GoofiStore,
-    LocationSelector, ProgressEvent, RunOptions, TargetSystemInterface, Technique,
+    analyze_campaign, control_channel, Campaign, CampaignResult, CampaignRunner, Command,
+    FaultModel, GoofiStore, LocationSelector, ProgressEvent, RunOptions, Scheduler,
+    TargetSystemInterface, Technique,
 };
 use goofi_repro::targets::ThorTarget;
 use goofi_repro::workloads::sort_workload;
@@ -63,14 +62,21 @@ fn any_worker_count_is_byte_identical_to_sequential() {
 
     let mut seq_store = seeded_store(&c);
     let mut target = ThorTarget::new("thor-card", sort_workload(12, 9));
-    let seq = run_campaign(&mut target, &c, Some(&mut seq_store), None).unwrap();
+    let seq = CampaignRunner::new(&mut target, &c)
+        .store(&mut seq_store)
+        .run()
+        .unwrap();
     let seq_path = tmp("seq.json");
     seq_store.save(&seq_path).unwrap();
     let seq_bytes = std::fs::read(&seq_path).unwrap();
 
     for workers in [1usize, 2, 4] {
         let mut store = seeded_store(&c);
-        let par = run_campaign_parallel(factory, &c, workers, Some(&mut store), None).unwrap();
+        let par = CampaignRunner::from_factory(factory, &c)
+            .workers(workers)
+            .store(&mut store)
+            .run()
+            .unwrap();
         assert_same_runs(&seq, &par);
         let path = tmp(&format!("par{workers}.json"));
         store.save(&path).unwrap();
@@ -84,7 +90,12 @@ fn any_worker_count_is_byte_identical_to_sequential() {
 
     // The old static scheduler must agree too — E8 compares wall time only.
     let mut store = seeded_store(&c);
-    let stat = run_campaign_parallel_static(factory, &c, 4, Some(&mut store)).unwrap();
+    let stat = CampaignRunner::from_factory(factory, &c)
+        .workers(4)
+        .options(RunOptions::new().scheduler(Scheduler::Static))
+        .store(&mut store)
+        .run()
+        .unwrap();
     assert_same_runs(&seq, &stat);
     let path = tmp("static4.json");
     store.save(&path).unwrap();
@@ -103,14 +114,11 @@ fn checkpointing_on_or_off_is_byte_identical() {
     // Cold-start sequential run (no checkpoint cache) is the ground truth.
     let mut cold_store = seeded_store(&c);
     let mut target = ThorTarget::new("thor-card", sort_workload(12, 9));
-    let cold = run_campaign_with(
-        &mut target,
-        &c,
-        Some(&mut cold_store),
-        None,
-        RunOptions { checkpoint: false },
-    )
-    .unwrap();
+    let cold = CampaignRunner::new(&mut target, &c)
+        .store(&mut cold_store)
+        .options(RunOptions::new().checkpoint(false))
+        .run()
+        .unwrap();
     let cold_path = tmp("ckpt_cold.json");
     cold_store.save(&cold_path).unwrap();
     let cold_bytes = std::fs::read(&cold_path).unwrap();
@@ -119,15 +127,12 @@ fn checkpointing_on_or_off_is_byte_identical() {
     for checkpoint in [false, true] {
         for workers in [1usize, 2, 4] {
             let mut store = seeded_store(&c);
-            let result = run_campaign_parallel_with(
-                factory,
-                &c,
-                workers,
-                Some(&mut store),
-                None,
-                RunOptions { checkpoint },
-            )
-            .unwrap();
+            let result = CampaignRunner::from_factory(factory, &c)
+                .workers(workers)
+                .store(&mut store)
+                .options(RunOptions::new().checkpoint(checkpoint))
+                .run()
+                .unwrap();
             assert_same_runs(&cold, &result);
             let path = tmp(&format!("ckpt_{checkpoint}_{workers}.json"));
             store.save(&path).unwrap();
@@ -149,7 +154,10 @@ fn stop_then_parallel_resume_recovers_full_campaign() {
 
     let mut full_store = seeded_store(&c);
     let mut target = ThorTarget::new("thor-card", sort_workload(12, 9));
-    run_campaign(&mut target, &c, Some(&mut full_store), None).unwrap();
+    CampaignRunner::new(&mut target, &c)
+        .store(&mut full_store)
+        .run()
+        .unwrap();
     let full_rows = full_store.experiments_of("det-resume").unwrap();
 
     // Stop after the 5th completed experiment.
@@ -170,13 +178,21 @@ fn stop_then_parallel_resume_recovers_full_campaign() {
         }
     });
     let mut store = seeded_store(&c);
-    let stopped =
-        run_campaign_parallel(factory, &c, 2, Some(&mut store), Some(&controller)).unwrap();
+    let stopped = CampaignRunner::from_factory(factory, &c)
+        .workers(2)
+        .store(&mut store)
+        .observer(&controller)
+        .run()
+        .unwrap();
     drop(controller);
     watcher.join().unwrap();
     assert!(stopped.runs.len() < 40, "stop must cut the campaign short");
 
-    let resumed = resume_campaign_parallel(factory, &c, 4, &mut store, None).unwrap();
+    let resumed = CampaignRunner::from_factory(factory, &c)
+        .workers(4)
+        .resume_from(&mut store)
+        .run()
+        .unwrap();
     assert_eq!(resumed.runs.len(), 40);
     assert_eq!(
         store.experiments_of("det-resume").unwrap(),
@@ -198,7 +214,11 @@ fn journal_replay_recovers_unsnapshotted_parallel_campaign() {
     let mut store = seeded_store(&c);
     store.save(&path).unwrap(); // snapshot holds config only, no experiments
     store.enable_journal(&path).unwrap();
-    let result = run_campaign_parallel(factory, &c, 2, Some(&mut store), None).unwrap();
+    let result = CampaignRunner::from_factory(factory, &c)
+        .workers(2)
+        .store(&mut store)
+        .run()
+        .unwrap();
     assert_eq!(result.runs.len(), 30);
     drop(store); // crash: no `save` — rows live only in the journal
 

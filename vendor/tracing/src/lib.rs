@@ -1,0 +1,214 @@
+//! Offline stand-in for the `tracing` facade (see `vendor/README.md`).
+//!
+//! Implements exactly the surface this workspace uses: a thread-locally
+//! scoped dispatcher ([`set_default`] / [`with_default`]), RAII timed
+//! spans ([`span`]) and named `u64` events ([`value`]). Instrumented code
+//! calls the free functions unconditionally; whether anything happens is
+//! decided by the dispatcher installed on the *current thread*.
+//!
+//! The zero-cost-when-disabled contract: with no dispatcher installed —
+//! the default state of every thread — [`span`] and [`value`] perform a
+//! single thread-local read and no clock call, no allocation, and no
+//! atomic operation. The clock (`Instant::now`) is only read while a
+//! dispatcher is installed.
+//!
+//! Scoping is per-thread (not process-global) so concurrently running
+//! campaigns — e.g. tests under `cargo test` — never observe each other's
+//! telemetry. Threads spawned while a dispatcher is installed do **not**
+//! inherit it; each worker installs its own guard.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Receiver for closed spans and value events. Implementations must be
+/// cheap and non-blocking-ish: callbacks run inline on the instrumented
+/// thread while it holds no instrumented locks.
+pub trait Subscriber: Send + Sync {
+    /// A span named `name` closed after running for `nanos` nanoseconds.
+    fn on_span(&self, name: &'static str, nanos: u64);
+    /// A named `u64` event (a counter increment or a gauge sample).
+    fn on_value(&self, name: &'static str, value: u64);
+}
+
+/// A cheaply clonable handle to a [`Subscriber`], installable on a thread
+/// with [`set_default`] or around a closure with [`with_default`].
+#[derive(Clone)]
+pub struct Dispatch {
+    subscriber: Arc<dyn Subscriber>,
+}
+
+impl Dispatch {
+    /// Wraps a subscriber in a dispatch handle.
+    pub fn new(subscriber: Arc<dyn Subscriber>) -> Dispatch {
+        Dispatch { subscriber }
+    }
+}
+
+impl std::fmt::Debug for Dispatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Dispatch { .. }")
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Dispatch>> = const { RefCell::new(None) };
+}
+
+/// Installs `dispatch` as the current thread's dispatcher until the
+/// returned guard is dropped, at which point the previous dispatcher (if
+/// any) is restored. Guards nest like a stack.
+#[must_use = "dropping the guard immediately uninstalls the dispatcher"]
+pub fn set_default(dispatch: &Dispatch) -> DefaultGuard {
+    let prior = CURRENT.with(|cell| cell.replace(Some(dispatch.clone())));
+    DefaultGuard { prior }
+}
+
+/// Runs `f` with `dispatch` installed on the current thread.
+pub fn with_default<R>(dispatch: &Dispatch, f: impl FnOnce() -> R) -> R {
+    let _guard = set_default(dispatch);
+    f()
+}
+
+/// Restores the previously installed dispatcher on drop.
+pub struct DefaultGuard {
+    prior: Option<Dispatch>,
+}
+
+impl Drop for DefaultGuard {
+    fn drop(&mut self) {
+        let prior = self.prior.take();
+        CURRENT.with(|cell| *cell.borrow_mut() = prior);
+    }
+}
+
+/// Whether the current thread has a dispatcher installed.
+pub fn enabled() -> bool {
+    CURRENT.with(|cell| cell.borrow().is_some())
+}
+
+/// A timed span: created by [`span`], it reports its wall-clock duration
+/// to the dispatcher that was current at creation when dropped. Inert
+/// (`None` payload, no clock reads) when no dispatcher was installed.
+#[must_use = "a span measures until dropped; binding it to `_` drops it immediately"]
+pub struct EnteredSpan {
+    active: Option<(Dispatch, &'static str, Instant)>,
+}
+
+/// Opens a timed span named `name` on the current thread.
+pub fn span(name: &'static str) -> EnteredSpan {
+    let active = CURRENT.with(|cell| {
+        cell.borrow()
+            .as_ref()
+            .map(|d| (d.clone(), name, Instant::now()))
+    });
+    EnteredSpan { active }
+}
+
+impl Drop for EnteredSpan {
+    fn drop(&mut self) {
+        if let Some((dispatch, name, start)) = self.active.take() {
+            dispatch
+                .subscriber
+                .on_span(name, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Emits a named `u64` event to the current thread's dispatcher, if any.
+pub fn value(name: &'static str, value: u64) {
+    CURRENT.with(|cell| {
+        if let Some(dispatch) = cell.borrow().as_ref() {
+            dispatch.subscriber.on_value(name, value);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct Log {
+        spans: Mutex<Vec<(&'static str, u64)>>,
+        values: Mutex<Vec<(&'static str, u64)>>,
+    }
+
+    impl Subscriber for Log {
+        fn on_span(&self, name: &'static str, nanos: u64) {
+            self.spans.lock().unwrap().push((name, nanos));
+        }
+        fn on_value(&self, name: &'static str, value: u64) {
+            self.values.lock().unwrap().push((name, value));
+        }
+    }
+
+    #[test]
+    fn disabled_thread_records_nothing() {
+        assert!(!enabled());
+        let s = span("noop");
+        assert!(s.active.is_none());
+        drop(s);
+        value("noop", 1); // must not panic, must not record anywhere
+    }
+
+    #[test]
+    fn guard_scopes_and_nests() {
+        let outer = Arc::new(Log::default());
+        let inner = Arc::new(Log::default());
+        let outer_d = Dispatch::new(outer.clone());
+        let inner_d = Dispatch::new(inner.clone());
+
+        let g1 = set_default(&outer_d);
+        assert!(enabled());
+        drop(span("a"));
+        {
+            let _g2 = set_default(&inner_d);
+            drop(span("b"));
+            value("v", 7);
+        }
+        // Inner guard dropped: outer dispatcher restored.
+        drop(span("c"));
+        drop(g1);
+        assert!(!enabled());
+
+        let outer_spans: Vec<_> = outer.spans.lock().unwrap().iter().map(|s| s.0).collect();
+        assert_eq!(outer_spans, ["a", "c"]);
+        let inner_spans: Vec<_> = inner.spans.lock().unwrap().iter().map(|s| s.0).collect();
+        assert_eq!(inner_spans, ["b"]);
+        assert_eq!(*inner.values.lock().unwrap(), [("v", 7)]);
+    }
+
+    #[test]
+    fn with_default_restores_on_exit() {
+        let log = Arc::new(Log::default());
+        let d = Dispatch::new(log.clone());
+        let out = with_default(&d, || {
+            drop(span("w"));
+            42
+        });
+        assert_eq!(out, 42);
+        assert!(!enabled());
+        assert_eq!(log.spans.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn span_captures_dispatch_at_creation() {
+        let log = Arc::new(Log::default());
+        let d = Dispatch::new(log.clone());
+        let g = set_default(&d);
+        let s = span("outlives");
+        drop(g); // dispatcher uninstalled before the span closes
+        drop(s); // still reports to the dispatcher captured at creation
+        assert_eq!(log.spans.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn threads_do_not_inherit_dispatch() {
+        let log = Arc::new(Log::default());
+        let d = Dispatch::new(log.clone());
+        let _g = set_default(&d);
+        std::thread::spawn(|| assert!(!enabled())).join().unwrap();
+    }
+}
