@@ -1,0 +1,36 @@
+//! # goofi-analysis — static workload analysis for GOOFI targets
+//!
+//! The trace-free counterpart of `goofi_core::preinject`: instead of
+//! recording a full reference read/write trace and pruning against it,
+//! this crate builds a control-flow graph over the workload binary from
+//! each ISA's shared def/use tables, runs a backward write-before-read
+//! *must* fixpoint over it, and maps the per-program-point facts onto
+//! injection times with a cheap concrete replay that observes only the
+//! program counter (and, for the stack machine, the stack shape) — no
+//! state trace, no read/write log.
+//!
+//! The result is conservative by construction: the dynamic execution
+//! from any injection time is one of the CFG paths the must-analysis
+//! quantified over, so every statically dead `(location, time)` is also
+//! dead under the trace-based [`goofi_core::LivenessAnalysis`]. The
+//! static prune set is therefore always a subset of the trace-based one
+//! (property-tested in `goofi-targets`).
+//!
+//! Frontends:
+//!
+//! * [`analyze_thor_program`] — instruction-address CFG over decoded
+//!   Thor code segments; registers and the PSW are modelled, memory
+//!   words are not (dynamic effective addresses).
+//! * [`analyze_stackvm_program`] — abstract-state CFG `(pc, sp, return
+//!   stack)` over StackVM bytecode; stack cells, call slots, pointers
+//!   and data words are all modelled exactly.
+
+#![warn(missing_docs)]
+
+mod model;
+mod stackvm;
+mod thor;
+
+pub use model::{Model, Node, NodeKind};
+pub use stackvm::analyze_stackvm_program;
+pub use thor::analyze_thor_program;

@@ -40,8 +40,11 @@ fn populated(rows: usize) -> Database {
                 format!("c1/{i:05}").into(),
                 Value::Null,
                 "c1".into(),
-                format!("{{\"outcome\":\"{}\"}}", if i % 3 == 0 { "Detected" } else { "Latent" })
-                    .into(),
+                format!(
+                    "{{\"outcome\":\"{}\"}}",
+                    if i % 3 == 0 { "Detected" } else { "Latent" }
+                )
+                .into(),
                 vec![0u8; 128].into(),
             ],
         ))

@@ -85,9 +85,7 @@ fn bench(c: &mut Criterion) {
     println!("wall  off:            {off_wall:>10.3?}");
     println!("wall  metrics:        {metrics_wall:>10.3?}  ({metrics_pct:+.2}% vs off)");
     println!("wall  trace:          {trace_wall:>10.3?}  ({trace_pct:+.2}% vs off)");
-    println!(
-        "disabled overhead:    {overhead_pct:.4}% of the off wall (budget {BUDGET_PCT}%)"
-    );
+    println!("disabled overhead:    {overhead_pct:.4}% of the off wall (budget {BUDGET_PCT}%)");
 
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"e10_telemetry_overhead\",\n");

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::{scifi_campaign, thor_target};
 use goofi_core::{
-    generate_fault_list, run_experiment, CampaignRunner, Campaign, FaultModel,
-    LocationSelector, Technique, TargetSystemInterface, TriggerPolicy,
+    generate_fault_list, run_experiment, Campaign, CampaignRunner, FaultModel, LocationSelector,
+    TargetSystemInterface, Technique, TriggerPolicy,
 };
 
 fn print_table() {
@@ -36,7 +36,8 @@ fn print_table() {
             .build()
             .expect("valid campaign");
         let mut target = thor_target("matmul4");
-        let stats = CampaignRunner::new(&mut target, &campaign).run()
+        let stats = CampaignRunner::new(&mut target, &campaign)
+            .run()
             .expect("campaign runs")
             .stats;
         let cov = stats.detection_coverage();
@@ -60,7 +61,10 @@ fn bench(c: &mut Criterion) {
         &target.describe(),
         &campaign.selectors,
         campaign.fault_model,
-        &TriggerPolicy::Window { start: 0, end: 3000 },
+        &TriggerPolicy::Window {
+            start: 0,
+            end: 3000,
+        },
         64,
         7,
         None,

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::{scifi_campaign, swifi_campaign, thor_target};
-use goofi_core::{generate_fault_list, run_experiment, CampaignRunner, TriggerPolicy, TargetSystemInterface};
+use goofi_core::{
+    generate_fault_list, run_experiment, CampaignRunner, TargetSystemInterface, TriggerPolicy,
+};
 
 fn print_table() {
     println!("\n=== E2: technique comparison (crc32x16, 300 faults each) ===");
@@ -12,7 +14,10 @@ fn print_table() {
         "technique / area", "detected", "escaped", "latent", "overwritten"
     );
     let cases = [
-        ("SCIFI / cpu", scifi_campaign("e2-scifi", "crc32x16", 300, 4000)),
+        (
+            "SCIFI / cpu",
+            scifi_campaign("e2-scifi", "crc32x16", 300, 4000),
+        ),
         (
             "SWIFI pre / code",
             swifi_campaign("e2-swc", "crc32x16", 0, 64, 300),
@@ -24,7 +29,8 @@ fn print_table() {
     ];
     for (label, campaign) in cases {
         let mut target = thor_target("crc32x16");
-        let stats = CampaignRunner::new(&mut target, &campaign).run()
+        let stats = CampaignRunner::new(&mut target, &campaign)
+            .run()
             .expect("campaign runs")
             .stats;
         println!(
@@ -42,7 +48,10 @@ fn bench(c: &mut Criterion) {
     print_table();
     let mut group = c.benchmark_group("e2");
     for (name, campaign) in [
-        ("scifi_experiment", scifi_campaign("e2-b1", "crc32x16", 1, 4000)),
+        (
+            "scifi_experiment",
+            scifi_campaign("e2-b1", "crc32x16", 1, 4000),
+        ),
         (
             "swifi_experiment",
             swifi_campaign("e2-b2", "crc32x16", 0x4000, 17, 1),
@@ -53,7 +62,10 @@ fn bench(c: &mut Criterion) {
             &target.describe(),
             &campaign.selectors,
             campaign.fault_model,
-            &TriggerPolicy::Window { start: 0, end: 4000 },
+            &TriggerPolicy::Window {
+                start: 0,
+                end: 4000,
+            },
             32,
             9,
             None,

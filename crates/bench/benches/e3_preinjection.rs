@@ -46,13 +46,16 @@ fn print_table() {
 
         let mut target = thor_target("sort16");
         let t0 = std::time::Instant::now();
-        let plain_result = CampaignRunner::new(&mut target, &plain).run().expect("campaign runs");
+        let plain_result = CampaignRunner::new(&mut target, &plain)
+            .run()
+            .expect("campaign runs");
         let plain_time = t0.elapsed();
 
         let mut target = thor_target("sort16");
         let t0 = std::time::Instant::now();
-        let pruned_result =
-            CampaignRunner::new(&mut target, &pruning).run().expect("campaign runs");
+        let pruned_result = CampaignRunner::new(&mut target, &pruning)
+            .run()
+            .expect("campaign runs");
         let pruned_time = t0.elapsed();
 
         println!(
@@ -76,7 +79,9 @@ fn bench(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut target = thor_target("sort16");
-                CampaignRunner::new(&mut target, &campaign).run().expect("campaign runs")
+                CampaignRunner::new(&mut target, &campaign)
+                    .run()
+                    .expect("campaign runs")
             })
         });
     }

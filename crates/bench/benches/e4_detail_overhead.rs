@@ -40,7 +40,10 @@ fn print_table() {
 fn bench(c: &mut Criterion) {
     print_table();
     let mut group = c.benchmark_group("e4");
-    for (name, mode) in [("normal_mode", LogMode::Normal), ("detail_mode", LogMode::Detail)] {
+    for (name, mode) in [
+        ("normal_mode", LogMode::Normal),
+        ("detail_mode", LogMode::Detail),
+    ] {
         let mut campaign = scifi_campaign("e4-b", "fib20", 1, 100);
         campaign.log_mode = mode;
         let mut target = thor_target("fib20");

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::thor_target;
 use goofi_core::{
-    generate_fault_list, run_experiment, CampaignRunner, Campaign, FaultModel,
-    LocationSelector, Technique, TargetSystemInterface, TriggerPolicy,
+    generate_fault_list, run_experiment, Campaign, CampaignRunner, FaultModel, LocationSelector,
+    TargetSystemInterface, Technique, TriggerPolicy,
 };
 use goofi_targets::{StackProgram, StackVmTarget};
 
@@ -26,10 +26,16 @@ fn print_table() {
     println!("\n=== E5: same algorithm, two architectures (250 faults each) ===");
     let mut thor = thor_target("fib15");
     let c = campaign_for(&mut thor, 250);
-    let thor_stats = CampaignRunner::new(&mut thor, &c).run().expect("thor campaign").stats;
+    let thor_stats = CampaignRunner::new(&mut thor, &c)
+        .run()
+        .expect("thor campaign")
+        .stats;
     let mut vm = StackVmTarget::new("stackvm", StackProgram::sum(9), 8);
     let c = campaign_for(&mut vm, 250);
-    let vm_stats = CampaignRunner::new(&mut vm, &c).run().expect("vm campaign").stats;
+    let vm_stats = CampaignRunner::new(&mut vm, &c)
+        .run()
+        .expect("vm campaign")
+        .stats;
     println!(
         "{:<10} {:>9} {:>9} {:>8} {:>12}   mechanisms",
         "target", "detected", "escaped", "latent", "overwritten"

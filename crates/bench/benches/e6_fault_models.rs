@@ -14,7 +14,10 @@ fn models() -> Vec<(&'static str, FaultModel)> {
     vec![
         ("transient", FaultModel::BitFlip),
         ("multi-bit(3)", FaultModel::MultiBitFlip { bits: 3 }),
-        ("intermittent(4)", FaultModel::Intermittent { activations: 4 }),
+        (
+            "intermittent(4)",
+            FaultModel::Intermittent { activations: 4 },
+        ),
         (
             "stuck-at-1",
             FaultModel::StuckAt {
@@ -35,7 +38,8 @@ fn print_table() {
         let mut campaign = scifi_campaign("e6", "sort10", 250, 1500);
         campaign.fault_model = model;
         let mut target = thor_target("sort10");
-        let stats = CampaignRunner::new(&mut target, &campaign).run()
+        let stats = CampaignRunner::new(&mut target, &campaign)
+            .run()
             .expect("campaign runs")
             .stats;
         println!(
@@ -61,7 +65,10 @@ fn bench(c: &mut Criterion) {
             &target.describe(),
             &campaign.selectors,
             model,
-            &TriggerPolicy::Window { start: 0, end: 1500 },
+            &TriggerPolicy::Window {
+                start: 0,
+                end: 1500,
+            },
             16,
             3,
             None,

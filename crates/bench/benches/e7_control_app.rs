@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::thor_pid_target;
 use goofi_core::{
-    generate_fault_list, run_experiment, CampaignRunner, Campaign, FaultModel,
-    LocationSelector, Technique, TargetSystemInterface, TriggerPolicy,
+    generate_fault_list, run_experiment, Campaign, CampaignRunner, FaultModel, LocationSelector,
+    TargetSystemInterface, Technique, TriggerPolicy,
 };
 
 fn campaign(n: usize) -> Campaign {
@@ -27,7 +27,9 @@ fn campaign(n: usize) -> Campaign {
 fn print_table() {
     println!("\n=== E7: closed-loop PID campaign (60 iterations, 250 faults) ===");
     let mut target = thor_pid_target(60);
-    let result = CampaignRunner::new(&mut target, &campaign(250)).run().expect("campaign runs");
+    let result = CampaignRunner::new(&mut target, &campaign(250))
+        .run()
+        .expect("campaign runs");
     println!("{}", result.stats.report());
     let deviations = result
         .runs
@@ -45,7 +47,10 @@ fn bench(c: &mut Criterion) {
         &target.describe(),
         &camp.selectors,
         camp.fault_model,
-        &TriggerPolicy::Window { start: 0, end: 2000 },
+        &TriggerPolicy::Window {
+            start: 0,
+            end: 2000,
+        },
         16,
         3,
         None,

@@ -48,7 +48,8 @@ struct Row {
 fn run_once(campaign: &Campaign, workers: usize, scheduler: Scheduler) -> (Duration, usize) {
     let w = workload("sort16");
     let factory = move || {
-        Box::new(ThorTarget::new("thor-card", w.clone())) as Box<dyn goofi_core::TargetSystemInterface>
+        Box::new(ThorTarget::new("thor-card", w.clone()))
+            as Box<dyn goofi_core::TargetSystemInterface>
     };
     let t0 = Instant::now();
     let result = CampaignRunner::from_factory(factory, campaign)
@@ -105,7 +106,9 @@ fn print_table(rows: &[Row], cores: usize) {
 fn write_json(rows: &[Row], cores: usize) {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"e8_runner_scaling\",\n");
-    out.push_str("  \"campaign\": {\"workload\": \"sort16\", \"experiments\": 200, \"window\": 2500},\n");
+    out.push_str(
+        "  \"campaign\": {\"workload\": \"sort16\", \"experiments\": 200, \"window\": 2500},\n",
+    );
     out.push_str(&format!("  \"host_cores\": {cores},\n"));
     out.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {

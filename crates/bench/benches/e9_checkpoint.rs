@@ -15,9 +15,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use goofi_bench::{scifi_campaign_windowed, thor_target, workload};
-use goofi_core::{
-    Campaign, CampaignRunner, GoofiStore, RunOptions, TargetSystemInterface,
-};
+use goofi_core::{Campaign, CampaignRunner, GoofiStore, RunOptions, TargetSystemInterface};
 use goofi_targets::ThorTarget;
 use std::time::{Duration, Instant};
 
@@ -59,7 +57,10 @@ fn run_once(campaign: &Campaign, options: RunOptions) -> Duration {
 /// Minimum of three timed runs — the classic noise-robust wall-clock
 /// estimator for the summary table (Criterion samples separately below).
 fn run_min3(campaign: &Campaign, options: RunOptions) -> Duration {
-    (0..3).map(|_| run_once(campaign, options)).min().expect("three runs")
+    (0..3)
+        .map(|_| run_once(campaign, options))
+        .min()
+        .expect("three runs")
 }
 
 /// Untimed verification pass: runs `campaign` against a fresh store and

@@ -4,7 +4,10 @@
 //! prints the experiment's table (classification counts, pruning rates,
 //! ...) and then measures the relevant latencies with Criterion.
 
-use goofi_core::{Campaign, FaultModel, LocationSelector, Technique};
+use goofi_core::{
+    generate_fault_list, Campaign, FaultModel, LivenessAnalysis, LocationSelector,
+    TargetSystemInterface, Technique,
+};
 use goofi_envsim::{DcMotorEnv, SCALE};
 use goofi_targets::ThorTarget;
 use goofi_workloads::{pid_workload, workload_by_name, PidGains, Workload};
@@ -57,6 +60,93 @@ pub fn scifi_campaign_windowed(
         .seed(1234)
         .build()
         .expect("valid campaign")
+}
+
+/// One E11 row: the same fault list pruned statically and by the
+/// reference trace.
+pub struct PruneComparison {
+    /// Faults in the row's list.
+    pub faults: usize,
+    /// Faults the static analyzer proves dead (no reference trace).
+    pub static_pruned: usize,
+    /// Faults the trace-based liveness analysis proves dead.
+    pub trace_pruned: usize,
+}
+
+/// The workload's execution length in injection-time slots, measured by
+/// the static analyzer's own pc-only replay. E11 clamps its injection
+/// window to this: times past the halt are trivially unprunable by *any*
+/// sound analysis (the fault stays latent in the scan chain), so they
+/// only dilute a pruning-rate comparison.
+pub fn execution_window(workload: &str) -> u64 {
+    let mut target = thor_target(workload);
+    target
+        .static_analysis(u64::MAX)
+        .expect("thor batch workloads support static analysis")
+        .steps
+}
+
+/// Builds one E11 row on `workload`: generates the campaign's fault
+/// list, prunes it both ways, and asserts fault-by-fault that the static
+/// prune set is a subset of the trace-based one.
+///
+/// # Panics
+///
+/// Panics on the soundness violation the subset property forbids.
+pub fn prune_comparison(
+    workload: &str,
+    experiments: usize,
+    window_end: u64,
+    field: Option<&str>,
+) -> PruneComparison {
+    let mut campaign = scifi_campaign_windowed("e11-row", workload, experiments, 0, window_end);
+    if let Some(f) = field {
+        campaign.selectors = vec![LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: Some(f.into()),
+        }];
+    }
+
+    let mut target = thor_target(workload);
+    let config = target.describe();
+    let faults = generate_fault_list(
+        &config,
+        &campaign.selectors,
+        campaign.fault_model,
+        &campaign.trigger,
+        campaign.experiments,
+        campaign.seed,
+        None,
+    )
+    .expect("fault list generates");
+    let horizon = faults
+        .iter()
+        .flat_map(|f| f.times.iter().copied())
+        .max()
+        .unwrap_or(0);
+
+    let analysis = target
+        .static_analysis(horizon)
+        .expect("thor batch workloads support static analysis");
+
+    target.init_test_card().unwrap();
+    target.load_workload().unwrap();
+    let trace = target.collect_trace().unwrap();
+    let dynamic = LivenessAnalysis::from_trace(&trace);
+
+    let mut row = PruneComparison {
+        faults: faults.len(),
+        static_pruned: 0,
+        trace_pruned: 0,
+    };
+    for fault in &faults {
+        let s = analysis.can_prune(&config, fault);
+        let d = dynamic.can_prune(&config, fault);
+        assert!(!s || d, "static pruned a fault the trace keeps: {fault:?}");
+        row.static_pruned += usize::from(s);
+        row.trace_pruned += usize::from(d);
+    }
+    row
 }
 
 /// A standard pre-runtime SWIFI campaign over a memory range.

@@ -1,0 +1,32 @@
+//! E11's acceptance gate as a plain test: on the E3 fault list (sort16,
+//! whole-chain + per-register rows, injection window clamped to the
+//! workload's execution), static pruning must (a) be a subset of
+//! trace-based pruning fault-by-fault — asserted inside
+//! [`prune_comparison`] — and (b) remove at least 20% of the combined
+//! fault list with zero reference-trace collection.
+
+use goofi_bench::{execution_window, prune_comparison};
+
+#[test]
+fn static_pruning_is_a_sound_subset_and_clears_the_e11_gate() {
+    let window = execution_window("sort16");
+    println!("sort16 executes for {window} instructions");
+    let mut total = 0;
+    let mut static_total = 0;
+    let mut trace_total = 0;
+    for field in [None, Some("R1"), Some("R6"), Some("R7")] {
+        let row = prune_comparison("sort16", 400, window, field);
+        println!(
+            "row {field:?}: {}/{} static vs {}/{} trace",
+            row.static_pruned, row.faults, row.trace_pruned, row.faults
+        );
+        total += row.faults;
+        static_total += row.static_pruned;
+        trace_total += row.trace_pruned;
+    }
+    assert!(static_total <= trace_total);
+    assert!(
+        static_total * 5 >= total,
+        "static pruning below the 20% gate: {static_total}/{total}"
+    );
+}

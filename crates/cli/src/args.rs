@@ -17,7 +17,14 @@ pub struct ParsedArgs {
 }
 
 /// Switches that take no value.
-const FLAG_NAMES: &[&str] = &["detail", "preinject", "parallel", "no-checkpoint", "help"];
+const FLAG_NAMES: &[&str] = &[
+    "detail",
+    "preinject",
+    "parallel",
+    "no-checkpoint",
+    "json",
+    "help",
+];
 
 /// Parses an argument vector (without the program name).
 ///
@@ -90,13 +97,11 @@ impl ParsedArgs {
     pub fn workers(&self) -> Result<usize, String> {
         match self.get("workers") {
             None => Ok(1),
-            Some(v) => v
-                .parse::<usize>()
-                .ok()
-                .filter(|&n| n > 0)
-                .ok_or_else(|| {
+            Some(v) => {
+                v.parse::<usize>().ok().filter(|&n| n > 0).ok_or_else(|| {
                     format!("option --workers must be a positive integer (got `{v}`)")
-                }),
+                })
+            }
         }
     }
 
@@ -115,7 +120,9 @@ impl ParsedArgs {
                 let a = a
                     .parse()
                     .map_err(|_| format!("bad window start in --{key}"))?;
-                let b = b.parse().map_err(|_| format!("bad window end in --{key}"))?;
+                let b = b
+                    .parse()
+                    .map_err(|_| format!("bad window end in --{key}"))?;
                 Ok((a, b))
             }
         }
@@ -174,7 +181,10 @@ mod tests {
         let p = parse(&args(&["run"])).unwrap();
         assert!(p.require("campaign").unwrap_err().contains("--campaign"));
         let p = parse(&args(&["run", "--experiments", "abc"])).unwrap();
-        assert!(p.int_or("experiments", 0).unwrap_err().contains("--experiments"));
+        assert!(p
+            .int_or("experiments", 0)
+            .unwrap_err()
+            .contains("--experiments"));
     }
 
     #[test]

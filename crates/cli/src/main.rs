@@ -21,8 +21,8 @@ mod args;
 use args::{parse, ParsedArgs};
 use goofi_core::{
     analyze_campaign, control_channel, Campaign, CampaignRunner, ControlHandle, FaultModel,
-    GoofiStore, LocationSelector, LogMode, ProgressEvent, RunOptions, Technique,
-    TargetSystemInterface, TelemetryMode,
+    GoofiStore, LocationSelector, LogMode, ProgressEvent, Pruning, RunOptions,
+    TargetSystemInterface, Technique, TelemetryMode,
 };
 use goofi_envsim::{DcMotorEnv, SCALE};
 use goofi_targets::ThorTarget;
@@ -42,10 +42,11 @@ USAGE:
                   [--experiments N] [--window START:END] [--seed N]
                   [--detail] [--preinject]
   goofi run       --db FILE --campaign NAME [--workers N] [--no-checkpoint]
-                  [--telemetry off|metrics|trace]
+                  [--telemetry off|metrics|trace] [--pruning off|trace|static]
   goofi resume    --db FILE --campaign NAME [--workers N] [--no-checkpoint]
-                  [--telemetry off|metrics|trace]
+                  [--telemetry off|metrics|trace] [--pruning off|trace|static]
   goofi analyze   --db FILE --campaign NAME
+  goofi analyze   --workload WORKLOAD [--json] [--horizon N]
   goofi report    --db FILE --campaign NAME [--lambda L] [--mission HOURS]
                   [--trace-out FILE]
   goofi locations --db FILE --target NAME [--chain CHAIN]
@@ -76,11 +77,9 @@ fn make_target(target_name: &str, workload_name: &str) -> Result<ThorTarget, Str
         .ok_or_else(|| format!("unknown workload `{workload_name}`"))?;
     Ok(match workload.kind {
         WorkloadKind::Batch => ThorTarget::new(target_name, workload),
-        WorkloadKind::Cyclic { .. } => ThorTarget::with_env(
-            target_name,
-            workload,
-            Box::new(DcMotorEnv::new(5 * SCALE)),
-        ),
+        WorkloadKind::Cyclic { .. } => {
+            ThorTarget::with_env(target_name, workload, Box::new(DcMotorEnv::new(5 * SCALE)))
+        }
     })
 }
 
@@ -125,7 +124,14 @@ fn cmd_configure(p: &ParsedArgs) -> Result<String, String> {
     let chains: Vec<String> = config
         .chains
         .iter()
-        .map(|c| format!("{} ({} bits, {} locations)", c.name, c.width, c.fields.len()))
+        .map(|c| {
+            format!(
+                "{} ({} bits, {} locations)",
+                c.name,
+                c.width,
+                c.fields.len()
+            )
+        })
         .collect();
     Ok(format!(
         "configured target `{target_name}`\nscan chains: {}\n",
@@ -217,10 +223,9 @@ fn spawn_reporter(handle: ControlHandle) -> std::thread::JoinHandle<()> {
                 }
                 ProgressEvent::ExperimentDone {
                     completed, total, ..
+                } if (completed % 50 == 0 || completed == total) => {
+                    eprintln!("  {completed}/{total}");
                 }
-                    if (completed % 50 == 0 || completed == total) => {
-                        eprintln!("  {completed}/{total}");
-                    }
                 ProgressEvent::Finished { completed, stopped } => {
                     eprintln!(
                         "finished: {completed} experiments{}",
@@ -235,9 +240,7 @@ fn spawn_reporter(handle: ControlHandle) -> std::thread::JoinHandle<()> {
 }
 
 /// A factory for identical targets, for the work-stealing parallel runner.
-fn target_factory(
-    campaign: &Campaign,
-) -> impl Fn() -> Box<dyn TargetSystemInterface> + Sync {
+fn target_factory(campaign: &Campaign) -> impl Fn() -> Box<dyn TargetSystemInterface> + Sync {
     let target_name = campaign.target.clone();
     let workload_name = campaign.workload.clone();
     move || {
@@ -295,12 +298,20 @@ fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
 fn run_options(p: &ParsedArgs) -> Result<RunOptions, String> {
     let telemetry = match p.get("telemetry") {
         None => TelemetryMode::Off,
-        Some(v) => TelemetryMode::parse(v)
-            .ok_or_else(|| format!("option --telemetry must be off, metrics or trace (got `{v}`)"))?,
+        Some(v) => TelemetryMode::parse(v).ok_or_else(|| {
+            format!("option --telemetry must be off, metrics or trace (got `{v}`)")
+        })?,
+    };
+    let pruning = match p.get("pruning") {
+        None => Pruning::default(),
+        Some(v) => v
+            .parse::<Pruning>()
+            .map_err(|e| format!("option --pruning: {e}"))?,
     };
     Ok(RunOptions::new()
         .checkpoint(!p.has_flag("no-checkpoint"))
-        .telemetry(telemetry))
+        .telemetry(telemetry)
+        .pruning(pruning))
 }
 
 /// Resumes an interrupted campaign: stored experiments are reused, the
@@ -338,13 +349,65 @@ fn cmd_resume(p: &ParsedArgs) -> Result<String, String> {
     Ok(out)
 }
 
-/// Analysis phase: the automatically generated classifier over the DB.
+/// Analysis phase. With `--workload` this is the *static* workload
+/// analyzer (CFG, dead windows, lints — no campaign, no reference run);
+/// with `--db --campaign` it is the automatically generated classifier
+/// over the stored experiments.
 fn cmd_analyze(p: &ParsedArgs) -> Result<String, String> {
+    if let Some(workload) = p.get("workload") {
+        return cmd_analyze_workload(p, workload);
+    }
     let db = p.require("db")?;
     let name = p.require("campaign")?;
     let store = load_store(db)?;
     let stats = analyze_campaign(&store, name).map_err(|e| e.to_string())?;
     Ok(stats.report())
+}
+
+/// `goofi analyze --workload W`: static CFG + dataflow analysis of a
+/// bundled workload, with human or `--json` output.
+fn cmd_analyze_workload(p: &ParsedArgs, workload: &str) -> Result<String, String> {
+    let horizon = p.int_or("horizon", 1_000_000)?;
+    let mut target = make_target(p.get("target").unwrap_or("thor-card"), workload)?;
+    let analysis = target.static_analysis(horizon).map_err(|e| e.to_string())?;
+    if p.has_flag("json") {
+        return Ok(format!("{}\n", analysis.to_json()));
+    }
+
+    let mut out = format!(
+        "workload `{workload}`: {} basic blocks, {} CFG edges\n\
+         replayed {} instructions (pc only, horizon {})\n",
+        analysis.blocks, analysis.edges, analysis.steps, analysis.horizon
+    );
+    if analysis.dead.is_empty() {
+        out.push_str("\nno statically dead injection windows\n");
+    } else {
+        out.push_str(
+            "\nstatically dead injection windows (fault is overwritten before any read):\n",
+        );
+        let mut total = 0u64;
+        for (loc, windows) in &analysis.dead {
+            let slots: u64 = windows.iter().map(|&(s, e)| e - s + 1).sum();
+            total += slots;
+            out.push_str(&format!(
+                "  {loc:<12} {slots:>6} dead slots in {:>4} windows, first {:?}\n",
+                windows.len(),
+                windows[0]
+            ));
+        }
+        out.push_str(&format!(
+            "  total: {total} provably dead (location, time) pairs\n"
+        ));
+    }
+    if analysis.lints.is_empty() {
+        out.push_str("\nlints: none\n");
+    } else {
+        out.push_str("\nlints:\n");
+        for lint in &analysis.lints {
+            out.push_str(&format!("  [{}] {}\n", lint.kind, lint.message));
+        }
+    }
+    Ok(out)
 }
 
 /// Full campaign report: classification, per-location sensitivity,
@@ -400,6 +463,57 @@ fn cmd_report(p: &ParsedArgs) -> Result<String, String> {
     out.push_str(&format!(
         "\ndependability (duplex, lambda={lambda}/h, mission={mission}h):\n  R(t) = {pt:.6} [{lo:.6}, {hi:.6}] from the coverage CI\n"
     ));
+
+    // Static pre-injection analysis, when the campaign ran with
+    // `--pruning static`: kept/pruned per location class (re-deriving
+    // the runner's verdict from the persisted dead windows) and the
+    // fault equivalence classes with their multiplicities.
+    if let Some(sa) = store.get_static_analysis(name).map_err(|e| e.to_string())? {
+        out.push_str(&format!(
+            "\nstatic pre-injection analysis ({} blocks, {} edges, horizon {}):\n",
+            sa.blocks, sa.edges, sa.horizon
+        ));
+        let mut per_loc: std::collections::BTreeMap<String, (usize, usize)> =
+            std::collections::BTreeMap::new();
+        for r in &records {
+            let Some(fault) = &r.data.fault else { continue };
+            let mut names: Vec<String> = fault
+                .targets
+                .iter()
+                .map(|t| {
+                    t.architectural_name(&config)
+                        .unwrap_or_else(|| "(untraceable)".into())
+                })
+                .collect();
+            names.sort();
+            names.dedup();
+            let counts = per_loc.entry(names.join(",")).or_default();
+            if sa.can_prune(&config, fault) {
+                counts.1 += 1;
+            } else {
+                counts.0 += 1;
+            }
+        }
+        out.push_str("  location           kept  pruned\n");
+        for (loc, (kept, pruned)) in &per_loc {
+            out.push_str(&format!("  {loc:<16} {kept:>6} {pruned:>7}\n"));
+        }
+        if !sa.classes.is_empty() {
+            out.push_str(&format!(
+                "  equivalence classes among pruned faults: {}\n",
+                sa.classes.len()
+            ));
+            for c in sa.classes.iter().take(8) {
+                out.push_str(&format!(
+                    "    {} in dead window {:?}: multiplicity {}\n",
+                    c.location, c.window, c.multiplicity
+                ));
+            }
+            if sa.classes.len() > 8 {
+                out.push_str(&format!("    (+{} more)\n", sa.classes.len() - 8));
+            }
+        }
+    }
 
     // Campaign telemetry rollup, when the run recorded one.
     match store.get_telemetry(name).map_err(|e| e.to_string())? {
@@ -470,8 +584,7 @@ fn cmd_workloads(p: &ParsedArgs) -> Result<String, String> {
             Ok(out)
         }
         Some(name) => {
-            let w = workload_by_name(name)
-                .ok_or_else(|| format!("unknown workload `{name}`"))?;
+            let w = workload_by_name(name).ok_or_else(|| format!("unknown workload `{name}`"))?;
             Ok(format!(
                 "; workload `{}` ({} words)\n\n== source ==\n{}\n== image ==\n{}",
                 w.name,
@@ -548,8 +661,16 @@ mod tests {
     #[test]
     fn full_flow_configure_setup_run_analyze() {
         let db = tmpdb("flow.json");
-        call(&["configure", "--db", &db, "--target", "thor-card", "--workload", "fib10"])
-            .unwrap();
+        call(&[
+            "configure",
+            "--db",
+            &db,
+            "--target",
+            "thor-card",
+            "--workload",
+            "fib10",
+        ])
+        .unwrap();
         let out = call(&[
             "setup",
             "--db",
@@ -581,9 +702,26 @@ mod tests {
     #[test]
     fn locations_lists_read_only_markers() {
         let db = tmpdb("loc.json");
-        call(&["configure", "--db", &db, "--target", "t", "--workload", "fib10"]).unwrap();
-        let out = call(&["locations", "--db", &db, "--target", "t", "--chain", "boundary"])
-            .unwrap();
+        call(&[
+            "configure",
+            "--db",
+            &db,
+            "--target",
+            "t",
+            "--workload",
+            "fib10",
+        ])
+        .unwrap();
+        let out = call(&[
+            "locations",
+            "--db",
+            &db,
+            "--target",
+            "t",
+            "--chain",
+            "boundary",
+        ])
+        .unwrap();
         assert!(out.contains("ADDR"));
         assert!(out.contains("[read-only]"));
         assert!(!out.contains("R0"), "filtered to boundary chain");
@@ -592,7 +730,16 @@ mod tests {
     #[test]
     fn sql_queries_the_store() {
         let db = tmpdb("sql.json");
-        call(&["configure", "--db", &db, "--target", "t", "--workload", "fib10"]).unwrap();
+        call(&[
+            "configure",
+            "--db",
+            &db,
+            "--target",
+            "t",
+            "--workload",
+            "fib10",
+        ])
+        .unwrap();
         let out = call(&[
             "sql",
             "--db",
@@ -605,7 +752,9 @@ mod tests {
 
     #[test]
     fn helpful_errors() {
-        assert!(call(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(call(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown command"));
         assert!(call(&["run", "--db", "/tmp/definitely-missing.json"])
             .unwrap_err()
             .contains("--campaign"));
@@ -641,12 +790,155 @@ mod tests {
     }
 
     #[test]
+    fn analyze_workload_reports_windows_and_lints() {
+        let out = call(&["analyze", "--workload", "sort16"]).unwrap();
+        assert!(out.contains("basic blocks"), "{out}");
+        assert!(out.contains("statically dead injection windows"), "{out}");
+        assert!(
+            out.contains("R6"),
+            "the sort scratch register has windows: {out}"
+        );
+        // No DB and no campaign were needed.
+        assert!(call(&["analyze", "--workload", "nope"]).is_err());
+    }
+
+    #[test]
+    fn analyze_workload_json_roundtrips() {
+        let out = call(&["analyze", "--workload", "fib10", "--json"]).unwrap();
+        let parsed = goofi_core::StaticAnalysis::from_json(out.trim()).unwrap();
+        assert!(parsed.blocks > 0);
+        assert!(parsed.steps > 0);
+        assert!(!parsed.dead.is_empty());
+        // The horizon knob is honoured.
+        let out = call(&["analyze", "--workload", "fib10", "--json", "--horizon", "5"]).unwrap();
+        let parsed = goofi_core::StaticAnalysis::from_json(out.trim()).unwrap();
+        assert_eq!(parsed.horizon, 5);
+    }
+
+    #[test]
+    fn static_pruning_run_matches_trace_classification_and_reports() {
+        let setup = |db: &str| {
+            call(&[
+                "configure",
+                "--db",
+                db,
+                "--target",
+                "t",
+                "--workload",
+                "sort8",
+            ])
+            .unwrap();
+            call(&[
+                "setup",
+                "--db",
+                db,
+                "--campaign",
+                "cs",
+                "--target",
+                "t",
+                "--workload",
+                "sort8",
+                "--experiments",
+                "30",
+                "--window",
+                "0:300",
+                "--preinject",
+            ])
+            .unwrap();
+        };
+        let db_static = tmpdb("prune_static.json");
+        setup(&db_static);
+        let out = call(&[
+            "run",
+            "--db",
+            &db_static,
+            "--campaign",
+            "cs",
+            "--pruning",
+            "static",
+        ])
+        .unwrap();
+        let pruned: usize = out
+            .lines()
+            .find_map(|l| l.strip_prefix("pruned by pre-injection analysis: "))
+            .and_then(|n| n.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .expect("run reports a pruned count");
+        assert!(pruned > 0, "static pruning found nothing on sort8: {out}");
+
+        // Same campaign with trace pruning classifies identically.
+        let db_trace = tmpdb("prune_trace.json");
+        setup(&db_trace);
+        let trace_out = call(&[
+            "run",
+            "--db",
+            &db_trace,
+            "--campaign",
+            "cs",
+            "--pruning",
+            "trace",
+        ])
+        .unwrap();
+        let classification = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("pruned by"))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(classification(&out), classification(&trace_out));
+
+        // The report surfaces the persisted analysis.
+        let report = call(&["report", "--db", &db_static, "--campaign", "cs"]).unwrap();
+        assert!(report.contains("static pre-injection analysis"), "{report}");
+        assert!(report.contains("kept  pruned"), "{report}");
+        assert!(report.contains("equivalence classes"), "{report}");
+        // A trace-pruned campaign stores no static analysis.
+        let report = call(&["report", "--db", &db_trace, "--campaign", "cs"]).unwrap();
+        assert!(
+            !report.contains("static pre-injection analysis"),
+            "{report}"
+        );
+        // Bad mode is rejected with the option named.
+        let err = call(&[
+            "run",
+            "--db",
+            &db_static,
+            "--campaign",
+            "cs",
+            "--pruning",
+            "psychic",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--pruning"), "{err}");
+    }
+
+    #[test]
     fn resume_is_idempotent_when_complete() {
         let db = tmpdb("resume.json");
-        call(&["configure", "--db", &db, "--target", "t", "--workload", "fib10"]).unwrap();
         call(&[
-            "setup", "--db", &db, "--campaign", "crz", "--target", "t", "--workload",
-            "fib10", "--experiments", "8", "--window", "0:40",
+            "configure",
+            "--db",
+            &db,
+            "--target",
+            "t",
+            "--workload",
+            "fib10",
+        ])
+        .unwrap();
+        call(&[
+            "setup",
+            "--db",
+            &db,
+            "--campaign",
+            "crz",
+            "--target",
+            "t",
+            "--workload",
+            "fib10",
+            "--experiments",
+            "8",
+            "--window",
+            "0:40",
         ])
         .unwrap();
         // Resume on a never-run campaign runs everything...
@@ -660,7 +952,16 @@ mod tests {
     #[test]
     fn report_combines_all_analyses() {
         let db = tmpdb("report.json");
-        call(&["configure", "--db", &db, "--target", "t", "--workload", "sort8"]).unwrap();
+        call(&[
+            "configure",
+            "--db",
+            &db,
+            "--target",
+            "t",
+            "--workload",
+            "sort8",
+        ])
+        .unwrap();
         call(&[
             "setup",
             "--db",
@@ -687,7 +988,16 @@ mod tests {
     #[test]
     fn parallel_run_via_workers_flag() {
         let db = tmpdb("par.json");
-        call(&["configure", "--db", &db, "--target", "t", "--workload", "fib10"]).unwrap();
+        call(&[
+            "configure",
+            "--db",
+            &db,
+            "--target",
+            "t",
+            "--workload",
+            "fib10",
+        ])
+        .unwrap();
         call(&[
             "setup",
             "--db",
@@ -713,7 +1023,16 @@ mod tests {
     #[test]
     fn no_checkpoint_flag_matches_checkpointed_run() {
         let setup = |db: &str, campaign: &str| {
-            call(&["configure", "--db", db, "--target", "t", "--workload", "fib10"]).unwrap();
+            call(&[
+                "configure",
+                "--db",
+                db,
+                "--target",
+                "t",
+                "--workload",
+                "fib10",
+            ])
+            .unwrap();
             call(&[
                 "setup",
                 "--db",
@@ -745,7 +1064,16 @@ mod tests {
     #[test]
     fn swifi_setup_and_run() {
         let db = tmpdb("swifi.json");
-        call(&["configure", "--db", &db, "--target", "t", "--workload", "sort8"]).unwrap();
+        call(&[
+            "configure",
+            "--db",
+            &db,
+            "--target",
+            "t",
+            "--workload",
+            "sort8",
+        ])
+        .unwrap();
         let out = call(&[
             "setup",
             "--db",

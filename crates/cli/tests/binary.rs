@@ -50,7 +50,15 @@ fn workers_zero_is_rejected_with_clear_error() {
 #[test]
 fn workers_non_numeric_is_rejected_with_clear_error() {
     let db = tmpdb("bin-wx.json");
-    let (ok, _, stderr) = goofi(&["resume", "--db", &db, "--campaign", "c", "--workers", "many"]);
+    let (ok, _, stderr) = goofi(&[
+        "resume",
+        "--db",
+        &db,
+        "--campaign",
+        "c",
+        "--workers",
+        "many",
+    ]);
     assert!(!ok);
     assert!(stderr.contains("--workers"), "{stderr}");
     assert!(stderr.contains("`many`"), "{stderr}");
@@ -69,16 +77,41 @@ fn bad_telemetry_mode_is_rejected() {
 fn telemetry_run_and_report_roundtrip() {
     let db = tmpdb("bin-tel.json");
     let (ok, _, _) = goofi(&[
-        "configure", "--db", &db, "--target", "t", "--workload", "fib10",
+        "configure",
+        "--db",
+        &db,
+        "--target",
+        "t",
+        "--workload",
+        "fib10",
     ]);
     assert!(ok);
     let (ok, _, _) = goofi(&[
-        "setup", "--db", &db, "--campaign", "ct", "--target", "t", "--workload", "fib10",
-        "--experiments", "6", "--window", "0:40",
+        "setup",
+        "--db",
+        &db,
+        "--campaign",
+        "ct",
+        "--target",
+        "t",
+        "--workload",
+        "fib10",
+        "--experiments",
+        "6",
+        "--window",
+        "0:40",
     ]);
     assert!(ok);
     let (ok, stdout, stderr) = goofi(&[
-        "run", "--db", &db, "--campaign", "ct", "--workers", "2", "--telemetry", "trace",
+        "run",
+        "--db",
+        &db,
+        "--campaign",
+        "ct",
+        "--workers",
+        "2",
+        "--telemetry",
+        "trace",
     ]);
     assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
     assert!(stdout.contains("Telemetry for campaign 'ct'"), "{stdout}");
@@ -86,23 +119,50 @@ fn telemetry_run_and_report_roundtrip() {
 
     let trace = tmpdb("bin-tel-trace.jsonl");
     let (ok, stdout, stderr) = goofi(&[
-        "report", "--db", &db, "--campaign", "ct", "--trace-out", &trace,
+        "report",
+        "--db",
+        &db,
+        "--campaign",
+        "ct",
+        "--trace-out",
+        &trace,
     ]);
     assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
     assert!(stdout.contains("phase.experiment"), "{stdout}");
     assert!(stdout.contains("worker"), "{stdout}");
     let jsonl = std::fs::read_to_string(&trace).unwrap();
     assert!(!jsonl.is_empty());
-    assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    assert!(jsonl
+        .lines()
+        .all(|l| l.starts_with('{') && l.ends_with('}')));
 }
 
 #[test]
 fn report_without_telemetry_omits_section_and_rejects_trace_out() {
     let db = tmpdb("bin-notel.json");
-    goofi(&["configure", "--db", &db, "--target", "t", "--workload", "fib10"]);
     goofi(&[
-        "setup", "--db", &db, "--campaign", "cn", "--target", "t", "--workload", "fib10",
-        "--experiments", "4", "--window", "0:40",
+        "configure",
+        "--db",
+        &db,
+        "--target",
+        "t",
+        "--workload",
+        "fib10",
+    ]);
+    goofi(&[
+        "setup",
+        "--db",
+        &db,
+        "--campaign",
+        "cn",
+        "--target",
+        "t",
+        "--workload",
+        "fib10",
+        "--experiments",
+        "4",
+        "--window",
+        "0:40",
     ]);
     let (ok, _, _) = goofi(&["run", "--db", &db, "--campaign", "cn"]);
     assert!(ok);
@@ -110,7 +170,13 @@ fn report_without_telemetry_omits_section_and_rejects_trace_out() {
     assert!(ok);
     assert!(!stdout.contains("phase.experiment"), "{stdout}");
     let (ok, _, stderr) = goofi(&[
-        "report", "--db", &db, "--campaign", "cn", "--trace-out", "/tmp/nope.jsonl",
+        "report",
+        "--db",
+        &db,
+        "--campaign",
+        "cn",
+        "--trace-out",
+        "/tmp/nope.jsonl",
     ]);
     assert!(!ok);
     assert!(stderr.contains("no stored telemetry"), "{stderr}");
@@ -164,5 +230,135 @@ fn whole_campaign_through_the_binary() {
         "SELECT COUNT(*) AS n FROM LoggedSystemState",
     ]);
     assert!(ok);
-    assert!(stdout.contains("11"), "10 experiments + reference: {stdout}");
+    assert!(
+        stdout.contains("11"),
+        "10 experiments + reference: {stdout}"
+    );
+}
+
+/// The same campaign run with 1, 2 and 4 workers must leave byte-identical
+/// DBs (the runner's reorder buffer streams rows in fault-list order no
+/// matter how the scheduler interleaves), in every pruning mode. Across
+/// modes, trace and static pruning agree experiment-by-experiment on
+/// sort8, so their DBs differ only by the persisted static-analysis row;
+/// pruning off differs from trace only on the experiments trace pruned.
+#[test]
+fn pruning_runs_are_deterministic_across_workers_and_modes() {
+    use goofi_core::GoofiStore;
+
+    let setup = |db: &str| {
+        let (ok, _, _) = goofi(&[
+            "configure",
+            "--db",
+            db,
+            "--target",
+            "t",
+            "--workload",
+            "sort8",
+        ]);
+        assert!(ok);
+        let (ok, _, _) = goofi(&[
+            "setup",
+            "--db",
+            db,
+            "--campaign",
+            "cd",
+            "--target",
+            "t",
+            "--workload",
+            "sort8",
+            "--experiments",
+            "20",
+            "--window",
+            "0:300",
+            "--preinject",
+        ]);
+        assert!(ok);
+    };
+
+    let mut final_db: Vec<Vec<u8>> = Vec::new();
+    let mut pruned_counts: Vec<usize> = Vec::new();
+    for mode in ["off", "trace", "static"] {
+        let mut variants: Vec<Vec<u8>> = Vec::new();
+        for workers in ["1", "2", "4"] {
+            let db = tmpdb(&format!("bin-det-{mode}-{workers}.json"));
+            setup(&db);
+            let (ok, stdout, stderr) = goofi(&[
+                "run",
+                "--db",
+                &db,
+                "--campaign",
+                "cd",
+                "--workers",
+                workers,
+                "--pruning",
+                mode,
+            ]);
+            assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+            if workers == "1" {
+                let pruned = stdout
+                    .lines()
+                    .find_map(|l| l.strip_prefix("pruned by pre-injection analysis: "))
+                    .and_then(|n| n.split_whitespace().next())
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or(0);
+                pruned_counts.push(pruned);
+            }
+            variants.push(std::fs::read(&db).unwrap());
+        }
+        assert!(
+            variants.windows(2).all(|w| w[0] == w[1]),
+            "worker count changed the DB bytes in --pruning {mode}"
+        );
+        final_db.push(variants.pop().unwrap());
+    }
+    assert!(pruned_counts[1] > 0, "trace pruning found nothing on sort8");
+    assert_eq!(
+        pruned_counts[1], pruned_counts[2],
+        "trace and static prune different counts on sort8"
+    );
+
+    // off vs trace: the per-experiment rows may differ only where trace
+    // pruning substituted the reference outcome.
+    let rows = |bytes: &[u8], name: &str| {
+        let path = tmpdb(name);
+        std::fs::write(&path, bytes).unwrap();
+        GoofiStore::load(&path)
+            .unwrap()
+            .experiments_of("cd")
+            .unwrap()
+    };
+    let off_rows = rows(&final_db[0], "bin-det-rows-off.json");
+    let trace_rows = rows(&final_db[1], "bin-det-rows-trace.json");
+    assert_eq!(off_rows.len(), trace_rows.len());
+    let differing = off_rows
+        .iter()
+        .zip(&trace_rows)
+        .filter(|(a, b)| a != b)
+        .count();
+    assert!(
+        differing <= pruned_counts[1],
+        "{differing} rows changed but only {} were pruned",
+        pruned_counts[1]
+    );
+
+    // trace vs static: byte-identical once the static-analysis row (the
+    // one legitimate difference) is cleared from both.
+    assert_ne!(
+        final_db[1], final_db[2],
+        "static DB should carry the analysis row"
+    );
+    let normalize = |bytes: &[u8], name: &str| {
+        let path = tmpdb(name);
+        std::fs::write(&path, bytes).unwrap();
+        let mut store = GoofiStore::load(&path).unwrap();
+        store.clear_static_analysis("cd").unwrap();
+        store.save(&path).unwrap();
+        std::fs::read(&path).unwrap()
+    };
+    assert_eq!(
+        normalize(&final_db[1], "bin-det-norm-trace.json"),
+        normalize(&final_db[2], "bin-det-norm-static.json"),
+        "trace and static DBs differ beyond the static-analysis row"
+    );
 }

@@ -164,9 +164,9 @@ fn apply_activation(
         InjectVia::Memory => {
             for addr in fault.memory_words() {
                 let word = target.read_memory(addr, 1)?;
-                let word = *word.first().ok_or_else(|| {
-                    GoofiError::Target(format!("empty read at 0x{addr:x}"))
-                })?;
+                let word = *word
+                    .first()
+                    .ok_or_else(|| GoofiError::Target(format!("empty read at 0x{addr:x}")))?;
                 target.write_memory(addr, &[fault.apply_to_word(addr, word)])?;
             }
         }
@@ -227,11 +227,7 @@ fn continue_inject_at_breakpoints(
         // remaining activations are applied at their times during the walk.
         if campaign.log_mode == LogMode::Detail {
             let remaining = &fault.times[i + 1..];
-            let (ev, snaps) = detail_run(
-                target,
-                Some((fault, via, remaining)),
-                activations_done,
-            )?;
+            let (ev, snaps) = detail_run(target, Some((fault, via, remaining)), activations_done)?;
             activations_done += count_applied(remaining, ev_time(&ev, target));
             termination = Some(ev);
             detail_trace = Some(snaps);
@@ -553,7 +549,11 @@ mod tests {
     fn intermittent_fault_activates_multiple_times() {
         let mut t = ScriptedTarget::new(100);
         let campaign = scifi_campaign(LogMode::Normal);
-        let fault = chain_fault(3, vec![10, 20, 30], FaultModel::Intermittent { activations: 3 });
+        let fault = chain_fault(
+            3,
+            vec![10, 20, 30],
+            FaultModel::Intermittent { activations: 3 },
+        );
         let run = run_experiment(&mut t, &campaign, &fault).unwrap();
         assert_eq!(run.activations_done, 3);
         // Odd number of flips leaves the bit set.

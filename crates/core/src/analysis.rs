@@ -473,14 +473,11 @@ pub fn detection_latency<'a>(
 pub fn analyze_campaign(store: &GoofiStore, campaign: &str) -> Result<CampaignStats> {
     let records = store.experiments_of(campaign)?;
     let ref_name = reference_experiment_name(campaign);
-    let reference = records
-        .iter()
-        .find(|r| r.name == ref_name)
-        .ok_or_else(|| {
-            GoofiError::Analysis(format!(
-                "campaign `{campaign}` has no reference run `{ref_name}`"
-            ))
-        })?;
+    let reference = records.iter().find(|r| r.name == ref_name).ok_or_else(|| {
+        GoofiError::Analysis(format!(
+            "campaign `{campaign}` has no reference run `{ref_name}`"
+        ))
+    })?;
     let mut stats = CampaignStats::default();
     for rec in &records {
         if rec.name == ref_name {

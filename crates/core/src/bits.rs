@@ -28,7 +28,10 @@ impl StateVector {
     ///
     /// Panics if `bytes` is too short for `len` bits.
     pub fn from_bytes(bytes: Vec<u8>, len: usize) -> StateVector {
-        assert!(bytes.len() * 8 >= len, "byte buffer too short for {len} bits");
+        assert!(
+            bytes.len() * 8 >= len,
+            "byte buffer too short for {len} bits"
+        );
         let mut v = StateVector { len, bytes };
         // Normalise trailing bits so equality is well defined.
         let last_bits = len % 8;
@@ -112,7 +115,9 @@ impl StateVector {
     /// Panics if lengths differ.
     pub fn diff_positions(&self, other: &StateVector) -> Vec<usize> {
         assert_eq!(self.len, other.len, "state vector length mismatch");
-        (0..self.len).filter(|&i| self.get(i) != other.get(i)).collect()
+        (0..self.len)
+            .filter(|&i| self.get(i) != other.get(i))
+            .collect()
     }
 }
 

@@ -160,11 +160,9 @@ impl Campaign {
             Technique::Scifi if !chain_only => Err(GoofiError::Campaign(
                 "SCIFI campaigns must select scan-chain locations".into(),
             )),
-            Technique::SwifiPreRuntime | Technique::SwifiRuntime if !memory_only => {
-                Err(GoofiError::Campaign(
-                    "SWIFI campaigns must select memory locations".into(),
-                ))
-            }
+            Technique::SwifiPreRuntime | Technique::SwifiRuntime if !memory_only => Err(
+                GoofiError::Campaign("SWIFI campaigns must select memory locations".into()),
+            ),
             _ => Ok(()),
         }
     }
@@ -321,10 +319,7 @@ mod tests {
         assert!(Campaign::builder("c", "t", "w").build().is_err());
         // SCIFI with memory locations.
         let err = Campaign::builder("c", "t", "w")
-            .select(LocationSelector::Memory {
-                start: 0,
-                words: 1,
-            })
+            .select(LocationSelector::Memory { start: 0, words: 1 })
             .experiments(1)
             .build()
             .unwrap_err();

@@ -357,8 +357,7 @@ mod tests {
         let c = campaign();
         let faults = vec![fault(0, 10), fault(0, 40)];
         let mut pilot = ToyTarget::new(100);
-        let plan =
-            CheckpointPlan::build(&mut pilot, &c, &faults, &[false, false]).expect("plan");
+        let plan = CheckpointPlan::build(&mut pilot, &c, &faults, &[false, false]).expect("plan");
         assert!(plan.nearest(5).is_none());
         assert_eq!(plan.nearest(10).unwrap().time, 10);
         assert_eq!(plan.nearest(39).unwrap().time, 10);
@@ -394,8 +393,7 @@ mod tests {
         let c = campaign();
         let faults = vec![fault(0, 10), fault(0, 40)];
         let mut pilot = ToyTarget::new(100);
-        let plan =
-            CheckpointPlan::build(&mut pilot, &c, &faults, &[true, false]).expect("plan");
+        let plan = CheckpointPlan::build(&mut pilot, &c, &faults, &[true, false]).expect("plan");
         assert_eq!(plan.len(), 1);
         assert_eq!(plan.nearest(40).unwrap().time, 40);
     }
@@ -408,8 +406,7 @@ mod tests {
         // exactly like a cold run.
         let faults = vec![fault(0, 10), fault(2, 80)];
         let mut pilot = ToyTarget::new(30);
-        let plan =
-            CheckpointPlan::build(&mut pilot, &c, &faults, &[false, false]).expect("plan");
+        let plan = CheckpointPlan::build(&mut pilot, &c, &faults, &[false, false]).expect("plan");
         assert_eq!(plan.len(), 1);
 
         let late = fault(2, 80);

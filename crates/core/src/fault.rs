@@ -252,9 +252,7 @@ fn candidate_bits(
                 let fields: Vec<_> = match field {
                     Some(name) => {
                         let f = info.field(name).ok_or_else(|| {
-                            GoofiError::Campaign(format!(
-                                "chain `{chain}` has no field `{name}`"
-                            ))
+                            GoofiError::Campaign(format!("chain `{chain}` has no field `{name}`"))
                         })?;
                         vec![f]
                     }
@@ -385,11 +383,12 @@ pub fn generate_fault_list(
             FaultModel::BitFlip | FaultModel::MultiBitFlip { .. } => vec![base_time],
             FaultModel::Intermittent { activations } => {
                 if activations == 0 {
-                    return Err(GoofiError::Campaign("intermittent with 0 activations".into()));
+                    return Err(GoofiError::Campaign(
+                        "intermittent with 0 activations".into(),
+                    ));
                 }
                 let (s, e) = window.unwrap_or((base_time, base_time + 1000));
-                let mut times: Vec<u64> =
-                    (0..activations).map(|_| rng.gen_range(s..=e)).collect();
+                let mut times: Vec<u64> = (0..activations).map(|_| rng.gen_range(s..=e)).collect();
                 times.sort_unstable();
                 times.dedup();
                 times
@@ -466,13 +465,37 @@ mod tests {
             chain: "cpu".into(),
             field: None,
         }];
-        let a = generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 100), 20, 7, None)
-            .unwrap();
-        let b = generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 100), 20, 7, None)
-            .unwrap();
+        let a = generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::BitFlip,
+            &window(0, 100),
+            20,
+            7,
+            None,
+        )
+        .unwrap();
+        let b = generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::BitFlip,
+            &window(0, 100),
+            20,
+            7,
+            None,
+        )
+        .unwrap();
         assert_eq!(a, b);
-        let c = generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 100), 20, 8, None)
-            .unwrap();
+        let c = generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::BitFlip,
+            &window(0, 100),
+            20,
+            8,
+            None,
+        )
+        .unwrap();
         assert_ne!(a, c);
     }
 
@@ -482,9 +505,16 @@ mod tests {
             chain: "cpu".into(),
             field: None,
         }];
-        let list =
-            generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 10), 200, 1, None)
-                .unwrap();
+        let list = generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::BitFlip,
+            &window(0, 10),
+            200,
+            1,
+            None,
+        )
+        .unwrap();
         for f in &list {
             match &f.targets[0] {
                 Location::ChainBit { bit, .. } => assert!(*bit < 64, "hit read-only bit {bit}"),
@@ -499,8 +529,16 @@ mod tests {
             chain: "cpu".into(),
             field: Some("CTRL".into()),
         }];
-        let err = generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 10), 1, 1, None)
-            .unwrap_err();
+        let err = generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::BitFlip,
+            &window(0, 10),
+            1,
+            1,
+            None,
+        )
+        .unwrap_err();
         assert!(matches!(err, GoofiError::Campaign(_)));
     }
 
@@ -510,9 +548,16 @@ mod tests {
             chain: "cpu".into(),
             field: Some("PC".into()),
         }];
-        let list =
-            generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(5, 5), 50, 3, None)
-                .unwrap();
+        let list = generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::BitFlip,
+            &window(5, 5),
+            50,
+            3,
+            None,
+        )
+        .unwrap();
         for f in &list {
             match &f.targets[0] {
                 Location::ChainBit { bit, .. } => assert!((32..64).contains(bit)),
@@ -528,9 +573,16 @@ mod tests {
             start: 0x4000,
             words: 2,
         }];
-        let list =
-            generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 0), 100, 3, None)
-                .unwrap();
+        let list = generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::BitFlip,
+            &window(0, 0),
+            100,
+            3,
+            None,
+        )
+        .unwrap();
         for f in &list {
             match &f.targets[0] {
                 Location::MemoryBit { addr, bit } => {
@@ -688,20 +740,44 @@ mod tests {
             chain: "nope".into(),
             field: None,
         }];
-        assert!(generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 1), 1, 1, None)
-            .is_err());
+        assert!(generate_fault_list(
+            &config(),
+            &sel,
+            FaultModel::BitFlip,
+            &window(0, 1),
+            1,
+            1,
+            None
+        )
+        .is_err());
         let sel = vec![LocationSelector::Chain {
             chain: "cpu".into(),
             field: None,
         }];
         assert!(
-            generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(5, 1), 1, 1, None)
-                .is_err(),
+            generate_fault_list(
+                &config(),
+                &sel,
+                FaultModel::BitFlip,
+                &window(5, 1),
+                1,
+                1,
+                None
+            )
+            .is_err(),
             "inverted window"
         );
         assert!(
-            generate_fault_list(&config(), &sel, FaultModel::BitFlip, &window(0, 1), 0, 1, None)
-                .is_err(),
+            generate_fault_list(
+                &config(),
+                &sel,
+                FaultModel::BitFlip,
+                &window(0, 1),
+                0,
+                1,
+                None
+            )
+            .is_err(),
             "zero experiments"
         );
         assert!(generate_fault_list(

@@ -52,39 +52,38 @@ pub mod preinject;
 pub mod progress;
 pub mod propagation;
 pub mod runner;
+pub mod staticanalysis;
 pub mod store;
 mod target;
 pub mod trigger;
 
 pub use algorithm::{reference_run, run_experiment, ExperimentRun, DETAIL_SNAPSHOT_CAP};
 pub use analysis::{
-    LocationSensitivity,
-    detection_latency, LatencyStats,
-    analyze_campaign, classify, classify_records, wilson, CampaignStats, EscapeKind, Outcome,
-    Proportion,
+    analyze_campaign, classify, classify_records, detection_latency, wilson, CampaignStats,
+    EscapeKind, LatencyStats, LocationSensitivity, Outcome, Proportion,
 };
 pub use bits::StateVector;
 pub use campaign::{Campaign, CampaignBuilder, LogMode, Technique};
 pub use checkpoint::{run_experiment_checkpointed, Checkpoint, CheckpointPlan};
-pub use error::{GoofiError, Result};
-pub use fault::{
-    generate_fault_list, FaultModel, Location, LocationSelector, PlannedFault, TriggerPolicy,
-};
 pub use dependability::{
     duplex_mttf, duplex_reliability, duplex_reliability_interval, single_node_availability,
     single_node_reliability, DependabilityParams,
 };
-pub use preinject::{FirstUse, LivenessAnalysis};
-pub use propagation::{analyze_propagation, PropagationReport, PropagationStep};
-pub use progress::{control_channel, Command, ControlHandle, Controller, ProgressEvent};
-pub use runner::{CampaignResult, CampaignRunner, RunOptions, Scheduler};
+pub use error::{GoofiError, Result};
+pub use fault::{
+    generate_fault_list, FaultModel, Location, LocationSelector, PlannedFault, TriggerPolicy,
+};
 pub use goofi_telemetry::{
     CampaignTelemetry, CounterStat, PhaseStats, SpanRecord, TelemetryMode, WorkerTelemetry,
 };
+pub use preinject::{FirstUse, LivenessAnalysis};
+pub use progress::{control_channel, Command, ControlHandle, Controller, ProgressEvent};
+pub use propagation::{analyze_propagation, PropagationReport, PropagationStep};
+pub use runner::{CampaignResult, CampaignRunner, RunOptions, Scheduler};
+pub use staticanalysis::{EquivalenceClass, Lint, LintKind, Pruning, StaticAnalysis};
 pub use store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
 pub use target::{
-    MemoryRole,
-    mem_loc_name, ChainInfo, FieldInfo, MemoryRegion, TargetEvent, TargetSnapshot,
+    mem_loc_name, ChainInfo, FieldInfo, MemoryRegion, MemoryRole, TargetEvent, TargetSnapshot,
     TargetSystemConfig, TargetSystemInterface, TraceStep,
 };
 pub use trigger::Trigger;

@@ -42,7 +42,10 @@ impl LivenessAnalysis {
         for step in trace {
             end_time = end_time.max(step.time);
             for r in &step.reads {
-                events.entry(r.clone()).or_default().push((step.time, false));
+                events
+                    .entry(r.clone())
+                    .or_default()
+                    .push((step.time, false));
             }
             for w in &step.writes {
                 events.entry(w.clone()).or_default().push((step.time, true));
@@ -111,9 +114,7 @@ impl LivenessAnalysis {
         config: &TargetSystemConfig,
         faults: Vec<PlannedFault>,
     ) -> (Vec<PlannedFault>, Vec<PlannedFault>) {
-        faults
-            .into_iter()
-            .partition(|f| !self.can_prune(config, f))
+        faults.into_iter().partition(|f| !self.can_prune(config, f))
     }
 }
 

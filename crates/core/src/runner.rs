@@ -32,6 +32,7 @@ use crate::error::{GoofiError, Result};
 use crate::fault::{generate_fault_list, PlannedFault, TriggerPolicy};
 use crate::preinject::LivenessAnalysis;
 use crate::progress::{Command, Controller, ProgressEvent};
+use crate::staticanalysis::{Pruning, StaticAnalysis};
 use crate::store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
 use crate::target::TargetSystemInterface;
 use goofi_telemetry::{names, CampaignTelemetry, Recorder, TelemetryMode, WorkerTelemetry};
@@ -80,6 +81,15 @@ pub struct RunOptions {
     /// Which parallel scheduler to use when `workers > 1`. Defaults to
     /// [`Scheduler::WorkStealing`].
     pub scheduler: Scheduler,
+    /// How experiments are pruned before injection. Defaults to
+    /// [`Pruning::Trace`], which honours the campaign's
+    /// `pre_injection_analysis` flag with trace-based liveness.
+    /// [`Pruning::Static`] prunes from the workload binary alone (no
+    /// reference trace), falling back to no pruning on targets without a
+    /// static analyzer. Pruned experiments synthesise the reference
+    /// outcome either way, so logged rows are identical across modes for
+    /// experiments that actually run.
+    pub pruning: Pruning,
 }
 
 impl Default for RunOptions {
@@ -88,12 +98,14 @@ impl Default for RunOptions {
             checkpoint: true,
             telemetry: TelemetryMode::Off,
             scheduler: Scheduler::WorkStealing,
+            pruning: Pruning::Trace,
         }
     }
 }
 
 impl RunOptions {
-    /// The default options: checkpointing on, telemetry off, work-stealing.
+    /// The default options: checkpointing on, telemetry off,
+    /// work-stealing, trace-based pruning.
     pub fn new() -> RunOptions {
         RunOptions::default()
     }
@@ -115,6 +127,12 @@ impl RunOptions {
         self.scheduler = scheduler;
         self
     }
+
+    /// Sets the pre-injection pruning mode.
+    pub fn pruning(mut self, pruning: Pruning) -> RunOptions {
+        self.pruning = pruning;
+        self
+    }
 }
 
 /// Everything a finished campaign produced.
@@ -133,6 +151,10 @@ pub struct CampaignResult {
     /// (also persisted to the `CampaignTelemetry` table when a store was
     /// attached).
     pub telemetry: Option<CampaignTelemetry>,
+    /// The static workload analysis, when the campaign ran with
+    /// [`Pruning::Static`] on a target that supports it (also persisted
+    /// to the `StaticAnalysisData` table when a store was attached).
+    pub static_analysis: Option<StaticAnalysis>,
 }
 
 impl CampaignResult {
@@ -305,7 +327,9 @@ impl<'a> CampaignRunner<'a> {
         // Thread-locally scoped: concurrent campaigns (e.g. under
         // `cargo test`) never observe each other's telemetry. Worker and
         // writer threads install their own guards in the engine.
-        let _guard = telemetry.as_ref().map(|t| tracing::set_default(&t.dispatch));
+        let _guard = telemetry
+            .as_ref()
+            .map(|t| tracing::set_default(&t.dispatch));
         let wall = Instant::now();
         let telemetry_ref = telemetry.as_ref();
 
@@ -313,7 +337,8 @@ impl<'a> CampaignRunner<'a> {
             Scheduler::Static => {
                 if resume {
                     return Err(GoofiError::Campaign(
-                        "the static scheduler does not support resume; use Scheduler::WorkStealing".into(),
+                        "the static scheduler does not support resume; use Scheduler::WorkStealing"
+                            .into(),
                     ));
                 }
                 if controller.is_some() {
@@ -347,6 +372,7 @@ impl<'a> CampaignRunner<'a> {
                         campaign,
                         workers,
                         store.as_deref_mut(),
+                        &options,
                         telemetry_ref,
                     ),
                 }
@@ -412,6 +438,9 @@ impl<'a> CampaignRunner<'a> {
             },
         }?;
 
+        if let (Some(analysis), Some(store)) = (&result.static_analysis, store.as_deref_mut()) {
+            store.put_static_analysis(&campaign.name, analysis)?;
+        }
         if let Some(t) = &telemetry {
             let rollup =
                 t.recorder
@@ -485,29 +514,61 @@ fn pruned_run(reference: &ExperimentRun, fault: &PlannedFault) -> ExperimentRun 
     }
 }
 
+/// How the campaign's prunability decisions are made, resolved once in
+/// [`prepare`] from [`RunOptions::pruning`] and the campaign flags.
+enum PruneInfo {
+    /// No pruning (mode off, campaign opted out, or static analysis
+    /// unsupported by the target).
+    None,
+    /// Trace-based liveness over the reference detail trace.
+    Trace(LivenessAnalysis),
+    /// Static analysis of the workload binary — no reference trace.
+    Static(StaticAnalysis),
+}
+
+impl PruneInfo {
+    fn can_prune(&self, config: &crate::target::TargetSystemConfig, fault: &PlannedFault) -> bool {
+        match self {
+            PruneInfo::None => false,
+            PruneInfo::Trace(liveness) => liveness.can_prune(config, fault),
+            PruneInfo::Static(analysis) => analysis.can_prune(config, fault),
+        }
+    }
+
+    /// Consumes the info, surfacing the static analysis for the campaign
+    /// result (and persistence).
+    fn into_static(self) -> Option<StaticAnalysis> {
+        match self {
+            PruneInfo::Static(analysis) => Some(analysis),
+            _ => None,
+        }
+    }
+}
+
 /// Central prunability decision, shared by every runner variant.
 fn compute_prunable(
     faults: &[PlannedFault],
-    liveness: Option<&LivenessAnalysis>,
+    prune: &PruneInfo,
     config: &crate::target::TargetSystemConfig,
 ) -> Vec<bool> {
-    faults
-        .iter()
-        .map(|f| liveness.map(|l| l.can_prune(config, f)).unwrap_or(false))
-        .collect()
+    faults.iter().map(|f| prune.can_prune(config, f)).collect()
 }
 
 /// Prepares the shared campaign inputs: reference trace (when needed),
-/// fault list, and liveness analysis.
+/// fault list, and the pruning decision source.
 fn prepare(
     target: &mut dyn TargetSystemInterface,
     campaign: &Campaign,
-) -> Result<(Vec<PlannedFault>, Option<LivenessAnalysis>)> {
+    options: &RunOptions,
+) -> Result<(Vec<PlannedFault>, PruneInfo)> {
     let _s = tracing::span(names::PHASE_PREPARE);
     campaign.validate()?;
     let config = target.describe();
-    let needs_trace = campaign.pre_injection_analysis
-        || matches!(campaign.trigger, TriggerPolicy::Triggers(_));
+    let trace_pruning = campaign.pre_injection_analysis && options.pruning == Pruning::Trace;
+    // The reference trace is only collected when something needs it:
+    // trace-based pruning, or trigger placement. Static pruning
+    // deliberately does without it.
+    let needs_trace = trace_pruning || matches!(campaign.trigger, TriggerPolicy::Triggers(_));
     let trace = if needs_trace {
         target.init_test_card()?;
         target.load_workload()?;
@@ -524,14 +585,31 @@ fn prepare(
         campaign.seed,
         trace.as_deref(),
     )?;
-    let liveness = if campaign.pre_injection_analysis {
-        Some(LivenessAnalysis::from_trace(
+    let prune = match options.pruning {
+        Pruning::Off => PruneInfo::None,
+        Pruning::Trace if trace_pruning => PruneInfo::Trace(LivenessAnalysis::from_trace(
             trace.as_deref().expect("trace collected above"),
-        ))
-    } else {
-        None
+        )),
+        Pruning::Trace => PruneInfo::None,
+        Pruning::Static => {
+            let horizon = faults
+                .iter()
+                .flat_map(|f| f.times.iter().copied())
+                .max()
+                .unwrap_or(0);
+            match target.static_analysis(horizon) {
+                Ok(mut analysis) => {
+                    analysis.compute_classes(&config, &faults);
+                    PruneInfo::Static(analysis)
+                }
+                // Same fallback idiom as the checkpoint cache: a target
+                // without a static analyzer runs the campaign unpruned.
+                Err(GoofiError::Unsupported { .. }) => PruneInfo::None,
+                Err(e) => return Err(e),
+            }
+        }
     };
-    Ok((faults, liveness))
+    Ok((faults, prune))
 }
 
 /// Classification, as its own phase span.
@@ -549,9 +627,10 @@ fn sequential_run(
     options: &RunOptions,
     telemetry: Option<&Telemetry>,
 ) -> Result<CampaignResult> {
-    let (faults, liveness) = prepare(target, campaign)?;
+    let (faults, prune) = prepare(target, campaign, options)?;
     let config = target.describe();
-    let prunable = compute_prunable(&faults, liveness.as_ref(), &config);
+    let prunable = compute_prunable(&faults, &prune, &config);
+    let static_analysis = prune.into_static();
 
     if let Some(ctl) = controller {
         ctl.emit(ProgressEvent::Started {
@@ -646,6 +725,7 @@ fn sequential_run(
         runs,
         stats,
         telemetry: None,
+        static_analysis,
     })
 }
 
@@ -661,9 +741,10 @@ fn sequential_resume(
     options: &RunOptions,
     telemetry: Option<&Telemetry>,
 ) -> Result<CampaignResult> {
-    let (faults, liveness) = prepare(target, campaign)?;
+    let (faults, prune) = prepare(target, campaign, options)?;
     let config = target.describe();
-    let prunable = compute_prunable(&faults, liveness.as_ref(), &config);
+    let prunable = compute_prunable(&faults, &prune, &config);
+    let static_analysis = prune.into_static();
 
     // Reference: reuse the stored row, or make and log it now.
     let ref_name = reference_experiment_name(&campaign.name);
@@ -769,6 +850,7 @@ fn sequential_resume(
         runs,
         stats,
         telemetry: None,
+        static_analysis,
     })
 }
 
@@ -1092,8 +1174,17 @@ fn parallel_engine(
             // visible if this thread carries the dispatch too.
             let _tguard = telemetry.map(|t| tracing::set_default(&t.dispatch));
             writer_loop(
-                rx, store, controller, gate, abort, total, expected, log_reference, campaign,
-                reference, pre,
+                rx,
+                store,
+                controller,
+                gate,
+                abort,
+                total,
+                expected,
+                log_reference,
+                campaign,
+                reference,
+                pre,
             )
         });
 
@@ -1153,11 +1244,7 @@ fn parallel_engine(
                             Ok(run) => {
                                 gauges.claimed += 1;
                                 let record = store_attached.then(|| {
-                                    record_of(
-                                        campaign,
-                                        experiment_name(&campaign.name, i),
-                                        &run,
-                                    )
+                                    record_of(campaign, experiment_name(&campaign.name, i), &run)
                                 });
                                 let _ = tx.send(FinishedExperiment {
                                     index: i,
@@ -1273,9 +1360,10 @@ fn parallel_run(
     // Prepare on a scratch target, which then doubles as the checkpoint
     // pilot: one execution serves every worker's restores.
     let mut scratch = factory();
-    let (faults, liveness) = prepare(scratch.as_mut(), campaign)?;
+    let (faults, prune) = prepare(scratch.as_mut(), campaign, options)?;
     let config = scratch.describe();
-    let prunable = compute_prunable(&faults, liveness.as_ref(), &config);
+    let prunable = compute_prunable(&faults, &prune, &config);
+    let static_analysis = prune.into_static();
     let reference = {
         let _s = tracing::span(names::PHASE_REFERENCE);
         reference_run(scratch.as_mut(), campaign)
@@ -1310,6 +1398,7 @@ fn parallel_run(
         runs,
         stats,
         telemetry: None,
+        static_analysis,
     })
 }
 
@@ -1328,9 +1417,10 @@ fn parallel_resume(
     telemetry: Option<&Telemetry>,
 ) -> Result<CampaignResult> {
     let mut scratch = factory();
-    let (faults, liveness) = prepare(scratch.as_mut(), campaign)?;
+    let (faults, prune) = prepare(scratch.as_mut(), campaign, options)?;
     let config = scratch.describe();
-    let prunable = compute_prunable(&faults, liveness.as_ref(), &config);
+    let prunable = compute_prunable(&faults, &prune, &config);
+    let static_analysis = prune.into_static();
     let ref_name = reference_experiment_name(&campaign.name);
     let (reference, log_reference) = match store.get_experiment(&ref_name) {
         Ok(record) => (record.to_run(), false),
@@ -1387,6 +1477,7 @@ fn parallel_resume(
         runs,
         stats,
         telemetry: None,
+        static_analysis,
     })
 }
 
@@ -1401,11 +1492,12 @@ fn static_run(
     campaign: &Campaign,
     workers: usize,
     store: Option<&mut GoofiStore>,
+    options: &RunOptions,
     telemetry: Option<&Telemetry>,
 ) -> Result<CampaignResult> {
     // Prepare on a scratch target.
     let mut scratch = factory();
-    let (faults, liveness) = prepare(scratch.as_mut(), campaign)?;
+    let (faults, prune) = prepare(scratch.as_mut(), campaign, options)?;
     let config = scratch.describe();
     let reference = {
         let _s = tracing::span(names::PHASE_REFERENCE);
@@ -1415,13 +1507,12 @@ fn static_run(
 
     let mut slots: Vec<Option<ExperimentRun>> = vec![None; faults.len()];
     let errors: std::sync::Mutex<Vec<GoofiError>> = std::sync::Mutex::new(Vec::new());
-    let results: std::sync::Mutex<Vec<(usize, ExperimentRun)>> =
-        std::sync::Mutex::new(Vec::new());
+    let results: std::sync::Mutex<Vec<(usize, ExperimentRun)>> = std::sync::Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         for w in 0..workers {
             let faults = &faults;
-            let liveness = &liveness;
+            let prune = &prune;
             let config = &config;
             let reference = &reference;
             let errors = &errors;
@@ -1440,10 +1531,7 @@ fn static_run(
                     if !errors.lock().expect("no poisoned lock").is_empty() {
                         break;
                     }
-                    let pruned = liveness
-                        .as_ref()
-                        .map(|l| l.can_prune(config, fault))
-                        .unwrap_or(false);
+                    let pruned = prune.can_prune(config, fault);
                     let run = if pruned {
                         tracing::value(names::COUNTER_PRUNED, 1);
                         Ok(pruned_run(reference, fault))
@@ -1476,6 +1564,7 @@ fn static_run(
         }
     });
 
+    let static_analysis = prune.into_static();
     let mut errors = errors.into_inner().expect("no poisoned lock");
     if let Some(e) = errors.pop() {
         return Err(e);
@@ -1510,6 +1599,7 @@ fn static_run(
         runs,
         stats,
         telemetry: None,
+        static_analysis,
     })
 }
 
@@ -1520,9 +1610,7 @@ mod tests {
     use crate::campaign::Technique;
     use crate::fault::{FaultModel, LocationSelector};
     use crate::progress::{control_channel, Command};
-    use crate::target::{
-        ChainInfo, FieldInfo, TargetEvent, TargetSystemConfig, TraceStep,
-    };
+    use crate::target::{ChainInfo, FieldInfo, TargetEvent, TargetSystemConfig, TraceStep};
 
     /// A miniature deterministic target: one 8-bit "R0" register chain; the
     /// workload reads R0 at t=5 into its output, overwrites R0 at t=10 and
@@ -1934,7 +2022,11 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(done, (1..=9).collect::<Vec<_>>(), "monotone completion counter");
+        assert_eq!(
+            done,
+            (1..=9).collect::<Vec<_>>(),
+            "monotone completion counter"
+        );
         assert!(matches!(
             events.last(),
             Some(ProgressEvent::Finished {
@@ -2135,7 +2227,10 @@ mod tests {
     fn parallel_run_requires_factory() {
         let c = campaign(4, (0, 19));
         let mut t = MiniTarget::new();
-        let err = CampaignRunner::new(&mut t, &c).workers(2).run().unwrap_err();
+        let err = CampaignRunner::new(&mut t, &c)
+            .workers(2)
+            .run()
+            .unwrap_err();
         match err {
             GoofiError::Campaign(msg) => {
                 assert!(msg.contains("from_factory"), "got {msg}");

@@ -1,0 +1,398 @@
+//! Static pre-injection analysis results — the trace-free counterpart of
+//! [`crate::preinject`].
+//!
+//! The dynamic [`LivenessAnalysis`](crate::preinject::LivenessAnalysis)
+//! needs a full reference detail trace (every read and write of every
+//! location) before it can prune anything. The static analyzer (the
+//! `goofi-analysis` crate) instead builds a control-flow graph over the
+//! workload binary with per-instruction def/use sets decoded from the
+//! ISA, replays the workload observing only the program counter, and
+//! produces this [`StaticAnalysis`] summary: per-location windows of
+//! injection times whose value is provably overwritten before any read,
+//! workload lints, and fault equivalence classes. The result is
+//! conservative by construction — any fault it prunes is also pruned by
+//! the trace-based analysis — and it is target-agnostic, so it lives
+//! here in `goofi-core` next to the fault list and runner that consume
+//! it.
+
+use crate::fault::PlannedFault;
+use crate::target::TargetSystemConfig;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// How the runner decides which experiments to skip before injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Pruning {
+    /// Never prune, even when the campaign asks for pre-injection
+    /// analysis.
+    Off,
+    /// Trace-based liveness (the default): honour the campaign's
+    /// `pre_injection_analysis` flag using the reference detail trace.
+    #[default]
+    Trace,
+    /// Static analysis: prune from the workload binary alone, with no
+    /// reference trace required. Targets without a static analyzer
+    /// silently fall back to no pruning.
+    Static,
+}
+
+impl fmt::Display for Pruning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Pruning::Off => "off",
+            Pruning::Trace => "trace",
+            Pruning::Static => "static",
+        })
+    }
+}
+
+impl FromStr for Pruning {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Pruning, String> {
+        match s {
+            "off" => Ok(Pruning::Off),
+            "trace" => Ok(Pruning::Trace),
+            "static" => Ok(Pruning::Static),
+            other => Err(format!(
+                "unknown pruning mode `{other}` (expected off, trace or static)"
+            )),
+        }
+    }
+}
+
+/// Category of a workload lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LintKind {
+    /// A basic block no CFG path from the entry reaches.
+    UnreachableCode,
+    /// A write whose value no CFG path can ever read.
+    DeadStore,
+    /// A read of a location no earlier CFG path ever writes.
+    ReadNeverWritten,
+    /// No CFG path from the entry reaches a terminating instruction.
+    NoPathToTermination,
+}
+
+impl fmt::Display for LintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LintKind::UnreachableCode => "unreachable-code",
+            LintKind::DeadStore => "dead-store",
+            LintKind::ReadNeverWritten => "read-never-written",
+            LintKind::NoPathToTermination => "no-path-to-termination",
+        })
+    }
+}
+
+/// One workload lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Lint {
+    /// What kind of defect this is.
+    pub kind: LintKind,
+    /// Human-readable description with the program location.
+    pub message: String,
+}
+
+/// A set of planned faults the analysis proved equivalent: they land in
+/// the same statically dead window of the same location(s), so they all
+/// collapse to the same outcome (the reference outcome). One
+/// representative carries the class through classification; the
+/// multiplicity weights it in reports.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EquivalenceClass {
+    /// Architectural location(s) of the member faults, comma-joined.
+    pub location: String,
+    /// The dead window `[start, end]` the members share.
+    pub window: (u64, u64),
+    /// Fault-list index of the representative member.
+    pub representative: usize,
+    /// Number of faults in the class (including the representative).
+    pub multiplicity: usize,
+}
+
+/// The persisted result of static workload analysis.
+///
+/// `dead` maps an architectural location name to sorted, disjoint,
+/// inclusive windows `[start, end]` of injection times at which a fault
+/// in that location is provably overwritten before any read — the first
+/// instruction at or after the injection time whose statically decoded
+/// def/use touches the location is a pure write. Locations absent from
+/// the map are never pruned (the
+/// conservative treatment of state the analysis cannot see — mirrors
+/// [`LivenessAnalysis`](crate::preinject::LivenessAnalysis) reporting
+/// `FirstUse::Never` for unknown locations).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StaticAnalysis {
+    /// Largest injection time the analysis covers; times beyond it are
+    /// never dead.
+    pub horizon: u64,
+    /// Injection-time slots the pc-only replay observed before the
+    /// workload halted, trapped, or the replay cap cut in. Times at or
+    /// beyond this are never dead; campaigns that want a fully-covered
+    /// injection window can clamp it to `steps`.
+    pub steps: u64,
+    /// Basic blocks in the workload CFG.
+    pub blocks: usize,
+    /// CFG edges.
+    pub edges: usize,
+    /// location -> sorted disjoint inclusive dead windows.
+    pub dead: BTreeMap<String, Vec<(u64, u64)>>,
+    /// Workload lints.
+    pub lints: Vec<Lint>,
+    /// Fault equivalence classes over the campaign's fault list (filled
+    /// in by the runner via [`StaticAnalysis::compute_classes`]; empty
+    /// for a bare `goofi analyze`).
+    pub classes: Vec<EquivalenceClass>,
+}
+
+impl StaticAnalysis {
+    /// The dead window containing `time` for `location`, if any.
+    pub fn dead_window(&self, location: &str, time: u64) -> Option<(u64, u64)> {
+        let windows = self.dead.get(location)?;
+        let idx = windows.partition_point(|&(_, end)| end < time);
+        windows
+            .get(idx)
+            .filter(|&&(start, _)| start <= time)
+            .copied()
+    }
+
+    /// Whether a fault injected into `location` at `time` is statically
+    /// provably dead. Unknown locations and times beyond the horizon are
+    /// never dead.
+    pub fn is_dead(&self, location: &str, time: u64) -> bool {
+        time <= self.horizon && self.dead_window(location, time).is_some()
+    }
+
+    /// Decides whether a whole planned fault can be skipped: every target
+    /// bit, at every activation time, must map to a named location whose
+    /// window is statically dead. Mirrors
+    /// [`LivenessAnalysis::can_prune`](crate::preinject::LivenessAnalysis::can_prune).
+    pub fn can_prune(&self, config: &TargetSystemConfig, fault: &PlannedFault) -> bool {
+        fault.targets.iter().all(|target| {
+            match target.architectural_name(config) {
+                None => false, // untraceable location: keep the experiment
+                Some(name) => fault.times.iter().all(|&t| self.is_dead(&name, t)),
+            }
+        })
+    }
+
+    /// Splits a fault list into `(kept, pruned)`.
+    pub fn prune_fault_list(
+        &self,
+        config: &TargetSystemConfig,
+        faults: Vec<PlannedFault>,
+    ) -> (Vec<PlannedFault>, Vec<PlannedFault>) {
+        faults.into_iter().partition(|f| !self.can_prune(config, f))
+    }
+
+    /// Groups the prunable faults of a campaign's fault list into
+    /// equivalence classes: faults whose targets resolve to the same
+    /// locations and whose activation times fall in the same dead
+    /// window collapse to one representative (lowest fault index) with a
+    /// multiplicity weight. The classes are stored on `self` so they are
+    /// persisted with the analysis.
+    pub fn compute_classes(&mut self, config: &TargetSystemConfig, faults: &[PlannedFault]) {
+        let mut groups: BTreeMap<(String, (u64, u64)), Vec<usize>> = BTreeMap::new();
+        for (i, fault) in faults.iter().enumerate() {
+            if !self.can_prune(config, fault) {
+                continue;
+            }
+            let mut names: Vec<String> = fault
+                .targets
+                .iter()
+                .filter_map(|t| t.architectural_name(config))
+                .collect();
+            names.sort();
+            names.dedup();
+            let location = names.join(",");
+            // All activation times of a prunable fault sit in dead
+            // windows; key on the window of the first activation.
+            let window = fault
+                .times
+                .first()
+                .and_then(|&t| names.first().and_then(|name| self.dead_window(name, t)))
+                .unwrap_or((0, 0));
+            groups.entry((location, window)).or_default().push(i);
+        }
+        self.classes = groups
+            .into_iter()
+            .map(|((location, window), members)| EquivalenceClass {
+                location,
+                window,
+                representative: members[0],
+                multiplicity: members.len(),
+            })
+            .collect();
+    }
+
+    /// Serialises to JSON (for persistence and `goofi analyze --json`).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("StaticAnalysis serialises")
+    }
+
+    /// Deserialises from JSON.
+    ///
+    /// # Errors
+    ///
+    /// A description of the parse failure.
+    pub fn from_json(json: &str) -> Result<StaticAnalysis, String> {
+        serde_json::from_str(json).map_err(|e| format!("corrupt StaticAnalysis: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultModel, Location};
+    use crate::target::{ChainInfo, FieldInfo};
+
+    fn analysis() -> StaticAnalysis {
+        StaticAnalysis {
+            horizon: 100,
+            steps: 101,
+            blocks: 3,
+            edges: 3,
+            dead: BTreeMap::from([
+                ("R1".to_string(), vec![(3, 5), (10, 20)]),
+                ("R2".to_string(), vec![(0, 0)]),
+            ]),
+            lints: Vec::new(),
+            classes: Vec::new(),
+        }
+    }
+
+    fn config() -> TargetSystemConfig {
+        TargetSystemConfig {
+            name: "t".into(),
+            description: String::new(),
+            chains: vec![ChainInfo {
+                name: "cpu".into(),
+                width: 64,
+                fields: vec![
+                    FieldInfo {
+                        name: "R1".into(),
+                        offset: 0,
+                        width: 32,
+                        writable: true,
+                    },
+                    FieldInfo {
+                        name: "R2".into(),
+                        offset: 32,
+                        width: 32,
+                        writable: true,
+                    },
+                ],
+            }],
+            memory: Vec::new(),
+        }
+    }
+
+    fn fault(bit: usize, times: Vec<u64>) -> PlannedFault {
+        PlannedFault {
+            model: FaultModel::BitFlip,
+            targets: vec![Location::ChainBit {
+                chain: "cpu".into(),
+                bit,
+            }],
+            times,
+        }
+    }
+
+    #[test]
+    fn dead_windows_are_inclusive_and_sorted() {
+        let a = analysis();
+        assert!(!a.is_dead("R1", 2));
+        assert!(a.is_dead("R1", 3));
+        assert!(a.is_dead("R1", 5));
+        assert!(!a.is_dead("R1", 6));
+        assert!(a.is_dead("R1", 15));
+        assert_eq!(a.dead_window("R1", 15), Some((10, 20)));
+        assert!(!a.is_dead("R1", 21));
+        assert!(a.is_dead("R2", 0));
+        assert!(!a.is_dead("R2", 1));
+    }
+
+    #[test]
+    fn unknown_locations_and_beyond_horizon_are_kept() {
+        let mut a = analysis();
+        assert!(!a.is_dead("R9", 4));
+        a.dead.insert("R9".into(), vec![(0, u64::MAX)]);
+        assert!(a.is_dead("R9", 100));
+        assert!(!a.is_dead("R9", 101), "beyond the horizon");
+    }
+
+    #[test]
+    fn can_prune_requires_all_times_dead_and_named_targets() {
+        let a = analysis();
+        let cfg = config();
+        assert!(a.can_prune(&cfg, &fault(5, vec![4])));
+        assert!(!a.can_prune(&cfg, &fault(5, vec![4, 7])));
+        // Bit outside any field: unnamed, kept.
+        let mut f = fault(5, vec![4]);
+        f.targets = vec![Location::ChainBit {
+            chain: "cpu".into(),
+            bit: 999,
+        }];
+        assert!(!a.can_prune(&cfg, &f));
+    }
+
+    #[test]
+    fn prune_fault_list_partitions() {
+        let a = analysis();
+        let cfg = config();
+        let faults = vec![fault(5, vec![4]), fault(5, vec![7]), fault(40, vec![0])];
+        let (kept, pruned) = a.prune_fault_list(&cfg, faults);
+        assert_eq!(pruned.len(), 2);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn classes_group_same_window_faults() {
+        let mut a = analysis();
+        let cfg = config();
+        let faults = vec![
+            fault(5, vec![4]),  // R1 window (3,5)
+            fault(6, vec![3]),  // R1 window (3,5) -> same class
+            fault(5, vec![12]), // R1 window (10,20)
+            fault(5, vec![7]),  // live, no class
+            fault(40, vec![0]), // R2 window (0,0)
+        ];
+        a.compute_classes(&cfg, &faults);
+        assert_eq!(a.classes.len(), 3);
+        let c = a
+            .classes
+            .iter()
+            .find(|c| c.window == (3, 5))
+            .expect("class for (3,5)");
+        assert_eq!(c.location, "R1");
+        assert_eq!(c.representative, 0);
+        assert_eq!(c.multiplicity, 2);
+        assert!(a.classes.iter().all(|c| c.window != (7, 7)));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut a = analysis();
+        a.lints.push(Lint {
+            kind: LintKind::DeadStore,
+            message: "store at pc 12 is never read".into(),
+        });
+        a.compute_classes(&config(), &[fault(5, vec![4])]);
+        let json = a.to_json();
+        assert_eq!(StaticAnalysis::from_json(&json).unwrap(), a);
+        assert!(StaticAnalysis::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn pruning_mode_parses() {
+        assert_eq!("off".parse::<Pruning>().unwrap(), Pruning::Off);
+        assert_eq!("trace".parse::<Pruning>().unwrap(), Pruning::Trace);
+        assert_eq!("static".parse::<Pruning>().unwrap(), Pruning::Static);
+        assert!("bogus".parse::<Pruning>().is_err());
+        assert_eq!(Pruning::default(), Pruning::Trace);
+        assert_eq!(Pruning::Static.to_string(), "static");
+    }
+}

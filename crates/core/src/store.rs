@@ -87,6 +87,25 @@ pub fn reference_experiment_name(campaign: &str) -> String {
     format!("{campaign}/ref")
 }
 
+/// Schema of the `StaticAnalysisData` table: one row per campaign that
+/// ran with static pruning, holding the persisted
+/// [`StaticAnalysis`] result. Like `CampaignTelemetry`, it sits outside
+/// the experiment-row FK graph so experiment rows stay byte-identical
+/// whether pruning was trace-based or static.
+fn static_analysis_schema() -> TableSchema {
+    TableSchema::new(
+        "StaticAnalysisData",
+        vec![
+            Column::new("campaignName", ValueType::Text)
+                .primary_key()
+                .references("CampaignData", "campaignName"),
+            Column::new("horizon", ValueType::Integer).not_null(),
+            Column::new("analysisJson", ValueType::Text).not_null(),
+        ],
+    )
+    .expect("static schema")
+}
+
 /// Schema of the `CampaignTelemetry` rollup table. Factored out so
 /// [`GoofiStore::load`] can create it when opening a database written
 /// before the table existed.
@@ -168,6 +187,8 @@ impl GoofiStore {
         )
         .expect("fresh database");
         db.create_table(telemetry_schema()).expect("fresh database");
+        db.create_table(static_analysis_schema())
+            .expect("fresh database");
         GoofiStore { db, journal: None }
     }
 
@@ -213,6 +234,9 @@ impl GoofiStore {
         // by gaining the (empty) table on load.
         if db.table("CampaignTelemetry").is_err() {
             db.create_table(telemetry_schema())?;
+        }
+        if db.table("StaticAnalysisData").is_err() {
+            db.create_table(static_analysis_schema())?;
         }
         Ok(GoofiStore { db, journal: None })
     }
@@ -267,10 +291,7 @@ impl GoofiStore {
             self.db.update(goofi_db::Update {
                 table: "TargetSystemData".into(),
                 assignments: vec![
-                    (
-                        "description".into(),
-                        Expr::lit(config.description.as_str()),
-                    ),
+                    ("description".into(), Expr::lit(config.description.as_str())),
                     ("configJson".into(), Expr::lit(json)),
                 ],
                 filter: Some(Expr::col("testCardName").eq(Expr::lit(config.name.as_str()))),
@@ -305,9 +326,9 @@ impl GoofiStore {
     ///
     /// [`GoofiError::Database`].
     pub fn list_targets(&self) -> Result<Vec<String>> {
-        let rs = self.db.select(
-            Select::from("TargetSystemData").columns(vec![Expr::col("testCardName")]),
-        )?;
+        let rs = self
+            .db
+            .select(Select::from("TargetSystemData").columns(vec![Expr::col("testCardName")]))?;
         Ok(rs
             .rows
             .iter()
@@ -462,9 +483,7 @@ impl GoofiStore {
     pub fn put_telemetry(&mut self, telemetry: &CampaignTelemetry) -> Result<()> {
         self.db.delete(Delete {
             table: "CampaignTelemetry".into(),
-            filter: Some(
-                Expr::col("campaignName").eq(Expr::lit(telemetry.campaign.as_str())),
-            ),
+            filter: Some(Expr::col("campaignName").eq(Expr::lit(telemetry.campaign.as_str()))),
         })?;
         self.db.vacuum("CampaignTelemetry")?;
         let row = vec![
@@ -517,6 +536,80 @@ impl GoofiStore {
         // like one that never held the rollup (byte-identity proofs rely
         // on this).
         self.db.vacuum("CampaignTelemetry")?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // StaticAnalysisData
+    // ------------------------------------------------------------------
+
+    /// Stores (or replaces) a campaign's static workload analysis.
+    ///
+    /// With the journal enabled, the row is also appended to the sidecar
+    /// (same duplicate-key semantics as telemetry).
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`] — the campaign row must exist.
+    pub fn put_static_analysis(
+        &mut self,
+        campaign: &str,
+        analysis: &crate::staticanalysis::StaticAnalysis,
+    ) -> Result<()> {
+        self.db.delete(Delete {
+            table: "StaticAnalysisData".into(),
+            filter: Some(Expr::col("campaignName").eq(Expr::lit(campaign))),
+        })?;
+        self.db.vacuum("StaticAnalysisData")?;
+        let row = vec![
+            campaign.into(),
+            (analysis.horizon as i64).into(),
+            analysis.to_json().into(),
+        ];
+        self.db
+            .insert(Insert::into("StaticAnalysisData", row.clone()))?;
+        if let Some(journal) = self.journal.as_mut() {
+            journal.append("StaticAnalysisData", &row)?;
+        }
+        Ok(())
+    }
+
+    /// Fetches a campaign's static analysis, `None` when the campaign
+    /// never ran with static pruning.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`] / [`GoofiError::Protocol`] on corrupt rows.
+    pub fn get_static_analysis(
+        &self,
+        campaign: &str,
+    ) -> Result<Option<crate::staticanalysis::StaticAnalysis>> {
+        let rs = self.db.select(
+            Select::from("StaticAnalysisData")
+                .columns(vec![Expr::col("analysisJson")])
+                .filter(Expr::col("campaignName").eq(Expr::lit(campaign))),
+        )?;
+        let Some(json) = rs.rows.first().and_then(|r| r[0].as_text()) else {
+            return Ok(None);
+        };
+        crate::staticanalysis::StaticAnalysis::from_json(json)
+            .map(Some)
+            .map_err(GoofiError::Protocol)
+    }
+
+    /// Removes a campaign's static analysis (if any), leaving no
+    /// tombstone — used by the determinism tests to prove the analysis
+    /// row is the *only* database difference static pruning introduces.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Database`].
+    pub fn clear_static_analysis(&mut self, campaign: &str) -> Result<()> {
+        self.db.delete(Delete {
+            table: "StaticAnalysisData".into(),
+            filter: Some(Expr::col("campaignName").eq(Expr::lit(campaign))),
+        })?;
+        self.db.vacuum("StaticAnalysisData")?;
         Ok(())
     }
 
@@ -678,7 +771,10 @@ mod tests {
         let mut changed = target_config();
         changed.description = "updated".into();
         store.put_target(&changed).unwrap();
-        assert_eq!(store.get_target("thor-card").unwrap().description, "updated");
+        assert_eq!(
+            store.get_target("thor-card").unwrap().description,
+            "updated"
+        );
         assert_eq!(store.list_targets().unwrap().len(), 1);
     }
 
@@ -768,8 +864,9 @@ mod tests {
 
     #[test]
     fn load_migrates_pre_telemetry_databases() {
-        // A database written without the CampaignTelemetry table (the
-        // pre-telemetry on-disk layout) gains it on load.
+        // A database written without the CampaignTelemetry and
+        // StaticAnalysisData tables (older on-disk layouts) gains both on
+        // load.
         let mut legacy = Database::new();
         for schema_of in ["TargetSystemData", "CampaignData", "LoggedSystemState"] {
             let donor = GoofiStore::new();
@@ -783,6 +880,73 @@ mod tests {
         let store = GoofiStore::load(&path).unwrap();
         assert!(store.database().table("CampaignTelemetry").is_ok());
         assert_eq!(store.get_telemetry("c1").unwrap(), None);
+        assert!(store.database().table("StaticAnalysisData").is_ok());
+        assert_eq!(store.get_static_analysis("c1").unwrap(), None);
         std::fs::remove_file(&path).ok();
+    }
+
+    fn static_analysis() -> crate::staticanalysis::StaticAnalysis {
+        crate::staticanalysis::StaticAnalysis {
+            horizon: 64,
+            steps: 65,
+            blocks: 4,
+            edges: 5,
+            dead: std::collections::BTreeMap::from([("R1".to_string(), vec![(2, 9)])]),
+            lints: vec![crate::staticanalysis::Lint {
+                kind: crate::staticanalysis::LintKind::DeadStore,
+                message: "store at pc 8 is never read".into(),
+            }],
+            classes: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn static_analysis_roundtrips_through_the_store() {
+        let mut store = GoofiStore::new();
+        store.put_target(&target_config()).unwrap();
+        store.put_campaign(&campaign()).unwrap();
+        assert_eq!(store.get_static_analysis("c1").unwrap(), None);
+        let analysis = static_analysis();
+        store.put_static_analysis("c1", &analysis).unwrap();
+        assert_eq!(
+            store.get_static_analysis("c1").unwrap(),
+            Some(analysis.clone())
+        );
+        // Upsert: a re-run replaces the previous analysis.
+        let mut updated = analysis.clone();
+        updated.horizon = 128;
+        store.put_static_analysis("c1", &updated).unwrap();
+        assert_eq!(store.get_static_analysis("c1").unwrap(), Some(updated));
+        store.clear_static_analysis("c1").unwrap();
+        assert_eq!(store.get_static_analysis("c1").unwrap(), None);
+    }
+
+    #[test]
+    fn static_analysis_requires_existing_campaign() {
+        let mut store = GoofiStore::new();
+        let err = store
+            .put_static_analysis("nope", &static_analysis())
+            .unwrap_err();
+        assert!(matches!(err, GoofiError::Database(_)));
+    }
+
+    #[test]
+    fn static_analysis_survives_journal_replay() {
+        let dir = std::env::temp_dir().join("goofi_store_sa_journal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        let analysis = static_analysis();
+        {
+            let mut store = GoofiStore::new();
+            store.put_target(&target_config()).unwrap();
+            store.put_campaign(&campaign()).unwrap();
+            store.save(&path).unwrap();
+            store.enable_journal(&path).unwrap();
+            store.put_static_analysis("c1", &analysis).unwrap();
+        }
+        let restored = GoofiStore::load(&path).unwrap();
+        assert_eq!(restored.get_static_analysis("c1").unwrap(), Some(analysis));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(dir.join("store.json.journal")).ok();
     }
 }

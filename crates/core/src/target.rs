@@ -326,6 +326,23 @@ pub trait TargetSystemInterface: Send {
         Err(self.unsupported("collectTrace"))
     }
 
+    /// Statically analyses the loaded workload binary: CFG construction,
+    /// backward write-before-read liveness, lints and dead injection
+    /// windows up to `horizon` (the largest injection time the campaign
+    /// will use). Unlike
+    /// [`collect_trace`](TargetSystemInterface::collect_trace) this needs
+    /// no reference detail trace; the runner uses it for
+    /// [`Pruning::Static`](crate::staticanalysis::Pruning) and falls back
+    /// to no pruning when the target does not implement it.
+    ///
+    /// # Errors
+    ///
+    /// [`GoofiError::Unsupported`] unless overridden; target faults.
+    fn static_analysis(&mut self, horizon: u64) -> Result<crate::staticanalysis::StaticAnalysis> {
+        let _ = horizon;
+        Err(self.unsupported("staticAnalysis"))
+    }
+
     /// Instructions retired since the workload started (for timeliness
     /// analysis and multi-activation scheduling).
     ///

@@ -2,8 +2,8 @@
 
 use goofi_core::{
     classify, generate_fault_list, wilson, Campaign, ChainInfo, ExperimentRun, FaultModel,
-    FieldInfo, LivenessAnalysis, Location, LocationSelector, Outcome, PlannedFault,
-    StateVector, TargetEvent, TargetSystemConfig, TraceStep, TriggerPolicy,
+    FieldInfo, LivenessAnalysis, Location, LocationSelector, Outcome, PlannedFault, StateVector,
+    TargetEvent, TargetSystemConfig, TraceStep, TriggerPolicy,
 };
 use proptest::prelude::*;
 

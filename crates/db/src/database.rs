@@ -107,16 +107,17 @@ impl Database {
                         detail: format!("parent table `{}` does not exist", fk.parent_table),
                     })?
             };
-            let pcol = parent.column(&fk.parent_column).ok_or_else(|| {
-                DbError::ForeignKeyViolation {
-                    table: schema.name().to_owned(),
-                    column: schema.columns()[ci].name().to_owned(),
-                    detail: format!(
-                        "parent column `{}.{}` does not exist",
-                        fk.parent_table, fk.parent_column
-                    ),
-                }
-            })?;
+            let pcol =
+                parent
+                    .column(&fk.parent_column)
+                    .ok_or_else(|| DbError::ForeignKeyViolation {
+                        table: schema.name().to_owned(),
+                        column: schema.columns()[ci].name().to_owned(),
+                        detail: format!(
+                            "parent column `{}.{}` does not exist",
+                            fk.parent_table, fk.parent_column
+                        ),
+                    })?;
             if !pcol.is_unique() {
                 return Err(DbError::ForeignKeyViolation {
                     table: schema.name().to_owned(),
@@ -202,7 +203,10 @@ impl Database {
     ///
     /// [`DbError::NoTransaction`] if none is active.
     pub fn commit(&mut self) -> Result<(), DbError> {
-        self.snapshots.pop().map(|_| ()).ok_or(DbError::NoTransaction)
+        self.snapshots
+            .pop()
+            .map(|_| ())
+            .ok_or(DbError::NoTransaction)
     }
 
     /// Rolls back the innermost transaction.
@@ -733,10 +737,7 @@ impl Database {
 
         // ORDER BY over *output* columns (by name / alias).
         if !stmt.order_by.is_empty() {
-            let out_header: Header = columns
-                .iter()
-                .map(|c| (String::new(), c.clone()))
-                .collect();
+            let out_header: Header = columns.iter().map(|c| (String::new(), c.clone())).collect();
             let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(out_rows.len());
             for row in out_rows {
                 let mut keys = Vec::with_capacity(stmt.order_by.len());
@@ -1136,7 +1137,9 @@ mod tests {
                 table: "CampaignData".into(),
                 assignments: vec![(
                     "nrOfExperiments".into(),
-                    Expr::col("nrOfExperiments").eq(Expr::lit(0)).and(Expr::lit(true)),
+                    Expr::col("nrOfExperiments")
+                        .eq(Expr::lit(0))
+                        .and(Expr::lit(true)),
                 )],
                 filter: Some(Expr::col("campaignName").eq(Expr::lit("c1"))),
             })
@@ -1270,11 +1273,13 @@ mod tests {
         let mut db = goofi_schema();
         seed(&mut db);
         let rs = db
-            .select(Select::from("LoggedSystemState").join(
-                "CampaignData",
-                Expr::qcol("LoggedSystemState", "campaignName")
-                    .eq(Expr::qcol("CampaignData", "campaignName")),
-            ))
+            .select(
+                Select::from("LoggedSystemState").join(
+                    "CampaignData",
+                    Expr::qcol("LoggedSystemState", "campaignName")
+                        .eq(Expr::qcol("CampaignData", "campaignName")),
+                ),
+            )
             .unwrap();
         assert!(rs
             .columns

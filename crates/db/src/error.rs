@@ -76,7 +76,10 @@ impl fmt::Display for DbError {
                 detail,
             } => write!(f, "foreign key violation on `{table}.{column}`: {detail}"),
             DbError::ArityMismatch { expected, got } => {
-                write!(f, "row arity mismatch: expected {expected} values, got {got}")
+                write!(
+                    f,
+                    "row arity mismatch: expected {expected} values, got {got}"
+                )
             }
             DbError::Parse(msg) => write!(f, "SQL parse error: {msg}"),
             DbError::Eval(msg) => write!(f, "evaluation error: {msg}"),

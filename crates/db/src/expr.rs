@@ -133,19 +133,14 @@ impl Expr {
     /// [`DbError::Eval`] on unknown columns or type errors (e.g. adding
     /// text to an integer). SQL three-valued logic applies: comparisons
     /// with NULL yield NULL, `NULL AND FALSE` is FALSE, etc.
-    pub fn eval(
-        &self,
-        resolve: &Resolver<'_>,
-    ) -> Result<Value, DbError> {
+    pub fn eval(&self, resolve: &Resolver<'_>) -> Result<Value, DbError> {
         match self {
             Expr::Literal(v) => Ok(v.clone()),
             Expr::Column { table, name } => resolve(table.as_deref(), name),
             Expr::Not(e) => match e.eval(resolve)? {
                 Value::Null => Ok(Value::Null),
                 Value::Boolean(b) => Ok(Value::Boolean(!b)),
-                other => Err(DbError::Eval(format!(
-                    "NOT applied to non-boolean {other}"
-                ))),
+                other => Err(DbError::Eval(format!("NOT applied to non-boolean {other}"))),
             },
             Expr::IsNull { expr, negated } => {
                 let v = expr.eval(resolve)?;
@@ -197,10 +192,7 @@ impl Expr {
     }
 
     /// Evaluates as a WHERE predicate: NULL counts as not-matching.
-    pub fn matches(
-        &self,
-        resolve: &Resolver<'_>,
-    ) -> Result<bool, DbError> {
+    pub fn matches(&self, resolve: &Resolver<'_>) -> Result<bool, DbError> {
         match self.eval(resolve)? {
             Value::Boolean(b) => Ok(b),
             Value::Null => Ok(false),
@@ -380,9 +372,15 @@ mod tests {
     fn three_valued_logic() {
         // NULL AND FALSE = FALSE; NULL AND TRUE = NULL; NULL OR TRUE = TRUE.
         let null = Expr::lit(Value::Null).eq(Expr::lit(1)); // NULL
-        assert_eq!(eval(&null.clone().and(Expr::lit(false))), Value::Boolean(false));
+        assert_eq!(
+            eval(&null.clone().and(Expr::lit(false))),
+            Value::Boolean(false)
+        );
         assert_eq!(eval(&null.clone().and(Expr::lit(true))), Value::Null);
-        assert_eq!(eval(&null.clone().or(Expr::lit(true))), Value::Boolean(true));
+        assert_eq!(
+            eval(&null.clone().or(Expr::lit(true))),
+            Value::Boolean(true)
+        );
         assert_eq!(eval(&null.or(Expr::lit(false))), Value::Null);
     }
 

@@ -92,8 +92,7 @@ impl Journal {
                 table: table.to_owned(),
                 row: row.to_vec(),
             };
-            let mut line =
-                serde_json::to_string(&entry).map_err(|e| DbError::Io(e.to_string()))?;
+            let mut line = serde_json::to_string(&entry).map_err(|e| DbError::Io(e.to_string()))?;
             line.push('\n');
             self.file.write_all(line.as_bytes())
         };
@@ -160,8 +159,7 @@ impl Database {
         let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
         tmp_name.push(".tmp");
         let tmp = path.with_file_name(tmp_name);
-        fs::write(&tmp, json)
-            .map_err(|e| DbError::Io(format!("write {}: {e}", tmp.display())))?;
+        fs::write(&tmp, json).map_err(|e| DbError::Io(format!("write {}: {e}", tmp.display())))?;
         fs::rename(&tmp, path).map_err(|e| {
             let _ = fs::remove_file(&tmp);
             DbError::Io(format!("rename into {}: {e}", path.display()))
@@ -258,13 +256,18 @@ mod tests {
             vec!["a".into(), 1.into(), vec![1u8, 2].into()],
         ))
         .unwrap();
-        db.insert(Insert::into("t", vec!["b".into(), Value::Null, Value::Null]))
-            .unwrap();
+        db.insert(Insert::into(
+            "t",
+            vec!["b".into(), Value::Null, Value::Null],
+        ))
+        .unwrap();
         db
     }
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join("goofi_db_persist_test").join(name);
+        let dir = std::env::temp_dir()
+            .join("goofi_db_persist_test")
+            .join(name);
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -385,11 +388,7 @@ mod tests {
         let path = tmpdir("corrupt").join("db.json");
         db.save(&path).unwrap();
         let jp = journal_path(&path);
-        fs::write(
-            &jp,
-            "garbage\n{\"table\":\"t\",\"row\":[\"c\",3,null]}\n",
-        )
-        .unwrap();
+        fs::write(&jp, "garbage\n{\"table\":\"t\",\"row\":[\"c\",3,null]}\n").unwrap();
         assert!(matches!(Database::load(&path), Err(DbError::Io(_))));
     }
 
@@ -424,15 +423,19 @@ mod tests {
         let mut sizes = Vec::new();
         for i in 0..50 {
             journal
-                .append("t", &[format!("row{i:04}").into(), (1000 + i as i64).into(), Value::Null])
+                .append(
+                    "t",
+                    &[
+                        format!("row{i:04}").into(),
+                        (1000 + i as i64).into(),
+                        Value::Null,
+                    ],
+                )
                 .unwrap();
             sizes.push(fs::metadata(journal.path()).unwrap().len());
         }
         let deltas: Vec<u64> = sizes.windows(2).map(|w| w[1] - w[0]).collect();
-        let (min, max) = (
-            *deltas.iter().min().unwrap(),
-            *deltas.iter().max().unwrap(),
-        );
+        let (min, max) = (*deltas.iter().min().unwrap(), *deltas.iter().max().unwrap());
         assert_eq!(min, max, "every append writes the same number of bytes");
         let restored = Database::load(&path).unwrap();
         assert_eq!(restored.select(Select::from("t")).unwrap().len(), 52);

@@ -18,7 +18,9 @@
 use crate::database::Database;
 use crate::error::DbError;
 use crate::expr::{BinOp, Expr};
-use crate::query::{AggFunc, Delete, Insert, Join, ResultSet, Select, SelectItem, SortOrder, Update};
+use crate::query::{
+    AggFunc, Delete, Insert, Join, ResultSet, Select, SelectItem, SortOrder, Update,
+};
 use crate::schema::{Column, TableSchema};
 use crate::value::{Value, ValueType};
 
@@ -181,10 +183,48 @@ enum Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE",
-    "TABLE", "DROP", "PRIMARY", "KEY", "NOT", "NULL", "UNIQUE", "REFERENCES", "AND", "OR", "IN",
-    "IS", "LIKE", "JOIN", "INNER", "ON", "AS", "GROUP", "BY", "ORDER", "ASC", "DESC", "LIMIT",
-    "OFFSET", "COUNT", "SUM", "AVG", "MIN", "MAX", "TRUE", "FALSE", "DISTINCT",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "CREATE",
+    "TABLE",
+    "DROP",
+    "PRIMARY",
+    "KEY",
+    "NOT",
+    "NULL",
+    "UNIQUE",
+    "REFERENCES",
+    "AND",
+    "OR",
+    "IN",
+    "IS",
+    "LIKE",
+    "JOIN",
+    "INNER",
+    "ON",
+    "AS",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "OFFSET",
+    "COUNT",
+    "SUM",
+    "AVG",
+    "MIN",
+    "MAX",
+    "TRUE",
+    "FALSE",
+    "DISTINCT",
 ];
 
 fn lex(sql: &str) -> Result<Vec<Token>, DbError> {
@@ -292,9 +332,7 @@ fn lex(sql: &str) -> Result<Vec<Token>, DbError> {
                     i += 1;
                     loop {
                         match chars.get(i) {
-                            None => {
-                                return Err(DbError::Parse("unterminated identifier".into()))
-                            }
+                            None => return Err(DbError::Parse("unterminated identifier".into())),
                             Some('"') => {
                                 i += 1;
                                 break;
@@ -308,9 +346,7 @@ fn lex(sql: &str) -> Result<Vec<Token>, DbError> {
                     tokens.push(Token::Ident(s));
                 } else {
                     let start = i;
-                    while i < chars.len()
-                        && (chars[i].is_alphanumeric() || chars[i] == '_')
-                    {
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
                         i += 1;
                     }
                     let word: String = chars[start..i].iter().collect();
@@ -429,7 +465,9 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             // Allow non-reserved use of aggregate names as identifiers is
             // not needed; keywords are reserved.
-            other => Err(DbError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -457,7 +495,9 @@ impl Parser {
                 "SELECT" => Ok(Statement::Select(self.select()?)),
                 other => Err(DbError::Parse(format!("unexpected keyword `{other}`"))),
             },
-            other => Err(DbError::Parse(format!("expected statement, found {other:?}"))),
+            other => Err(DbError::Parse(format!(
+                "expected statement, found {other:?}"
+            ))),
         }
     }
 
@@ -473,7 +513,9 @@ impl Parser {
                 Some(Token::Ident(s)) => s,
                 Some(Token::Keyword(s)) => s,
                 other => {
-                    return Err(DbError::Parse(format!("expected type name, found {other:?}")))
+                    return Err(DbError::Parse(format!(
+                        "expected type name, found {other:?}"
+                    )))
                 }
             };
             let ty = ValueType::parse(&tname)
@@ -684,7 +726,11 @@ impl Parser {
         if self.eat_keyword("LIMIT") {
             match self.next() {
                 Some(Token::Int(n)) if n >= 0 => select.limit = Some(n as usize),
-                other => return Err(DbError::Parse(format!("expected LIMIT count, found {other:?}"))),
+                other => {
+                    return Err(DbError::Parse(format!(
+                        "expected LIMIT count, found {other:?}"
+                    )))
+                }
             }
             if self.eat_keyword("OFFSET") {
                 match self.next() {
@@ -929,7 +975,9 @@ impl Parser {
                 "NULL" => Ok(Expr::Literal(Value::Null)),
                 "TRUE" => Ok(Expr::lit(true)),
                 "FALSE" => Ok(Expr::lit(false)),
-                other => Err(DbError::Parse(format!("unexpected `{other}` in expression"))),
+                other => Err(DbError::Parse(format!(
+                    "unexpected `{other}` in expression"
+                ))),
             },
             Some(Token::Symbol('(')) => {
                 let e = self.expr()?;
@@ -957,10 +1005,8 @@ mod tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.execute_sql(
-            "CREATE TABLE TargetSystemData (testCardName TEXT PRIMARY KEY, descr TEXT)",
-        )
-        .unwrap();
+        db.execute_sql("CREATE TABLE TargetSystemData (testCardName TEXT PRIMARY KEY, descr TEXT)")
+            .unwrap();
         db.execute_sql(
             "CREATE TABLE CampaignData (
                 campaignName TEXT PRIMARY KEY,
@@ -987,7 +1033,9 @@ mod tests {
     #[test]
     fn create_insert_select_roundtrip() {
         let mut db = db();
-        let rs = db.query("SELECT campaignName, nrOfExperiments FROM CampaignData").unwrap();
+        let rs = db
+            .query("SELECT campaignName, nrOfExperiments FROM CampaignData")
+            .unwrap();
         assert_eq!(rs.columns, vec!["campaignName", "nrOfExperiments"]);
         assert_eq!(rs.rows[0][1], Value::Integer(50));
     }
@@ -1052,7 +1100,9 @@ mod tests {
             .execute_sql("UPDATE CampaignData SET nrOfExperiments = nrOfExperiments * 2")
             .unwrap();
         assert_eq!(out, SqlOutput::Affected(1));
-        let rs = db.query("SELECT nrOfExperiments FROM CampaignData").unwrap();
+        let rs = db
+            .query("SELECT nrOfExperiments FROM CampaignData")
+            .unwrap();
         assert_eq!(rs.rows[0][0], Value::Integer(100));
         let out = db
             .execute_sql("DELETE FROM CampaignData WHERE campaignName = 'c1'")
@@ -1114,7 +1164,9 @@ mod tests {
             .unwrap();
         assert_eq!(rs.len(), 1);
         let rs = db
-            .query("SELECT experimentName FROM LoggedSystemState WHERE experimentName IN ('E1','E2')")
+            .query(
+                "SELECT experimentName FROM LoggedSystemState WHERE experimentName IN ('E1','E2')",
+            )
             .unwrap();
         assert_eq!(rs.len(), 1);
         let rs = db

@@ -236,7 +236,11 @@ mod tests {
             inputs = env.exchange(&[u]);
         }
         let err = (env.level() - 4 * SCALE).abs();
-        assert!(err < 2 * SCALE, "level {} too far from setpoint", env.level());
+        assert!(
+            err < 2 * SCALE,
+            "level {} too far from setpoint",
+            env.level()
+        );
     }
 
     #[test]

@@ -68,10 +68,7 @@ mod tests {
         let mut env = RecordingEnv::new(ConstantEnv::new(vec![7]));
         env.exchange(&[1]);
         env.exchange(&[2]);
-        assert_eq!(
-            env.exchanges(),
-            &[(vec![1], vec![7]), (vec![2], vec![7])]
-        );
+        assert_eq!(env.exchanges(), &[(vec![1], vec![7]), (vec![2], vec![7])]);
     }
 
     #[test]

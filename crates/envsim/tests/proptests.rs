@@ -1,7 +1,9 @@
 //! Property tests: plants must stay bounded and deterministic no matter
 //! what a fault-corrupted controller sends them.
 
-use goofi_envsim::{ConstantEnv, DcMotorEnv, Environment, RecordingEnv, ScriptedEnv, WaterTankEnv, SCALE};
+use goofi_envsim::{
+    ConstantEnv, DcMotorEnv, Environment, RecordingEnv, ScriptedEnv, WaterTankEnv, SCALE,
+};
 use proptest::prelude::*;
 
 proptest! {

@@ -94,6 +94,102 @@ impl Op {
         op << 24 | (arg & 0xff_ffff)
     }
 
+    /// Def/use sets for executing `self` with data-stack pointer `sp` and
+    /// call-stack pointer `csp` as they stand *before* the op executes.
+    ///
+    /// Returns `None` when the op would trap on the stack bounds (overflow
+    /// or underflow), in which case no architectural write completes. The
+    /// same table drives both dynamic trace recording
+    /// (`collect_trace` in the target adapter) and the static workload
+    /// analyzer, so the two cannot drift.
+    ///
+    /// `PC` and `STEPS` are deliberately absent: every op touches them, and
+    /// leaving them out makes pre-injection analysis treat faults there as
+    /// unknown locations (never pruned) — the conservative choice.
+    pub fn effect(self, sp: u8, csp: u8) -> Option<OpEffect> {
+        use VmLoc::{Call, Csp, Data, Sp, Stack};
+        let mut fx = OpEffect::default();
+        let overflow = |n: u8| (n as usize) >= STACK_DEPTH;
+        let underflow = |n: u8, need: u8| n < need || (n as usize) > STACK_DEPTH;
+        match self {
+            Op::Push(_) => {
+                if overflow(sp) {
+                    return None;
+                }
+                fx.reads.push(Sp);
+                fx.writes.extend([Stack(sp), Sp]);
+            }
+            Op::Load(a) => {
+                if overflow(sp) {
+                    return None;
+                }
+                fx.reads.extend([Sp, Data(a)]);
+                fx.writes.extend([Stack(sp), Sp]);
+            }
+            Op::Store(a) => {
+                if underflow(sp, 1) {
+                    return None;
+                }
+                fx.reads.extend([Sp, Stack(sp - 1)]);
+                fx.writes.extend([Data(a), Sp]);
+            }
+            Op::Add | Op::Sub | Op::Mul => {
+                if underflow(sp, 2) {
+                    return None;
+                }
+                fx.reads.extend([Sp, Stack(sp - 1), Stack(sp - 2)]);
+                fx.writes.extend([Stack(sp - 2), Sp]);
+            }
+            Op::Dup => {
+                if underflow(sp, 1) || overflow(sp) {
+                    return None;
+                }
+                fx.reads.extend([Sp, Stack(sp - 1)]);
+                fx.writes.extend([Stack(sp - 1), Stack(sp), Sp]);
+            }
+            Op::Drop => {
+                if underflow(sp, 1) {
+                    return None;
+                }
+                fx.reads.extend([Sp, Stack(sp - 1)]);
+                fx.writes.push(Sp);
+            }
+            Op::Swap => {
+                if underflow(sp, 2) {
+                    return None;
+                }
+                fx.reads.extend([Sp, Stack(sp - 1), Stack(sp - 2)]);
+                fx.writes.extend([Stack(sp - 1), Stack(sp - 2), Sp]);
+            }
+            Op::Jmp(_) => {}
+            Op::Jz(_) => {
+                if underflow(sp, 1) {
+                    return None;
+                }
+                fx.reads.extend([Sp, Stack(sp - 1)]);
+                fx.writes.push(Sp);
+                fx.is_branch = true;
+            }
+            Op::Call(_) => {
+                if (csp as usize) >= CALL_DEPTH {
+                    return None;
+                }
+                fx.reads.push(Csp);
+                fx.writes.extend([Call(csp), Csp]);
+                fx.is_call = true;
+            }
+            Op::Ret => {
+                if csp == 0 || (csp as usize) > CALL_DEPTH {
+                    return None;
+                }
+                fx.reads.extend([Csp, Call(csp - 1)]);
+                fx.writes.push(Csp);
+            }
+            Op::Sync | Op::Halt => {}
+        }
+        Some(fx)
+    }
+
     /// Decodes a word; `None` for illegal opcodes.
     pub fn decode(word: u32) -> Option<Op> {
         let arg = word & 0xff_ffff;
@@ -122,6 +218,47 @@ impl Op {
             _ => return None,
         })
     }
+}
+
+/// A named architectural state element of the VM: the debug-port fields
+/// (minus the observe-only `PC`/`STEPS`) plus data-memory words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum VmLoc {
+    /// Data-stack slot `S{n}`.
+    Stack(u8),
+    /// The data-stack pointer `SP`.
+    Sp,
+    /// Call-stack slot `C{n}`.
+    Call(u8),
+    /// The call-stack pointer `CSP`.
+    Csp,
+    /// Data-memory word at word address `a`.
+    Data(u32),
+}
+
+impl fmt::Display for VmLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmLoc::Stack(i) => write!(f, "S{i}"),
+            VmLoc::Sp => write!(f, "SP"),
+            VmLoc::Call(i) => write!(f, "C{i}"),
+            VmLoc::Csp => write!(f, "CSP"),
+            VmLoc::Data(a) => write!(f, "data[{a}]"),
+        }
+    }
+}
+
+/// The def/use sets of one op at a concrete stack configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpEffect {
+    /// Locations the op reads, in access order.
+    pub reads: Vec<VmLoc>,
+    /// Locations the op writes, in access order.
+    pub writes: Vec<VmLoc>,
+    /// Whether the op is a conditional branch.
+    pub is_branch: bool,
+    /// Whether the op is a subroutine call.
+    pub is_call: bool,
 }
 
 /// A detected error condition (the StackVM's EDMs).
@@ -712,7 +849,10 @@ mod tests {
         vm.step().unwrap();
         vm.step().unwrap();
         vm.write_field("SP", 200);
-        assert!(matches!(vm.run(10), VmEvent::Error(VmError::StackUnderflow)));
+        assert!(matches!(
+            vm.run(10),
+            VmEvent::Error(VmError::StackUnderflow)
+        ));
     }
 
     #[test]
@@ -750,6 +890,78 @@ mod tests {
         ];
         for op in ops {
             assert_eq!(Op::decode(op.encode()), Some(op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn effect_table_matches_op_semantics() {
+        use VmLoc::{Call, Csp, Data, Sp, Stack};
+        let fx = Op::Push(3).effect(2, 0).unwrap();
+        assert_eq!(fx.reads, vec![Sp]);
+        assert_eq!(fx.writes, vec![Stack(2), Sp]);
+        let fx = Op::Load(5).effect(1, 0).unwrap();
+        assert_eq!(fx.reads, vec![Sp, Data(5)]);
+        assert_eq!(fx.writes, vec![Stack(1), Sp]);
+        let fx = Op::Store(5).effect(2, 0).unwrap();
+        assert_eq!(fx.reads, vec![Sp, Stack(1)]);
+        assert_eq!(fx.writes, vec![Data(5), Sp]);
+        let fx = Op::Add.effect(3, 0).unwrap();
+        assert_eq!(fx.reads, vec![Sp, Stack(2), Stack(1)]);
+        assert_eq!(fx.writes, vec![Stack(1), Sp]);
+        let fx = Op::Jz(9).effect(1, 0).unwrap();
+        assert!(fx.is_branch);
+        assert_eq!(fx.reads, vec![Sp, Stack(0)]);
+        let fx = Op::Call(9).effect(0, 3).unwrap();
+        assert!(fx.is_call);
+        assert_eq!(fx.writes, vec![Call(3), Csp]);
+        let fx = Op::Ret.effect(0, 1).unwrap();
+        assert_eq!(fx.reads, vec![Csp, Call(0)]);
+        // Trapping configurations have no architectural effect.
+        assert_eq!(Op::Add.effect(1, 0), None);
+        assert_eq!(Op::Push(0).effect(STACK_DEPTH as u8, 0), None);
+        assert_eq!(Op::Ret.effect(0, 0), None);
+        assert_eq!(Op::Call(0).effect(0, CALL_DEPTH as u8), None);
+        // Halt/Jmp/Sync touch nothing the analyzer models.
+        assert_eq!(Op::Halt.effect(0, 0), Some(OpEffect::default()));
+    }
+
+    #[test]
+    fn effect_reads_writes_match_step_mutations() {
+        // Dynamic cross-check: for a straight-line program, every state
+        // element `step()` mutates must appear in the op's write set.
+        let prog = vec![
+            Op::Push(6),
+            Op::Push(7),
+            Op::Mul,
+            Op::Dup,
+            Op::Swap,
+            Op::Store(0),
+            Op::Drop,
+            Op::Halt,
+        ];
+        let mut vm = StackVm::new(4);
+        vm.load(&prog);
+        loop {
+            let pc = vm.pc as usize;
+            let op = Op::decode(vm.program[pc]).unwrap();
+            let fx = op.effect(vm.sp, vm.csp).expect("no traps in this program");
+            let before = vm.clone();
+            if let Ok(Some(VmEvent::Halted)) = vm.step() {
+                break;
+            }
+            for i in 0..STACK_DEPTH as u8 {
+                if vm.stack[i as usize] != before.stack[i as usize] {
+                    assert!(fx.writes.contains(&VmLoc::Stack(i)), "{op:?} S{i}");
+                }
+            }
+            if vm.sp != before.sp {
+                assert!(fx.writes.contains(&VmLoc::Sp), "{op:?} SP");
+            }
+            for a in 0..4u32 {
+                if vm.data(a) != before.data(a) {
+                    assert!(fx.writes.contains(&VmLoc::Data(a)), "{op:?} data[{a}]");
+                }
+            }
         }
     }
 

@@ -8,11 +8,23 @@
 //! (addressed in bytes, 4 bytes per program word).
 
 use goofi_core::{
-    ChainInfo, FieldInfo, GoofiError, MemoryRegion, MemoryRole, Result, StateVector,
-    TargetEvent, TargetSnapshot, TargetSystemConfig, TargetSystemInterface, TraceStep,
+    ChainInfo, FieldInfo, GoofiError, MemoryRegion, MemoryRole, Result, StateVector, TargetEvent,
+    TargetSnapshot, TargetSystemConfig, TargetSystemInterface, TraceStep,
 };
-use goofi_stackvm::{Op, StackVm, VmError, VmEvent};
+use goofi_stackvm::{Op, StackVm, VmError, VmEvent, VmLoc};
 use goofi_telemetry::names;
+
+/// Word address in VM data memory → SWIFI byte address.
+pub(crate) const DATA_BASE: u32 = 0x1_0000;
+
+/// Maps a VM location to the architectural name used in traces and
+/// campaign fault records (debug-chain field names, `MEM[..]` for data).
+pub(crate) fn vm_loc_name(loc: VmLoc) -> String {
+    match loc {
+        VmLoc::Data(a) => goofi_core::mem_loc_name(DATA_BASE + a * 4),
+        other => other.to_string(),
+    }
+}
 
 /// Default per-experiment step budget.
 pub const DEFAULT_STEP_BUDGET: u64 = 1_000_000;
@@ -144,7 +156,7 @@ impl TargetSystemInterface for StackVmTarget {
                     role: MemoryRole::Code,
                 },
                 MemoryRegion {
-                    start: 0x1_0000,
+                    start: DATA_BASE,
                     len: (self.data_words * 4) as u32,
                     role: MemoryRole::Data,
                 },
@@ -165,8 +177,8 @@ impl TargetSystemInterface for StackVmTarget {
     fn write_memory(&mut self, addr: u32, data: &[u32]) -> Result<()> {
         for (i, w) in data.iter().enumerate() {
             let a = addr + (i as u32) * 4;
-            let ok = if a >= 0x1_0000 {
-                self.vm.set_data((a - 0x1_0000) / 4, *w as i32)
+            let ok = if a >= DATA_BASE {
+                self.vm.set_data((a - DATA_BASE) / 4, *w as i32)
             } else {
                 self.vm.set_program_word((a / 4) as usize, *w)
             };
@@ -181,8 +193,8 @@ impl TargetSystemInterface for StackVmTarget {
         (0..len)
             .map(|i| {
                 let a = addr + (i as u32) * 4;
-                let v = if a >= 0x1_0000 {
-                    self.vm.data((a - 0x1_0000) / 4).map(|v| v as u32)
+                let v = if a >= DATA_BASE {
+                    self.vm.data((a - DATA_BASE) / 4).map(|v| v as u32)
                 } else {
                     self.vm.program_word((a / 4) as usize)
                 };
@@ -298,22 +310,43 @@ impl TargetSystemInterface for StackVmTarget {
         }
     }
 
+    fn static_analysis(&mut self, horizon: u64) -> Result<goofi_core::StaticAnalysis> {
+        goofi_analysis::analyze_stackvm_program(
+            &self.program.ops,
+            self.data_words,
+            DATA_BASE,
+            horizon,
+        )
+        .ok_or_else(|| self.unsupported("staticAnalysis"))
+    }
+
     fn collect_trace(&mut self) -> Result<Vec<TraceStep>> {
-        // The StackVM does not expose per-instruction read/write sets, so
-        // its trace carries only timing and control-flow structure; this is
-        // exactly the degraded-but-valid case for a target with a weaker
-        // debug interface (pre-injection analysis then prunes nothing).
+        // Per-op def/use sets come from the shared `Op::effect` table (the
+        // same one the static analyzer uses), evaluated at the concrete
+        // stack configuration before each step. `PC`/`STEPS` are left out
+        // so faults there stay unknown locations (never pruned).
         let mut trace = Vec::new();
         for _ in 0..self.step_budget {
             let time = self.vm.steps();
+            let fx = self
+                .vm
+                .read_field("PC")
+                .and_then(|pc| self.vm.program_word(pc as usize))
+                .and_then(Op::decode)
+                .and_then(|op| {
+                    let sp = self.vm.read_field("SP")? as u8;
+                    let csp = self.vm.read_field("CSP")? as u8;
+                    op.effect(sp, csp)
+                })
+                .unwrap_or_default();
             match self.vm.step() {
                 Ok(Some(VmEvent::Halted)) => break,
                 Ok(_) => trace.push(TraceStep {
                     time,
-                    reads: Vec::new(),
-                    writes: Vec::new(),
-                    is_branch: false,
-                    is_call: false,
+                    reads: fx.reads.iter().map(|l| vm_loc_name(*l)).collect(),
+                    writes: fx.writes.iter().map(|l| vm_loc_name(*l)).collect(),
+                    is_branch: fx.is_branch,
+                    is_call: fx.is_call,
                 }),
                 Err(e) => {
                     return Err(GoofiError::Target(format!(
@@ -423,7 +456,11 @@ mod tests {
         assert_eq!(result.runs.len(), 30);
         // Corrupting instruction words must trip the illegal-opcode or
         // range detectors at least once in 30 experiments.
-        assert!(result.stats.detected_total() > 0, "{}", result.stats.report());
+        assert!(
+            result.stats.detected_total() > 0,
+            "{}",
+            result.stats.report()
+        );
     }
 
     #[test]

@@ -6,9 +6,8 @@
 //! cyclic workloads (paper Section 3.2).
 
 use goofi_core::{
-    mem_loc_name, ChainInfo, FieldInfo, GoofiError, MemoryRegion, MemoryRole, Result,
-    StateVector, TargetEvent, TargetSnapshot, TargetSystemConfig, TargetSystemInterface,
-    TraceStep,
+    mem_loc_name, ChainInfo, FieldInfo, GoofiError, MemoryRegion, MemoryRole, Result, StateVector,
+    TargetEvent, TargetSnapshot, TargetSystemConfig, TargetSystemInterface, TraceStep,
 };
 use goofi_envsim::Environment;
 use goofi_telemetry::names;
@@ -280,9 +279,10 @@ impl TargetSystemInterface for ThorTarget {
             ..
         } = self.workload.kind
         {
-            let env = self.env.as_mut().ok_or_else(|| {
-                GoofiError::Target("cyclic workload without environment".into())
-            })?;
+            let env = self
+                .env
+                .as_mut()
+                .ok_or_else(|| GoofiError::Target("cyclic workload without environment".into()))?;
             let inputs = env.exchange(&vec![0; num_outputs]);
             debug_assert_eq!(inputs.len(), num_inputs);
             for (i, v) in inputs.iter().enumerate() {
@@ -304,7 +304,9 @@ impl TargetSystemInterface for ThorTarget {
     }
 
     fn read_memory(&mut self, addr: u32, len: usize) -> Result<Vec<u32>> {
-        self.card.read_memory_block(addr, len).map_err(Self::card_err)
+        self.card
+            .read_memory_block(addr, len)
+            .map_err(Self::card_err)
     }
 
     fn set_breakpoint(&mut self, time: u64) -> Result<()> {
@@ -399,6 +401,20 @@ impl TargetSystemInterface for ThorTarget {
         }
     }
 
+    fn static_analysis(&mut self, horizon: u64) -> Result<goofi_core::StaticAnalysis> {
+        // Cyclic workloads depend on environment I/O the analyzer's
+        // scratch replay cannot reproduce; the runner falls back to
+        // trace-based pruning.
+        if self.env.is_some() {
+            return Err(self.unsupported("staticAnalysis"));
+        }
+        Ok(goofi_analysis::analyze_thor_program(
+            &self.workload.program,
+            self.machine_config,
+            horizon,
+        ))
+    }
+
     fn collect_trace(&mut self) -> Result<Vec<TraceStep>> {
         // Assumes init_test_card + load_workload have run (the framework's
         // prepare step does both).
@@ -414,8 +430,7 @@ impl TargetSystemInterface for ThorTarget {
                     if sync {
                         self.exchange_env()?;
                         self.iterations += 1;
-                        if let WorkloadKind::Cyclic { max_iterations, .. } = self.workload.kind
-                        {
+                        if let WorkloadKind::Cyclic { max_iterations, .. } = self.workload.kind {
                             if self.iterations >= max_iterations {
                                 return Ok(trace);
                             }

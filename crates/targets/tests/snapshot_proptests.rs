@@ -28,11 +28,7 @@ fn observe_steps(target: &mut dyn TargetSystemInterface, k: u64) -> Vec<String> 
 
 /// The shared property: run to instruction `k1`, snapshot, observe `k2`
 /// steps, restore, observe `k2` steps again — the two logs must be equal.
-fn snapshot_replays_bit_identically(
-    target: &mut dyn TargetSystemInterface,
-    k1: u64,
-    k2: u64,
-) {
+fn snapshot_replays_bit_identically(target: &mut dyn TargetSystemInterface, k1: u64, k2: u64) {
     target.init_test_card().unwrap();
     target.load_workload().unwrap();
     target.set_breakpoint(k1).unwrap();

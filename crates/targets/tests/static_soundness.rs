@@ -1,0 +1,150 @@
+//! Property tests for the static analyzer's soundness contract: a fault
+//! the static analysis prunes must also be pruned by the trace-based
+//! liveness analysis built from a fully instrumented reference run
+//! (static prune set ⊆ trace prune set). Exercised on both ISAs —
+//! randomized Thor workload parameters and randomly generated StackVM
+//! programs — with randomized injection windows and fault-list seeds.
+
+use goofi_core::{
+    generate_fault_list, FaultModel, LivenessAnalysis, LocationSelector, TargetSystemInterface,
+    TriggerPolicy,
+};
+use goofi_stackvm::Op;
+use goofi_targets::{StackProgram, StackVmTarget, ThorTarget};
+use goofi_workloads::{crc32_workload, fibonacci_workload, sort_workload};
+use proptest::prelude::*;
+
+/// The shared property. The injection window stays far below the step
+/// budgets handed to the dynamic side, so the reference trace always
+/// covers the static timeline (which the frontends cap at `horizon + 1`
+/// replay steps): a static verdict can never rest on execution the trace
+/// was truncated away from.
+fn assert_static_subset_of_trace(
+    target: &mut dyn TargetSystemInterface,
+    window: (u64, u64),
+    experiments: usize,
+    seed: u64,
+) {
+    let config = target.describe();
+    let selectors = vec![LocationSelector::Chain {
+        chain: config.chains[0].name.clone(),
+        field: None,
+    }];
+    let trigger = TriggerPolicy::Window {
+        start: window.0,
+        end: window.1,
+    };
+    let faults = generate_fault_list(
+        &config,
+        &selectors,
+        FaultModel::BitFlip,
+        &trigger,
+        experiments,
+        seed,
+        None,
+    )
+    .expect("fault list generates");
+    let horizon = faults
+        .iter()
+        .flat_map(|f| f.times.iter().copied())
+        .max()
+        .unwrap_or(0);
+
+    let analysis = match target.static_analysis(horizon) {
+        Ok(a) => a,
+        // Program shape the analyzer declines (e.g. an abstract-state
+        // blow-up): nothing to check, the runner falls back to tracing.
+        Err(_) => return,
+    };
+
+    target.init_test_card().unwrap();
+    target.load_workload().unwrap();
+    let trace = match target.collect_trace() {
+        Ok(t) => t,
+        // The fault-free run itself traps (random programs underflow
+        // freely): there is no reference trace to compare against, and
+        // the runner would refuse trace-based pruning for the same
+        // reason.
+        Err(_) => return,
+    };
+    let dynamic = LivenessAnalysis::from_trace(&trace);
+
+    for fault in &faults {
+        if analysis.can_prune(&config, fault) {
+            assert!(
+                dynamic.can_prune(&config, fault),
+                "static pruned a fault the reference trace keeps: {fault:?}"
+            );
+        }
+    }
+}
+
+/// A random StackVM instruction. Jump and call targets may land past the
+/// end of the program or mid-loop; stack arithmetic may underflow — all
+/// of those must resolve to traps/unknown nodes the analyzer treats as
+/// barriers, never to unsound pruning.
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-4i32..8).prop_map(Op::Push),
+        (8i32..16).prop_map(Op::Push),
+        (0u32..6).prop_map(Op::Load),
+        (0u32..6).prop_map(Op::Load),
+        (0u32..6).prop_map(Op::Store),
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::Dup),
+        Just(Op::Drop),
+        Just(Op::Swap),
+        (0u32..25).prop_map(Op::Jmp),
+        (0u32..25).prop_map(Op::Jz),
+        (0u32..25).prop_map(Op::Call),
+        Just(Op::Ret),
+        Just(Op::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn thor_static_pruning_is_a_subset_of_trace_pruning(
+        kind in 0u8..3,
+        n in 2usize..20,
+        wseed in 0u32..16,
+        start in 0u64..200,
+        width in 1u64..2_000,
+        fseed in 0u64..1_000,
+    ) {
+        let workload = match kind {
+            0 => sort_workload(n, wseed),
+            1 => fibonacci_workload(n as u32 + 1),
+            _ => crc32_workload(n, wseed),
+        };
+        let mut target = ThorTarget::new("thor-card", workload);
+        assert_static_subset_of_trace(&mut target, (start, start + width), 40, fseed);
+    }
+
+    #[test]
+    fn stackvm_static_pruning_is_a_subset_of_trace_pruning(
+        body in proptest::collection::vec(arb_op(), 1..24),
+        start in 0u64..50,
+        width in 1u64..500,
+        fseed in 0u64..1_000,
+    ) {
+        // Seed the data stack so the random body does not underflow on
+        // its first arithmetic op in most cases (underflowing programs
+        // have no reference trace and skip the comparison).
+        let mut ops = vec![Op::Push(3), Op::Push(1), Op::Push(4), Op::Push(1)];
+        ops.extend(body);
+        ops.push(Op::Halt);
+        let program = StackProgram {
+            name: "prop".into(),
+            ops,
+            result_addrs: vec![1],
+        };
+        let mut target = StackVmTarget::new("stackvm", program, 8);
+        // Bounds runaway loops while still dwarfing the static replay's
+        // `horizon + 1` cap, keeping the trace a superset of the timeline.
+        target.set_step_budget(8_000);
+        assert_static_subset_of_trace(&mut target, (start, start + width), 40, fseed);
+    }
+}

@@ -141,7 +141,9 @@ pub const SPAN_LOG_CAP: usize = 10_000;
 
 fn bucket_of(nanos: u64) -> usize {
     // 0..=1 ns → bucket 0, then one bucket per power of two, saturating.
-    (64 - nanos.leading_zeros() as usize).saturating_sub(1).min(BUCKETS - 1)
+    (64 - nanos.leading_zeros() as usize)
+        .saturating_sub(1)
+        .min(BUCKETS - 1)
 }
 
 #[derive(Clone)]
@@ -154,7 +156,12 @@ struct PhaseAcc {
 
 impl PhaseAcc {
     fn new() -> PhaseAcc {
-        PhaseAcc { count: 0, total_nanos: 0, max_nanos: 0, buckets: [0; BUCKETS] }
+        PhaseAcc {
+            count: 0,
+            total_nanos: 0,
+            max_nanos: 0,
+            buckets: [0; BUCKETS],
+        }
     }
 
     fn record(&mut self, nanos: u64) {
@@ -412,7 +419,11 @@ pub struct Recorder {
 impl Recorder {
     /// Creates a recorder; `start` for span offsets is "now".
     pub fn new(mode: TelemetryMode) -> Recorder {
-        Recorder { mode, start: Instant::now(), inner: Mutex::new(Inner::default()) }
+        Recorder {
+            mode,
+            start: Instant::now(),
+            inner: Mutex::new(Inner::default()),
+        }
     }
 
     /// The recording mode this recorder was created with.
@@ -424,10 +435,13 @@ impl Recorder {
     /// its loop exits. Re-reports for the same index accumulate.
     pub fn record_worker(&self, stats: WorkerTelemetry) {
         let mut inner = self.inner.lock();
-        let entry = inner.workers.entry(stats.worker).or_insert_with(|| WorkerTelemetry {
-            worker: stats.worker,
-            ..WorkerTelemetry::default()
-        });
+        let entry = inner
+            .workers
+            .entry(stats.worker)
+            .or_insert_with(|| WorkerTelemetry {
+                worker: stats.worker,
+                ..WorkerTelemetry::default()
+            });
         entry.claimed += stats.claimed;
         entry.steals += stats.steals;
         entry.busy_nanos += stats.busy_nanos;
@@ -456,7 +470,10 @@ impl Recorder {
             counters: inner
                 .counters
                 .iter()
-                .map(|(name, value)| CounterStat { name: (*name).to_string(), value: *value })
+                .map(|(name, value)| CounterStat {
+                    name: (*name).to_string(),
+                    value: *value,
+                })
                 .collect(),
             worker_stats: inner.workers.values().cloned().collect(),
             spans: inner.spans.clone(),
@@ -468,7 +485,11 @@ impl Recorder {
 impl tracing::Subscriber for Recorder {
     fn on_span(&self, name: &'static str, nanos: u64) {
         let mut inner = self.inner.lock();
-        inner.phases.entry(name).or_insert_with(PhaseAcc::new).record(nanos);
+        inner
+            .phases
+            .entry(name)
+            .or_insert_with(PhaseAcc::new)
+            .record(nanos);
         if self.mode.trace() && inner.spans.len() < SPAN_LOG_CAP {
             // The facade reports only the duration; reconstruct the start
             // as (now - recorder start) - duration, clamped at 0.
@@ -497,7 +518,11 @@ mod tests {
 
     #[test]
     fn mode_parses_and_round_trips() {
-        for mode in [TelemetryMode::Off, TelemetryMode::Metrics, TelemetryMode::Trace] {
+        for mode in [
+            TelemetryMode::Off,
+            TelemetryMode::Metrics,
+            TelemetryMode::Trace,
+        ] {
             assert_eq!(TelemetryMode::parse(mode.name()), Some(mode));
         }
         assert_eq!(TelemetryMode::parse("verbose"), None);
@@ -538,7 +563,13 @@ mod tests {
         assert_eq!(exp.max_nanos, 300);
         assert_eq!(exp.mean_nanos(), 200);
         assert_eq!(t.phase("journal.append").unwrap().count, 1);
-        assert_eq!(t.counters, vec![CounterStat { name: "checkpoint.cold_fallback".into(), value: 3 }]);
+        assert_eq!(
+            t.counters,
+            vec![CounterStat {
+                name: "checkpoint.cold_fallback".into(),
+                value: 3
+            }]
+        );
         // Metrics mode logs no individual spans but counts them.
         assert!(t.spans.is_empty());
         assert_eq!(t.unlogged_spans, 3);
@@ -557,15 +588,35 @@ mod tests {
         assert_eq!(t.unlogged_spans, 0);
         let jsonl = t.to_trace_jsonl();
         assert_eq!(jsonl.lines().count(), 2);
-        assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        assert!(jsonl
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
     }
 
     #[test]
     fn worker_gauges_merge_by_index() {
         let r = Recorder::new(TelemetryMode::Metrics);
-        r.record_worker(WorkerTelemetry { worker: 1, claimed: 7, steals: 2, busy_nanos: 30, idle_nanos: 10 });
-        r.record_worker(WorkerTelemetry { worker: 0, claimed: 5, steals: 0, busy_nanos: 20, idle_nanos: 20 });
-        r.record_worker(WorkerTelemetry { worker: 1, claimed: 1, steals: 1, busy_nanos: 10, idle_nanos: 0 });
+        r.record_worker(WorkerTelemetry {
+            worker: 1,
+            claimed: 7,
+            steals: 2,
+            busy_nanos: 30,
+            idle_nanos: 10,
+        });
+        r.record_worker(WorkerTelemetry {
+            worker: 0,
+            claimed: 5,
+            steals: 0,
+            busy_nanos: 20,
+            idle_nanos: 20,
+        });
+        r.record_worker(WorkerTelemetry {
+            worker: 1,
+            claimed: 1,
+            steals: 1,
+            busy_nanos: 10,
+            idle_nanos: 0,
+        });
         let t = r.finish("c", 2, 100);
         assert_eq!(t.worker_stats.len(), 2);
         assert_eq!(t.worker_stats[0].worker, 0);
@@ -579,7 +630,13 @@ mod tests {
         let r = Recorder::new(TelemetryMode::Trace);
         r.on_span("phase.experiment", 1_234);
         r.on_value("experiments.pruned", 4);
-        r.record_worker(WorkerTelemetry { worker: 0, claimed: 3, steals: 1, busy_nanos: 9, idle_nanos: 1 });
+        r.record_worker(WorkerTelemetry {
+            worker: 0,
+            claimed: 3,
+            steals: 1,
+            busy_nanos: 9,
+            idle_nanos: 1,
+        });
         let t = r.finish("round-trip", 4, 999);
         let back = CampaignTelemetry::from_json(&t.to_json()).unwrap();
         assert_eq!(back, t);
@@ -590,7 +647,13 @@ mod tests {
     fn render_mentions_phases_workers_and_steals() {
         let r = Recorder::new(TelemetryMode::Metrics);
         r.on_span(names::PHASE_EXPERIMENT, 2_000_000);
-        r.record_worker(WorkerTelemetry { worker: 0, claimed: 10, steals: 3, busy_nanos: 80, idle_nanos: 20 });
+        r.record_worker(WorkerTelemetry {
+            worker: 0,
+            claimed: 10,
+            steals: 3,
+            busy_nanos: 80,
+            idle_nanos: 20,
+        });
         let t = r.finish("shown", 1, 5_000_000);
         let text = t.render();
         assert!(text.contains("phase.experiment"));

@@ -444,8 +444,7 @@ impl Op {
         };
         let imm16 = |i: usize| -> Result<i16, AsmError> {
             let v = imm(i)?;
-            i16::try_from(v)
-                .map_err(|_| err(format!("immediate {v} out of signed 16-bit range")))
+            i16::try_from(v).map_err(|_| err(format!("immediate {v} out of signed 16-bit range")))
         };
         let uimm16 = |i: usize| -> Result<u16, AsmError> {
             let v = imm(i)?;

@@ -141,7 +141,10 @@ impl Cache {
     ///
     /// Panics if the geometry is not power-of-two sized.
     pub fn new(config: CacheConfig) -> Cache {
-        assert!(config.lines.is_power_of_two(), "lines must be a power of two");
+        assert!(
+            config.lines.is_power_of_two(),
+            "lines must be a power of two"
+        );
         assert!(
             config.words_per_line.is_power_of_two(),
             "words per line must be a power of two"
@@ -189,12 +192,7 @@ impl Cache {
     /// [`Exception::DcacheParity`] — reported as `DcacheParity`; the
     /// machine rewrites the variant for its I-cache) and the underlying
     /// memory exceptions on miss.
-    pub fn read(
-        &mut self,
-        memory: &Memory,
-        addr: u32,
-        fetch: bool,
-    ) -> Result<Access, Exception> {
+    pub fn read(&mut self, memory: &Memory, addr: u32, fetch: bool) -> Result<Access, Exception> {
         let (index, tag, word_idx) = self.index_and_tag(addr);
         let line = &self.lines[index];
         if line.valid && line.tag == tag {
@@ -214,7 +212,11 @@ impl Cache {
         let mut data = Vec::with_capacity(self.config.words_per_line);
         for w in 0..self.config.words_per_line {
             let a = base + (w as u32) * 4;
-            let word = if fetch { memory.fetch(a) } else { memory.read(a) };
+            let word = if fetch {
+                memory.fetch(a)
+            } else {
+                memory.read(a)
+            };
             match word {
                 Ok(word) => data.push(word),
                 Err(e) => {

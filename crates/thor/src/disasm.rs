@@ -42,9 +42,7 @@ pub fn disassemble(program: &Program, code_end: u32) -> String {
             }
             if is_code {
                 match Instr::decode(*word) {
-                    Some(instr) => {
-                        out.push_str(&format!("  0x{addr:04x}  {word:08x}  {instr}\n"))
-                    }
+                    Some(instr) => out.push_str(&format!("  0x{addr:04x}  {word:08x}  {instr}\n")),
                     None => out.push_str(&format!(
                         "  0x{addr:04x}  {word:08x}  .word 0x{word:x}  ; not decodable\n"
                     )),

@@ -174,8 +174,60 @@ const OP_JMP: u8 = 0x60;
 const OP_JAL: u8 = 0x61;
 const OP_JR: u8 = 0x62;
 
+/// Architectural def/use summary of one instruction, independent of the
+/// dynamic values involved.
+///
+/// This is the single source of truth for which locations an instruction
+/// reads and writes: [`Machine`](crate::Machine) records its execution
+/// trace from this table, and the static workload analyzer builds its
+/// dataflow facts from the same table, so the two cannot drift. Memory
+/// operands are described only structurally (`mem_read`/`mem_write` at
+/// `rs1 + sext(imm)`) because the effective address is dynamic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstrEffect {
+    /// Registers read, in the machine's trace-recording order.
+    pub reg_reads: [Option<Reg>; 2],
+    /// Register written, if any.
+    pub reg_write: Option<Reg>,
+    /// Whether the PSW condition flags are read (conditional branches).
+    pub reads_psw: bool,
+    /// Whether the PSW is written. Flag updates drive the *full* PSW
+    /// (reserved bits hardwired to zero), so this is a complete overwrite.
+    pub writes_psw: bool,
+    /// Whether a data-memory word at `rs1 + sext(imm)` is read.
+    pub mem_read: bool,
+    /// Whether a data-memory word at `rs1 + sext(imm)` is written.
+    pub mem_write: bool,
+    /// Conditional branch.
+    pub is_branch: bool,
+    /// Subprogram call (`jal`).
+    pub is_call: bool,
+}
+
+impl InstrEffect {
+    fn rrr(rd: Reg, rs1: Reg, rs2: Reg) -> InstrEffect {
+        InstrEffect {
+            reg_reads: [Some(rs1), Some(rs2)],
+            reg_write: Some(rd),
+            writes_psw: true,
+            ..InstrEffect::default()
+        }
+    }
+
+    fn rri(rd: Reg, rs1: Reg) -> InstrEffect {
+        InstrEffect {
+            reg_reads: [Some(rs1), None],
+            reg_write: Some(rd),
+            ..InstrEffect::default()
+        }
+    }
+}
+
 fn enc_rrr(op: u8, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
-    (op as u32) << 24 | (rd as u32 & 0xf) << 20 | (rs1 as u32 & 0xf) << 16 | (rs2 as u32 & 0xf) << 12
+    (op as u32) << 24
+        | (rd as u32 & 0xf) << 20
+        | (rs1 as u32 & 0xf) << 16
+        | (rs2 as u32 & 0xf) << 12
 }
 
 fn enc_rri(op: u8, rd: Reg, rs1: Reg, imm: u16) -> u32 {
@@ -281,6 +333,69 @@ impl Instr {
             _ => return None,
         })
     }
+
+    /// The instruction's architectural def/use summary (see
+    /// [`InstrEffect`]).
+    pub fn effect(self) -> InstrEffect {
+        match self {
+            Instr::Nop | Instr::Halt | Instr::Sync | Instr::Jmp { .. } => InstrEffect::default(),
+            Instr::Add { rd, rs1, rs2 }
+            | Instr::Sub { rd, rs1, rs2 }
+            | Instr::Mul { rd, rs1, rs2 }
+            | Instr::Div { rd, rs1, rs2 }
+            | Instr::And { rd, rs1, rs2 }
+            | Instr::Or { rd, rs1, rs2 }
+            | Instr::Xor { rd, rs1, rs2 }
+            | Instr::Sll { rd, rs1, rs2 }
+            | Instr::Srl { rd, rs1, rs2 }
+            | Instr::Sra { rd, rs1, rs2 } => InstrEffect::rrr(rd, rs1, rs2),
+            Instr::Addi { rd, rs1, .. }
+            | Instr::Andi { rd, rs1, .. }
+            | Instr::Ori { rd, rs1, .. }
+            | Instr::Xori { rd, rs1, .. }
+            | Instr::Slli { rd, rs1, .. }
+            | Instr::Srli { rd, rs1, .. } => InstrEffect::rri(rd, rs1),
+            Instr::Li { rd, .. } | Instr::Lui { rd, .. } => InstrEffect {
+                reg_write: Some(rd),
+                ..InstrEffect::default()
+            },
+            Instr::Ld { rd, rs1, .. } => InstrEffect {
+                reg_reads: [Some(rs1), None],
+                reg_write: Some(rd),
+                mem_read: true,
+                ..InstrEffect::default()
+            },
+            Instr::St { rd, rs1, .. } => InstrEffect {
+                reg_reads: [Some(rs1), Some(rd)],
+                mem_write: true,
+                ..InstrEffect::default()
+            },
+            Instr::Cmp { rs1, rs2 } => InstrEffect {
+                reg_reads: [Some(rs1), Some(rs2)],
+                writes_psw: true,
+                ..InstrEffect::default()
+            },
+            Instr::Cmpi { rs1, .. } => InstrEffect {
+                reg_reads: [Some(rs1), None],
+                writes_psw: true,
+                ..InstrEffect::default()
+            },
+            Instr::Branch { .. } => InstrEffect {
+                reads_psw: true,
+                is_branch: true,
+                ..InstrEffect::default()
+            },
+            Instr::Jal { .. } => InstrEffect {
+                reg_write: Some(LINK_REG),
+                is_call: true,
+                ..InstrEffect::default()
+            },
+            Instr::Jr { rs1 } => InstrEffect {
+                reg_reads: [Some(rs1), None],
+                ..InstrEffect::default()
+            },
+        }
+    }
 }
 
 impl fmt::Display for Instr {
@@ -329,34 +444,124 @@ mod tests {
             Instr::Nop,
             Instr::Halt,
             Instr::Sync,
-            Instr::Add { rd: 1, rs1: 2, rs2: 3 },
-            Instr::Sub { rd: 15, rs1: 0, rs2: 7 },
-            Instr::Mul { rd: 4, rs1: 4, rs2: 4 },
-            Instr::Div { rd: 9, rs1: 8, rs2: 7 },
-            Instr::And { rd: 1, rs1: 1, rs2: 1 },
-            Instr::Or { rd: 2, rs1: 3, rs2: 4 },
-            Instr::Xor { rd: 5, rs1: 6, rs2: 7 },
-            Instr::Sll { rd: 1, rs1: 2, rs2: 3 },
-            Instr::Srl { rd: 1, rs1: 2, rs2: 3 },
-            Instr::Sra { rd: 1, rs1: 2, rs2: 3 },
-            Instr::Addi { rd: 1, rs1: 2, imm: -42 },
-            Instr::Andi { rd: 1, rs1: 2, imm: 0xffff },
-            Instr::Ori { rd: 1, rs1: 2, imm: 0x8000 },
-            Instr::Xori { rd: 1, rs1: 2, imm: 1 },
-            Instr::Slli { rd: 1, rs1: 2, imm: 31 },
-            Instr::Srli { rd: 1, rs1: 2, imm: 1 },
+            Instr::Add {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
+            Instr::Sub {
+                rd: 15,
+                rs1: 0,
+                rs2: 7,
+            },
+            Instr::Mul {
+                rd: 4,
+                rs1: 4,
+                rs2: 4,
+            },
+            Instr::Div {
+                rd: 9,
+                rs1: 8,
+                rs2: 7,
+            },
+            Instr::And {
+                rd: 1,
+                rs1: 1,
+                rs2: 1,
+            },
+            Instr::Or {
+                rd: 2,
+                rs1: 3,
+                rs2: 4,
+            },
+            Instr::Xor {
+                rd: 5,
+                rs1: 6,
+                rs2: 7,
+            },
+            Instr::Sll {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
+            Instr::Srl {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
+            Instr::Sra {
+                rd: 1,
+                rs1: 2,
+                rs2: 3,
+            },
+            Instr::Addi {
+                rd: 1,
+                rs1: 2,
+                imm: -42,
+            },
+            Instr::Andi {
+                rd: 1,
+                rs1: 2,
+                imm: 0xffff,
+            },
+            Instr::Ori {
+                rd: 1,
+                rs1: 2,
+                imm: 0x8000,
+            },
+            Instr::Xori {
+                rd: 1,
+                rs1: 2,
+                imm: 1,
+            },
+            Instr::Slli {
+                rd: 1,
+                rs1: 2,
+                imm: 31,
+            },
+            Instr::Srli {
+                rd: 1,
+                rs1: 2,
+                imm: 1,
+            },
             Instr::Li { rd: 3, imm: -1 },
             Instr::Lui { rd: 3, imm: 0xdead },
-            Instr::Ld { rd: 1, rs1: 2, imm: 8 },
-            Instr::St { rd: 1, rs1: 2, imm: -4 },
+            Instr::Ld {
+                rd: 1,
+                rs1: 2,
+                imm: 8,
+            },
+            Instr::St {
+                rd: 1,
+                rs1: 2,
+                imm: -4,
+            },
             Instr::Cmp { rs1: 1, rs2: 2 },
             Instr::Cmpi { rs1: 1, imm: 100 },
-            Instr::Branch { cond: Cond::Eq, imm: -3 },
-            Instr::Branch { cond: Cond::Ne, imm: 3 },
-            Instr::Branch { cond: Cond::Lt, imm: 0 },
-            Instr::Branch { cond: Cond::Ge, imm: 1 },
-            Instr::Branch { cond: Cond::Gt, imm: 2 },
-            Instr::Branch { cond: Cond::Le, imm: -1 },
+            Instr::Branch {
+                cond: Cond::Eq,
+                imm: -3,
+            },
+            Instr::Branch {
+                cond: Cond::Ne,
+                imm: 3,
+            },
+            Instr::Branch {
+                cond: Cond::Lt,
+                imm: 0,
+            },
+            Instr::Branch {
+                cond: Cond::Ge,
+                imm: 1,
+            },
+            Instr::Branch {
+                cond: Cond::Gt,
+                imm: 2,
+            },
+            Instr::Branch {
+                cond: Cond::Le,
+                imm: -1,
+            },
             Instr::Jmp { imm: 0x1234 },
             Instr::Jal { imm: 0x10 },
             Instr::Jr { rs1: 15 },
@@ -375,13 +580,21 @@ mod tests {
     fn illegal_opcodes_decode_to_none() {
         for op in [0x03u8, 0x0f, 0x2f, 0x56, 0x70, 0xff] {
             let word = (op as u32) << 24;
-            assert_eq!(Instr::decode(word), None, "opcode {op:#x} should be illegal");
+            assert_eq!(
+                Instr::decode(word),
+                None,
+                "opcode {op:#x} should be illegal"
+            );
         }
     }
 
     #[test]
     fn negative_immediates_sign_extend() {
-        let i = Instr::Addi { rd: 1, rs1: 2, imm: -1 };
+        let i = Instr::Addi {
+            rd: 1,
+            rs1: 2,
+            imm: -1,
+        };
         match Instr::decode(i.encode()).unwrap() {
             Instr::Addi { imm, .. } => assert_eq!(imm, -1),
             other => panic!("wrong decode: {other}"),
@@ -389,13 +602,83 @@ mod tests {
     }
 
     #[test]
+    fn effect_table_matches_instruction_semantics() {
+        let fx = Instr::Add {
+            rd: 1,
+            rs1: 2,
+            rs2: 3,
+        }
+        .effect();
+        assert_eq!(fx.reg_reads, [Some(2), Some(3)]);
+        assert_eq!(fx.reg_write, Some(1));
+        assert!(fx.writes_psw && !fx.reads_psw);
+
+        let fx = Instr::Addi {
+            rd: 1,
+            rs1: 2,
+            imm: 4,
+        }
+        .effect();
+        assert_eq!(fx.reg_reads, [Some(2), None]);
+        assert_eq!(fx.reg_write, Some(1));
+        assert!(!fx.writes_psw, "immediate forms do not touch the flags");
+
+        let fx = Instr::Ld {
+            rd: 5,
+            rs1: 6,
+            imm: 0,
+        }
+        .effect();
+        assert!(fx.mem_read && !fx.mem_write);
+        assert_eq!(fx.reg_write, Some(5));
+
+        let fx = Instr::St {
+            rd: 5,
+            rs1: 6,
+            imm: 0,
+        }
+        .effect();
+        assert_eq!(fx.reg_reads, [Some(6), Some(5)]);
+        assert_eq!(fx.reg_write, None);
+        assert!(fx.mem_write && !fx.mem_read);
+
+        let fx = Instr::Branch {
+            cond: Cond::Eq,
+            imm: 1,
+        }
+        .effect();
+        assert!(fx.reads_psw && fx.is_branch && !fx.writes_psw);
+
+        let fx = Instr::Jal { imm: 2 }.effect();
+        assert_eq!(fx.reg_write, Some(LINK_REG));
+        assert!(fx.is_call);
+
+        let fx = Instr::Cmp { rs1: 1, rs2: 2 }.effect();
+        assert!(fx.writes_psw);
+        assert_eq!(fx.reg_write, None);
+
+        for i in [Instr::Nop, Instr::Halt, Instr::Sync, Instr::Jmp { imm: 0 }] {
+            assert_eq!(i.effect(), InstrEffect::default(), "{i}");
+        }
+    }
+
+    #[test]
     fn display_is_assembler_syntax() {
         assert_eq!(
-            Instr::Ld { rd: 3, rs1: 2, imm: 8 }.to_string(),
+            Instr::Ld {
+                rd: 3,
+                rs1: 2,
+                imm: 8
+            }
+            .to_string(),
             "ld r3, 8(r2)"
         );
         assert_eq!(
-            Instr::Branch { cond: Cond::Ne, imm: -3 }.to_string(),
+            Instr::Branch {
+                cond: Cond::Ne,
+                imm: -3
+            }
+            .to_string(),
             "bne -3"
         );
     }

@@ -55,8 +55,8 @@ mod testcard;
 mod trace;
 
 pub use asm::{AsmError, Program, Segment};
-pub use disasm::disassemble;
 pub use cache::{Access, Cache, CacheConfig, CacheLine};
+pub use disasm::disassemble;
 pub use edm::{AccessKind, Exception, Mechanism};
 pub use isa::{Cond, Instr, Reg, LINK_REG, NUM_REGS};
 pub use machine::{CoreEvent, CoreState, Machine, MachineConfig, Step, PSW_C, PSW_N, PSW_V, PSW_Z};

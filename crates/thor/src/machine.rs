@@ -3,7 +3,7 @@
 
 use crate::cache::{Cache, CacheConfig};
 use crate::edm::Exception;
-use crate::isa::{Cond, Instr, LINK_REG, NUM_REGS};
+use crate::isa::{Cond, Instr, InstrEffect, LINK_REG, NUM_REGS};
 use crate::memory::{Memory, MemoryMap};
 use crate::trace::{Loc, StepInfo};
 use serde::{Deserialize, Serialize};
@@ -18,8 +18,7 @@ pub const PSW_C: u32 = 1 << 2;
 pub const PSW_V: u32 = 1 << 3;
 
 /// Static machine configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub struct MachineConfig {
     /// Memory layout.
     pub memory: MemoryMap,
@@ -31,7 +30,6 @@ pub struct MachineConfig {
     /// 0 disables the watchdog.
     pub watchdog_limit: u32,
 }
-
 
 /// A non-error event produced by one step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -346,24 +344,24 @@ impl Machine {
         let mut info = StepInfo::new(pc, access.value);
         info.cycles += access.extra_cycles;
 
-        let instr = Instr::decode(self.ir)
-            .ok_or(Exception::IllegalInstruction { word: access.value })?;
+        let instr =
+            Instr::decode(self.ir).ok_or(Exception::IllegalInstruction { word: access.value })?;
 
         let mut next_pc = pc.wrapping_add(4);
         let mut event = None;
+        // Effective data-memory address, captured by `ld`/`st` for the
+        // trace record (the shared `InstrEffect` table only knows that a
+        // memory operand exists, not where it lands).
+        let mut mem_addr = None;
 
         macro_rules! alu {
             ($rd:expr, $rs1:expr, $rs2:expr, $f:expr, $flags:expr) => {{
                 let a = self.regs[$rs1 as usize];
                 let b = self.regs[$rs2 as usize];
-                info.reads.push(Loc::Reg($rs1));
-                info.reads.push(Loc::Reg($rs2));
                 let (value, carry, overflow) = $f(a, b)?;
                 self.regs[$rd as usize] = value;
-                info.writes.push(Loc::Reg($rd));
                 if $flags {
                     self.set_flags_from(value, carry, overflow);
-                    info.writes.push(Loc::Psw);
                 }
             }};
         }
@@ -478,102 +476,69 @@ impl Machine {
                 rd,
                 rs1,
                 rs2,
-                |a: u32, b: u32| -> AluOut {
-                    Ok((((a as i32) >> (b & 31)) as u32, false, false))
-                },
+                |a: u32, b: u32| -> AluOut { Ok((((a as i32) >> (b & 31)) as u32, false, false)) },
                 true
             ),
             Instr::Addi { rd, rs1, imm } => {
                 // Wrapping add: used for address arithmetic, no trap.
                 let a = self.regs[rs1 as usize];
-                info.reads.push(Loc::Reg(rs1));
-                let v = a.wrapping_add(imm as i32 as u32);
-                self.regs[rd as usize] = v;
-                info.writes.push(Loc::Reg(rd));
+                self.regs[rd as usize] = a.wrapping_add(imm as i32 as u32);
             }
             Instr::Andi { rd, rs1, imm } => {
-                let a = self.regs[rs1 as usize];
-                info.reads.push(Loc::Reg(rs1));
-                self.regs[rd as usize] = a & imm as u32;
-                info.writes.push(Loc::Reg(rd));
+                self.regs[rd as usize] = self.regs[rs1 as usize] & imm as u32;
             }
             Instr::Ori { rd, rs1, imm } => {
-                let a = self.regs[rs1 as usize];
-                info.reads.push(Loc::Reg(rs1));
-                self.regs[rd as usize] = a | imm as u32;
-                info.writes.push(Loc::Reg(rd));
+                self.regs[rd as usize] = self.regs[rs1 as usize] | imm as u32;
             }
             Instr::Xori { rd, rs1, imm } => {
-                let a = self.regs[rs1 as usize];
-                info.reads.push(Loc::Reg(rs1));
-                self.regs[rd as usize] = a ^ imm as u32;
-                info.writes.push(Loc::Reg(rd));
+                self.regs[rd as usize] = self.regs[rs1 as usize] ^ imm as u32;
             }
             Instr::Slli { rd, rs1, imm } => {
-                let a = self.regs[rs1 as usize];
-                info.reads.push(Loc::Reg(rs1));
-                self.regs[rd as usize] = a << (imm & 31);
-                info.writes.push(Loc::Reg(rd));
+                self.regs[rd as usize] = self.regs[rs1 as usize] << (imm & 31);
             }
             Instr::Srli { rd, rs1, imm } => {
-                let a = self.regs[rs1 as usize];
-                info.reads.push(Loc::Reg(rs1));
-                self.regs[rd as usize] = a >> (imm & 31);
-                info.writes.push(Loc::Reg(rd));
+                self.regs[rd as usize] = self.regs[rs1 as usize] >> (imm & 31);
             }
             Instr::Li { rd, imm } => {
                 self.regs[rd as usize] = imm as i32 as u32;
-                info.writes.push(Loc::Reg(rd));
             }
             Instr::Lui { rd, imm } => {
                 self.regs[rd as usize] = (imm as u32) << 16;
-                info.writes.push(Loc::Reg(rd));
             }
             Instr::Ld { rd, rs1, imm } => {
                 let base = self.regs[rs1 as usize];
-                info.reads.push(Loc::Reg(rs1));
                 let addr = base.wrapping_add(imm as i32 as u32);
                 self.mar = addr;
                 let access = self.dcache.read(&self.memory, addr, false)?;
                 self.mdr = access.value;
                 info.cycles += access.extra_cycles;
-                info.reads.push(Loc::Mem(addr));
+                mem_addr = Some(addr);
                 self.regs[rd as usize] = self.mdr;
-                info.writes.push(Loc::Reg(rd));
             }
             Instr::St { rd, rs1, imm } => {
                 let base = self.regs[rs1 as usize];
-                info.reads.push(Loc::Reg(rs1));
-                info.reads.push(Loc::Reg(rd));
                 let addr = base.wrapping_add(imm as i32 as u32);
                 self.mar = addr;
                 self.mdr = self.regs[rd as usize];
                 self.memory.write(addr, self.mdr)?;
                 self.dcache.write_through(addr, self.mdr);
-                info.writes.push(Loc::Mem(addr));
+                mem_addr = Some(addr);
             }
             Instr::Cmp { rs1, rs2 } => {
                 let a = self.regs[rs1 as usize];
                 let b = self.regs[rs2 as usize];
-                info.reads.push(Loc::Reg(rs1));
-                info.reads.push(Loc::Reg(rs2));
                 let (v, c) = a.overflowing_sub(b);
                 let overflow = (a as i32).checked_sub(b as i32).is_none();
                 self.set_flags_from(v, c, overflow);
-                info.writes.push(Loc::Psw);
             }
             Instr::Cmpi { rs1, imm } => {
                 let a = self.regs[rs1 as usize];
                 let b = imm as i32 as u32;
-                info.reads.push(Loc::Reg(rs1));
                 let (v, c) = a.overflowing_sub(b);
                 let overflow = (a as i32).checked_sub(b as i32).is_none();
                 self.set_flags_from(v, c, overflow);
-                info.writes.push(Loc::Psw);
             }
             Instr::Branch { cond, imm } => {
-                info.is_branch = true;
-                info.reads.push(Loc::Psw);
                 if self.cond_holds(cond) {
                     info.branch_taken = true;
                     next_pc = pc
@@ -585,16 +550,15 @@ impl Machine {
                 next_pc = (imm as u32) * 4;
             }
             Instr::Jal { imm } => {
-                info.is_call = true;
                 self.regs[LINK_REG as usize] = pc.wrapping_add(4);
-                info.writes.push(Loc::Reg(LINK_REG));
                 next_pc = (imm as u32) * 4;
             }
             Instr::Jr { rs1 } => {
-                info.reads.push(Loc::Reg(rs1));
                 next_pc = self.regs[rs1 as usize];
             }
         }
+
+        Self::record_effect(&mut info, &instr.effect(), mem_addr);
 
         if event != Some(CoreEvent::Halted) {
             self.pc = next_pc;
@@ -602,6 +566,34 @@ impl Machine {
         self.cycles += info.cycles;
         self.instret += 1;
         Ok(Step { info, event })
+    }
+
+    /// Fills a step's trace record from the instruction's shared
+    /// [`InstrEffect`] def/use table (the same table the static workload
+    /// analyzer uses), plus the dynamic memory address when one exists.
+    fn record_effect(info: &mut StepInfo, fx: &InstrEffect, mem_addr: Option<u32>) {
+        for r in fx.reg_reads.into_iter().flatten() {
+            info.reads.push(Loc::Reg(r));
+        }
+        if fx.reads_psw {
+            info.reads.push(Loc::Psw);
+        }
+        if fx.mem_read {
+            info.reads
+                .push(Loc::Mem(mem_addr.expect("ld captured its address")));
+        }
+        if let Some(rd) = fx.reg_write {
+            info.writes.push(Loc::Reg(rd));
+        }
+        if fx.writes_psw {
+            info.writes.push(Loc::Psw);
+        }
+        if fx.mem_write {
+            info.writes
+                .push(Loc::Mem(mem_addr.expect("st captured its address")));
+        }
+        info.is_branch = fx.is_branch;
+        info.is_call = fx.is_call;
     }
 }
 
@@ -632,8 +624,16 @@ mod tests {
         let mut m = machine_with(&[
             I::Li { rd: 1, imm: 6 },
             I::Li { rd: 2, imm: 7 },
-            I::Mul { rd: 3, rs1: 1, rs2: 2 },
-            I::St { rd: 3, rs1: 0, imm: 0x4000 },
+            I::Mul {
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            },
+            I::St {
+                rd: 3,
+                rs1: 0,
+                imm: 0x4000,
+            },
             I::Halt,
         ]);
         m.set_reg(0, 0);
@@ -646,12 +646,23 @@ mod tests {
     fn branch_loop_sums() {
         // sum = 1+2+...+5 into r3
         let mut m = machine_with(&[
-            I::Li { rd: 1, imm: 5 },  // counter
-            I::Li { rd: 3, imm: 0 },  // acc
-            I::Add { rd: 3, rs1: 3, rs2: 1 },
-            I::Addi { rd: 1, rs1: 1, imm: -1 },
+            I::Li { rd: 1, imm: 5 }, // counter
+            I::Li { rd: 3, imm: 0 }, // acc
+            I::Add {
+                rd: 3,
+                rs1: 3,
+                rs2: 1,
+            },
+            I::Addi {
+                rd: 1,
+                rs1: 1,
+                imm: -1,
+            },
             I::Cmpi { rs1: 1, imm: 0 },
-            I::Branch { cond: Cond::Ne, imm: -4 },
+            I::Branch {
+                cond: Cond::Ne,
+                imm: -4,
+            },
             I::Halt,
         ]);
         run(&mut m, 100).unwrap();
@@ -663,7 +674,11 @@ mod tests {
         // call a function at word 4 that sets r5=9 and returns
         let mut m = machine_with(&[
             I::Jal { imm: 3 }, // call word addr 3 (byte 12)
-            I::St { rd: 5, rs1: 0, imm: 0x4000 },
+            I::St {
+                rd: 5,
+                rs1: 0,
+                imm: 0x4000,
+            },
             I::Halt,
             I::Li { rd: 5, imm: 9 },
             I::Jr { rs1: 15 },
@@ -676,8 +691,16 @@ mod tests {
     fn overflow_detected() {
         let mut m = machine_with(&[
             I::Li { rd: 1, imm: 0x7fff },
-            I::Slli { rd: 1, rs1: 1, imm: 16 }, // ~i32::MAX magnitude
-            I::Add { rd: 2, rs1: 1, rs2: 1 },
+            I::Slli {
+                rd: 1,
+                rs1: 1,
+                imm: 16,
+            }, // ~i32::MAX magnitude
+            I::Add {
+                rd: 2,
+                rs1: 1,
+                rs2: 1,
+            },
             I::Halt,
         ]);
         let mut err = None;
@@ -699,7 +722,11 @@ mod tests {
         let mut m = machine_with(&[
             I::Li { rd: 1, imm: 10 },
             I::Li { rd: 2, imm: 0 },
-            I::Div { rd: 3, rs1: 1, rs2: 2 },
+            I::Div {
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            },
             I::Halt,
         ]);
         let err = (0..5).find_map(|_| m.step().err());
@@ -718,7 +745,11 @@ mod tests {
     fn store_to_code_region_detected() {
         let mut m = machine_with(&[
             I::Li { rd: 1, imm: 1 },
-            I::St { rd: 1, rs1: 0, imm: 0 }, // write into code
+            I::St {
+                rd: 1,
+                rs1: 0,
+                imm: 0,
+            }, // write into code
         ]);
         m.set_reg(0, 0);
         let err = (0..3).find_map(|_| m.step().err());
@@ -773,8 +804,16 @@ mod tests {
         let mut m = machine_with(&[
             I::Li { rd: 1, imm: 5 },
             I::Li { rd: 2, imm: 3 },
-            I::Add { rd: 3, rs1: 1, rs2: 2 },
-            I::St { rd: 3, rs1: 0, imm: 0x4000 },
+            I::Add {
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            },
+            I::St {
+                rd: 3,
+                rs1: 0,
+                imm: 0x4000,
+            },
             I::Halt,
         ]);
         m.step().unwrap();
@@ -789,8 +828,11 @@ mod tests {
     fn psw_fault_redirects_branch() {
         let mut m = machine_with(&[
             I::Li { rd: 1, imm: 1 },
-            I::Cmpi { rs1: 1, imm: 1 },          // Z set
-            I::Branch { cond: Cond::Eq, imm: 1 }, // should skip next
+            I::Cmpi { rs1: 1, imm: 1 }, // Z set
+            I::Branch {
+                cond: Cond::Eq,
+                imm: 1,
+            }, // should skip next
             I::Li { rd: 2, imm: 99 },
             I::Halt,
         ]);
@@ -806,7 +848,11 @@ mod tests {
     fn step_records_reads_and_writes() {
         let mut m = machine_with(&[
             I::Li { rd: 1, imm: 4 },
-            I::Ld { rd: 2, rs1: 1, imm: 0x4000 },
+            I::Ld {
+                rd: 2,
+                rs1: 1,
+                imm: 0x4000,
+            },
             I::Halt,
         ]);
         m.memory_mut().host_write(0x4004, 1234);
@@ -876,7 +922,10 @@ mod tests {
             I::Lui { rd: 1, imm: 0x8000 }, // i32::MIN
             I::Li { rd: 2, imm: 1 },
             I::Cmp { rs1: 1, rs2: 2 },
-            I::Branch { cond: Cond::Lt, imm: 1 },
+            I::Branch {
+                cond: Cond::Lt,
+                imm: 1,
+            },
             I::Li { rd: 3, imm: 1 },
             I::Halt,
         ]);
@@ -888,11 +937,7 @@ mod tests {
     fn flag_write_is_full_psw_overwrite() {
         // Reserved PSW bits are hardwired to zero on every flag update —
         // required for pre-injection liveness soundness.
-        let mut m = machine_with(&[
-            I::Li { rd: 1, imm: 1 },
-            I::Cmpi { rs1: 1, imm: 1 },
-            I::Halt,
-        ]);
+        let mut m = machine_with(&[I::Li { rd: 1, imm: 1 }, I::Cmpi { rs1: 1, imm: 1 }, I::Halt]);
         m.set_psw(0xf0); // scan-injected garbage in reserved bits
         run(&mut m, 10).unwrap();
         assert_eq!(m.psw() & 0xf0, 0, "reserved bits cleared by flag write");

@@ -55,7 +55,10 @@ impl Memory {
     /// Panics if the map is malformed (size not word aligned or code region
     /// exceeding memory).
     pub fn new(map: MemoryMap) -> Memory {
-        assert!(map.size.is_multiple_of(4), "memory size must be word aligned");
+        assert!(
+            map.size.is_multiple_of(4),
+            "memory size must be word aligned"
+        );
         assert!(map.code_end <= map.size, "code region exceeds memory");
         let num_words = (map.size / 4) as usize;
         Memory {
@@ -226,7 +229,12 @@ impl Memory {
     ///
     /// Panics if `base` does not match this memory's size or an overlay
     /// index is out of range.
-    pub fn revert_words(&mut self, base: &[u32], prev_overlay: &[(u32, u32)], overlay: &[(u32, u32)]) {
+    pub fn revert_words(
+        &mut self,
+        base: &[u32],
+        prev_overlay: &[(u32, u32)],
+        overlay: &[(u32, u32)],
+    ) {
         assert_eq!(base.len(), self.words.len(), "snapshot size mismatch");
         let dirty = self.drain_dirty();
         let value_at = |index: u32| match overlay.binary_search_by_key(&index, |&(i, _)| i) {
@@ -388,7 +396,7 @@ mod tests {
         m.restore_words(&base, &[(129, 42)]);
         assert_eq!(m.read(512).unwrap(), 7); // from base
         assert_eq!(m.read(516).unwrap(), 42); // from overlay
-        // Restore marks everything dirty again.
+                                              // Restore marks everything dirty again.
         assert_eq!(m.drain_dirty().len(), 256);
     }
 }

@@ -249,15 +249,17 @@ impl Field {
             Field::IcacheValid(l) => m.icache_mut().line_mut(l).set_valid_raw(value & 1 != 0),
             Field::IcacheTag(l) => m.icache_mut().line_mut(l).set_tag_raw(value as u32),
             Field::IcacheParity(l) => m.icache_mut().line_mut(l).set_parity_raw(value & 1 != 0),
-            Field::IcacheData { line, word } => {
-                m.icache_mut().line_mut(line).set_data_raw(word, value as u32)
-            }
+            Field::IcacheData { line, word } => m
+                .icache_mut()
+                .line_mut(line)
+                .set_data_raw(word, value as u32),
             Field::DcacheValid(l) => m.dcache_mut().line_mut(l).set_valid_raw(value & 1 != 0),
             Field::DcacheTag(l) => m.dcache_mut().line_mut(l).set_tag_raw(value as u32),
             Field::DcacheParity(l) => m.dcache_mut().line_mut(l).set_parity_raw(value & 1 != 0),
-            Field::DcacheData { line, word } => {
-                m.dcache_mut().line_mut(line).set_data_raw(word, value as u32)
-            }
+            Field::DcacheData { line, word } => m
+                .dcache_mut()
+                .line_mut(line)
+                .set_data_raw(word, value as u32),
             Field::DataBus => m.set_mdr(value as u32),
             Field::AddrBus | Field::CtrlBus => {}
         }
@@ -389,7 +391,10 @@ impl ScanChain {
             fields.push((format!("IC{l}.TAG"), Field::IcacheTag(l)));
             fields.push((format!("IC{l}.P"), Field::IcacheParity(l)));
             for w in 0..words_per_line {
-                fields.push((format!("IC{l}.W{w}"), Field::IcacheData { line: l, word: w }));
+                fields.push((
+                    format!("IC{l}.W{w}"),
+                    Field::IcacheData { line: l, word: w },
+                ));
             }
         }
         ScanChain::new("icache", fields)
@@ -403,7 +408,10 @@ impl ScanChain {
             fields.push((format!("DC{l}.TAG"), Field::DcacheTag(l)));
             fields.push((format!("DC{l}.P"), Field::DcacheParity(l)));
             for w in 0..words_per_line {
-                fields.push((format!("DC{l}.W{w}"), Field::DcacheData { line: l, word: w }));
+                fields.push((
+                    format!("DC{l}.W{w}"),
+                    Field::DcacheData { line: l, word: w },
+                ));
             }
         }
         ScanChain::new("dcache", fields)

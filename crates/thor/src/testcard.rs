@@ -171,7 +171,11 @@ impl TestCard {
     pub fn download(&mut self, program: &Program) -> Result<(), CardError> {
         self.snap_base = None;
         for seg in &program.segments {
-            if !self.machine.memory_mut().host_write_block(seg.base, &seg.words) {
+            if !self
+                .machine
+                .memory_mut()
+                .host_write_block(seg.base, &seg.words)
+            {
                 return Err(CardError::BadAddress(seg.base));
             }
         }
@@ -535,11 +539,7 @@ mod tests {
         card.run(1_000_000);
         // Flip a bit in the cached copy of the loop body.
         let mut bits = card.read_chain("icache").unwrap();
-        let (off, _, _) = card
-            .chain("icache")
-            .unwrap()
-            .locate("IC0.W2")
-            .unwrap();
+        let (off, _, _) = card.chain("icache").unwrap().locate("IC0.W2").unwrap();
         bits.flip(off + 7);
         card.write_chain("icache", &bits).unwrap();
         match card.run(1_000_000) {
@@ -651,10 +651,16 @@ mod tests {
         // halt state as restoring the later one and re-running.
         card.restore(&a);
         card.run(1_000_000);
-        let from_a = (card.machine().core_state(), card.read_memory(0x4000).unwrap());
+        let from_a = (
+            card.machine().core_state(),
+            card.read_memory(0x4000).unwrap(),
+        );
         card.restore(&b);
         card.run(1_000_000);
-        let from_b = (card.machine().core_state(), card.read_memory(0x4000).unwrap());
+        let from_b = (
+            card.machine().core_state(),
+            card.read_memory(0x4000).unwrap(),
+        );
         assert_eq!(from_a, from_b);
     }
 

@@ -1,9 +1,7 @@
 //! Property-based tests for the Thor RD simulator.
 
 use proptest::prelude::*;
-use thor_rd::{
-    asm::assemble, BitVector, Cond, Instr, MachineConfig, ScanChain, TestCard,
-};
+use thor_rd::{asm::assemble, BitVector, Cond, Instr, MachineConfig, ScanChain, TestCard};
 
 fn arb_reg() -> impl Strategy<Value = u8> {
     0u8..16
@@ -16,13 +14,20 @@ fn arb_instr() -> impl Strategy<Value = Instr> {
         Just(Instr::Sync),
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Add { rd, rs1, rs2 }),
         (arb_reg(), arb_reg(), arb_reg()).prop_map(|(rd, rs1, rs2)| Instr::Xor { rd, rs1, rs2 }),
-        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Addi { rd, rs1, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Addi {
+            rd,
+            rs1,
+            imm
+        }),
         (arb_reg(), any::<i16>()).prop_map(|(rd, imm)| Instr::Li { rd, imm }),
         (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instr::Lui { rd, imm }),
         (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::Ld { rd, rs1, imm }),
         (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, imm)| Instr::St { rd, rs1, imm }),
         (arb_reg(), arb_reg()).prop_map(|(rs1, rs2)| Instr::Cmp { rs1, rs2 }),
-        (any::<i16>()).prop_map(|imm| Instr::Branch { cond: Cond::Ne, imm }),
+        (any::<i16>()).prop_map(|imm| Instr::Branch {
+            cond: Cond::Ne,
+            imm
+        }),
         (any::<u16>()).prop_map(|imm| Instr::Jal { imm }),
         (arb_reg()).prop_map(|rs1| Instr::Jr { rs1 }),
     ]

@@ -93,7 +93,10 @@ pub fn matmul_workload(n: usize, seed: u32) -> Workload {
     let mut rng = lcg(seed);
     let a: Vec<i32> = (0..n * n).map(|_| (rng() % 16) as i32).collect();
     let b: Vec<i32> = (0..n * n).map(|_| (rng() % 16) as i32).collect();
-    let expected: Vec<u32> = matmul_host(n, &a, &b).into_iter().map(|v| v as u32).collect();
+    let expected: Vec<u32> = matmul_host(n, &a, &b)
+        .into_iter()
+        .map(|v| v as u32)
+        .collect();
 
     let fmt = |m: &[i32]| {
         m.iter()

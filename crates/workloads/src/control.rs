@@ -50,7 +50,10 @@ const INTEG_CLAMP: i32 = 32768;
 /// Returns the control signal and updates `state`.
 pub fn pid_host_step(state: &mut PidState, gains: PidGains, setpoint: i32, meas: i32) -> i32 {
     let err = setpoint.wrapping_sub(meas);
-    state.integ = state.integ.saturating_add(err).clamp(-INTEG_CLAMP, INTEG_CLAMP);
+    state.integ = state
+        .integ
+        .saturating_add(err)
+        .clamp(-INTEG_CLAMP, INTEG_CLAMP);
     let deriv = err.wrapping_sub(state.prev_err);
     state.prev_err = err;
     let u = (gains.kp as i32).wrapping_mul(err)

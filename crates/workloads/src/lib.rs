@@ -33,8 +33,10 @@
 mod batch;
 mod control;
 
-pub use batch::{crc32_host, crc32_workload, fibonacci_host, fibonacci_workload,
-    matmul_host, matmul_workload, sort_workload};
+pub use batch::{
+    crc32_host, crc32_workload, fibonacci_host, fibonacci_workload, matmul_host, matmul_workload,
+    sort_workload,
+};
 pub use control::{pid_host_step, pid_workload, PidGains, PidState};
 
 use thor_rd::Program;

@@ -6,20 +6,14 @@
 //!
 //! Run with: `cargo run --release --example control_app`
 
-use goofi_repro::core::{
-    Campaign, CampaignRunner, FaultModel, LocationSelector, Technique,
-};
+use goofi_repro::core::{Campaign, CampaignRunner, FaultModel, LocationSelector, Technique};
 use goofi_repro::envsim::{DcMotorEnv, SCALE};
 use goofi_repro::targets::ThorTarget;
 use goofi_repro::workloads::{pid_workload, PidGains};
 
 fn make_target() -> ThorTarget {
     let workload = pid_workload(PidGains::default(), 60);
-    ThorTarget::with_env(
-        "thor-card",
-        workload,
-        Box::new(DcMotorEnv::new(5 * SCALE)),
-    )
+    ThorTarget::with_env("thor-card", workload, Box::new(DcMotorEnv::new(5 * SCALE)))
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -7,9 +7,8 @@
 //! Run with: `cargo run --release --example dependability`
 
 use goofi_repro::core::{
-    detection_latency, duplex_mttf, duplex_reliability_interval, CampaignRunner,
-    single_node_availability, Campaign, DependabilityParams, FaultModel, LocationSelector,
-    Technique,
+    detection_latency, duplex_mttf, duplex_reliability_interval, single_node_availability,
+    Campaign, CampaignRunner, DependabilityParams, FaultModel, LocationSelector, Technique,
 };
 use goofi_repro::targets::ThorTarget;
 use goofi_repro::workloads::matmul_workload;

@@ -7,9 +7,9 @@
 //! Run with: `cargo run --release --example detail_mode`
 
 use goofi_repro::core::{
-    run_experiment, Campaign, CampaignRunner, EscapeKind, ExperimentData, ExperimentRecord,
-    FaultModel, GoofiStore, LocationSelector, LogMode, Outcome, StateVector, Technique,
-    TargetSystemInterface, classify,
+    classify, run_experiment, Campaign, CampaignRunner, EscapeKind, ExperimentData,
+    ExperimentRecord, FaultModel, GoofiStore, LocationSelector, LogMode, Outcome, StateVector,
+    TargetSystemInterface, Technique,
 };
 use goofi_repro::targets::ThorTarget;
 use goofi_repro::workloads::fibonacci_workload;
@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .seed(17)
         .build()?;
     store.put_campaign(&campaign)?;
-    let result = CampaignRunner::new(&mut target, &campaign).store(&mut store).run()?;
+    let result = CampaignRunner::new(&mut target, &campaign)
+        .store(&mut store)
+        .run()?;
 
     // Find the first escaped (wrong result) experiment.
     let interesting = result.runs.iter().enumerate().find(|(_, r)| {

@@ -5,7 +5,7 @@
 
 use goofi_repro::core::{
     analyze_campaign, Campaign, CampaignRunner, FaultModel, GoofiStore, LocationSelector,
-    Technique, TargetSystemInterface,
+    TargetSystemInterface, Technique,
 };
 use goofi_repro::targets::ThorTarget;
 use goofi_repro::workloads::sort_workload;
@@ -36,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fault-injection phase (paper Fig. 2): reference run, then one
     // injection per experiment, everything logged to LoggedSystemState.
-    let result = CampaignRunner::new(&mut target, &campaign).store(&mut store).run()?;
+    let result = CampaignRunner::new(&mut target, &campaign)
+        .store(&mut store)
+        .run()?;
     println!("== in-memory classification ==");
     println!("{}", result.stats.report());
 
@@ -48,9 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(stats.detected_total(), result.stats.detected_total());
 
     // Ad-hoc SQL still works for "tailor made" analyses (paper §3.5).
-    let rs = store.database_mut().query(
-        "SELECT COUNT(*) AS n FROM LoggedSystemState WHERE campaignName = 'quickstart'",
-    )?;
+    let rs = store
+        .database_mut()
+        .query("SELECT COUNT(*) AS n FROM LoggedSystemState WHERE campaignName = 'quickstart'")?;
     println!("logged rows (incl. reference): {}", rs.rows[0][0]);
     Ok(())
 }

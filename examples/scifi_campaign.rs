@@ -25,7 +25,8 @@ fn campaign_for(selector: LocationSelector, name: &str, n: usize) -> Campaign {
 fn run_one(workload: Workload, selector: LocationSelector, name: &str) -> CampaignStats {
     let mut target = ThorTarget::new("thor-card", workload);
     let campaign = campaign_for(selector, name, 300);
-    CampaignRunner::new(&mut target, &campaign).run()
+    CampaignRunner::new(&mut target, &campaign)
+        .run()
         .expect("campaign runs")
         .stats
 }

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example second_target`
 
 use goofi_repro::core::{
-    Campaign, CampaignRunner, CampaignResult, FaultModel, GoofiError, LocationSelector,
-    Technique, TargetSystemInterface,
+    Campaign, CampaignResult, CampaignRunner, FaultModel, GoofiError, LocationSelector,
+    TargetSystemInterface, Technique,
 };
 use goofi_repro::targets::{StackProgram, StackVmTarget, ThorTarget};
 use goofi_repro::workloads::fibonacci_workload;

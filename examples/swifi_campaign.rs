@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example swifi_campaign`
 
-use goofi_repro::core::{
-    Campaign, CampaignRunner, FaultModel, LocationSelector, Technique,
-};
+use goofi_repro::core::{Campaign, CampaignRunner, FaultModel, LocationSelector, Technique};
 use goofi_repro::targets::ThorTarget;
 use goofi_repro::workloads::crc32_workload;
 
@@ -64,7 +62,8 @@ fn main() {
             .build()
             .expect("valid campaign");
         let mut target = ThorTarget::new("thor-card", crc32_workload(16, 11));
-        let stats = CampaignRunner::new(&mut target, &campaign).run()
+        let stats = CampaignRunner::new(&mut target, &campaign)
+            .run()
             .expect("campaign runs")
             .stats;
         println!(

@@ -30,3 +30,13 @@ bench-e9:
 # BENCH_e10.json at the repo root.
 bench-e10:
     cargo bench -p goofi-bench --bench e10_telemetry_overhead
+
+# Static workload analysis (CFG, pruning windows, lints) for a bundled
+# workload, with no reference run. Add `--json` by hand for machine output.
+analyze workload="sort16":
+    cargo run --release -p goofi-cli -- analyze --workload {{workload}}
+
+# E11 static-vs-trace pruning comparison (asserts the ≥20% gate);
+# refreshes BENCH_e11.json at the repo root.
+bench-e11:
+    cargo bench -p goofi-bench --bench e11_static_pruning

@@ -5,7 +5,7 @@
 
 use goofi_repro::core::{
     analyze_propagation, control_channel, reference_run, Campaign, CampaignRunner, FaultModel,
-    GoofiStore, LocationSelector, LogMode, ProgressEvent, Technique, TargetSystemInterface,
+    GoofiStore, LocationSelector, LogMode, ProgressEvent, TargetSystemInterface, Technique,
 };
 use goofi_repro::envsim::{DcMotorEnv, Environment, RecordingEnv, SCALE};
 use goofi_repro::targets::ThorTarget;
@@ -33,8 +33,11 @@ fn all_three_layers_cooperate_in_one_flow() {
     store.put_campaign(&campaign).unwrap();
     // Top layer: the progress surface (Fig. 7).
     let (controller, handle) = control_channel();
-    let result =
-        CampaignRunner::new(&mut target, &campaign).store(&mut store).observer(&controller).run().unwrap();
+    let result = CampaignRunner::new(&mut target, &campaign)
+        .store(&mut store)
+        .observer(&controller)
+        .run()
+        .unwrap();
     drop(controller);
     // Every layer saw the campaign.
     assert_eq!(result.runs.len(), 20);
@@ -104,8 +107,9 @@ fn propagation_analysis_reads_detail_traces() {
     let report = analyze_propagation(reference, faulty, injected_at, &chains);
     // The injected flip is visible immediately after the breakpoint.
     assert_eq!(report.first_divergence, Some(injected_at as u64));
-    assert!(report
-        .infection_order
-        .iter()
-        .any(|(f, _)| f == "cpu.R3"), "{:?}", report.infection_order);
+    assert!(
+        report.infection_order.iter().any(|(f, _)| f == "cpu.R3"),
+        "{:?}",
+        report.infection_order
+    );
 }

@@ -89,7 +89,10 @@ fn extended_triggers_resolve_against_the_trace() {
         .iter()
         .map(|r| r.fault.as_ref().unwrap().times[0])
         .collect();
-    assert!(times.windows(2).all(|w| w[0] == w[1]), "same instant every time");
+    assert!(
+        times.windows(2).all(|w| w[0] == w[1]),
+        "same instant every time"
+    );
     // OnWrite trigger: after the first write of R3.
     let mut c = base_campaign("trig2");
     c.trigger = TriggerPolicy::Triggers(vec![Trigger::OnWrite {
@@ -124,7 +127,10 @@ fn preinjection_analysis_is_sound_on_thor() {
         pruned_result.stats.escaped_total()
     );
     assert_eq!(plain_result.stats.latent, pruned_result.stats.latent);
-    assert_eq!(plain_result.stats.overwritten, pruned_result.stats.overwritten);
+    assert_eq!(
+        plain_result.stats.overwritten,
+        pruned_result.stats.overwritten
+    );
     assert!(
         pruned_result.pruned() > 0,
         "a 1500-instruction window over all registers must contain dead intervals"
@@ -153,7 +159,10 @@ fn preinjection_is_sound_for_psw_faults() {
     assert_eq!(a.stats.escaped_total(), b.stats.escaped_total());
     assert_eq!(a.stats.latent, b.stats.latent);
     assert_eq!(a.stats.overwritten, b.stats.overwritten);
-    assert!(b.pruned() > 0, "PSW is rewritten constantly; pruning must fire");
+    assert!(
+        b.pruned() > 0,
+        "PSW is rewritten constantly; pruning must fire"
+    );
 }
 
 #[test]
@@ -231,7 +240,10 @@ fn pause_resume_stop_controls_a_live_campaign() {
         let mut t = target();
         let mut c = base_campaign("ctl");
         c.experiments = 500;
-        CampaignRunner::new(&mut t, &c).observer(&controller).run().unwrap()
+        CampaignRunner::new(&mut t, &c)
+            .observer(&controller)
+            .run()
+            .unwrap()
     });
     // Wait for a few experiments, then pause.
     let mut seen = 0;

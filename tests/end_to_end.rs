@@ -4,7 +4,7 @@
 
 use goofi_repro::core::{
     analyze_campaign, Campaign, CampaignRunner, FaultModel, GoofiStore, LocationSelector,
-    TargetEvent, Technique, TargetSystemInterface,
+    TargetEvent, TargetSystemInterface, Technique,
 };
 use goofi_repro::targets::ThorTarget;
 use goofi_repro::workloads::{sort_workload, workload_by_name};
@@ -34,7 +34,10 @@ fn four_phases_against_real_target_and_database() {
     let c = campaign(60, 4);
     store.put_campaign(&c).unwrap();
     // Fault-injection phase.
-    let result = CampaignRunner::new(&mut target, &c).store(&mut store).run().unwrap();
+    let result = CampaignRunner::new(&mut target, &c)
+        .store(&mut store)
+        .run()
+        .unwrap();
     assert_eq!(result.runs.len(), 60);
     assert_eq!(result.reference.termination, TargetEvent::Halted);
     // Analysis phase — from the database alone.
@@ -57,7 +60,10 @@ fn store_survives_disk_roundtrip_with_campaign_data() {
     store.put_target(&target.describe()).unwrap();
     let c = campaign(10, 5);
     store.put_campaign(&c).unwrap();
-    CampaignRunner::new(&mut target, &c).store(&mut store).run().unwrap();
+    CampaignRunner::new(&mut target, &c)
+        .store(&mut store)
+        .run()
+        .unwrap();
 
     let dir = std::env::temp_dir().join("goofi_e2e");
     std::fs::create_dir_all(&dir).unwrap();
@@ -78,7 +84,10 @@ fn sql_breakdown_matches_classifier() {
     store.put_target(&target.describe()).unwrap();
     let c = campaign(40, 6);
     store.put_campaign(&c).unwrap();
-    let result = CampaignRunner::new(&mut target, &c).store(&mut store).run().unwrap();
+    let result = CampaignRunner::new(&mut target, &c)
+        .store(&mut store)
+        .run()
+        .unwrap();
 
     // "Tailor made script" (paper §3.5): count detections by grepping the
     // experimentData JSON for the Detected termination.
@@ -99,7 +108,9 @@ fn sql_breakdown_matches_classifier() {
 fn campaigns_are_reproducible_from_their_seed() {
     let run_with = |seed: u64| {
         let mut target = ThorTarget::new("thor-card", sort_workload(12, 9));
-        CampaignRunner::new(&mut target, &campaign(30, seed)).run().unwrap()
+        CampaignRunner::new(&mut target, &campaign(30, seed))
+            .run()
+            .unwrap()
     };
     let a = run_with(42);
     let b = run_with(42);

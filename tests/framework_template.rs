@@ -107,7 +107,9 @@ fn campaign(technique: Technique) -> Campaign {
 #[test]
 fn swifi_works_on_partial_target() {
     let mut t = SwifiOnlyTarget::new();
-    let result = CampaignRunner::new(&mut t, &campaign(Technique::SwifiPreRuntime)).run().unwrap();
+    let result = CampaignRunner::new(&mut t, &campaign(Technique::SwifiPreRuntime))
+        .run()
+        .unwrap();
     assert_eq!(result.runs.len(), 8);
     // Flipping a bit of word 0 always propagates to word 1: every
     // experiment is an escaped wrong-output error.
@@ -118,7 +120,9 @@ fn swifi_works_on_partial_target() {
 fn scifi_fails_naming_the_missing_block() {
     let mut t = SwifiOnlyTarget::new();
     // The campaign validates, but fault-list generation finds no chains.
-    let err = CampaignRunner::new(&mut t, &campaign(Technique::Scifi)).run().unwrap_err();
+    let err = CampaignRunner::new(&mut t, &campaign(Technique::Scifi))
+        .run()
+        .unwrap_err();
     assert!(matches!(err, GoofiError::Campaign(_)), "got {err}");
 
     // Calling the scan block directly reports the Fig. 3 template error.
@@ -135,7 +139,9 @@ fn scifi_fails_naming_the_missing_block() {
 #[test]
 fn runtime_swifi_needs_breakpoints() {
     let mut t = SwifiOnlyTarget::new();
-    let err = CampaignRunner::new(&mut t, &campaign(Technique::SwifiRuntime)).run().unwrap_err();
+    let err = CampaignRunner::new(&mut t, &campaign(Technique::SwifiRuntime))
+        .run()
+        .unwrap_err();
     match err {
         GoofiError::Unsupported { method, .. } => assert_eq!(method, "setBreakpoint"),
         other => panic!("expected Unsupported(setBreakpoint), got {other}"),

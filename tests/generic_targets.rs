@@ -3,7 +3,7 @@
 
 use goofi_repro::core::{
     Campaign, CampaignResult, CampaignRunner, FaultModel, GoofiError, LocationSelector,
-    Technique, TargetSystemInterface,
+    TargetSystemInterface, Technique,
 };
 use goofi_repro::targets::{StackProgram, StackVmTarget, ThorTarget};
 use goofi_repro::workloads::fibonacci_workload;
@@ -54,7 +54,12 @@ fn detection_mechanisms_reflect_the_architecture() {
         .keys()
         .map(String::as_str)
         .collect();
-    let vm_mechs: Vec<&str> = vm_result.stats.detected.keys().map(String::as_str).collect();
+    let vm_mechs: Vec<&str> = vm_result
+        .stats
+        .detected
+        .keys()
+        .map(String::as_str)
+        .collect();
     // Thor reports its hardware EDMs, StackVM its own — disjoint sets.
     for m in &thor_mechs {
         assert!(!vm_mechs.contains(m), "mechanism {m} on both targets");

@@ -61,7 +61,11 @@ fn telemetry_never_changes_the_database() {
     let base_bytes = std::fs::read(&base_path).unwrap();
     std::fs::remove_file(&base_path).ok();
 
-    for mode in [TelemetryMode::Off, TelemetryMode::Metrics, TelemetryMode::Trace] {
+    for mode in [
+        TelemetryMode::Off,
+        TelemetryMode::Metrics,
+        TelemetryMode::Trace,
+    ] {
         for workers in [1usize, 2, 4] {
             let mut store = seeded_store(&c);
             let result = CampaignRunner::from_factory(factory, &c)

@@ -125,7 +125,8 @@ impl Bencher {
         let start = Instant::now();
         black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters = (self.target_sample_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        let iters =
+            (self.target_sample_time.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
 
         self.samples.clear();
         for _ in 0..self.sample_size {

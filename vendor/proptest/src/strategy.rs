@@ -346,10 +346,7 @@ fn sample_regex(pattern: &str, rng: &mut TestRng) -> String {
                 RegexAtom::Literal(c) => out.push(*c),
                 RegexAtom::Class(ranges) => {
                     let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
-                    out.push(
-                        char::from_u32(rng.gen_range(lo as u32..=hi as u32))
-                            .unwrap_or(lo),
-                    );
+                    out.push(char::from_u32(rng.gen_range(lo as u32..=hi as u32)).unwrap_or(lo));
                 }
             }
         }

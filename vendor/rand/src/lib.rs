@@ -133,10 +133,7 @@ impl RngCore for Xoshiro256 {
 
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -201,7 +198,10 @@ mod tests {
         let mut a = StdRng::seed_from_u64(7);
         let mut b = StdRng::seed_from_u64(7);
         for _ in 0..100 {
-            assert_eq!(a.gen_range(0u64..=u64::MAX - 1), b.gen_range(0u64..=u64::MAX - 1));
+            assert_eq!(
+                a.gen_range(0u64..=u64::MAX - 1),
+                b.gen_range(0u64..=u64::MAX - 1)
+            );
         }
     }
 

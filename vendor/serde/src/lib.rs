@@ -392,12 +392,7 @@ macro_rules! impl_tuple {
     )*};
 }
 
-impl_tuple!(
-    (A.0),
-    (A.0, B.1),
-    (A.0, B.1, C.2),
-    (A.0, B.1, C.2, D.3)
-);
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
 
 #[cfg(test)]
 mod tests {

@@ -32,24 +32,39 @@ struct Variant {
 
 #[derive(Debug)]
 enum Item {
-    NamedStruct { name: String, fields: Vec<Field> },
-    TupleStruct { name: String, arity: usize },
-    UnitStruct { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives the stub `serde::Serialize`.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives the stub `serde::Deserialize`.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -301,8 +316,7 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantShape::Struct(fields) => {
-                        let binds: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let pushes: Vec<String> = fields
                             .iter()
                             .filter(|f| !f.skip)
@@ -392,10 +406,7 @@ fn gen_deserialize(item: &Item) -> String {
                 ),
             )
         }
-        Item::UnitStruct { name } => (
-            name,
-            format!("::std::result::Result::Ok({name})"),
-        ),
+        Item::UnitStruct { name } => (name, format!("::std::result::Result::Ok({name})")),
         Item::Enum { name, variants } => {
             let mut unit_arms = String::new();
             let mut data_arms = String::new();
@@ -433,11 +444,8 @@ fn gen_deserialize(item: &Item) -> String {
                         ));
                     }
                     VariantShape::Struct(fields) => {
-                        let inits = gen_named_field_builders(
-                            &format!("{name}::{vn}"),
-                            fields,
-                            "entries",
-                        );
+                        let inits =
+                            gen_named_field_builders(&format!("{name}::{vn}"), fields, "entries");
                         data_arms.push_str(&format!(
                             "\"{vn}\" => {{\n\
                                  let entries = value.as_map().ok_or_else(|| \

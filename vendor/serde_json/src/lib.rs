@@ -208,10 +208,7 @@ impl<'a> Parser<'a> {
             self.pos += keyword.len();
             Ok(())
         } else {
-            Err(Error::new(format!(
-                "invalid literal at byte {}",
-                self.pos
-            )))
+            Err(Error::new(format!("invalid literal at byte {}", self.pos)))
         }
     }
 
