@@ -403,12 +403,60 @@ impl Model {
             }
         }
 
+        // Equivalence windows: maximal runs of consecutive injection times
+        // that share the same *first-touch* step (the first node at or
+        // after `t` whose def/use touches the location, read or write).
+        // Until that step the fault-free path never consults the location,
+        // so its pre-fault value is constant across the window and a
+        // single-activation mutation applied anywhere in the window yields
+        // the same post-injection state — every member of the window is a
+        // faithful execution proxy for every other. Halt and Unknown nodes
+        // are barriers exactly as for the dead windows: past them nothing
+        // is claimed.
+        let mut equiv: BTreeMap<String, Vec<(u64, u64)>> = BTreeMap::new();
+        for (l, name) in self.locations.iter().enumerate() {
+            let mut touch_at: Vec<Option<u64>> = vec![None; timeline.len()];
+            let mut touch: Option<u64> = None;
+            for (t, &n) in timeline.iter().enumerate().rev() {
+                let node = &self.nodes[n];
+                touch = match node.kind {
+                    NodeKind::Halt | NodeKind::Unknown => None,
+                    NodeKind::Normal => {
+                        if node.reads.contains(&l) || node.writes.contains(&l) {
+                            Some(t as u64)
+                        } else {
+                            touch
+                        }
+                    }
+                };
+                touch_at[t] = touch;
+            }
+            let mut windows: Vec<(u64, u64)> = Vec::new();
+            let mut prev: Option<u64> = None;
+            for (t, &u) in touch_at[..covered].iter().enumerate() {
+                let Some(u) = u else {
+                    prev = None;
+                    continue;
+                };
+                let t = t as u64;
+                match windows.last_mut() {
+                    Some((_, end)) if *end + 1 == t && prev == Some(u) => *end = t,
+                    _ => windows.push((t, t)),
+                }
+                prev = Some(u);
+            }
+            if !windows.is_empty() {
+                equiv.insert(name.clone(), windows);
+            }
+        }
+
         StaticAnalysis {
             horizon,
             steps: timeline.len() as u64,
             blocks,
             edges,
             dead,
+            equiv,
             lints: self.lints(&reachable, &wbr),
             classes: Vec::new(),
         }
@@ -509,6 +557,19 @@ mod tests {
         assert!(!sa.is_dead("A", 3));
         assert!(!sa.is_dead("B", 5), "latent past the last write");
         assert_eq!(sa.steps, 8);
+        // Equivalence windows are keyed by the first touch (read OR
+        // write): t=3 and t=4 both first meet A at the loop-head read on
+        // the second iteration (t=4), so they form one window; every
+        // other time touches A at itself.
+        assert_eq!(
+            sa.equiv.get("A"),
+            Some(&vec![(0, 0), (1, 1), (2, 2), (3, 4), (5, 5)])
+        );
+        // B's dead window (0,4) splits into two equivalence windows: the
+        // first write at t=1 serves t=0..1, the second write at t=4
+        // serves t=2..4. Past the last write nothing touches B, so no
+        // window is claimed (mirrors the latent verdict).
+        assert_eq!(sa.equiv.get("B"), Some(&vec![(0, 1), (2, 4)]));
     }
 
     #[test]

@@ -104,6 +104,20 @@ fn build_model(program: &Program, config: &MachineConfig) -> (Model, BTreeMap<u3
     (model, index)
 }
 
+/// Memoization key: the exact inputs the analysis is a pure function of.
+type CacheKey = (Vec<(u32, Vec<u32>)>, u32, MachineConfig, u64);
+
+/// Process-wide memo of finished analyses. Campaigns re-analyze the same
+/// (workload, horizon) pair constantly — every run/resume/bench iteration
+/// over one workload replays an identical scratch execution — so the
+/// second and later calls should cost a key compare, not a replay.
+static ANALYSIS_CACHE: std::sync::OnceLock<std::sync::Mutex<Vec<(CacheKey, StaticAnalysis)>>> =
+    std::sync::OnceLock::new();
+
+/// Small FIFO bound: an entry is a few KiB, and a process rarely touches
+/// more than a handful of (workload, horizon) pairs.
+const ANALYSIS_CACHE_CAP: usize = 32;
+
 /// Statically analyzes a Thor batch workload up to injection time
 /// `horizon`.
 ///
@@ -112,7 +126,44 @@ fn build_model(program: &Program, config: &MachineConfig) -> (Model, BTreeMap<u3
 /// [`Model::analyze`]'s suffix walk combines with the statically decoded
 /// def/use sets into per-time dead windows. No reference trace of reads
 /// and writes is collected.
+///
+/// Results are memoized per (program image, machine config, horizon) for
+/// the life of the process: the analysis is a pure function of those
+/// inputs, and campaign entry points re-request it for every run.
 pub fn analyze_thor_program(
+    program: &Program,
+    config: MachineConfig,
+    horizon: u64,
+) -> StaticAnalysis {
+    let key: CacheKey = (
+        program
+            .segments
+            .iter()
+            .map(|s| (s.base, s.words.clone()))
+            .collect(),
+        program.entry,
+        config,
+        horizon,
+    );
+    let cache = ANALYSIS_CACHE.get_or_init(|| std::sync::Mutex::new(Vec::new()));
+    {
+        let cache = cache.lock().expect("analysis cache lock");
+        if let Some((_, hit)) = cache.iter().find(|(k, _)| *k == key) {
+            return hit.clone();
+        }
+    }
+    let analysis = analyze_thor_program_uncached(program, config, horizon);
+    let mut cache = cache.lock().expect("analysis cache lock");
+    if !cache.iter().any(|(k, _)| *k == key) {
+        if cache.len() >= ANALYSIS_CACHE_CAP {
+            cache.remove(0);
+        }
+        cache.push((key, analysis.clone()));
+    }
+    analysis
+}
+
+fn analyze_thor_program_uncached(
     program: &Program,
     config: MachineConfig,
     horizon: u64,

@@ -31,13 +31,23 @@ const GATE_PCT: f64 = 20.0;
 fn run_once(window_end: u64, pruning: Pruning) -> (Duration, usize) {
     let mut campaign = scifi_campaign_windowed("e11-wall", WORKLOAD, EXPERIMENTS, 0, window_end);
     campaign.pre_injection_analysis = true;
-    let mut target = thor_target(WORKLOAD);
-    let t0 = Instant::now();
-    let result = CampaignRunner::new(&mut target, &campaign)
-        .options(RunOptions::new().pruning(pruning))
-        .run()
-        .expect("campaign runs");
-    (t0.elapsed(), result.pruned())
+    // Best of three: one-shot campaign walls on a busy host are noisy
+    // enough to invert the off/trace/static ordering run to run.
+    let mut best: Option<(Duration, usize)> = None;
+    for _ in 0..3 {
+        let mut target = thor_target(WORKLOAD);
+        let t0 = Instant::now();
+        let result = CampaignRunner::new(&mut target, &campaign)
+            .options(RunOptions::new().pruning(pruning))
+            .run()
+            .expect("campaign runs");
+        let sample = (t0.elapsed(), result.pruned());
+        best = Some(match best {
+            Some(b) if b.0 <= sample.0 => b,
+            _ => sample,
+        });
+    }
+    best.expect("three samples taken")
 }
 
 fn bench(c: &mut Criterion) {

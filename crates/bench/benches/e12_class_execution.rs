@@ -1,0 +1,204 @@
+//! Experiment E12: equivalence-class execution + the predecoded
+//! interpreter fast path.
+//!
+//! Both optimisations promise the same campaign verdicts in less wall
+//! time: class execution runs one representative per fault equivalence
+//! class and fans its verdict out to the members, and the predecoded
+//! threaded-code interpreter replaces the fetch/decode inner loop with
+//! pre-resolved instruction slots (invalidated per word by their raw-word
+//! tag). E12 measures the E3 sort16 campaign in three modes:
+//!
+//! 1. `off`    — plain fetch/decode interpreter, every fault executed;
+//! 2. `class`  — plain interpreter, class execution on;
+//! 3. `full`   — predecoded interpreter *and* class execution.
+//!
+//! The run asserts the PR's acceptance gate — `full` reaches at least
+//! 1.5x the experiments/second of `off` — and that all three modes
+//! produce byte-identical per-fault classification verdicts. Results go
+//! to `BENCH_e12.json` at the workspace root for CI and the docs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::{execution_window, scifi_campaign, thor_target, workload};
+use goofi_core::{
+    Campaign, CampaignResult, CampaignRunner, LocationSelector, Pruning, RunOptions, StaticAnalysis,
+};
+use goofi_targets::ThorTarget;
+use std::time::{Duration, Instant};
+
+const WORKLOAD: &str = "sort16";
+const EXPERIMENTS: usize = 400;
+const GATE_SPEEDUP: f64 = 1.5;
+
+/// The E3 campaign, optionally concentrated on one register so faults
+/// collide on the same bit and equivalence classes actually form (spread
+/// over the whole chain, 400 faults rarely share a bit).
+fn e12_campaign(name: &str, field: Option<&str>, window: u64) -> Campaign {
+    let mut campaign = scifi_campaign(name, WORKLOAD, EXPERIMENTS, window);
+    if let Some(f) = field {
+        campaign.selectors = vec![LocationSelector::Chain {
+            chain: "cpu".into(),
+            field: Some(f.into()),
+        }];
+    }
+    campaign
+}
+
+/// One campaign execution in a given mode. The predecode knob lives on
+/// the target, the class knob on the run options; pruning stays off so
+/// the modes differ in nothing else.
+fn run_mode(campaign: &Campaign, predecode: bool, class_exec: bool) -> (Duration, CampaignResult) {
+    // Best of three: campaigns are deterministic (any repeat's result
+    // serves), but one-shot walls on a busy host are not.
+    let mut best: Option<(Duration, CampaignResult)> = None;
+    for _ in 0..3 {
+        let mut target = thor_target(WORKLOAD);
+        target.set_interpreter_fast_path(predecode);
+        let t0 = Instant::now();
+        let result = CampaignRunner::new(&mut target, campaign)
+            .options(
+                RunOptions::new()
+                    .pruning(Pruning::Off)
+                    .class_execution(class_exec),
+            )
+            .run()
+            .expect("campaign runs");
+        let wall = t0.elapsed();
+        best = match best {
+            Some(b) if b.0 <= wall => Some(b),
+            _ => Some((wall, result)),
+        };
+    }
+    best.expect("three samples taken")
+}
+
+/// Asserts two modes of the same campaign classified every fault
+/// byte-identically.
+fn assert_same_verdicts(label: &str, a: &CampaignResult, b: &CampaignResult) {
+    assert_eq!(a.reference, b.reference, "{label}: references diverge");
+    assert_eq!(a.runs.len(), b.runs.len());
+    for (i, run) in a.runs.iter().enumerate() {
+        assert_eq!(run, &b.runs[i], "{label}: verdict diverges at fault {i}");
+    }
+    assert_eq!(a.stats, b.stats, "{label}: stats diverge");
+}
+
+fn savings(analysis: Option<&StaticAnalysis>) -> (usize, usize) {
+    analysis
+        .map(StaticAnalysis::class_savings)
+        .unwrap_or((0, 0))
+}
+
+fn bench(c: &mut Criterion) {
+    let window = execution_window(WORKLOAD);
+
+    println!(
+        "\n=== E12: class execution + predecoded interpreter ({WORKLOAD}, {EXPERIMENTS} faults, window 0..{window}) ==="
+    );
+    let e3 = e12_campaign("e12", None, window);
+    let (off_wall, off) = run_mode(&e3, false, false);
+    let (class_wall, class) = run_mode(&e3, false, true);
+    let (full_wall, full) = run_mode(&e3, true, true);
+
+    // The optimisations must be invisible in the verdicts: every fault
+    // classifies byte-identically in all three modes.
+    assert_same_verdicts("e3/class", &off, &class);
+    assert_same_verdicts("e3/full", &off, &full);
+
+    let (classes, fanned) = savings(full.static_analysis.as_ref());
+    let eps = |wall: Duration| EXPERIMENTS as f64 / wall.as_secs_f64();
+    let (off_eps, class_eps, full_eps) = (eps(off_wall), eps(class_wall), eps(full_wall));
+    let speedup = full_eps / off_eps;
+    println!("wall  off:   {off_wall:>10.3?}  ({off_eps:.1} exp/s)");
+    println!("wall  class: {class_wall:>10.3?}  ({class_eps:.1} exp/s)");
+    println!("wall  full:  {full_wall:>10.3?}  ({full_eps:.1} exp/s)");
+    println!(
+        "class execution: {classes} representatives fanned {fanned} experiments; speedup {speedup:.2}x (gate {GATE_SPEEDUP}x)"
+    );
+
+    // The fan-out row: the same campaign concentrated on one scratch
+    // register, where faults collide on the same bit and the class
+    // planner has real classes to execute.
+    let r6 = e12_campaign("e12-r6", Some("R6"), window);
+    let (r6_off_wall, r6_off) = run_mode(&r6, false, false);
+    let (r6_full_wall, r6_full) = run_mode(&r6, true, true);
+    assert_same_verdicts("r6/full", &r6_off, &r6_full);
+    let (r6_classes, r6_fanned) = savings(r6_full.static_analysis.as_ref());
+    assert!(
+        r6_fanned > 0,
+        "R6-concentrated campaign fanned nothing out — the class half of E12 is vacuous"
+    );
+    let r6_speedup = r6_off_wall.as_secs_f64() / r6_full_wall.as_secs_f64();
+    println!(
+        "fan-out row (R6): {r6_classes} classes fanned {r6_fanned} of {EXPERIMENTS} experiments, \
+         wall {r6_off_wall:.3?} -> {r6_full_wall:.3?} ({r6_speedup:.2}x)"
+    );
+
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e12_class_execution\",\n");
+    out.push_str(&format!(
+        "  \"campaign\": {{\"workload\": \"{WORKLOAD}\", \"experiments\": {EXPERIMENTS}, \"window_end\": {window}}},\n"
+    ));
+    out.push_str(&format!(
+        "  \"wall_off_s\": {:.6},\n  \"wall_class_s\": {:.6},\n  \"wall_full_s\": {:.6},\n",
+        off_wall.as_secs_f64(),
+        class_wall.as_secs_f64(),
+        full_wall.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  \"exp_per_s_off\": {off_eps:.4},\n  \"exp_per_s_class\": {class_eps:.4},\n  \"exp_per_s_full\": {full_eps:.4},\n"
+    ));
+    out.push_str(&format!(
+        "  \"classes_executed\": {classes},\n  \"experiments_fanned\": {fanned},\n"
+    ));
+    out.push_str(&format!(
+        "  \"fanout_row\": {{\"field\": \"R6\", \"classes_executed\": {r6_classes}, \"experiments_fanned\": {r6_fanned}, \"wall_off_s\": {:.6}, \"wall_full_s\": {:.6}, \"speedup\": {r6_speedup:.4}}},\n",
+        r6_off_wall.as_secs_f64(),
+        r6_full_wall.as_secs_f64()
+    ));
+    out.push_str(&format!(
+        "  \"speedup\": {speedup:.4},\n  \"gate_speedup\": {GATE_SPEEDUP},\n  \"verdicts_identical\": true\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e12.json");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    assert!(
+        speedup >= GATE_SPEEDUP,
+        "full-mode speedup {speedup:.2}x misses the {GATE_SPEEDUP}x gate"
+    );
+
+    let mut group = c.benchmark_group("e12");
+    group.sample_size(10);
+    for (name, predecode, class_exec) in [
+        ("campaign_off", false, false),
+        ("campaign_class", false, true),
+        ("campaign_full", true, true),
+    ] {
+        let mut campaign = e12_campaign("e12-b", Some("R6"), window);
+        campaign.experiments = 100;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut target = ThorTarget::new("thor-card", workload(WORKLOAD));
+                target.set_interpreter_fast_path(predecode);
+                CampaignRunner::new(&mut target, &campaign)
+                    .options(
+                        RunOptions::new()
+                            .pruning(Pruning::Off)
+                            .class_execution(class_exec),
+                    )
+                    .run()
+                    .expect("campaign runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

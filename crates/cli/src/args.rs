@@ -22,6 +22,7 @@ const FLAG_NAMES: &[&str] = &[
     "preinject",
     "parallel",
     "no-checkpoint",
+    "class-exec",
     "json",
     "help",
 ];

@@ -43,8 +43,10 @@ USAGE:
                   [--detail] [--preinject]
   goofi run       --db FILE --campaign NAME [--workers N] [--no-checkpoint]
                   [--telemetry off|metrics|trace] [--pruning off|trace|static]
+                  [--class-exec]
   goofi resume    --db FILE --campaign NAME [--workers N] [--no-checkpoint]
                   [--telemetry off|metrics|trace] [--pruning off|trace|static]
+                  [--class-exec]
   goofi analyze   --db FILE --campaign NAME
   goofi analyze   --workload WORKLOAD [--json] [--horizon N]
   goofi report    --db FILE --campaign NAME [--lambda L] [--mission HOURS]
@@ -287,11 +289,23 @@ fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
         result.pruned(),
         worker_note
     );
+    out.push_str(&class_savings_line(result.static_analysis.as_ref()));
     if let Some(tel) = &result.telemetry {
         out.push('\n');
         out.push_str(&tel.render());
     }
     Ok(out)
+}
+
+/// One-line equivalence-class execution summary for `goofi run`/`resume`,
+/// empty when the run fanned nothing out.
+fn class_savings_line(analysis: Option<&goofi_core::StaticAnalysis>) -> String {
+    match analysis.map(goofi_core::StaticAnalysis::class_savings) {
+        Some((classes, fanned)) if fanned > 0 => format!(
+            "class execution: {classes} representatives executed, {fanned} experiments fanned out\n"
+        ),
+        _ => String::new(),
+    }
 }
 
 /// Shared `goofi run`/`goofi resume` option parsing.
@@ -311,7 +325,8 @@ fn run_options(p: &ParsedArgs) -> Result<RunOptions, String> {
     Ok(RunOptions::new()
         .checkpoint(!p.has_flag("no-checkpoint"))
         .telemetry(telemetry)
-        .pruning(pruning))
+        .pruning(pruning)
+        .class_execution(p.has_flag("class-exec")))
 }
 
 /// Resumes an interrupted campaign: stored experiments are reused, the
@@ -342,6 +357,7 @@ fn cmd_resume(p: &ParsedArgs) -> Result<String, String> {
         result.runs.len(),
         result.stats.report()
     );
+    out.push_str(&class_savings_line(result.static_analysis.as_ref()));
     if let Some(tel) = &result.telemetry {
         out.push('\n');
         out.push_str(&tel.render());
@@ -465,9 +481,11 @@ fn cmd_report(p: &ParsedArgs) -> Result<String, String> {
     ));
 
     // Static pre-injection analysis, when the campaign ran with
-    // `--pruning static`: kept/pruned per location class (re-deriving
-    // the runner's verdict from the persisted dead windows) and the
-    // fault equivalence classes with their multiplicities.
+    // `--pruning static` or `--class-exec`: kept/pruned per location
+    // class (re-deriving the runner's verdict from the persisted dead
+    // windows) and the fault equivalence classes with their
+    // multiplicities — dead classes collapse to the reference outcome,
+    // live classes executed one representative for all members.
     if let Some(sa) = store.get_static_analysis(name).map_err(|e| e.to_string())? {
         out.push_str(&format!(
             "\nstatic pre-injection analysis ({} blocks, {} edges, horizon {}):\n",
@@ -498,19 +516,47 @@ fn cmd_report(p: &ParsedArgs) -> Result<String, String> {
         for (loc, (kept, pruned)) in &per_loc {
             out.push_str(&format!("  {loc:<16} {kept:>6} {pruned:>7}\n"));
         }
-        if !sa.classes.is_empty() {
+        let dead: Vec<_> = sa
+            .classes
+            .iter()
+            .filter(|c| c.kind == goofi_core::ClassKind::Dead)
+            .collect();
+        if !dead.is_empty() {
             out.push_str(&format!(
                 "  equivalence classes among pruned faults: {}\n",
-                sa.classes.len()
+                dead.len()
             ));
-            for c in sa.classes.iter().take(8) {
+            for c in dead.iter().take(8) {
                 out.push_str(&format!(
                     "    {} in dead window {:?}: multiplicity {}\n",
                     c.location, c.window, c.multiplicity
                 ));
             }
-            if sa.classes.len() > 8 {
-                out.push_str(&format!("    (+{} more)\n", sa.classes.len() - 8));
+            if dead.len() > 8 {
+                out.push_str(&format!("    (+{} more)\n", dead.len() - 8));
+            }
+        }
+        // Live classes: the campaign ran with `--class-exec`, executing
+        // one representative per class and fanning its verdict out.
+        let (live_classes, fanned) = sa.class_savings();
+        if live_classes > 0 {
+            out.push_str(&format!(
+                "  class execution savings: {live_classes} classes executed, \
+                 {fanned} faults fanned out ({fanned} experiments avoided)\n"
+            ));
+            for c in sa
+                .classes
+                .iter()
+                .filter(|c| c.kind == goofi_core::ClassKind::Live)
+                .take(8)
+            {
+                out.push_str(&format!(
+                    "    {} in equivalence window {:?}: {} members, representative #{}\n",
+                    c.location, c.window, c.multiplicity, c.representative
+                ));
+            }
+            if live_classes > 8 {
+                out.push_str(&format!("    (+{} more)\n", live_classes - 8));
             }
         }
     }
@@ -910,6 +956,71 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("--pruning"), "{err}");
+    }
+
+    #[test]
+    fn class_exec_run_matches_plain_classification_and_reports() {
+        let setup = |db: &str| {
+            call(&[
+                "configure",
+                "--db",
+                db,
+                "--target",
+                "t",
+                "--workload",
+                "sort8",
+            ])
+            .unwrap();
+            // One 32-bit field keeps the location space small enough
+            // that several faults provably share an equivalence class.
+            call(&[
+                "setup",
+                "--db",
+                db,
+                "--campaign",
+                "ce",
+                "--target",
+                "t",
+                "--workload",
+                "sort8",
+                "--chain",
+                "cpu",
+                "--field",
+                "R6",
+                "--experiments",
+                "60",
+                "--window",
+                "0:300",
+                "--seed",
+                "9",
+            ])
+            .unwrap();
+        };
+        let db_plain = tmpdb("class_plain.json");
+        setup(&db_plain);
+        let plain = call(&["run", "--db", &db_plain, "--campaign", "ce"]).unwrap();
+
+        let db_class = tmpdb("class_exec.json");
+        setup(&db_class);
+        let classed =
+            call(&["run", "--db", &db_class, "--campaign", "ce", "--class-exec"]).unwrap();
+        assert!(
+            classed.contains("class execution:"),
+            "run reports fan-out savings: {classed}"
+        );
+        // Classification is byte-identical with class execution on.
+        let classification = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("class execution:"))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(classification(&plain), classification(&classed));
+
+        // The report surfaces the savings from the persisted analysis.
+        let report = call(&["report", "--db", &db_class, "--campaign", "ce"]).unwrap();
+        assert!(report.contains("class execution savings"), "{report}");
+        assert!(report.contains("equivalence window"), "{report}");
     }
 
     #[test]

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The fault model of a campaign.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum FaultModel {
     /// One transient bit flip (the paper's baseline model).
     BitFlip,
@@ -71,7 +71,7 @@ impl fmt::Display for FaultModel {
 }
 
 /// A concrete injectable bit.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Location {
     /// Bit `bit` of scan chain `chain` (SCIFI).
     ChainBit {

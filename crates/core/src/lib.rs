@@ -80,7 +80,7 @@ pub use preinject::{FirstUse, LivenessAnalysis};
 pub use progress::{control_channel, Command, ControlHandle, Controller, ProgressEvent};
 pub use propagation::{analyze_propagation, PropagationReport, PropagationStep};
 pub use runner::{CampaignResult, CampaignRunner, RunOptions, Scheduler};
-pub use staticanalysis::{EquivalenceClass, Lint, LintKind, Pruning, StaticAnalysis};
+pub use staticanalysis::{ClassKind, EquivalenceClass, Lint, LintKind, Pruning, StaticAnalysis};
 pub use store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
 pub use target::{
     mem_loc_name, ChainInfo, FieldInfo, MemoryRegion, MemoryRole, TargetEvent, TargetSnapshot,

@@ -26,16 +26,17 @@
 
 use crate::algorithm::{reference_run, run_experiment, ExperimentRun};
 use crate::analysis::CampaignStats;
-use crate::campaign::Campaign;
+use crate::campaign::{Campaign, LogMode, Technique};
 use crate::checkpoint::{run_experiment_checkpointed, CheckpointPlan};
 use crate::error::{GoofiError, Result};
 use crate::fault::{generate_fault_list, PlannedFault, TriggerPolicy};
 use crate::preinject::LivenessAnalysis;
 use crate::progress::{Command, Controller, ProgressEvent};
-use crate::staticanalysis::{Pruning, StaticAnalysis};
+use crate::staticanalysis::{ClassKind, Pruning, StaticAnalysis};
 use crate::store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
 use crate::target::TargetSystemInterface;
 use goofi_telemetry::{names, CampaignTelemetry, Recorder, TelemetryMode, WorkerTelemetry};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -90,6 +91,16 @@ pub struct RunOptions {
     /// outcome either way, so logged rows are identical across modes for
     /// experiments that actually run.
     pub pruning: Pruning,
+    /// Execute one representative experiment per fault equivalence class
+    /// and synthesise the remaining class members' rows from it. Classes
+    /// group faults that mutate the same bits with the same model at
+    /// injection times within one first-touch window of the fault-free
+    /// timeline, so member outcomes are provably identical to the
+    /// representative's. Logged rows are byte-identical with the knob on
+    /// or off. Requires a target with a static analyzer (silently falls
+    /// back to executing everything otherwise). Defaults to `false`.
+    /// Ignored by [`Scheduler::Static`], which always executes directly.
+    pub class_execution: bool,
 }
 
 impl Default for RunOptions {
@@ -99,6 +110,7 @@ impl Default for RunOptions {
             telemetry: TelemetryMode::Off,
             scheduler: Scheduler::WorkStealing,
             pruning: Pruning::Trace,
+            class_execution: false,
         }
     }
 }
@@ -131,6 +143,12 @@ impl RunOptions {
     /// Sets the pre-injection pruning mode.
     pub fn pruning(mut self, pruning: Pruning) -> RunOptions {
         self.pruning = pruning;
+        self
+    }
+
+    /// Sets whether equivalence-class execution is enabled.
+    pub fn class_execution(mut self, on: bool) -> RunOptions {
+        self.class_execution = on;
         self
     }
 }
@@ -554,13 +572,128 @@ fn compute_prunable(
     faults.iter().map(|f| prune.can_prune(config, f)).collect()
 }
 
+/// Builds the synthetic result of an equivalence-class member from its
+/// representative's executed run. Soundness: both faults mutate the same
+/// bits with the same model, and every target location is untouched by
+/// the fault-free execution between the two injection times (they share
+/// the location's first-touch window), so the post-injection trajectories
+/// — and therefore every logged observable — coincide exactly.
+///
+/// `activations_done` is copied from the representative so the member row
+/// round-trips through the store identically to a directly-executed one.
+fn fanned_run(representative: &ExperimentRun, fault: &PlannedFault) -> ExperimentRun {
+    ExperimentRun {
+        fault: Some(fault.clone()),
+        termination: representative.termination.clone(),
+        outputs: representative.outputs.clone(),
+        state: representative.state.clone(),
+        instructions: representative.instructions,
+        iterations: representative.iterations,
+        activations_done: representative.activations_done,
+        detail_trace: None,
+        pruned: false,
+    }
+}
+
+/// The equivalence-class execution plan: which faults are proxied by a
+/// representative, and which members each representative fans out to.
+struct ClassPlan {
+    /// `proxy[i] = Some(rep)` when fault `i`'s row is synthesised from
+    /// `rep`'s executed run instead of running experiment `i` directly.
+    /// The representative is always the lowest member index, so
+    /// `rep < i` for every proxied `i`.
+    proxy: Vec<Option<usize>>,
+    /// Representative index → proxied member indices, ascending.
+    fanout: BTreeMap<usize, Vec<usize>>,
+}
+
+impl ClassPlan {
+    /// Groups the fault list into live execution classes (recorded on
+    /// `analysis` for persistence) and derives the proxy/fan-out tables.
+    ///
+    /// Eligibility is conservative: the identical-trajectory proof covers
+    /// single-activation breakpoint-injected faults observed in normal
+    /// log mode, and pruned faults already synthesise the reference.
+    fn build(
+        analysis: &mut StaticAnalysis,
+        campaign: &Campaign,
+        config: &crate::target::TargetSystemConfig,
+        faults: &[PlannedFault],
+        prunable: &[bool],
+    ) -> ClassPlan {
+        let technique_ok = matches!(
+            campaign.technique,
+            Technique::Scifi | Technique::SwifiRuntime
+        );
+        let eligible: Vec<bool> = faults
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                technique_ok
+                    && campaign.log_mode == LogMode::Normal
+                    && !prunable[i]
+                    && f.times.len() == 1
+            })
+            .collect();
+        analysis.compute_execution_classes(config, faults, &eligible);
+        let mut proxy = vec![None; faults.len()];
+        let mut fanout: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+        for class in &analysis.classes {
+            if class.kind != ClassKind::Live {
+                continue;
+            }
+            let rep = class.representative;
+            let members: Vec<usize> = class
+                .members
+                .iter()
+                .copied()
+                .filter(|&m| m != rep)
+                .collect();
+            for &m in &members {
+                proxy[m] = Some(rep);
+            }
+            if !members.is_empty() {
+                fanout.insert(rep, members);
+            }
+        }
+        ClassPlan { proxy, fanout }
+    }
+}
+
+/// `Some(rep)` when experiment `i` is proxied under the (optional) plan.
+fn proxied(plan: Option<&ClassPlan>, i: usize) -> Option<usize> {
+    plan.and_then(|p| p.proxy[i])
+}
+
+/// Resolves class execution for one campaign: the plan (when enabled and
+/// supported) plus the analysis to persist — the class-bearing analysis
+/// when class execution ran, otherwise whatever static pruning produced.
+fn resolve_classes(
+    campaign: &Campaign,
+    config: &crate::target::TargetSystemConfig,
+    faults: &[PlannedFault],
+    prunable: &[bool],
+    prune: PruneInfo,
+    class_analysis: Option<StaticAnalysis>,
+) -> (Option<ClassPlan>, Option<StaticAnalysis>) {
+    match class_analysis {
+        Some(mut analysis) => {
+            let plan = ClassPlan::build(&mut analysis, campaign, config, faults, prunable);
+            (Some(plan), Some(analysis))
+        }
+        None => (None, prune.into_static()),
+    }
+}
+
 /// Prepares the shared campaign inputs: reference trace (when needed),
-/// fault list, and the pruning decision source.
+/// fault list, the pruning decision source, and — when
+/// [`RunOptions::class_execution`] is on and the target has a static
+/// analyzer — the analysis that will carry the execution classes.
 fn prepare(
     target: &mut dyn TargetSystemInterface,
     campaign: &Campaign,
     options: &RunOptions,
-) -> Result<(Vec<PlannedFault>, PruneInfo)> {
+) -> Result<(Vec<PlannedFault>, PruneInfo, Option<StaticAnalysis>)> {
     let _s = tracing::span(names::PHASE_PREPARE);
     campaign.validate()?;
     let config = target.describe();
@@ -609,7 +742,31 @@ fn prepare(
             }
         }
     };
-    Ok((faults, prune))
+    let class_analysis = if options.class_execution {
+        match &prune {
+            // Static pruning already computed the analysis; classes are
+            // grouped on a copy so the persisted row carries both the
+            // dead classes and the live execution classes.
+            PruneInfo::Static(analysis) => Some(analysis.clone()),
+            _ => {
+                let horizon = faults
+                    .iter()
+                    .flat_map(|f| f.times.iter().copied())
+                    .max()
+                    .unwrap_or(0);
+                match target.static_analysis(horizon) {
+                    Ok(analysis) => Some(analysis),
+                    // Same fallback as above: no analyzer, no classes —
+                    // every experiment executes directly.
+                    Err(GoofiError::Unsupported { .. }) => None,
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    } else {
+        None
+    };
+    Ok((faults, prune, class_analysis))
 }
 
 /// Classification, as its own phase span.
@@ -627,10 +784,11 @@ fn sequential_run(
     options: &RunOptions,
     telemetry: Option<&Telemetry>,
 ) -> Result<CampaignResult> {
-    let (faults, prune) = prepare(target, campaign, options)?;
+    let (faults, prune, class_analysis) = prepare(target, campaign, options)?;
     let config = target.describe();
     let prunable = compute_prunable(&faults, &prune, &config);
-    let static_analysis = prune.into_static();
+    let (class_plan, static_analysis) =
+        resolve_classes(campaign, &config, &faults, &prunable, prune, class_analysis);
 
     if let Some(ctl) = controller {
         ctl.emit(ProgressEvent::Started {
@@ -651,8 +809,13 @@ fn sequential_run(
         ))?;
     }
 
+    // Proxied class members never execute, so they contribute no
+    // checkpoint snapshot times either.
     let plan = if options.checkpoint {
-        CheckpointPlan::build(target, campaign, &faults, &prunable)
+        let skip: Vec<bool> = (0..faults.len())
+            .map(|i| prunable[i] || proxied(class_plan.as_ref(), i).is_some())
+            .collect();
+        CheckpointPlan::build(target, campaign, &faults, &skip)
     } else {
         None
     };
@@ -675,6 +838,11 @@ fn sequential_run(
         let run = if pruned {
             tracing::value(names::COUNTER_PRUNED, 1);
             pruned_run(&reference, fault)
+        } else if let Some(rep) = proxied(class_plan.as_ref(), i) {
+            // The representative has the lowest index in its class, so
+            // its run is already in `runs`.
+            tracing::value(names::COUNTER_FANNED, 1);
+            fanned_run(&runs[rep], fault)
         } else {
             let busy_t0 = telemetry.map(|_| Instant::now());
             let run = {
@@ -741,10 +909,11 @@ fn sequential_resume(
     options: &RunOptions,
     telemetry: Option<&Telemetry>,
 ) -> Result<CampaignResult> {
-    let (faults, prune) = prepare(target, campaign, options)?;
+    let (faults, prune, class_analysis) = prepare(target, campaign, options)?;
     let config = target.describe();
     let prunable = compute_prunable(&faults, &prune, &config);
-    let static_analysis = prune.into_static();
+    let (class_plan, static_analysis) =
+        resolve_classes(campaign, &config, &faults, &prunable, prune, class_analysis);
 
     // Reference: reuse the stored row, or make and log it now.
     let ref_name = reference_experiment_name(&campaign.name);
@@ -768,11 +937,13 @@ fn sequential_resume(
     }
 
     // The pilot only needs checkpoints for experiments that will actually
-    // run: stored rows and prunable faults contribute no snapshot times.
+    // run: stored rows, prunable faults and proxied class members
+    // contribute no snapshot times.
     let plan = if options.checkpoint {
         let skip: Vec<bool> = (0..faults.len())
             .map(|i| {
                 prunable[i]
+                    || proxied(class_plan.as_ref(), i).is_some()
                     || store
                         .get_experiment(&experiment_name(&campaign.name, i))
                         .is_ok()
@@ -806,6 +977,11 @@ fn sequential_resume(
         let run = if pruned {
             tracing::value(names::COUNTER_PRUNED, 1);
             pruned_run(&reference, fault)
+        } else if let Some(rep) = proxied(class_plan.as_ref(), i) {
+            // The representative's run is in `runs` whether it was
+            // reloaded from the store or executed just now: rep < i.
+            tracing::value(names::COUNTER_FANNED, 1);
+            fanned_run(&runs[rep], fault)
         } else {
             let busy_t0 = telemetry.map(|_| Instant::now());
             let run = {
@@ -1120,6 +1296,7 @@ fn parallel_engine(
     faults: &[PlannedFault],
     prunable: &[bool],
     plan: Option<&CheckpointPlan>,
+    class_plan: Option<&ClassPlan>,
     reference: &ExperimentRun,
     log_reference: bool,
     mut slots: Vec<Option<ExperimentRun>>,
@@ -1137,10 +1314,15 @@ fn parallel_engine(
     }
 
     // `expected[i]`: a FinishedExperiment message will arrive for index i
-    // (false for rows preloaded from the store on resume).
+    // (false for rows preloaded from the store on resume). Proxied class
+    // members are never claimed: the worker that executes their
+    // representative fans their rows out itself, so each message still
+    // arrives — and on the same FIFO channel *after* the representative's,
+    // which keeps stop/resume sound (a member row can only be in the
+    // store if its representative's row is too).
     let expected: Vec<bool> = slots.iter().map(Option::is_none).collect();
     let worklist: Vec<usize> = (0..total)
-        .filter(|&i| expected[i] && !prunable[i])
+        .filter(|&i| expected[i] && !prunable[i] && proxied(class_plan, i).is_none())
         .collect();
     // Chunked claims: large enough to amortise cursor contention, small
     // enough that a slow experiment cannot strand a long tail behind one
@@ -1251,6 +1433,32 @@ fn parallel_engine(
                                     pruned: false,
                                     record,
                                 });
+                                // Fan the verdict out to this experiment's
+                                // equivalence-class members, after the
+                                // representative's own message (FIFO order
+                                // is what makes stop/resume sound).
+                                if let Some(members) = class_plan.and_then(|p| p.fanout.get(&i)) {
+                                    for &m in members {
+                                        if !expected[m] {
+                                            continue; // stored row (resume)
+                                        }
+                                        tracing::value(names::COUNTER_FANNED, 1);
+                                        let fan = fanned_run(&run, &faults[m]);
+                                        let record = store_attached.then(|| {
+                                            record_of(
+                                                campaign,
+                                                experiment_name(&campaign.name, m),
+                                                &fan,
+                                            )
+                                        });
+                                        let _ = tx.send(FinishedExperiment {
+                                            index: m,
+                                            pruned: false,
+                                            record,
+                                        });
+                                        local.push((m, fan));
+                                    }
+                                }
                                 local.push((i, run));
                             }
                             Err(e) => {
@@ -1271,12 +1479,18 @@ fn parallel_engine(
         // The pruning pre-pass runs on this thread, concurrently with the
         // workers: prunable outcomes are reference clones, not target
         // executions. A stop queued before the start skips it entirely,
-        // matching the sequential runner's zero-run stop.
+        // matching the sequential runner's zero-run stop. The same pass
+        // fans out class members whose representative row was preloaded
+        // from the store (resume): no worker will execute the
+        // representative again, so their rows are synthesised here.
         for i in 0..total {
             if pre.stopped {
                 break;
             }
-            if expected[i] && prunable[i] {
+            if !expected[i] {
+                continue;
+            }
+            if prunable[i] {
                 tracing::value(names::COUNTER_PRUNED, 1);
                 let run = pruned_run(reference, &faults[i]);
                 let record = store_attached
@@ -1287,6 +1501,19 @@ fn parallel_engine(
                     record,
                 });
                 slots[i] = Some(run);
+            } else if let Some(rep) = proxied(class_plan, i) {
+                if let Some(rep_run) = &slots[rep] {
+                    tracing::value(names::COUNTER_FANNED, 1);
+                    let run = fanned_run(rep_run, &faults[i]);
+                    let record = store_attached
+                        .then(|| record_of(campaign, experiment_name(&campaign.name, i), &run));
+                    let _ = tx.send(FinishedExperiment {
+                        index: i,
+                        pruned: false,
+                        record,
+                    });
+                    slots[i] = Some(run);
+                }
             }
         }
         drop(tx); // the writer exits once every producer is gone
@@ -1360,16 +1587,20 @@ fn parallel_run(
     // Prepare on a scratch target, which then doubles as the checkpoint
     // pilot: one execution serves every worker's restores.
     let mut scratch = factory();
-    let (faults, prune) = prepare(scratch.as_mut(), campaign, options)?;
+    let (faults, prune, class_analysis) = prepare(scratch.as_mut(), campaign, options)?;
     let config = scratch.describe();
     let prunable = compute_prunable(&faults, &prune, &config);
-    let static_analysis = prune.into_static();
+    let (class_plan, static_analysis) =
+        resolve_classes(campaign, &config, &faults, &prunable, prune, class_analysis);
     let reference = {
         let _s = tracing::span(names::PHASE_REFERENCE);
         reference_run(scratch.as_mut(), campaign)
     }?;
     let plan = if options.checkpoint {
-        CheckpointPlan::build(scratch.as_mut(), campaign, &faults, &prunable)
+        let skip: Vec<bool> = (0..faults.len())
+            .map(|i| prunable[i] || proxied(class_plan.as_ref(), i).is_some())
+            .collect();
+        CheckpointPlan::build(scratch.as_mut(), campaign, &faults, &skip)
     } else {
         None
     };
@@ -1385,6 +1616,7 @@ fn parallel_run(
         &faults,
         &prunable,
         plan.as_ref(),
+        class_plan.as_ref(),
         &reference,
         true,
         slots,
@@ -1417,10 +1649,11 @@ fn parallel_resume(
     telemetry: Option<&Telemetry>,
 ) -> Result<CampaignResult> {
     let mut scratch = factory();
-    let (faults, prune) = prepare(scratch.as_mut(), campaign, options)?;
+    let (faults, prune, class_analysis) = prepare(scratch.as_mut(), campaign, options)?;
     let config = scratch.describe();
     let prunable = compute_prunable(&faults, &prune, &config);
-    let static_analysis = prune.into_static();
+    let (class_plan, static_analysis) =
+        resolve_classes(campaign, &config, &faults, &prunable, prune, class_analysis);
     let ref_name = reference_experiment_name(&campaign.name);
     let (reference, log_reference) = match store.get_experiment(&ref_name) {
         Ok(record) => (record.to_run(), false),
@@ -1447,7 +1680,10 @@ fn parallel_resume(
         let skip: Vec<bool> = prunable
             .iter()
             .zip(&slots)
-            .map(|(&pruned, slot)| pruned || slot.is_some())
+            .enumerate()
+            .map(|(i, (&pruned, slot))| {
+                pruned || slot.is_some() || proxied(class_plan.as_ref(), i).is_some()
+            })
             .collect();
         CheckpointPlan::build(scratch.as_mut(), campaign, &faults, &skip)
     } else {
@@ -1464,6 +1700,7 @@ fn parallel_resume(
         &faults,
         &prunable,
         plan.as_ref(),
+        class_plan.as_ref(),
         &reference,
         log_reference,
         slots,
@@ -1495,9 +1732,10 @@ fn static_run(
     options: &RunOptions,
     telemetry: Option<&Telemetry>,
 ) -> Result<CampaignResult> {
-    // Prepare on a scratch target.
+    // Prepare on a scratch target. Class execution is a work-stealing
+    // feature: the baseline scheduler executes every experiment directly.
     let mut scratch = factory();
-    let (faults, prune) = prepare(scratch.as_mut(), campaign, options)?;
+    let (faults, prune, _class_analysis) = prepare(scratch.as_mut(), campaign, options)?;
     let config = scratch.describe();
     let reference = {
         let _s = tracing::span(names::PHASE_REFERENCE);

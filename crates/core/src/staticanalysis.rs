@@ -15,7 +15,7 @@
 //! here in `goofi-core` next to the fault list and runner that consume
 //! it.
 
-use crate::fault::PlannedFault;
+use crate::fault::{FaultModel, Location, PlannedFault};
 use crate::target::TargetSystemConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -96,21 +96,45 @@ pub struct Lint {
     pub message: String,
 }
 
-/// A set of planned faults the analysis proved equivalent: they land in
-/// the same statically dead window of the same location(s), so they all
-/// collapse to the same outcome (the reference outcome). One
-/// representative carries the class through classification; the
-/// multiplicity weights it in reports.
+/// How an [`EquivalenceClass`] was proved and what the runner may do
+/// with it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassKind {
+    /// Members land in a statically *dead* window: all collapse to the
+    /// reference outcome without executing anything. Pruning handles
+    /// them; the class only weights reports.
+    Dead,
+    /// Members share the same first-touch step of every target location
+    /// (an *equivalence window*, read- or write-terminated): executing
+    /// the representative yields the exact outcome of every member, so
+    /// the runner may execute one and fan the verdict out.
+    Live,
+}
+
+/// A set of planned faults the analysis proved equivalent. For
+/// [`ClassKind::Dead`] classes they land in the same statically dead
+/// window of the same location(s) and all collapse to the reference
+/// outcome. For [`ClassKind::Live`] classes they mutate the exact same
+/// bits and differ only in injection time within one first-touch
+/// equivalence window, so one representative execution is a faithful
+/// proxy for every member.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EquivalenceClass {
     /// Architectural location(s) of the member faults, comma-joined.
     pub location: String,
-    /// The dead window `[start, end]` the members share.
+    /// The window `[start, end]` the members share (dead window for
+    /// `Dead` classes, equivalence window of the first location for
+    /// `Live` classes).
     pub window: (u64, u64),
     /// Fault-list index of the representative member.
     pub representative: usize,
     /// Number of faults in the class (including the representative).
     pub multiplicity: usize,
+    /// Fault-list indices of every member, ascending; the first is the
+    /// representative.
+    pub members: Vec<usize>,
+    /// How the class was proved (and whether it is an execution proxy).
+    pub kind: ClassKind,
 }
 
 /// The persisted result of static workload analysis.
@@ -140,6 +164,12 @@ pub struct StaticAnalysis {
     pub edges: usize,
     /// location -> sorted disjoint inclusive dead windows.
     pub dead: BTreeMap<String, Vec<(u64, u64)>>,
+    /// location -> sorted disjoint inclusive *equivalence* windows:
+    /// maximal runs of injection times sharing the same first-touch step
+    /// of the location along the fault-free path. Two single-activation
+    /// faults on the same bits whose times fall in the same window of
+    /// every target location provably produce identical outcomes.
+    pub equiv: BTreeMap<String, Vec<(u64, u64)>>,
     /// Workload lints.
     pub lints: Vec<Lint>,
     /// Fault equivalence classes over the campaign's fault list (filled
@@ -164,6 +194,20 @@ impl StaticAnalysis {
     /// never dead.
     pub fn is_dead(&self, location: &str, time: u64) -> bool {
         time <= self.horizon && self.dead_window(location, time).is_some()
+    }
+
+    /// The equivalence window containing `time` for `location`, if any.
+    /// Unknown locations and times beyond the horizon have none.
+    pub fn equiv_window(&self, location: &str, time: u64) -> Option<(u64, u64)> {
+        if time > self.horizon {
+            return None;
+        }
+        let windows = self.equiv.get(location)?;
+        let idx = windows.partition_point(|&(_, end)| end < time);
+        windows
+            .get(idx)
+            .filter(|&&(start, _)| start <= time)
+            .copied()
     }
 
     /// Decides whether a whole planned fault can be skipped: every target
@@ -224,8 +268,99 @@ impl StaticAnalysis {
                 window,
                 representative: members[0],
                 multiplicity: members.len(),
+                members,
+                kind: ClassKind::Dead,
             })
             .collect();
+    }
+
+    /// Groups the faults the runner is about to execute into
+    /// [`ClassKind::Live`] execution classes and appends them to
+    /// `self.classes`. Only faults flagged `eligible` by the caller (the
+    /// runner excludes prunable faults and technique/log-mode
+    /// combinations whose injection path the proof does not cover) are
+    /// considered, and each must additionally have exactly one activation
+    /// time at which **every** target bit resolves to a modeled location
+    /// whose equivalence window contains that time. Two faults join the
+    /// same class iff they mutate the exact same bits with the same
+    /// model and every target location puts their times in the same
+    /// equivalence window — the soundness condition for executing one
+    /// member on behalf of the other.
+    pub fn compute_execution_classes(
+        &mut self,
+        config: &TargetSystemConfig,
+        faults: &[PlannedFault],
+        eligible: &[bool],
+    ) {
+        type Key = (Vec<Location>, FaultModel, Vec<(u64, u64)>);
+        let mut groups: BTreeMap<Key, Vec<usize>> = BTreeMap::new();
+        for (i, fault) in faults.iter().enumerate() {
+            if !eligible.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let [time] = fault.times[..] else { continue };
+            let mut names: Vec<String> = Vec::new();
+            let mut named = true;
+            for target in &fault.targets {
+                match target.architectural_name(config) {
+                    Some(name) => names.push(name),
+                    None => {
+                        named = false;
+                        break;
+                    }
+                }
+            }
+            if !named {
+                continue;
+            }
+            names.sort();
+            names.dedup();
+            let windows: Option<Vec<(u64, u64)>> = names
+                .iter()
+                .map(|name| self.equiv_window(name, time))
+                .collect();
+            let Some(windows) = windows else { continue };
+            let mut targets = fault.targets.clone();
+            targets.sort();
+            groups
+                .entry((targets, fault.model, windows))
+                .or_default()
+                .push(i);
+        }
+        for ((targets, _model, windows), members) in groups {
+            // Singleton classes buy nothing (their one member executes
+            // anyway) — only multi-member classes are worth recording.
+            if members.len() < 2 {
+                continue;
+            }
+            let mut names: Vec<String> = targets
+                .iter()
+                .filter_map(|t| t.architectural_name(config))
+                .collect();
+            names.sort();
+            names.dedup();
+            self.classes.push(EquivalenceClass {
+                location: names.join(","),
+                window: windows.first().copied().unwrap_or((0, 0)),
+                representative: members[0],
+                multiplicity: members.len(),
+                members,
+                kind: ClassKind::Live,
+            });
+        }
+    }
+
+    /// Savings equivalence-class execution realises on a full run:
+    /// `(live classes executed, member experiments fanned out from their
+    /// representatives)`. The second number is how many experiments a
+    /// class-executing campaign avoids running.
+    pub fn class_savings(&self) -> (usize, usize) {
+        self.classes
+            .iter()
+            .filter(|c| c.kind == ClassKind::Live)
+            .fold((0, 0), |(classes, fanned), c| {
+                (classes + 1, fanned + c.multiplicity.saturating_sub(1))
+            })
     }
 
     /// Serialises to JSON (for persistence and `goofi analyze --json`).
@@ -257,6 +392,10 @@ mod tests {
             edges: 3,
             dead: BTreeMap::from([
                 ("R1".to_string(), vec![(3, 5), (10, 20)]),
+                ("R2".to_string(), vec![(0, 0)]),
+            ]),
+            equiv: BTreeMap::from([
+                ("R1".to_string(), vec![(3, 5), (10, 20), (30, 40)]),
                 ("R2".to_string(), vec![(0, 0)]),
             ]),
             lints: Vec::new(),
@@ -371,6 +510,61 @@ mod tests {
         assert_eq!(c.representative, 0);
         assert_eq!(c.multiplicity, 2);
         assert!(a.classes.iter().all(|c| c.window != (7, 7)));
+    }
+
+    #[test]
+    fn equiv_windows_lookup() {
+        let a = analysis();
+        assert_eq!(a.equiv_window("R1", 35), Some((30, 40)));
+        assert_eq!(a.equiv_window("R1", 3), Some((3, 5)));
+        assert_eq!(a.equiv_window("R1", 6), None);
+        assert_eq!(a.equiv_window("R9", 3), None);
+        assert_eq!(a.equiv_window("R1", 200), None, "beyond the horizon");
+    }
+
+    #[test]
+    fn execution_classes_group_same_bits_same_window() {
+        let mut a = analysis();
+        let cfg = config();
+        let faults = vec![
+            fault(5, vec![30]),     // R1 equiv window (30,40)
+            fault(5, vec![35]),     // same bit, same window -> same class
+            fault(5, vec![40]),     // same again
+            fault(6, vec![30]),     // different bit -> singleton, dropped
+            fault(5, vec![50]),     // no equiv window -> no class
+            fault(5, vec![30, 35]), // multi-activation -> ineligible
+        ];
+        let eligible = vec![true; faults.len()];
+        a.compute_execution_classes(&cfg, &faults, &eligible);
+        assert_eq!(a.classes.len(), 1, "singletons are not recorded");
+        let big = &a.classes[0];
+        assert_eq!(big.kind, ClassKind::Live);
+        assert_eq!(big.multiplicity, 3);
+        assert_eq!(big.members, vec![0, 1, 2]);
+        assert_eq!(big.representative, 0);
+        assert_eq!(big.location, "R1");
+        assert_eq!(big.window, (30, 40));
+        assert_eq!(a.class_savings(), (1, 2), "one class saves two runs");
+    }
+
+    #[test]
+    fn class_savings_ignore_dead_classes() {
+        let mut a = analysis();
+        let cfg = config();
+        a.compute_classes(&cfg, &[fault(5, vec![4]), fault(6, vec![3])]);
+        assert!(!a.classes.is_empty());
+        assert_eq!(a.class_savings(), (0, 0));
+    }
+
+    #[test]
+    fn execution_classes_respect_eligibility_mask() {
+        let mut a = analysis();
+        let cfg = config();
+        let faults = vec![fault(5, vec![30]), fault(5, vec![35]), fault(5, vec![40])];
+        a.compute_execution_classes(&cfg, &faults, &[false, true, true]);
+        assert_eq!(a.classes.len(), 1);
+        assert_eq!(a.classes[0].members, vec![1, 2]);
+        assert_eq!(a.classes[0].representative, 1);
     }
 
     #[test]

@@ -892,6 +892,7 @@ mod tests {
             blocks: 4,
             edges: 5,
             dead: std::collections::BTreeMap::from([("R1".to_string(), vec![(2, 9)])]),
+            equiv: std::collections::BTreeMap::from([("R1".to_string(), vec![(0, 1), (2, 9)])]),
             lints: vec![crate::staticanalysis::Lint {
                 kind: crate::staticanalysis::LintKind::DeadStore,
                 message: "store at pc 8 is never read".into(),

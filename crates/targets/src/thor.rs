@@ -80,6 +80,13 @@ impl ThorTarget {
         self.cycle_budget = budget;
     }
 
+    /// Toggles the interpreter's predecoded fast path (on by default).
+    /// Benches flip it off to measure the predecode speedup against the
+    /// plain fetch/decode loop; results are architecturally identical.
+    pub fn set_interpreter_fast_path(&mut self, on: bool) {
+        self.card.machine_mut().set_predecode(on);
+    }
+
     /// The underlying test card (for tests and ad-hoc inspection).
     pub fn card(&self) -> &TestCard {
         &self.card

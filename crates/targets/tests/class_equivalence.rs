@@ -1,0 +1,190 @@
+//! Property tests for the execution-class soundness contract: every
+//! member of a [`ClassKind::Live`] equivalence class, executed directly,
+//! must classify exactly like its representative — same termination,
+//! outputs, observable state, instruction count and iteration count.
+//! This is the property the runner's fan-out rests on when
+//! `RunOptions::class_execution` synthesises member rows from one
+//! representative execution. Exercised on both ISAs: randomized Thor
+//! workload parameters and randomly generated StackVM programs, with
+//! randomized injection windows and fault-list seeds.
+
+use goofi_core::{
+    generate_fault_list, run_experiment, Campaign, ClassKind, FaultModel, LocationSelector,
+    TargetSystemInterface, TriggerPolicy,
+};
+use goofi_stackvm::Op;
+use goofi_targets::{StackProgram, StackVmTarget, ThorTarget};
+use goofi_workloads::{crc32_workload, fibonacci_workload, sort_workload};
+use proptest::prelude::*;
+
+/// The shared property: group the fault list into execution classes the
+/// way the runner does (single-activation faults only), then run each
+/// class's representative and every member directly and demand identical
+/// observables.
+fn assert_members_match_representative(
+    target: &mut dyn TargetSystemInterface,
+    field_index: usize,
+    window: (u64, u64),
+    experiments: usize,
+    seed: u64,
+) -> usize {
+    let config = target.describe();
+    // Concentrate the faults on one field of the first chain — spread
+    // over the whole chain, two faults almost never hit the same bit and
+    // the class structure this test exists to check would stay empty.
+    let field = config.chains[0]
+        .fields
+        .get(field_index % config.chains[0].fields.len().max(1))
+        .map(|f| f.name.clone());
+    let selectors = vec![LocationSelector::Chain {
+        chain: config.chains[0].name.clone(),
+        field,
+    }];
+    let trigger = TriggerPolicy::Window {
+        start: window.0,
+        end: window.1,
+    };
+    let faults = generate_fault_list(
+        &config,
+        &selectors,
+        FaultModel::BitFlip,
+        &trigger,
+        experiments,
+        seed,
+        None,
+    )
+    .expect("fault list generates");
+    let horizon = faults
+        .iter()
+        .flat_map(|f| f.times.iter().copied())
+        .max()
+        .unwrap_or(0);
+
+    let mut analysis = match target.static_analysis(horizon) {
+        Ok(a) => a,
+        // Program shape the analyzer declines: the runner would not
+        // build a class plan either.
+        Err(_) => return 0,
+    };
+    let eligible: Vec<bool> = faults.iter().map(|f| f.times.len() == 1).collect();
+    analysis.compute_execution_classes(&config, &faults, &eligible);
+
+    let campaign = Campaign::builder("prop", config.name.clone(), "w")
+        .select(selectors[0].clone())
+        .window(window.0, window.1)
+        .experiments(experiments)
+        .build()
+        .expect("campaign builds");
+
+    let mut checked = 0;
+    for class in analysis
+        .classes
+        .iter()
+        .filter(|c| c.kind == ClassKind::Live)
+    {
+        let rep = match run_experiment(target, &campaign, &faults[class.representative]) {
+            Ok(run) => run,
+            // The workload itself fails under this target (random
+            // StackVM programs trap freely before the fault matters):
+            // members would fail identically, nothing to compare.
+            Err(_) => return checked,
+        };
+        for &member in &class.members {
+            let run = run_experiment(target, &campaign, &faults[member])
+                .expect("member executes like its representative");
+            let mut expected = rep.clone();
+            expected.fault = run.fault.clone();
+            assert_eq!(
+                run, expected,
+                "member {member} of class at {:?} (rep {}) diverged",
+                class.window, class.representative
+            );
+            checked += 1;
+        }
+    }
+    checked
+}
+
+/// A random StackVM instruction (same shape as the static-soundness
+/// suite): wild jumps and stack underflows must trap identically for
+/// every member, never diverge.
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-4i32..8).prop_map(Op::Push),
+        (8i32..16).prop_map(Op::Push),
+        (0u32..6).prop_map(Op::Load),
+        (0u32..6).prop_map(Op::Store),
+        Just(Op::Add),
+        Just(Op::Sub),
+        Just(Op::Mul),
+        Just(Op::Dup),
+        Just(Op::Drop),
+        Just(Op::Swap),
+        (0u32..25).prop_map(Op::Jmp),
+        (0u32..25).prop_map(Op::Jz),
+        (0u32..25).prop_map(Op::Call),
+        Just(Op::Ret),
+        Just(Op::Halt),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn thor_class_members_classify_like_their_representative(
+        kind in 0u8..3,
+        n in 2usize..16,
+        wseed in 0u32..16,
+        field in 0usize..8,
+        start in 0u64..100,
+        width in 1u64..800,
+        fseed in 0u64..1_000,
+    ) {
+        let workload = match kind {
+            0 => sort_workload(n, wseed),
+            1 => fibonacci_workload(n as u32 + 1),
+            _ => crc32_workload(n, wseed),
+        };
+        let mut target = ThorTarget::new("thor-card", workload);
+        assert_members_match_representative(
+            &mut target, field, (start, start + width), 30, fseed,
+        );
+    }
+
+    #[test]
+    fn stackvm_class_members_classify_like_their_representative(
+        body in proptest::collection::vec(arb_op(), 1..24),
+        field in 0usize..8,
+        start in 0u64..50,
+        width in 1u64..500,
+        fseed in 0u64..1_000,
+    ) {
+        let mut ops = vec![Op::Push(3), Op::Push(1), Op::Push(4), Op::Push(1)];
+        ops.extend(body);
+        ops.push(Op::Halt);
+        let program = StackProgram {
+            name: "prop".into(),
+            ops,
+            result_addrs: vec![1],
+        };
+        let mut target = StackVmTarget::new("stackvm", program, 8);
+        target.set_step_budget(8_000);
+        assert_members_match_representative(
+            &mut target, field, (start, start + width), 30, fseed,
+        );
+    }
+}
+
+/// Guards the property against vacuity: a deterministic campaign shape
+/// known to produce live classes must actually compare members.
+#[test]
+fn thor_sort_campaign_exercises_real_classes() {
+    let mut target = ThorTarget::new("thor-card", sort_workload(8, 1));
+    let config = target.describe();
+    let r6 = config.chains[0]
+        .fields
+        .iter()
+        .position(|f| f.name == "R6")
+        .expect("cpu chain has R6");
+    let checked = assert_members_match_representative(&mut target, r6, (0, 300), 60, 9);
+    assert!(checked > 0, "no class members were ever compared");
+}

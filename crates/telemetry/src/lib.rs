@@ -83,6 +83,9 @@ pub mod names {
     pub const COUNTER_CHECKPOINT_HIT: &str = "checkpoint.restore_hit";
     /// Counter: experiments skipped by the liveness pruning pre-pass.
     pub const COUNTER_PRUNED: &str = "experiments.pruned";
+    /// Counter: experiments synthesised by fanning an equivalence-class
+    /// representative's verdict out to its members.
+    pub const COUNTER_FANNED: &str = "experiments.fanned";
 }
 
 /// How much telemetry a campaign run records.

@@ -77,6 +77,18 @@ pub struct CoreState {
     pub halted: bool,
 }
 
+/// One predecoded instruction slot: the decoded form plus the raw word it
+/// was decoded from. The raw word doubles as the invalidation tag — a slot
+/// is valid only while it matches the word the fetch path returns, so any
+/// write to instruction memory (host download, SWIFI, scan-chain or cache
+/// faults, snapshot restore) invalidates it implicitly, with no hook on
+/// any mutation path to forget.
+#[derive(Debug, Clone, Copy)]
+struct PredecodedSlot {
+    raw: u32,
+    instr: Instr,
+}
+
 /// The simulated processor.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Machine {
@@ -94,6 +106,18 @@ pub struct Machine {
     memory: Memory,
     icache: Cache,
     dcache: Cache,
+    // Predecoded-instruction cache, one slot per code word, validated
+    // against the fetched word on every step. Pure derived state: never
+    // serialised (a deserialised machine starts cold and refills lazily)
+    // and never part of equality or checkpoints.
+    #[serde(skip)]
+    predecode: Vec<Option<PredecodedSlot>>,
+    // Ablation knob: `true` bypasses the predecode cache so every step
+    // decodes its fetched word from scratch (the pre-optimisation
+    // interpreter). Architecturally invisible either way; benches flip it
+    // to measure the predecode speedup honestly.
+    #[serde(skip)]
+    predecode_off: bool,
 }
 
 impl Machine {
@@ -114,7 +138,23 @@ impl Machine {
             memory: Memory::new(config.memory),
             icache: Cache::new(config.icache),
             dcache: Cache::new(config.dcache),
+            predecode: vec![None; (config.memory.code_end / 4) as usize],
+            predecode_off: false,
         }
+    }
+
+    /// Enables (`true`, the default) or disables the predecoded-dispatch
+    /// cache. With it off, [`Machine::step`] decodes every fetched word
+    /// from scratch and [`TestCard::run`](crate::TestCard::run) falls back
+    /// to its general loop — the pre-optimisation interpreter, kept as a
+    /// benchmark ablation. Architectural behaviour is identical.
+    pub fn set_predecode(&mut self, on: bool) {
+        self.predecode_off = !on;
+    }
+
+    /// Whether the predecoded-dispatch cache is enabled.
+    pub fn predecode_enabled(&self) -> bool {
+        !self.predecode_off
     }
 
     /// The machine configuration.
@@ -317,6 +357,22 @@ impl Machine {
     /// machine state is left as of the failing micro-operation (the PC still
     /// points at the faulting instruction), mirroring a hardware trap.
     pub fn step(&mut self) -> Result<Step, Exception> {
+        self.step_impl::<true>()
+    }
+
+    /// [`Machine::step`] minus the per-instruction read/write-set
+    /// bookkeeping: the returned [`StepInfo`] carries pc/word/cycles and
+    /// the branch-taken flag but empty `reads`/`writes` and cleared
+    /// def/use flags. Every architectural effect — registers, PSW, ir,
+    /// mar, mdr, wdt, cycles, instret, memory, caches — is identical to
+    /// [`Machine::step`]; only trace metadata is skipped, so this is the
+    /// inner-loop primitive for untraced execution.
+    pub fn step_fast(&mut self) -> Result<Step, Exception> {
+        self.step_impl::<false>()
+    }
+
+    #[inline(always)]
+    fn step_impl<const COLLECT: bool>(&mut self) -> Result<Step, Exception> {
         if self.halted {
             return Ok(Step {
                 info: StepInfo::new(self.pc, 0),
@@ -340,12 +396,34 @@ impl Machine {
                 Exception::DcacheParity { line } => Exception::IcacheParity { line },
                 other => other,
             })?;
-        self.ir = access.value;
-        let mut info = StepInfo::new(pc, access.value);
+        let word = access.value;
+        self.ir = word;
+        let mut info = StepInfo::new(pc, word);
         info.cycles += access.extra_cycles;
 
-        let instr =
-            Instr::decode(self.ir).ok_or(Exception::IllegalInstruction { word: access.value })?;
+        // Dispatch through the predecode cache when the slot still matches
+        // the word the fetch path just produced; (re)fill it otherwise.
+        // `pc < code_end` here (the fetch above enforces it), so the index
+        // is always in range once the cache is sized; a deserialised
+        // machine starts with an empty cache and sizes it on first miss.
+        let index = (pc >> 2) as usize;
+        let instr = if self.predecode_off {
+            Instr::decode(word).ok_or(Exception::IllegalInstruction { word })?
+        } else {
+            match self.predecode.get(index) {
+                Some(&Some(slot)) if slot.raw == word => slot.instr,
+                _ => {
+                    let instr =
+                        Instr::decode(word).ok_or(Exception::IllegalInstruction { word })?;
+                    if self.predecode.len() <= index {
+                        self.predecode
+                            .resize((self.config.memory.code_end / 4) as usize, None);
+                    }
+                    self.predecode[index] = Some(PredecodedSlot { raw: word, instr });
+                    instr
+                }
+            }
+        };
 
         let mut next_pc = pc.wrapping_add(4);
         let mut event = None;
@@ -558,7 +636,9 @@ impl Machine {
             }
         }
 
-        Self::record_effect(&mut info, &instr.effect(), mem_addr);
+        if COLLECT {
+            Self::record_effect(&mut info, &instr.effect(), mem_addr);
+        }
 
         if event != Some(CoreEvent::Halted) {
             self.pc = next_pc;
@@ -942,6 +1022,127 @@ mod tests {
         run(&mut m, 10).unwrap();
         assert_eq!(m.psw() & 0xf0, 0, "reserved bits cleared by flag write");
         assert_ne!(m.psw() & PSW_Z, 0);
+    }
+
+    #[test]
+    fn predecode_invalidated_by_instruction_memory_write() {
+        // First run fills the predecode cache; a host (SWIFI) write then
+        // rewrites an instruction word in place. Replaying from the same
+        // memory must dispatch the new word, not the stale decoded slot.
+        let mut m = machine_with(&[
+            I::Li { rd: 1, imm: 5 },
+            I::St {
+                rd: 1,
+                rs1: 0,
+                imm: 0x4000,
+            },
+            I::Halt,
+        ]);
+        run(&mut m, 10).unwrap();
+        assert_eq!(m.memory().host_read(0x4000), Some(5));
+        // Flip a bit in the li immediate (5 -> 7), rewind the core only.
+        // The icache is invalidated so the new word actually reaches the
+        // fetch stage; the predecode slot for word 0 still holds the old
+        // decode and must be rejected by its raw-word tag.
+        let word = m.memory().host_read(0).unwrap();
+        m.memory_mut().host_write(0, word ^ 0b10);
+        m.icache_mut().invalidate_all();
+        m.set_core_state(&CoreState::default());
+        run(&mut m, 10).unwrap();
+        assert_eq!(m.memory().host_read(0x4000), Some(7));
+    }
+
+    #[test]
+    fn step_fast_matches_step_architecturally() {
+        let code = [
+            I::Li { rd: 1, imm: 5 },
+            I::Li { rd: 3, imm: 0 },
+            I::Add {
+                rd: 3,
+                rs1: 3,
+                rs2: 1,
+            },
+            I::Addi {
+                rd: 1,
+                rs1: 1,
+                imm: -1,
+            },
+            I::Cmpi { rs1: 1, imm: 0 },
+            I::Branch {
+                cond: Cond::Ne,
+                imm: -4,
+            },
+            I::Mul {
+                rd: 4,
+                rs1: 3,
+                rs2: 3,
+            },
+            I::St {
+                rd: 4,
+                rs1: 0,
+                imm: 0x4000,
+            },
+            I::Ld {
+                rd: 5,
+                rs1: 0,
+                imm: 0x4000,
+            },
+            I::Halt,
+        ];
+        let mut a = machine_with(&code);
+        let mut b = machine_with(&code);
+        loop {
+            let sa = a.step().unwrap();
+            let sb = b.step_fast().unwrap();
+            assert_eq!(sa.event, sb.event);
+            assert_eq!(sa.info.pc, sb.info.pc);
+            assert_eq!(sa.info.word, sb.info.word);
+            assert_eq!(sa.info.cycles, sb.info.cycles);
+            assert_eq!(sa.info.branch_taken, sb.info.branch_taken);
+            assert_eq!(a.core_state(), b.core_state());
+            if sa.event == Some(CoreEvent::Halted) {
+                break;
+            }
+        }
+        assert_eq!(a.memory().words(), b.memory().words());
+    }
+
+    #[test]
+    fn predecode_off_matches_predecode_on() {
+        // The ablation knob must be architecturally invisible: a machine
+        // decoding every word from scratch steps identically to one
+        // dispatching through the predecode cache.
+        let code = [
+            I::Li { rd: 1, imm: 9 },
+            I::Li { rd: 2, imm: 4 },
+            I::Sub {
+                rd: 3,
+                rs1: 1,
+                rs2: 2,
+            },
+            I::St {
+                rd: 3,
+                rs1: 0,
+                imm: 0x4000,
+            },
+            I::Halt,
+        ];
+        let mut a = machine_with(&code);
+        let mut b = machine_with(&code);
+        b.set_predecode(false);
+        assert!(a.predecode_enabled());
+        assert!(!b.predecode_enabled());
+        loop {
+            let sa = a.step().unwrap();
+            let sb = b.step().unwrap();
+            assert_eq!(sa.info.pc, sb.info.pc);
+            assert_eq!(sa.info.word, sb.info.word);
+            assert_eq!(a.core_state(), b.core_state());
+            if sa.event == Some(CoreEvent::Halted) {
+                break;
+            }
+        }
+        assert_eq!(a.memory().words(), b.memory().words());
     }
 
     #[test]

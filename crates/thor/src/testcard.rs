@@ -423,6 +423,49 @@ impl TestCard {
             return ev.clone();
         }
         let deadline = self.machine.cycles().saturating_add(cycle_budget);
+        // Fast path: with tracing off and no address breakpoints armed,
+        // the only host-side work per instruction is two integer
+        // compares. The next instruction-count breakpoint is hoisted out
+        // of the loop (nothing inside inserts breakpoints, and `instret`
+        // only counts up, so breakpoints already behind the machine can
+        // never fire — exactly the general loop's semantics), and
+        // `step_fast` skips the per-step read/write-set bookkeeping that
+        // only traces consume.
+        if !self.tracing && self.addr_breakpoints.is_empty() && self.machine.predecode_enabled() {
+            let next_bp = self
+                .instret_breakpoints
+                .range(self.machine.instret()..)
+                .next()
+                .copied();
+            loop {
+                let instret = self.machine.instret();
+                if Some(instret) == next_bp {
+                    self.instret_breakpoints.remove(&instret);
+                    return DebugEvent::Breakpoint {
+                        pc: self.machine.pc(),
+                        instret,
+                    };
+                }
+                if self.machine.cycles() >= deadline {
+                    return DebugEvent::TimedOut;
+                }
+                match self.machine.step_fast() {
+                    Ok(step) => match step.event {
+                        Some(CoreEvent::Halted) => {
+                            self.latched = Some(DebugEvent::Halted);
+                            return DebugEvent::Halted;
+                        }
+                        Some(CoreEvent::Sync) => return DebugEvent::IterationSync,
+                        None => {}
+                    },
+                    Err(e) => {
+                        let ev = DebugEvent::ErrorDetected(e);
+                        self.latched = Some(ev.clone());
+                        return ev;
+                    }
+                }
+            }
+        }
         loop {
             // Breakpoints fire before the instruction executes.
             if self.instret_breakpoints.remove(&self.machine.instret())

@@ -40,3 +40,8 @@ analyze workload="sort16":
 # refreshes BENCH_e11.json at the repo root.
 bench-e11:
     cargo bench -p goofi-bench --bench e11_static_pruning
+
+# E12 class execution + predecoded interpreter (asserts the ≥1.5x gate
+# and byte-identical verdicts); refreshes BENCH_e12.json at the repo root.
+bench-e12:
+    cargo bench -p goofi-bench --bench e12_class_execution
