@@ -459,6 +459,8 @@ impl Model {
             equiv,
             lints: self.lints(&reachable, &wbr),
             classes: Vec::new(),
+            eligible_faults: 0,
+            singleton_classes: 0,
         }
     }
 }

@@ -105,6 +105,11 @@ fn bench(c: &mut Criterion) {
     assert_same_verdicts("e3/full", &off, &full);
 
     let (classes, fanned) = savings(full.static_analysis.as_ref());
+    let (eligible, singletons) = full
+        .static_analysis
+        .as_ref()
+        .map(|a| (a.eligible_faults, a.singleton_classes))
+        .unwrap_or((0, 0));
     let eps = |wall: Duration| EXPERIMENTS as f64 / wall.as_secs_f64();
     let (off_eps, class_eps, full_eps) = (eps(off_wall), eps(class_wall), eps(full_wall));
     let speedup = full_eps / off_eps;
@@ -114,6 +119,16 @@ fn bench(c: &mut Criterion) {
     println!(
         "class execution: {classes} representatives fanned {fanned} experiments; speedup {speedup:.2}x (gate {GATE_SPEEDUP}x)"
     );
+    if classes == 0 {
+        // Not a bug: spread over the whole scan chain, 400 faults rarely
+        // mutate the same bit, so every candidate group stays a singleton
+        // and is dropped. The counters prove the planner looked.
+        println!(
+            "no classes on the whole-chain campaign: {eligible} faults were class-eligible \
+             but all {singletons} candidate groups were singletons (no two faults share \
+             targets+model+window) — see the R6 fan-out row for collisions"
+        );
+    }
 
     // The fan-out row: the same campaign concentrated on one scratch
     // register, where faults collide on the same bit and the class
@@ -123,6 +138,11 @@ fn bench(c: &mut Criterion) {
     let (r6_full_wall, r6_full) = run_mode(&r6, true, true);
     assert_same_verdicts("r6/full", &r6_off, &r6_full);
     let (r6_classes, r6_fanned) = savings(r6_full.static_analysis.as_ref());
+    let (r6_eligible, r6_singletons) = r6_full
+        .static_analysis
+        .as_ref()
+        .map(|a| (a.eligible_faults, a.singleton_classes))
+        .unwrap_or((0, 0));
     assert!(
         r6_fanned > 0,
         "R6-concentrated campaign fanned nothing out — the class half of E12 is vacuous"
@@ -151,7 +171,10 @@ fn bench(c: &mut Criterion) {
         "  \"classes_executed\": {classes},\n  \"experiments_fanned\": {fanned},\n"
     ));
     out.push_str(&format!(
-        "  \"fanout_row\": {{\"field\": \"R6\", \"classes_executed\": {r6_classes}, \"experiments_fanned\": {r6_fanned}, \"wall_off_s\": {:.6}, \"wall_full_s\": {:.6}, \"speedup\": {r6_speedup:.4}}},\n",
+        "  \"eligible_faults\": {eligible},\n  \"singleton_classes\": {singletons},\n"
+    ));
+    out.push_str(&format!(
+        "  \"fanout_row\": {{\"field\": \"R6\", \"classes_executed\": {r6_classes}, \"experiments_fanned\": {r6_fanned}, \"eligible_faults\": {r6_eligible}, \"singleton_classes\": {r6_singletons}, \"wall_off_s\": {:.6}, \"wall_full_s\": {:.6}, \"speedup\": {r6_speedup:.4}}},\n",
         r6_off_wall.as_secs_f64(),
         r6_full_wall.as_secs_f64()
     ));

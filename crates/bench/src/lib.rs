@@ -4,6 +4,8 @@
 //! prints the experiment's table (classification counts, pruning rates,
 //! ...) and then measures the relevant latencies with Criterion.
 
+pub mod e13;
+
 use goofi_core::{
     generate_fault_list, Campaign, FaultModel, LivenessAnalysis, LocationSelector,
     TargetSystemInterface, Technique,

@@ -55,6 +55,8 @@ USAGE:
   goofi workloads [--show WORKLOAD]
   goofi list      --db FILE
   goofi sql       --db FILE \"STATEMENT\"
+  goofi db stats   --db FILE [--json]
+  goofi db compact --db FILE
 
 Workloads: sortN, matmulN, crc32xN, fibN, pid
 ";
@@ -109,6 +111,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "workloads" => cmd_workloads(&parsed),
         "list" => cmd_list(&parsed),
         "sql" => cmd_sql(&parsed),
+        "db" => cmd_db(&parsed),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
 }
@@ -687,6 +690,91 @@ fn cmd_sql(p: &ParsedArgs) -> Result<String, String> {
     }
 }
 
+/// Storage-engine maintenance: `goofi db stats` / `goofi db compact`.
+fn cmd_db(p: &ParsedArgs) -> Result<String, String> {
+    match p.positional.first().map(String::as_str) {
+        Some("stats") => cmd_db_stats(p),
+        Some("compact") => cmd_db_compact(p),
+        other => Err(format!(
+            "db needs a verb: `stats` or `compact` (got `{}`)",
+            other.unwrap_or("")
+        )),
+    }
+}
+
+/// Page, WAL and index statistics of a paged database file.
+fn cmd_db_stats(p: &ParsedArgs) -> Result<String, String> {
+    use goofi_db::storage::{is_paged_file, PagedEngine};
+    let db = p.require("db")?;
+    let path = Path::new(db);
+    if !path.exists() {
+        return Err(format!("no database at `{db}`"));
+    }
+    if !is_paged_file(path) {
+        return Err(format!(
+            "`{db}` is a legacy JSON snapshot — run `goofi db compact --db {db}` to migrate it \
+             to the paged format first"
+        ));
+    }
+    let mut engine = PagedEngine::open(path).map_err(|e| e.to_string())?;
+    let stats = engine.stats().map_err(|e| e.to_string())?;
+    if p.has_flag("json") {
+        return serde_json::to_string_pretty(&stats)
+            .map(|s| s + "\n")
+            .map_err(|e| e.to_string());
+    }
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "page size:   {} B", stats.page_size);
+    let _ = writeln!(
+        out,
+        "data file:   {} pages, {} B",
+        stats.page_count, stats.file_bytes
+    );
+    let _ = writeln!(
+        out,
+        "write-ahead: {} records, {} B",
+        stats.wal_records, stats.wal_bytes
+    );
+    let dead: u64 = stats.tables.iter().map(|t| t.dead_slots).sum();
+    let live: u64 = stats.tables.iter().map(|t| t.live_rows).sum();
+    let _ = writeln!(
+        out,
+        "rows:        {live} live, {dead} dead slot(s){}",
+        if dead > 0 {
+            " — `goofi db compact` reclaims them"
+        } else {
+            ""
+        }
+    );
+    for t in &stats.tables {
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>8} rows {:>6} dead {:>6} pages {:>8} indexed",
+            t.name, t.live_rows, t.dead_slots, t.heap_pages, t.index_entries
+        );
+    }
+    Ok(out)
+}
+
+/// Checkpoint + vacuum: rewrites the database as a compact paged file,
+/// dropping dead slots and truncating the write-ahead log. Also migrates
+/// legacy JSON snapshots to the paged format.
+fn cmd_db_compact(p: &ParsedArgs) -> Result<String, String> {
+    use goofi_db::storage::wal_path;
+    let db = p.require("db")?;
+    let path = Path::new(db);
+    if !path.exists() {
+        return Err(format!("no database at `{db}`"));
+    }
+    let file_len = |p: &Path| std::fs::metadata(p).map(|m| m.len()).unwrap_or(0);
+    let before = file_len(path) + file_len(&wal_path(path));
+    let mut store = load_store(db)?;
+    store.save(db).map_err(|e| e.to_string())?;
+    let after = file_len(path) + file_len(&wal_path(path));
+    Ok(format!("compacted `{db}`: {before} B -> {after} B\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1206,5 +1294,69 @@ mod tests {
         assert!(out.contains("swifi-preruntime"));
         let out = call(&["run", "--db", &db, "--campaign", "cs"]).unwrap();
         assert!(out.contains("experiments:"));
+    }
+
+    #[test]
+    fn db_stats_and_compact_report_engine_state() {
+        let db = tmpdb("dbverbs.json");
+        call(&[
+            "configure",
+            "--db",
+            &db,
+            "--target",
+            "thor-card",
+            "--workload",
+            "fib10",
+        ])
+        .unwrap();
+        call(&[
+            "setup",
+            "--db",
+            &db,
+            "--campaign",
+            "cv",
+            "--target",
+            "thor-card",
+            "--workload",
+            "fib10",
+            "--experiments",
+            "8",
+            "--window",
+            "0:40",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
+        call(&["run", "--db", &db, "--campaign", "cv"]).unwrap();
+        let out = call(&["db", "stats", "--db", &db]).unwrap();
+        assert!(out.contains("LoggedSystemState"), "{out}");
+        assert!(out.contains("page size:"), "{out}");
+        let json = call(&["db", "stats", "--db", &db, "--json"]).unwrap();
+        assert!(
+            json.contains("\"page_count\"") && json.contains("\"tables\""),
+            "{json}"
+        );
+        let out = call(&["db", "compact", "--db", &db]).unwrap();
+        assert!(out.contains("compacted"), "{out}");
+        // The compacted file still answers stats and reports.
+        let out = call(&["db", "stats", "--db", &db]).unwrap();
+        assert!(out.contains("0 dead"), "{out}");
+        call(&["report", "--db", &db, "--campaign", "cv"]).unwrap();
+        assert!(call(&["db", "frobnicate", "--db", &db]).is_err());
+        assert!(call(&["db", "stats", "--db", "/tmp/definitely-missing.db"]).is_err());
+    }
+
+    #[test]
+    fn db_compact_migrates_legacy_json_snapshots() {
+        let db = tmpdb("dblegacy.json");
+        // Write a legacy JSON snapshot directly (pre-engine on-disk format).
+        let store = GoofiStore::new();
+        store.database().save(&db).unwrap();
+        let err = call(&["db", "stats", "--db", &db]).unwrap_err();
+        assert!(err.contains("legacy JSON"), "{err}");
+        let out = call(&["db", "compact", "--db", &db]).unwrap();
+        assert!(out.contains("compacted"), "{out}");
+        let out = call(&["db", "stats", "--db", &db]).unwrap();
+        assert!(out.contains("TargetSystemData"), "{out}");
     }
 }

@@ -176,6 +176,19 @@ pub struct StaticAnalysis {
     /// in by the runner via [`StaticAnalysis::compute_classes`]; empty
     /// for a bare `goofi analyze`).
     pub classes: Vec<EquivalenceClass>,
+    /// Faults the runner flagged eligible in the last
+    /// [`StaticAnalysis::compute_execution_classes`] call. When
+    /// `classes` stays empty this says whether no fault qualified at all
+    /// or the eligible ones simply never collided. Absent (0) in
+    /// analyses persisted before the counter existed.
+    #[serde(default)]
+    pub eligible_faults: usize,
+    /// Candidate groups dropped because only one fault shared the
+    /// (targets, model, windows) key — a singleton class buys nothing,
+    /// its one member executes anyway. Absent (0) in analyses persisted
+    /// before the counter existed.
+    #[serde(default)]
+    pub singleton_classes: usize,
 }
 
 impl StaticAnalysis {
@@ -293,6 +306,8 @@ impl StaticAnalysis {
         eligible: &[bool],
     ) {
         type Key = (Vec<Location>, FaultModel, Vec<(u64, u64)>);
+        self.eligible_faults = eligible.iter().filter(|&&e| e).count();
+        self.singleton_classes = 0;
         let mut groups: BTreeMap<Key, Vec<usize>> = BTreeMap::new();
         for (i, fault) in faults.iter().enumerate() {
             if !eligible.get(i).copied().unwrap_or(false) {
@@ -331,6 +346,7 @@ impl StaticAnalysis {
             // Singleton classes buy nothing (their one member executes
             // anyway) — only multi-member classes are worth recording.
             if members.len() < 2 {
+                self.singleton_classes += 1;
                 continue;
             }
             let mut names: Vec<String> = targets
@@ -400,6 +416,8 @@ mod tests {
             ]),
             lints: Vec::new(),
             classes: Vec::new(),
+            eligible_faults: 0,
+            singleton_classes: 0,
         }
     }
 

@@ -14,8 +14,9 @@ use crate::campaign::Campaign;
 use crate::error::{GoofiError, Result};
 use crate::fault::PlannedFault;
 use crate::target::{TargetEvent, TargetSystemConfig};
+use goofi_db::storage::{is_paged_file, write_database, PagedEngine};
 use goofi_db::{
-    Column, Database, Delete, Expr, Insert, Journal, Select, TableSchema, Value, ValueType,
+    journal_path, Column, Database, Delete, Expr, Insert, Select, TableSchema, Value, ValueType,
 };
 use goofi_telemetry::{names, CampaignTelemetry};
 use serde::{Deserialize, Serialize};
@@ -124,14 +125,21 @@ fn telemetry_schema() -> TableSchema {
     .expect("static schema")
 }
 
+/// Name of the declared secondary index on `LoggedSystemState`
+/// (`campaignName`, `experimentName`): campaign report scans and resume
+/// walk it instead of scanning every experiment row.
+const LSS_INDEX: &str = "byCampaignExperiment";
+
 /// The tool's database handle.
 #[derive(Debug, Default)]
 pub struct GoofiStore {
     db: Database,
-    /// Streaming-persistence sidecar: when enabled, every logged experiment
-    /// row is also appended to the on-disk journal, so a crash mid-campaign
-    /// loses at most the in-flight experiment (see `goofi_db::Journal`).
-    journal: Option<Journal>,
+    /// Streaming-persistence engine: when enabled, every mutation is
+    /// mirrored into an on-disk paged database whose write-ahead log makes
+    /// each logged experiment durable as it happens — a crash mid-campaign
+    /// loses at most the in-flight experiment (see
+    /// [`goofi_db::storage::PagedEngine`]).
+    engine: Option<PagedEngine>,
 }
 
 impl GoofiStore {
@@ -183,13 +191,15 @@ impl GoofiStore {
                     Column::new("stateVector", ValueType::Blob),
                 ],
             )
+            .expect("static schema")
+            .with_index(LSS_INDEX, &["campaignName", "experimentName"])
             .expect("static schema"),
         )
         .expect("fresh database");
         db.create_table(telemetry_schema()).expect("fresh database");
         db.create_table(static_analysis_schema())
             .expect("fresh database");
-        GoofiStore { db, journal: None }
+        GoofiStore { db, engine: None }
     }
 
     /// Direct access to the database, for the analysis phase's "tailor made
@@ -203,30 +213,44 @@ impl GoofiStore {
         &mut self.db
     }
 
-    /// Persists the store to a file: an atomic full snapshot. Any enabled
-    /// [journal](GoofiStore::enable_journal) is truncated afterwards — the
-    /// snapshot has captured its rows.
+    /// Persists the store to a file in the paged on-disk format. With the
+    /// [engine](GoofiStore::enable_journal) attached at the same path this
+    /// is a *checkpoint*: dirty pages are flushed (torn-page-safe via WAL
+    /// page images) and the write-ahead log is truncated. Otherwise the
+    /// whole database is rewritten as a compact, byte-deterministic paged
+    /// file.
     ///
     /// # Errors
     ///
     /// [`GoofiError::Database`] on I/O failure.
     pub fn save(&mut self, path: impl AsRef<Path>) -> Result<()> {
-        self.db.save(path)?;
-        if let Some(journal) = self.journal.as_mut() {
-            journal.truncate()?;
+        let path = path.as_ref();
+        if let Some(engine) = self.engine.as_mut() {
+            if engine.path() == path {
+                engine.checkpoint()?;
+                return Ok(());
+            }
         }
+        write_database(path, &self.db)?;
         Ok(())
     }
 
-    /// Loads a store from a file written by [`GoofiStore::save`], replaying
-    /// the sidecar journal (experiments logged after the last snapshot)
-    /// when one exists.
+    /// Loads a store from a file written by [`GoofiStore::save`]. Paged
+    /// files are recovered through the engine (replaying any write-ahead
+    /// log tail past the last checkpoint, tolerating a torn final record);
+    /// legacy JSON snapshots — including their sidecar journals — stay
+    /// readable through the old loader.
     ///
     /// # Errors
     ///
     /// [`GoofiError::Database`] on I/O or schema failure.
     pub fn load(path: impl AsRef<Path>) -> Result<GoofiStore> {
-        let mut db = Database::load(path)?;
+        let path = path.as_ref();
+        let mut db = if is_paged_file(path) {
+            PagedEngine::open(path)?.to_database()?
+        } else {
+            Database::load(path)?
+        };
         for table in ["TargetSystemData", "CampaignData", "LoggedSystemState"] {
             db.table(table)?;
         }
@@ -238,27 +262,49 @@ impl GoofiStore {
         if db.table("StaticAnalysisData").is_err() {
             db.create_table(static_analysis_schema())?;
         }
-        Ok(GoofiStore { db, journal: None })
+        // Databases saved before the secondary index existed gain it here
+        // (declare_index is a no-op when already present).
+        db.declare_index(
+            "LoggedSystemState",
+            LSS_INDEX,
+            &["campaignName", "experimentName"],
+        )?;
+        Ok(GoofiStore { db, engine: None })
     }
 
-    /// Turns on streaming persistence: every subsequent
-    /// [`GoofiStore::log_experiment`] is appended to `<db_path>.journal`
-    /// (one JSON line, flushed) in addition to the in-memory insert. With
-    /// the journal enabled, a checkpointed campaign writes O(rows) bytes
-    /// total instead of one full snapshot per experiment, and a crashed
-    /// campaign is recovered by [`GoofiStore::load`] + resume.
+    /// Turns on streaming persistence: the database is written to
+    /// `db_path` in the paged format and every subsequent mutation is
+    /// mirrored into it through the engine's write-ahead log (one
+    /// length-prefixed, checksummed record per change, flushed). A
+    /// checkpointed campaign writes O(rows) bytes total instead of one
+    /// full snapshot per experiment, and a crashed campaign is recovered
+    /// by [`GoofiStore::load`] + resume. Any stale legacy `<db_path>.journal`
+    /// sidecar is removed — its rows were replayed at load time and are
+    /// captured by the paged rewrite.
     ///
     /// # Errors
     ///
-    /// [`GoofiError::Database`] if the journal file cannot be opened.
+    /// [`GoofiError::Database`] if the paged file or its WAL cannot be
+    /// written.
     pub fn enable_journal(&mut self, db_path: impl AsRef<Path>) -> Result<()> {
-        self.journal = Some(Journal::open(db_path)?);
+        let path = db_path.as_ref();
+        if let Some(engine) = self.engine.as_ref() {
+            if engine.path() == path {
+                return Ok(());
+            }
+        }
+        // Rewriting (rather than opening in place) guarantees the on-disk
+        // state matches `self.db` even when the caller mutated the store
+        // between load and enable.
+        write_database(path, &self.db)?;
+        let _ = std::fs::remove_file(journal_path(path));
+        self.engine = Some(PagedEngine::open(path)?);
         Ok(())
     }
 
     /// Whether streaming persistence is enabled.
     pub fn journaling(&self) -> bool {
-        self.journal.is_some()
+        self.engine.is_some()
     }
 
     // ------------------------------------------------------------------
@@ -273,20 +319,19 @@ impl GoofiStore {
     pub fn put_target(&mut self, config: &TargetSystemConfig) -> Result<()> {
         let json = serde_json::to_string(config)
             .map_err(|e| GoofiError::Target(format!("config serialisation failed: {e}")))?;
+        let row: Vec<Value> = vec![
+            config.name.as_str().into(),
+            config.description.as_str().into(),
+            json.as_str().into(),
+        ];
         // Replace-if-exists keeps the FK graph intact.
         let existing = self.db.select(
             Select::from("TargetSystemData")
                 .filter(Expr::col("testCardName").eq(Expr::lit(config.name.as_str()))),
         )?;
         if existing.is_empty() {
-            self.db.insert(Insert::into(
-                "TargetSystemData",
-                vec![
-                    config.name.as_str().into(),
-                    config.description.as_str().into(),
-                    json.into(),
-                ],
-            ))?;
+            self.db
+                .insert(Insert::into("TargetSystemData", row.clone()))?;
         } else {
             self.db.update(goofi_db::Update {
                 table: "TargetSystemData".into(),
@@ -296,6 +341,10 @@ impl GoofiStore {
                 ],
                 filter: Some(Expr::col("testCardName").eq(Expr::lit(config.name.as_str()))),
             })?;
+        }
+        if let Some(engine) = self.engine.as_mut() {
+            engine.delete_by_pk("TargetSystemData", &row[0])?;
+            engine.append("TargetSystemData", &row)?;
         }
         Ok(())
     }
@@ -349,19 +398,20 @@ impl GoofiStore {
     pub fn put_campaign(&mut self, campaign: &Campaign) -> Result<()> {
         let json = serde_json::to_string(campaign)
             .map_err(|e| GoofiError::Campaign(format!("serialisation failed: {e}")))?;
-        self.db.insert(Insert::into(
-            "CampaignData",
-            vec![
-                campaign.name.as_str().into(),
-                campaign.target.as_str().into(),
-                campaign.workload.as_str().into(),
-                campaign.technique.name().into(),
-                campaign.fault_model.name().into(),
-                (campaign.experiments as i64).into(),
-                campaign.log_mode.name().into(),
-                json.into(),
-            ],
-        ))?;
+        let row: Vec<Value> = vec![
+            campaign.name.as_str().into(),
+            campaign.target.as_str().into(),
+            campaign.workload.as_str().into(),
+            campaign.technique.name().into(),
+            campaign.fault_model.name().into(),
+            (campaign.experiments as i64).into(),
+            campaign.log_mode.name().into(),
+            json.into(),
+        ];
+        self.db.insert(Insert::into("CampaignData", row.clone()))?;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.append("CampaignData", &row)?;
+        }
         Ok(())
     }
 
@@ -428,8 +478,8 @@ impl GoofiStore {
         ];
         self.db
             .insert(Insert::into("LoggedSystemState", row.clone()))?;
-        if let Some(journal) = self.journal.as_mut() {
-            journal.append("LoggedSystemState", &row)?;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.append("LoggedSystemState", &row)?;
         }
         Ok(())
     }
@@ -471,11 +521,9 @@ impl GoofiStore {
 
     /// Stores (or replaces) a campaign's telemetry rollup.
     ///
-    /// With the journal enabled, the row is also appended to the sidecar.
-    /// Journal replay skips duplicate primary keys, so after a
-    /// snapshot-then-rerun sequence the snapshot's rollup wins over a
-    /// journaled update — acceptable for observability metadata, which
-    /// never feeds result analysis.
+    /// With streaming persistence enabled the replacement is mirrored into
+    /// the engine as a delete + append, so the latest rollup survives a
+    /// crash without waiting for a checkpoint.
     ///
     /// # Errors
     ///
@@ -494,8 +542,9 @@ impl GoofiStore {
         ];
         self.db
             .insert(Insert::into("CampaignTelemetry", row.clone()))?;
-        if let Some(journal) = self.journal.as_mut() {
-            journal.append("CampaignTelemetry", &row)?;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.delete_by_pk("CampaignTelemetry", &row[0])?;
+            engine.append("CampaignTelemetry", &row)?;
         }
         Ok(())
     }
@@ -536,6 +585,9 @@ impl GoofiStore {
         // like one that never held the rollup (byte-identity proofs rely
         // on this).
         self.db.vacuum("CampaignTelemetry")?;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.delete_by_pk("CampaignTelemetry", &Value::from(campaign))?;
+        }
         Ok(())
     }
 
@@ -545,8 +597,8 @@ impl GoofiStore {
 
     /// Stores (or replaces) a campaign's static workload analysis.
     ///
-    /// With the journal enabled, the row is also appended to the sidecar
-    /// (same duplicate-key semantics as telemetry).
+    /// With streaming persistence enabled the replacement is mirrored into
+    /// the engine (same delete + append semantics as telemetry).
     ///
     /// # Errors
     ///
@@ -568,8 +620,9 @@ impl GoofiStore {
         ];
         self.db
             .insert(Insert::into("StaticAnalysisData", row.clone()))?;
-        if let Some(journal) = self.journal.as_mut() {
-            journal.append("StaticAnalysisData", &row)?;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.delete_by_pk("StaticAnalysisData", &row[0])?;
+            engine.append("StaticAnalysisData", &row)?;
         }
         Ok(())
     }
@@ -610,6 +663,9 @@ impl GoofiStore {
             filter: Some(Expr::col("campaignName").eq(Expr::lit(campaign))),
         })?;
         self.db.vacuum("StaticAnalysisData")?;
+        if let Some(engine) = self.engine.as_mut() {
+            engine.delete_by_pk("StaticAnalysisData", &Value::from(campaign))?;
+        }
         Ok(())
     }
 
@@ -644,6 +700,7 @@ impl GoofiStore {
 mod tests {
     use super::*;
     use crate::fault::{FaultModel, Location, LocationSelector};
+    use goofi_db::storage::wal_path;
 
     fn target_config() -> TargetSystemConfig {
         TargetSystemConfig {
@@ -859,7 +916,7 @@ mod tests {
         assert_eq!(restored.get_experiment("c1/001").unwrap().name, "c1/001");
         assert_eq!(restored.get_telemetry("c1").unwrap(), Some(rollup));
         std::fs::remove_file(&path).ok();
-        std::fs::remove_file(dir.join("store.json.journal")).ok();
+        std::fs::remove_file(wal_path(&path)).ok();
     }
 
     #[test]
@@ -898,6 +955,8 @@ mod tests {
                 message: "store at pc 8 is never read".into(),
             }],
             classes: Vec::new(),
+            eligible_faults: 0,
+            singleton_classes: 0,
         }
     }
 
@@ -948,6 +1007,6 @@ mod tests {
         let restored = GoofiStore::load(&path).unwrap();
         assert_eq!(restored.get_static_analysis("c1").unwrap(), Some(analysis));
         std::fs::remove_file(&path).ok();
-        std::fs::remove_file(dir.join("store.json.journal")).ok();
+        std::fs::remove_file(wal_path(&path)).ok();
     }
 }

@@ -1,7 +1,7 @@
 //! The database engine: catalog, statement execution, referential integrity.
 
 use crate::error::DbError;
-use crate::expr::Expr;
+use crate::expr::{BinOp, Expr};
 use crate::query::{AggFunc, Delete, Insert, ResultSet, Select, SelectItem, SortOrder, Update};
 use crate::schema::TableSchema;
 use crate::table::{IndexKey, Row, Table};
@@ -187,6 +187,30 @@ impl Database {
             .ok_or_else(|| DbError::NoSuchTable(name.to_owned()))
     }
 
+    /// Installs a fully-built table without foreign-key validation, for
+    /// the paged engine's load path. Replaces any table of the same name.
+    pub(crate) fn install_table(&mut self, table: Table) {
+        self.tables.insert(table.schema().name().to_owned(), table);
+    }
+
+    /// Declares a secondary index on `table`, indexing current and all
+    /// future rows. A no-op when the table already has an index of that
+    /// name — callers use this to migrate databases saved before the
+    /// index was declared in the schema.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::NoSuchTable`] for an unknown table, [`DbError::Parse`]
+    /// for an empty or unknown column list.
+    pub fn declare_index(
+        &mut self,
+        table: &str,
+        name: &str,
+        columns: &[&str],
+    ) -> Result<(), DbError> {
+        self.table_mut(table)?.declare_index(name, columns)
+    }
+
     // ------------------------------------------------------------------
     // Transactions (single level, snapshot based)
     // ------------------------------------------------------------------
@@ -317,22 +341,26 @@ impl Database {
     /// [`DbError::NoSuchTable`] / [`DbError::NoSuchColumn`]. On error the
     /// statement is a no-op (all-or-nothing per statement).
     pub fn insert(&mut self, stmt: Insert) -> Result<usize, DbError> {
-        let schema = self.table(&stmt.table)?.schema().clone();
-        // Map provided columns onto full-width rows.
-        let positions: Vec<usize> = match &stmt.columns {
-            None => (0..schema.arity()).collect(),
-            Some(cols) => {
-                let mut positions = Vec::with_capacity(cols.len());
-                for c in cols {
-                    positions.push(schema.column_index(c).ok_or_else(|| {
-                        DbError::NoSuchColumn {
-                            table: stmt.table.clone(),
-                            column: c.clone(),
-                        }
-                    })?);
+        // Map provided columns onto full-width rows (short borrow: the
+        // schema is not cloned — inserts are the hot append path).
+        let (arity, positions) = {
+            let schema = self.table(&stmt.table)?.schema();
+            let positions: Vec<usize> = match &stmt.columns {
+                None => (0..schema.arity()).collect(),
+                Some(cols) => {
+                    let mut positions = Vec::with_capacity(cols.len());
+                    for c in cols {
+                        positions.push(schema.column_index(c).ok_or_else(|| {
+                            DbError::NoSuchColumn {
+                                table: stmt.table.clone(),
+                                column: c.clone(),
+                            }
+                        })?);
+                    }
+                    positions
                 }
-                positions
-            }
+            };
+            (schema.arity(), positions)
         };
         let mut full_rows = Vec::with_capacity(stmt.rows.len());
         for row in stmt.rows {
@@ -342,7 +370,7 @@ impl Database {
                     got: row.len(),
                 });
             }
-            let mut full = vec![Value::Null; schema.arity()];
+            let mut full = vec![Value::Null; arity];
             for (pos, v) in positions.iter().zip(row) {
                 full[*pos] = v;
             }
@@ -510,11 +538,36 @@ impl Database {
 
     /// Executes a SELECT.
     ///
+    /// Joinless queries whose WHERE clause contains `column = literal`
+    /// conjuncts are answered through an index when one applies — the
+    /// primary key / a UNIQUE column, a declared secondary index
+    /// ([`crate::IndexSpec`]) by longest column prefix, or a
+    /// foreign-key child index — falling back to a full scan
+    /// otherwise. The full WHERE clause is always re-applied as a
+    /// residual filter, so index use never changes results (see
+    /// [`Database::select_scan`] for the reference path).
+    ///
     /// # Errors
     ///
     /// [`DbError::NoSuchTable`] and expression-evaluation errors
     /// ([`DbError::Eval`]) for unknown/ambiguous columns or type errors.
     pub fn select(&self, stmt: Select) -> Result<ResultSet, DbError> {
+        self.select_impl(stmt, true)
+    }
+
+    /// Executes a SELECT without index planning — every base row is
+    /// scanned. Semantically identical to [`Database::select`]; kept
+    /// public as the reference implementation index-equivalence tests
+    /// compare against.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Database::select`].
+    pub fn select_scan(&self, stmt: Select) -> Result<ResultSet, DbError> {
+        self.select_impl(stmt, false)
+    }
+
+    fn select_impl(&self, stmt: Select, use_indexes: bool) -> Result<ResultSet, DbError> {
         // 1. Bind the base table.
         let base = self.table(&stmt.table)?;
         let base_qual = stmt.alias.clone().unwrap_or_else(|| stmt.table.clone());
@@ -524,7 +577,22 @@ impl Database {
             .iter()
             .map(|c| (base_qual.clone(), c.name().to_owned()))
             .collect();
-        let mut rows: Vec<Vec<Value>> = base.iter().map(|(_, r)| r.clone()).collect();
+        let planned = if use_indexes && stmt.joins.is_empty() {
+            stmt.filter
+                .as_ref()
+                .and_then(|f| Self::plan_base_ids(base, &base_qual, f))
+        } else {
+            None
+        };
+        let mut rows: Vec<Vec<Value>> = match planned {
+            // Ids come back ascending, matching full-scan row order.
+            Some(ids) => ids
+                .into_iter()
+                .filter_map(|id| base.row(id))
+                .cloned()
+                .collect(),
+            None => base.iter().map(|(_, r)| r.clone()).collect(),
+        };
 
         // 2. Inner joins, left to right (nested loop).
         for join in &stmt.joins {
@@ -572,6 +640,119 @@ impl Database {
         } else {
             self.select_plain(&stmt, &header, rows)
         }
+    }
+
+    /// Collects `column = literal` conjuncts of an AND-chain that bind
+    /// base-table columns (unqualified or qualified with `qual`). Null
+    /// literals are ignored: `col = NULL` is never true in SQL.
+    fn eq_conjuncts<'a>(filter: &'a Expr, qual: &str, out: &mut Vec<(&'a str, &'a Value)>) {
+        match filter {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
+                Self::eq_conjuncts(lhs, qual, out);
+                Self::eq_conjuncts(rhs, qual, out);
+            }
+            Expr::Binary {
+                op: BinOp::Eq,
+                lhs,
+                rhs,
+            } => match (&**lhs, &**rhs) {
+                (Expr::Column { table, name }, Expr::Literal(v))
+                | (Expr::Literal(v), Expr::Column { table, name })
+                    if table.as_deref().is_none_or(|t| t == qual) && !v.is_null() =>
+                {
+                    out.push((name.as_str(), v));
+                }
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    /// Picks an access path for a joinless filtered select: the row ids
+    /// (ascending) of a superset of the matching rows, or `None` when
+    /// no index applies and the caller should scan. Index equality is
+    /// `total_cmp`-based, which agrees with SQL `=` wherever the latter
+    /// is true, so the residual filter only ever shrinks the set.
+    fn plan_base_ids(table: &Table, qual: &str, filter: &Expr) -> Option<Vec<usize>> {
+        let mut conjuncts: Vec<(&str, &Value)> = Vec::new();
+        Self::eq_conjuncts(filter, qual, &mut conjuncts);
+        if conjuncts.is_empty() {
+            return None;
+        }
+        let schema = table.schema();
+        let value_of = |col: &str| conjuncts.iter().find(|(c, _)| *c == col).map(|(_, v)| *v);
+        // 1. A UNIQUE / PRIMARY KEY column pins at most one row.
+        for (ci, col) in schema.columns().iter().enumerate() {
+            if col.is_unique() {
+                if let Some(v) = value_of(col.name()) {
+                    return Some(table.lookup_unique(ci, v).into_iter().collect());
+                }
+            }
+        }
+        // 2. Declared secondary index with the longest bound prefix.
+        let mut best: Option<(&str, Vec<Value>)> = None;
+        for ix in schema.indexes() {
+            let prefix: Vec<Value> = ix
+                .columns
+                .iter()
+                .map_while(|c| value_of(c).cloned())
+                .collect();
+            if !prefix.is_empty() && best.as_ref().is_none_or(|(_, p)| p.len() < prefix.len()) {
+                best = Some((&ix.name, prefix));
+            }
+        }
+        if let Some((name, prefix)) = best {
+            return table.secondary_scan(name, &prefix);
+        }
+        // 3. A foreign-key child column's multi-index.
+        for (ci, _) in schema.foreign_keys() {
+            let col = schema.columns()[ci].name();
+            if schema.columns()[ci].is_unique() {
+                continue; // already handled above
+            }
+            if let Some(v) = value_of(col) {
+                return Some(table.lookup_multi(ci, v));
+            }
+        }
+        None
+    }
+
+    /// Renders the database's logical content as canonical text: tables
+    /// sorted by name, rows ordered by primary key (or whole-row order
+    /// for keyless tables), values in their SQL display form. Two
+    /// databases with the same logical content produce identical dumps
+    /// regardless of storage engine, insertion order of equal keys, or
+    /// tombstone layout — the determinism tests compare these.
+    pub fn logical_dump(&self) -> String {
+        let mut out = String::new();
+        for (name, table) in &self.tables {
+            out.push_str(&format!("== {name} ({})\n", table.len()));
+            let mut rows: Vec<&Row> = table.iter().map(|(_, r)| r).collect();
+            let pk = table.schema().primary_key_index();
+            rows.sort_by(|a, b| match pk {
+                Some(ci) => a[ci].total_cmp(&b[ci]),
+                None => {
+                    let mut ord = std::cmp::Ordering::Equal;
+                    for (va, vb) in a.iter().zip(b.iter()) {
+                        ord = va.total_cmp(vb);
+                        if ord != std::cmp::Ordering::Equal {
+                            break;
+                        }
+                    }
+                    ord
+                }
+            });
+            for row in rows {
+                let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                out.push_str(&cells.join(" | "));
+                out.push('\n');
+            }
+        }
+        out
     }
 
     fn select_plain(

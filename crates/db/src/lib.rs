@@ -44,6 +44,7 @@ mod persist;
 mod query;
 mod schema;
 mod sql;
+pub mod storage;
 mod table;
 mod value;
 
@@ -52,7 +53,7 @@ pub use error::DbError;
 pub use expr::{BinOp, Expr};
 pub use persist::{journal_path, Journal};
 pub use query::{AggFunc, Delete, Insert, Join, ResultSet, Select, SelectItem, SortOrder, Update};
-pub use schema::{Column, ForeignKey, TableSchema};
+pub use schema::{Column, ForeignKey, IndexSpec, TableSchema};
 pub use sql::SqlOutput;
 pub use table::{Row, Table};
 pub use value::{Value, ValueType};

@@ -101,11 +101,25 @@ impl Column {
     }
 }
 
+/// A declared secondary index: an ordered list of columns queries can
+/// be answered through without a full scan.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexSpec {
+    /// Index name (unique within the table).
+    pub name: String,
+    /// Indexed columns, most significant first.
+    pub columns: Vec<String>,
+}
+
 /// A table schema: an ordered list of columns.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TableSchema {
     name: String,
     columns: Vec<Column>,
+    /// Declared secondary indexes. Defaults to empty so snapshots
+    /// written before indexes existed still deserialize.
+    #[serde(default)]
+    indexes: Vec<IndexSpec>,
 }
 
 impl TableSchema {
@@ -142,7 +156,56 @@ impl TableSchema {
                 "table `{name}` declares more than one PRIMARY KEY column"
             )));
         }
-        Ok(TableSchema { name, columns })
+        Ok(TableSchema {
+            name,
+            columns,
+            indexes: Vec::new(),
+        })
+    }
+
+    /// Declares a secondary index over `columns` (most significant
+    /// first). Builder style, used at schema-definition time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Parse`] if the name duplicates an existing
+    /// index, the column list is empty, or a column does not exist.
+    pub fn with_index(
+        mut self,
+        name: impl Into<String>,
+        columns: &[&str],
+    ) -> Result<TableSchema, DbError> {
+        let name = name.into();
+        if columns.is_empty() {
+            return Err(DbError::Parse(format!(
+                "index `{name}` on table `{}` has no columns",
+                self.name
+            )));
+        }
+        if self.indexes.iter().any(|ix| ix.name == name) {
+            return Err(DbError::Parse(format!(
+                "duplicate index `{name}` on table `{}`",
+                self.name
+            )));
+        }
+        for col in columns {
+            if self.column_index(col).is_none() {
+                return Err(DbError::Parse(format!(
+                    "index `{name}` names unknown column `{col}` of table `{}`",
+                    self.name
+                )));
+            }
+        }
+        self.indexes.push(IndexSpec {
+            name,
+            columns: columns.iter().map(|c| (*c).to_owned()).collect(),
+        });
+        Ok(self)
+    }
+
+    /// Declared secondary indexes.
+    pub fn indexes(&self) -> &[IndexSpec] {
+        &self.indexes
     }
 
     /// Table name.

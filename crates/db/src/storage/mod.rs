@@ -1,0 +1,39 @@
+//! Paged storage engine: disk manager, buffer pool, slotted-page row
+//! heaps, a binary checksummed WAL, and B-tree indexes.
+//!
+//! The JSON snapshot model (`Database::save`) rewrites the whole
+//! database on every durable save — O(total rows) per save — and the
+//! JSON-lines journal re-serialises every appended row as text. This
+//! module replaces both with a real storage engine:
+//!
+//! * [`DiskManager`] reads and writes fixed-size 4 KiB pages;
+//! * [`BufferPool`] caches pages with a deterministic LRU and a
+//!   *no-steal* policy (dirty pages are never evicted, so the file on
+//!   disk always equals the last checkpoint between checkpoints);
+//! * [`heap`] lays rows out in slotted pages chained per table, with
+//!   overflow chains for rows larger than a page;
+//! * [`Wal`] is a binary, length-prefixed, CRC-checksummed
+//!   write-ahead log — one record per append — replayed on open and
+//!   truncated by [`PagedEngine::checkpoint`];
+//! * [`BTree`] is the in-memory ordered index used for primary-key
+//!   lookups inside the engine and for the declared secondary indexes
+//!   on [`crate::Table`].
+//!
+//! See `DESIGN.md` §storage for the page format, the WAL record
+//! layout, the checkpoint protocol and the recovery invariants.
+
+mod btree;
+mod buffer;
+mod codec;
+mod disk;
+mod engine;
+mod heap;
+mod page;
+mod wal;
+
+pub use btree::BTree;
+pub use buffer::BufferPool;
+pub use disk::DiskManager;
+pub use engine::{is_paged_file, wal_path, write_database, EngineStats, PagedEngine, TableStats};
+pub use page::{crc32, PageId, PAGE_SIZE};
+pub use wal::{Wal, WalRecord};

@@ -1,0 +1,91 @@
+//! Page-level constants and helpers: size, identifiers, checksums and
+//! little-endian field access.
+
+/// Size of every page in the data file, in bytes.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Identifies one page in the data file. Page 0 is the header page;
+/// id 0 therefore doubles as the null link in page chains.
+pub type PageId = u32;
+
+/// Magic bytes at offset 0 of the header page.
+pub const MAGIC: &[u8; 8] = b"GOOFIPG1";
+
+/// On-disk format version written to the header page.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Reads a little-endian `u16` at `off`.
+pub(crate) fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+/// Writes a little-endian `u16` at `off`.
+pub(crate) fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Reads a little-endian `u32` at `off`.
+pub(crate) fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]])
+}
+
+/// Writes a little-endian `u32` at `off`.
+pub(crate) fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over `data`.
+///
+/// Every WAL record carries this checksum so recovery can tell a torn
+/// or corrupted tail from a valid prefix.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        let idx = ((crc ^ byte as u32) & 0xFF) as usize;
+        crc = (crc >> 8) ^ CRC_TABLE[idx];
+    }
+    !crc
+}
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn le_helpers_roundtrip() {
+        let mut buf = [0u8; 16];
+        put_u16(&mut buf, 3, 0xBEEF);
+        put_u32(&mut buf, 8, 0xDEAD_BEEF);
+        assert_eq!(get_u16(&buf, 3), 0xBEEF);
+        assert_eq!(get_u32(&buf, 8), 0xDEAD_BEEF);
+    }
+}

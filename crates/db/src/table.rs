@@ -2,6 +2,7 @@
 
 use crate::error::DbError;
 use crate::schema::TableSchema;
+use crate::storage::BTree;
 use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -47,6 +48,11 @@ pub struct Table {
     /// column index -> (key -> row ids), for FK child columns.
     #[serde(skip)]
     multi_indexes: BTreeMap<usize, BTreeMap<IndexKey, Vec<usize>>>,
+    /// index name -> (composite key -> row ids), for the schema's
+    /// declared secondary indexes. Deletes empty the id vector (the
+    /// B-tree is append-only); `rebuild_indexes` builds a clean tree.
+    #[serde(skip)]
+    secondary: BTreeMap<String, BTree<Vec<IndexKey>, Vec<usize>>>,
 }
 
 impl Table {
@@ -61,12 +67,61 @@ impl Table {
                 multi_indexes.insert(i, BTreeMap::new());
             }
         }
+        let mut secondary = BTreeMap::new();
+        for ix in schema.indexes() {
+            secondary.insert(ix.name.clone(), BTree::new());
+        }
         Table {
             schema,
             rows: Vec::new(),
             live: 0,
             unique_indexes,
             multi_indexes,
+            secondary,
+        }
+    }
+
+    /// The composite key of `row` under the named index's column list.
+    fn composite_key(schema: &TableSchema, columns: &[String], row: &Row) -> Vec<IndexKey> {
+        columns
+            .iter()
+            .map(|c| {
+                let ci = schema.column_index(c).expect("index columns validated");
+                IndexKey(row[ci].clone())
+            })
+            .collect()
+    }
+
+    /// Adds `id` to every secondary index under `row`'s keys.
+    fn index_row_secondary(&mut self, id: usize, row: &Row) {
+        for ix in self.schema.indexes() {
+            let key = Self::composite_key(&self.schema, &ix.columns, row);
+            let tree = self
+                .secondary
+                .get_mut(&ix.name)
+                .expect("secondary tree exists for every declared index");
+            match tree.get_mut(&key) {
+                Some(ids) => ids.push(id),
+                None => {
+                    tree.insert(key, vec![id]);
+                }
+            }
+        }
+    }
+
+    /// Drops `id` from every secondary index under `row`'s keys. The
+    /// key itself stays in the tree with an emptied id list.
+    fn unindex_row_secondary(&mut self, id: usize, row: &Row) {
+        for ix in self.schema.indexes() {
+            let key = Self::composite_key(&self.schema, &ix.columns, row);
+            if let Some(ids) = self
+                .secondary
+                .get_mut(&ix.name)
+                .expect("secondary tree exists for every declared index")
+                .get_mut(&key)
+            {
+                ids.retain(|&r| r != id);
+            }
         }
     }
 
@@ -149,6 +204,7 @@ impl Table {
                 index.entry(IndexKey(v.clone())).or_default().push(id);
             }
         }
+        self.index_row_secondary(id, &row);
         self.rows.push(Some(row));
         self.live += 1;
         Ok(id)
@@ -173,6 +229,7 @@ impl Table {
                 }
             }
         }
+        self.unindex_row_secondary(id, &row);
         Some(row)
     }
 
@@ -208,6 +265,7 @@ impl Table {
                 index.entry(IndexKey(row[ci].clone())).or_default().push(id);
             }
         }
+        self.index_row_secondary(id, &row);
         self.rows[id] = Some(row);
         self.live += 1;
         Ok(old)
@@ -244,6 +302,20 @@ impl Table {
             .copied()
     }
 
+    /// Ids of live rows with `key` in the multi-indexed (foreign-key
+    /// child) column, ascending. Empty when the key is absent or the
+    /// column has no multi-index.
+    pub fn lookup_multi(&self, column: usize, key: &Value) -> Vec<usize> {
+        let mut ids = self
+            .multi_indexes
+            .get(&column)
+            .and_then(|ix| ix.get(&IndexKey(key.clone())))
+            .cloned()
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Whether any live row has `key` in the (indexed or not) column.
     pub fn contains_value(&self, column: usize, key: &Value) -> bool {
         if let Some(index) = self.unique_indexes.get(&column) {
@@ -261,12 +333,16 @@ impl Table {
     pub(crate) fn rebuild_indexes(&mut self) {
         self.unique_indexes.clear();
         self.multi_indexes.clear();
+        self.secondary.clear();
         for (i, col) in self.schema.columns().iter().enumerate() {
             if col.is_unique() {
                 self.unique_indexes.insert(i, BTreeMap::new());
             } else if col.foreign_key().is_some() {
                 self.multi_indexes.insert(i, BTreeMap::new());
             }
+        }
+        for ix in self.schema.indexes() {
+            self.secondary.insert(ix.name.clone(), BTree::new());
         }
         let entries: Vec<(usize, Row)> = self
             .rows
@@ -286,7 +362,57 @@ impl Table {
                     index.entry(IndexKey(row[ci].clone())).or_default().push(id);
                 }
             }
+            self.index_row_secondary(id, &row);
         }
+    }
+
+    /// Appends a row without constraint or type checks, for the paged
+    /// engine's load path (the row passed every check when originally
+    /// inserted). The caller must run [`Table::rebuild_indexes`] once
+    /// all rows are in.
+    pub(crate) fn push_unchecked(&mut self, row: Row) {
+        self.rows.push(Some(row));
+        self.live += 1;
+    }
+
+    /// Adds a declared secondary index to an existing table and indexes
+    /// the current rows. A no-op when an index of that name is already
+    /// declared (schema-migration idempotency).
+    pub(crate) fn declare_index(&mut self, name: &str, columns: &[&str]) -> Result<(), DbError> {
+        if self.schema.indexes().iter().any(|ix| ix.name == name) {
+            return Ok(());
+        }
+        self.schema = self.schema.clone().with_index(name, columns)?;
+        self.rebuild_indexes();
+        Ok(())
+    }
+
+    /// Answers an equality lookup on a prefix of the named secondary
+    /// index's columns: the ids of all live rows whose indexed columns
+    /// start with `prefix`, ascending. `None` when the index does not
+    /// exist or `prefix` is empty/too long — the caller falls back to
+    /// a scan.
+    pub fn secondary_scan(&self, index: &str, prefix: &[Value]) -> Option<Vec<usize>> {
+        let spec = self.schema.indexes().iter().find(|ix| ix.name == index)?;
+        if prefix.is_empty() || prefix.len() > spec.columns.len() {
+            return None;
+        }
+        let tree = self.secondary.get(index)?;
+        let want: Vec<IndexKey> = prefix.iter().map(|v| IndexKey(v.clone())).collect();
+        // Null sorts first under `total_cmp`, so padding the start key
+        // with Nulls lands on the first composite key with this prefix.
+        let mut start = want.clone();
+        start.resize_with(spec.columns.len(), || IndexKey(Value::Null));
+        let mut ids = Vec::new();
+        tree.for_each_from(&start, &mut |key, rows| {
+            if key[..want.len()] != want[..] {
+                return false; // past the prefix range
+            }
+            ids.extend_from_slice(rows);
+            true
+        });
+        ids.sort_unstable();
+        Some(ids)
     }
 }
 
@@ -369,6 +495,51 @@ mod tests {
         // Updating the non-key column of `a` through replace is fine.
         t.replace(a, vec!["a".into(), 9.into()]).unwrap();
         assert_eq!(t.row(a).unwrap()[1], Value::Integer(9));
+    }
+
+    #[test]
+    fn secondary_scan_answers_prefix_lookups() {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                Column::new("id", ValueType::Text).primary_key(),
+                Column::new("grp", ValueType::Text),
+                Column::new("sub", ValueType::Text),
+            ],
+        )
+        .unwrap()
+        .with_index("by_grp_sub", &["grp", "sub"])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (id, grp, sub) in [
+            ("a", "g1", "x"),
+            ("b", "g1", "y"),
+            ("c", "g2", "x"),
+            ("d", "g1", "x"),
+        ] {
+            t.insert(vec![id.into(), grp.into(), sub.into()]).unwrap();
+        }
+        assert_eq!(
+            t.secondary_scan("by_grp_sub", &["g1".into()]),
+            Some(vec![0, 1, 3])
+        );
+        assert_eq!(
+            t.secondary_scan("by_grp_sub", &["g1".into(), "x".into()]),
+            Some(vec![0, 3])
+        );
+        assert_eq!(t.secondary_scan("by_grp_sub", &["g9".into()]), Some(vec![]));
+        assert_eq!(t.secondary_scan("missing", &["g1".into()]), None);
+        // Deletes drop out; rebuild matches incremental maintenance.
+        t.remove(0);
+        assert_eq!(
+            t.secondary_scan("by_grp_sub", &["g1".into(), "x".into()]),
+            Some(vec![3])
+        );
+        t.rebuild_indexes();
+        assert_eq!(
+            t.secondary_scan("by_grp_sub", &["g1".into(), "x".into()]),
+            Some(vec![3])
+        );
     }
 
     #[test]

@@ -71,10 +71,22 @@ pub mod names {
 
     /// Appending one experiment row to the store.
     pub const STORE_LOG_EXPERIMENT: &str = "store.log_experiment";
-    /// Serialising + writing one journal line (emitted by `goofi-db`).
+    /// Serialising + writing one journal line (emitted by `goofi-db`,
+    /// legacy JSON journal path).
     pub const JOURNAL_APPEND: &str = "journal.append";
-    /// Flushing the journal after an append (emitted by `goofi-db`).
+    /// Flushing the journal after an append (emitted by `goofi-db`,
+    /// legacy JSON journal path).
     pub const JOURNAL_FSYNC: &str = "journal.fsync";
+    /// Framing + writing one record to the paged engine's write-ahead
+    /// log (emitted by `goofi-db`).
+    pub const WAL_APPEND: &str = "wal.append";
+    /// Flushing the write-ahead log after an append (emitted by
+    /// `goofi-db`).
+    pub const WAL_FSYNC: &str = "wal.fsync";
+    /// One engine checkpoint: flushing dirty pages (with torn-page
+    /// protection) and truncating the write-ahead log (emitted by
+    /// `goofi-db`).
+    pub const STORE_CHECKPOINT: &str = "checkpoint";
 
     /// Counter: experiments that fell back to a cold start because a
     /// checkpoint restore was unavailable or failed.

@@ -45,3 +45,9 @@ bench-e11:
 # and byte-identical verdicts); refreshes BENCH_e12.json at the repo root.
 bench-e12:
     cargo bench -p goofi-bench --bench e12_class_execution
+
+# E13 paged storage engine vs seed JSON backend (asserts the ≥10x
+# sustained-append gate and index-beats-scan); refreshes BENCH_e13.json
+# at the repo root. Scale with GOOFI_E13_ROWS / GOOFI_E13_GATE.
+bench-e13:
+    cargo bench -p goofi-bench --bench e13_storage

@@ -1,7 +1,8 @@
 //! Determinism of the work-stealing campaign runner through the real stack
-//! (Thor simulator target + store + journal): any worker count must produce
-//! results — and persisted databases — identical to the sequential runner,
-//! including across stop/resume and crash recovery from the journal.
+//! (Thor simulator target + store + paged storage engine): any worker count
+//! must produce results — and persisted databases — identical to the
+//! sequential runner, including across stop/resume and crash recovery from
+//! the engine's write-ahead log.
 
 use goofi_repro::core::{
     analyze_campaign, control_channel, Campaign, CampaignResult, CampaignRunner, Command,
@@ -204,8 +205,9 @@ fn stop_then_parallel_resume_recovers_full_campaign() {
     assert_eq!(stats, resumed.stats);
 }
 
-/// Crash recovery: a parallel campaign journaled but never snapshotted is
-/// fully reconstructed by `GoofiStore::load` replaying the sidecar journal.
+/// Crash recovery: a parallel campaign streamed to the write-ahead log but
+/// never checkpointed is fully reconstructed by `GoofiStore::load`
+/// replaying the WAL tail.
 #[test]
 fn journal_replay_recovers_unsnapshotted_parallel_campaign() {
     let c = campaign("det-crash", 30);
@@ -228,6 +230,5 @@ fn journal_replay_recovers_unsnapshotted_parallel_campaign() {
     assert_eq!(stats, result.stats);
 
     std::fs::remove_file(&path).ok();
-    let journal = path.with_extension("json.journal");
-    std::fs::remove_file(&journal).ok();
+    std::fs::remove_file(path.with_extension("json.wal")).ok();
 }

@@ -4,10 +4,10 @@
 //! stub's [`Serialize`]/[`Deserialize`] traits. Supports what this
 //! workspace declares: non-generic structs (named, tuple, unit) and enums
 //! (unit, tuple and struct variants) with serde's externally-tagged
-//! representation, plus the `#[serde(skip)]` field attribute. Anything
-//! else — generics, other serde attributes — is a compile-time panic, not
-//! a silent misbehaviour. See `vendor/README.md` for why these stubs
-//! exist.
+//! representation, plus the `#[serde(skip)]` and `#[serde(default)]`
+//! field attributes. Anything else — generics, other serde attributes —
+//! is a compile-time panic, not a silent misbehaviour. See
+//! `vendor/README.md` for why these stubs exist.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -15,6 +15,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -69,9 +70,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 // ---------------------------------------------------------------- parsing
 
-/// `#[...]` groups: returns `true` (and records skip) for serde attrs.
-fn eat_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+/// `#[...]` groups: returns `true` (and records skip/default) for serde
+/// attrs.
+fn eat_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool, bool) {
     let mut skip = false;
+    let mut default = false;
     while i + 1 < tokens.len() {
         match (&tokens[i], &tokens[i + 1]) {
             (TokenTree::Punct(p), TokenTree::Group(g))
@@ -83,10 +86,12 @@ fn eat_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
                     let inner: String = rest.chars().filter(|c| !c.is_whitespace()).collect();
                     if inner == "(skip)" {
                         skip = true;
+                    } else if inner == "(default)" {
+                        default = true;
                     } else {
                         panic!(
                             "serde stub derive: unsupported serde attribute `#[serde{inner}]` \
-                             (only #[serde(skip)] is implemented)"
+                             (only #[serde(skip)] and #[serde(default)] are implemented)"
                         );
                     }
                 }
@@ -95,7 +100,7 @@ fn eat_attributes(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
             _ => break,
         }
     }
-    (i, skip)
+    (i, skip, default)
 }
 
 /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
@@ -115,7 +120,7 @@ fn eat_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
 
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let (mut i, _) = eat_attributes(&tokens, 0);
+    let (mut i, _, _) = eat_attributes(&tokens, 0);
     i = eat_visibility(&tokens, i);
 
     let kind = match tokens.get(i) {
@@ -164,7 +169,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (next, skip) = eat_attributes(&tokens, i);
+        let (next, skip, default) = eat_attributes(&tokens, i);
         i = eat_visibility(&tokens, next);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -194,7 +199,11 @@ fn parse_named_fields(body: TokenStream) -> Vec<Field> {
             }
             i += 1;
         }
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
     }
     fields
 }
@@ -225,7 +234,7 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
     let mut variants = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (next, _) = eat_attributes(&tokens, i);
+        let (next, _, _) = eat_attributes(&tokens, i);
         i = next;
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -354,6 +363,16 @@ fn gen_named_field_builders(ty: &str, fields: &[Field], source: &str) -> String 
             inits.push_str(&format!(
                 "{}: ::core::default::Default::default(),\n",
                 f.name
+            ));
+        } else if f.default {
+            // #[serde(default)]: a missing key falls back to Default
+            // instead of erroring (old snapshots stay readable).
+            inits.push_str(&format!(
+                "{f}: match ::serde::content_get({source}, \"{f}\") {{\n\
+                     Some(v) => ::serde::Deserialize::from_content(v)?,\n\
+                     None => ::core::default::Default::default(),\n\
+                 }},\n",
+                f = f.name
             ));
         } else {
             inits.push_str(&format!(
