@@ -1,0 +1,62 @@
+//! Experiment E14: multi-process campaign service throughput versus the
+//! in-process sequential runner, on the E3 sort16 SCIFI campaign.
+//!
+//! Measures, at `GOOFI_E14_EXPERIMENTS` experiments (default 400), the
+//! submit-to-completion wall time of the [`ProcessService`] at 1, 2 and
+//! 4 worker processes against the `CampaignRunner` baseline. Every
+//! server configuration must reproduce the sequential database byte for
+//! byte — that correctness gate is asserted here and in CI; the speedup
+//! is reported but not gated (it depends on host core count).
+//!
+//! Writes `BENCH_e14.json` at the workspace root.
+
+use goofi_bench::e14::{run_e14, to_json};
+
+fn main() {
+    // The service spawns `<this binary> worker` children; route them to
+    // the protocol loop before any measurement runs.
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        std::process::exit(goofi_server::worker_main());
+    }
+
+    let experiments = std::env::var("GOOFI_E14_EXPERIMENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(400usize);
+    let exe = std::env::current_exe().expect("own path");
+    let argv = vec![exe.to_string_lossy().into_owned(), "worker".into()];
+
+    println!("\n=== E14: multi-process campaign service (sort16, {experiments} experiments) ===");
+    let r = run_e14(experiments, &[1, 2, 4], &argv);
+
+    println!(
+        "in-process: {:>8.3}s  ({:>8.2} exp/s)",
+        r.inproc_wall_s, r.inproc_exp_per_s
+    );
+    for run in &r.runs {
+        println!(
+            "{} workers:  {:>8.3}s  ({:>8.2} exp/s, {:.2}x, byte-identical: {})",
+            run.workers,
+            run.wall_s,
+            run.exp_per_s,
+            run.exp_per_s / r.inproc_exp_per_s,
+            run.byte_identical
+        );
+    }
+    println!("best speedup: {:.2}x", r.best_speedup);
+
+    let out = to_json(&r);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e14.json");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    for run in &r.runs {
+        assert!(
+            run.byte_identical,
+            "{}-worker database differs from the sequential run",
+            run.workers
+        );
+    }
+}

@@ -1,0 +1,192 @@
+//! Experiment E14: multi-process campaign throughput through the
+//! [`ProcessService`] against the in-process sequential
+//! [`CampaignRunner`], on the E3 sort16 SCIFI campaign.
+//!
+//! The server farms fault-list chunks to worker processes over the
+//! goofi-net protocol; every configuration must land the sequential
+//! run's database byte for byte (the determinism contract the server
+//! recovery suite enforces), so the only thing allowed to vary is wall
+//! time. The caller supplies the worker argv — bench and gate binaries
+//! re-exec themselves with a leading `worker` argument and route it to
+//! [`goofi_server::worker_main`] before any measurement runs.
+
+use crate::scifi_campaign;
+use goofi_core::{
+    Campaign, CampaignRef, CampaignRunner, CampaignService, GoofiStore, JobSpec, ServiceEvent,
+};
+use goofi_server::{ProcessService, ServerConfig};
+use goofi_targets::standard_factory;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// The E3 campaign E14 reruns: SCIFI bit-flips over the whole CPU
+/// chain of the sort16 workload.
+pub fn e14_campaign(experiments: usize) -> Campaign {
+    scifi_campaign("e14-server", "sort16", experiments, 3000)
+}
+
+/// One server configuration's measurement.
+#[derive(Debug, Clone)]
+pub struct ServerRun {
+    /// Worker processes the daemon kept alive.
+    pub workers: usize,
+    /// Submit-to-completion wall time, seconds.
+    pub wall_s: f64,
+    /// Experiments per second of wall time.
+    pub exp_per_s: f64,
+    /// Whether the final database matched the sequential run byte for
+    /// byte — the correctness gate.
+    pub byte_identical: bool,
+}
+
+/// Everything E14 measures; [`to_json`] serialises it for CI.
+#[derive(Debug, Clone)]
+pub struct E14Results {
+    /// Experiments per run.
+    pub experiments: usize,
+    /// In-process sequential run: wall seconds (run + final snapshot).
+    pub inproc_wall_s: f64,
+    /// In-process sequential throughput.
+    pub inproc_exp_per_s: f64,
+    /// One entry per requested worker count.
+    pub runs: Vec<ServerRun>,
+    /// Best server throughput / in-process throughput.
+    pub best_speedup: f64,
+}
+
+fn tmp_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("goofi_e14_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn seeded_db(path: &Path, c: &Campaign) {
+    let _ = std::fs::remove_file(path);
+    let factory = standard_factory(c).expect("known workload");
+    let mut store = GoofiStore::new();
+    store.put_target(&factory().describe()).expect("target row");
+    store.put_campaign(c).expect("campaign row");
+    store.save(path).expect("seed snapshot");
+}
+
+/// The sequential reference: journalled exactly like the service paths,
+/// timed from first experiment to final snapshot.
+fn sequential(c: &Campaign, path: &Path) -> (f64, Vec<u8>) {
+    seeded_db(path, c);
+    let mut store = GoofiStore::load(path).expect("seeded db loads");
+    store.enable_journal(path).expect("journal");
+    let factory = standard_factory(c).expect("known workload");
+    let t0 = Instant::now();
+    CampaignRunner::from_factory(|| factory(), c)
+        .store(&mut store)
+        .run()
+        .expect("sequential run");
+    store.save(path).expect("final snapshot");
+    let wall = t0.elapsed().as_secs_f64();
+    (wall, std::fs::read(path).expect("reference bytes"))
+}
+
+fn server_run(
+    c: &Campaign,
+    path: &Path,
+    worker_argv: &[String],
+    workers: usize,
+    chunk: usize,
+    reference: &[u8],
+) -> ServerRun {
+    seeded_db(path, c);
+    let config = ServerConfig::new(path, worker_argv.to_vec())
+        .workers(workers)
+        .chunk(chunk);
+    let mut svc = ProcessService::new(config);
+    let t0 = Instant::now();
+    let job = svc
+        .submit(JobSpec::new(CampaignRef::Name(c.name.clone())))
+        .expect("submit");
+    let stream = svc.watch(&job, true).expect("watch");
+    let last = stream.last();
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(
+        matches!(&last, Some(ServiceEvent::Completed { summary })
+            if summary.experiments == c.experiments),
+        "{workers}-worker run did not complete: {last:?}"
+    );
+    svc.join();
+    let bytes = std::fs::read(path).expect("server db bytes");
+    ServerRun {
+        workers,
+        wall_s: wall,
+        exp_per_s: c.experiments as f64 / wall,
+        byte_identical: bytes == reference,
+    }
+}
+
+/// Runs the in-process reference and one server run per worker count.
+/// `worker_argv` is the command the daemon spawns per worker slot —
+/// callers pass their own executable plus a `worker` argument.
+pub fn run_e14(experiments: usize, worker_counts: &[usize], worker_argv: &[String]) -> E14Results {
+    assert!(experiments >= 10, "E14 needs a non-trivial campaign");
+    let dir = tmp_dir();
+    let c = e14_campaign(experiments);
+
+    let (inproc_wall, reference) = sequential(&c, &dir.join("sequential.db"));
+
+    // Chunk so every worker sees several chunks even at smoke scale —
+    // the re-issue path and the reorder buffer both get exercised.
+    let chunk = (experiments / (worker_counts.iter().copied().max().unwrap_or(1) * 4)).max(4);
+    let runs: Vec<ServerRun> = worker_counts
+        .iter()
+        .map(|&workers| {
+            let db = dir.join(format!("server{workers}.db"));
+            server_run(&c, &db, worker_argv, workers, chunk, &reference)
+        })
+        .collect();
+
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let inproc_rate = experiments as f64 / inproc_wall;
+    let best = runs
+        .iter()
+        .map(|r| r.exp_per_s / inproc_rate)
+        .fold(0.0f64, f64::max);
+    E14Results {
+        experiments,
+        inproc_wall_s: inproc_wall,
+        inproc_exp_per_s: inproc_rate,
+        runs,
+        best_speedup: best,
+    }
+}
+
+/// Serialises the results as the `BENCH_e14.json` document. The gate is
+/// correctness, not speed: every server configuration must reproduce
+/// the sequential database byte for byte (single-core CI boxes make a
+/// throughput gate meaningless; the speedup numbers are informational).
+pub fn to_json(r: &E14Results) -> String {
+    let identical = r.runs.iter().all(|run| run.byte_identical);
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"e14_server\",\n");
+    out.push_str(&format!("  \"experiments\": {},\n", r.experiments));
+    out.push_str(&format!(
+        "  \"inprocess\": {{\"wall_s\": {:.6}, \"exp_per_s\": {:.2}}},\n",
+        r.inproc_wall_s, r.inproc_exp_per_s
+    ));
+    out.push_str("  \"server_runs\": [\n");
+    for (i, run) in r.runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_s\": {:.6}, \"exp_per_s\": {:.2}, \
+             \"byte_identical\": {}}}{}\n",
+            run.workers,
+            run.wall_s,
+            run.exp_per_s,
+            run.byte_identical,
+            if i + 1 == r.runs.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"best_speedup\": {:.4},\n", r.best_speedup));
+    out.push_str(&format!(
+        "  \"byte_identical\": {identical},\n  \"gate_met\": {identical}\n}}\n"
+    ));
+    out
+}

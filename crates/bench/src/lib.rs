@@ -5,6 +5,7 @@
 //! ...) and then measures the relevant latencies with Criterion.
 
 pub mod e13;
+pub mod e14;
 
 use goofi_core::{
     generate_fault_list, Campaign, FaultModel, LivenessAnalysis, LocationSelector,

@@ -1,0 +1,49 @@
+//! E14's acceptance gate as a plain test, at smoke scale: every
+//! multi-process configuration must reproduce the in-process sequential
+//! database byte for byte, and the emitted JSON document must keep the
+//! keys CI greps for. Throughput is *not* gated — single-core CI boxes
+//! make a speedup assertion meaningless; determinism is the contract.
+//!
+//! `harness = false`: this binary re-execs itself as a protocol worker.
+
+use goofi_bench::e14::{run_e14, to_json};
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("worker") {
+        std::process::exit(goofi_server::worker_main());
+    }
+
+    let experiments = 40;
+    let exe = std::env::current_exe().expect("own path");
+    let argv = vec![exe.to_string_lossy().into_owned(), "worker".into()];
+    let r = run_e14(experiments, &[1, 2], &argv);
+
+    assert_eq!(r.experiments, experiments);
+    assert!(r.inproc_wall_s > 0.0);
+    assert_eq!(r.runs.len(), 2, "one run per worker count");
+    for run in &r.runs {
+        assert!(
+            run.byte_identical,
+            "{}-worker database differs from the sequential run",
+            run.workers
+        );
+        assert!(run.exp_per_s > 0.0);
+    }
+
+    let json = to_json(&r);
+    for key in [
+        "\"experiment\": \"e14_server\"",
+        "\"experiments\": 40",
+        "\"inprocess\"",
+        "\"server_runs\"",
+        "\"workers\": 1",
+        "\"workers\": 2",
+        "\"exp_per_s\"",
+        "\"best_speedup\"",
+        "\"byte_identical\": true",
+        "\"gate_met\": true",
+    ] {
+        assert!(json.contains(key), "emitted JSON lacks {key}:\n{json}");
+    }
+    eprintln!("e14_gate: multi-process determinism gate ... ok");
+}

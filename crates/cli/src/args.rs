@@ -25,6 +25,8 @@ const FLAG_NAMES: &[&str] = &[
     "class-exec",
     "json",
     "help",
+    "resume",
+    "watch",
 ];
 
 /// Parses an argument vector (without the program name).

@@ -15,18 +15,26 @@
 //! goofi list      --db goofi.json
 //! goofi sql       --db goofi.json "SELECT outcome, COUNT(*) FROM ..."
 //! ```
+//!
+//! Every campaign-executing verb goes through one [`CampaignService`]:
+//! `run`/`resume` construct an in-process [`LocalService`], while
+//! `serve` exposes the multi-process [`ProcessService`] over the wire
+//! protocol and `submit`/`watch`/`attach`/`status`/`cancel`/`jobs`
+//! drive it remotely through [`RemoteService`]. One event renderer
+//! ([`CliSink`]) and one summary formatter serve them all.
 
 mod args;
 
 use args::{parse, ParsedArgs};
 use goofi_core::{
-    analyze_campaign, control_channel, Campaign, CampaignRunner, ControlHandle, FaultModel,
-    GoofiStore, LocationSelector, LogMode, ProgressEvent, Pruning, RunOptions,
-    TargetSystemInterface, Technique, TelemetryMode,
+    analyze_campaign, drain, Campaign, CampaignRef, CampaignService, EventSink, ExecOptions,
+    FaultModel, GoofiStore, JobSpec, JobStatus, JobSummary, LocalService, LocationSelector,
+    LogMode, Pruning, ServiceEvent, TargetSystemInterface, Technique, TelemetryMode,
 };
-use goofi_envsim::{DcMotorEnv, SCALE};
-use goofi_targets::ThorTarget;
-use goofi_workloads::{workload_by_name, WorkloadKind};
+use goofi_net::RemoteService;
+use goofi_server::{Daemon, ProcessService, ServerConfig};
+use goofi_targets::{standard_provider, standard_target};
+use goofi_workloads::workload_by_name;
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -47,6 +55,16 @@ USAGE:
   goofi resume    --db FILE --campaign NAME [--workers N] [--no-checkpoint]
                   [--telemetry off|metrics|trace] [--pruning off|trace|static]
                   [--class-exec]
+  goofi serve     --db FILE [--addr HOST:PORT] [--workers N] [--chunk N]
+  goofi submit    --addr HOST:PORT --campaign NAME [--workers N] [--resume]
+                  [--no-checkpoint] [--telemetry off|metrics|trace]
+                  [--pruning off|trace|static] [--class-exec] [--watch]
+  goofi watch     --addr HOST:PORT --job ID
+  goofi attach    --addr HOST:PORT --job ID
+  goofi status    --addr HOST:PORT --job ID
+  goofi cancel    --addr HOST:PORT --job ID
+  goofi jobs      --addr HOST:PORT
+  goofi shutdown  --addr HOST:PORT
   goofi analyze   --db FILE --campaign NAME
   goofi analyze   --workload WORKLOAD [--json] [--horizon N]
   goofi report    --db FILE --campaign NAME [--lambda L] [--mission HOURS]
@@ -63,6 +81,15 @@ Workloads: sortN, matmulN, crc32xN, fibN, pid
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // `goofi worker` is the child process the campaign server spawns;
+    // its stdout carries protocol frames, so it bypasses run() and its
+    // stdout printing entirely.
+    if argv.first().map(String::as_str) == Some("worker") {
+        return match goofi_server::worker_main() {
+            0 => ExitCode::SUCCESS,
+            _ => ExitCode::FAILURE,
+        };
+    }
     match run(&argv) {
         Ok(output) => {
             print!("{output}");
@@ -73,18 +100,6 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
-}
-
-/// Builds the target adapter a stored campaign/target pair needs.
-fn make_target(target_name: &str, workload_name: &str) -> Result<ThorTarget, String> {
-    let workload = workload_by_name(workload_name)
-        .ok_or_else(|| format!("unknown workload `{workload_name}`"))?;
-    Ok(match workload.kind {
-        WorkloadKind::Batch => ThorTarget::new(target_name, workload),
-        WorkloadKind::Cyclic { .. } => {
-            ThorTarget::with_env(target_name, workload, Box::new(DcMotorEnv::new(5 * SCALE)))
-        }
-    })
 }
 
 fn load_store(path: &str) -> Result<GoofiStore, String> {
@@ -105,6 +120,14 @@ fn run(argv: &[String]) -> Result<String, String> {
         "setup" => cmd_setup(&parsed),
         "run" => cmd_run(&parsed),
         "resume" => cmd_resume(&parsed),
+        "serve" => cmd_serve(&parsed),
+        "submit" => cmd_submit(&parsed),
+        "watch" => cmd_watch(&parsed, true),
+        "attach" => cmd_watch(&parsed, false),
+        "status" => cmd_status(&parsed),
+        "cancel" => cmd_cancel(&parsed),
+        "jobs" => cmd_jobs(&parsed),
+        "shutdown" => cmd_shutdown(&parsed),
         "analyze" => cmd_analyze(&parsed),
         "report" => cmd_report(&parsed),
         "locations" => cmd_locations(&parsed),
@@ -121,7 +144,7 @@ fn cmd_configure(p: &ParsedArgs) -> Result<String, String> {
     let db = p.require("db")?;
     let target_name = p.require("target")?;
     let workload = p.require("workload")?;
-    let target = make_target(target_name, workload)?;
+    let target = standard_target(target_name, workload).map_err(|e| e.to_string())?;
     let config = target.describe();
     let mut store = load_store(db)?;
     store.put_target(&config).map_err(|e| e.to_string())?;
@@ -217,102 +240,83 @@ fn parse_u32(s: &str) -> Result<u32, String> {
     }
 }
 
-/// The Fig. 7 progress window as a log line consumer: runs until the
-/// campaign's controller is dropped.
-fn spawn_reporter(handle: ControlHandle) -> std::thread::JoinHandle<()> {
-    std::thread::spawn(move || {
-        while let Some(ev) = handle.next() {
-            match ev {
-                ProgressEvent::Started { campaign, total } => {
-                    eprintln!("campaign `{campaign}`: {total} experiments");
-                }
-                ProgressEvent::ExperimentDone {
-                    completed, total, ..
-                } if (completed % 50 == 0 || completed == total) => {
-                    eprintln!("  {completed}/{total}");
-                }
-                ProgressEvent::Finished { completed, stopped } => {
-                    eprintln!(
-                        "finished: {completed} experiments{}",
-                        if stopped { " (stopped)" } else { "" }
-                    );
-                    break;
-                }
-                _ => {}
-            }
-        }
-    })
-}
+/// The Fig. 7 progress window as a log line consumer — one renderer for
+/// local runs, worker-process campaigns and remote watches, fed by
+/// [`drain`] until the job's terminal event.
+struct CliSink;
 
-/// A factory for identical targets, for the work-stealing parallel runner.
-fn target_factory(campaign: &Campaign) -> impl Fn() -> Box<dyn TargetSystemInterface> + Sync {
-    let target_name = campaign.target.clone();
-    let workload_name = campaign.workload.clone();
-    move || {
-        Box::new(
-            make_target(&target_name, &workload_name)
-                .expect("campaign validated against known workloads"),
-        )
+impl EventSink for CliSink {
+    fn event(&mut self, ev: &ServiceEvent) {
+        match ev {
+            ServiceEvent::Started { campaign, total } => {
+                eprintln!("campaign `{campaign}`: {total} experiments");
+            }
+            ServiceEvent::Progress {
+                completed, total, ..
+            } if completed % 50 == 0 || completed == total => {
+                eprintln!("  {completed}/{total}");
+            }
+            ServiceEvent::WorkerSpawned { worker, pid } => {
+                eprintln!("worker {worker}: pid {pid}");
+            }
+            ServiceEvent::WorkerLost { worker, reissued } => {
+                eprintln!("worker {worker} lost, {reissued} experiments re-issued");
+            }
+            ServiceEvent::Finished { completed, stopped } => {
+                eprintln!(
+                    "finished: {completed} experiments{}",
+                    if *stopped { " (stopped)" } else { "" }
+                );
+            }
+            _ => {}
+        }
     }
 }
 
-/// Fault-injection phase with the Fig. 7 progress line. Experiment rows
-/// stream into a WAL-style journal beside the database as they finish, so
-/// an interrupted campaign loses nothing and `goofi resume` picks up at
-/// the exact experiment where the run died.
-fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
-    let db = p.require("db")?;
-    let name = p.require("campaign")?;
-    let workers = p.workers()?;
-    let options = run_options(p)?;
-    let mut store = load_store(db)?;
-    let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
-    store.enable_journal(db).map_err(|e| e.to_string())?;
-    let (controller, handle) = control_channel();
-    let reporter = spawn_reporter(handle);
-    let result = CampaignRunner::from_factory(target_factory(&campaign), &campaign)
-        .workers(workers)
-        .options(options)
-        .observer(&controller)
-        .store(&mut store)
-        .run()
-        .map_err(|e| e.to_string())?;
-    drop(controller);
-    let _ = reporter.join();
-    // Snapshot the full database; this supersedes (and empties) the journal.
-    store.save(db).map_err(|e| e.to_string())?;
-    let worker_note = if workers > 1 {
-        format!(" ({workers} workers)")
+/// Submits `spec`, renders progress on stderr, and returns the finished
+/// summary — the one execution path `run`, `resume` and `submit --watch`
+/// share, whatever service backs it.
+fn run_job(svc: &mut dyn CampaignService, spec: JobSpec) -> Result<JobSummary, String> {
+    let job = svc.submit(spec).map_err(|e| e.to_string())?;
+    let stream = svc.watch(&job, true).map_err(|e| e.to_string())?;
+    drain(stream, &mut CliSink).map_err(|e| e.to_string())
+}
+
+/// The stdout summary of a finished campaign run.
+fn render_run_summary(summary: &JobSummary) -> String {
+    let worker_note = if summary.workers > 1 {
+        format!(" ({} workers)", summary.workers)
     } else {
         String::new()
     };
     let mut out = format!(
         "{}pruned by pre-injection analysis: {}{}\n",
-        result.stats.report(),
-        result.pruned(),
+        summary.stats.report(),
+        summary.pruned,
         worker_note
     );
-    out.push_str(&class_savings_line(result.static_analysis.as_ref()));
-    if let Some(tel) = &result.telemetry {
+    out.push_str(&class_savings_line(summary));
+    if let Some(tel) = &summary.telemetry {
         out.push('\n');
         out.push_str(&tel.render());
     }
-    Ok(out)
+    out
 }
 
 /// One-line equivalence-class execution summary for `goofi run`/`resume`,
 /// empty when the run fanned nothing out.
-fn class_savings_line(analysis: Option<&goofi_core::StaticAnalysis>) -> String {
-    match analysis.map(goofi_core::StaticAnalysis::class_savings) {
-        Some((classes, fanned)) if fanned > 0 => format!(
-            "class execution: {classes} representatives executed, {fanned} experiments fanned out\n"
+fn class_savings_line(summary: &JobSummary) -> String {
+    match summary.class_savings {
+        Some(s) => format!(
+            "class execution: {} representatives executed, {} experiments fanned out\n",
+            s.representatives, s.fanned
         ),
-        _ => String::new(),
+        None => String::new(),
     }
 }
 
-/// Shared `goofi run`/`goofi resume` option parsing.
-fn run_options(p: &ParsedArgs) -> Result<RunOptions, String> {
+/// Shared option parsing for every verb that executes a campaign.
+fn exec_options(p: &ParsedArgs) -> Result<ExecOptions, String> {
     let telemetry = match p.get("telemetry") {
         None => TelemetryMode::Off,
         Some(v) => TelemetryMode::parse(v).ok_or_else(|| {
@@ -320,52 +324,167 @@ fn run_options(p: &ParsedArgs) -> Result<RunOptions, String> {
         })?,
     };
     let pruning = match p.get("pruning") {
+        // Class execution derives its equivalence classes from the same
+        // static analysis the static pruner builds, so `--class-exec`
+        // defaults to static pruning and the two compose out of the box.
+        None if p.has_flag("class-exec") => Pruning::Static,
         None => Pruning::default(),
         Some(v) => v
             .parse::<Pruning>()
             .map_err(|e| format!("option --pruning: {e}"))?,
     };
-    Ok(RunOptions::new()
+    Ok(ExecOptions::new()
+        .workers(p.workers()?)
         .checkpoint(!p.has_flag("no-checkpoint"))
         .telemetry(telemetry)
         .pruning(pruning)
         .class_execution(p.has_flag("class-exec")))
 }
 
-/// Resumes an interrupted campaign: stored experiments are reused, the
-/// missing ones run (the progress window's "restart") — in parallel when
-/// `--workers` says so, exactly like `goofi run`.
+/// Fault-injection phase with the Fig. 7 progress line: a submit + watch
+/// against an in-process [`LocalService`]. Experiment rows stream into a
+/// WAL-style journal beside the database as they finish, so an
+/// interrupted campaign loses nothing and `goofi resume` picks up at the
+/// exact experiment where the run died.
+fn cmd_run(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let name = p.require("campaign")?;
+    let mut svc = LocalService::new(db, standard_provider());
+    let spec = JobSpec::new(CampaignRef::Name(name.to_owned())).options(exec_options(p)?);
+    let summary = run_job(&mut svc, spec)?;
+    Ok(render_run_summary(&summary))
+}
+
+/// Resumes an interrupted campaign — the same service path as `goofi
+/// run` with [`JobSpec::resume`] set: stored experiments are reused, the
+/// missing ones run (the progress window's "restart").
 fn cmd_resume(p: &ParsedArgs) -> Result<String, String> {
     let db = p.require("db")?;
     let name = p.require("campaign")?;
-    let workers = p.workers()?;
-    let options = run_options(p)?;
-    let mut store = load_store(db)?;
-    let campaign = store.get_campaign(name).map_err(|e| e.to_string())?;
-    store.enable_journal(db).map_err(|e| e.to_string())?;
-    let (controller, handle) = control_channel();
-    let reporter = spawn_reporter(handle);
-    let result = CampaignRunner::from_factory(target_factory(&campaign), &campaign)
-        .workers(workers)
-        .options(options)
-        .observer(&controller)
-        .resume_from(&mut store)
-        .run()
-        .map_err(|e| e.to_string())?;
-    drop(controller);
-    let _ = reporter.join();
-    store.save(db).map_err(|e| e.to_string())?;
+    let mut svc = LocalService::new(db, standard_provider());
+    let spec = JobSpec::new(CampaignRef::Name(name.to_owned()))
+        .options(exec_options(p)?)
+        .resume(true);
+    let summary = run_job(&mut svc, spec)?;
     let mut out = format!(
         "campaign `{name}` complete: {} experiments\n{}",
-        result.runs.len(),
-        result.stats.report()
+        summary.experiments,
+        summary.stats.report()
     );
-    out.push_str(&class_savings_line(result.static_analysis.as_ref()));
-    if let Some(tel) = &result.telemetry {
+    out.push_str(&class_savings_line(&summary));
+    if let Some(tel) = &summary.telemetry {
         out.push('\n');
         out.push_str(&tel.render());
     }
     Ok(out)
+}
+
+/// Runs the campaign daemon: a [`ProcessService`] farming experiments
+/// out to `goofi worker` children, served over the wire protocol. Blocks
+/// until `goofi shutdown`; the bound address is announced on stderr
+/// first, so `--addr 127.0.0.1:0` works in scripts.
+fn cmd_serve(p: &ParsedArgs) -> Result<String, String> {
+    let db = p.require("db")?;
+    let addr = p.get("addr").unwrap_or("127.0.0.1:7077");
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let config = ServerConfig::new(
+        db,
+        vec![exe.to_string_lossy().into_owned(), "worker".into()],
+    )
+    .workers(p.workers()?)
+    .chunk(p.int_or("chunk", 16)? as usize);
+    let daemon = Daemon::bind(addr, ProcessService::new(config)).map_err(|e| e.to_string())?;
+    eprintln!(
+        "goofi-server: listening on {}",
+        daemon.local_addr().map_err(|e| e.to_string())?
+    );
+    daemon.serve().map_err(|e| e.to_string())?;
+    Ok("server shut down\n".to_owned())
+}
+
+fn remote(p: &ParsedArgs) -> Result<RemoteService, String> {
+    RemoteService::connect(p.require("addr")?).map_err(|e| e.to_string())
+}
+
+/// Submits a campaign to a running server; `--watch` stays attached and
+/// renders the run exactly like a local `goofi run`.
+fn cmd_submit(p: &ParsedArgs) -> Result<String, String> {
+    let name = p.require("campaign")?;
+    let mut svc = remote(p)?;
+    let spec = JobSpec::new(CampaignRef::Name(name.to_owned()))
+        .options(exec_options(p)?)
+        .resume(p.has_flag("resume"));
+    if p.has_flag("watch") {
+        let summary = run_job(&mut svc, spec)?;
+        return Ok(render_run_summary(&summary));
+    }
+    let job = svc.submit(spec).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "submitted: {job} (goofi watch --addr {} --job {job})\n",
+        svc.addr()
+    ))
+}
+
+/// Streams a job's events: `watch` replays from the beginning, `attach`
+/// joins live. Both render the final summary when the job completes.
+fn cmd_watch(p: &ParsedArgs, from_start: bool) -> Result<String, String> {
+    let job = p.require("job")?;
+    let mut svc = remote(p)?;
+    let stream = svc.watch(job, from_start).map_err(|e| e.to_string())?;
+    let summary = drain(stream, &mut CliSink).map_err(|e| e.to_string())?;
+    Ok(render_run_summary(&summary))
+}
+
+fn render_status(status: &JobStatus) -> String {
+    match status {
+        JobStatus::Queued => "queued".to_owned(),
+        JobStatus::Running { completed, total } => format!("running {completed}/{total}"),
+        JobStatus::Done { summary } => format!("done ({} experiments)", summary.experiments),
+        JobStatus::Failed { error } => format!("failed: {error}"),
+        JobStatus::Cancelled { completed } => format!("cancelled after {completed}"),
+        other => format!("{other:?}"),
+    }
+}
+
+/// One job's status line.
+fn cmd_status(p: &ParsedArgs) -> Result<String, String> {
+    let job = p.require("job")?;
+    let mut svc = remote(p)?;
+    let status = svc.status(job).map_err(|e| e.to_string())?;
+    Ok(format!("{job}: {}\n", render_status(&status)))
+}
+
+/// Asks the server to stop a job at the next experiment boundary.
+fn cmd_cancel(p: &ParsedArgs) -> Result<String, String> {
+    let job = p.require("job")?;
+    let mut svc = remote(p)?;
+    let delivered = svc.cancel(job).map_err(|e| e.to_string())?;
+    Ok(if delivered {
+        format!("job {job}: stop requested\n")
+    } else {
+        format!("job {job} had already finished\n")
+    })
+}
+
+/// Lists the server's jobs in submission order.
+fn cmd_jobs(p: &ParsedArgs) -> Result<String, String> {
+    let mut svc = remote(p)?;
+    let jobs = svc.jobs().map_err(|e| e.to_string())?;
+    if jobs.is_empty() {
+        return Ok("no jobs\n".to_owned());
+    }
+    let mut out = String::new();
+    for (job, status) in jobs {
+        out.push_str(&format!("{job}  {}\n", render_status(&status)));
+    }
+    Ok(out)
+}
+
+/// Stops the server's accept loop.
+fn cmd_shutdown(p: &ParsedArgs) -> Result<String, String> {
+    let mut svc = remote(p)?;
+    svc.shutdown().map_err(|e| e.to_string())?;
+    Ok(format!("server at {} shutting down\n", svc.addr()))
 }
 
 /// Analysis phase. With `--workload` this is the *static* workload
@@ -387,7 +506,8 @@ fn cmd_analyze(p: &ParsedArgs) -> Result<String, String> {
 /// bundled workload, with human or `--json` output.
 fn cmd_analyze_workload(p: &ParsedArgs, workload: &str) -> Result<String, String> {
     let horizon = p.int_or("horizon", 1_000_000)?;
-    let mut target = make_target(p.get("target").unwrap_or("thor-card"), workload)?;
+    let mut target = standard_target(p.get("target").unwrap_or("thor-card"), workload)
+        .map_err(|e| e.to_string())?;
     let analysis = target.static_analysis(horizon).map_err(|e| e.to_string())?;
     if p.has_flag("json") {
         return Ok(format!("{}\n", analysis.to_json()));
@@ -906,6 +1026,12 @@ mod tests {
         ])
         .unwrap_err()
         .contains("unknown workload"));
+        // Remote verbs name the unreachable server.
+        assert!(
+            call(&["submit", "--addr", "127.0.0.1:1", "--campaign", "c"])
+                .unwrap_err()
+                .contains("cannot reach goofi server")
+        );
     }
 
     #[test]
@@ -1076,7 +1202,7 @@ mod tests {
                 "--field",
                 "R6",
                 "--experiments",
-                "60",
+                "200",
                 "--window",
                 "0:300",
                 "--seed",
@@ -1096,11 +1222,21 @@ mod tests {
             classed.contains("class execution:"),
             "run reports fan-out savings: {classed}"
         );
-        // Classification is byte-identical with class execution on.
+        // `--class-exec` defaults to static pruning: the two compose.
+        let pruned: usize = classed
+            .lines()
+            .find_map(|l| l.strip_prefix("pruned by pre-injection analysis: "))
+            .and_then(|n| n.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .expect("run reports a pruned count");
+        assert!(pruned > 0, "class-exec run pruned nothing: {classed}");
+        // Classification is identical with class execution on, modulo
+        // the pruned-count annotations: `--class-exec` defaults to
+        // static pruning, the plain run to (inactive) trace pruning.
         let classification = |s: &str| {
             s.lines()
-                .filter(|l| !l.starts_with("class execution:"))
-                .map(String::from)
+                .filter(|l| !l.starts_with("class execution:") && !l.starts_with("pruned by"))
+                .map(|l| l.split("  (of which").next().unwrap_or(l).to_owned())
                 .collect::<Vec<_>>()
         };
         assert_eq!(classification(&plain), classification(&classed));

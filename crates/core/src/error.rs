@@ -30,6 +30,10 @@ pub enum GoofiError {
     Analysis(String),
     /// The campaign was stopped by the operator (progress-window Stop).
     Stopped,
+    /// A campaign-service failure carrying already-formatted error text —
+    /// possibly produced by another process or machine, so it is passed
+    /// through verbatim rather than re-wrapped.
+    Service(String),
 }
 
 impl fmt::Display for GoofiError {
@@ -44,6 +48,7 @@ impl fmt::Display for GoofiError {
             GoofiError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             GoofiError::Analysis(msg) => write!(f, "analysis error: {msg}"),
             GoofiError::Stopped => write!(f, "campaign stopped by operator"),
+            GoofiError::Service(msg) => write!(f, "{msg}"),
         }
     }
 }

@@ -52,9 +52,12 @@ pub mod preinject;
 pub mod progress;
 pub mod propagation;
 pub mod runner;
+pub mod service;
 pub mod staticanalysis;
 pub mod store;
 mod target;
+#[cfg(test)]
+mod testutil;
 pub mod trigger;
 
 pub use algorithm::{reference_run, run_experiment, ExperimentRun, DETAIL_SNAPSHOT_CAP};
@@ -79,7 +82,15 @@ pub use goofi_telemetry::{
 pub use preinject::{FirstUse, LivenessAnalysis};
 pub use progress::{control_channel, Command, ControlHandle, Controller, ProgressEvent};
 pub use propagation::{analyze_propagation, PropagationReport, PropagationStep};
-pub use runner::{CampaignResult, CampaignRunner, RunOptions, Scheduler};
+pub use runner::{
+    logged_experiment_name, plan_campaign, CampaignPlan, CampaignResult, CampaignRunner,
+    RunOptions, Scheduler,
+};
+pub use service::{
+    drain, CampaignRef, CampaignService, ClassSavings, EventSink, EventStream, ExecOptions,
+    FactoryProvider, JobId, JobRegistry, JobSpec, JobStatus, JobSummary, LocalService, NullSink,
+    ServiceEvent, TargetFactory,
+};
 pub use staticanalysis::{ClassKind, EquivalenceClass, Lint, LintKind, Pruning, StaticAnalysis};
 pub use store::{reference_experiment_name, ExperimentData, ExperimentRecord, GoofiStore};
 pub use target::{

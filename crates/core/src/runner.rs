@@ -572,6 +572,142 @@ fn compute_prunable(
     faults.iter().map(|f| prune.can_prune(config, f)).collect()
 }
 
+/// A deterministic execution plan for one campaign on one target: the
+/// generated fault list, per-fault prunability, the fault-free reference
+/// run and (when enabled) the injection-time checkpoint cache.
+///
+/// This is the piece of the runner that `goofi-server` worker processes
+/// need: every worker calls [`plan_campaign`] against the same campaign
+/// and derives the *same* plan (fault-list generation is seeded), then
+/// executes whatever chunk of experiment indices the server hands it.
+/// Rows produced through a plan are byte-identical to the sequential
+/// runner's — pruned experiments synthesise the reference outcome, live
+/// ones execute (checkpointed when the plan carries a cache).
+///
+/// Equivalence-class execution is deliberately *not* part of a plan:
+/// fanned rows are byte-identical to directly-executed ones (PR 5's
+/// contract), so distributed workers always execute directly and the
+/// class knob stays a single-process optimisation.
+pub struct CampaignPlan {
+    /// The generated fault list, in campaign order.
+    pub faults: Vec<PlannedFault>,
+    /// `prunable[i]` — pre-injection analysis proved experiment `i`
+    /// cannot differ from the reference.
+    pub prunable: Vec<bool>,
+    /// The fault-free reference run.
+    pub reference: ExperimentRun,
+    /// The static analysis to persist, when the plan pruned statically.
+    pub static_analysis: Option<StaticAnalysis>,
+    checkpoints: Option<CheckpointPlan>,
+}
+
+/// Builds the shared campaign plan on `target`. Identical inputs
+/// (campaign, options) produce identical plans on every call — the
+/// foundation of multi-process execution and its byte-identical-DB
+/// guarantee. `options.class_execution` is ignored (see
+/// [`CampaignPlan`]); `options.scheduler` is irrelevant here.
+///
+/// # Errors
+///
+/// Campaign validation and target errors, exactly as
+/// [`CampaignRunner::run`].
+pub fn plan_campaign(
+    target: &mut dyn TargetSystemInterface,
+    campaign: &Campaign,
+    options: &RunOptions,
+) -> Result<CampaignPlan> {
+    let options = options.class_execution(false);
+    let (faults, prune, _class) = prepare(target, campaign, &options)?;
+    let config = target.describe();
+    let prunable = compute_prunable(&faults, &prune, &config);
+    let reference = {
+        let _s = tracing::span(names::PHASE_REFERENCE);
+        reference_run(target, campaign)
+    }?;
+    let checkpoints = if options.checkpoint {
+        CheckpointPlan::build(target, campaign, &faults, &prunable)
+    } else {
+        None
+    };
+    Ok(CampaignPlan {
+        faults,
+        prunable,
+        reference,
+        static_analysis: prune.into_static(),
+        checkpoints,
+    })
+}
+
+impl CampaignPlan {
+    /// Number of experiments in the campaign.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the fault list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Executes experiment `index` (or synthesises it when prunable) and
+    /// returns its run. Byte-identical to what the sequential runner
+    /// would log for the same index.
+    ///
+    /// # Errors
+    ///
+    /// Target errors from the experiment; out-of-range indices are a
+    /// [`GoofiError::Campaign`] error.
+    pub fn execute(
+        &self,
+        target: &mut dyn TargetSystemInterface,
+        campaign: &Campaign,
+        index: usize,
+    ) -> Result<ExperimentRun> {
+        let fault = self.faults.get(index).ok_or_else(|| {
+            GoofiError::Campaign(format!(
+                "experiment index {index} out of range (fault list has {})",
+                self.faults.len()
+            ))
+        })?;
+        if self.prunable[index] {
+            tracing::value(names::COUNTER_PRUNED, 1);
+            return Ok(pruned_run(&self.reference, fault));
+        }
+        let _s = tracing::span(names::PHASE_EXPERIMENT);
+        if let Some(plan) = &self.checkpoints {
+            run_experiment_checkpointed(target, campaign, fault, plan)
+        } else {
+            run_experiment(target, campaign, fault)
+        }
+    }
+
+    /// The loggable record of experiment `index` from its `run`, named
+    /// exactly as the runner names it (`{campaign}/{index:05}`).
+    pub fn record(
+        &self,
+        campaign: &Campaign,
+        index: usize,
+        run: &ExperimentRun,
+    ) -> ExperimentRecord {
+        record_of(campaign, experiment_name(&campaign.name, index), run)
+    }
+
+    /// The loggable record of the fault-free reference run.
+    pub fn reference_record(&self, campaign: &Campaign) -> ExperimentRecord {
+        record_of(
+            campaign,
+            reference_experiment_name(&campaign.name),
+            &self.reference,
+        )
+    }
+}
+
+/// The experiment-row name the runner logs for index `index` of
+/// `campaign` — public so services can test row existence when resuming.
+pub fn logged_experiment_name(campaign: &str, index: usize) -> String {
+    experiment_name(campaign, index)
+}
+
 /// Builds the synthetic result of an equivalence-class member from its
 /// representative's executed run. Soundness: both faults mutate the same
 /// bits with the same model, and every target location is untouched by
@@ -1844,177 +1980,10 @@ fn static_run(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bits::StateVector;
     use crate::campaign::Technique;
     use crate::fault::{FaultModel, LocationSelector};
     use crate::progress::{control_channel, Command};
-    use crate::target::{ChainInfo, FieldInfo, TargetEvent, TargetSystemConfig, TraceStep};
-
-    /// A miniature deterministic target: one 8-bit "R0" register chain; the
-    /// workload reads R0 at t=5 into its output, overwrites R0 at t=10 and
-    /// halts at t=20.
-    struct MiniTarget {
-        r0: u8,
-        out: u8,
-        now: u64,
-        armed: Option<u64>,
-    }
-
-    impl MiniTarget {
-        fn new() -> Self {
-            MiniTarget {
-                r0: 0,
-                out: 0,
-                now: 0,
-                armed: None,
-            }
-        }
-
-        fn advance_to(&mut self, t: u64) {
-            while self.now < t && self.now < 20 {
-                self.tick();
-            }
-        }
-
-        fn tick(&mut self) {
-            match self.now {
-                5 => self.out = self.r0.wrapping_add(1),
-                10 => self.r0 = 7,
-                _ => {}
-            }
-            self.now += 1;
-        }
-    }
-
-    impl TargetSystemInterface for MiniTarget {
-        fn target_name(&self) -> &str {
-            "mini"
-        }
-
-        fn describe(&self) -> TargetSystemConfig {
-            TargetSystemConfig {
-                name: "mini".into(),
-                description: String::new(),
-                chains: vec![ChainInfo {
-                    name: "cpu".into(),
-                    width: 8,
-                    fields: vec![FieldInfo {
-                        name: "R0".into(),
-                        offset: 0,
-                        width: 8,
-                        writable: true,
-                    }],
-                }],
-                memory: Vec::new(),
-            }
-        }
-
-        fn init_test_card(&mut self) -> Result<()> {
-            *self = MiniTarget::new();
-            Ok(())
-        }
-
-        fn load_workload(&mut self) -> Result<()> {
-            self.r0 = 3;
-            Ok(())
-        }
-
-        fn run_workload(&mut self) -> Result<()> {
-            Ok(())
-        }
-
-        fn set_breakpoint(&mut self, time: u64) -> Result<()> {
-            self.armed = Some(time);
-            Ok(())
-        }
-
-        fn wait_for_breakpoint(&mut self) -> Result<TargetEvent> {
-            match self.armed.take() {
-                Some(t) if t < 20 => {
-                    self.advance_to(t);
-                    Ok(TargetEvent::BreakpointHit { time: t })
-                }
-                _ => {
-                    self.advance_to(20);
-                    Ok(TargetEvent::Halted)
-                }
-            }
-        }
-
-        fn wait_for_termination(&mut self) -> Result<TargetEvent> {
-            self.advance_to(20);
-            Ok(TargetEvent::Halted)
-        }
-
-        fn read_scan_chain(&mut self, _chain: &str) -> Result<StateVector> {
-            let mut bits = StateVector::zeros(8);
-            for i in 0..8 {
-                bits.set(i, self.r0 & (1 << i) != 0);
-            }
-            Ok(bits)
-        }
-
-        fn write_scan_chain(&mut self, _chain: &str, bits: &StateVector) -> Result<()> {
-            let mut v = 0u8;
-            for i in 0..8 {
-                if bits.get(i) {
-                    v |= 1 << i;
-                }
-            }
-            self.r0 = v;
-            Ok(())
-        }
-
-        fn observe_state(&mut self) -> Result<StateVector> {
-            let mut bits = StateVector::zeros(16);
-            for i in 0..8 {
-                bits.set(i, self.r0 & (1 << i) != 0);
-                bits.set(8 + i, self.out & (1 << i) != 0);
-            }
-            Ok(bits)
-        }
-
-        fn read_outputs(&mut self) -> Result<Vec<u32>> {
-            Ok(vec![self.out as u32])
-        }
-
-        fn instructions_retired(&mut self) -> Result<u64> {
-            Ok(self.now)
-        }
-
-        fn iterations_completed(&mut self) -> Result<u32> {
-            Ok(0)
-        }
-
-        fn collect_trace(&mut self) -> Result<Vec<TraceStep>> {
-            // R0 read at 5, written at 10.
-            Ok(vec![
-                TraceStep {
-                    time: 5,
-                    reads: vec!["R0".into()],
-                    writes: vec![],
-                    is_branch: false,
-                    is_call: false,
-                },
-                TraceStep {
-                    time: 10,
-                    reads: vec![],
-                    writes: vec!["R0".into()],
-                    is_branch: false,
-                    is_call: false,
-                },
-            ])
-        }
-
-        fn step_instruction(&mut self) -> Result<Option<TargetEvent>> {
-            self.tick();
-            if self.now >= 20 {
-                Ok(Some(TargetEvent::Halted))
-            } else {
-                Ok(None)
-            }
-        }
-    }
+    use crate::testutil::MiniTarget;
 
     fn campaign(n: usize, window: (u64, u64)) -> Campaign {
         Campaign::builder("mini-c", "mini", "w")

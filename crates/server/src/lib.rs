@@ -1,0 +1,26 @@
+//! # goofi-server — the campaign daemon and its worker processes
+//!
+//! Three pieces, all speaking the `goofi-net` protocol:
+//!
+//! * [`Daemon`] — a loopback TCP server exposing any `CampaignService`
+//!   to remote clients: submit, status, watch (streamed events), cancel,
+//!   jobs, shutdown. Version mismatches are answered with typed errors.
+//! * [`ProcessService`] — the multi-process execution engine: each job's
+//!   fault list is chunked across `goofi worker` children; finished rows
+//!   stream through an index-ordered reorder buffer into the shared
+//!   database, which therefore matches a single-process run byte for
+//!   byte. A crashed (or `kill -9`ed) worker's chunk is re-issued and a
+//!   replacement spawned, riding the storage engine's WAL for
+//!   durability.
+//! * [`worker_main`] — the worker-process entry point (frame loop over
+//!   stdin/stdout).
+
+#![warn(missing_docs)]
+
+mod daemon;
+mod process;
+mod worker;
+
+pub use daemon::Daemon;
+pub use process::{ProcessService, ServerConfig};
+pub use worker::{worker_loop, worker_main};

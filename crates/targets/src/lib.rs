@@ -39,3 +39,7 @@ mod thor;
 
 pub use stackvm::{StackProgram, StackVmTarget, DEFAULT_STEP_BUDGET};
 pub use thor::{ThorTarget, DEFAULT_CYCLE_BUDGET};
+
+mod standard;
+
+pub use standard::{standard_factory, standard_provider, standard_target};

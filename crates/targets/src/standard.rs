@@ -1,0 +1,59 @@
+//! The standard target construction every GOOFI front-end shares.
+//!
+//! The CLI, the campaign service ([`goofi_core::LocalService`]) and
+//! `goofi-server` worker processes all need the same resolution: a
+//! stored campaign names a target and a workload, and execution needs a
+//! fresh [`TargetSystemInterface`] built from them — with the DC-motor
+//! environment simulator attached for cyclic workloads, exactly as the
+//! paper's Thor setup runs its control application.
+
+use goofi_core::{Campaign, FactoryProvider, GoofiError, Result, TargetSystemInterface};
+use goofi_envsim::{DcMotorEnv, SCALE};
+use goofi_workloads::{workload_by_name, WorkloadKind};
+use std::sync::Arc;
+
+use crate::ThorTarget;
+
+/// Builds the target adapter a target/workload name pair describes.
+///
+/// # Errors
+///
+/// [`GoofiError::Campaign`] for unknown workload names.
+pub fn standard_target(target_name: &str, workload_name: &str) -> Result<ThorTarget> {
+    let workload = workload_by_name(workload_name)
+        .ok_or_else(|| GoofiError::Campaign(format!("unknown workload `{workload_name}`")))?;
+    Ok(match workload.kind {
+        WorkloadKind::Batch => ThorTarget::new(target_name, workload),
+        WorkloadKind::Cyclic { .. } => {
+            ThorTarget::with_env(target_name, workload, Box::new(DcMotorEnv::new(5 * SCALE)))
+        }
+    })
+}
+
+/// A factory of identical targets for `campaign`, for multi-worker
+/// execution (each worker drives its own instance).
+///
+/// # Errors
+///
+/// [`GoofiError::Campaign`] when the campaign's workload is unknown —
+/// surfaced here, at submission time, rather than inside a worker.
+pub fn standard_factory(
+    campaign: &Campaign,
+) -> Result<Box<dyn Fn() -> Box<dyn TargetSystemInterface> + Send + Sync>> {
+    // Validate eagerly so the factory itself cannot fail.
+    standard_target(&campaign.target, &campaign.workload)?;
+    let target_name = campaign.target.clone();
+    let workload_name = campaign.workload.clone();
+    Ok(Box::new(move || {
+        Box::new(
+            standard_target(&target_name, &workload_name)
+                .expect("workload validated at factory construction"),
+        )
+    }))
+}
+
+/// The [`FactoryProvider`] over [`standard_factory`] — what the CLI and
+/// the server hand to their campaign services.
+pub fn standard_provider() -> FactoryProvider {
+    Arc::new(|campaign: &Campaign| standard_factory(campaign))
+}

@@ -101,8 +101,11 @@ pub mod names {
 }
 
 /// How much telemetry a campaign run records.
+///
+/// Serializable so execution options can ship over the `goofi-net` wire
+/// protocol to server workers unchanged.
 #[non_exhaustive]
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum TelemetryMode {
     /// No recorder installed; instrumentation sites cost one thread-local
     /// read each. The default.

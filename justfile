@@ -51,3 +51,15 @@ bench-e12:
 # at the repo root. Scale with GOOFI_E13_ROWS / GOOFI_E13_GATE.
 bench-e13:
     cargo bench -p goofi-bench --bench e13_storage
+
+# E14 multi-process campaign service vs in-process runner (asserts every
+# configuration lands a byte-identical database; speedup is
+# informational — it depends on host cores); refreshes BENCH_e14.json at
+# the repo root. Scale with GOOFI_E14_EXPERIMENTS.
+bench-e14:
+    cargo bench -p goofi-bench --bench e14_server
+
+# The multi-process determinism + crash-recovery suite on its own
+# (kill -9 mid-campaign, cancel/resume, byte-identity per worker count).
+test-server:
+    cargo test --release --test server_recovery
