@@ -16,6 +16,15 @@
 //! static prune set is therefore always a subset of the trace-based one
 //! (property-tested in `goofi-targets`).
 //!
+//! On top of the dead windows, the `propagation` module runs a
+//! fault-propagation (taint washout) analysis along the same replayed
+//! timeline: faults whose corrupted value is read but provably washes
+//! out of the architectural state — without touching a control, address,
+//! or trap-prone operand — re-converge with the reference run, so their
+//! verdict is *predictable* with zero execution (surfaced as
+//! `StaticAnalysis::washout` windows and consumed by
+//! `StaticAnalysis::can_predict`).
+//!
 //! Frontends:
 //!
 //! * [`analyze_thor_program`] — instruction-address CFG over decoded
@@ -28,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod model;
+mod propagation;
 mod stackvm;
 mod thor;
 

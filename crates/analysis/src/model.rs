@@ -55,6 +55,13 @@ pub struct Node {
     pub reads: Vec<usize>,
     /// Interned location ids this point writes.
     pub writes: Vec<usize>,
+    /// Subset of `reads` the propagation analysis must treat as hazards
+    /// when tainted: control-flow operands (branch flags, indirect-jump
+    /// targets, return slots), memory-address operands, and operands of
+    /// instructions that can trap on data values. A fault whose taint
+    /// reaches a barrier read may diverge control or state the model
+    /// cannot follow, so its washout is never claimed.
+    pub barriers: Vec<usize>,
     /// Successor node indices. Empty for `Halt` and `Unknown` nodes.
     pub succs: Vec<usize>,
 }
@@ -70,6 +77,13 @@ pub struct Model {
     /// (e.g. the StackVM's stack pointers); reads of these never trigger
     /// the read-never-written lint.
     initialized: BTreeSet<usize>,
+    /// Locations whose written value depends only on the control-flow
+    /// position, never on data (e.g. the StackVM's stack pointers, which
+    /// move by a per-opcode constant). As long as control has not
+    /// diverged — which the propagation barriers guarantee — a write to
+    /// such a location always lands the reference value, so it stays
+    /// clean even when the writing instruction read tainted data.
+    path_determined: BTreeSet<usize>,
 }
 
 impl Model {
@@ -94,6 +108,20 @@ impl Model {
     pub fn assume_initialized(&mut self, name: &str) {
         let id = self.location(name);
         self.initialized.insert(id);
+    }
+
+    /// Marks a location's written values as determined by the control
+    /// path alone (see [`Model::is_path_determined`] on the field docs):
+    /// the propagation analysis keeps its writes clean even under
+    /// tainted inputs.
+    pub fn assume_path_determined(&mut self, name: &str) {
+        let id = self.location(name);
+        self.path_determined.insert(id);
+    }
+
+    /// Whether writes to location id `id` are path-determined.
+    pub(crate) fn is_path_determined(&self, id: usize) -> bool {
+        self.path_determined.contains(&id)
     }
 
     /// Appends a node, returning its index.
@@ -457,6 +485,7 @@ impl Model {
             edges,
             dead,
             equiv,
+            washout: crate::propagation::washout_windows(self, timeline, covered),
             lints: self.lints(&reachable, &wbr),
             classes: Vec::new(),
             eligible_faults: 0,

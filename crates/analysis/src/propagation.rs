@@ -1,0 +1,236 @@
+//! Fault-propagation (taint washout) analysis over the replayed timeline.
+//!
+//! The dead-window analysis in [`Model::analyze`] only proves faults whose
+//! first use is a *write* — the corrupted value is overwritten before
+//! anything reads it. This module proves a strictly larger family: faults
+//! whose corrupted value **is** read, but whose entire propagation cone
+//! provably washes out of the architectural state before the run ends.
+//! For such a fault the faulty execution re-converges with the fault-free
+//! reference — same path, same terminal state, same outputs — so its
+//! verdict can be *predicted* as the reference outcome with zero
+//! execution.
+//!
+//! The abstract domain is a taint set over the model's interned
+//! locations, walked forward along the concrete replay timeline:
+//!
+//! * An instruction none of whose reads are tainted writes clean values:
+//!   its writes *leave* the taint set.
+//! * An instruction reading a tainted location conservatively taints
+//!   every value it writes — except locations the frontend declared
+//!   *path-determined* (e.g. the StackVM stack pointers), whose written
+//!   value depends only on the control-flow position and therefore stays
+//!   clean as long as control has not diverged.
+//! * A tainted value reaching a **barrier read** is a hazard: the walk
+//!   stops and nothing is claimed. Barrier reads are where divergence
+//!   could escape the domain — control-flow operands (branch flags,
+//!   indirect-jump registers, return slots), memory-address operands, and
+//!   operands of instructions that can trap on data values (Thor's
+//!   checked arithmetic). Each ISA frontend marks its own barriers.
+//! * Reaching a halt, an [`NodeKind::Unknown`] point, or the end of the
+//!   replay with live taint is likewise a hazard (the residue would be a
+//!   latent state difference).
+//!
+//! Because control provably never diverges before the taint dies, the
+//! faulty run executes the exact reference instruction sequence — which
+//! is what licenses walking the *reference* timeline in the first place.
+//!
+//! The result is a per-location list of *washout windows*
+//! `(start, end, died_by)`: a fault injected anywhere in
+//! `[start, end]` has provably left the state after step `died_by`
+//! executes. Windows are grouped by first-touch step exactly like the
+//! equivalence windows, because every injection time in a first-touch
+//! group yields the same post-touch propagation.
+
+use crate::model::{Model, NodeKind};
+use std::collections::BTreeMap;
+
+/// Global budget of taint-walk steps per analysis, so a pathological
+/// workload cannot make the analyzer quadratic. Walks past the budget
+/// claim nothing (conservative). The bound is deterministic: groups are
+/// visited in (location, time) order on every run.
+const WALK_BUDGET_FLOOR: usize = 1 << 20;
+
+/// A fixed-width bitset over interned location ids.
+#[derive(Clone)]
+struct Taint {
+    words: Vec<u64>,
+}
+
+impl Taint {
+    fn new(len: usize) -> Taint {
+        Taint {
+            words: vec![0; len],
+        }
+    }
+
+    fn insert(&mut self, id: usize) {
+        self.words[id / 64] |= 1 << (id % 64);
+    }
+
+    fn intersects(&self, mask: &[u64]) -> bool {
+        self.words.iter().zip(mask).any(|(a, b)| a & b != 0)
+    }
+
+    fn union(&mut self, mask: &[u64]) {
+        for (a, b) in self.words.iter_mut().zip(mask) {
+            *a |= b;
+        }
+    }
+
+    fn subtract(&mut self, mask: &[u64]) {
+        for (a, b) in self.words.iter_mut().zip(mask) {
+            *a &= !b;
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+}
+
+/// Per-node def/use bitmasks, precomputed once per analysis.
+struct NodeMasks {
+    reads: Vec<u64>,
+    barriers: Vec<u64>,
+    writes: Vec<u64>,
+    /// Writes excluding path-determined locations (tainted-read case).
+    writes_unstable: Vec<u64>,
+    /// Path-determined writes only: clean even on tainted input.
+    writes_stable: Vec<u64>,
+}
+
+fn mask_of(ids: &[usize], words: usize) -> Vec<u64> {
+    let mut m = vec![0u64; words];
+    for &id in ids {
+        m[id / 64] |= 1 << (id % 64);
+    }
+    m
+}
+
+/// Walks the taint of a single seed location forward from `from` (its
+/// first-touch step). Returns `Some(step)` when the taint set empties
+/// after executing `step`, `None` on any hazard (barrier read, halt or
+/// unknown point with live taint, end of replay, budget exhaustion).
+fn walk(
+    model: &Model,
+    masks: &[NodeMasks],
+    timeline: &[usize],
+    seed: usize,
+    from: usize,
+    budget: &mut usize,
+) -> Option<u64> {
+    let words = masks.first().map_or(1, |m| m.reads.len());
+    let mut taint = Taint::new(words);
+    taint.insert(seed);
+    for (s, &n) in timeline.iter().enumerate().skip(from) {
+        if *budget == 0 {
+            return None;
+        }
+        *budget -= 1;
+        if model.nodes()[n].kind != NodeKind::Normal {
+            // Halt or Unknown with live taint: latent residue / anything
+            // may happen. (Empty taint returned before reaching here.)
+            return None;
+        }
+        let m = &masks[n];
+        if taint.intersects(&m.reads) {
+            if taint.intersects(&m.barriers) {
+                return None;
+            }
+            taint.union(&m.writes_unstable);
+            // Path-determined writes stay clean even on tainted input.
+            taint.subtract(&m.writes_stable);
+        } else {
+            taint.subtract(&m.writes);
+        }
+        if taint.is_empty() {
+            return Some(s as u64);
+        }
+    }
+    None
+}
+
+/// Computes the washout windows for every modeled location over the
+/// replayed timeline, claiming only injection times below `covered`.
+/// Returned as `location -> sorted disjoint (start, end, died_by)`.
+pub(crate) fn washout_windows(
+    model: &Model,
+    timeline: &[usize],
+    covered: usize,
+) -> BTreeMap<String, Vec<(u64, u64, u64)>> {
+    let locations = model.locations();
+    if locations.is_empty() || covered == 0 {
+        return BTreeMap::new();
+    }
+    let words = locations.len().div_ceil(64);
+    let masks: Vec<NodeMasks> = model
+        .nodes()
+        .iter()
+        .map(|node| {
+            let (stable, unstable): (Vec<usize>, Vec<usize>) = node
+                .writes
+                .iter()
+                .copied()
+                .partition(|&w| model.is_path_determined(w));
+            NodeMasks {
+                reads: mask_of(&node.reads, words),
+                barriers: mask_of(&node.barriers, words),
+                writes: mask_of(&node.writes, words),
+                writes_unstable: mask_of(&unstable, words),
+                writes_stable: mask_of(&stable, words),
+            }
+        })
+        .collect();
+
+    let mut budget = (covered * 64).max(WALK_BUDGET_FLOOR);
+    let mut washout: BTreeMap<String, Vec<(u64, u64, u64)>> = BTreeMap::new();
+    for (l, name) in locations.iter().enumerate() {
+        // First-touch step at or after each time, with halt/unknown
+        // barriers — the same grouping the equivalence windows use.
+        let mut touch_at: Vec<Option<usize>> = vec![None; timeline.len()];
+        let mut touch: Option<usize> = None;
+        for (t, &n) in timeline.iter().enumerate().rev() {
+            let node = &model.nodes()[n];
+            touch = match node.kind {
+                NodeKind::Halt | NodeKind::Unknown => None,
+                NodeKind::Normal => {
+                    if node.reads.contains(&l) || node.writes.contains(&l) {
+                        Some(t)
+                    } else {
+                        touch
+                    }
+                }
+            };
+            touch_at[t] = touch;
+        }
+
+        let mut windows: Vec<(u64, u64, u64)> = Vec::new();
+        let mut t = 0usize;
+        while t < covered {
+            let Some(u) = touch_at[t] else {
+                t += 1;
+                continue;
+            };
+            // The group of times sharing first touch `u` is contiguous
+            // and ends at `u` (clipped to the covered prefix).
+            let end = u.min(covered - 1);
+            let node = &model.nodes()[timeline[u]];
+            let died = if !node.reads.contains(&l) {
+                // Pure write: the fault dies the moment the touch runs.
+                Some(u as u64)
+            } else if node.barriers.contains(&l) {
+                None
+            } else {
+                walk(model, &masks, timeline, l, u, &mut budget)
+            };
+            if let Some(died) = died {
+                windows.push((t as u64, end as u64, died));
+            }
+            t = end + 1;
+        }
+        if !windows.is_empty() {
+            washout.insert(name.clone(), windows);
+        }
+    }
+    washout
+}

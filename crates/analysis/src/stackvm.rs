@@ -109,18 +109,35 @@ fn build_model(
     let mut model = Model::new();
     model.assume_initialized("SP");
     model.assume_initialized("CSP");
+    // The pointers advance by per-opcode constants: as long as control
+    // has not diverged, every write leaves them at the reference value
+    // even if an operand was tainted — so pointer *writes* stay clean in
+    // the propagation walk. Pointer *reads* are barriers below.
+    model.assume_path_determined("SP");
+    model.assume_path_determined("CSP");
     // Discovery is forward-only, so ops no abstract state covers get
     // synthetic nodes purely for the unreachable-code lint.
     let covered: std::collections::BTreeSet<u32> = states.iter().map(|s| s.0).collect();
     for state in &states {
         let (pc, sp, rets) = state;
-        let (label, reads, writes) = match ops.get(*pc as usize) {
+        let (label, reads, barriers, writes) = match ops.get(*pc as usize) {
             Some(op) => {
                 let fx = op.effect(*sp, rets.len() as u8).unwrap_or_default();
+                // Propagation barriers: the stack pointers (they select
+                // the cells every op touches and guard the bounds traps)
+                // plus the control operands — Jz's tested top-of-stack
+                // cell and Ret's return slot. The arithmetic ops wrap,
+                // so pure data operands propagate without hazard.
+                let control = matches!(op, Op::Jz(_) | Op::Ret);
                 (
                     format!("{pc}: {op:?}"),
                     fx.reads
                         .iter()
+                        .map(|&l| model.location(&loc_name(l, data_base)))
+                        .collect(),
+                    fx.reads
+                        .iter()
+                        .filter(|&&l| control || matches!(l, VmLoc::Sp | VmLoc::Csp))
                         .map(|&l| model.location(&loc_name(l, data_base)))
                         .collect(),
                     fx.writes
@@ -129,7 +146,7 @@ fn build_model(
                         .collect(),
                 )
             }
-            None => (String::new(), Vec::new(), Vec::new()),
+            None => (String::new(), Vec::new(), Vec::new(), Vec::new()),
         };
         let (kind, succs) = match successors(ops, data_words, state) {
             Succ::Halt => (NodeKind::Halt, Vec::new()),
@@ -140,6 +157,7 @@ fn build_model(
             label,
             kind,
             reads,
+            barriers,
             writes,
             succs,
         });
@@ -278,6 +296,40 @@ mod tests {
         // the Store reads at t=3.
         assert_eq!(sa.dead.get("S0"), Some(&vec![(0, 1)]));
         assert!(sa.lints.is_empty(), "{:?}", sa.lints);
+    }
+
+    #[test]
+    fn stored_then_overwritten_fault_washes_out() {
+        // Push 1; Store 0; Push 2; Store 0; Halt
+        let ops = [
+            Op::Push(1),
+            Op::Store(0),
+            Op::Push(2),
+            Op::Store(0),
+            Op::Halt,
+        ];
+        let sa = analyze(&ops, 1, 10);
+        // A fault in S0 at t=1 is read by the Store (never dead) and
+        // copied into data[0] — which the second Store overwrites while
+        // the Push re-writes S0: the cone is gone after step 3. The
+        // windows at t=0 and t=2 are plain overwrite-before-read.
+        assert_eq!(
+            sa.washout.get("S0"),
+            Some(&vec![(0, 0, 0), (1, 1, 3), (2, 2, 2)])
+        );
+        assert_eq!(sa.dead.get("S0"), Some(&vec![(0, 0), (2, 2)]));
+    }
+
+    #[test]
+    fn control_and_pointer_operands_are_barriers() {
+        // Push 0; Jz 3; Halt; Halt — the Jz tests the corrupted cell.
+        let ops = [Op::Push(0), Op::Jz(3), Op::Halt, Op::Halt];
+        let sa = analyze(&ops, 1, 10);
+        // Only the pure-write window at t=0 survives; the t=1 read is a
+        // control barrier. SP is read (and bounds-checked) by every op,
+        // so it gets no washout windows at all.
+        assert_eq!(sa.washout.get("S0"), Some(&vec![(0, 0, 0)]));
+        assert_eq!(sa.washout.get("SP"), None);
     }
 
     #[test]

@@ -76,6 +76,26 @@ fn build_model(program: &Program, config: &MachineConfig) -> (Model, BTreeMap<u3
         if fx.writes_psw {
             writes.push(model.location("PSW"));
         }
+        // Propagation barriers: reads through which corruption escapes
+        // the modeled dataflow. Checked arithmetic (Add/Sub/Mul/Div)
+        // traps on data values (overflow / divide-by-zero EDM events);
+        // Ld/St operands form dynamic effective addresses and St's value
+        // escapes into unmodeled memory; Jr and Branch operands steer
+        // control. For each such instruction the full read set is the
+        // barrier set. The wrapping/masked ops (Addi, logic, shifts,
+        // Cmp/Cmpi — whose PSW write is a full overwrite) are trap-free
+        // pure dataflow and stay barrier-less.
+        let barriers: Vec<usize> = match instr {
+            Instr::Add { .. }
+            | Instr::Sub { .. }
+            | Instr::Mul { .. }
+            | Instr::Div { .. }
+            | Instr::Ld { .. }
+            | Instr::St { .. }
+            | Instr::Jr { .. }
+            | Instr::Branch { .. } => reads.clone(),
+            _ => Vec::new(),
+        };
         let (kind, succs) = match instr {
             Instr::Halt => (NodeKind::Halt, Vec::new()),
             // Indirect jump: the target is a register value.
@@ -95,6 +115,7 @@ fn build_model(program: &Program, config: &MachineConfig) -> (Model, BTreeMap<u3
             label: format!("{addr:#x}: {instr}"),
             kind,
             reads,
+            barriers,
             writes,
             succs,
         });
@@ -302,6 +323,54 @@ mod tests {
         assert!(sa.lints.iter().any(|l| l.kind == LintKind::UnreachableCode));
         assert!(!sa.lints.iter().any(|l| l.kind == LintKind::DeadStore));
         assert_eq!(sa.steps, 4, "halt ends the replay");
+    }
+
+    #[test]
+    fn propagating_fault_washes_out_through_safe_ops() {
+        // R1 = 5; R2 = R1 & 0xF; R2 = 7; R1 = 0; halt
+        let sa = analyze(
+            &[
+                Instr::Li { rd: 1, imm: 5 },
+                Instr::Andi {
+                    rd: 2,
+                    rs1: 1,
+                    imm: 0xF,
+                },
+                Instr::Li { rd: 2, imm: 7 },
+                Instr::Li { rd: 1, imm: 0 },
+                Instr::Halt,
+            ],
+            10,
+        );
+        // A fault in R1 at t=1 is *read* by the Andi (so never dead),
+        // but the corruption it spreads into R2 is overwritten at t=2
+        // and R1 itself at t=3: the whole cone washes out by step 3.
+        assert_eq!(sa.dead.get("R1"), Some(&vec![(0, 0), (2, 3)]));
+        assert_eq!(
+            sa.washout.get("R1"),
+            Some(&vec![(0, 0, 0), (1, 1, 3), (2, 3, 3)])
+        );
+    }
+
+    #[test]
+    fn trap_prone_arithmetic_is_a_propagation_barrier() {
+        // Same shape, but the read is a checked Add: a corrupted operand
+        // could overflow-trap, so nothing is claimed for the read window.
+        let sa = analyze(
+            &[
+                Instr::Li { rd: 1, imm: 5 },
+                Instr::Add {
+                    rd: 2,
+                    rs1: 1,
+                    rs2: 1,
+                },
+                Instr::Li { rd: 2, imm: 7 },
+                Instr::Li { rd: 1, imm: 0 },
+                Instr::Halt,
+            ],
+            10,
+        );
+        assert_eq!(sa.washout.get("R1"), Some(&vec![(0, 0, 0), (2, 3, 3)]));
     }
 
     #[test]

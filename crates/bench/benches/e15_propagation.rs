@@ -1,0 +1,138 @@
+//! Experiment E15: fault-propagation prediction — campaigns decided
+//! without execution.
+//!
+//! The propagation engine (`goofi-analysis`) walks the corrupted value
+//! forward through the replayed timeline: a fault whose taint is
+//! provably overwritten before anything observable reads it gets its
+//! verdict synthesised from the reference run. E15 runs three sort16
+//! campaigns (whole chain, the R6 scratch register, and intermittent
+//! double-activation faults on R6), cross-checks every synthesised
+//! verdict against real execution, prints the table, measures the wall
+//! time of a predicted campaign against a fully executed one, and
+//! writes `BENCH_e15.json` at the workspace root for CI and the docs.
+//!
+//! Gate: (pruned + predicted) / total >= 15%, at least one fault
+//! *predicted* (washed out, not merely dead), and every synthesised
+//! verdict byte-identical to real execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use goofi_bench::e15::{run_e15, to_json, GATE_RATE};
+use goofi_bench::{scifi_campaign_windowed, thor_target};
+use goofi_core::{CampaignRunner, Pruning, RunOptions};
+use std::time::Instant;
+
+const EXPERIMENTS: usize = 400;
+
+fn bench(c: &mut Criterion) {
+    println!("\n=== E15: fault-propagation prediction (sort16, {EXPERIMENTS} faults per campaign, window 0..1100) ===");
+    let r = run_e15(EXPERIMENTS);
+    println!(
+        "{:<30} {:>8} {:>8} {:>10} {:>11}",
+        "campaign", "faults", "pruned", "predicted", "mismatches"
+    );
+    for row in &r.campaigns {
+        println!(
+            "{:<30} {:>8} {:>8} {:>10} {:>11}",
+            row.label, row.experiments, row.pruned, row.predicted, row.mismatches
+        );
+    }
+    println!(
+        "combined: {} pruned + {} predicted of {} ({:.1}%), gate {:.0}%",
+        r.pruned,
+        r.predicted,
+        r.total,
+        100.0 * r.rate(),
+        100.0 * GATE_RATE
+    );
+
+    // Wall time: the same campaign fully executed vs. decided statically.
+    let mut campaign = scifi_campaign_windowed("e15-wall", "sort16", EXPERIMENTS, 0, 1100);
+    campaign.pre_injection_analysis = true;
+    let wall = |options: RunOptions| {
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let mut target = thor_target("sort16");
+            let t0 = Instant::now();
+            CampaignRunner::new(&mut target, &campaign)
+                .options(options)
+                .run()
+                .expect("campaign runs");
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let wall_full = wall(RunOptions::new().pruning(Pruning::Off).checkpoint(false));
+    let wall_predicted = wall(
+        RunOptions::new()
+            .pruning(Pruning::Static)
+            .prediction(true)
+            .checkpoint(false),
+    );
+    println!("wall  full execution: {wall_full:>9.3}s");
+    println!("wall  static+predict: {wall_predicted:>9.3}s");
+
+    let mut out = to_json(&r);
+    out.truncate(
+        out.rfind("\n}")
+            .expect("document ends with a closing brace"),
+    );
+    out.push_str(&format!(
+        ",\n  \"wall_full_s\": {wall_full:.6},\n  \"wall_predicted_s\": {wall_predicted:.6}\n}}\n"
+    ));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e15.json");
+    match std::fs::write(path, out) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+
+    assert!(
+        r.verdicts_identical(),
+        "a synthesised verdict diverged from real execution"
+    );
+    assert!(
+        r.predicted >= 1,
+        "no fault was ever predicted (only pruned)"
+    );
+    assert!(
+        r.rate() >= GATE_RATE,
+        "combined prune+predict rate {:.1}% misses the {:.0}% gate",
+        100.0 * r.rate(),
+        100.0 * GATE_RATE
+    );
+
+    let mut group = c.benchmark_group("e15");
+    group.sample_size(10);
+    for (name, options) in [
+        (
+            "campaign_full",
+            RunOptions::new().pruning(Pruning::Off).checkpoint(false),
+        ),
+        (
+            "campaign_predicted",
+            RunOptions::new()
+                .pruning(Pruning::Static)
+                .prediction(true)
+                .checkpoint(false),
+        ),
+    ] {
+        let mut campaign = scifi_campaign_windowed("e15-b", "sort16", 100, 0, 1100);
+        campaign.pre_injection_analysis = true;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut target = thor_target("sort16");
+                CampaignRunner::new(&mut target, &campaign)
+                    .options(options)
+                    .run()
+                    .expect("campaign runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

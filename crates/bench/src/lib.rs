@@ -6,6 +6,7 @@
 
 pub mod e13;
 pub mod e14;
+pub mod e15;
 
 use goofi_core::{
     generate_fault_list, Campaign, FaultModel, LivenessAnalysis, LocationSelector,

@@ -1,0 +1,55 @@
+//! E15's acceptance gate as a plain test, at smoke scale: the three
+//! propagation campaigns must prune or predict at least 15% of the
+//! combined fault list, at least one fault must be *predicted* (washed
+//! out rather than dead), every synthesised verdict must match real
+//! execution byte for byte, and the emitted JSON document must keep the
+//! keys CI greps for.
+
+use goofi_bench::e15::{run_e15, to_json, GATE_RATE};
+
+#[test]
+fn propagation_prediction_clears_the_e15_gate_at_smoke_scale() {
+    let r = run_e15(120);
+
+    assert!(
+        r.verdicts_identical(),
+        "a synthesised verdict diverged from real execution"
+    );
+    assert!(
+        r.predicted >= 1,
+        "no fault was ever predicted: pruned {}, total {}",
+        r.pruned,
+        r.total
+    );
+    assert!(
+        r.rate() >= GATE_RATE,
+        "combined prune+predict rate {:.1}% misses the {:.0}% gate",
+        100.0 * r.rate(),
+        100.0 * GATE_RATE
+    );
+    // The multi-activation campaign must actually contribute: an
+    // intermittent fault only prunes/predicts when the propagation
+    // engine reasons about every activation in sequence.
+    let multi = &r.campaigns[2];
+    assert!(
+        multi.pruned + multi.predicted > 0,
+        "the intermittent campaign decided nothing statically"
+    );
+
+    let json = to_json(&r);
+    for key in [
+        "\"experiment\": \"e15_propagation\"",
+        "\"campaigns\"",
+        "\"pruned\"",
+        "\"predicted\"",
+        "\"total_experiments\"",
+        "\"total_pruned\"",
+        "\"total_predicted\"",
+        "\"rate\"",
+        "\"gate_rate\"",
+        "\"verdicts_identical\"",
+        "\"gate_met\"",
+    ] {
+        assert!(json.contains(key), "emitted JSON lacks {key}:\n{json}");
+    }
+}

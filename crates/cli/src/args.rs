@@ -23,7 +23,9 @@ const FLAG_NAMES: &[&str] = &[
     "parallel",
     "no-checkpoint",
     "class-exec",
+    "predict",
     "json",
+    "lint",
     "help",
     "resume",
     "watch",

@@ -33,7 +33,7 @@ use goofi_core::{
 };
 use goofi_net::RemoteService;
 use goofi_server::{Daemon, ProcessService, ServerConfig};
-use goofi_targets::{standard_provider, standard_target};
+use goofi_targets::{analysis_target, standard_provider, standard_target};
 use goofi_workloads::workload_by_name;
 use std::path::Path;
 use std::process::ExitCode;
@@ -51,14 +51,15 @@ USAGE:
                   [--detail] [--preinject]
   goofi run       --db FILE --campaign NAME [--workers N] [--no-checkpoint]
                   [--telemetry off|metrics|trace] [--pruning off|trace|static]
-                  [--class-exec]
+                  [--class-exec] [--predict]
   goofi resume    --db FILE --campaign NAME [--workers N] [--no-checkpoint]
                   [--telemetry off|metrics|trace] [--pruning off|trace|static]
-                  [--class-exec]
+                  [--class-exec] [--predict]
   goofi serve     --db FILE [--addr HOST:PORT] [--workers N] [--chunk N]
   goofi submit    --addr HOST:PORT --campaign NAME [--workers N] [--resume]
                   [--no-checkpoint] [--telemetry off|metrics|trace]
-                  [--pruning off|trace|static] [--class-exec] [--watch]
+                  [--pruning off|trace|static] [--class-exec] [--predict]
+                  [--watch]
   goofi watch     --addr HOST:PORT --job ID
   goofi attach    --addr HOST:PORT --job ID
   goofi status    --addr HOST:PORT --job ID
@@ -66,7 +67,10 @@ USAGE:
   goofi jobs      --addr HOST:PORT
   goofi shutdown  --addr HOST:PORT
   goofi analyze   --db FILE --campaign NAME
-  goofi analyze   --workload WORKLOAD [--json] [--horizon N]
+  goofi analyze   --workload WORKLOAD [--target NAME|stackvm] [--json]
+                  [--lint] [--fault NAME@T1,T2[;...]] [--horizon N]
+                  (with --lint/--json: exit status 2 when a gating
+                   lint fires)
   goofi report    --db FILE --campaign NAME [--lambda L] [--mission HOURS]
                   [--trace-out FILE]
   goofi locations --db FILE --target NAME [--chain CHAIN]
@@ -76,8 +80,26 @@ USAGE:
   goofi db stats   --db FILE [--json]
   goofi db compact --db FILE
 
-Workloads: sortN, matmulN, crc32xN, fibN, pid
+Workloads: sortN, matmulN, crc32xN, fibN, pid (Thor);
+           sumN (with --target stackvm, analyze only)
 ";
+
+/// Exit status of `goofi analyze --lint`: at least one gating lint fired.
+const EXIT_LINT: u8 = 2;
+
+/// A command's stdout plus its exit code. Most verbs exit 0 on success;
+/// `analyze --lint`/`--json` exits [`EXIT_LINT`] when a gating lint
+/// fires, so CI can gate on broken campaigns without parsing output.
+struct CmdOutput {
+    text: String,
+    code: u8,
+}
+
+impl From<String> for CmdOutput {
+    fn from(text: String) -> CmdOutput {
+        CmdOutput { text, code: 0 }
+    }
+}
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -92,8 +114,8 @@ fn main() -> ExitCode {
     }
     match run(&argv) {
         Ok(output) => {
-            print!("{output}");
-            ExitCode::SUCCESS
+            print!("{}", output.text);
+            ExitCode::from(output.code)
         }
         Err(msg) => {
             eprintln!("error: {msg}");
@@ -110,10 +132,15 @@ fn load_store(path: &str) -> Result<GoofiStore, String> {
     }
 }
 
-fn run(argv: &[String]) -> Result<String, String> {
+fn run(argv: &[String]) -> Result<CmdOutput, String> {
     let parsed = parse(argv)?;
     if parsed.command.is_empty() || parsed.has_flag("help") {
-        return Ok(USAGE.to_owned());
+        return Ok(USAGE.to_owned().into());
+    }
+    // `analyze` is the one verb with a non-binary exit status (lint
+    // gating); everything else reports plain text.
+    if parsed.command == "analyze" {
+        return cmd_analyze(&parsed);
     }
     match parsed.command.as_str() {
         "configure" => cmd_configure(&parsed),
@@ -128,7 +155,6 @@ fn run(argv: &[String]) -> Result<String, String> {
         "cancel" => cmd_cancel(&parsed),
         "jobs" => cmd_jobs(&parsed),
         "shutdown" => cmd_shutdown(&parsed),
-        "analyze" => cmd_analyze(&parsed),
         "report" => cmd_report(&parsed),
         "locations" => cmd_locations(&parsed),
         "workloads" => cmd_workloads(&parsed),
@@ -137,6 +163,7 @@ fn run(argv: &[String]) -> Result<String, String> {
         "db" => cmd_db(&parsed),
         other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
     }
+    .map(CmdOutput::from)
 }
 
 /// Configuration phase (paper Fig. 5): store the target description.
@@ -295,6 +322,12 @@ fn render_run_summary(summary: &JobSummary) -> String {
         summary.pruned,
         worker_note
     );
+    if summary.predicted > 0 {
+        out.push_str(&format!(
+            "predicted by propagation analysis: {}\n",
+            summary.predicted
+        ));
+    }
     out.push_str(&class_savings_line(summary));
     if let Some(tel) = &summary.telemetry {
         out.push('\n');
@@ -324,20 +357,25 @@ fn exec_options(p: &ParsedArgs) -> Result<ExecOptions, String> {
         })?,
     };
     let pruning = match p.get("pruning") {
-        // Class execution derives its equivalence classes from the same
+        // Class execution and verdict prediction both derive from the
         // static analysis the static pruner builds, so `--class-exec`
-        // defaults to static pruning and the two compose out of the box.
-        None if p.has_flag("class-exec") => Pruning::Static,
+        // and `--predict` default to static pruning and compose with it
+        // out of the box.
+        None if p.has_flag("class-exec") || p.has_flag("predict") => Pruning::Static,
         None => Pruning::default(),
         Some(v) => v
             .parse::<Pruning>()
             .map_err(|e| format!("option --pruning: {e}"))?,
     };
+    if p.has_flag("predict") && pruning != Pruning::Static {
+        return Err("--predict requires --pruning static".to_owned());
+    }
     Ok(ExecOptions::new()
         .workers(p.workers()?)
         .checkpoint(!p.has_flag("no-checkpoint"))
         .telemetry(telemetry)
         .pruning(pruning)
+        .prediction(p.has_flag("predict"))
         .class_execution(p.has_flag("class-exec")))
 }
 
@@ -488,10 +526,10 @@ fn cmd_shutdown(p: &ParsedArgs) -> Result<String, String> {
 }
 
 /// Analysis phase. With `--workload` this is the *static* workload
-/// analyzer (CFG, dead windows, lints — no campaign, no reference run);
-/// with `--db --campaign` it is the automatically generated classifier
-/// over the stored experiments.
-fn cmd_analyze(p: &ParsedArgs) -> Result<String, String> {
+/// analyzer (CFG, dead windows, washout, lints — no campaign, no
+/// reference run); with `--db --campaign` it is the automatically
+/// generated classifier over the stored experiments.
+fn cmd_analyze(p: &ParsedArgs) -> Result<CmdOutput, String> {
     if let Some(workload) = p.get("workload") {
         return cmd_analyze_workload(p, workload);
     }
@@ -499,18 +537,85 @@ fn cmd_analyze(p: &ParsedArgs) -> Result<String, String> {
     let name = p.require("campaign")?;
     let store = load_store(db)?;
     let stats = analyze_campaign(&store, name).map_err(|e| e.to_string())?;
-    Ok(stats.report())
+    Ok(stats.report().into())
+}
+
+/// Parses `--fault` specs: `NAME@T1[,T2...]`, several separated by `;`.
+/// Each names an architectural location of the target (a scan-chain
+/// field such as `R1` or `SP`); the fault flips its first bit at the
+/// listed activation times, so campaign lints can vet hand-written
+/// fault lists without running anything.
+fn parse_fault_specs(
+    config: &goofi_core::TargetSystemConfig,
+    spec: &str,
+) -> Result<Vec<goofi_core::PlannedFault>, String> {
+    let mut faults = Vec::new();
+    for part in spec.split(';').filter(|s| !s.trim().is_empty()) {
+        let (name, times_str) = part
+            .trim()
+            .split_once('@')
+            .ok_or_else(|| format!("--fault spec `{part}` must be NAME@T1[,T2...]"))?;
+        let target = config
+            .chains
+            .iter()
+            .find_map(|c| {
+                c.field(name).map(|f| goofi_core::Location::ChainBit {
+                    chain: c.name.clone(),
+                    bit: f.offset,
+                })
+            })
+            .ok_or_else(|| format!("--fault location `{name}` is not a field of any chain"))?;
+        let times: Vec<u64> = times_str
+            .split(',')
+            .map(|t| {
+                t.trim()
+                    .parse()
+                    .map_err(|_| format!("bad fault time `{t}`"))
+            })
+            .collect::<Result<_, String>>()?;
+        if times.is_empty() {
+            return Err(format!("--fault spec `{part}` lists no activation times"));
+        }
+        let model = match times.len() {
+            1 => FaultModel::BitFlip,
+            n => FaultModel::Intermittent { activations: n },
+        };
+        faults.push(goofi_core::PlannedFault {
+            model,
+            targets: vec![target],
+            times,
+        });
+    }
+    Ok(faults)
 }
 
 /// `goofi analyze --workload W`: static CFG + dataflow analysis of a
-/// bundled workload, with human or `--json` output.
-fn cmd_analyze_workload(p: &ParsedArgs, workload: &str) -> Result<String, String> {
+/// bundled workload (Thor by default, `--target stackvm` for the stack
+/// machine), with human or `--json` output. `--fault` seeds a fault
+/// list for the campaign lints; with `--lint` or `--json` the exit
+/// code is [`EXIT_LINT`] when any gating lint fires.
+fn cmd_analyze_workload(p: &ParsedArgs, workload: &str) -> Result<CmdOutput, String> {
     let horizon = p.int_or("horizon", 1_000_000)?;
-    let mut target = standard_target(p.get("target").unwrap_or("thor-card"), workload)
+    let mut target = analysis_target(p.get("target").unwrap_or("thor-card"), workload)
         .map_err(|e| e.to_string())?;
-    let analysis = target.static_analysis(horizon).map_err(|e| e.to_string())?;
+    let mut analysis = target.static_analysis(horizon).map_err(|e| e.to_string())?;
+    let config = target.describe();
+    if let Some(spec) = p.get("fault") {
+        let faults = parse_fault_specs(&config, spec)?;
+        let campaign_lints = analysis.campaign_lints(&config, &faults);
+        analysis.lints.extend(campaign_lints);
+    }
+    let gating = analysis.lints.iter().filter(|l| l.kind.gates()).count();
+    let code = if (p.has_flag("lint") || p.has_flag("json")) && gating > 0 {
+        EXIT_LINT
+    } else {
+        0
+    };
     if p.has_flag("json") {
-        return Ok(format!("{}\n", analysis.to_json()));
+        return Ok(CmdOutput {
+            text: format!("{}\n", analysis.to_json()),
+            code,
+        });
     }
 
     let mut out = format!(
@@ -538,15 +643,33 @@ fn cmd_analyze_workload(p: &ParsedArgs, workload: &str) -> Result<String, String
             "  total: {total} provably dead (location, time) pairs\n"
         ));
     }
+    if !analysis.equiv.is_empty() {
+        let windows: usize = analysis.equiv.values().map(Vec::len).sum();
+        out.push_str(&format!(
+            "\nequivalence windows: {windows} across {} locations\n",
+            analysis.equiv.len()
+        ));
+    }
+    if !analysis.washout.is_empty() {
+        let windows: usize = analysis.washout.values().map(Vec::len).sum();
+        out.push_str(&format!(
+            "washout windows (fault provably overwritten later): {windows} across {} locations\n",
+            analysis.washout.len()
+        ));
+    }
     if analysis.lints.is_empty() {
         out.push_str("\nlints: none\n");
     } else {
         out.push_str("\nlints:\n");
         for lint in &analysis.lints {
-            out.push_str(&format!("  [{}] {}\n", lint.kind, lint.message));
+            let gate = if lint.kind.gates() { " (gating)" } else { "" };
+            out.push_str(&format!("  [{}]{gate} {}\n", lint.kind, lint.message));
+        }
+        if code != 0 {
+            out.push_str(&format!("\n{gating} gating lint(s): exit status {code}\n"));
         }
     }
-    Ok(out)
+    Ok(CmdOutput { text: out, code })
 }
 
 /// Full campaign report: classification, per-location sensitivity,
@@ -908,6 +1031,10 @@ mod tests {
     }
 
     fn call(args: &[&str]) -> Result<String, String> {
+        call_code(args).map(|out| out.text)
+    }
+
+    fn call_code(args: &[&str]) -> Result<CmdOutput, String> {
         let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
         run(&argv)
     }
@@ -1480,6 +1607,138 @@ mod tests {
         call(&["report", "--db", &db, "--campaign", "cv"]).unwrap();
         assert!(call(&["db", "frobnicate", "--db", &db]).is_err());
         assert!(call(&["db", "stats", "--db", "/tmp/definitely-missing.db"]).is_err());
+    }
+
+    #[test]
+    fn analyze_lint_gates_exit_status_on_both_isas() {
+        // A fault seeded into a provably-dead window fires the gating
+        // lint; the exit status is 2 only under --lint or --json.
+        let out = call_code(&[
+            "analyze",
+            "--workload",
+            "sort16",
+            "--fault",
+            "R6@0",
+            "--lint",
+        ])
+        .unwrap();
+        assert_eq!(out.code, EXIT_LINT, "{}", out.text);
+        assert!(
+            out.text.contains("fault-targets-dead-location"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("(gating)"), "{}", out.text);
+        let out = call_code(&[
+            "analyze",
+            "--workload",
+            "sum8",
+            "--target",
+            "stackvm",
+            "--fault",
+            "S0@0",
+            "--json",
+        ])
+        .unwrap();
+        assert_eq!(out.code, EXIT_LINT);
+        // Without --lint/--json the findings are reported, not gated.
+        let out = call_code(&["analyze", "--workload", "sort16", "--fault", "R6@0"]).unwrap();
+        assert_eq!(out.code, 0);
+        // A clean workload passes the gate.
+        let out = call_code(&["analyze", "--workload", "sort16", "--lint"]).unwrap();
+        assert_eq!(out.code, 0, "{}", out.text);
+        // Bad specs name the problem.
+        let err = call(&["analyze", "--workload", "sort16", "--fault", "R6"]).unwrap_err();
+        assert!(err.contains("NAME@T1"), "{err}");
+        let err = call(&["analyze", "--workload", "sort16", "--fault", "NOPE@0"]).unwrap_err();
+        assert!(err.contains("NOPE"), "{err}");
+    }
+
+    #[test]
+    fn analyze_stackvm_json_reports_classes_and_washout() {
+        let out = call(&[
+            "analyze",
+            "--workload",
+            "sum8",
+            "--target",
+            "stackvm",
+            "--json",
+        ])
+        .unwrap();
+        let parsed = goofi_core::StaticAnalysis::from_json(out.trim()).unwrap();
+        assert!(!parsed.dead.is_empty(), "stackvm dead windows missing");
+        assert!(
+            !parsed.equiv.is_empty(),
+            "stackvm equivalence windows missing"
+        );
+        assert!(
+            !parsed.washout.is_empty(),
+            "stackvm washout windows missing"
+        );
+        // Only sumN programs ship for the stack machine.
+        assert!(call(&["analyze", "--workload", "fib10", "--target", "stackvm"]).is_err());
+    }
+
+    #[test]
+    fn predict_run_reports_and_requires_static_pruning() {
+        let db = tmpdb("predict.json");
+        call(&[
+            "configure",
+            "--db",
+            &db,
+            "--target",
+            "t",
+            "--workload",
+            "sort16",
+        ])
+        .unwrap();
+        // The sort scratch register has washout windows beyond the dead
+        // set: some faults are predictable but not prunable.
+        call(&[
+            "setup",
+            "--db",
+            &db,
+            "--campaign",
+            "cp",
+            "--target",
+            "t",
+            "--workload",
+            "sort16",
+            "--chain",
+            "cpu",
+            "--field",
+            "R6",
+            "--experiments",
+            "120",
+            "--window",
+            "0:1100",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
+        let out = call(&["run", "--db", &db, "--campaign", "cp", "--predict"]).unwrap();
+        let predicted: usize = out
+            .lines()
+            .find_map(|l| l.strip_prefix("predicted by propagation analysis: "))
+            .and_then(|n| n.parse().ok())
+            .expect("run reports a predicted count");
+        assert!(
+            predicted > 0,
+            "prediction found nothing on sort16/R6: {out}"
+        );
+        // --predict composes with (and defaults to) static pruning only.
+        let err = call(&[
+            "run",
+            "--db",
+            &db,
+            "--campaign",
+            "cp",
+            "--predict",
+            "--pruning",
+            "trace",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--predict"), "{err}");
     }
 
     #[test]

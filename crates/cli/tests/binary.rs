@@ -362,3 +362,143 @@ fn pruning_runs_are_deterministic_across_workers_and_modes() {
         "trace and static DBs differ beyond the static-analysis row"
     );
 }
+
+/// With prediction on, the runner synthesises verdict rows for faults
+/// the propagation analysis proves washed out — without executing them.
+/// The database must come out byte-identical at any worker count, via
+/// `resume` instead of `run`, and (the soundness claim made storable)
+/// identical to the run that executed every non-pruned fault for real.
+#[test]
+fn prediction_runs_are_deterministic_across_workers_and_resume() {
+    // The sort scratch register R6 carries washout windows beyond the
+    // dead set: this campaign predicts faults it cannot prune.
+    let setup = |db: &str| {
+        let (ok, _, _) = goofi(&[
+            "configure",
+            "--db",
+            db,
+            "--target",
+            "t",
+            "--workload",
+            "sort16",
+        ]);
+        assert!(ok);
+        let (ok, _, _) = goofi(&[
+            "setup",
+            "--db",
+            db,
+            "--campaign",
+            "cx",
+            "--target",
+            "t",
+            "--workload",
+            "sort16",
+            "--chain",
+            "cpu",
+            "--field",
+            "R6",
+            "--experiments",
+            "120",
+            "--window",
+            "0:1100",
+            "--seed",
+            "7",
+        ]);
+        assert!(ok);
+    };
+
+    let mut variants: Vec<Vec<u8>> = Vec::new();
+    for workers in ["1", "2", "4"] {
+        let db = tmpdb(&format!("bin-pred-{workers}.json"));
+        setup(&db);
+        let (ok, stdout, stderr) = goofi(&[
+            "run",
+            "--db",
+            &db,
+            "--campaign",
+            "cx",
+            "--workers",
+            workers,
+            "--predict",
+        ]);
+        assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+        if workers == "1" {
+            let predicted: usize = stdout
+                .lines()
+                .find_map(|l| l.strip_prefix("predicted by propagation analysis: "))
+                .and_then(|n| n.parse().ok())
+                .unwrap_or(0);
+            assert!(
+                predicted > 0,
+                "prediction found nothing on sort16/R6: {stdout}"
+            );
+        }
+        variants.push(std::fs::read(&db).unwrap());
+    }
+    assert!(
+        variants.windows(2).all(|w| w[0] == w[1]),
+        "worker count changed the DB bytes under --predict"
+    );
+
+    // `resume` on a never-run campaign drives the same engine path.
+    let db_resume = tmpdb("bin-pred-resume.json");
+    setup(&db_resume);
+    let (ok, stdout, stderr) = goofi(&[
+        "resume",
+        "--db",
+        &db_resume,
+        "--campaign",
+        "cx",
+        "--predict",
+    ]);
+    assert!(ok, "stdout: {stdout}\nstderr: {stderr}");
+    assert_eq!(
+        std::fs::read(&db_resume).unwrap(),
+        variants[0],
+        "resume with prediction diverged from run"
+    );
+    // Resuming the complete campaign replays rows and changes nothing
+    // logically; it does re-persist the static-analysis row, leaving a
+    // dead slot behind, so compare the compacted images.
+    let (ok, _, _) = goofi(&[
+        "resume",
+        "--db",
+        &db_resume,
+        "--campaign",
+        "cx",
+        "--predict",
+    ]);
+    assert!(ok);
+    let compacted = |bytes: &[u8], name: &str| {
+        let path = tmpdb(name);
+        std::fs::write(&path, bytes).unwrap();
+        let (ok, _, _) = goofi(&["db", "compact", "--db", &path]);
+        assert!(ok);
+        std::fs::read(&path).unwrap()
+    };
+    assert_eq!(
+        compacted(&std::fs::read(&db_resume).unwrap(), "bin-pred-rr.json"),
+        compacted(&variants[0], "bin-pred-base.json"),
+        "re-resuming a complete campaign changed its rows"
+    );
+
+    // Soundness, end to end: executing every non-pruned fault for real
+    // (prediction off) produces the same bytes as synthesising verdicts.
+    let db_real = tmpdb("bin-pred-real.json");
+    setup(&db_real);
+    let (ok, _, _) = goofi(&[
+        "run",
+        "--db",
+        &db_real,
+        "--campaign",
+        "cx",
+        "--pruning",
+        "static",
+    ]);
+    assert!(ok);
+    assert_eq!(
+        std::fs::read(&db_real).unwrap(),
+        variants[0],
+        "synthesised verdict rows differ from real execution"
+    );
+}

@@ -44,6 +44,10 @@ pub struct ExperimentRun {
     /// `true` if pre-injection analysis skipped the physical run and
     /// synthesised the result from the reference.
     pub pruned: bool,
+    /// `true` if the propagation analysis predicted this verdict (the
+    /// fault activates but provably washes out, so the outcome equals
+    /// the reference) and the physical run was skipped.
+    pub predicted: bool,
 }
 
 fn instructions_or_zero(target: &mut dyn TargetSystemInterface) -> u64 {
@@ -88,6 +92,7 @@ pub fn reference_run(
         activations_done: 0,
         detail_trace,
         pruned: false,
+        predicted: false,
     })
 }
 
@@ -253,6 +258,7 @@ fn continue_inject_at_breakpoints(
         activations_done,
         detail_trace,
         pruned: false,
+        predicted: false,
     })
 }
 
@@ -305,6 +311,7 @@ fn swifi_preruntime(
         activations_done: 1,
         detail_trace,
         pruned: false,
+        predicted: false,
     })
 }
 

@@ -508,6 +508,7 @@ mod tests {
             activations_done: 1,
             detail_trace: None,
             pruned: false,
+            predicted: false,
         }
     }
 

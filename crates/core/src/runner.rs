@@ -101,6 +101,16 @@ pub struct RunOptions {
     /// back to executing everything otherwise). Defaults to `false`.
     /// Ignored by [`Scheduler::Static`], which always executes directly.
     pub class_execution: bool,
+    /// Synthesise the rows of faults whose verdict the propagation
+    /// analysis proved predictable (the corruption activates but washes
+    /// out of the architectural state, so the outcome equals the
+    /// reference) instead of executing them. Requires
+    /// [`Pruning::Static`] on a target with a static analyzer (silently
+    /// falls back to executing otherwise) and only applies to
+    /// scan-chain/runtime-SWIFI campaigns in normal log mode — the same
+    /// envelope as class execution. Logged rows are byte-identical with
+    /// the knob on or off. Defaults to `false`.
+    pub prediction: bool,
 }
 
 impl Default for RunOptions {
@@ -111,6 +121,7 @@ impl Default for RunOptions {
             scheduler: Scheduler::WorkStealing,
             pruning: Pruning::Trace,
             class_execution: false,
+            prediction: false,
         }
     }
 }
@@ -151,6 +162,12 @@ impl RunOptions {
         self.class_execution = on;
         self
     }
+
+    /// Sets whether statically-predicted verdicts are synthesised.
+    pub fn prediction(mut self, on: bool) -> RunOptions {
+        self.prediction = on;
+        self
+    }
 }
 
 /// Everything a finished campaign produced.
@@ -179,6 +196,12 @@ impl CampaignResult {
     /// Number of experiments pre-injection analysis skipped.
     pub fn pruned(&self) -> usize {
         self.runs.iter().filter(|r| r.pruned).count()
+    }
+
+    /// Number of experiments whose verdict the propagation analysis
+    /// predicted statically (synthesised without execution).
+    pub fn predicted(&self) -> usize {
+        self.runs.iter().filter(|r| r.predicted).count()
     }
 }
 
@@ -529,6 +552,33 @@ fn pruned_run(reference: &ExperimentRun, fault: &PlannedFault) -> ExperimentRun 
         activations_done: 0,
         detail_trace: None,
         pruned: true,
+        predicted: false,
+    }
+}
+
+/// Builds the synthetic result of a statically *predicted* experiment:
+/// the propagation analysis proved the fault activates but washes out of
+/// the architectural state without touching control, addresses or
+/// trap-prone operands, so the faulty execution re-converges with the
+/// reference — same termination, outputs, state and instruction count.
+/// Field-by-field for the same detail-trace reason as [`pruned_run`].
+///
+/// `activations_done` counts the activations at times within the
+/// reference run (all of them — [`StaticAnalysis::can_predict`] proves
+/// every activation window washes out, which requires each activation to
+/// fire inside the covered execution).
+fn predicted_run(reference: &ExperimentRun, fault: &PlannedFault) -> ExperimentRun {
+    ExperimentRun {
+        fault: Some(fault.clone()),
+        termination: reference.termination.clone(),
+        outputs: reference.outputs.clone(),
+        state: reference.state.clone(),
+        instructions: reference.instructions,
+        iterations: reference.iterations,
+        activations_done: fault.times.len(),
+        detail_trace: None,
+        pruned: false,
+        predicted: true,
     }
 }
 
@@ -572,6 +622,38 @@ fn compute_prunable(
     faults.iter().map(|f| prune.can_prune(config, f)).collect()
 }
 
+/// Central prediction decision, shared by every runner variant: which
+/// experiments are synthesised from the reference because the
+/// propagation analysis proved their fault washes out. Requires the
+/// knob, static pruning info and the same technique/log-mode envelope as
+/// class execution (the proof covers corrupt-targets-at-times injection
+/// observed through terminal state only). Prunable faults stay prunable
+/// — prediction covers strictly live-but-washed faults.
+fn compute_predicted(
+    faults: &[PlannedFault],
+    prunable: &[bool],
+    prune: &PruneInfo,
+    campaign: &Campaign,
+    config: &crate::target::TargetSystemConfig,
+    options: &RunOptions,
+) -> Vec<bool> {
+    let technique_ok = matches!(
+        campaign.technique,
+        Technique::Scifi | Technique::SwifiRuntime
+    );
+    let PruneInfo::Static(analysis) = prune else {
+        return vec![false; faults.len()];
+    };
+    if !options.prediction || !technique_ok || campaign.log_mode != LogMode::Normal {
+        return vec![false; faults.len()];
+    }
+    faults
+        .iter()
+        .enumerate()
+        .map(|(i, f)| !prunable[i] && analysis.can_predict(config, f))
+        .collect()
+}
+
 /// A deterministic execution plan for one campaign on one target: the
 /// generated fault list, per-fault prunability, the fault-free reference
 /// run and (when enabled) the injection-time checkpoint cache.
@@ -594,6 +676,10 @@ pub struct CampaignPlan {
     /// `prunable[i]` — pre-injection analysis proved experiment `i`
     /// cannot differ from the reference.
     pub prunable: Vec<bool>,
+    /// `predicted[i]` — the propagation analysis proved experiment `i`'s
+    /// fault washes out, so its row is synthesised from the reference
+    /// (only under [`RunOptions::prediction`] with static pruning).
+    pub predicted: Vec<bool>,
     /// The fault-free reference run.
     pub reference: ExperimentRun,
     /// The static analysis to persist, when the plan pruned statically.
@@ -620,18 +706,25 @@ pub fn plan_campaign(
     let (faults, prune, _class) = prepare(target, campaign, &options)?;
     let config = target.describe();
     let prunable = compute_prunable(&faults, &prune, &config);
+    let predicted = compute_predicted(&faults, &prunable, &prune, campaign, &config, &options);
     let reference = {
         let _s = tracing::span(names::PHASE_REFERENCE);
         reference_run(target, campaign)
     }?;
     let checkpoints = if options.checkpoint {
-        CheckpointPlan::build(target, campaign, &faults, &prunable)
+        let skip: Vec<bool> = prunable
+            .iter()
+            .zip(&predicted)
+            .map(|(&a, &b)| a || b)
+            .collect();
+        CheckpointPlan::build(target, campaign, &faults, &skip)
     } else {
         None
     };
     Ok(CampaignPlan {
         faults,
         prunable,
+        predicted,
         reference,
         static_analysis: prune.into_static(),
         checkpoints,
@@ -672,6 +765,10 @@ impl CampaignPlan {
         if self.prunable[index] {
             tracing::value(names::COUNTER_PRUNED, 1);
             return Ok(pruned_run(&self.reference, fault));
+        }
+        if self.predicted[index] {
+            tracing::value(names::COUNTER_PREDICTED, 1);
+            return Ok(predicted_run(&self.reference, fault));
         }
         let _s = tracing::span(names::PHASE_EXPERIMENT);
         if let Some(plan) = &self.checkpoints {
@@ -728,6 +825,7 @@ fn fanned_run(representative: &ExperimentRun, fault: &PlannedFault) -> Experimen
         activations_done: representative.activations_done,
         detail_trace: None,
         pruned: false,
+        predicted: false,
     }
 }
 
@@ -748,14 +846,18 @@ impl ClassPlan {
     /// `analysis` for persistence) and derives the proxy/fan-out tables.
     ///
     /// Eligibility is conservative: the identical-trajectory proof covers
-    /// single-activation breakpoint-injected faults observed in normal
-    /// log mode, and pruned faults already synthesise the reference.
+    /// breakpoint-injected faults observed in normal log mode whose
+    /// pre-final activations (if any) provably wash out
+    /// ([`StaticAnalysis::prefix_washed`], checked inside
+    /// [`StaticAnalysis::compute_execution_classes`]). Pruned faults
+    /// already synthesise the reference and predicted faults synthesise
+    /// it too (`skip`), so neither executes nor anchors a class.
     fn build(
         analysis: &mut StaticAnalysis,
         campaign: &Campaign,
         config: &crate::target::TargetSystemConfig,
         faults: &[PlannedFault],
-        prunable: &[bool],
+        skip: &[bool],
     ) -> ClassPlan {
         let technique_ok = matches!(
             campaign.technique,
@@ -764,12 +866,7 @@ impl ClassPlan {
         let eligible: Vec<bool> = faults
             .iter()
             .enumerate()
-            .map(|(i, f)| {
-                technique_ok
-                    && campaign.log_mode == LogMode::Normal
-                    && !prunable[i]
-                    && f.times.len() == 1
-            })
+            .map(|(i, _f)| technique_ok && campaign.log_mode == LogMode::Normal && !skip[i])
             .collect();
         analysis.compute_execution_classes(config, faults, &eligible);
         let mut proxy = vec![None; faults.len()];
@@ -808,13 +905,13 @@ fn resolve_classes(
     campaign: &Campaign,
     config: &crate::target::TargetSystemConfig,
     faults: &[PlannedFault],
-    prunable: &[bool],
+    skip: &[bool],
     prune: PruneInfo,
     class_analysis: Option<StaticAnalysis>,
 ) -> (Option<ClassPlan>, Option<StaticAnalysis>) {
     match class_analysis {
         Some(mut analysis) => {
-            let plan = ClassPlan::build(&mut analysis, campaign, config, faults, prunable);
+            let plan = ClassPlan::build(&mut analysis, campaign, config, faults, skip);
             (Some(plan), Some(analysis))
         }
         None => (None, prune.into_static()),
@@ -923,8 +1020,14 @@ fn sequential_run(
     let (faults, prune, class_analysis) = prepare(target, campaign, options)?;
     let config = target.describe();
     let prunable = compute_prunable(&faults, &prune, &config);
+    let predicted = compute_predicted(&faults, &prunable, &prune, campaign, &config, options);
+    let skip: Vec<bool> = prunable
+        .iter()
+        .zip(&predicted)
+        .map(|(&a, &b)| a || b)
+        .collect();
     let (class_plan, static_analysis) =
-        resolve_classes(campaign, &config, &faults, &prunable, prune, class_analysis);
+        resolve_classes(campaign, &config, &faults, &skip, prune, class_analysis);
 
     if let Some(ctl) = controller {
         ctl.emit(ProgressEvent::Started {
@@ -948,10 +1051,10 @@ fn sequential_run(
     // Proxied class members never execute, so they contribute no
     // checkpoint snapshot times either.
     let plan = if options.checkpoint {
-        let skip: Vec<bool> = (0..faults.len())
-            .map(|i| prunable[i] || proxied(class_plan.as_ref(), i).is_some())
+        let unexecuted: Vec<bool> = (0..faults.len())
+            .map(|i| skip[i] || proxied(class_plan.as_ref(), i).is_some())
             .collect();
-        CheckpointPlan::build(target, campaign, &faults, &skip)
+        CheckpointPlan::build(target, campaign, &faults, &unexecuted)
     } else {
         None
     };
@@ -974,6 +1077,9 @@ fn sequential_run(
         let run = if pruned {
             tracing::value(names::COUNTER_PRUNED, 1);
             pruned_run(&reference, fault)
+        } else if predicted[i] {
+            tracing::value(names::COUNTER_PREDICTED, 1);
+            predicted_run(&reference, fault)
         } else if let Some(rep) = proxied(class_plan.as_ref(), i) {
             // The representative has the lowest index in its class, so
             // its run is already in `runs`.
@@ -1048,8 +1154,14 @@ fn sequential_resume(
     let (faults, prune, class_analysis) = prepare(target, campaign, options)?;
     let config = target.describe();
     let prunable = compute_prunable(&faults, &prune, &config);
+    let predicted = compute_predicted(&faults, &prunable, &prune, campaign, &config, options);
+    let skip: Vec<bool> = prunable
+        .iter()
+        .zip(&predicted)
+        .map(|(&a, &b)| a || b)
+        .collect();
     let (class_plan, static_analysis) =
-        resolve_classes(campaign, &config, &faults, &prunable, prune, class_analysis);
+        resolve_classes(campaign, &config, &faults, &skip, prune, class_analysis);
 
     // Reference: reuse the stored row, or make and log it now.
     let ref_name = reference_experiment_name(&campaign.name);
@@ -1076,16 +1188,16 @@ fn sequential_resume(
     // run: stored rows, prunable faults and proxied class members
     // contribute no snapshot times.
     let plan = if options.checkpoint {
-        let skip: Vec<bool> = (0..faults.len())
+        let unexecuted: Vec<bool> = (0..faults.len())
             .map(|i| {
-                prunable[i]
+                skip[i]
                     || proxied(class_plan.as_ref(), i).is_some()
                     || store
                         .get_experiment(&experiment_name(&campaign.name, i))
                         .is_ok()
             })
             .collect();
-        CheckpointPlan::build(target, campaign, &faults, &skip)
+        CheckpointPlan::build(target, campaign, &faults, &unexecuted)
     } else {
         None
     };
@@ -1113,6 +1225,9 @@ fn sequential_resume(
         let run = if pruned {
             tracing::value(names::COUNTER_PRUNED, 1);
             pruned_run(&reference, fault)
+        } else if predicted[i] {
+            tracing::value(names::COUNTER_PREDICTED, 1);
+            predicted_run(&reference, fault)
         } else if let Some(rep) = proxied(class_plan.as_ref(), i) {
             // The representative's run is in `runs` whether it was
             // reloaded from the store or executed just now: rep < i.
@@ -1431,6 +1546,7 @@ fn parallel_engine(
     controller: Option<&Controller>,
     faults: &[PlannedFault],
     prunable: &[bool],
+    predicted: &[bool],
     plan: Option<&CheckpointPlan>,
     class_plan: Option<&ClassPlan>,
     reference: &ExperimentRun,
@@ -1458,7 +1574,9 @@ fn parallel_engine(
     // store if its representative's row is too).
     let expected: Vec<bool> = slots.iter().map(Option::is_none).collect();
     let worklist: Vec<usize> = (0..total)
-        .filter(|&i| expected[i] && !prunable[i] && proxied(class_plan, i).is_none())
+        .filter(|&i| {
+            expected[i] && !prunable[i] && !predicted[i] && proxied(class_plan, i).is_none()
+        })
         .collect();
     // Chunked claims: large enough to amortise cursor contention, small
     // enough that a slow experiment cannot strand a long tail behind one
@@ -1637,6 +1755,17 @@ fn parallel_engine(
                     record,
                 });
                 slots[i] = Some(run);
+            } else if predicted[i] {
+                tracing::value(names::COUNTER_PREDICTED, 1);
+                let run = predicted_run(reference, &faults[i]);
+                let record = store_attached
+                    .then(|| record_of(campaign, experiment_name(&campaign.name, i), &run));
+                let _ = tx.send(FinishedExperiment {
+                    index: i,
+                    pruned: false,
+                    record,
+                });
+                slots[i] = Some(run);
             } else if let Some(rep) = proxied(class_plan, i) {
                 if let Some(rep_run) = &slots[rep] {
                     tracing::value(names::COUNTER_FANNED, 1);
@@ -1726,17 +1855,23 @@ fn parallel_run(
     let (faults, prune, class_analysis) = prepare(scratch.as_mut(), campaign, options)?;
     let config = scratch.describe();
     let prunable = compute_prunable(&faults, &prune, &config);
+    let predicted = compute_predicted(&faults, &prunable, &prune, campaign, &config, options);
+    let skip: Vec<bool> = prunable
+        .iter()
+        .zip(&predicted)
+        .map(|(&a, &b)| a || b)
+        .collect();
     let (class_plan, static_analysis) =
-        resolve_classes(campaign, &config, &faults, &prunable, prune, class_analysis);
+        resolve_classes(campaign, &config, &faults, &skip, prune, class_analysis);
     let reference = {
         let _s = tracing::span(names::PHASE_REFERENCE);
         reference_run(scratch.as_mut(), campaign)
     }?;
     let plan = if options.checkpoint {
-        let skip: Vec<bool> = (0..faults.len())
-            .map(|i| prunable[i] || proxied(class_plan.as_ref(), i).is_some())
+        let unexecuted: Vec<bool> = (0..faults.len())
+            .map(|i| skip[i] || proxied(class_plan.as_ref(), i).is_some())
             .collect();
-        CheckpointPlan::build(scratch.as_mut(), campaign, &faults, &skip)
+        CheckpointPlan::build(scratch.as_mut(), campaign, &faults, &unexecuted)
     } else {
         None
     };
@@ -1751,6 +1886,7 @@ fn parallel_run(
         controller,
         &faults,
         &prunable,
+        &predicted,
         plan.as_ref(),
         class_plan.as_ref(),
         &reference,
@@ -1788,8 +1924,14 @@ fn parallel_resume(
     let (faults, prune, class_analysis) = prepare(scratch.as_mut(), campaign, options)?;
     let config = scratch.describe();
     let prunable = compute_prunable(&faults, &prune, &config);
+    let predicted = compute_predicted(&faults, &prunable, &prune, campaign, &config, options);
+    let skip: Vec<bool> = prunable
+        .iter()
+        .zip(&predicted)
+        .map(|(&a, &b)| a || b)
+        .collect();
     let (class_plan, static_analysis) =
-        resolve_classes(campaign, &config, &faults, &prunable, prune, class_analysis);
+        resolve_classes(campaign, &config, &faults, &skip, prune, class_analysis);
     let ref_name = reference_experiment_name(&campaign.name);
     let (reference, log_reference) = match store.get_experiment(&ref_name) {
         Ok(record) => (record.to_run(), false),
@@ -1813,15 +1955,15 @@ fn parallel_resume(
 
     // Checkpoint only the experiments this resume will actually run.
     let plan = if options.checkpoint {
-        let skip: Vec<bool> = prunable
+        let unexecuted: Vec<bool> = skip
             .iter()
             .zip(&slots)
             .enumerate()
-            .map(|(i, (&pruned, slot))| {
-                pruned || slot.is_some() || proxied(class_plan.as_ref(), i).is_some()
+            .map(|(i, (&skipped, slot))| {
+                skipped || slot.is_some() || proxied(class_plan.as_ref(), i).is_some()
             })
             .collect();
-        CheckpointPlan::build(scratch.as_mut(), campaign, &faults, &skip)
+        CheckpointPlan::build(scratch.as_mut(), campaign, &faults, &unexecuted)
     } else {
         None
     };
@@ -1835,6 +1977,7 @@ fn parallel_resume(
         controller,
         &faults,
         &prunable,
+        &predicted,
         plan.as_ref(),
         class_plan.as_ref(),
         &reference,
@@ -1873,6 +2016,8 @@ fn static_run(
     let mut scratch = factory();
     let (faults, prune, _class_analysis) = prepare(scratch.as_mut(), campaign, options)?;
     let config = scratch.describe();
+    let prunable = compute_prunable(&faults, &prune, &config);
+    let predicted = compute_predicted(&faults, &prunable, &prune, campaign, &config, options);
     let reference = {
         let _s = tracing::span(names::PHASE_REFERENCE);
         reference_run(scratch.as_mut(), campaign)
@@ -1886,8 +2031,8 @@ fn static_run(
     std::thread::scope(|scope| {
         for w in 0..workers {
             let faults = &faults;
-            let prune = &prune;
-            let config = &config;
+            let prunable = &prunable;
+            let predicted = &predicted;
             let reference = &reference;
             let errors = &errors;
             let results = &results;
@@ -1905,10 +2050,12 @@ fn static_run(
                     if !errors.lock().expect("no poisoned lock").is_empty() {
                         break;
                     }
-                    let pruned = prune.can_prune(config, fault);
-                    let run = if pruned {
+                    let run = if prunable[i] {
                         tracing::value(names::COUNTER_PRUNED, 1);
                         Ok(pruned_run(reference, fault))
+                    } else if predicted[i] {
+                        tracing::value(names::COUNTER_PREDICTED, 1);
+                        Ok(predicted_run(reference, fault))
                     } else {
                         let busy_t0 = telemetry.map(|_| Instant::now());
                         let run = {

@@ -61,6 +61,12 @@ pub struct ExecOptions {
     /// Equivalence-class execution (default off; ignored by the
     /// multi-process engine, whose rows are byte-identical either way).
     pub class_execution: bool,
+    /// Static verdict prediction: synthesise the rows of faults the
+    /// propagation analysis proved wash out (default off; requires
+    /// static pruning). Rows are byte-identical either way. Defaults via
+    /// serde so pre-existing wire peers interoperate.
+    #[serde(default)]
+    pub prediction: bool,
 }
 
 impl Default for ExecOptions {
@@ -71,6 +77,7 @@ impl Default for ExecOptions {
             telemetry: TelemetryMode::Off,
             pruning: Pruning::default(),
             class_execution: false,
+            prediction: false,
         }
     }
 }
@@ -112,6 +119,12 @@ impl ExecOptions {
         self
     }
 
+    /// Sets static verdict prediction.
+    pub fn prediction(mut self, on: bool) -> ExecOptions {
+        self.prediction = on;
+        self
+    }
+
     /// The equivalent runner options.
     pub fn run_options(&self) -> RunOptions {
         RunOptions::new()
@@ -119,6 +132,7 @@ impl ExecOptions {
             .telemetry(self.telemetry)
             .pruning(self.pruning)
             .class_execution(self.class_execution)
+            .prediction(self.prediction)
     }
 }
 
@@ -201,6 +215,10 @@ pub struct JobSummary {
     pub experiments: usize,
     /// Experiments skipped by pre-injection analysis.
     pub pruned: usize,
+    /// Experiments whose verdicts the propagation analysis predicted
+    /// without execution (absent on the wire from older servers).
+    #[serde(default)]
+    pub predicted: usize,
     /// Classification statistics.
     pub stats: CampaignStats,
     /// Class-execution savings, when the run fanned anything out.
@@ -219,6 +237,7 @@ impl JobSummary {
             workers,
             experiments: 0,
             pruned: 0,
+            predicted: 0,
             stats: CampaignStats::default(),
             class_savings: None,
             telemetry: None,
@@ -241,6 +260,7 @@ impl JobSummary {
             workers,
             experiments: result.runs.len(),
             pruned: result.pruned(),
+            predicted: result.predicted(),
             stats: result.stats.clone(),
             class_savings,
             telemetry: result.telemetry.clone(),

@@ -63,7 +63,7 @@ impl FromStr for Pruning {
     }
 }
 
-/// Category of a workload lint.
+/// Category of a workload or campaign lint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LintKind {
     /// A basic block no CFG path from the entry reaches.
@@ -74,6 +74,34 @@ pub enum LintKind {
     ReadNeverWritten,
     /// No CFG path from the entry reaches a terminating instruction.
     NoPathToTermination,
+    /// A campaign fault whose every activation lands in a provably-dead
+    /// window: the experiment cannot differ from the reference, so it
+    /// measures nothing.
+    FaultTargetsDeadLocation,
+    /// Two campaign faults the analysis proves equivalent (same bits,
+    /// same model, activation times in the same equivalence windows):
+    /// the duplicate buys no additional coverage.
+    DuplicateEquivalentFault,
+    /// A campaign fault with an activation time at or past the measured
+    /// end of the workload (or past the analysis horizon): it can never
+    /// fire inside the observed execution.
+    ActivationBeyondHorizon,
+}
+
+impl LintKind {
+    /// Whether this lint gates `goofi analyze --lint` (exit code 2).
+    /// The informational workload lints (dead stores and friends) report
+    /// code-quality smells; the gating set flags campaigns or workloads
+    /// that cannot measure what they claim to.
+    pub fn gates(self) -> bool {
+        matches!(
+            self,
+            LintKind::NoPathToTermination
+                | LintKind::FaultTargetsDeadLocation
+                | LintKind::DuplicateEquivalentFault
+                | LintKind::ActivationBeyondHorizon
+        )
+    }
 }
 
 impl fmt::Display for LintKind {
@@ -83,6 +111,9 @@ impl fmt::Display for LintKind {
             LintKind::DeadStore => "dead-store",
             LintKind::ReadNeverWritten => "read-never-written",
             LintKind::NoPathToTermination => "no-path-to-termination",
+            LintKind::FaultTargetsDeadLocation => "fault-targets-dead-location",
+            LintKind::DuplicateEquivalentFault => "duplicate-equivalent-fault",
+            LintKind::ActivationBeyondHorizon => "activation-beyond-horizon",
         })
     }
 }
@@ -170,6 +201,16 @@ pub struct StaticAnalysis {
     /// faults on the same bits whose times fall in the same window of
     /// every target location provably produce identical outcomes.
     pub equiv: BTreeMap<String, Vec<(u64, u64)>>,
+    /// location -> sorted disjoint inclusive *washout* windows
+    /// `(start, end, died_by)`: a fault injected into the location
+    /// anywhere in `[start, end]` propagates (its value may be read) but
+    /// provably washes out of the architectural state after step
+    /// `died_by` executes, without ever reaching a control-flow, memory
+    /// address, or trap-prone operand. The faulty run re-converges with
+    /// the reference, so its verdict is predictable with zero execution.
+    /// Absent in analyses persisted before the propagation engine.
+    #[serde(default)]
+    pub washout: BTreeMap<String, Vec<(u64, u64, u64)>>,
     /// Workload lints.
     pub lints: Vec<Lint>,
     /// Fault equivalence classes over the campaign's fault list (filled
@@ -221,6 +262,137 @@ impl StaticAnalysis {
             .get(idx)
             .filter(|&&(start, _)| start <= time)
             .copied()
+    }
+
+    /// The washout window containing `time` for `location`, if any,
+    /// as `(start, end, died_by)`. Unknown locations and times beyond
+    /// the horizon have none.
+    pub fn washout_window(&self, location: &str, time: u64) -> Option<(u64, u64, u64)> {
+        if time > self.horizon {
+            return None;
+        }
+        let windows = self.washout.get(location)?;
+        let idx = windows.partition_point(|&(_, end, _)| end < time);
+        windows
+            .get(idx)
+            .filter(|&&(start, _, _)| start <= time)
+            .copied()
+    }
+
+    /// Whether corruption of `location` injected at `time` provably
+    /// leaves the architectural state strictly before step `bound`
+    /// executes: either the location's window is dead (overwritten
+    /// before any read) or it washes out through clean dataflow.
+    fn washed_before(&self, location: &str, time: u64, bound: u64) -> bool {
+        // The washout table subsumes dead windows: a pure-write first
+        // touch is recorded with `died_by` = the touch step itself.
+        self.washout_window(location, time)
+            .is_some_and(|(_, _, died)| died < bound)
+    }
+
+    /// Whether `location` is provably untouched between activation
+    /// times `t` and `tn`: both land in the same first-touch
+    /// equivalence window, so no instruction reads or writes the
+    /// location in `[t, tn)` and corruption present at `t` is still
+    /// exactly there (and nothing else) at `tn`.
+    fn untouched_between(&self, location: &str, t: u64, tn: u64) -> bool {
+        match (
+            self.equiv_window(location, t),
+            self.equiv_window(location, tn),
+        ) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Decides whether a planned fault's verdict is statically
+    /// predictable as the reference outcome without executing it.
+    ///
+    /// Every target must resolve to a modeled location, and for each
+    /// consecutive activation pair `(t_i, t_{i+1})` each target's
+    /// corruption must either *wash out* strictly before `t_{i+1}`
+    /// (state at `t_{i+1}` equals the reference, so re-corrupting the
+    /// targets there is exactly a fresh activation) or stay *confined*
+    /// (the location untouched between the activations, so the
+    /// re-corruption at `t_{i+1}` subsumes the residue — corruption is
+    /// still exactly a subset of the target locations). After the final
+    /// activation every target must wash out before the run ends. Taint
+    /// of a multi-location fault is covered by the union of the
+    /// per-location walks, so per-target windows compose soundly.
+    pub fn can_predict(&self, config: &TargetSystemConfig, fault: &PlannedFault) -> bool {
+        let Some(names) = self.named_targets(config, fault) else {
+            return false;
+        };
+        if fault.times.is_empty() {
+            return false;
+        }
+        let mut times = fault.times.clone();
+        times.sort_unstable();
+        times.dedup();
+        for (i, &t) in times.iter().enumerate() {
+            for name in &names {
+                let ok = match times.get(i + 1) {
+                    Some(&tn) => {
+                        self.washed_before(name, t, tn) || self.untouched_between(name, t, tn)
+                    }
+                    None => self.washout_window(name, t).is_some(),
+                };
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Decides whether all activations *before the last* provably wash
+    /// out, so that the machine state just before the final activation
+    /// equals the fault-free reference. Such a multi-activation fault
+    /// behaves exactly like a single-activation fault at its last time
+    /// and may join the corresponding execution equivalence class.
+    ///
+    /// Stricter than [`StaticAnalysis::can_predict`]: confinement
+    /// (untouched-between) is only acceptable on non-final pairs — a
+    /// residue merely confined into the last activation would make the
+    /// pre-state differ from the reference.
+    pub fn prefix_washed(&self, config: &TargetSystemConfig, fault: &PlannedFault) -> bool {
+        let Some(names) = self.named_targets(config, fault) else {
+            return false;
+        };
+        let mut times = fault.times.clone();
+        times.sort_unstable();
+        times.dedup();
+        let Some((&_last, prefix)) = times.split_last() else {
+            return false;
+        };
+        for (i, &t) in prefix.iter().enumerate() {
+            let tn = times[i + 1];
+            let final_pair = i + 1 == times.len() - 1;
+            for name in &names {
+                let washed = self.washed_before(name, t, tn);
+                let ok = washed || (!final_pair && self.untouched_between(name, t, tn));
+                if !ok {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// All target locations resolved to architectural names (sorted,
+    /// deduped), or `None` when any target is unmodeled.
+    fn named_targets(
+        &self,
+        config: &TargetSystemConfig,
+        fault: &PlannedFault,
+    ) -> Option<Vec<String>> {
+        let mut names = Vec::with_capacity(fault.targets.len());
+        for target in &fault.targets {
+            names.push(target.architectural_name(config)?);
+        }
+        names.sort();
+        names.dedup();
+        Some(names)
     }
 
     /// Decides whether a whole planned fault can be skipped: every target
@@ -292,11 +464,15 @@ impl StaticAnalysis {
     /// `self.classes`. Only faults flagged `eligible` by the caller (the
     /// runner excludes prunable faults and technique/log-mode
     /// combinations whose injection path the proof does not cover) are
-    /// considered, and each must additionally have exactly one activation
-    /// time at which **every** target bit resolves to a modeled location
-    /// whose equivalence window contains that time. Two faults join the
-    /// same class iff they mutate the exact same bits with the same
-    /// model and every target location puts their times in the same
+    /// considered. Single-activation faults key on their one time;
+    /// multi-activation faults qualify when every activation before the
+    /// last provably washes out ([`StaticAnalysis::prefix_washed`]), in
+    /// which case they behave exactly like a single-activation fault at
+    /// their *last* time and key on it. In both cases **every** target
+    /// bit must resolve to a modeled location whose equivalence window
+    /// contains the effective time. Two faults join the same class iff
+    /// they mutate the exact same bits with the same model and every
+    /// target location puts their effective times in the same
     /// equivalence window — the soundness condition for executing one
     /// member on behalf of the other.
     pub fn compute_execution_classes(
@@ -313,7 +489,12 @@ impl StaticAnalysis {
             if !eligible.get(i).copied().unwrap_or(false) {
                 continue;
             }
-            let [time] = fault.times[..] else { continue };
+            let Some(&time) = fault.times.iter().max() else {
+                continue;
+            };
+            if fault.times.len() > 1 && !self.prefix_washed(config, fault) {
+                continue;
+            }
             let mut names: Vec<String> = Vec::new();
             let mut named = true;
             for target in &fault.targets {
@@ -379,6 +560,91 @@ impl StaticAnalysis {
             })
     }
 
+    /// Lints a campaign's planned fault list against the analysis:
+    ///
+    /// * [`LintKind::FaultTargetsDeadLocation`] — every activation of
+    ///   the fault lands in a provably-dead window; the experiment
+    ///   cannot differ from the reference.
+    /// * [`LintKind::DuplicateEquivalentFault`] — two faults mutate the
+    ///   same bits with the same model and provably produce identical
+    ///   outcomes (single-activation or washed-prefix faults whose
+    ///   effective times share every target's equivalence window — the
+    ///   same grouping key execution classes use); the later one buys no
+    ///   coverage.
+    /// * [`LintKind::ActivationBeyondHorizon`] — an activation time at
+    ///   or past the measured end of the workload (or past the analysis
+    ///   horizon) can never fire inside the observed execution.
+    pub fn campaign_lints(
+        &self,
+        config: &TargetSystemConfig,
+        faults: &[PlannedFault],
+    ) -> Vec<Lint> {
+        let mut lints = Vec::new();
+        type DupKey = (Vec<Location>, FaultModel, Vec<(u64, u64)>);
+        let mut seen: BTreeMap<DupKey, usize> = BTreeMap::new();
+        for (i, fault) in faults.iter().enumerate() {
+            if self.can_prune(config, fault) {
+                let names = self
+                    .named_targets(config, fault)
+                    .unwrap_or_default()
+                    .join(",");
+                lints.push(Lint {
+                    kind: LintKind::FaultTargetsDeadLocation,
+                    message: format!(
+                        "fault {i} targets {names} only in provably-dead windows \
+                         (times {:?}): it cannot differ from the reference run",
+                        fault.times
+                    ),
+                });
+            }
+            for &t in &fault.times {
+                if t >= self.steps || t > self.horizon {
+                    lints.push(Lint {
+                        kind: LintKind::ActivationBeyondHorizon,
+                        message: format!(
+                            "fault {i} activates at time {t}, at or past the measured \
+                             end of the workload (steps {}, horizon {})",
+                            self.steps, self.horizon
+                        ),
+                    });
+                }
+            }
+            let provable = match fault.times[..] {
+                [] => false,
+                [_] => true,
+                _ => self.prefix_washed(config, fault),
+            };
+            if let (true, Some(names)) = (provable, self.named_targets(config, fault)) {
+                let time = *fault.times.iter().max().expect("nonempty times");
+                let windows: Option<Vec<(u64, u64)>> = names
+                    .iter()
+                    .map(|name| self.equiv_window(name, time))
+                    .collect();
+                if let Some(windows) = windows {
+                    let mut targets = fault.targets.clone();
+                    targets.sort();
+                    match seen.entry((targets, fault.model, windows)) {
+                        std::collections::btree_map::Entry::Occupied(first) => {
+                            lints.push(Lint {
+                                kind: LintKind::DuplicateEquivalentFault,
+                                message: format!(
+                                    "fault {i} is provably equivalent to fault {} \
+                                     (same bits, same model, activation times in the \
+                                     same equivalence windows)",
+                                    first.get()
+                                ),
+                            });
+                        }
+                        std::collections::btree_map::Entry::Vacant(slot) => {
+                            slot.insert(i);
+                        }
+                    }
+                }
+            }
+        }
+        lints
+    }
+
     /// Serialises to JSON (for persistence and `goofi analyze --json`).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("StaticAnalysis serialises")
@@ -412,7 +678,17 @@ mod tests {
             ]),
             equiv: BTreeMap::from([
                 ("R1".to_string(), vec![(3, 5), (10, 20), (30, 40)]),
-                ("R2".to_string(), vec![(0, 0)]),
+                ("R2".to_string(), vec![(0, 0), (3, 8), (10, 20)]),
+            ]),
+            washout: BTreeMap::from([
+                // Dead windows re-surface as washouts dying at the
+                // first-touch (pure write) step; (30, 40) is a genuine
+                // propagating washout whose taint dies at step 45.
+                (
+                    "R1".to_string(),
+                    vec![(3, 5, 5), (10, 20, 20), (30, 40, 45)],
+                ),
+                ("R2".to_string(), vec![(0, 0, 0), (3, 8, 12), (10, 20, 25)]),
             ]),
             lints: Vec::new(),
             classes: Vec::new(),
@@ -538,6 +814,112 @@ mod tests {
         assert_eq!(a.equiv_window("R1", 6), None);
         assert_eq!(a.equiv_window("R9", 3), None);
         assert_eq!(a.equiv_window("R1", 200), None, "beyond the horizon");
+    }
+
+    #[test]
+    fn washout_windows_lookup() {
+        let a = analysis();
+        assert_eq!(a.washout_window("R1", 35), Some((30, 40, 45)));
+        assert_eq!(a.washout_window("R1", 3), Some((3, 5, 5)));
+        assert_eq!(a.washout_window("R1", 6), None);
+        assert_eq!(a.washout_window("R9", 3), None);
+        assert_eq!(a.washout_window("R1", 200), None, "beyond the horizon");
+    }
+
+    #[test]
+    fn can_predict_single_activation() {
+        let a = analysis();
+        let cfg = config();
+        assert!(a.can_predict(&cfg, &fault(5, vec![30])), "washes at 45");
+        assert!(a.can_predict(&cfg, &fault(5, vec![4])), "dead is washed");
+        assert!(!a.can_predict(&cfg, &fault(5, vec![50])), "no window");
+        assert!(!a.can_predict(&cfg, &fault(5, vec![])), "no activations");
+        // Unnamed target: never predictable.
+        let mut f = fault(5, vec![30]);
+        f.targets = vec![Location::ChainBit {
+            chain: "cpu".into(),
+            bit: 999,
+        }];
+        assert!(!a.can_predict(&cfg, &f));
+    }
+
+    #[test]
+    fn can_predict_multi_activation_chains() {
+        let a = analysis();
+        let cfg = config();
+        // (4 -> washed by 5 < 12), 12 washes at 20: predictable.
+        assert!(a.can_predict(&cfg, &fault(5, vec![4, 12])));
+        // Final activation has no washout window: not predictable.
+        assert!(!a.can_predict(&cfg, &fault(5, vec![4, 50])));
+        // 30 and 35 share the equivalence window (confined residue is
+        // re-corrupted by the second activation), 35 washes at 45.
+        assert!(a.can_predict(&cfg, &fault(5, vec![30, 35])));
+        // Chain break: R2's residue from time 3 dies only at 12, after
+        // the next activation at 10, and the windows differ — even
+        // though the final activation itself would wash at 25.
+        assert!(!a.can_predict(&cfg, &fault(40, vec![3, 10])));
+        assert!(a.can_predict(&cfg, &fault(40, vec![3, 15])), "12 < 15");
+    }
+
+    #[test]
+    fn prefix_washed_requires_washed_final_pair() {
+        let a = analysis();
+        let cfg = config();
+        assert!(a.prefix_washed(&cfg, &fault(5, vec![35])), "single");
+        assert!(a.prefix_washed(&cfg, &fault(5, vec![12, 35])), "washed");
+        assert!(
+            !a.prefix_washed(&cfg, &fault(5, vec![30, 35])),
+            "merged residue reaches the last activation"
+        );
+        assert!(a.prefix_washed(&cfg, &fault(5, vec![4, 12, 35])));
+        // Merge on a non-final pair, then the merged residue washes
+        // before the last activation: the pre-state is reference again.
+        assert!(a.prefix_washed(&cfg, &fault(5, vec![30, 35, 50])));
+        assert!(!a.prefix_washed(&cfg, &fault(5, vec![])));
+    }
+
+    #[test]
+    fn execution_classes_accept_washed_prefix_multi_activation() {
+        let mut a = analysis();
+        let cfg = config();
+        let faults = vec![
+            fault(5, vec![30]),     // single, window (30,40)
+            fault(5, vec![12, 35]), // prefix washes by 20, last in (30,40)
+            fault(5, vec![30, 35]), // residue merges into the last: out
+        ];
+        let eligible = vec![true; faults.len()];
+        a.compute_execution_classes(&cfg, &faults, &eligible);
+        assert_eq!(a.classes.len(), 1);
+        assert_eq!(a.classes[0].members, vec![0, 1]);
+        assert_eq!(a.classes[0].window, (30, 40));
+    }
+
+    #[test]
+    fn campaign_lints_fire_and_gate() {
+        let a = analysis();
+        let cfg = config();
+        let faults = vec![
+            fault(5, vec![7]),   // live, in no window: clean
+            fault(5, vec![4]),   // all-dead activation
+            fault(5, vec![200]), // beyond horizon and measured end
+            fault(5, vec![30]),  // first of an equivalent pair
+            fault(5, vec![35]),  // duplicate of fault 3
+        ];
+        let lints = a.campaign_lints(&cfg, &faults);
+        let kinds: Vec<LintKind> = lints.iter().map(|l| l.kind).collect();
+        assert!(kinds.contains(&LintKind::FaultTargetsDeadLocation));
+        assert!(kinds.contains(&LintKind::ActivationBeyondHorizon));
+        assert!(kinds.contains(&LintKind::DuplicateEquivalentFault));
+        assert_eq!(lints.len(), 3, "the clean fault raises nothing");
+        assert!(lints.iter().all(|l| l.kind.gates()));
+        let dup = lints
+            .iter()
+            .find(|l| l.kind == LintKind::DuplicateEquivalentFault)
+            .unwrap();
+        assert!(dup.message.contains("fault 4"), "{}", dup.message);
+        assert!(dup.message.contains("fault 3"), "{}", dup.message);
+        assert!(!LintKind::DeadStore.gates());
+        assert!(LintKind::NoPathToTermination.gates());
     }
 
     #[test]

@@ -79,6 +79,7 @@ impl ExperimentRecord {
                     .collect()
             }),
             pruned: false,
+            predicted: false,
         }
     }
 }
@@ -950,6 +951,7 @@ mod tests {
             edges: 5,
             dead: std::collections::BTreeMap::from([("R1".to_string(), vec![(2, 9)])]),
             equiv: std::collections::BTreeMap::from([("R1".to_string(), vec![(0, 1), (2, 9)])]),
+            washout: std::collections::BTreeMap::from([("R1".to_string(), vec![(2, 9, 9)])]),
             lints: vec![crate::staticanalysis::Lint {
                 kind: crate::staticanalysis::LintKind::DeadStore,
                 message: "store at pc 8 is never read".into(),

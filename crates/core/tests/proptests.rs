@@ -71,6 +71,7 @@ fn run_with(
         activations_done: 1,
         detail_trace: None,
         pruned: false,
+        predicted: false,
     }
 }
 

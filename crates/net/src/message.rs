@@ -209,8 +209,14 @@ pub enum WorkerResponse {
         reference: Box<ExperimentRecord>,
         /// Per-index prunability (identical on every worker).
         prunable: Vec<bool>,
-        /// The static analysis to persist, when static pruning ran.
-        static_analysis: Option<StaticAnalysis>,
+        /// Per-index propagation-predicted verdicts (identical on every
+        /// worker; absent on the wire from older workers).
+        #[serde(default)]
+        predicted: Vec<bool>,
+        /// The static analysis to persist, when static pruning ran
+        /// (boxed: the washout and equivalence maps dominate the
+        /// variant).
+        static_analysis: Option<Box<StaticAnalysis>>,
     },
     /// A chunk finished; rows are in index order.
     ChunkDone {

@@ -234,6 +234,7 @@ struct ReadyInfo {
     experiments: usize,
     reference: goofi_core::store::ExperimentRecord,
     prunable: Vec<bool>,
+    predicted: Vec<bool>,
     static_analysis: Option<goofi_core::StaticAnalysis>,
 }
 
@@ -303,6 +304,7 @@ fn drive_worker(
             experiments,
             reference,
             prunable,
+            predicted,
             static_analysis,
         }) => {
             let _ = results.send(PoolMsg::Ready {
@@ -312,7 +314,8 @@ fn drive_worker(
                     experiments,
                     reference: *reference,
                     prunable,
-                    static_analysis,
+                    predicted,
+                    static_analysis: static_analysis.map(|a| *a),
                 }),
             });
         }
@@ -616,6 +619,15 @@ fn run_process_job(
             worklist[..next_pos]
                 .iter()
                 .filter(|&&i| p.prunable.get(i).copied().unwrap_or(false))
+                .count()
+        })
+        .unwrap_or(0);
+    summary.predicted = plan
+        .as_ref()
+        .map(|p| {
+            worklist[..next_pos]
+                .iter()
+                .filter(|&&i| p.predicted.get(i).copied().unwrap_or(false))
                 .count()
         })
         .unwrap_or(0);

@@ -33,7 +33,8 @@ impl WorkerState {
             experiments: plan.len(),
             reference: Box::new(plan.reference_record(&campaign)),
             prunable: plan.prunable.clone(),
-            static_analysis: plan.static_analysis.clone(),
+            predicted: plan.predicted.clone(),
+            static_analysis: plan.static_analysis.clone().map(Box::new),
         };
         Ok((
             WorkerState {

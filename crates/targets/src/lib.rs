@@ -42,4 +42,4 @@ pub use thor::{ThorTarget, DEFAULT_CYCLE_BUDGET};
 
 mod standard;
 
-pub use standard::{standard_factory, standard_provider, standard_target};
+pub use standard::{analysis_target, standard_factory, standard_provider, standard_target};

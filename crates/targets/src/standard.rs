@@ -12,7 +12,7 @@ use goofi_envsim::{DcMotorEnv, SCALE};
 use goofi_workloads::{workload_by_name, WorkloadKind};
 use std::sync::Arc;
 
-use crate::ThorTarget;
+use crate::{StackProgram, StackVmTarget, ThorTarget};
 
 /// Builds the target adapter a target/workload name pair describes.
 ///
@@ -28,6 +28,52 @@ pub fn standard_target(target_name: &str, workload_name: &str) -> Result<ThorTar
             ThorTarget::with_env(target_name, workload, Box::new(DcMotorEnv::new(5 * SCALE)))
         }
     })
+}
+
+/// Data memory words the standard StackVM analysis target carries —
+/// enough for every bundled `sumN` program, small enough that the
+/// analyzer's location tables stay readable.
+const STACKVM_DATA_WORDS: usize = 64;
+
+/// Builds a target for *static analysis* (`goofi analyze --workload`),
+/// dispatching on the target name: `stackvm` resolves `sumN` workloads
+/// onto a [`StackVmTarget`], anything else resolves through
+/// [`standard_target`] onto Thor. Campaign execution keeps going through
+/// [`standard_target`] — this entry point exists so both ISAs share the
+/// analyzer surface.
+///
+/// # Errors
+///
+/// [`GoofiError::Campaign`] for unknown workload names on either target.
+pub fn analysis_target(
+    target_name: &str,
+    workload_name: &str,
+) -> Result<Box<dyn TargetSystemInterface>> {
+    if target_name == "stackvm" {
+        let program = stackvm_workload(workload_name)?;
+        return Ok(Box::new(StackVmTarget::new(
+            target_name,
+            program,
+            STACKVM_DATA_WORDS,
+        )));
+    }
+    Ok(Box::new(standard_target(target_name, workload_name)?))
+}
+
+/// Resolves a StackVM workload by name (`sumN`).
+///
+/// # Errors
+///
+/// [`GoofiError::Campaign`] for anything else.
+fn stackvm_workload(name: &str) -> Result<StackProgram> {
+    if let Some(n) = name.strip_prefix("sum").and_then(|s| s.parse::<i32>().ok()) {
+        if (1..=1_000_000).contains(&n) {
+            return Ok(StackProgram::sum(n));
+        }
+    }
+    Err(GoofiError::Campaign(format!(
+        "unknown stackvm workload `{name}` (expected sumN)"
+    )))
 }
 
 /// A factory of identical targets for `campaign`, for multi-worker

@@ -18,13 +18,16 @@ use goofi_workloads::{crc32_workload, fibonacci_workload, sort_workload};
 use proptest::prelude::*;
 
 /// The shared property: group the fault list into execution classes the
-/// way the runner does (single-activation faults only), then run each
-/// class's representative and every member directly and demand identical
+/// way the runner does (multi-activation faults join a class at their
+/// last activation when the propagation analysis proves the earlier
+/// activations washed out or stayed confined), then run each class's
+/// representative and every member directly and demand identical
 /// observables.
 fn assert_members_match_representative(
     target: &mut dyn TargetSystemInterface,
     field_index: usize,
     window: (u64, u64),
+    model: FaultModel,
     experiments: usize,
     seed: u64,
 ) -> usize {
@@ -47,7 +50,7 @@ fn assert_members_match_representative(
     let faults = generate_fault_list(
         &config,
         &selectors,
-        FaultModel::BitFlip,
+        model,
         &trigger,
         experiments,
         seed,
@@ -66,7 +69,10 @@ fn assert_members_match_representative(
         // build a class plan either.
         Err(_) => return 0,
     };
-    let eligible: Vec<bool> = faults.iter().map(|f| f.times.len() == 1).collect();
+    // Every fault is eligible, exactly as the runner offers them; the
+    // class computation itself rejects multi-activation faults whose
+    // earlier activations are not provably washed/confined.
+    let eligible = vec![true; faults.len()];
     analysis.compute_execution_classes(&config, &faults, &eligible);
 
     let campaign = Campaign::builder("prop", config.name.clone(), "w")
@@ -135,6 +141,7 @@ proptest! {
         n in 2usize..16,
         wseed in 0u32..16,
         field in 0usize..8,
+        activations in 1usize..4,
         start in 0u64..100,
         width in 1u64..800,
         fseed in 0u64..1_000,
@@ -144,9 +151,13 @@ proptest! {
             1 => fibonacci_workload(n as u32 + 1),
             _ => crc32_workload(n, wseed),
         };
+        let model = match activations {
+            1 => FaultModel::BitFlip,
+            n => FaultModel::Intermittent { activations: n },
+        };
         let mut target = ThorTarget::new("thor-card", workload);
         assert_members_match_representative(
-            &mut target, field, (start, start + width), 30, fseed,
+            &mut target, field, (start, start + width), model, 30, fseed,
         );
     }
 
@@ -154,6 +165,7 @@ proptest! {
     fn stackvm_class_members_classify_like_their_representative(
         body in proptest::collection::vec(arb_op(), 1..24),
         field in 0usize..8,
+        activations in 1usize..4,
         start in 0u64..50,
         width in 1u64..500,
         fseed in 0u64..1_000,
@@ -166,10 +178,14 @@ proptest! {
             ops,
             result_addrs: vec![1],
         };
+        let model = match activations {
+            1 => FaultModel::BitFlip,
+            n => FaultModel::Intermittent { activations: n },
+        };
         let mut target = StackVmTarget::new("stackvm", program, 8);
         target.set_step_budget(8_000);
         assert_members_match_representative(
-            &mut target, field, (start, start + width), 30, fseed,
+            &mut target, field, (start, start + width), model, 30, fseed,
         );
     }
 }
@@ -185,6 +201,30 @@ fn thor_sort_campaign_exercises_real_classes() {
         .iter()
         .position(|f| f.name == "R6")
         .expect("cpu chain has R6");
-    let checked = assert_members_match_representative(&mut target, r6, (0, 300), 60, 9);
+    let checked =
+        assert_members_match_representative(&mut target, r6, (0, 300), FaultModel::BitFlip, 60, 9);
     assert!(checked > 0, "no class members were ever compared");
+}
+
+/// The multi-activation counterpart: intermittent faults on the sort
+/// scratch register must actually join classes (via the washed-prefix
+/// rule), and every member must classify like its representative.
+#[test]
+fn thor_sort_campaign_exercises_multi_activation_classes() {
+    let mut target = ThorTarget::new("thor-card", sort_workload(8, 1));
+    let config = target.describe();
+    let r6 = config.chains[0]
+        .fields
+        .iter()
+        .position(|f| f.name == "R6")
+        .expect("cpu chain has R6");
+    let checked = assert_members_match_representative(
+        &mut target,
+        r6,
+        (0, 300),
+        FaultModel::Intermittent { activations: 2 },
+        120,
+        9,
+    );
+    assert!(checked > 0, "no multi-activation member was ever compared");
 }

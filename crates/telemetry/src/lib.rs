@@ -98,6 +98,10 @@ pub mod names {
     /// Counter: experiments synthesised by fanning an equivalence-class
     /// representative's verdict out to its members.
     pub const COUNTER_FANNED: &str = "experiments.fanned";
+    /// Counter: experiments whose verdict the propagation analysis
+    /// predicted statically (fault washes out; reference outcome
+    /// synthesised without execution).
+    pub const COUNTER_PREDICTED: &str = "experiments.predicted";
 }
 
 /// How much telemetry a campaign run records.

@@ -59,6 +59,12 @@ bench-e13:
 bench-e14:
     cargo bench -p goofi-bench --bench e14_server
 
+# E15 fault-propagation prediction (asserts the ≥15% prune+predict
+# gate, predicted ≥ 1, and byte-identical synthesised verdicts);
+# refreshes BENCH_e15.json at the repo root.
+bench-e15:
+    cargo bench -p goofi-bench --bench e15_propagation
+
 # The multi-process determinism + crash-recovery suite on its own
 # (kill -9 mid-campaign, cancel/resume, byte-identity per worker count).
 test-server:
